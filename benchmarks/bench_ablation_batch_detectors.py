@@ -1,0 +1,79 @@
+"""Ablation — the distribution-based detector family side by side.
+
+Quant Tree and SPLL are the paper's batch baselines; HDDDM (Hellinger
+distance) completes the classic trio. This bench runs all three — plus
+the proposed sequential detector — on the reduced NSL-KDD stream and
+reports accuracy, delay, false positives, and the resident detector
+memory, making the batch-vs-sequential trade-off explicit in one table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    build_hdddm_pipeline,
+    build_proposed,
+    build_quanttree_pipeline,
+    build_spll_pipeline,
+)
+from repro.datasets import NSLKDDConfig, make_nslkdd_like
+from repro.metrics import evaluate_method, format_table
+
+DRIFT_AT = 2000
+BATCH = 300
+
+
+@pytest.fixture(scope="module")
+def results():
+    cfg = NSLKDDConfig(n_train=800, n_test=7000, drift_at=DRIFT_AT)
+    train, test = make_nslkdd_like(cfg, seed=0)
+    builders = {
+        "Quant Tree (batch)": lambda: build_quanttree_pipeline(
+            train.X, train.y, batch_size=BATCH, n_bins=32, seed=1
+        ),
+        "SPLL (batch)": lambda: build_spll_pipeline(
+            train.X, train.y, batch_size=BATCH, seed=1
+        ),
+        "HDDDM (batch)": lambda: build_hdddm_pipeline(
+            train.X, train.y, batch_size=BATCH, seed=1
+        ),
+        "Proposed (sequential)": lambda: build_proposed(
+            train.X, train.y, window_size=100, seed=1
+        ),
+    }
+    return {name: evaluate_method(b(), test, name=name) for name, b in builders.items()}
+
+
+def test_batch_family_table(results, record_table, benchmark):
+    def rows():
+        return [
+            [name, round(100 * res.accuracy, 1), res.first_delay,
+             len(res.delay.false_positives), round(res.detector_nbytes / 1000, 1)]
+            for name, res in results.items()
+        ]
+
+    record_table(format_table(
+        ["method", "accuracy %", "delay", "false pos.", "detector kB"],
+        benchmark(rows),
+        title="ABLATION: distribution-based detector family (batch) vs the sequential proposal",
+    ))
+
+
+def test_all_batch_detectors_beat_no_adaptation(results, benchmark):
+    accs = benchmark(lambda: {k: v.accuracy for k, v in results.items()})
+    # Everyone adapts, so everyone should clear 85% on this stream.
+    assert all(a > 0.85 for a in accs.values())
+
+
+def test_sequential_memory_far_below_batch(results, benchmark):
+    mems = benchmark(lambda: {k: v.detector_nbytes for k, v in results.items()})
+    seq = mems["Proposed (sequential)"]
+    for name, m in mems.items():
+        if "batch" in name:
+            assert seq < m / 10, name
+
+
+def test_hdddm_detects_the_drift(results, benchmark):
+    res = benchmark(lambda: results["HDDDM (batch)"])
+    assert res.first_delay is not None

@@ -1,0 +1,89 @@
+"""Ablation — supervised error-rate detectors vs the unsupervised proposal.
+
+§2.2.2 dismisses error-rate methods (DDM, ADWIN) for edge devices because
+they "need a labeled teacher dataset". This bench quantifies what that
+label access buys: every error-rate detector (plus their voting ensemble)
+runs through :class:`ErrorRatePipeline` with oracle labels on the reduced
+NSL-KDD stream, against the unsupervised proposed method. The supervised
+methods are an upper bound the proposal approaches without labels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CentroidSet, ErrorRatePipeline, ModelReconstructor, build_model, build_proposed
+from repro.datasets import NSLKDDConfig, make_nslkdd_like
+from repro.detectors import ADWIN, DDM, EDDM, KSWIN, PageHinkley, VotingDetectorEnsemble
+from repro.metrics import evaluate_method, format_table
+
+DRIFT_AT = 2000
+
+
+@pytest.fixture(scope="module")
+def streams():
+    cfg = NSLKDDConfig(n_train=800, n_test=7000, drift_at=DRIFT_AT)
+    return make_nslkdd_like(cfg, seed=0)
+
+
+def build_error_rate(streams, detector, name):
+    train, _ = streams
+    model = build_model(train.X, train.y, seed=1)
+    cents = CentroidSet.from_labelled_data(train.X, train.y, 2)
+    rec = ModelReconstructor(model, cents, n_total=400)
+    return ErrorRatePipeline(model, detector, rec, name=name)
+
+
+@pytest.fixture(scope="module")
+def results(streams):
+    train, test = streams
+    detectors = {
+        "DDM (supervised)": DDM(),
+        "EDDM (supervised)": EDDM(),
+        "ADWIN (supervised)": ADWIN(),
+        "Page-Hinkley (supervised)": PageHinkley(threshold=20.0),
+        "KSWIN (supervised)": KSWIN(seed=1),
+        "DDM+PH ensemble (supervised)": VotingDetectorEnsemble(
+            [DDM(), PageHinkley(threshold=20.0)], policy="majority"
+        ),
+    }
+    out = {}
+    for name, det in detectors.items():
+        out[name] = evaluate_method(build_error_rate(streams, det, name), test)
+    out["Proposed (unsupervised)"] = evaluate_method(
+        build_proposed(train.X, train.y, window_size=100, seed=1), test
+    )
+    return out
+
+
+def test_error_rate_comparison_table(results, record_table, benchmark):
+    def rows():
+        return [
+            [name, round(100 * res.accuracy, 1), res.first_delay,
+             len(res.delay.false_positives)]
+            for name, res in results.items()
+        ]
+
+    record_table(format_table(
+        ["method", "accuracy %", "delay", "false positives"],
+        benchmark(rows),
+        title="ABLATION: supervised error-rate detectors vs the unsupervised proposal",
+    ))
+
+
+def test_proposed_close_to_supervised_upper_bound(results, benchmark):
+    accs = benchmark(lambda: {k: v.accuracy for k, v in results.items()})
+    supervised_best = max(v for k, v in accs.items() if "supervised" in k)
+    assert accs["Proposed (unsupervised)"] > supervised_best - 0.06
+
+
+def test_at_least_one_supervised_method_detects(results, benchmark):
+    delays = benchmark(lambda: {k: v.first_delay for k, v in results.items()})
+    assert any(
+        d is not None for k, d in delays.items() if "supervised" in k
+    )
+
+
+def test_proposed_detects_without_labels(results, benchmark):
+    res = benchmark(lambda: results["Proposed (unsupervised)"])
+    assert res.first_delay is not None

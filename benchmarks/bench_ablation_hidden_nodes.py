@@ -1,0 +1,70 @@
+"""Ablation — OS-ELM hidden-layer width.
+
+The paper fixes 22 hidden nodes for both datasets without justification.
+This bench sweeps the bottleneck width on the reduced NSL-KDD stream: the
+autoencoder needs enough capacity to separate the classes but a narrow
+bottleneck is what makes anomaly scores informative (and keeps the
+``O(H²)`` rank-1 update cheap on the device — the cost column).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_proposed
+from repro.datasets import NSLKDDConfig, make_nslkdd_like
+from repro.device import RASPBERRY_PI_PICO, StageCostModel
+from repro.metrics import evaluate_method, format_table
+
+WIDTHS = (4, 10, 22, 48, 96)
+DRIFT_AT = 2500
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    cfg = NSLKDDConfig(n_train=800, n_test=8000, drift_at=DRIFT_AT)
+    train, test = make_nslkdd_like(cfg, seed=0)
+    out = {}
+    for h in WIDTHS:
+        pipe = build_proposed(train.X, train.y, n_hidden=h, window_size=100, seed=1)
+        res = evaluate_method(pipe, test)
+        pico_ms = RASPBERRY_PI_PICO.ms_for_flops(
+            StageCostModel(2, 38, h).label_prediction().flops
+        )
+        out[h] = (res.accuracy, res.first_delay, pico_ms)
+    return out
+
+
+def test_hidden_width_table(sweep, record_table, benchmark):
+    def rows():
+        return [
+            [f"H = {h}", round(100 * sweep[h][0], 1), sweep[h][1],
+             round(sweep[h][2], 1)]
+            for h in WIDTHS
+        ]
+
+    record_table(format_table(
+        ["width", "accuracy %", "delay", "Pico prediction ms (D=38)"],
+        benchmark(rows),
+        title="ABLATION: OS-ELM hidden width (paper fixes H = 22)",
+    ))
+
+
+def test_paper_width_competitive(sweep, benchmark):
+    """H=22 lands within a few points of the best width in the sweep —
+    the accuracy landscape over widths is flat (reconstruction variance
+    dominates), so the paper's fixed 22 is a reasonable default."""
+    accs = benchmark(lambda: {h: sweep[h][0] for h in WIDTHS})
+    assert accs[22] > max(accs.values()) - 0.08
+
+
+def test_cost_grows_with_width(sweep, benchmark):
+    costs = benchmark(lambda: [sweep[h][2] for h in WIDTHS])
+    assert all(a < b for a, b in zip(costs, costs[1:]))
+
+
+def test_every_width_detects_and_recovers(sweep, benchmark):
+    out = benchmark(lambda: {h: sweep[h] for h in WIDTHS})
+    for h, (acc, delay, _) in out.items():
+        assert delay is not None, f"H={h} missed the drift"
+        assert acc > 0.85, f"H={h} failed to recover"

@@ -1,0 +1,90 @@
+"""Ablation — the multi-window ensemble (the paper's future-work feature).
+
+§5.2 ends: "Using multiple detection models with different window sizes is
+our future work to address more complicated drift behaviors." This bench
+runs :class:`repro.core.MultiWindowDetector` (W = 10/50/150) against the
+single-window detectors on the sudden and reoccurring fan scenarios and
+shows the policy trade-off Table 3 motivates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CentroidSet, MultiWindowDetector, build_model, build_proposed
+from repro.core.threshold import calibrate_drift_threshold, calibrate_error_threshold
+from repro.datasets import make_cooling_fan_like
+from repro.metrics import detection_delay, evaluate_method, format_table
+
+WINDOWS = (10, 50, 150)
+DRIFT_AT = 120
+
+
+def run_ensemble(scenario: str, policy: str):
+    train, test = make_cooling_fan_like(scenario, seed=0)
+    model = build_model(train.X, train.y, seed=1)
+    cents = CentroidSet.from_labelled_data(train.X, train.y, max_count=500)
+    theta_drift = calibrate_drift_threshold(train.X, train.y, cents)
+    scores = model.scores(train.X)[range(len(train.X)), train.y]
+    theta_error = calibrate_error_threshold(scores, z=3.0)
+    ens = MultiWindowDetector(
+        cents, WINDOWS, theta_error=theta_error, theta_drift=theta_drift, policy=policy
+    )
+    detections = []
+    for i, (x, _) in enumerate(test):
+        c, err = model.predict_with_score(x)
+        if ens.update(x, c, err).drift_detected:
+            detections.append(i)
+            ens.end_drift()
+    return detections
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for scenario in ("sudden", "reoccurring"):
+        for policy in ("any", "majority", "all"):
+            det = run_ensemble(scenario, policy)
+            out[(scenario, policy)] = detection_delay(det, DRIFT_AT)
+        for w in WINDOWS:
+            train, test = make_cooling_fan_like(scenario, seed=0)
+            pipe = build_proposed(train.X, train.y, window_size=w, seed=1)
+            res = evaluate_method(pipe, test)
+            out[(scenario, f"W={w}")] = detection_delay(res.delay.detections, DRIFT_AT)
+    return out
+
+
+def test_multi_window_table(results, record_table, benchmark):
+    configs = ["W=10", "W=50", "W=150", "any", "majority", "all"]
+
+    def rows():
+        return [
+            [cfg,
+             results[("sudden", cfg)] if results[("sudden", cfg)] is not None else None,
+             results[("reoccurring", cfg)] if results[("reoccurring", cfg)] is not None else None]
+            for cfg in configs
+        ]
+
+    record_table(format_table(
+        ["configuration", "sudden delay", "reoccurring delay"],
+        benchmark(rows),
+        title="ABLATION: multi-window ensemble (future work) vs single windows, fan streams",
+    ))
+
+
+def test_any_policy_as_fast_as_smallest_window(results, benchmark):
+    d = benchmark(lambda: results)
+    assert d[("sudden", "any")] is not None
+    assert d[("sudden", "any")] <= d[("sudden", "W=10")] + 5
+
+
+def test_all_policy_ignores_reoccurring_blip(results, benchmark):
+    """'all' requires even W=150 to agree — like the paper's W=150 row it
+    does not fire on the 50-sample transient."""
+    d = benchmark(lambda: results)
+    assert d[("reoccurring", "all")] is None
+
+def test_majority_detects_sudden(results, benchmark):
+    d = benchmark(lambda: results)
+    assert d[("sudden", "majority")] is not None
+    assert d[("sudden", "majority")] <= d[("sudden", "W=150")]

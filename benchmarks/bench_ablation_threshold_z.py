@@ -1,0 +1,71 @@
+"""Ablation — the Eq. 1 threshold multiplier ``z``.
+
+The paper fixes ``z = 1`` and notes that "a manual tuning of the threshold
+value can shorten the detection delay" (§5.1). This bench sweeps ``z`` on
+the reduced NSL-KDD stream and quantifies the delay / false-positive
+trade-off: smaller ``z`` → faster detection but eventual false alarms,
+larger ``z`` → slower or missed detection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_proposed
+from repro.datasets import NSLKDDConfig, make_nslkdd_like
+from repro.metrics import evaluate_method, format_table
+
+ZS = (0.25, 0.5, 1.0, 2.0, 4.0)
+DRIFT_AT = 2500
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    cfg = NSLKDDConfig(n_train=800, n_test=8000, drift_at=DRIFT_AT)
+    train, test = make_nslkdd_like(cfg, seed=0)
+    out = {}
+    for z in ZS:
+        pipe = build_proposed(train.X, train.y, window_size=100, z=z, seed=1)
+        res = evaluate_method(pipe, test)
+        out[z] = (
+            res.first_delay,
+            len(res.delay.false_positives),
+            res.accuracy,
+            pipe.detector.theta_drift,
+        )
+    return out
+
+
+def test_z_sweep_table(sweep, record_table, benchmark):
+    def rows():
+        return [
+            [f"z = {z}", round(sweep[z][3], 3), sweep[z][0], sweep[z][1],
+             round(100 * sweep[z][2], 1)]
+            for z in ZS
+        ]
+
+    record_table(format_table(
+        ["setting", "theta_drift", "delay", "false positives", "accuracy %"],
+        benchmark(rows),
+        title="ABLATION: Eq. 1 threshold multiplier z (paper fixes z = 1)",
+    ))
+
+
+def test_threshold_monotone_in_z(sweep, benchmark):
+    thetas = benchmark(lambda: [sweep[z][3] for z in ZS])
+    assert all(a < b for a, b in zip(thetas, thetas[1:]))
+
+
+def test_manual_tuning_can_shorten_delay(sweep, benchmark):
+    """Paper §5.1's remark: a lower threshold detects earlier."""
+    delays = benchmark(lambda: {z: sweep[z][0] for z in ZS})
+    detected = {z: d for z, d in delays.items() if d is not None}
+    assert 1.0 in detected
+    faster = [z for z, d in detected.items() if z < 1.0 and d <= detected[1.0]]
+    assert faster, "no smaller z detected at least as fast as z=1"
+
+
+def test_large_z_slower_or_missed(sweep, benchmark):
+    delays = benchmark(lambda: {z: sweep[z][0] for z in ZS})
+    d4 = delays[4.0]
+    assert d4 is None or d4 >= delays[1.0]

@@ -1,0 +1,81 @@
+"""Figure 4 — accuracy-vs-time curves of the five methods on NSL-KDD.
+
+Regenerates the moving-accuracy series the paper plots and renders them
+as a downsampled text table (one column per method, one row per stream
+position) so the curve shapes — baseline collapse after the drift, ONLAD
+decay, proposed/batch recovery — are visible in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import format_table, segment_accuracy
+
+DRIFT_AT = 8333
+CURVE_WINDOW = 1000
+METHODS = [
+    "Quant Tree",
+    "SPLL",
+    "Baseline (no concept drift detection)",
+    "ONLAD",
+    "Proposed method (Window size = 100)",
+]
+SHORT = {
+    "Quant Tree": "QT",
+    "SPLL": "SPLL",
+    "Baseline (no concept drift detection)": "Baseline",
+    "ONLAD": "ONLAD",
+    "Proposed method (Window size = 100)": "Proposed",
+}
+
+
+def test_figure4_series(nslkdd_results, record_table, benchmark):
+    """Emit the downsampled Figure 4 series and check curve shapes."""
+
+    def curves():
+        out = {}
+        for name in METHODS:
+            pos, acc = nslkdd_results[name].accuracy_curve(window=CURVE_WINDOW)
+            out[name] = (pos, acc)
+        return out
+
+    data = benchmark(curves)
+
+    sample_points = np.arange(2000, 22001, 2000)
+    rows = []
+    for p in sample_points:
+        row: list[object] = [int(p), "<- drift" if p == 10000 else ""]
+        for name in METHODS:
+            pos, acc = data[name]
+            row.insert(len(row) - 1, round(float(acc[np.searchsorted(pos, p)]), 3))
+        rows.append(row)
+    record_table(format_table(
+        ["sample", *[SHORT[m] for m in METHODS], ""],
+        rows,
+        title=f"FIGURE 4: moving accuracy (window {CURVE_WINDOW}) on the NSL-KDD-like stream",
+    ))
+
+    # Shape checks mirroring the paper's reading of the figure:
+    base = nslkdd_results["Baseline (no concept drift detection)"]
+    pre, post = segment_accuracy(base.records, [DRIFT_AT])
+    assert pre > 0.9 and post < pre - 0.1  # baseline collapses after drift
+
+    prop = nslkdd_results["Proposed method (Window size = 100)"]
+    det = prop.first_delay + DRIFT_AT
+    _, _, recovered = segment_accuracy(prop.records, [DRIFT_AT, det + 1000])
+    assert recovered > post  # proposed recovers above the frozen baseline
+
+    onlad = nslkdd_results["ONLAD"]
+    assert onlad.accuracy < base.accuracy  # ONLAD is the weakest overall
+
+
+def test_every_method_has_full_length_curve(nslkdd_results, benchmark):
+    def lengths():
+        return {
+            name: len(res.records) for name, res in nslkdd_results.items()
+        }
+
+    out = benchmark(lengths)
+    assert set(out.values()) == {22701}

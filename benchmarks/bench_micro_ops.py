@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the primitive operations the paper's cost story
+rests on — host-side throughput for each per-sample kernel.
+
+These are classic pytest-benchmark measurements (many rounds), useful for
+tracking performance regressions of the library itself: the rank-1 OS-ELM
+update, autoencoder scoring, Quant Tree assignment, SPLL statistic, ADWIN
+insertion, and the full proposed per-sample step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CentroidSet, SequentialDriftDetector
+from repro.detectors import ADWIN, QuantTreePartition, spll_statistic
+from repro.oselm import OSELM, MultiInstanceModel
+
+RNG = np.random.default_rng(0)
+D, H, C = 511, 22, 2
+
+
+@pytest.fixture(scope="module")
+def fan_model():
+    X = RNG.random((60, D))
+    y = (np.arange(60) % C).astype(np.int64)
+    return MultiInstanceModel(D, H, C, seed=0).fit_initial(X, y)
+
+
+def test_oselm_rank1_update(benchmark):
+    m = OSELM(D, H, D, seed=0)
+    X0 = RNG.random((40, D))
+    m.fit_initial(X0, X0)
+    x = RNG.random(D)
+    benchmark(lambda: m.partial_fit_one(x, x))
+
+
+def test_autoencoder_score_one(benchmark, fan_model):
+    x = RNG.random(D)
+    benchmark(lambda: fan_model.instances[0].score_one(x))
+
+
+def test_label_prediction(benchmark, fan_model):
+    """Algorithm 1 line 6 at fan dimensionality."""
+    x = RNG.random(D)
+    benchmark(lambda: fan_model.predict_with_score(x))
+
+
+def test_proposed_per_sample_step(benchmark, fan_model):
+    """Prediction + detector update — the steady-state per-sample cost."""
+    cents = CentroidSet(RNG.random((C, D)), np.array([100, 100]))
+    det = SequentialDriftDetector(
+        cents, window_size=10**9, theta_error=0.0, theta_drift=1e18
+    )
+    x = RNG.random(D)
+
+    def step():
+        c, err = fan_model.predict_with_score(x)
+        det.update(x, c, err)
+
+    benchmark(step)
+
+
+def test_quanttree_assignment(benchmark):
+    part = QuantTreePartition(16, seed=0).fit(RNG.random((400, D)))
+    batch = RNG.random((235, D))
+    benchmark(lambda: part.counts(batch))
+
+
+def test_spll_statistic(benchmark):
+    means = RNG.random((3, D))
+    cov = np.ones(D)
+    batch = RNG.random((235, D))
+    benchmark(lambda: spll_statistic(means, cov, batch, diag=True))
+
+
+def test_adwin_insert(benchmark):
+    ad = ADWIN()
+    values = iter(RNG.random(10**7))
+    benchmark(lambda: ad.update(float(next(values))))
+
+
+def test_batch_scoring_vectorised(benchmark, fan_model):
+    """Vectorised batch path (evaluation harness) for contrast with the
+    per-sample path above."""
+    X = RNG.random((235, D))
+    benchmark(lambda: fan_model.scores(X))

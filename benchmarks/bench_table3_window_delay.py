@@ -1,0 +1,81 @@
+"""Table 3 — detection delay vs window size on the cooling-fan scenarios.
+
+Reproduces the paper's 3 × 3 matrix (window sizes 10/50/150 × sudden /
+gradual / reoccurring drifts, drift at sample 120) and asserts its three
+qualitative findings (§5.2):
+
+1. for sudden drifts, smaller windows detect faster;
+2. gradual drifts take longer than sudden ones at every window size;
+3. the 50-sample reoccurring blip is caught by W=10/50 but *not* W=150.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import format_table
+
+PAPER_TABLE3 = {
+    ("sudden", 10): 53, ("sudden", 50): 60, ("sudden", 150): 160,
+    ("gradual", 10): 161, ("gradual", 50): 157, ("gradual", 150): 257,
+    ("reoccurring", 10): 22, ("reoccurring", 50): 62, ("reoccurring", 150): None,
+}
+
+
+def test_table3_reproduction(fan_delay_matrix, record_table, benchmark):
+    def assemble():
+        rows = []
+        for window in (10, 50, 150):
+            row: list[object] = [f"Window size = {window}"]
+            for scenario in ("sudden", "gradual", "reoccurring"):
+                ours = fan_delay_matrix[(scenario, window)]
+                paper = PAPER_TABLE3[(scenario, window)]
+                ours_s = "-" if ours is None else str(ours)
+                paper_s = "-" if paper is None else str(paper)
+                row.append(f"{ours_s} ({paper_s})")
+            rows.append(row)
+        return rows
+
+    rows = benchmark(assemble)
+    record_table(format_table(
+        ["", "Sudden", "Gradual", "Reoccurring"],
+        rows,
+        title="TABLE 3: detection delay, reproduced (paper) — cooling-fan stream, drift @120",
+    ))
+
+
+def test_sudden_delay_monotone_in_window(fan_delay_matrix, benchmark):
+    d = benchmark(lambda: [fan_delay_matrix[("sudden", w)] for w in (10, 50, 150)])
+    assert None not in d
+    assert d[0] <= d[1] <= d[2]
+
+
+def test_gradual_slower_than_sudden(fan_delay_matrix, benchmark):
+    pairs = benchmark(lambda: [
+        (fan_delay_matrix[("gradual", w)], fan_delay_matrix[("sudden", w)])
+        for w in (10, 50, 150)
+    ])
+    for g, s in pairs:
+        assert g is not None and g > s
+
+
+def test_reoccurring_blip_window_dependence(fan_delay_matrix, benchmark):
+    vals = benchmark(lambda: {
+        w: fan_delay_matrix[("reoccurring", w)] for w in (10, 50, 150)
+    })
+    assert vals[10] is not None
+    assert vals[50] is not None
+    assert vals[150] is None  # paper's '-' entry
+
+
+def test_delays_same_order_of_magnitude_as_paper(fan_delay_matrix, benchmark):
+    def ratios():
+        out = []
+        for key, paper in PAPER_TABLE3.items():
+            ours = fan_delay_matrix[key]
+            if paper is not None and ours is not None:
+                out.append(ours / paper)
+        return out
+
+    rs = benchmark(ratios)
+    assert all(0.2 < r < 5.0 for r in rs)

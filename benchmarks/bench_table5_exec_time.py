@@ -1,0 +1,131 @@
+"""Table 5 — execution time for the 700-sample fan stream (Raspberry Pi 4).
+
+Each method's phase tally (which samples were predicted / checked /
+reconstructed / buffered) is measured by actually running our
+implementation over the stream; the tally is then priced with the
+Raspberry-Pi-4 cost model. The host wall-clock of our vectorised NumPy
+implementation is reported alongside for reference.
+
+The paper's shape: SPLL is the slowest by a wide margin (its per-batch
+k-means), Quant Tree ≈ proposed, the no-detection baseline is cheapest.
+Our SPLL clusters with n_init=2 — a reference implementation using
+sklearn defaults (n_init=10) multiplies the SPLL batch term ~5×, which we
+show as a second SPLL row.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    build_baseline,
+    build_proposed,
+    build_quanttree_pipeline,
+    build_spll_pipeline,
+)
+from repro.datasets import make_cooling_fan_like
+from repro.device import (
+    RASPBERRY_PI_4,
+    StageCostModel,
+    estimate_stream_seconds,
+    quanttree_batch_ops,
+    spll_batch_ops,
+)
+from repro.metrics import evaluate_method, format_table
+
+PAPER_TABLE5 = {
+    "Quant Tree": 1.52,
+    "SPLL": 9.28,
+    "Baseline (no concept drift detection)": 1.05,
+    "Proposed method": 1.50,
+}
+
+GEOMETRY = StageCostModel(2, 511, 22)
+BATCH = 235
+
+
+@pytest.fixture(scope="module")
+def fan_streams():
+    return make_cooling_fan_like("sudden", n_modes=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def table5_rows(fan_streams):
+    train, test = fan_streams
+    n_batches = len(test) // BATCH
+    spec = {
+        "Quant Tree": (
+            lambda: build_quanttree_pipeline(train.X, train.y, batch_size=BATCH, n_bins=16, seed=1),
+            quanttree_batch_ops(BATCH, 16), n_batches,
+        ),
+        "SPLL": (
+            lambda: build_spll_pipeline(train.X, train.y, batch_size=BATCH, seed=1),
+            spll_batch_ops(BATCH, 511, 3), n_batches,
+        ),
+        "Baseline (no concept drift detection)": (
+            lambda: build_baseline(train.X, train.y, seed=1), None, 0,
+        ),
+        "Proposed method": (
+            lambda: build_proposed(train.X, train.y, window_size=50, seed=1), None, 0,
+        ),
+    }
+    rows = {}
+    for name, (build, batch_ops, nb) in spec.items():
+        res = evaluate_method(build(), test)
+        est = estimate_stream_seconds(
+            res.phase_tally, GEOMETRY, RASPBERRY_PI_4,
+            per_batch_ops=batch_ops, n_batches=nb,
+        )
+        rows[name] = (est, res.wall_seconds, res.phase_tally)
+    # Reference-implementation SPLL (sklearn-default k-means: n_init=10,
+    # effectively ~25 Lloyd iterations on this data).
+    res = rows["SPLL"]
+    sk_ops = spll_batch_ops(BATCH, 511, 3, kmeans_iters=25, kmeans_restarts=10)
+    rows["SPLL (sklearn-default k-means)"] = (
+        estimate_stream_seconds(res[2], GEOMETRY, RASPBERRY_PI_4,
+                                per_batch_ops=sk_ops, n_batches=n_batches),
+        res[1],
+        res[2],
+    )
+    return rows
+
+
+def test_table5_reproduction(table5_rows, record_table, benchmark):
+    def assemble():
+        out = []
+        for name, (est, wall, _) in table5_rows.items():
+            paper = PAPER_TABLE5.get(name)
+            out.append([name, round(est, 2), paper, round(wall, 2)])
+        return out
+
+    rows = benchmark(assemble)
+    record_table(format_table(
+        ["method", "estimated Pi4 s", "paper s", "host wall s"],
+        rows,
+        title="TABLE 5: execution time, 700-sample fan stream on Raspberry Pi 4",
+    ))
+
+
+def test_method_ordering_matches_paper(table5_rows, benchmark):
+    est = benchmark(lambda: {k: v[0] for k, v in table5_rows.items()})
+    base = est["Baseline (no concept drift detection)"]
+    assert est["SPLL"] > est["Quant Tree"]          # SPLL slowest
+    assert est["SPLL"] > est["Proposed method"]
+    assert est["Proposed method"] > base            # detection costs something
+    assert est["Quant Tree"] > base
+    # Proposed ≈ Quant Tree (paper: 1.50 vs 1.52).
+    assert abs(est["Proposed method"] - est["Quant Tree"]) < 0.5 * base
+
+
+def test_baseline_estimate_matches_paper(table5_rows, benchmark):
+    """The Pi-4 profile is calibrated on this row: 700 predictions ≈ 1.05 s."""
+    est = benchmark(lambda: table5_rows["Baseline (no concept drift detection)"][0])
+    assert est == pytest.approx(1.05, rel=0.15)
+
+
+def test_host_wall_clock_ordering(table5_rows, benchmark):
+    """Even our vectorised implementations keep the SPLL > QT ≥ baseline
+    ordering in real wall-clock terms."""
+    wall = benchmark(lambda: {k: v[1] for k, v in table5_rows.items()})
+    assert wall["SPLL"] > wall["Baseline (no concept drift detection)"]
+    assert wall["Quant Tree"] > wall["Baseline (no concept drift detection)"]

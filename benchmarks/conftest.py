@@ -1,0 +1,112 @@
+"""Shared benchmark infrastructure.
+
+* ``record_table`` — benches register their reproduced paper tables here;
+  a ``pytest_terminal_summary`` hook prints them all at the end of the
+  run, so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+  captures both the timing table and the reproduction tables.
+* Session-scoped caches for the expensive experiment runs (the full
+  NSL-KDD five-method comparison, the fan scenario matrix) so that
+  several benches can report on one run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import pytest
+
+from repro.core import (
+    build_baseline,
+    build_onlad,
+    build_proposed,
+    build_quanttree_pipeline,
+    build_spll_pipeline,
+)
+from repro.datasets import make_cooling_fan_like, make_nslkdd_like
+from repro.metrics import MethodResult, evaluate_method
+
+_TABLES: list[str] = []
+
+
+@pytest.fixture
+def record_table() -> Callable[[str], None]:
+    """Register a reproduced-table string for the end-of-run summary."""
+
+    def _record(text: str) -> None:
+        _TABLES.append(text)
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: D103
+    if not _TABLES:
+        return
+    terminalreporter.section("Reproduced paper tables and figures")
+    for text in _TABLES:
+        terminalreporter.write_line(text)
+        terminalreporter.write_line("")
+
+
+# --------------------------------------------------------------------------
+# Cached experiment runs
+# --------------------------------------------------------------------------
+
+#: Paper hyper-parameters for NSL-KDD (§4.2).
+NSLKDD_BATCH = 480
+NSLKDD_BINS = 32
+SEED = 1
+
+
+@pytest.fixture(scope="session")
+def nslkdd_streams():
+    """The paper-sized NSL-KDD-like streams (2 522 train / 22 701 test)."""
+    return make_nslkdd_like(seed=0)
+
+
+@pytest.fixture(scope="session")
+def nslkdd_results(nslkdd_streams) -> Dict[str, MethodResult]:
+    """All Table-2 method configurations run over the full test stream."""
+    train, test = nslkdd_streams
+    builders = {
+        "Quant Tree": lambda: build_quanttree_pipeline(
+            train.X, train.y, batch_size=NSLKDD_BATCH, n_bins=NSLKDD_BINS, seed=SEED
+        ),
+        "SPLL": lambda: build_spll_pipeline(
+            train.X, train.y, batch_size=NSLKDD_BATCH, seed=SEED
+        ),
+        "Baseline (no concept drift detection)": lambda: build_baseline(
+            train.X, train.y, seed=SEED
+        ),
+        # The paper used alpha=0.97 on real NSL-KDD and found "the
+        # parameter tuning of a forgetting rate of ONLAD is difficult"
+        # (§5.1). On our synthetic stream the analogous mis-tuned rate is
+        # 0.90 (bench_ablation_forgetting sweeps the sensitivity).
+        "ONLAD": lambda: build_onlad(
+            train.X, train.y, forgetting_factor=0.90, seed=SEED
+        ),
+        "Proposed method (Window size = 100)": lambda: build_proposed(
+            train.X, train.y, window_size=100, seed=SEED
+        ),
+        "Proposed method (Window size = 250)": lambda: build_proposed(
+            train.X, train.y, window_size=250, seed=SEED
+        ),
+        "Proposed method (Window size = 1000)": lambda: build_proposed(
+            train.X, train.y, window_size=1000, seed=SEED
+        ),
+    }
+    return {name: evaluate_method(b(), test, name=name) for name, b in builders.items()}
+
+
+@pytest.fixture(scope="session")
+def fan_delay_matrix():
+    """Table 3's scenario × window-size detection-delay matrix."""
+    from repro.metrics import detection_delay
+
+    out: dict[tuple[str, int], int | None] = {}
+    for scenario in ("sudden", "gradual", "reoccurring"):
+        train, test = make_cooling_fan_like(scenario, seed=0)
+        for window in (10, 50, 150):
+            pipe = build_proposed(train.X, train.y, window_size=window, seed=SEED)
+            res = evaluate_method(pipe, test)
+            out[(scenario, window)] = detection_delay(res.delay.detections, 120)
+    return out

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Edge-deployment feasibility study — the paper's Tables 4-6.
+
+Uses the analytic device models in :mod:`repro.device` to answer the
+paper's deployment questions for the cooling-fan configuration
+(D=511 features, 22 hidden nodes, 2 labels, batch size 235):
+
+1. How much RAM does each detection method need resident? (Table 4)
+2. Which methods fit on a 264 kB Raspberry Pi Pico? (§5.3)
+3. What is the per-sample latency breakdown on the Pico? (Table 6)
+4. How long does the 700-sample fan stream take on a Raspberry Pi 4,
+   per method? (Table 5 — estimated from phase tallies × the cost model,
+   alongside the measured host wall-clock.)
+
+Run (~5 s):
+    python examples/edge_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    build_baseline,
+    build_proposed,
+    build_quanttree_pipeline,
+    build_spll_pipeline,
+)
+from repro.datasets import make_cooling_fan_like
+from repro.device import (
+    RASPBERRY_PI_4,
+    RASPBERRY_PI_PICO,
+    PhaseTally,
+    StageCostModel,
+    discriminative_model_memory,
+    estimate_stream_seconds,
+    fits_on,
+    proposed_memory,
+    quanttree_batch_ops,
+    quanttree_memory,
+    spll_batch_ops,
+    spll_memory,
+    stage_latency_table,
+)
+from repro.metrics import evaluate_method, format_table
+
+GEOMETRY = StageCostModel(n_labels=2, n_features=511, n_hidden=22)
+
+
+def table4() -> None:
+    reports = {
+        "Quant Tree": quanttree_memory(235, 511, 16),
+        "SPLL": spll_memory(235, 511, 3),
+        "Proposed method": proposed_memory(2, 511),
+    }
+    paper = {"Quant Tree": 619, "SPLL": 1933, "Proposed method": 69}
+    rows = []
+    for name, rep in reports.items():
+        fits = fits_on(rep, RASPBERRY_PI_PICO)
+        rows.append([name, round(rep.total_kb, 1), paper[name],
+                     "yes" if fits else "NO"])
+    print(format_table(
+        ["method", "reproduced kB", "paper kB", "fits 264kB Pico?"],
+        rows,
+        title="Table 4: detector memory utilisation",
+    ))
+    model = discriminative_model_memory(2, 511, 22, alpha_in_flash=True)
+    print(f"\nShared OS-ELM model state (beta+P, alpha in flash): "
+          f"{model.total_kb:.0f} kB -> proposed method + model "
+          f"{'fits' if fits_on(proposed_memory(2, 511), RASPBERRY_PI_PICO, model=model) else 'does NOT fit'} "
+          f"on the Pico.")
+
+
+def table6() -> None:
+    paper = {
+        "Label prediction": 148.87,
+        "Distance computation": 10.58,
+        "Model retraining without label prediction": 25.42,
+        "Model retraining with label prediction": 166.65,
+        "Label coordinates initialization": 25.59,
+        "Label coordinates update": 6.05,
+    }
+    ours = stage_latency_table(GEOMETRY, RASPBERRY_PI_PICO)
+    rows = [[k, round(ours[k], 2), v] for k, v in paper.items()]
+    print(format_table(
+        ["stage", "reproduced ms", "paper ms"],
+        rows,
+        title="\nTable 6: per-sample latency breakdown on Raspberry Pi Pico",
+    ))
+
+
+def table5() -> None:
+    train, test = make_cooling_fan_like("sudden", n_modes=2, seed=0)
+    methods = {
+        "Quant Tree": (
+            lambda: build_quanttree_pipeline(train.X, train.y, batch_size=235, n_bins=16, seed=1),
+            quanttree_batch_ops(235, 16),
+        ),
+        "SPLL": (
+            lambda: build_spll_pipeline(train.X, train.y, batch_size=235, seed=1),
+            spll_batch_ops(235, 511, 3),
+        ),
+        "Baseline": (lambda: build_baseline(train.X, train.y, seed=1), None),
+        "Proposed method": (
+            lambda: build_proposed(train.X, train.y, window_size=50, seed=1),
+            None,
+        ),
+    }
+    paper = {"Quant Tree": 1.52, "SPLL": 9.28, "Baseline": 1.05, "Proposed method": 1.50}
+    rows = []
+    for name, (build, batch_ops) in methods.items():
+        res = evaluate_method(build(), test)
+        est = estimate_stream_seconds(
+            res.phase_tally, GEOMETRY, RASPBERRY_PI_4,
+            per_batch_ops=batch_ops,
+            n_batches=(len(test) // 235) if batch_ops is not None else 0,
+        )
+        rows.append([name, round(est, 2), paper[name], round(res.wall_seconds, 2)])
+    print(format_table(
+        ["method", "estimated Pi4 s", "paper s", "host wall s"],
+        rows,
+        title="\nTable 5: execution time for the 700-sample fan stream",
+    ))
+
+
+def main() -> None:
+    print(f"Devices: {RASPBERRY_PI_4.name} ({RASPBERRY_PI_4.cpu}) | "
+          f"{RASPBERRY_PI_PICO.name} ({RASPBERRY_PI_PICO.cpu})\n")
+    table4()
+    table6()
+    table5()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Cooling-fan condition monitoring — the paper's Table 3 experiment.
+
+A fan's vibration spectrum (511 frequency bins) is monitored by the
+proposed sequential detector. Three fault scenarios are streamed —
+sudden (holes drilled in a blade), gradual (chipped blade mixing in),
+and reoccurring (a transient fault that disappears) — across three
+detector window sizes, reproducing the paper's window-size trade-off:
+
+* small windows react fastest to sudden faults,
+* large windows smooth over gradual mixing,
+* the reoccurring blip is only caught by small windows.
+
+Run (~10 s):
+    python examples/fan_condition_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import build_proposed
+from repro.datasets import make_cooling_fan_like
+from repro.metrics import detection_delay, evaluate_method, format_table
+
+WINDOWS = (10, 50, 150)
+SCENARIOS = ("sudden", "gradual", "reoccurring")
+DRIFT_AT = 120
+
+PAPER_TABLE3 = {
+    ("sudden", 10): 53, ("sudden", 50): 60, ("sudden", 150): 160,
+    ("gradual", 10): 161, ("gradual", 50): 157, ("gradual", 150): 257,
+    ("reoccurring", 10): 22, ("reoccurring", 50): 62, ("reoccurring", 150): None,
+}
+
+
+def main() -> None:
+    rows = []
+    for W in WINDOWS:
+        row: list[object] = [f"Window size = {W}"]
+        for scenario in SCENARIOS:
+            train, test = make_cooling_fan_like(scenario, seed=0)
+            pipe = build_proposed(train.X, train.y, window_size=W, seed=1)
+            res = evaluate_method(pipe, test)
+            # Table 3 counts delays against the first drift point even in
+            # the reoccurring case (paper's W=50 delay of 62 > the blip).
+            delay = detection_delay(res.delay.detections, DRIFT_AT)
+            paper = PAPER_TABLE3[(scenario, W)]
+            row.append(f"{delay if delay is not None else '-'} (paper {paper if paper is not None else '-'})")
+        rows.append(row)
+
+    print(format_table(
+        ["", "Sudden", "Gradual", "Reoccurring"],
+        rows,
+        title="Table 3: detection delay vs window size, reproduced (paper)",
+    ))
+
+    # Show what the detector actually sees: the anomaly-score trace.
+    train, test = make_cooling_fan_like("reoccurring", seed=0)
+    pipe = build_proposed(train.X, train.y, window_size=10, seed=1)
+    recs = pipe.run(test)
+    scores = np.array([r.anomaly_score for r in recs])
+    print("\nReoccurring scenario anomaly scores (mean per 20-sample block):")
+    peak = scores[:300].max()
+    for start in range(0, 300, 20):
+        block = scores[start:start + 20].mean()
+        bar = "#" * int(60 * block / peak)
+        marker = " <- fault active" if 120 <= start < 170 else ""
+        print(f"  [{start:3d}-{start+19:3d}] {bar}{marker}")
+    det = [r.index for r in recs if r.drift_detected]
+    print(f"\nDetections at: {det} (fault spans samples 120-169)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Network-intrusion drift experiment — the paper's Figure 4 / Table 2 at
+reduced scale.
+
+Compares all five evaluated method combinations on the NSL-KDD-like
+stream (normal vs. neptune traffic, drift when the network's traffic mix
+changes) and prints a Table-2-style summary plus coarse accuracy curves.
+
+Run (≈30 s):
+    python examples/intrusion_detection.py            # reduced scale
+    python examples/intrusion_detection.py --full     # paper-sized stream
+"""
+
+from __future__ import annotations
+
+import argparse
+
+
+from repro.core import (
+    build_baseline,
+    build_onlad,
+    build_proposed,
+    build_quanttree_pipeline,
+    build_spll_pipeline,
+)
+from repro.datasets import NSLKDDConfig, make_nslkdd_like
+from repro.metrics import compare_methods, format_table, sparkline
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--full", action="store_true", help="paper-sized stream (22 701 samples)")
+    ap.add_argument("--seed", type=int, default=0)
+    args = ap.parse_args()
+
+    if args.full:
+        cfg = NSLKDDConfig()
+        qt_batch = spll_batch = 480
+    else:
+        cfg = NSLKDDConfig(n_train=800, n_test=6000, drift_at=2000)
+        qt_batch = spll_batch = 300
+    train, test = make_nslkdd_like(cfg, seed=args.seed)
+    print(f"stream: {len(test)} samples, {test.n_features} features, "
+          f"drift at {cfg.drift_at}\n")
+
+    builders = {
+        "Quant Tree": lambda: build_quanttree_pipeline(
+            train.X, train.y, batch_size=qt_batch, n_bins=32, seed=1
+        ),
+        "SPLL": lambda: build_spll_pipeline(
+            train.X, train.y, batch_size=spll_batch, seed=1
+        ),
+        "Baseline (no detection)": lambda: build_baseline(train.X, train.y, seed=1),
+        "ONLAD": lambda: build_onlad(
+            train.X, train.y, forgetting_factor=0.97, seed=1
+        ),
+        "Proposed (W=100)": lambda: build_proposed(
+            train.X, train.y, window_size=100, seed=1
+        ),
+        "Proposed (W=250)": lambda: build_proposed(
+            train.X, train.y, window_size=250, seed=1
+        ),
+    }
+    results = compare_methods(builders, test)
+
+    rows = []
+    for name, res in results.items():
+        rows.append([
+            name,
+            round(100 * res.accuracy, 1),
+            res.first_delay,
+            len(res.delay.false_positives),
+            round(res.wall_seconds, 2),
+        ])
+    print(format_table(
+        ["method", "accuracy %", "delay", "false pos.", "host seconds"],
+        rows,
+        title="Table-2-style summary (reproduction)",
+    ))
+
+    print("\nAccuracy curves (moving window):")
+    for name, res in results.items():
+        _, acc = res.accuracy_curve(window=max(200, len(test) // 40))
+        print(f"  {name:25s} {sparkline(acc, lo=0.4, hi=1.0)}  ({acc[-1]:.0%} final)")
+
+    print("\nPaper reference (full-size real NSL-KDD): Quant Tree 96.8 / 296, "
+          "SPLL 96.3 / 296,\nBaseline 83.5, ONLAD 65.7, Proposed 96.0 / 843 (W=100).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Multi-window detector ensemble — the paper's future-work extension.
+
+Table 3 shows the window-size dilemma: W=10 catches a reoccurring blip in
+22 samples but risks chasing noise; W=150 is robust but misses the blip
+entirely. The paper proposes (as future work) "a combination of multiple
+detection models with different window sizes". This example runs that
+extension — implemented in :class:`repro.core.MultiWindowDetector` — on
+the sudden and reoccurring fan scenarios under the three voting policies.
+
+Run (~10 s):
+    python examples/multi_window_ensemble.py
+"""
+
+from __future__ import annotations
+
+from repro.core import MultiWindowDetector, build_model, CentroidSet
+from repro.core.threshold import calibrate_drift_threshold, calibrate_error_threshold
+from repro.datasets import make_cooling_fan_like
+from repro.metrics import format_table
+
+WINDOWS = (10, 50, 150)
+
+
+def run_ensemble(scenario: str, policy: str, seed: int = 1):
+    train, test = make_cooling_fan_like(scenario, seed=0)
+    model = build_model(train.X, train.y, seed=seed)
+    cents = CentroidSet.from_labelled_data(train.X, train.y, max_count=500)
+    theta_drift = calibrate_drift_threshold(train.X, train.y, cents)
+    scores = model.scores(train.X)[range(len(train.X)), train.y]
+    theta_error = calibrate_error_threshold(scores, z=3.0)
+    ens = MultiWindowDetector(
+        cents, WINDOWS, theta_error=theta_error, theta_drift=theta_drift,
+        policy=policy,
+    )
+    detections = []
+    for i, (x, _) in enumerate(test):
+        c, err = model.predict_with_score(x)
+        step = ens.update(x, c, err)
+        if step.drift_detected:
+            detections.append(i)
+            ens.end_drift()  # treat each firing as handled, keep monitoring
+    return detections
+
+
+def main() -> None:
+    rows = []
+    for scenario in ("sudden", "reoccurring"):
+        for policy in ("any", "majority", "all"):
+            det = run_ensemble(scenario, policy)
+            first = next((d for d in det if d >= 120), None)
+            rows.append([
+                scenario,
+                policy,
+                first - 120 if first is not None else None,
+                len(det),
+            ])
+    print(format_table(
+        ["scenario", "policy", "delay vs drift@120", "total firings"],
+        rows,
+        title="Multi-window ensemble (W = 10/50/150) under three voting policies",
+    ))
+    print(
+        "\nReading: 'any' inherits the smallest window's speed (and its\n"
+        "sensitivity to transients); 'all' only fires when even W=150 agrees\n"
+        "— it ignores the reoccurring blip entirely, like the paper's W=150\n"
+        "row; 'majority' sits between, detecting sudden faults quickly while\n"
+        "needing two windows to agree on transients."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,249 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Reproduces any of the paper's tables/figures from the shell without
+touching pytest:
+
+.. code-block:: bash
+
+    python -m repro table2 --reduced      # five-method NSL-KDD comparison
+    python -m repro table3                # fan window-size matrix
+    python -m repro table4                # memory accounts + Pico feasibility
+    python -m repro table5                # fan-stream execution time
+    python -m repro table6                # Pico latency breakdown
+    python -m repro fig1                  # the four drift archetypes
+    python -m repro all --reduced         # everything
+
+``--reduced`` shrinks the NSL-KDD stream ~4× for quick runs; the fan
+experiments are small either way. Every command prints a reproduced-vs-
+paper table through :mod:`repro.metrics.tables`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+import numpy as np
+
+from .core import (
+    build_baseline,
+    build_onlad,
+    build_proposed,
+    build_quanttree_pipeline,
+    build_spll_pipeline,
+)
+from .datasets import NSLKDDConfig, make_cooling_fan_like, make_nslkdd_like
+from .device import (
+    RASPBERRY_PI_4,
+    RASPBERRY_PI_PICO,
+    StageCostModel,
+    estimate_stream_seconds,
+    fits_on,
+    proposed_memory,
+    quanttree_batch_ops,
+    quanttree_memory,
+    spll_batch_ops,
+    spll_memory,
+    stage_latency_table,
+)
+from .metrics import detection_delay, evaluate_method, format_table
+
+__all__ = ["main"]
+
+
+def _nslkdd(args):
+    if args.reduced:
+        cfg = NSLKDDConfig(n_train=800, n_test=6000, drift_at=2000)
+        batch = 300
+    else:
+        cfg = NSLKDDConfig()
+        batch = 480
+    train, test = make_nslkdd_like(cfg, seed=args.seed)
+    return train, test, cfg, batch
+
+
+def cmd_table2(args) -> None:
+    train, test, cfg, batch = _nslkdd(args)
+    builders = {
+        "Quant Tree": lambda: build_quanttree_pipeline(
+            train.X, train.y, batch_size=batch, n_bins=32, seed=1
+        ),
+        "SPLL": lambda: build_spll_pipeline(train.X, train.y, batch_size=batch, seed=1),
+        "Baseline (no detection)": lambda: build_baseline(train.X, train.y, seed=1),
+        "ONLAD": lambda: build_onlad(train.X, train.y, forgetting_factor=0.90, seed=1),
+        "Proposed (W=100)": lambda: build_proposed(train.X, train.y, window_size=100, seed=1),
+        "Proposed (W=250)": lambda: build_proposed(train.X, train.y, window_size=250, seed=1),
+        "Proposed (W=1000)": lambda: build_proposed(train.X, train.y, window_size=1000, seed=1),
+    }
+    rows = []
+    for name, build in builders.items():
+        res = evaluate_method(build(), test, name=name)
+        rows.append([name, round(100 * res.accuracy, 1), res.first_delay])
+    print(format_table(
+        ["method", "accuracy %", "delay"],
+        rows,
+        title=f"Table 2 reproduction (stream {len(test)}, drift @{cfg.drift_at})",
+    ))
+    print("\nPaper: QT 96.8/296, SPLL 96.3/296, baseline 83.5, ONLAD 65.7, "
+          "proposed 96.0/843 (W=100), 95.5/993 (W=250), 92.5/1263 (W=1000).")
+
+
+def cmd_table3(args) -> None:
+    rows = []
+    for W in (10, 50, 150):
+        row: list[object] = [f"Window size = {W}"]
+        for scenario in ("sudden", "gradual", "reoccurring"):
+            train, test = make_cooling_fan_like(scenario, seed=args.seed)
+            pipe = build_proposed(train.X, train.y, window_size=W, seed=1)
+            res = evaluate_method(pipe, test)
+            row.append(detection_delay(res.delay.detections, 120))
+        rows.append(row)
+    print(format_table(
+        ["", "Sudden", "Gradual", "Reoccurring"],
+        rows,
+        title="Table 3 reproduction (cooling-fan stream, drift @120)",
+    ))
+    print("\nPaper: sudden 53/60/160, gradual 161/157/257, reoccurring 22/62/-.")
+
+
+def cmd_table4(args) -> None:
+    reports = {
+        "Quant Tree": quanttree_memory(235, 511, 16),
+        "SPLL": spll_memory(235, 511, 3),
+        "Proposed method": proposed_memory(2, 511),
+    }
+    paper = {"Quant Tree": 619, "SPLL": 1933, "Proposed method": 69}
+    rows = [
+        [name, round(rep.total_kb, 1), paper[name],
+         "yes" if fits_on(rep, RASPBERRY_PI_PICO) else "NO"]
+        for name, rep in reports.items()
+    ]
+    print(format_table(
+        ["method", "reproduced kB", "paper kB", "fits Pico?"],
+        rows,
+        title="Table 4 reproduction (fan config: D=511, batch=235)",
+    ))
+
+
+def cmd_table5(args) -> None:
+    train, test = make_cooling_fan_like("sudden", n_modes=2, seed=args.seed)
+    geometry = StageCostModel(2, 511, 22)
+    n_batches = len(test) // 235
+    spec = {
+        "Quant Tree": (
+            lambda: build_quanttree_pipeline(train.X, train.y, batch_size=235, n_bins=16, seed=1),
+            quanttree_batch_ops(235, 16),
+        ),
+        "SPLL": (
+            lambda: build_spll_pipeline(train.X, train.y, batch_size=235, seed=1),
+            spll_batch_ops(235, 511, 3),
+        ),
+        "Baseline": (lambda: build_baseline(train.X, train.y, seed=1), None),
+        "Proposed method": (
+            lambda: build_proposed(train.X, train.y, window_size=50, seed=1), None
+        ),
+    }
+    paper = {"Quant Tree": 1.52, "SPLL": 9.28, "Baseline": 1.05, "Proposed method": 1.50}
+    rows = []
+    for name, (build, ops) in spec.items():
+        res = evaluate_method(build(), test)
+        est = estimate_stream_seconds(
+            res.phase_tally, geometry, RASPBERRY_PI_4,
+            per_batch_ops=ops, n_batches=n_batches if ops is not None else 0,
+        )
+        rows.append([name, round(est, 2), paper[name], round(res.wall_seconds, 2)])
+    print(format_table(
+        ["method", "estimated Pi4 s", "paper s", "host wall s"],
+        rows,
+        title="Table 5 reproduction (700-sample fan stream)",
+    ))
+
+
+def cmd_table6(args) -> None:
+    paper = {
+        "Label prediction": 148.87,
+        "Distance computation": 10.58,
+        "Model retraining without label prediction": 25.42,
+        "Model retraining with label prediction": 166.65,
+        "Label coordinates initialization": 25.59,
+        "Label coordinates update": 6.05,
+    }
+    ours = stage_latency_table(StageCostModel(2, 511, 22), RASPBERRY_PI_PICO)
+    rows = [[k, round(ours[k], 2), v] for k, v in paper.items()]
+    print(format_table(
+        ["stage", "reproduced ms", "paper ms"],
+        rows,
+        title="Table 6 reproduction (Raspberry Pi Pico, C=2, D=511, H=22)",
+    ))
+
+
+def cmd_fig1(args) -> None:
+    from .datasets import (
+        GaussianConcept,
+        make_gradual_drift_stream,
+        make_incremental_drift_stream,
+        make_reoccurring_drift_stream,
+        make_sudden_drift_stream,
+    )
+
+    old = GaussianConcept(np.array([[0.2] * 6, [0.8] * 6]), 0.05)
+    new = GaussianConcept(np.array([[0.2] * 6, [0.8] * 6]) + 0.5, 0.05)
+    streams = {
+        "sudden": make_sudden_drift_stream(old, new, n_samples=1200, drift_at=400, seed=args.seed),
+        "gradual": make_gradual_drift_stream(old, new, n_samples=1200, drift_start=400, drift_end=900, seed=args.seed),
+        "incremental": make_incremental_drift_stream(old, new, n_samples=1200, drift_start=400, drift_end=900, seed=args.seed),
+        "reoccurring": make_reoccurring_drift_stream(old, new, n_samples=1200, drift_at=400, reoccur_at=700, seed=args.seed),
+    }
+    rows = []
+    for name, stream in streams.items():
+        bounds = np.linspace(0, len(stream), 13).astype(int)
+        series = [float(stream.X[a:b].mean()) for a, b in zip(bounds, bounds[1:])]
+        lo, hi = min(series), max(series)
+        glyphs = "".join(
+            "▁▂▃▄▅▆▇█"[int(7 * (v - lo) / (hi - lo + 1e-12))] for v in series
+        )
+        rows.append([name, glyphs, str(stream.drift_points)])
+    print(format_table(
+        ["drift type", "concept level over time", "drift points"],
+        rows,
+        title="Figure 1 reproduction: the four concept-drift types",
+    ))
+
+
+COMMANDS: Dict[str, Callable] = {
+    "table2": cmd_table2,
+    "table3": cmd_table3,
+    "table4": cmd_table4,
+    "table5": cmd_table5,
+    "table6": cmd_table6,
+    "fig1": cmd_fig1,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the paper's tables and figures from the shell.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*COMMANDS, "all"],
+        help="which table/figure to reproduce",
+    )
+    parser.add_argument("--reduced", action="store_true",
+                        help="shrink the NSL-KDD stream for quick runs")
+    parser.add_argument("--seed", type=int, default=0, help="dataset seed")
+    args = parser.parse_args(argv)
+
+    targets = list(COMMANDS) if args.experiment == "all" else [args.experiment]
+    for i, name in enumerate(targets):
+        if i:
+            print("\n" + "=" * 72 + "\n")
+        COMMANDS[name](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,187 @@
+"""Batch k-means (Lloyd's algorithm) with k-means++ seeding.
+
+Used by the SPLL baseline detector (Kuncheva 2013 clusters the reference
+window with k-means before fitting its Gaussian model) and by the
+unsupervised initial-labelling step the paper assumes in §3.2 ("it is
+assumed that these initial samples can be labeled with a clustering
+algorithm such as k-means").
+
+The implementation is fully vectorised: assignment is one pairwise-distance
+matrix + argmin, the update is a segmented mean via ``np.add.at``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError, NotFittedError
+from ..utils.math import pairwise_sq_dists
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import as_matrix, check_positive
+
+__all__ = ["kmeans_plus_plus_init", "KMeans"]
+
+
+def kmeans_plus_plus_init(
+    X: np.ndarray,
+    n_clusters: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """k-means++ seeding (Arthur & Vassilvitskii 2007).
+
+    The first centre is uniform; each subsequent centre is drawn with
+    probability proportional to the squared distance to the nearest centre
+    chosen so far. Returns an ``(n_clusters, n_features)`` array.
+    """
+    X = as_matrix(X, name="X")
+    n = len(X)
+    if n_clusters > n:
+        raise ConfigurationError(
+            f"n_clusters={n_clusters} exceeds the {n} available samples."
+        )
+    centers = np.empty((n_clusters, X.shape[1]))
+    centers[0] = X[rng.integers(n)]
+    closest = pairwise_sq_dists(X, centers[:1]).ravel()
+    for k in range(1, n_clusters):
+        total = closest.sum()
+        if total <= 0:  # all points coincide with chosen centres
+            centers[k:] = centers[0]
+            break
+        probs = closest / total
+        centers[k] = X[rng.choice(n, p=probs)]
+        np.minimum(closest, pairwise_sq_dists(X, centers[k : k + 1]).ravel(), out=closest)
+    return centers
+
+
+class KMeans:
+    """Lloyd's k-means with k-means++ (or random / user-provided) init.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of centroids ``k``.
+    n_init:
+        Restarts; the run with the lowest inertia wins.
+    max_iter, tol:
+        Lloyd iteration budget and centre-movement convergence tolerance.
+    init:
+        ``"k-means++"``, ``"random"``, or an ``(k, d)`` array of centres.
+
+    Attributes
+    ----------
+    cluster_centers_:
+        ``(k, d)`` fitted centroids.
+    labels_:
+        Training-set assignments.
+    inertia_:
+        Sum of squared distances to the closest centroid.
+    n_iter_:
+        Lloyd iterations of the winning run.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        *,
+        n_init: int = 4,
+        max_iter: int = 300,
+        tol: float = 1e-6,
+        init: str | np.ndarray = "k-means++",
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive(n_clusters, "n_clusters")
+        check_positive(n_init, "n_init")
+        check_positive(max_iter, "max_iter")
+        check_positive(tol, "tol", strict=False)
+        if isinstance(init, str) and init not in ("k-means++", "random"):
+            raise ConfigurationError(f"unknown init {init!r}.")
+        self.n_clusters = int(n_clusters)
+        self.n_init = int(n_init)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.init = init
+        self._rng = ensure_rng(seed)
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: Optional[float] = None
+        self.n_iter_: Optional[int] = None
+
+    # -- internals -----------------------------------------------------------
+
+    def _initial_centers(self, X: np.ndarray) -> np.ndarray:
+        if isinstance(self.init, np.ndarray):
+            centers = as_matrix(self.init, name="init", n_features=X.shape[1])
+            if len(centers) != self.n_clusters:
+                raise ConfigurationError(
+                    f"init has {len(centers)} centres, expected {self.n_clusters}."
+                )
+            return centers.copy()
+        if self.init == "random":
+            idx = self._rng.choice(len(X), size=self.n_clusters, replace=False)
+            return X[idx].copy()
+        return kmeans_plus_plus_init(X, self.n_clusters, self._rng)
+
+    def _lloyd(self, X: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, np.ndarray, float, int]:
+        n_iter = 0
+        labels = np.zeros(len(X), dtype=np.int64)
+        for n_iter in range(1, self.max_iter + 1):
+            d = pairwise_sq_dists(X, centers)
+            labels = d.argmin(axis=1)
+            new_centers = np.zeros_like(centers)
+            counts = np.bincount(labels, minlength=self.n_clusters).astype(np.float64)
+            np.add.at(new_centers, labels, X)
+            empty = counts == 0
+            # Re-seed empty clusters at the points farthest from any centre.
+            if empty.any():
+                far = d.min(axis=1).argsort()[::-1]
+                for j, k in enumerate(np.flatnonzero(empty)):
+                    new_centers[k] = X[far[j % len(far)]]
+                    counts[k] = 1.0
+            new_centers /= counts[:, None]
+            shift = float(np.linalg.norm(new_centers - centers))
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        d = pairwise_sq_dists(X, centers)
+        labels = d.argmin(axis=1)
+        inertia = float(d[np.arange(len(X)), labels].sum())
+        return centers, labels, inertia, n_iter
+
+    # -- public API -----------------------------------------------------------
+
+    def fit(self, X: np.ndarray) -> "KMeans":
+        """Cluster ``X``; keeps the best of ``n_init`` restarts."""
+        X = as_matrix(X, name="X")
+        if len(X) < self.n_clusters:
+            raise ConfigurationError(
+                f"n_clusters={self.n_clusters} exceeds the {len(X)} samples."
+            )
+        n_restarts = 1 if isinstance(self.init, np.ndarray) else self.n_init
+        best: Optional[tuple] = None
+        for _ in range(n_restarts):
+            result = self._lloyd(X, self._initial_centers(X))
+            if best is None or result[2] < best[2]:
+                best = result
+        assert best is not None
+        self.cluster_centers_, self.labels_, self.inertia_, self.n_iter_ = best
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Nearest-centroid assignment for new samples."""
+        if self.cluster_centers_ is None:
+            raise NotFittedError(self, "predict")
+        X = as_matrix(X, name="X", n_features=self.cluster_centers_.shape[1])
+        return pairwise_sq_dists(X, self.cluster_centers_).argmin(axis=1)
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        """Fit and return training-set labels."""
+        return self.fit(X).labels_
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Distances (Euclidean) from each sample to each centroid."""
+        if self.cluster_centers_ is None:
+            raise NotFittedError(self, "transform")
+        X = as_matrix(X, name="X", n_features=self.cluster_centers_.shape[1])
+        return np.sqrt(pairwise_sq_dists(X, self.cluster_centers_))

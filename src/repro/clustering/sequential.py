@@ -1,0 +1,177 @@
+"""Sequential (online) k-means — the O(1)-memory clustering primitive.
+
+The paper's Update_Coord (Algorithm 4) *is* one step of sequential k-means:
+
+.. math::
+
+    label = \\arg\\min_c \\lVert cor[c] - x \\rVert, \\qquad
+    cor[label] \\leftarrow \\frac{cor[label] \\cdot num[label] + x}{num[label] + 1}
+
+This module provides that primitive as a reusable estimator, including the
+exponentially-weighted variant the paper mentions in §3.2 ("it is possible
+to assign a higher weight to a newer sample ... so that they can represent
+'recent' test centroids").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError, NotFittedError
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import as_matrix, as_vector, check_positive
+
+__all__ = ["sequential_mean_update", "ewma_update", "SequentialKMeans"]
+
+
+def sequential_mean_update(
+    centroid: np.ndarray, count: int, x: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """One exact running-mean step: ``(c*n + x) / (n + 1)``.
+
+    Returns the new centroid (a fresh array) and the new count. After ``n``
+    updates starting from count 0 the centroid equals the arithmetic mean of
+    the ``n`` samples — the invariant the property tests pin down.
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}.")
+    c = np.asarray(centroid, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    if count == 0:
+        return x.copy(), 1
+    return (c * count + x) / (count + 1), count + 1
+
+
+def ewma_update(centroid: np.ndarray, x: np.ndarray, alpha: float) -> np.ndarray:
+    """Exponentially-weighted centroid update ``c ← (1-α)·c + α·x``.
+
+    ``alpha`` close to 1 weights recent samples heavily (short memory).
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}.")
+    c = np.asarray(centroid, dtype=np.float64)
+    return (1.0 - alpha) * c + alpha * np.asarray(x, dtype=np.float64)
+
+
+class SequentialKMeans:
+    """Online k-means over a stream of samples.
+
+    Keeps ``k`` centroids and per-centroid counts; each ``partial_fit``
+    assigns the sample to the nearest centroid (L2 by default, L1 optionally
+    — the paper's microcontroller code uses L1 everywhere) and applies the
+    exact running-mean update, or the EWMA update when ``alpha`` is set.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of centroids.
+    metric:
+        ``"l2"`` or ``"l1"`` assignment metric.
+    alpha:
+        ``None`` → exact running mean; otherwise EWMA weight in (0, 1].
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        metric: str = "l2",
+        alpha: Optional[float] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive(n_clusters, "n_clusters")
+        if metric not in ("l1", "l2"):
+            raise ConfigurationError(f"metric must be 'l1' or 'l2', got {metric!r}.")
+        if alpha is not None and not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}.")
+        self.n_clusters = int(n_clusters)
+        self.metric = metric
+        self.alpha = alpha
+        self._rng = ensure_rng(seed)
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.counts_: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.cluster_centers_ is not None
+
+    def initialize(self, centers: np.ndarray, counts: Optional[np.ndarray] = None) -> "SequentialKMeans":
+        """Set initial centroids explicitly (e.g. from Init_Coord)."""
+        centers = as_matrix(centers, name="centers")
+        if len(centers) != self.n_clusters:
+            raise ConfigurationError(
+                f"expected {self.n_clusters} centres, got {len(centers)}."
+            )
+        self.cluster_centers_ = centers.copy()
+        if counts is None:
+            self.counts_ = np.ones(self.n_clusters, dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+            if counts.shape != (self.n_clusters,) or np.any(counts < 0):
+                raise ConfigurationError("counts must be k non-negative integers.")
+            self.counts_ = counts.copy()
+        return self
+
+    def initialize_random(self, X: np.ndarray) -> "SequentialKMeans":
+        """Seed centroids with ``k`` distinct random samples from ``X``."""
+        X = as_matrix(X, name="X")
+        if len(X) < self.n_clusters:
+            raise ConfigurationError("not enough samples to seed the centroids.")
+        idx = self._rng.choice(len(X), size=self.n_clusters, replace=False)
+        return self.initialize(X[idx])
+
+    def _distances(self, x: np.ndarray) -> np.ndarray:
+        diff = self.cluster_centers_ - x
+        if self.metric == "l1":
+            return np.abs(diff).sum(axis=1)
+        return np.einsum("ij,ij->i", diff, diff)
+
+    def predict_one(self, x: np.ndarray) -> int:
+        """Nearest-centroid index for one sample."""
+        if not self.is_fitted:
+            raise NotFittedError(self, "predict_one")
+        x = as_vector(x, name="x", n_features=self.cluster_centers_.shape[1])
+        return int(self._distances(x).argmin())
+
+    def partial_fit(self, x: np.ndarray) -> int:
+        """Assign one sample and update its centroid; returns the label."""
+        label = self.predict_one(x)
+        x = as_vector(x, name="x", n_features=self.cluster_centers_.shape[1])
+        if self.alpha is None:
+            c, n = sequential_mean_update(
+                self.cluster_centers_[label], int(self.counts_[label]), x
+            )
+            self.cluster_centers_[label] = c
+            self.counts_[label] = n
+        else:
+            self.cluster_centers_[label] = ewma_update(
+                self.cluster_centers_[label], x, self.alpha
+            )
+            self.counts_[label] += 1
+        return label
+
+    def fit(self, X: np.ndarray) -> "SequentialKMeans":
+        """Stream every row of ``X`` through ``partial_fit``.
+
+        Seeds the centroids from the first ``k`` rows if uninitialised.
+        """
+        X = as_matrix(X, name="X")
+        if not self.is_fitted:
+            if len(X) < self.n_clusters:
+                raise ConfigurationError("not enough samples to seed the centroids.")
+            self.initialize(X[: self.n_clusters])
+            rest = X[self.n_clusters :]
+        else:
+            rest = X
+        for row in rest:
+            self.partial_fit(row)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Nearest-centroid labels for a batch (no centroid updates)."""
+        if not self.is_fitted:
+            raise NotFittedError(self, "predict")
+        X = as_matrix(X, name="X", n_features=self.cluster_centers_.shape[1])
+        return np.array([self.predict_one(row) for row in X], dtype=np.int64)

@@ -1,0 +1,151 @@
+"""The proposed fully-sequential drift detector — Algorithm 1's state machine.
+
+Per test sample the detector receives the discriminative model's predicted
+label ``c`` and anomaly score ``error`` (Algorithm 1, lines 6-7) and runs
+lines 8-19:
+
+* when idle, an anomaly score ``≥ θ_error`` opens a **check window** of
+  ``W`` samples (lines 8-10);
+* inside an open window every sample updates the recent centroid of its
+  predicted label and the L1 drift rate (lines 11-15) — O(C·D) time,
+  O(C·D) memory, no stored samples;
+* when the window fills, ``dist ≥ θ_drift`` raises the **drift** flag
+  (lines 16-19); the caller then drives model reconstruction
+  (:mod:`repro.core.reconstruction`) until it reports completion and calls
+  :meth:`SequentialDriftDetector.end_drift`.
+
+The detector itself never stores past samples — the paper's entire memory
+argument (Table 4) rests on this property, which the tests assert via
+:meth:`state_nbytes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError
+from ..utils.validation import check_positive
+from .coords import CentroidSet
+
+__all__ = ["DetectorStep", "SequentialDriftDetector"]
+
+
+@dataclass(frozen=True)
+class DetectorStep:
+    """Outcome of feeding one sample to the detector.
+
+    Attributes
+    ----------
+    drift_detected:
+        True on the exact sample whose full window crossed ``θ_drift``.
+    drifting:
+        True while the drift flag is raised (until ``end_drift``).
+    checking:
+        True while a check window is open (after this sample).
+    window_count:
+        ``win`` after this sample (0 when idle).
+    distance:
+        Current drift rate ``dist`` (L1 centroid displacement sum).
+    """
+
+    drift_detected: bool
+    drifting: bool
+    checking: bool
+    window_count: int
+    distance: float
+
+
+class SequentialDriftDetector:
+    """Algorithm 1 (lines 2-19) over a :class:`CentroidSet`.
+
+    Parameters
+    ----------
+    centroids:
+        Trained/recent centroid state (Require: ``cor``, ``train_cor``,
+        ``num``).
+    window_size:
+        ``W`` — samples per check window (paper sweeps 10-1000).
+    theta_error:
+        Anomaly-score trigger ``θ_error`` opening a check window.
+    theta_drift:
+        Drift-rate threshold ``θ_drift`` (Eq. 1).
+    """
+
+    def __init__(
+        self,
+        centroids: CentroidSet,
+        *,
+        window_size: int,
+        theta_error: float,
+        theta_drift: float,
+    ) -> None:
+        if not isinstance(centroids, CentroidSet):
+            raise ConfigurationError("centroids must be a CentroidSet.")
+        check_positive(window_size, "window_size")
+        check_positive(theta_error, "theta_error", strict=False)
+        check_positive(theta_drift, "theta_drift", strict=False)
+        self.centroids = centroids
+        self.window_size = int(window_size)
+        self.theta_error = float(theta_error)
+        self.theta_drift = float(theta_drift)
+        # Algorithm 1 lines 2-3.
+        self.drift = False
+        self.check = False
+        self._win = 0
+        self.last_distance = 0.0
+        #: total check windows opened / drifts flagged (diagnostics)
+        self.n_windows_opened = 0
+        self.n_drifts = 0
+
+    @property
+    def window_count(self) -> int:
+        """Current ``win`` counter."""
+        return self._win
+
+    def update(self, x: np.ndarray, label: int, error: float) -> DetectorStep:
+        """Feed one sample with its predicted label and anomaly score.
+
+        Implements lines 5-19 of Algorithm 1. While the drift flag is
+        raised the detector is inert (the caller is reconstructing the
+        model); it resumes after :meth:`end_drift`.
+        """
+        drift_detected = False
+        if not self.drift:
+            if not self.check:
+                # Lines 8-10: open a window on an anomalous score.
+                if error >= self.theta_error:
+                    self.check = True
+                    self._win = 0
+                    self.n_windows_opened += 1
+            if self.check and self._win < self.window_size:
+                # Lines 12-15: sequential centroid + drift-rate update.
+                self.centroids.update(label, x)
+                self.last_distance = self.centroids.drift_distance()
+                self._win += 1
+                if self._win == self.window_size:
+                    # Lines 16-19: end-of-window drift decision.
+                    if self.last_distance >= self.theta_drift:
+                        self.drift = True
+                        drift_detected = True
+                        self.n_drifts += 1
+                    self.check = False
+        return DetectorStep(
+            drift_detected=drift_detected,
+            drifting=self.drift,
+            checking=self.check,
+            window_count=self._win,
+            distance=self.last_distance,
+        )
+
+    def end_drift(self) -> None:
+        """Lower the drift flag (Reconstruct_Model returned False)."""
+        self.drift = False
+        self.check = False
+        self._win = 0
+
+    def state_nbytes(self) -> int:
+        """Centroid state + a few scalars — no sample storage, ever."""
+        return self.centroids.state_nbytes() + 6 * 8

@@ -1,0 +1,132 @@
+"""DriftMonitor — an event-driven facade over the streaming pipelines.
+
+Applications embedding the library usually want callbacks, not per-sample
+record bookkeeping: *tell me when a drift is detected, tell me when
+adaptation finishes, let me poll the current status*. ``DriftMonitor``
+wraps any :class:`~repro.core.pipeline.StreamPipeline` and dispatches
+three events while delegating all algorithmic behaviour to the pipeline:
+
+* ``on_drift(event)`` — a drift was flagged this sample;
+* ``on_reconstruction_end(event)`` — the adaptation phase completed;
+* ``on_sample(event)`` — every processed sample (for dashboards; opt-in).
+
+Events are plain dataclasses; callbacks run synchronously in stream order
+(on-device there is no other thread to run them on). Exceptions raised by
+callbacks propagate — silently swallowing them would hide application
+bugs behind the monitoring layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError
+from .pipeline import StepRecord, StreamPipeline
+
+__all__ = ["DriftEvent", "DriftMonitor"]
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One monitor event.
+
+    ``kind`` is ``"drift"``, ``"reconstruction_end"`` or ``"sample"``;
+    ``record`` is the underlying pipeline record; ``n_drifts_so_far``
+    counts drift events including this one.
+    """
+
+    kind: str
+    record: StepRecord
+    n_drifts_so_far: int
+
+
+Callback = Callable[[DriftEvent], None]
+
+
+class DriftMonitor:
+    """Event-dispatching wrapper around a streaming pipeline.
+
+    Parameters
+    ----------
+    pipeline:
+        Any fitted :class:`StreamPipeline` (proposed, batch, ONLAD, ...).
+    on_drift, on_reconstruction_end, on_sample:
+        Optional callbacks; may also be registered later via
+        :meth:`subscribe`.
+    """
+
+    def __init__(
+        self,
+        pipeline: StreamPipeline,
+        *,
+        on_drift: Optional[Callback] = None,
+        on_reconstruction_end: Optional[Callback] = None,
+        on_sample: Optional[Callback] = None,
+    ) -> None:
+        if not isinstance(pipeline, StreamPipeline):
+            raise ConfigurationError("pipeline must be a StreamPipeline.")
+        self.pipeline = pipeline
+        self._subscribers: dict[str, List[Callback]] = {
+            "drift": [], "reconstruction_end": [], "sample": [],
+        }
+        if on_drift:
+            self.subscribe("drift", on_drift)
+        if on_reconstruction_end:
+            self.subscribe("reconstruction_end", on_reconstruction_end)
+        if on_sample:
+            self.subscribe("sample", on_sample)
+        self.n_samples = 0
+        self.n_drifts = 0
+        self._was_reconstructing = False
+        self.last_record: Optional[StepRecord] = None
+
+    def subscribe(self, kind: str, callback: Callback) -> None:
+        """Register a callback for ``kind`` events."""
+        if kind not in self._subscribers:
+            raise ConfigurationError(
+                f"unknown event kind {kind!r}; choose from {sorted(self._subscribers)}."
+            )
+        if not callable(callback):
+            raise ConfigurationError("callback must be callable.")
+        self._subscribers[kind].append(callback)
+
+    def _emit(self, kind: str, record: StepRecord) -> None:
+        event = DriftEvent(kind, record, self.n_drifts)
+        for cb in self._subscribers[kind]:
+            cb(event)
+
+    # -- streaming ------------------------------------------------------------
+
+    def process(self, x: np.ndarray, y_true: Optional[int] = None) -> StepRecord:
+        """Feed one sample through the pipeline and dispatch events."""
+        record = self.pipeline.process_one(x, y_true)
+        self.n_samples += 1
+        self.last_record = record
+        if record.drift_detected:
+            self.n_drifts += 1
+            self._emit("drift", record)
+        if self._was_reconstructing and not record.reconstructing:
+            self._emit("reconstruction_end", record)
+        self._was_reconstructing = record.reconstructing
+        self._emit("sample", record)
+        return record
+
+    def process_stream(self, stream) -> List[StepRecord]:
+        """Feed a whole :class:`DataStream` (or (x, y) iterable)."""
+        return [self.process(x, y) for x, y in stream]
+
+    # -- status -----------------------------------------------------------------
+
+    @property
+    def status(self) -> str:
+        """``"idle"`` / ``"checking"`` / ``"reconstructing"`` right now."""
+        if self.last_record is None:
+            return "idle"
+        if self.last_record.reconstructing:
+            return "reconstructing"
+        if self.last_record.phase == "check":
+            return "checking"
+        return "idle"

@@ -1,0 +1,128 @@
+"""Multi-window detector ensemble — the paper's stated future work.
+
+"Using multiple detection models with different window sizes is our future
+work to address more complicated drift behaviors" (§5.2). Table 3 shows why:
+small windows react fast to sudden drifts but chase short-lived reoccurring
+blips; large windows smooth over gradual mixing but may miss brief changes.
+
+:class:`MultiWindowDetector` runs one :class:`SequentialDriftDetector` per
+window size over *independent copies* of the recent-centroid state (each
+window's centroids accumulate at its own cadence) and combines their drift
+flags with a voting policy:
+
+* ``"any"`` — fire when any member fires (fast, sudden-drift biased);
+* ``"majority"`` — fire when more than half fire;
+* ``"all"`` — fire only when every member fires (conservative,
+  reoccurring-blip resistant).
+
+Memory cost scales linearly with the number of windows — still orders of
+magnitude below any batch method for small ensembles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError
+from .coords import CentroidSet
+from .detector import DetectorStep, SequentialDriftDetector
+
+__all__ = ["MultiWindowStep", "MultiWindowDetector"]
+
+_POLICIES = ("any", "majority", "all")
+
+
+@dataclass(frozen=True)
+class MultiWindowStep:
+    """Combined outcome plus each member's step, in window-size order."""
+
+    drift_detected: bool
+    votes: int
+    member_steps: tuple
+
+
+class MultiWindowDetector:
+    """Ensemble of sequential detectors with different window sizes.
+
+    Parameters
+    ----------
+    centroids:
+        The fitted trained-centroid state; each member receives its own
+        deep copy so recent-centroid trajectories stay independent.
+    window_sizes:
+        One positive window size per member (e.g. ``(10, 50, 150)``).
+    theta_error, theta_drift:
+        Shared thresholds (Algorithm 1 semantics per member).
+    policy:
+        ``"any"`` | ``"majority"`` | ``"all"`` combination rule.
+    """
+
+    def __init__(
+        self,
+        centroids: CentroidSet,
+        window_sizes: Sequence[int],
+        *,
+        theta_error: float,
+        theta_drift: float,
+        policy: str = "majority",
+    ) -> None:
+        if policy not in _POLICIES:
+            raise ConfigurationError(f"policy must be one of {_POLICIES}, got {policy!r}.")
+        sizes = [int(w) for w in window_sizes]
+        if not sizes or any(w <= 0 for w in sizes):
+            raise ConfigurationError("window_sizes must be non-empty positive ints.")
+        if len(set(sizes)) != len(sizes):
+            raise ConfigurationError("window_sizes must be distinct.")
+        self.window_sizes = tuple(sorted(sizes))
+        self.policy = policy
+        self.members: List[SequentialDriftDetector] = []
+        for w in self.window_sizes:
+            member_state = CentroidSet(
+                centroids.trained, centroids.counts, max_count=centroids.max_count
+            )
+            self.members.append(
+                SequentialDriftDetector(
+                    member_state,
+                    window_size=w,
+                    theta_error=theta_error,
+                    theta_drift=theta_drift,
+                )
+            )
+        self.drift = False
+        self.n_drifts = 0
+
+    def _combine(self, votes: int) -> bool:
+        n = len(self.members)
+        if self.policy == "any":
+            return votes >= 1
+        if self.policy == "majority":
+            return votes > n // 2
+        return votes == n
+
+    def update(self, x: np.ndarray, label: int, error: float) -> MultiWindowStep:
+        """Feed one sample to every member; combine their drift flags.
+
+        A member's vote is its *drifting* state (flag currently raised),
+        so a slow window's later confirmation can still flip a majority.
+        """
+        steps: list[DetectorStep] = [m.update(x, label, error) for m in self.members]
+        votes = sum(1 for s in steps if s.drifting)
+        fired = self._combine(votes)
+        detected = fired and not self.drift
+        if detected:
+            self.n_drifts += 1
+        self.drift = fired
+        return MultiWindowStep(detected, votes, tuple(steps))
+
+    def end_drift(self) -> None:
+        """Lower every member's flag after adaptation completes."""
+        for m in self.members:
+            m.end_drift()
+        self.drift = False
+
+    def state_nbytes(self) -> int:
+        """Sum of member footprints (linear in the ensemble size)."""
+        return sum(m.state_nbytes() for m in self.members)

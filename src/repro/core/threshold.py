@@ -1,0 +1,115 @@
+"""Threshold calibration — Eq. 1 for ``θ_drift`` and a ``θ_error`` helper.
+
+The paper sets the drift threshold from the training data (§3.4): for each
+trained sample, compute the distance between the sample and the centroid of
+its (predicted) label; then
+
+.. math::
+
+    \\theta_{drift} = \\mu + z \\sqrt{\\tfrac{1}{N} \\sum_i (dist[i] - \\mu)^2},
+
+with ``z = 1`` in the paper. ``θ_error`` — the anomaly-score trigger of
+Algorithm 1 line 8 — is "a tuning parameter"; we provide the analogous
+mean-plus-z-sigma calibration over training anomaly scores, plus a
+quantile-based alternative.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError, DataValidationError
+from ..utils.validation import as_matrix, check_labels
+from .coords import CentroidSet
+
+__all__ = [
+    "training_distances",
+    "drift_threshold",
+    "calibrate_drift_threshold",
+    "calibrate_error_threshold",
+]
+
+
+def training_distances(
+    X: np.ndarray,
+    labels: np.ndarray,
+    centroids: np.ndarray,
+    *,
+    metric: Literal["l1", "l2"] = "l1",
+) -> np.ndarray:
+    """Per-sample distance to the centroid of the sample's label.
+
+    This is the ``dist`` array of §3.4. L1 matches the drift-rate metric of
+    Algorithm 1 line 14 (and the MCU-friendly arithmetic).
+    """
+    X = as_matrix(X, name="X")
+    centroids = as_matrix(centroids, name="centroids", n_features=X.shape[1])
+    labels = check_labels(labels, n_classes=len(centroids), name="labels")
+    if len(labels) != len(X):
+        raise DataValidationError(
+            f"labels has {len(labels)} entries but X has {len(X)} samples."
+        )
+    diff = X - centroids[labels]
+    if metric == "l1":
+        return np.abs(diff).sum(axis=1)
+    if metric == "l2":
+        return np.sqrt((diff**2).sum(axis=1))
+    raise ConfigurationError(f"metric must be 'l1' or 'l2', got {metric!r}.")
+
+
+def drift_threshold(distances: np.ndarray, z: float = 1.0) -> float:
+    """Eq. 1: ``μ + z·σ`` with the population (1/N) standard deviation."""
+    d = np.asarray(distances, dtype=np.float64).ravel()
+    if d.size == 0:
+        raise DataValidationError("distances must be non-empty.")
+    if not np.all(np.isfinite(d)):
+        raise DataValidationError("distances contain NaN or infinite values.")
+    mu = float(d.mean())
+    sigma = float(d.std())  # numpy default ddof=0 == the paper's 1/N form
+    return mu + float(z) * sigma
+
+
+def calibrate_drift_threshold(
+    X: np.ndarray,
+    labels: np.ndarray,
+    centroids: CentroidSet | np.ndarray,
+    *,
+    z: float = 1.0,
+    metric: Literal["l1", "l2"] = "l1",
+) -> float:
+    """End-to-end §3.4 calibration from training data.
+
+    Accepts either a raw ``(C, D)`` centroid matrix or a fitted
+    :class:`~repro.core.coords.CentroidSet` (its trained centroids are used).
+    """
+    cents = centroids.trained if isinstance(centroids, CentroidSet) else centroids
+    return drift_threshold(training_distances(X, labels, cents, metric=metric), z=z)
+
+
+def calibrate_error_threshold(
+    scores: np.ndarray,
+    *,
+    method: Literal["mean_sigma", "quantile"] = "mean_sigma",
+    z: float = 3.0,
+    q: float = 0.99,
+) -> float:
+    """Calibrate ``θ_error`` from training-set anomaly scores.
+
+    ``mean_sigma`` returns ``μ + z·σ`` (default ``z = 3`` — the trigger
+    should fire on genuinely unusual samples, not routine noise);
+    ``quantile`` returns the ``q``-quantile of the training scores.
+    """
+    s = np.asarray(scores, dtype=np.float64).ravel()
+    if s.size == 0:
+        raise DataValidationError("scores must be non-empty.")
+    if not np.all(np.isfinite(s)):
+        raise DataValidationError("scores contain NaN or infinite values.")
+    if method == "mean_sigma":
+        return float(s.mean() + z * s.std())
+    if method == "quantile":
+        if not 0.0 < q <= 1.0:
+            raise ConfigurationError(f"q must be in (0, 1], got {q}.")
+        return float(np.quantile(s, q))
+    raise ConfigurationError(f"unknown method {method!r}.")

@@ -1,0 +1,110 @@
+"""Feature scaling fitted on the initial training window.
+
+On-device pipelines (paper §3) normalise inputs with statistics computed from
+the *initial training* data only — the scaler itself must stay frozen while
+streaming, otherwise the normalisation would mask the very distribution shift
+the detector is looking for. Both scalers therefore follow a strict
+``fit`` → ``transform`` lifecycle with no incremental refitting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..utils.exceptions import NotFittedError
+from ..utils.validation import as_matrix
+
+__all__ = ["MinMaxScaler", "StandardScaler"]
+
+
+class MinMaxScaler:
+    """Scale features to ``[0, 1]`` using training-set min/max.
+
+    Constant features (max == min) map to 0. Values outside the training
+    range are clipped when ``clip=True`` (the on-device default: a bounded
+    representation keeps fixed-point-friendly magnitudes).
+    """
+
+    def __init__(self, *, clip: bool = False) -> None:
+        self.clip = bool(clip)
+        self.data_min_: Optional[np.ndarray] = None
+        self.data_max_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.data_min_ is not None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        """Learn per-feature min and max from ``X``."""
+        X = as_matrix(X, name="X")
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        span = self.data_max_ - self.data_min_
+        # Treat (near-)constant features as constant: a subnormal span
+        # would overflow 1/span to inf and poison the transform.
+        ok = span > np.finfo(np.float64).smallest_normal
+        self.scale_ = np.where(ok, 1.0 / np.where(ok, span, 1.0), 0.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Map ``X`` into the training range's unit box."""
+        if not self.is_fitted:
+            raise NotFittedError(self, "transform")
+        X = as_matrix(X, name="X", n_features=self.data_min_.shape[0])
+        out = (X - self.data_min_) * self.scale_
+        if self.clip:
+            np.clip(out, 0.0, 1.0, out=out)
+        return out
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` and return the transformed ``X``."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Map scaled values back to the original feature space."""
+        if not self.is_fitted:
+            raise NotFittedError(self, "inverse_transform")
+        X = as_matrix(X, name="X", n_features=self.data_min_.shape[0])
+        span = self.data_max_ - self.data_min_
+        return X * span + self.data_min_
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling with frozen training statistics."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean_ is not None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation from ``X``."""
+        X = as_matrix(X, name="X")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.std_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Standardise ``X`` with the frozen training statistics."""
+        if not self.is_fitted:
+            raise NotFittedError(self, "transform")
+        X = as_matrix(X, name="X", n_features=self.mean_.shape[0])
+        return (X - self.mean_) / self.std_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` and return the transformed ``X``."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Undo standardisation."""
+        if not self.is_fitted:
+            raise NotFittedError(self, "inverse_transform")
+        X = as_matrix(X, name="X", n_features=self.mean_.shape[0])
+        return X * self.std_ + self.mean_

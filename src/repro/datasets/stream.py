@@ -1,0 +1,157 @@
+"""Labelled data streams with ground-truth drift annotations.
+
+A :class:`DataStream` is the unit of evaluation in this library: an ordered
+sequence of ``(x, y)`` samples plus metadata about *where the distribution
+actually changed* (``drift_points``), which the delay metrics in
+:mod:`repro.metrics.delay` measure detections against.
+
+Streams are immutable value objects; transformations (slicing, concatenation,
+noise injection) return new streams and re-index drift points accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.exceptions import DataValidationError
+from ..utils.validation import as_matrix, check_labels
+
+__all__ = ["DataStream", "concatenate_streams"]
+
+
+@dataclass(frozen=True)
+class DataStream:
+    """An ordered, labelled sample stream with known drift positions.
+
+    Parameters
+    ----------
+    X:
+        ``(n_samples, n_features)`` feature matrix in stream order.
+    y:
+        ``(n_samples,)`` integer class labels (ground truth; on-device
+        methods may ignore them — the paper's detector is unsupervised).
+    drift_points:
+        Indices into the stream at which the underlying data distribution
+        changes. Used only by the evaluation harness, never by detectors.
+    name:
+        Human-readable identifier used in reports.
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    drift_points: Tuple[int, ...] = ()
+    name: str = "stream"
+
+    def __post_init__(self) -> None:
+        X = as_matrix(self.X, name="X", allow_empty=True)
+        y = check_labels(self.y, name="y")
+        if len(X) != len(y):
+            raise DataValidationError(
+                f"X has {len(X)} samples but y has {len(y)} labels."
+            )
+        drifts = tuple(sorted(int(d) for d in self.drift_points))
+        for d in drifts:
+            if not 0 <= d <= len(X):
+                raise DataValidationError(
+                    f"drift point {d} outside stream of length {len(X)}."
+                )
+        X.setflags(write=False)
+        y.setflags(write=False)
+        object.__setattr__(self, "X", X)
+        object.__setattr__(self, "y", y)
+        object.__setattr__(self, "drift_points", drifts)
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.X)
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, int]]:
+        for i in range(len(self)):
+            yield self.X[i], int(self.y[i])
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality of each sample."""
+        return self.X.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct class indices (max label + 1; 0 if empty)."""
+        return int(self.y.max()) + 1 if len(self.y) else 0
+
+    # -- transformations -----------------------------------------------------
+
+    def slice(self, start: int, stop: Optional[int] = None) -> "DataStream":
+        """Return the sub-stream ``[start, stop)`` with re-indexed drifts."""
+        stop = len(self) if stop is None else stop
+        start, stop, _ = slice(start, stop).indices(len(self))
+        drifts = tuple(d - start for d in self.drift_points if start <= d < stop)
+        return DataStream(
+            self.X[start:stop].copy(),
+            self.y[start:stop].copy(),
+            drift_points=drifts,
+            name=f"{self.name}[{start}:{stop}]",
+        )
+
+    def take(self, n: int) -> "DataStream":
+        """First ``n`` samples (convenience for quick experiments)."""
+        return self.slice(0, n)
+
+    def with_noise(self, scale: float, rng: np.random.Generator) -> "DataStream":
+        """Return a copy with additive Gaussian noise of std ``scale``."""
+        noisy = self.X + rng.normal(0.0, scale, size=self.X.shape)
+        return DataStream(noisy, self.y.copy(), self.drift_points, f"{self.name}+noise")
+
+    def shuffled_within(self, start: int, stop: int, rng: np.random.Generator) -> "DataStream":
+        """Shuffle samples inside ``[start, stop)`` (drift points unchanged).
+
+        Useful for building gradual-drift mixtures where the two concepts
+        interleave randomly inside the transition region.
+        """
+        idx = np.arange(len(self))
+        seg = idx[start:stop].copy()
+        rng.shuffle(seg)
+        idx[start:stop] = seg
+        return DataStream(self.X[idx].copy(), self.y[idx].copy(), self.drift_points, self.name)
+
+
+def concatenate_streams(
+    streams: Sequence[DataStream],
+    *,
+    mark_boundaries: bool = True,
+    name: Optional[str] = None,
+) -> DataStream:
+    """Concatenate streams in order.
+
+    When ``mark_boundaries`` is true every junction between two consecutive
+    streams is recorded as a drift point (this is how the sudden-drift
+    scenarios are assembled), in addition to any drift points the parts
+    already carry (re-indexed by their offset).
+    """
+    if not streams:
+        raise DataValidationError("concatenate_streams needs at least one stream.")
+    n_features = streams[0].n_features
+    for s in streams[1:]:
+        if s.n_features != n_features:
+            raise DataValidationError(
+                f"Feature mismatch: {s.name} has {s.n_features}, expected {n_features}."
+            )
+    X = np.concatenate([s.X for s in streams], axis=0)
+    y = np.concatenate([s.y for s in streams], axis=0)
+    drifts: list[int] = []
+    offset = 0
+    for i, s in enumerate(streams):
+        drifts.extend(offset + d for d in s.drift_points)
+        offset += len(s)
+        if mark_boundaries and i < len(streams) - 1:
+            drifts.append(offset)
+    return DataStream(
+        X,
+        y,
+        drift_points=tuple(sorted(set(drifts))),
+        name=name or "+".join(s.name for s in streams),
+    )

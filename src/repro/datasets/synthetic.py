@@ -1,0 +1,259 @@
+"""Synthetic drift-stream generators — the four archetypes of Figure 1.
+
+The paper (Section 2.1, Figure 1) distinguishes four concept-drift types:
+
+* **sudden** — the old distribution is replaced instantaneously;
+* **gradual** — old and new samples interleave with a rising probability of
+  the new concept until it takes over;
+* **incremental** — the distribution itself slides continuously from old to
+  new (every intermediate distribution is visited);
+* **reoccurring** — the new distribution appears for a bounded interval and
+  then the old one returns.
+
+Each generator here produces a :class:`~repro.datasets.stream.DataStream`
+whose ``drift_points`` mark the ground-truth change positions, built on top
+of a pluggable *concept* abstraction (a per-class sampling distribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError
+from ..utils.rng import SeedLike, ensure_rng
+from .stream import DataStream
+
+__all__ = [
+    "GaussianConcept",
+    "make_sudden_drift_stream",
+    "make_gradual_drift_stream",
+    "make_incremental_drift_stream",
+    "make_reoccurring_drift_stream",
+    "make_stationary_stream",
+]
+
+
+@dataclass(frozen=True)
+class GaussianConcept:
+    """A labelled concept: one Gaussian blob per class.
+
+    Parameters
+    ----------
+    means:
+        ``(n_classes, n_features)`` class means.
+    stds:
+        ``(n_classes, n_features)`` or scalar per-class standard deviations.
+    class_probs:
+        Prior over classes; uniform when omitted.
+    """
+
+    means: np.ndarray
+    stds: np.ndarray
+    class_probs: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        means = np.atleast_2d(np.asarray(self.means, dtype=np.float64))
+        stds = np.asarray(self.stds, dtype=np.float64)
+        if stds.ndim == 0:
+            stds = np.full_like(means, float(stds))
+        stds = np.atleast_2d(stds)
+        if stds.shape != means.shape:
+            raise ConfigurationError(
+                f"stds shape {stds.shape} must match means shape {means.shape}."
+            )
+        if np.any(stds < 0):
+            raise ConfigurationError("stds must be non-negative.")
+        probs = self.class_probs
+        if probs is None:
+            probs = np.full(len(means), 1.0 / len(means))
+        probs = np.asarray(probs, dtype=np.float64)
+        if probs.shape != (len(means),):
+            raise ConfigurationError(
+                f"class_probs must have length {len(means)}, got {probs.shape}."
+            )
+        if np.any(probs < 0) or not np.isclose(probs.sum(), 1.0):
+            raise ConfigurationError("class_probs must be a probability vector.")
+        object.__setattr__(self, "means", means)
+        object.__setattr__(self, "stds", stds)
+        object.__setattr__(self, "class_probs", probs)
+
+    @property
+    def n_classes(self) -> int:
+        return self.means.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.means.shape[1]
+
+    def sample(self, n: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``n`` labelled samples from the concept."""
+        y = rng.choice(self.n_classes, size=n, p=self.class_probs)
+        X = self.means[y] + rng.normal(size=(n, self.n_features)) * self.stds[y]
+        return X, y
+
+    def shifted(self, delta: np.ndarray | float) -> "GaussianConcept":
+        """A copy with every class mean translated by ``delta``."""
+        return GaussianConcept(self.means + np.asarray(delta, dtype=np.float64),
+                               self.stds.copy(), self.class_probs.copy())
+
+    def interpolate(self, other: "GaussianConcept", t: float) -> "GaussianConcept":
+        """Linear interpolation between two concepts (``t=0`` → self)."""
+        if other.means.shape != self.means.shape:
+            raise ConfigurationError("Concepts must share shape to interpolate.")
+        t = float(t)
+        return GaussianConcept(
+            (1 - t) * self.means + t * other.means,
+            (1 - t) * self.stds + t * other.stds,
+            (1 - t) * self.class_probs + t * other.class_probs,
+        )
+
+
+def _check_concepts(old: GaussianConcept, new: GaussianConcept) -> None:
+    if old.n_features != new.n_features or old.n_classes != new.n_classes:
+        raise ConfigurationError(
+            "old and new concepts must share n_features and n_classes; got "
+            f"({old.n_classes}×{old.n_features}) vs ({new.n_classes}×{new.n_features})."
+        )
+
+
+def make_stationary_stream(
+    concept: GaussianConcept,
+    n_samples: int,
+    *,
+    seed: SeedLike = None,
+    name: str = "stationary",
+) -> DataStream:
+    """A drift-free stream from a single concept."""
+    rng = ensure_rng(seed)
+    X, y = concept.sample(n_samples, rng)
+    return DataStream(X, y, drift_points=(), name=name)
+
+
+def make_sudden_drift_stream(
+    old: GaussianConcept,
+    new: GaussianConcept,
+    *,
+    n_samples: int,
+    drift_at: int,
+    seed: SeedLike = None,
+    name: str = "sudden",
+) -> DataStream:
+    """Sudden drift: ``old`` before ``drift_at``, ``new`` strictly after."""
+    _check_concepts(old, new)
+    if not 0 < drift_at < n_samples:
+        raise ConfigurationError(f"drift_at must be in (0, {n_samples}), got {drift_at}.")
+    rng = ensure_rng(seed)
+    X1, y1 = old.sample(drift_at, rng)
+    X2, y2 = new.sample(n_samples - drift_at, rng)
+    return DataStream(
+        np.concatenate([X1, X2]),
+        np.concatenate([y1, y2]),
+        drift_points=(drift_at,),
+        name=name,
+    )
+
+
+def make_gradual_drift_stream(
+    old: GaussianConcept,
+    new: GaussianConcept,
+    *,
+    n_samples: int,
+    drift_start: int,
+    drift_end: int,
+    seed: SeedLike = None,
+    name: str = "gradual",
+) -> DataStream:
+    """Gradual drift: inside ``[drift_start, drift_end)`` each sample comes
+    from the *new* concept with probability rising linearly 0 → 1; both
+    concepts therefore appear during the transition (Figure 1, 2nd panel).
+    """
+    _check_concepts(old, new)
+    if not 0 < drift_start < drift_end <= n_samples:
+        raise ConfigurationError(
+            f"need 0 < drift_start < drift_end <= n_samples, got "
+            f"({drift_start}, {drift_end}, {n_samples})."
+        )
+    rng = ensure_rng(seed)
+    X = np.empty((n_samples, old.n_features))
+    y = np.empty(n_samples, dtype=np.int64)
+    p_new = np.zeros(n_samples)
+    span = drift_end - drift_start
+    p_new[drift_start:drift_end] = (np.arange(span) + 1) / span
+    p_new[drift_end:] = 1.0
+    use_new = rng.random(n_samples) < p_new
+    n_new = int(use_new.sum())
+    Xo, yo = old.sample(n_samples - n_new, rng)
+    Xn, yn = new.sample(n_new, rng)
+    X[~use_new], y[~use_new] = Xo, yo
+    X[use_new], y[use_new] = Xn, yn
+    return DataStream(X, y, drift_points=(drift_start,), name=name)
+
+
+def make_incremental_drift_stream(
+    old: GaussianConcept,
+    new: GaussianConcept,
+    *,
+    n_samples: int,
+    drift_start: int,
+    drift_end: int,
+    seed: SeedLike = None,
+    name: str = "incremental",
+) -> DataStream:
+    """Incremental drift: the concept itself interpolates from old to new
+    across ``[drift_start, drift_end)`` (Figure 1, 3rd panel) — every sample
+    in the transition is drawn from an intermediate distribution.
+    """
+    _check_concepts(old, new)
+    if not 0 < drift_start < drift_end <= n_samples:
+        raise ConfigurationError(
+            f"need 0 < drift_start < drift_end <= n_samples, got "
+            f"({drift_start}, {drift_end}, {n_samples})."
+        )
+    rng = ensure_rng(seed)
+    X = np.empty((n_samples, old.n_features))
+    y = np.empty(n_samples, dtype=np.int64)
+    Xa, ya = old.sample(drift_start, rng)
+    X[:drift_start], y[:drift_start] = Xa, ya
+    for i in range(drift_start, drift_end):
+        t = (i - drift_start + 1) / (drift_end - drift_start)
+        xi, yi = old.interpolate(new, t).sample(1, rng)
+        X[i], y[i] = xi[0], yi[0]
+    if drift_end < n_samples:
+        Xb, yb = new.sample(n_samples - drift_end, rng)
+        X[drift_end:], y[drift_end:] = Xb, yb
+    return DataStream(X, y, drift_points=(drift_start,), name=name)
+
+
+def make_reoccurring_drift_stream(
+    old: GaussianConcept,
+    new: GaussianConcept,
+    *,
+    n_samples: int,
+    drift_at: int,
+    reoccur_at: int,
+    seed: SeedLike = None,
+    name: str = "reoccurring",
+) -> DataStream:
+    """Reoccurring drift: ``new`` appears only in ``[drift_at, reoccur_at)``
+    and then ``old`` returns (Figure 1, 4th panel). Both the appearance and
+    the reversion are ground-truth drift points.
+    """
+    _check_concepts(old, new)
+    if not 0 < drift_at < reoccur_at < n_samples:
+        raise ConfigurationError(
+            f"need 0 < drift_at < reoccur_at < n_samples, got "
+            f"({drift_at}, {reoccur_at}, {n_samples})."
+        )
+    rng = ensure_rng(seed)
+    X1, y1 = old.sample(drift_at, rng)
+    X2, y2 = new.sample(reoccur_at - drift_at, rng)
+    X3, y3 = old.sample(n_samples - reoccur_at, rng)
+    return DataStream(
+        np.concatenate([X1, X2, X3]),
+        np.concatenate([y1, y2, y3]),
+        drift_points=(drift_at, reoccur_at),
+        name=name,
+    )

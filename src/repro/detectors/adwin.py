@@ -1,0 +1,208 @@
+"""ADWIN — ADaptive WINdowing (Bifet & Gavaldà, SDM 2007).
+
+ADWIN keeps a variable-length window of the most recent stream values and
+shrinks it whenever two large-enough sub-windows exhibit distinct enough
+averages. "The window size is adaptively adjusted based on test statistics"
+(paper §2.2.2). The window is stored as an *exponential histogram*: at most
+``max_buckets`` buckets per capacity level ``2^r``, so memory is
+``O(max_buckets · log(W))`` instead of ``O(W)``.
+
+The cut test between a prefix (older) part with ``(n₀, μ₀)`` and a suffix
+(recent) part with ``(n₁, μ₁)`` uses the variance-aware Hoeffding/Bernstein
+bound of the ADWIN2 algorithm:
+
+.. math::
+
+    \\epsilon_{cut} = \\sqrt{\\frac{2}{m} \\sigma_W^2 \\ln\\frac{2\\ln W}{\\delta}}
+                     + \\frac{2}{3m} \\ln\\frac{2 \\ln W}{\\delta},
+    \\qquad m = \\frac{1}{1/n_0 + 1/n_1}
+
+where ``σ_W²`` is the window variance. A drift is reported whenever at
+least one cut fires during an update.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..utils.exceptions import ConfigurationError
+from ..utils.validation import check_positive
+from .base import DriftState, ErrorRateDriftDetector
+
+__all__ = ["ADWIN"]
+
+
+@dataclass
+class _Bucket:
+    """One exponential-histogram bucket: ``count`` values summarised."""
+
+    total: float
+    variance: float
+    count: int
+
+
+class ADWIN(ErrorRateDriftDetector):
+    """Adaptive-windowing drift detector over a numeric (or 0/1) stream.
+
+    Parameters
+    ----------
+    delta:
+        Confidence parameter of the cut test (smaller → fewer false alarms).
+    max_buckets:
+        Buckets per capacity level before two merge upward (MOA uses 5).
+    clock:
+        Run the (relatively expensive) cut scan every ``clock`` insertions.
+    min_window:
+        Minimum total window length / sub-window length for a cut test.
+    """
+
+    def __init__(
+        self,
+        delta: float = 0.002,
+        *,
+        max_buckets: int = 5,
+        clock: int = 8,
+        min_window: int = 10,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < delta < 1.0:
+            raise ConfigurationError(f"delta must be in (0, 1), got {delta}.")
+        check_positive(max_buckets, "max_buckets")
+        check_positive(clock, "clock")
+        check_positive(min_window, "min_window")
+        self.delta = float(delta)
+        self.max_buckets = int(max_buckets)
+        self.clock = int(clock)
+        self.min_window = int(min_window)
+        # Oldest bucket first; bucket counts are powers of two, non-increasing
+        # toward the end of the list (classic exponential histogram order).
+        self._buckets: List[_Bucket] = []
+        self._total = 0.0
+        self._variance = 0.0  # sum of within-bucket variances (scaled by counts)
+        self._width = 0
+        self._ticks = 0
+        self.n_detections = 0
+
+    # -- window bookkeeping ------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Current adaptive-window length."""
+        return self._width
+
+    @property
+    def estimation(self) -> float:
+        """Mean of the values currently in the window."""
+        return self._total / self._width if self._width else 0.0
+
+    def _insert(self, value: float) -> None:
+        self._buckets.append(_Bucket(value, 0.0, 1))
+        if self._width > 0:
+            mean = self._total / self._width
+            self._variance += (value - mean) ** 2 * self._width / (self._width + 1)
+        self._total += value
+        self._width += 1
+        self._compress()
+
+    def _compress(self) -> None:
+        """Merge oldest pairs whenever a capacity level overflows."""
+        level_count = 1
+        while True:
+            # Find buckets of this capacity; list is ordered oldest→newest and
+            # counts grow toward the front after merging, so scan from the end.
+            idxs = [i for i, b in enumerate(self._buckets) if b.count == level_count]
+            if len(idxs) <= self.max_buckets:
+                break
+            i, j = idxs[0], idxs[1]  # two oldest at this level
+            a, b = self._buckets[i], self._buckets[j]
+            n1, n2 = a.count, b.count
+            mu1, mu2 = a.total / n1, b.total / n2
+            merged = _Bucket(
+                a.total + b.total,
+                a.variance + b.variance + (n1 * n2 / (n1 + n2)) * (mu1 - mu2) ** 2,
+                n1 + n2,
+            )
+            self._buckets[i] = merged
+            del self._buckets[j]
+            level_count *= 2
+
+    def _drop_oldest(self) -> None:
+        oldest = self._buckets.pop(0)
+        n = oldest.count
+        mu = oldest.total / n
+        if self._width > n:
+            mean_rest = (self._total - oldest.total) / (self._width - n)
+            self._variance -= oldest.variance + (
+                n * (self._width - n) / self._width
+            ) * (mu - mean_rest) ** 2
+            self._variance = max(self._variance, 0.0)
+        else:
+            self._variance = 0.0
+        self._total -= oldest.total
+        self._width -= n
+
+    # -- cut detection --------------------------------------------------------------
+
+    def _cut_expression(self, n0: int, n1: int, mu0: float, mu1: float) -> bool:
+        n = self._width
+        if min(n0, n1) < max(1, self.min_window // 2):
+            return False
+        var_w = max(self._variance / n, 0.0)
+        dd = math.log(2.0 * math.log(max(n, 2)) / self.delta)
+        m = 1.0 / (1.0 / n0 + 1.0 / n1)
+        eps = math.sqrt(2.0 / m * var_w * dd) + 2.0 / (3.0 * m) * dd
+        return abs(mu0 - mu1) > eps
+
+    def _detect_and_shrink(self) -> bool:
+        """Scan all bucket boundaries; drop the tail while cuts fire."""
+        shrunk = False
+        reduced = True
+        while reduced and self._width >= self.min_window:
+            reduced = False
+            n0, s0 = 0, 0.0
+            for b in self._buckets[:-1]:
+                n0 += b.count
+                s0 += b.total
+                n1 = self._width - n0
+                if n1 <= 0:
+                    break
+                mu0, mu1 = s0 / n0, (self._total - s0) / n1
+                if self._cut_expression(n0, n1, mu0, mu1):
+                    self._drop_oldest()
+                    shrunk = True
+                    reduced = True
+                    break
+        return shrunk
+
+    # -- public API --------------------------------------------------------------------
+
+    def update(self, error: bool | int | float) -> DriftState:
+        """Insert one value; DRIFT when the window was cut this step."""
+        self.n_samples_seen += 1
+        self._insert(float(error))
+        self._ticks += 1
+        drift = False
+        if self._ticks >= self.clock and self._width >= self.min_window:
+            self._ticks = 0
+            drift = self._detect_and_shrink()
+        if drift:
+            self.n_detections += 1
+            self.state = DriftState.DRIFT
+        else:
+            self.state = DriftState.NORMAL
+        return self.state
+
+    def reset(self) -> None:
+        """Clear the window entirely."""
+        super().reset()
+        self._buckets.clear()
+        self._total = 0.0
+        self._variance = 0.0
+        self._width = 0
+        self._ticks = 0
+
+    def state_nbytes(self) -> int:
+        """Exponential-histogram memory: 3 floats per live bucket."""
+        return len(self._buckets) * 3 * 8 + 5 * 8

@@ -1,0 +1,109 @@
+"""CUSUM — the classic two-sided cumulative-sum change detector (Page 1954).
+
+The ancestor of Page–Hinkley and the simplest member of the sequential
+error-rate family: it accumulates standardised deviations from a target
+mean in both directions and fires when either side's cumulative sum
+exceeds a threshold. O(1) state, like the paper's proposal — but it
+watches one scalar signal, not the input distribution.
+
+.. math::
+
+    g^+_t = \\max(0, g^+_{t-1} + (x_t - \\mu_0 - k)), \\qquad
+    g^-_t = \\max(0, g^-_{t-1} - (x_t - \\mu_0 + k)),
+
+drift when ``g⁺ > h`` or ``g⁻ > h``. The target mean ``μ₀`` is either
+given or estimated from the first ``warmup`` samples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..utils.exceptions import ConfigurationError
+from ..utils.math import RunningMoments
+from ..utils.validation import check_positive
+from .base import DriftState, ErrorRateDriftDetector
+
+__all__ = ["CUSUM"]
+
+
+class CUSUM(ErrorRateDriftDetector):
+    """Two-sided CUSUM over a scalar stream.
+
+    Parameters
+    ----------
+    threshold:
+        Decision threshold ``h`` on the cumulative sums.
+    drift_magnitude:
+        Slack ``k`` — half the smallest mean shift worth detecting;
+        deviations below it never accumulate.
+    target_mean:
+        Known in-control mean ``μ₀``; when ``None`` it is estimated from
+        the first ``warmup`` samples (no detection during warm-up).
+    warmup:
+        Samples used for the ``μ₀`` estimate when it is not given.
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold: float = 30.0,
+        drift_magnitude: float = 0.05,
+        target_mean: Optional[float] = None,
+        warmup: int = 30,
+    ) -> None:
+        super().__init__()
+        check_positive(threshold, "threshold")
+        check_positive(drift_magnitude, "drift_magnitude", strict=False)
+        check_positive(warmup, "warmup")
+        self.threshold = float(threshold)
+        self.drift_magnitude = float(drift_magnitude)
+        self.target_mean = None if target_mean is None else float(target_mean)
+        self.warmup = int(warmup)
+        self._mu0 = self.target_mean
+        self._warm = RunningMoments()
+        self._g_pos = 0.0
+        self._g_neg = 0.0
+        self.last_direction: Optional[str] = None
+
+    @property
+    def estimated_mean(self) -> Optional[float]:
+        """The in-control mean in use (None while still warming up)."""
+        return self._mu0
+
+    def update(self, error: bool | int | float) -> DriftState:
+        """Fold one value; DRIFT when either cumulative sum crosses ``h``."""
+        x = float(error)
+        self.n_samples_seen += 1
+        if self._mu0 is None:
+            self._warm.update(x)
+            if self._warm.count >= self.warmup:
+                self._mu0 = self._warm.mean
+            self.state = DriftState.NORMAL
+            return self.state
+        dev = x - self._mu0
+        k = self.drift_magnitude
+        self._g_pos = max(0.0, self._g_pos + dev - k)
+        self._g_neg = max(0.0, self._g_neg - dev - k)
+        if self._g_pos > self.threshold:
+            self.state = DriftState.DRIFT
+            self.last_direction = "increase"
+        elif self._g_neg > self.threshold:
+            self.state = DriftState.DRIFT
+            self.last_direction = "decrease"
+        else:
+            self.state = DriftState.NORMAL
+        return self.state
+
+    def reset(self) -> None:
+        """Restart (keeps a given ``target_mean``, re-estimates otherwise)."""
+        super().reset()
+        self._g_pos = 0.0
+        self._g_neg = 0.0
+        self._mu0 = self.target_mean
+        self._warm.reset()
+        self.last_direction = None
+
+    def state_nbytes(self) -> int:
+        """A handful of scalars."""
+        return 6 * 8

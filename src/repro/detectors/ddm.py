@@ -1,0 +1,107 @@
+"""DDM — the Drift Detection Method of Gama et al. (2004).
+
+DDM monitors the error *rate* of a classifier over a stream of Bernoulli
+error indicators. With ``p_i`` the error rate after ``i`` samples and
+``s_i = sqrt(p_i (1 - p_i) / i)`` its standard deviation, DDM tracks the
+minimum of ``p + s`` reached so far (``p_min + s_min``) and signals
+
+* **warning** when ``p_i + s_i ≥ p_min + 2 · s_min`` — the paper: "it
+  starts a retraining of a discriminative model";
+* **drift** when ``p_i + s_i ≥ p_min + 3 · s_min`` — "the retrained
+  discriminative model replaces the old model".
+
+The window size is implicit and fixed by the statistics (the paper: "the
+number of samples required to judge concept drifts ... is fixed at DDM").
+"""
+
+from __future__ import annotations
+
+from ..utils.validation import check_positive
+from .base import DriftState, ErrorRateDriftDetector
+
+__all__ = ["DDM"]
+
+
+class DDM(ErrorRateDriftDetector):
+    """Drift Detection Method over a stream of error indicators.
+
+    Parameters
+    ----------
+    warning_level, drift_level:
+        Multipliers of ``s_min`` for the warning / drift thresholds
+        (classically 2 and 3).
+    min_samples:
+        Grace period before any signal can fire (the error-rate estimate
+        is meaningless for the first few samples).
+    """
+
+    def __init__(
+        self,
+        *,
+        warning_level: float = 2.0,
+        drift_level: float = 3.0,
+        min_samples: int = 30,
+    ) -> None:
+        super().__init__()
+        check_positive(warning_level, "warning_level")
+        check_positive(drift_level, "drift_level")
+        check_positive(min_samples, "min_samples")
+        if drift_level <= warning_level:
+            from ..utils.exceptions import ConfigurationError
+
+            raise ConfigurationError(
+                f"drift_level ({drift_level}) must exceed warning_level ({warning_level})."
+            )
+        self.warning_level = float(warning_level)
+        self.drift_level = float(drift_level)
+        self.min_samples = int(min_samples)
+        self._n_errors = 0
+        self._p_min = float("inf")
+        self._s_min = float("inf")
+
+    def update(self, error: bool | int | float) -> DriftState:
+        """Fold one error indicator; returns NORMAL / WARNING / DRIFT.
+
+        After a DRIFT the caller is expected to retrain and call
+        :meth:`reset`.
+        """
+        self.n_samples_seen += 1
+        self._n_errors += 1 if error else 0
+        i = self.n_samples_seen
+        # Laplace-smoothed rate: keeps p in (0, 1) so s_min never collapses
+        # to zero on an error-free prefix (which would make the very first
+        # error fire a spurious drift).
+        p = (self._n_errors + 1.0) / (i + 2.0)
+        s = (p * (1.0 - p) / i) ** 0.5
+
+        if i < self.min_samples:
+            self.state = DriftState.NORMAL
+            return self.state
+
+        if p + s < self._p_min + self._s_min:
+            self._p_min, self._s_min = p, s
+
+        level = p + s
+        if level >= self._p_min + self.drift_level * self._s_min:
+            self.state = DriftState.DRIFT
+        elif level >= self._p_min + self.warning_level * self._s_min:
+            self.state = DriftState.WARNING
+        else:
+            self.state = DriftState.NORMAL
+        return self.state
+
+    def reset(self) -> None:
+        """Restart after retraining: statistics and minima are cleared."""
+        super().reset()
+        self._n_errors = 0
+        self._p_min = float("inf")
+        self._s_min = float("inf")
+
+    @property
+    def error_rate(self) -> float:
+        """Current estimate ``p_i`` (0 before any sample)."""
+        return self._n_errors / self.n_samples_seen if self.n_samples_seen else 0.0
+
+    def state_nbytes(self) -> int:
+        """A handful of scalars — DDM's memory footprint is trivial."""
+        return 6 * 8

@@ -1,0 +1,124 @@
+"""EDDM — Early Drift Detection Method (Baena-García et al. 2006).
+
+A companion to DDM tuned for *gradual* drifts: instead of the error rate
+it monitors the **distance between consecutive errors**. While the model
+is healthy, errors are rare and far apart; as a drift develops errors
+bunch up and the mean inter-error distance shrinks. With ``p'`` the mean
+distance, ``s'`` its standard deviation, and ``(p'+2s')_max`` the best
+level seen, EDDM signals
+
+* **warning** when ``(p' + 2 s') / (p' + 2 s')_max < β``,
+* **drift** when the ratio drops below ``α``.
+
+Defaults deviate from the original (α=0.90, β=0.95) to α=0.75, β=0.85
+with 3-event debouncing: the original thresholds false-alarm whenever the
+running level dips below an early noisy maximum on long stationary
+streams, while a genuine drift collapses the inter-error distance so hard
+(ratio ≪ 0.5) that the stricter thresholds barely delay detection.
+"""
+
+from __future__ import annotations
+
+from ..utils.exceptions import ConfigurationError
+from ..utils.math import RunningMoments
+from ..utils.validation import check_positive
+from .base import DriftState, ErrorRateDriftDetector
+
+__all__ = ["EDDM"]
+
+
+class EDDM(ErrorRateDriftDetector):
+    """Early Drift Detection Method over a Bernoulli error stream.
+
+    Parameters
+    ----------
+    alpha:
+        Drift ratio threshold (default 0.75; see class docstring).
+    beta:
+        Warning ratio threshold (default 0.85); must satisfy
+        ``alpha < beta < 1``.
+    min_errors:
+        Minimum observed errors before any signal (default 30 — the
+        statistic is an average over inter-error gaps).
+    min_consecutive:
+        The drift (or warning) condition must hold on this many
+        *consecutive error events* before it fires (default 3). The
+        original formulation fires on a single crossing, which on long
+        stationary streams false-alarms whenever the running level dips
+        below an early lucky maximum; debouncing removes most of those
+        while barely delaying true detections (errors bunch up under a
+        real drift, so consecutive crossings arrive quickly).
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.75,
+        beta: float = 0.85,
+        min_errors: int = 30,
+        min_consecutive: int = 3,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < alpha < beta < 1.0:
+            raise ConfigurationError(
+                f"need 0 < alpha ({alpha}) < beta ({beta}) < 1."
+            )
+        check_positive(min_errors, "min_errors")
+        check_positive(min_consecutive, "min_consecutive")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.min_errors = int(min_errors)
+        self.min_consecutive = int(min_consecutive)
+        self._gaps = RunningMoments()
+        self._last_error_at: int | None = None
+        self._best_level = 0.0
+        self._below_drift = 0
+
+    @property
+    def n_errors(self) -> int:
+        return self._gaps.count + (1 if self._last_error_at is not None and self._gaps.count == 0 else 0)
+
+    def update(self, error: bool | int | float) -> DriftState:
+        """Fold one error indicator; returns NORMAL / WARNING / DRIFT."""
+        self.n_samples_seen += 1
+        self.state = DriftState.NORMAL
+        if not error:
+            return self.state
+        if self._last_error_at is None:
+            self._last_error_at = self.n_samples_seen
+            return self.state
+        gap = self.n_samples_seen - self._last_error_at
+        self._last_error_at = self.n_samples_seen
+        self._gaps.update(float(gap))
+        if self._gaps.count < self.min_errors:
+            return self.state
+        level = self._gaps.mean + 2.0 * self._gaps.std
+        if level > self._best_level:
+            self._best_level = level
+            self._below_drift = 0
+            return self.state
+        ratio = level / self._best_level if self._best_level > 0 else 1.0
+        if ratio < self.alpha:
+            self._below_drift += 1
+            if self._below_drift >= self.min_consecutive:
+                self.state = DriftState.DRIFT
+            else:
+                self.state = DriftState.WARNING
+        elif ratio < self.beta:
+            self._below_drift = 0
+            self.state = DriftState.WARNING
+        else:
+            self._below_drift = 0
+        return self.state
+
+    def reset(self) -> None:
+        """Restart after model adaptation."""
+        super().reset()
+        self._gaps.reset()
+        self._last_error_at = None
+        self._best_level = 0.0
+        self._below_drift = 0
+
+    def state_nbytes(self) -> int:
+        """A handful of scalars."""
+        return 6 * 8

@@ -1,0 +1,110 @@
+"""Detector ensembles — the "and their ensemble" family of §2.2.2.
+
+The paper's taxonomy mentions that error-rate and distribution-based
+detectors are often combined. :class:`VotingDetectorEnsemble` combines any
+set of :class:`~repro.detectors.base.ErrorRateDriftDetector` members under
+a voting policy, matching the interface so it can drop into
+:class:`~repro.core.pipeline.ErrorRatePipeline` unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..utils.exceptions import ConfigurationError
+from .base import DriftState, ErrorRateDriftDetector
+
+__all__ = ["VotingDetectorEnsemble"]
+
+_POLICIES = ("any", "majority", "all")
+
+
+class VotingDetectorEnsemble(ErrorRateDriftDetector):
+    """Combine several error-rate detectors with a voting policy.
+
+    Parameters
+    ----------
+    members:
+        The detectors to combine (each sees every update).
+    policy:
+        ``"any"`` (most sensitive), ``"majority"``, or ``"all"`` (most
+        conservative). A member votes when its state is DRIFT.
+    sticky_votes:
+        When true (default) a member's drift vote persists until the
+        ensemble itself fires or is reset — this lets slow members
+        corroborate fast ones even if their DRIFT states don't coincide
+        on the exact same sample.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[ErrorRateDriftDetector],
+        *,
+        policy: str = "majority",
+        sticky_votes: bool = True,
+    ) -> None:
+        super().__init__()
+        if not members:
+            raise ConfigurationError("members must be non-empty.")
+        if policy not in _POLICIES:
+            raise ConfigurationError(f"policy must be one of {_POLICIES}, got {policy!r}.")
+        for m in members:
+            if not isinstance(m, ErrorRateDriftDetector):
+                raise ConfigurationError(
+                    f"member {type(m).__name__} is not an ErrorRateDriftDetector."
+                )
+        self.members = list(members)
+        self.policy = policy
+        self.sticky_votes = bool(sticky_votes)
+        self._votes = [False] * len(self.members)
+        self.n_detections = 0
+
+    def _combine(self, votes: int) -> bool:
+        n = len(self.members)
+        if self.policy == "any":
+            return votes >= 1
+        if self.policy == "majority":
+            return votes > n // 2
+        return votes == n
+
+    def update(self, error: bool | int | float) -> DriftState:
+        """Feed every member; combine their votes into one state.
+
+        WARNING is reported when at least one member is at WARNING or has
+        a pending sticky vote but the policy has not fired.
+        """
+        self.n_samples_seen += 1
+        any_warning = False
+        for i, m in enumerate(self.members):
+            state = m.update(error)
+            if state is DriftState.DRIFT:
+                self._votes[i] = True
+            elif not self.sticky_votes:
+                self._votes[i] = False
+            if state is DriftState.WARNING:
+                any_warning = True
+        votes = sum(self._votes)
+        if self._combine(votes):
+            self.state = DriftState.DRIFT
+            self.n_detections += 1
+            self._votes = [False] * len(self.members)
+        elif votes > 0 or any_warning:
+            self.state = DriftState.WARNING
+        else:
+            self.state = DriftState.NORMAL
+        return self.state
+
+    def reset(self) -> None:
+        """Reset every member and clear pending votes."""
+        super().reset()
+        for m in self.members:
+            m.reset()
+        self._votes = [False] * len(self.members)
+
+    def state_nbytes(self) -> int:
+        """Sum of member footprints plus the vote flags."""
+        total = len(self.members)
+        for m in self.members:
+            nbytes = getattr(m, "state_nbytes", None)
+            total += int(nbytes()) if callable(nbytes) else 0
+        return total

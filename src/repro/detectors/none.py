@@ -1,0 +1,39 @@
+"""Null detector — the paper's "Baseline (no concept drift detection)".
+
+Implements the :class:`BatchDriftDetector` interface but never fires, so
+the evaluation harness can run the no-detection configuration through the
+exact same code path as every other method (Table 2's third row, Table 5's
+third row).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BatchDriftDetector
+
+__all__ = ["NoDetection"]
+
+
+class NoDetection(BatchDriftDetector):
+    """A detector that never detects.
+
+    ``batch_size`` defaults to 1 so streamed updates never buffer more
+    than the current sample (zero effective memory cost).
+    """
+
+    def __init__(self, batch_size: int = 1) -> None:
+        super().__init__(batch_size)
+
+    def _fit(self, X: np.ndarray) -> None:  # noqa: D102 - nothing to fit
+        return None
+
+    def _statistic(self, batch: np.ndarray) -> float:
+        return 0.0
+
+    def _threshold(self) -> float:
+        return float("inf")
+
+    def state_nbytes(self) -> int:
+        """No resident state at all."""
+        return 0

@@ -1,0 +1,232 @@
+"""Quant Tree — histograms for change detection (Boracchi et al., ICML 2018).
+
+Quant Tree partitions the feature space into ``K`` bins by a sequence of
+axis-aligned splits chosen so that each bin contains a target fraction
+(here the uniform ``1/K``) of the reference data. Two properties make it
+attractive for the paper's comparison:
+
+* the histogram size is **independent of the dimensionality** — each split
+  stores one dimension index, one threshold, and one direction; and
+* the distribution of any statistic computed on the bin counts of a test
+  batch is **distribution-free**: it depends only on ``(N, K, ν)`` — the
+  reference size, bin count, and batch size — so thresholds can be computed
+  once by Monte-Carlo simulation on univariate uniform data and reused for
+  any data distribution.
+
+We implement the Pearson statistic
+
+.. math::
+
+    T = \\sum_{k=1}^{K} \\frac{(y_k - \\nu \\pi_k)^2}{\\nu \\pi_k}
+
+with the Monte-Carlo threshold at a configurable false-positive rate
+``alpha``. Thresholds are cached per ``(N, K, ν, alpha, n_sim, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import check_positive, check_probability
+from .base import BatchDriftDetector
+
+__all__ = ["QuantTreePartition", "QuantTree", "pearson_statistic", "quanttree_threshold"]
+
+
+@dataclass(frozen=True)
+class _Split:
+    """One quantisation split: bin = { x : x[dim] <= thr } (or >= for right tails)."""
+
+    dim: int
+    threshold: float
+    take_left: bool
+
+    def contains(self, X: np.ndarray) -> np.ndarray:
+        v = X[:, self.dim]
+        return v <= self.threshold if self.take_left else v >= self.threshold
+
+
+class QuantTreePartition:
+    """The K-bin equal-probability partition built from reference data.
+
+    Bins are carved sequentially: bin ``k`` removes ``≈ N/K`` remaining
+    points by cutting a random tail along a random dimension. The final bin
+    is the leftover region. Assignment follows the same sequential order,
+    so it costs at most ``K-1`` scalar comparisons per sample.
+    """
+
+    def __init__(self, n_bins: int, *, seed: SeedLike = None) -> None:
+        check_positive(n_bins, "n_bins")
+        if n_bins < 2:
+            raise ConfigurationError("n_bins must be >= 2.")
+        self.n_bins = int(n_bins)
+        self._rng = ensure_rng(seed)
+        self.splits: List[_Split] = []
+        self.probabilities: Optional[np.ndarray] = None
+        self.n_reference: int = 0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.probabilities is not None
+
+    def fit(self, X: np.ndarray) -> "QuantTreePartition":
+        """Build the partition on reference data ``X`` (``(N, d)``)."""
+        X = np.asarray(X, dtype=np.float64)
+        N, d = X.shape
+        if N < self.n_bins:
+            raise ConfigurationError(
+                f"need at least n_bins={self.n_bins} reference samples, got {N}."
+            )
+        self.splits = []
+        remaining = X
+        counts = np.zeros(self.n_bins)
+        for k in range(self.n_bins - 1):
+            target = int(round((N - counts[:k].sum()) / (self.n_bins - k)))
+            target = max(1, min(target, len(remaining) - (self.n_bins - k - 1)))
+            dim = int(self._rng.integers(d))
+            take_left = bool(self._rng.integers(2))
+            v = remaining[:, dim]
+            order = np.argsort(v, kind="stable")
+            if take_left:
+                thr = float(v[order[target - 1]])
+                mask = v <= thr
+            else:
+                thr = float(v[order[len(v) - target]])
+                mask = v >= thr
+            self.splits.append(_Split(dim, thr, take_left))
+            counts[k] = int(mask.sum())
+            remaining = remaining[~mask]
+        counts[self.n_bins - 1] = len(remaining)
+        self.probabilities = counts / N
+        self.n_reference = N
+        return self
+
+    def assign(self, X: np.ndarray) -> np.ndarray:
+        """Bin index per sample (sequential split traversal)."""
+        X = np.asarray(X, dtype=np.float64)
+        bins = np.full(len(X), self.n_bins - 1, dtype=np.int64)
+        unassigned = np.ones(len(X), dtype=bool)
+        for k, split in enumerate(self.splits):
+            hit = unassigned & split.contains(X)
+            bins[hit] = k
+            unassigned &= ~hit
+        return bins
+
+    def counts(self, X: np.ndarray) -> np.ndarray:
+        """Histogram of a batch over the K bins."""
+        return np.bincount(self.assign(X), minlength=self.n_bins).astype(np.float64)
+
+
+def pearson_statistic(counts: np.ndarray, probabilities: np.ndarray, nu: int) -> float:
+    """Pearson goodness-of-fit statistic for a batch of size ``nu``."""
+    expected = nu * np.asarray(probabilities, dtype=np.float64)
+    expected = np.where(expected > 0, expected, np.finfo(float).tiny)
+    return float(((np.asarray(counts) - expected) ** 2 / expected).sum())
+
+
+@lru_cache(maxsize=64)
+def quanttree_threshold(
+    n_reference: int,
+    n_bins: int,
+    batch_size: int,
+    alpha: float,
+    n_simulations: int = 2000,
+    seed: int = 12345,
+) -> float:
+    """Distribution-free Monte-Carlo threshold for the Pearson statistic.
+
+    Because Quant Tree statistics are distribution-free, we simulate on
+    *univariate uniform* data: build a partition from ``n_reference``
+    uniforms, draw stationary batches of ``batch_size`` uniforms, collect
+    the statistic's null distribution, and return its ``1 - alpha``
+    quantile. Cached on all arguments.
+    """
+    rng = np.random.default_rng(seed)
+    stats = np.empty(n_simulations)
+    # A fresh random partition per simulation round-trips the partition
+    # randomness into the null distribution, as in the original paper.
+    sims_per_tree = 20
+    n_trees = (n_simulations + sims_per_tree - 1) // sims_per_tree
+    i = 0
+    for _ in range(n_trees):
+        part = QuantTreePartition(n_bins, seed=rng).fit(rng.random((n_reference, 1)))
+        for _ in range(sims_per_tree):
+            if i >= n_simulations:
+                break
+            batch = rng.random((batch_size, 1))
+            stats[i] = pearson_statistic(part.counts(batch), part.probabilities, batch_size)
+            i += 1
+    return float(np.quantile(stats, 1.0 - alpha))
+
+
+class QuantTree(BatchDriftDetector):
+    """Quant Tree batch drift detector.
+
+    Parameters
+    ----------
+    batch_size:
+        Samples per test batch (ν). The paper uses 480 (NSL-KDD) and 235
+        (cooling fan).
+    n_bins:
+        Histogram bins K (paper: 32 and 16 respectively).
+    alpha:
+        Target false-positive rate per batch for the MC threshold.
+    n_simulations:
+        Monte-Carlo runs for threshold calibration.
+    """
+
+    def __init__(
+        self,
+        batch_size: int,
+        n_bins: int = 32,
+        *,
+        alpha: float = 0.005,
+        n_simulations: int = 2000,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(batch_size)
+        check_positive(n_bins, "n_bins")
+        check_probability(alpha, "alpha")
+        check_positive(n_simulations, "n_simulations")
+        self.n_bins = int(n_bins)
+        self.alpha = float(alpha)
+        self.n_simulations = int(n_simulations)
+        self._rng = ensure_rng(seed)
+        self.partition = QuantTreePartition(self.n_bins, seed=self._rng)
+        self._cached_threshold: Optional[float] = None
+
+    def _fit(self, X: np.ndarray) -> None:
+        self.partition = QuantTreePartition(self.n_bins, seed=self._rng).fit(X)
+        self._cached_threshold = quanttree_threshold(
+            len(X), self.n_bins, self.batch_size, self.alpha, self.n_simulations
+        )
+
+    def _statistic(self, batch: np.ndarray) -> float:
+        return pearson_statistic(
+            self.partition.counts(batch), self.partition.probabilities, len(batch)
+        )
+
+    def _threshold(self) -> float:
+        assert self._cached_threshold is not None
+        return self._cached_threshold
+
+    # -- memory accounting -------------------------------------------------------
+
+    def state_nbytes(self) -> int:
+        """Resident bytes: splits + bin probabilities + the batch buffer.
+
+        The buffer is charged at full ``batch_size`` capacity because the
+        device must provision for the worst case — this matches how the
+        paper computes Table 4 ("data samples are stored in the device
+        memory to detect concept drifts").
+        """
+        split_bytes = len(self.partition.splits) * (8 + 8 + 1)
+        prob_bytes = self.n_bins * 8
+        buffer_bytes = self.batch_size * (self.n_features or 0) * 8
+        return split_bytes + prob_bytes + buffer_bytes

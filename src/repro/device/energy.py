@@ -1,0 +1,86 @@
+"""Energy model — battery-life implications of the latency numbers.
+
+The paper motivates the work with battery-powered devices ("Since they
+are often battery-powered, low-power consumption is required", §1) but
+reports only time and memory. This module derives the missing column:
+with a device's active/idle power draw, per-sample energy follows from
+the latency model, and battery life from the sampling period.
+
+Power figures are catalogue values for the two boards (Pi 4 ≈ 4 W active
+under single-core load, ≈ 2 W idle; Pico ≈ 0.09 W active, ≈ 0.006 W in
+dormant sleep between samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.exceptions import ConfigurationError
+from ..utils.validation import check_positive
+from .profiles import DeviceProfile, RASPBERRY_PI_4, RASPBERRY_PI_PICO
+
+__all__ = ["PowerProfile", "PI4_POWER", "PICO_POWER", "energy_per_sample_mj", "battery_life_hours"]
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Active/idle power draw of a device, in watts."""
+
+    device: DeviceProfile
+    active_watts: float
+    idle_watts: float
+
+    def __post_init__(self) -> None:
+        if self.active_watts <= 0 or self.idle_watts < 0:
+            raise ConfigurationError("power draws must be positive (idle >= 0).")
+        if self.idle_watts > self.active_watts:
+            raise ConfigurationError("idle power cannot exceed active power.")
+
+
+#: Raspberry Pi 4 Model B under single-core compute load.
+PI4_POWER = PowerProfile(RASPBERRY_PI_4, active_watts=4.0, idle_watts=2.0)
+#: Raspberry Pi Pico: active core vs dormant sleep.
+PICO_POWER = PowerProfile(RASPBERRY_PI_PICO, active_watts=0.09, idle_watts=0.006)
+
+
+def energy_per_sample_mj(
+    power: PowerProfile,
+    compute_seconds: float,
+    *,
+    sample_period_seconds: float | None = None,
+) -> float:
+    """Millijoules consumed per processed sample.
+
+    ``compute_seconds`` is the active time (from the latency model).
+    When ``sample_period_seconds`` is given, the idle remainder of the
+    period is charged at idle power (the duty-cycled deployment); the
+    compute time must fit in the period.
+    """
+    check_positive(compute_seconds, "compute_seconds", strict=False)
+    active_j = power.active_watts * compute_seconds
+    if sample_period_seconds is None:
+        return 1e3 * active_j
+    check_positive(sample_period_seconds, "sample_period_seconds")
+    if compute_seconds > sample_period_seconds:
+        raise ConfigurationError(
+            f"compute time {compute_seconds:.3f}s exceeds the sampling "
+            f"period {sample_period_seconds:.3f}s — the device cannot keep up."
+        )
+    idle_j = power.idle_watts * (sample_period_seconds - compute_seconds)
+    return 1e3 * (active_j + idle_j)
+
+
+def battery_life_hours(
+    power: PowerProfile,
+    compute_seconds: float,
+    sample_period_seconds: float,
+    *,
+    battery_wh: float = 10.0,
+) -> float:
+    """Hours a ``battery_wh`` watt-hour battery sustains the duty cycle."""
+    check_positive(battery_wh, "battery_wh")
+    mj = energy_per_sample_mj(
+        power, compute_seconds, sample_period_seconds=sample_period_seconds
+    )
+    joules_per_second = (mj / 1e3) / sample_period_seconds
+    return battery_wh * 3600.0 / joules_per_second / 3600.0

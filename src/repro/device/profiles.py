@@ -1,0 +1,100 @@
+"""Edge-device profiles — Table 1's two boards as analytic cost models.
+
+A :class:`DeviceProfile` reduces a board to the constants the paper's
+latency/memory evaluation actually exercises: clock rate, an effective
+cycles-per-floating-point-operation constant, and RAM size.
+
+``cycles_per_flop`` is *calibrated*, not derived from datasheets: the
+Raspberry Pi Pico constant is pinned so that the label-prediction stage of
+the paper's configuration (C=2 autoencoder instances, D=511, H=22)
+reproduces Table 6's 148.87 ms; the Raspberry Pi 4 constant is pinned so
+the no-detection baseline over 700 samples reproduces Table 5's 1.05 s.
+Every other stage/row is then *predicted* by the op-count model — that is
+the reproduction claim the device benches check (see EXPERIMENTS.md).
+
+The Cortex-M0+ has no FPU, so every double-precision operation runs in
+software (hundreds of cycles) — this is why the calibrated Pico constant
+is ~200 cycles/flop while the A72's effective constant is tens of cycles
+(superscalar NEON pipelines amortised over interpreter overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.exceptions import ConfigurationError
+
+__all__ = ["DeviceProfile", "RASPBERRY_PI_4", "RASPBERRY_PI_PICO"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Analytic model of one target device.
+
+    Attributes
+    ----------
+    name:
+        Board name for reports.
+    cpu:
+        Core description (Table 1's CPU row).
+    clock_hz:
+        Core clock.
+    cycles_per_flop:
+        Effective cycles per double-precision floating-point operation,
+        including load/store and loop overhead (calibrated; see module
+        docstring).
+    ram_bytes:
+        Total RAM available to the application (Table 1's RAM row).
+    has_fpu:
+        Informational flag (explains the cycles_per_flop magnitude).
+    """
+
+    name: str
+    cpu: str
+    clock_hz: float
+    cycles_per_flop: float
+    ram_bytes: int
+    has_fpu: bool
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0 or self.cycles_per_flop <= 0 or self.ram_bytes <= 0:
+            raise ConfigurationError(
+                "clock_hz, cycles_per_flop, and ram_bytes must be positive."
+            )
+
+    def seconds_for_flops(self, flops: float) -> float:
+        """Wall-clock seconds to execute ``flops`` floating-point ops."""
+        if flops < 0:
+            raise ConfigurationError("flops must be non-negative.")
+        return flops * self.cycles_per_flop / self.clock_hz
+
+    def ms_for_flops(self, flops: float) -> float:
+        """Milliseconds to execute ``flops`` floating-point ops."""
+        return 1e3 * self.seconds_for_flops(flops)
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether a resident state of ``nbytes`` fits in RAM."""
+        return nbytes <= self.ram_bytes
+
+
+#: Raspberry Pi 4 Model B (Table 1): Cortex-A72 @ 1.5 GHz, 4 GB RAM.
+#: cycles_per_flop calibrated so 700 × label-prediction = Table 5's 1.05 s.
+RASPBERRY_PI_4 = DeviceProfile(
+    name="Raspberry Pi 4 Model B",
+    cpu="ARM Cortex-A72, 1.5GHz",
+    clock_hz=1.5e9,
+    cycles_per_flop=24.6,
+    ram_bytes=4 * 1024**3,
+    has_fpu=True,
+)
+
+#: Raspberry Pi Pico (Table 1): Cortex-M0+ @ 133 MHz, 264 kB RAM, no FPU.
+#: cycles_per_flop calibrated so one label prediction = Table 6's 148.87 ms.
+RASPBERRY_PI_PICO = DeviceProfile(
+    name="Raspberry Pi Pico",
+    cpu="ARM Cortex-M0+, 133MHz",
+    clock_hz=133e6,
+    cycles_per_flop=218.0,
+    ram_bytes=264 * 1024,
+    has_fpu=False,
+)

@@ -1,0 +1,118 @@
+"""Precision-reduction simulation for MCU deployment.
+
+The library computes in float64 for reproducibility, but a Raspberry Pi
+Pico deployment would store state in float32 (half the RAM of Table 4's
+accounts) or even float16. This module simulates that choice: it rounds a
+pipeline's learned state through a lower precision and returns a
+fully-functional copy, so the accuracy cost of quantisation can be
+measured before committing firmware to a format.
+
+Only *storage* is quantised (weights, centroids, thresholds round-trip
+through the target dtype); arithmetic still runs in float64, matching an
+MCU that loads compact weights into a wider accumulator.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Literal
+
+import numpy as np
+
+from ..core.coords import CentroidSet
+from ..core.pipeline import ProposedPipeline
+from ..oselm.ensemble import MultiInstanceModel
+from ..utils.exceptions import ConfigurationError
+
+__all__ = ["quantize_array", "quantize_model", "quantize_pipeline", "state_bytes_at"]
+
+DType = Literal["float64", "float32", "float16"]
+_DTYPES = {"float64": np.float64, "float32": np.float32, "float16": np.float16}
+_BYTES = {"float64": 8, "float32": 4, "float16": 2}
+
+
+def _check(dtype: str) -> np.dtype:
+    if dtype not in _DTYPES:
+        raise ConfigurationError(
+            f"dtype must be one of {sorted(_DTYPES)}, got {dtype!r}."
+        )
+    return np.dtype(_DTYPES[dtype])
+
+
+def quantize_array(a: np.ndarray, dtype: DType) -> np.ndarray:
+    """Round-trip ``a`` through ``dtype``; result is float64 again.
+
+    float16 saturates beyond ±65504 — out-of-range values raise rather
+    than silently becoming inf (a corrupted deployment is worse than a
+    refused one).
+    """
+    target = _check(dtype)
+    a = np.asarray(a, dtype=np.float64)
+    with np.errstate(over="ignore"):  # overflow is diagnosed explicitly below
+        out = a.astype(target).astype(np.float64)
+    if not np.all(np.isfinite(out)):
+        raise ConfigurationError(
+            f"values overflow {dtype}; rescale the model before quantising."
+        )
+    return out
+
+
+def quantize_model(model: MultiInstanceModel, dtype: DType) -> MultiInstanceModel:
+    """Deep-copied model whose stored state went through ``dtype``.
+
+    Quantises each instance's random layer (α, b), output weights β, and
+    RLS matrix P. The original model is untouched.
+    """
+    _check(dtype)
+    q = copy.deepcopy(model)
+    for inst in q.instances:
+        core = inst.core
+        layer = core.layer
+        w = quantize_array(layer.weights, dtype)
+        b = quantize_array(layer.biases, dtype)
+        w.setflags(write=False)
+        b.setflags(write=False)
+        layer.weights = w
+        layer.biases = b
+        if core.is_fitted:
+            core.beta = quantize_array(core.beta, dtype)
+            core.P = quantize_array(core.P, dtype)
+    return q
+
+
+def quantize_pipeline(pipeline: ProposedPipeline, dtype: DType) -> ProposedPipeline:
+    """Deep-copied proposed pipeline with all stored state quantised.
+
+    Covers the model (via :func:`quantize_model` semantics), the centroid
+    matrices, and the calibrated thresholds.
+    """
+    _check(dtype)
+    q = copy.deepcopy(pipeline)
+    for inst in q.model.instances:
+        core = inst.core
+        w = quantize_array(core.layer.weights, dtype)
+        b = quantize_array(core.layer.biases, dtype)
+        w.setflags(write=False)
+        b.setflags(write=False)
+        core.layer.weights = w
+        core.layer.biases = b
+        if core.is_fitted:
+            core.beta = quantize_array(core.beta, dtype)
+            core.P = quantize_array(core.P, dtype)
+    cents: CentroidSet = q.detector.centroids
+    trained = quantize_array(cents.trained, dtype)
+    trained.setflags(write=False)
+    cents.trained = trained
+    cents.recent = quantize_array(cents.recent, dtype)
+    det = q.detector
+    det.theta_drift = float(quantize_array(np.array([det.theta_drift]), dtype)[0])
+    det.theta_error = float(quantize_array(np.array([det.theta_error]), dtype)[0])
+    return q
+
+
+def state_bytes_at(n_values: int, dtype: DType) -> int:
+    """Bytes to store ``n_values`` numbers at ``dtype`` (deployment sizing)."""
+    _check(dtype)
+    if n_values < 0:
+        raise ConfigurationError("n_values must be non-negative.")
+    return int(n_values) * _BYTES[dtype]

@@ -1,0 +1,74 @@
+"""Live memory measurement via :mod:`tracemalloc`.
+
+The paper measured Table 4 on a running process; our primary account is
+the analytic model in :mod:`repro.device.memory`, but this tracer provides
+the corresponding *live* measurement for cross-checking: it snapshots
+Python allocations around a detector's construction + fitting + streaming
+so the growth attributable to the method can be compared with the analytic
+prediction (the integration tests assert they agree on the dominant
+terms).
+"""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from ..utils.exceptions import ConfigurationError
+
+__all__ = ["AllocationReport", "measure_allocations"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class AllocationReport:
+    """Outcome of one traced execution.
+
+    Attributes
+    ----------
+    result:
+        Whatever the traced callable returned.
+    current_bytes:
+        Net allocation still live after the call (the resident state).
+    peak_bytes:
+        Peak allocation during the call (transient working memory —
+        batch detectors spike here even when their resident state is
+        modest).
+    """
+
+    result: object
+    current_bytes: int
+    peak_bytes: int
+
+    @property
+    def current_kb(self) -> float:
+        return self.current_bytes / 1000.0
+
+    @property
+    def peak_kb(self) -> float:
+        return self.peak_bytes / 1000.0
+
+
+def measure_allocations(fn: Callable[[], T]) -> AllocationReport:
+    """Run ``fn`` under tracemalloc and report net/peak allocations.
+
+    The traced region covers exactly the callable; pre-existing objects
+    are not counted (the trace starts after a full collection). Nesting
+    traced regions is not supported.
+    """
+    if not callable(fn):
+        raise ConfigurationError("measure_allocations expects a callable.")
+    if tracemalloc.is_tracing():
+        raise ConfigurationError("tracemalloc is already active; nesting unsupported.")
+    gc.collect()
+    tracemalloc.start()
+    try:
+        result = fn()
+        gc.collect()
+        current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return AllocationReport(result=result, current_bytes=int(current), peak_bytes=int(peak))

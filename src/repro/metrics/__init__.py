@@ -1,0 +1,34 @@
+"""Evaluation harness: accuracy, detection delay, runner, table rendering."""
+
+from .accuracy import (
+    correctness_array,
+    overall_accuracy,
+    segment_accuracy,
+    windowed_accuracy,
+)
+from .ascii_plots import ascii_scatter, hbar_chart, sparkline
+from .drift_eval import DriftEvaluation, evaluate_detections
+from .delay import DelayReport, delay_report, detection_delay, detection_indices
+from .runner import MethodResult, compare_methods, evaluate_method
+from .tables import format_paper_comparison, format_table
+
+__all__ = [
+    "correctness_array",
+    "overall_accuracy",
+    "windowed_accuracy",
+    "segment_accuracy",
+    "sparkline",
+    "hbar_chart",
+    "ascii_scatter",
+    "DriftEvaluation",
+    "evaluate_detections",
+    "DelayReport",
+    "delay_report",
+    "detection_delay",
+    "detection_indices",
+    "MethodResult",
+    "evaluate_method",
+    "compare_methods",
+    "format_table",
+    "format_paper_comparison",
+]

@@ -1,0 +1,83 @@
+"""Accuracy metrics over streamed step records (Figure 4 / Table 2 inputs).
+
+The paper evaluates the *discriminative model's* classification accuracy
+over the test stream — overall (Table 2) and as a moving curve (Figure 4).
+These helpers consume the :class:`~repro.core.pipeline.StepRecord` lists
+produced by any pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.pipeline import StepRecord
+from ..utils.exceptions import DataValidationError
+from ..utils.validation import check_positive
+
+__all__ = [
+    "correctness_array",
+    "overall_accuracy",
+    "windowed_accuracy",
+    "segment_accuracy",
+]
+
+
+def correctness_array(records: Sequence[StepRecord]) -> np.ndarray:
+    """Per-sample correctness (float 0/1) from a pipeline run.
+
+    Raises when any record lacks ground truth — accuracy is undefined
+    without labels.
+    """
+    if not records:
+        raise DataValidationError("records must be non-empty.")
+    out = np.empty(len(records))
+    for i, rec in enumerate(records):
+        if rec.correct is None:
+            raise DataValidationError(
+                f"record {i} has no ground-truth label; accuracy undefined."
+            )
+        out[i] = 1.0 if rec.correct else 0.0
+    return out
+
+
+def overall_accuracy(records: Sequence[StepRecord]) -> float:
+    """Mean accuracy over the whole stream (Table 2's Accuracy column)."""
+    return float(correctness_array(records).mean())
+
+
+def windowed_accuracy(
+    records: Sequence[StepRecord], window: int = 500
+) -> tuple[np.ndarray, np.ndarray]:
+    """Moving-average accuracy curve (Figure 4's series).
+
+    Returns ``(positions, accuracy)`` where ``positions[i]`` is the stream
+    index at the *end* of the i-th window. Uses a trailing window of
+    ``window`` samples, evaluated at every sample from index ``window-1``.
+    """
+    check_positive(window, "window")
+    c = correctness_array(records)
+    if len(c) < window:
+        raise DataValidationError(
+            f"stream of {len(c)} samples is shorter than window {window}."
+        )
+    csum = np.concatenate([[0.0], np.cumsum(c)])
+    acc = (csum[window:] - csum[:-window]) / window
+    positions = np.arange(window - 1, len(c))
+    return positions, acc
+
+
+def segment_accuracy(
+    records: Sequence[StepRecord], boundaries: Sequence[int]
+) -> list[float]:
+    """Accuracy per segment delimited by ``boundaries`` (e.g. drift points).
+
+    ``boundaries=(8333,)`` yields ``[pre-drift acc, post-drift acc]``.
+    """
+    c = correctness_array(records)
+    edges = [0, *sorted(int(b) for b in boundaries), len(c)]
+    for a, b in zip(edges, edges[1:]):
+        if not 0 <= a <= b <= len(c):
+            raise DataValidationError(f"invalid boundary range [{a}, {b}).")
+    return [float(c[a:b].mean()) if b > a else float("nan") for a, b in zip(edges, edges[1:])]

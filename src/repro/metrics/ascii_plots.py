@@ -1,0 +1,101 @@
+"""Terminal-friendly plotting helpers (sparklines, bars, scatter).
+
+The examples and benchmark outputs render their "figures" as text so that
+``bench_output.txt`` is self-contained; these are the shared primitives
+(previously duplicated across example scripts).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError, DataValidationError
+from ..utils.validation import check_positive
+
+__all__ = ["sparkline", "hbar_chart", "ascii_scatter"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """Render a series as a fixed-width unicode sparkline.
+
+    ``lo``/``hi`` pin the scale (useful to compare several series);
+    they default to the series' own range.
+    """
+    check_positive(width, "width")
+    v = np.asarray(values, dtype=np.float64).ravel()
+    if v.size == 0:
+        raise DataValidationError("values must be non-empty.")
+    if not np.all(np.isfinite(v)):
+        raise DataValidationError("values contain NaN or infinite entries.")
+    lo = float(v.min()) if lo is None else float(lo)
+    hi = float(v.max()) if hi is None else float(hi)
+    if hi < lo:
+        raise ConfigurationError(f"hi ({hi}) must be >= lo ({lo}).")
+    idx = np.linspace(0, v.size - 1, min(width, v.size)).astype(int)
+    span = hi - lo
+    out = []
+    for val in v[idx]:
+        t = 0.5 if span == 0 else np.clip((val - lo) / span, 0.0, 1.0)
+        out.append(_BLOCKS[int(t * (len(_BLOCKS) - 1))])
+    return "".join(out)
+
+
+def hbar_chart(
+    data: Mapping[str, float],
+    *,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with right-aligned labels and values."""
+    check_positive(width, "width")
+    if not data:
+        raise DataValidationError("data must be non-empty.")
+    vals = {k: float(v) for k, v in data.items()}
+    if any(v < 0 for v in vals.values()):
+        raise DataValidationError("hbar_chart expects non-negative values.")
+    peak = max(vals.values()) or 1.0
+    label_w = max(len(k) for k in vals)
+    lines = []
+    for k, v in vals.items():
+        bar = "#" * int(round(width * v / peak))
+        lines.append(f"{k.rjust(label_w)} | {bar} {v:g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    points_by_glyph: Mapping[str, np.ndarray],
+    *,
+    width: int = 64,
+    height: int = 20,
+    bounds: tuple[float, float, float, float] = (0.0, 1.0, 0.0, 1.0),
+) -> str:
+    """2-D scatter in a character grid; later glyphs overdraw earlier ones.
+
+    ``bounds`` is ``(xmin, xmax, ymin, ymax)``; points outside are clipped
+    onto the border.
+    """
+    check_positive(width, "width")
+    check_positive(height, "height")
+    xmin, xmax, ymin, ymax = bounds
+    if xmax <= xmin or ymax <= ymin:
+        raise ConfigurationError("bounds must satisfy xmin < xmax and ymin < ymax.")
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, pts in points_by_glyph.items():
+        if len(glyph) != 1:
+            raise ConfigurationError(f"glyph must be one character, got {glyph!r}.")
+        for x, y in np.atleast_2d(np.asarray(pts, dtype=np.float64)):
+            tx = np.clip((x - xmin) / (xmax - xmin), 0.0, 1.0 - 1e-9)
+            ty = np.clip((y - ymin) / (ymax - ymin), 0.0, 1.0 - 1e-9)
+            grid[height - 1 - int(ty * height)][int(tx * width)] = glyph
+    border = "+" + "-" * width + "+"
+    return "\n".join([border, *("|" + "".join(row) + "|" for row in grid), border])

@@ -1,0 +1,76 @@
+"""Detection-delay metrics (Tables 2 and 3).
+
+"The delay means the number of samples needed to detect a concept drift
+after the concept drift actually happens." A detection is attributed to
+the most recent true drift point at or before it; detections before the
+first drift point are false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.pipeline import StepRecord
+from ..utils.exceptions import DataValidationError
+
+__all__ = ["DelayReport", "detection_indices", "detection_delay", "delay_report"]
+
+
+def detection_indices(records: Sequence[StepRecord]) -> list[int]:
+    """Stream indices at which the pipeline reported a drift."""
+    return [rec.index for rec in records if rec.drift_detected]
+
+
+def detection_delay(
+    detections: Sequence[int], drift_point: int
+) -> Optional[int]:
+    """Samples from ``drift_point`` to the first detection at/after it.
+
+    Returns ``None`` when no detection follows the drift (the "-" entries
+    of Table 3).
+    """
+    if drift_point < 0:
+        raise DataValidationError(f"drift_point must be >= 0, got {drift_point}.")
+    later = [d for d in detections if d >= drift_point]
+    return (min(later) - drift_point) if later else None
+
+
+@dataclass(frozen=True)
+class DelayReport:
+    """Delays and false positives of one run against ground truth.
+
+    Attributes
+    ----------
+    delays:
+        One entry per true drift point: samples to the first detection in
+        ``[drift_i, next_drift)`` or ``None`` if that window had none.
+    false_positives:
+        Detections strictly before the first true drift point.
+    detections:
+        All raw detection indices.
+    """
+
+    delays: tuple
+    false_positives: tuple
+    detections: tuple
+
+    @property
+    def first_delay(self) -> Optional[int]:
+        """Delay for the first true drift (the number Tables 2-3 report)."""
+        return self.delays[0] if self.delays else None
+
+
+def delay_report(
+    records: Sequence[StepRecord], drift_points: Sequence[int]
+) -> DelayReport:
+    """Match detections to true drift points segment by segment."""
+    drifts = sorted(int(d) for d in drift_points)
+    detections = detection_indices(records)
+    fps = tuple(d for d in detections if drifts and d < drifts[0])
+    delays = []
+    for i, dp in enumerate(drifts):
+        end = drifts[i + 1] if i + 1 < len(drifts) else float("inf")
+        inside = [d for d in detections if dp <= d < end]
+        delays.append(min(inside) - dp if inside else None)
+    return DelayReport(tuple(delays), fps, tuple(detections))

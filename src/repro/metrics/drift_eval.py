@@ -1,0 +1,128 @@
+"""Standard drift-detection quality metrics beyond first-detection delay.
+
+The drift-detection literature evaluates detectors with more than the
+single delay number the paper reports; this module adds the standard set
+so ablations can quantify trade-offs properly:
+
+* **detection precision / recall** with a tolerance horizon: a true drift
+  counts as detected if some detection lands within ``horizon`` samples
+  after it; detections matching no drift are false alarms;
+* **missed detection rate (MDR)** — fraction of true drifts never matched;
+* **mean time to detection (MTD)** — average matched delay;
+* **mean time between false alarms (MTFA)** — the stationary-stream
+  robustness number (larger is better).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..utils.exceptions import ConfigurationError, DataValidationError
+from ..utils.validation import check_positive
+
+__all__ = ["DriftEvaluation", "evaluate_detections"]
+
+
+@dataclass(frozen=True)
+class DriftEvaluation:
+    """Detection-quality summary for one run.
+
+    Attributes
+    ----------
+    matched_delays:
+        One entry per true drift: the delay of the first detection inside
+        its tolerance horizon, or ``None`` if missed.
+    false_alarms:
+        Detections that matched no true drift.
+    """
+
+    matched_delays: tuple
+    false_alarms: tuple
+    n_samples: int
+
+    @property
+    def n_drifts(self) -> int:
+        return len(self.matched_delays)
+
+    @property
+    def n_detected(self) -> int:
+        return sum(1 for d in self.matched_delays if d is not None)
+
+    @property
+    def recall(self) -> float:
+        """Fraction of true drifts detected within the horizon."""
+        return self.n_detected / self.n_drifts if self.n_drifts else float("nan")
+
+    @property
+    def missed_detection_rate(self) -> float:
+        """1 - recall (the MDR of the drift literature)."""
+        return 1.0 - self.recall if self.n_drifts else float("nan")
+
+    @property
+    def precision(self) -> float:
+        """Fraction of detections that matched a true drift."""
+        total = self.n_detected + len(self.false_alarms)
+        return self.n_detected / total if total else float("nan")
+
+    @property
+    def mean_time_to_detection(self) -> Optional[float]:
+        """Average matched delay (MTD); ``None`` when nothing matched."""
+        hits = [d for d in self.matched_delays if d is not None]
+        return sum(hits) / len(hits) if hits else None
+
+    @property
+    def mean_time_between_false_alarms(self) -> Optional[float]:
+        """Stream length divided by the false-alarm count (MTFA).
+
+        ``None`` when the run produced no false alarms (ideal).
+        """
+        if not self.false_alarms:
+            return None
+        return self.n_samples / len(self.false_alarms)
+
+
+def evaluate_detections(
+    detections: Sequence[int],
+    drift_points: Sequence[int],
+    n_samples: int,
+    *,
+    horizon: int = 1000,
+) -> DriftEvaluation:
+    """Match detections to true drifts under a tolerance ``horizon``.
+
+    Each true drift is matched greedily to the earliest unused detection
+    in ``[drift, drift + horizon)`` (also clipped at the next drift point
+    so one detection cannot be claimed by an earlier drift it followed
+    past its successor). Unmatched detections are false alarms.
+    """
+    check_positive(n_samples, "n_samples")
+    check_positive(horizon, "horizon")
+    dets = sorted(int(d) for d in detections)
+    drifts = sorted({int(d) for d in drift_points})  # dedupe degenerate input
+    for d in dets:
+        if not 0 <= d < n_samples:
+            raise DataValidationError(f"detection index {d} outside the stream.")
+    for d in drifts:
+        if not 0 <= d < n_samples:
+            raise DataValidationError(f"drift point {d} outside the stream.")
+
+    used = [False] * len(dets)
+    delays: list[Optional[int]] = []
+    for i, dp in enumerate(drifts):
+        end = min(dp + horizon, drifts[i + 1] if i + 1 < len(drifts) else n_samples)
+        match = None
+        for j, det in enumerate(dets):
+            if used[j] or det < dp:
+                continue
+            if det >= end:
+                break
+            match = j
+            break
+        if match is not None:
+            used[match] = True
+            delays.append(dets[match] - dp)
+        else:
+            delays.append(None)
+    false_alarms = tuple(det for j, det in enumerate(dets) if not used[j])
+    return DriftEvaluation(tuple(delays), false_alarms, int(n_samples))

@@ -1,0 +1,96 @@
+"""Experiment runner: one call per (method, stream) cell of the paper's tables.
+
+:func:`evaluate_method` streams a :class:`DataStream` through a pipeline
+and packages everything the tables need — accuracy, delays, phase tallies,
+wall-clock time, memory — into a :class:`MethodResult`.
+:func:`compare_methods` runs a whole method dictionary (e.g. the paper's
+five configurations) over one stream.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.pipeline import StepRecord, StreamPipeline
+from ..datasets.stream import DataStream
+from ..device.timing import PhaseTally
+from ..utils.exceptions import DataValidationError
+from .accuracy import overall_accuracy, windowed_accuracy
+from .delay import DelayReport, delay_report
+
+__all__ = ["MethodResult", "evaluate_method", "compare_methods"]
+
+
+@dataclass
+class MethodResult:
+    """Everything measured for one method on one stream."""
+
+    name: str
+    records: List[StepRecord]
+    accuracy: float
+    delay: DelayReport
+    phase_tally: PhaseTally
+    wall_seconds: float
+    detector_nbytes: int
+
+    @property
+    def first_delay(self) -> Optional[int]:
+        return self.delay.first_delay
+
+    def accuracy_curve(self, window: int = 500) -> tuple[np.ndarray, np.ndarray]:
+        """Moving-accuracy series for Figure-4-style plots."""
+        return windowed_accuracy(self.records, window)
+
+    def summary_row(self) -> dict:
+        """Flat dict for table rendering."""
+        return {
+            "method": self.name,
+            "accuracy_pct": 100.0 * self.accuracy,
+            "delay": self.first_delay,
+            "false_positives": len(self.delay.false_positives),
+            "wall_seconds": self.wall_seconds,
+            "detector_kb": self.detector_nbytes / 1000.0,
+        }
+
+
+def evaluate_method(
+    pipeline: StreamPipeline,
+    stream: DataStream,
+    *,
+    name: Optional[str] = None,
+) -> MethodResult:
+    """Run ``pipeline`` over ``stream`` and collect all metrics."""
+    if len(stream) == 0:
+        raise DataValidationError("stream must be non-empty.")
+    t0 = time.perf_counter()
+    records = pipeline.run(stream)
+    wall = time.perf_counter() - t0
+    return MethodResult(
+        name=name or pipeline.name,
+        records=records,
+        accuracy=overall_accuracy(records),
+        delay=delay_report(records, stream.drift_points),
+        phase_tally=PhaseTally.from_records(records),
+        wall_seconds=wall,
+        detector_nbytes=pipeline.state_nbytes(),
+    )
+
+
+def compare_methods(
+    builders: Mapping[str, Callable[[], StreamPipeline]],
+    stream: DataStream,
+) -> Dict[str, MethodResult]:
+    """Evaluate several freshly-built pipelines on the same stream.
+
+    ``builders`` maps a display name to a zero-argument factory — each
+    method gets its own model instance, as in the paper's five-way
+    comparison (§4.2).
+    """
+    results: Dict[str, MethodResult] = {}
+    for name, build in builders.items():
+        results[name] = evaluate_method(build(), stream, name=name)
+    return results

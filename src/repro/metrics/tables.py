@@ -1,0 +1,72 @@
+"""Plain-text table rendering matching the paper's table layouts.
+
+The benchmark harness prints its reproduced tables through these helpers
+so that ``bench_output.txt`` can be eyeballed against the paper directly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ..utils.exceptions import DataValidationError
+
+__all__ = ["format_table", "format_paper_comparison"]
+
+
+def _cell(value: object, width: int) -> str:
+    if value is None:
+        s = "-"
+    elif isinstance(value, float):
+        s = f"{value:.2f}"
+    else:
+        s = str(value)
+    return s.rjust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    if not headers:
+        raise DataValidationError("headers must be non-empty.")
+    for r in rows:
+        if len(r) != len(headers):
+            raise DataValidationError(
+                f"row {r!r} has {len(r)} cells, expected {len(headers)}."
+            )
+    str_rows = [
+        [(_cell(v, 0).strip()) for v in row] for row in rows
+    ]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_paper_comparison(
+    title: str,
+    measured: Mapping[str, object],
+    paper: Mapping[str, object],
+    *,
+    unit: str = "",
+) -> str:
+    """Two-column measured-vs-paper table keyed by row label.
+
+    Rows follow the paper mapping's order; measured values missing for a
+    row render as '-'.
+    """
+    headers = ["row", f"reproduced{f' ({unit})' if unit else ''}", f"paper{f' ({unit})' if unit else ''}"]
+    rows = [[k, measured.get(k), v] for k, v in paper.items()]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,18 @@
+"""On-device learnable neural substrate: OS-ELM, forgetting, autoencoders."""
+
+from .autoencoder import OSELMAutoencoder
+from .classifier import OSELMClassifier
+from .ensemble import MultiInstanceModel
+from .forgetting import ForgettingOSELM
+from .oselm import OSELM
+from .random_layer import ACTIVATIONS, RandomLayer
+
+__all__ = [
+    "RandomLayer",
+    "ACTIVATIONS",
+    "OSELM",
+    "ForgettingOSELM",
+    "OSELMAutoencoder",
+    "OSELMClassifier",
+    "MultiInstanceModel",
+]

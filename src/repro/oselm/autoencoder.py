@@ -1,0 +1,126 @@
+"""OS-ELM autoencoder for unsupervised anomaly scoring (paper §3.1).
+
+Each discriminative-model instance "forms an autoencoder for unsupervised
+anomaly detection. That is, the numbers of input and output layer nodes
+... are the same, and each instance is trained so that its output can
+reconstruct a given input data with a smaller number of hidden nodes."
+The anomaly score is the reconstruction error between input and output.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError
+from ..utils.rng import SeedLike
+from ..utils.validation import as_matrix
+from .forgetting import ForgettingOSELM
+from .oselm import OSELM
+
+__all__ = ["OSELMAutoencoder"]
+
+ErrorMetric = Literal["mse", "mae"]
+
+
+class OSELMAutoencoder:
+    """Autoencoder built on an (optionally forgetting) OS-ELM core.
+
+    Parameters
+    ----------
+    n_features:
+        Input == output dimensionality.
+    n_hidden:
+        Bottleneck width (22 in both of the paper's configurations).
+    error_metric:
+        ``"mse"`` (default) or ``"mae"`` reconstruction error.
+    forgetting_factor:
+        ``None`` → plain OS-ELM; otherwise builds a
+        :class:`~repro.oselm.forgetting.ForgettingOSELM` core (this is how
+        ONLAD instances are constructed).
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        n_hidden: int,
+        *,
+        error_metric: ErrorMetric = "mse",
+        forgetting_factor: float | None = None,
+        activation: str = "sigmoid",
+        weight_scale: float = 1.0,
+        reg: float = 1e-3,
+        seed: SeedLike = None,
+    ) -> None:
+        if error_metric not in ("mse", "mae"):
+            raise ConfigurationError(f"unknown error_metric {error_metric!r}.")
+        core_cls = OSELM if forgetting_factor is None else ForgettingOSELM
+        kwargs = dict(
+            activation=activation, weight_scale=weight_scale, reg=reg, seed=seed
+        )
+        if forgetting_factor is not None:
+            kwargs["forgetting_factor"] = forgetting_factor
+        self.core = core_cls(n_features, n_hidden, n_features, **kwargs)
+        self.n_features = int(n_features)
+        self.n_hidden = int(n_hidden)
+        self.error_metric: ErrorMetric = error_metric
+        self.forgetting_factor = forgetting_factor
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.core.is_fitted
+
+    @property
+    def n_samples_seen(self) -> int:
+        return self.core.n_samples_seen
+
+    # -- training ---------------------------------------------------------------
+
+    def fit_initial(self, X: np.ndarray) -> "OSELMAutoencoder":
+        """Initial batch phase with reconstruction targets ``T = X``."""
+        X = as_matrix(X, name="X", n_features=self.n_features)
+        self.core.fit_initial(X, X)
+        return self
+
+    def partial_fit(self, X: np.ndarray) -> "OSELMAutoencoder":
+        """Sequentially train on a chunk (targets are the inputs)."""
+        X = as_matrix(X, name="X", n_features=self.n_features)
+        self.core.partial_fit(X, X)
+        return self
+
+    def partial_fit_one(self, x: np.ndarray) -> "OSELMAutoencoder":
+        """Single-sample sequential training step (the on-device path)."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        self.core.partial_fit_one(x, x)
+        return self
+
+    # -- scoring ---------------------------------------------------------------
+
+    def reconstruct(self, X: np.ndarray) -> np.ndarray:
+        """Autoencoder outputs for a batch."""
+        return self.core.predict(X)
+
+    def score(self, X: np.ndarray) -> np.ndarray:
+        """Per-sample anomaly score (reconstruction error), shape ``(n,)``."""
+        X = as_matrix(X, name="X", n_features=self.n_features)
+        R = self.core.predict(X)
+        if self.error_metric == "mse":
+            return np.mean((R - X) ** 2, axis=1)
+        return np.mean(np.abs(R - X), axis=1)
+
+    def score_one(self, x: np.ndarray) -> float:
+        """Anomaly score for one sample."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        r = self.core.predict_one(x)
+        if self.error_metric == "mse":
+            return float(np.mean((r - x) ** 2))
+        return float(np.mean(np.abs(r - x)))
+
+    def state_nbytes(self) -> int:
+        """Resident learned-state bytes (delegates to the core)."""
+        return self.core.state_nbytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = "" if self.forgetting_factor is None else f", α={self.forgetting_factor}"
+        return f"OSELMAutoencoder({self.n_features}-{self.n_hidden}-{self.n_features}{tag})"

@@ -1,0 +1,125 @@
+"""OS-ELM classifier — supervised one-hot-target variant.
+
+The paper's discriminative model is the unsupervised autoencoder ensemble,
+but OS-ELM's original formulation (Liang et al. 2006) is a supervised
+classifier: targets are one-hot label encodings and prediction is the
+argmax output. This module provides that variant — it is the natural
+companion for the supervised error-rate pipelines (DDM / ADWIN / EDDM /
+KSWIN) and for downstream users who do have labels on-device.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError
+from ..utils.rng import SeedLike
+from ..utils.validation import as_matrix, as_vector, check_labels, check_positive
+from .forgetting import ForgettingOSELM
+from .oselm import OSELM
+
+__all__ = ["OSELMClassifier"]
+
+
+class OSELMClassifier:
+    """Sequentially-trainable multi-class classifier on an OS-ELM core.
+
+    Parameters
+    ----------
+    n_features, n_hidden, n_classes:
+        Input dimensionality, hidden width, number of classes.
+    forgetting_factor:
+        ``None`` → plain OS-ELM; a float in (0, 1] → forgetting core that
+        tracks non-stationary class boundaries.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        n_hidden: int,
+        n_classes: int,
+        *,
+        forgetting_factor: float | None = None,
+        activation: str = "sigmoid",
+        weight_scale: float = 1.0,
+        reg: float = 1e-3,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive(n_classes, "n_classes")
+        if n_classes < 2:
+            raise ConfigurationError("n_classes must be >= 2.")
+        core_cls = OSELM if forgetting_factor is None else ForgettingOSELM
+        kwargs = dict(activation=activation, weight_scale=weight_scale, reg=reg, seed=seed)
+        if forgetting_factor is not None:
+            kwargs["forgetting_factor"] = forgetting_factor
+        self.core = core_cls(n_features, n_hidden, n_classes, **kwargs)
+        self.n_features = int(n_features)
+        self.n_hidden = int(n_hidden)
+        self.n_classes = int(n_classes)
+        self.forgetting_factor = forgetting_factor
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.core.is_fitted
+
+    def _one_hot(self, y: np.ndarray) -> np.ndarray:
+        Y = np.full((len(y), self.n_classes), -1.0)
+        Y[np.arange(len(y)), y] = 1.0
+        return Y
+
+    # -- training ---------------------------------------------------------------
+
+    def fit_initial(self, X: np.ndarray, y: np.ndarray) -> "OSELMClassifier":
+        """Batch initial phase on labelled data."""
+        X = as_matrix(X, name="X", n_features=self.n_features)
+        y = check_labels(y, n_classes=self.n_classes, name="y")
+        if len(X) != len(y):
+            raise ConfigurationError(
+                f"X has {len(X)} samples but y has {len(y)} labels."
+            )
+        self.core.fit_initial(X, self._one_hot(y))
+        return self
+
+    def partial_fit(self, X: np.ndarray, y: np.ndarray) -> "OSELMClassifier":
+        """Sequential update on a labelled chunk."""
+        X = as_matrix(X, name="X", n_features=self.n_features)
+        y = check_labels(y, n_classes=self.n_classes, name="y")
+        self.core.partial_fit(X, self._one_hot(y))
+        return self
+
+    def partial_fit_one(self, x: np.ndarray, label: int) -> "OSELMClassifier":
+        """Single-sample sequential update (the on-device path)."""
+        x = as_vector(x, name="x", n_features=self.n_features)
+        if not 0 <= label < self.n_classes:
+            raise ConfigurationError(
+                f"label {label} out of range [0, {self.n_classes})."
+            )
+        t = np.full(self.n_classes, -1.0)
+        t[label] = 1.0
+        self.core.partial_fit_one(x, t)
+        return self
+
+    # -- inference ----------------------------------------------------------------
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Raw per-class scores, shape ``(n, n_classes)``."""
+        return self.core.predict(X)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Argmax-score class labels."""
+        return self.decision_function(X).argmax(axis=1)
+
+    def predict_one(self, x: np.ndarray) -> int:
+        """Label for one sample."""
+        return int(self.core.predict_one(x).argmax())
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on labelled data."""
+        y = check_labels(y, n_classes=self.n_classes, name="y")
+        return float((self.predict(X) == y).mean())
+
+    def state_nbytes(self) -> int:
+        """Resident learned-state bytes (delegates to the core)."""
+        return self.core.state_nbytes()

@@ -1,0 +1,167 @@
+"""Multi-instance discriminative model (paper §3.1, Figure 2).
+
+"The same number of OS-ELM based neural networks (called 'instances') as
+the number of labels in the training dataset are used. For each label ...
+a discriminative model instance is trained with the data belonging to the
+label. ... the smallest anomaly score among all the instances is used as
+the final prediction result. For the sequential training, a single model
+instance that outputs the smallest anomaly score (i.e. the 'closest'
+instance) trains the input data sequentially."
+
+Constructed with ``forgetting_factor`` set, this same class *is* the
+paper's ONLAD baseline (passive approach): forgetting autoencoder instances
+continuously retrained on every sample.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError, NotFittedError
+from ..utils.rng import SeedLike, spawn_rngs
+from ..utils.validation import as_matrix, as_vector, check_labels, check_positive
+from .autoencoder import ErrorMetric, OSELMAutoencoder
+
+__all__ = ["MultiInstanceModel"]
+
+
+class MultiInstanceModel:
+    """One OS-ELM autoencoder per label; predict = argmin anomaly score.
+
+    Parameters
+    ----------
+    n_features, n_hidden:
+        Autoencoder geometry, shared by all instances.
+    n_labels:
+        Number of instances ``C``.
+    forgetting_factor:
+        ``None`` → plain OS-ELM instances (the paper's active-approach
+        discriminative model); a float in (0, 1] → ONLAD-style instances.
+    error_metric, activation, weight_scale, reg:
+        Forwarded to each :class:`OSELMAutoencoder`.
+    seed:
+        One seed reproduces the whole ensemble (independent child RNGs per
+        instance).
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        n_hidden: int,
+        n_labels: int,
+        *,
+        forgetting_factor: float | None = None,
+        error_metric: ErrorMetric = "mse",
+        activation: str = "sigmoid",
+        weight_scale: float = 1.0,
+        reg: float = 1e-3,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive(n_labels, "n_labels")
+        rngs = spawn_rngs(seed, n_labels)
+        self.instances: list[OSELMAutoencoder] = [
+            OSELMAutoencoder(
+                n_features,
+                n_hidden,
+                error_metric=error_metric,
+                forgetting_factor=forgetting_factor,
+                activation=activation,
+                weight_scale=weight_scale,
+                reg=reg,
+                seed=rngs[c],
+            )
+            for c in range(n_labels)
+        ]
+        self.n_features = int(n_features)
+        self.n_hidden = int(n_hidden)
+        self.n_labels = int(n_labels)
+        self.forgetting_factor = forgetting_factor
+
+    @property
+    def is_fitted(self) -> bool:
+        return all(inst.is_fitted for inst in self.instances)
+
+    # -- training ---------------------------------------------------------------
+
+    def fit_initial(self, X: np.ndarray, y: np.ndarray) -> "MultiInstanceModel":
+        """Initial phase: train instance ``c`` on the samples labelled ``c``.
+
+        Labels may come from ground truth or from a clustering algorithm
+        (the paper assumes k-means labelling for the unsupervised case).
+        Every label must contribute at least one sample.
+        """
+        X = as_matrix(X, name="X", n_features=self.n_features)
+        y = check_labels(y, n_classes=self.n_labels, name="y")
+        if len(X) != len(y):
+            raise ConfigurationError(
+                f"X has {len(X)} samples but y has {len(y)} labels."
+            )
+        for c in range(self.n_labels):
+            Xc = X[y == c]
+            if len(Xc) == 0:
+                raise ConfigurationError(
+                    f"label {c} has no initial-training samples."
+                )
+            self.instances[c].fit_initial(Xc)
+        return self
+
+    def partial_fit_one(self, x: np.ndarray, label: Optional[int] = None) -> int:
+        """Sequentially train one instance on one sample.
+
+        With ``label=None`` the closest (lowest-score) instance trains —
+        the paper's self-labelled mode; otherwise the given instance
+        trains (the centroid-labelled mode of Algorithm 2's third part).
+        Returns the index of the instance that was trained.
+        """
+        x = as_vector(x, name="x", n_features=self.n_features)
+        if label is None:
+            label = self.predict_one(x)
+        elif not 0 <= label < self.n_labels:
+            raise ConfigurationError(
+                f"label {label} out of range [0, {self.n_labels})."
+            )
+        self.instances[label].partial_fit_one(x)
+        return int(label)
+
+    # -- inference ----------------------------------------------------------------
+
+    def scores_one(self, x: np.ndarray) -> np.ndarray:
+        """Anomaly score of each instance for one sample, shape ``(C,)``."""
+        if not self.is_fitted:
+            raise NotFittedError(self, "scores_one")
+        x = as_vector(x, name="x", n_features=self.n_features)
+        return np.array([inst.score_one(x) for inst in self.instances])
+
+    def predict_one(self, x: np.ndarray) -> int:
+        """Label of the instance with the smallest anomaly score."""
+        return int(self.scores_one(x).argmin())
+
+    def predict_with_score(self, x: np.ndarray) -> tuple[int, float]:
+        """``(label, anomaly_score)`` — Algorithm 1 lines 6-7 in one pass."""
+        scores = self.scores_one(x)
+        c = int(scores.argmin())
+        return c, float(scores[c])
+
+    def scores(self, X: np.ndarray) -> np.ndarray:
+        """Batch anomaly scores, shape ``(n, C)`` (vectorised)."""
+        if not self.is_fitted:
+            raise NotFittedError(self, "scores")
+        X = as_matrix(X, name="X", n_features=self.n_features)
+        return np.column_stack([inst.score(X) for inst in self.instances])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Batch argmin-score labels, shape ``(n,)``."""
+        return self.scores(X).argmin(axis=1)
+
+    def state_nbytes(self) -> int:
+        """Total resident learned-state bytes across instances."""
+        return sum(inst.state_nbytes() for inst in self.instances)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = "" if self.forgetting_factor is None else f", α={self.forgetting_factor}"
+        return (
+            f"MultiInstanceModel(C={self.n_labels}, "
+            f"{self.n_features}-{self.n_hidden}-{self.n_features}{tag})"
+        )

@@ -1,0 +1,221 @@
+"""OS-ELM — Online Sequential Extreme Learning Machine (Liang et al. 2006).
+
+A 3-layer network whose hidden layer is a fixed :class:`RandomLayer` and
+whose output weights ``β`` are learned by recursive least squares:
+
+* **initial phase** (batch): ``P₀ = (H₀ᵀH₀ + λI)⁻¹``, ``β₀ = P₀ H₀ᵀ T₀``;
+* **sequential phase** (chunk of ``m`` rows): with ``H`` the chunk's hidden
+  features and ``T`` its targets,
+
+  .. math::
+
+     P \\leftarrow P - P H^\\top (I_m + H P H^\\top)^{-1} H P, \\qquad
+     \\beta \\leftarrow \\beta + P H^\\top (T - H \\beta).
+
+* **rank-1 fast path** (``m = 1``, the paper's on-device mode): the inner
+  inverse degenerates to a scalar, so *no matrix inversion is ever needed*
+  ("the training batch size is fixed to one so that pseudo inverse
+  operation of matrixes can be eliminated", §2.2.1):
+
+  .. math::
+
+     k = \\frac{P h^\\top}{1 + h P h^\\top}, \\qquad
+     \\beta \\leftarrow \\beta + k\\,(t - h\\beta), \\qquad
+     P \\leftarrow P - k\\,(h P).
+
+The sequential updates are algebraically identical to re-solving ridge
+regression on all data seen so far — the equivalence the property-based
+tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError, NotFittedError
+from ..utils.rng import SeedLike
+from ..utils.validation import as_matrix, check_positive
+from .random_layer import RandomLayer
+
+__all__ = ["OSELM"]
+
+
+class OSELM:
+    """Online-sequential ELM regressor / multi-output network.
+
+    Parameters
+    ----------
+    n_inputs, n_hidden, n_outputs:
+        Layer sizes. For the paper's autoencoders ``n_outputs == n_inputs``.
+    activation, weight_scale, seed:
+        Forwarded to :class:`RandomLayer`.
+    reg:
+        Ridge regularisation ``λ`` of the initial phase. Also allows an
+        initial batch smaller than ``n_hidden`` (the P matrix stays PD).
+
+    Attributes
+    ----------
+    beta:
+        ``(n_hidden, n_outputs)`` learned output weights.
+    P:
+        ``(n_hidden, n_hidden)`` inverse-covariance state of the RLS
+        recursion.
+    n_samples_seen:
+        Total training rows folded in so far.
+    """
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_hidden: int,
+        n_outputs: int,
+        *,
+        activation: str = "sigmoid",
+        weight_scale: float = 1.0,
+        reg: float = 1e-3,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive(n_outputs, "n_outputs")
+        check_positive(reg, "reg")
+        self.layer = RandomLayer(
+            n_inputs,
+            n_hidden,
+            activation=activation,
+            weight_scale=weight_scale,
+            seed=seed,
+        )
+        self.n_inputs = self.layer.n_inputs
+        self.n_hidden = self.layer.n_hidden
+        self.n_outputs = int(n_outputs)
+        self.reg = float(reg)
+        self.beta: Optional[np.ndarray] = None
+        self.P: Optional[np.ndarray] = None
+        self.n_samples_seen: int = 0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.beta is not None
+
+    # -- initial (batch) phase --------------------------------------------------
+
+    def fit_initial(self, X: np.ndarray, T: np.ndarray) -> "OSELM":
+        """Run the OS-ELM initial phase on the batch ``(X, T)``.
+
+        Resets any previous state. ``T`` must be ``(n, n_outputs)`` (a 1-D
+        target is accepted for ``n_outputs == 1``).
+        """
+        X = as_matrix(X, name="X", n_features=self.n_inputs)
+        T = self._as_targets(T, len(X))
+        H = self.layer.transform(X)
+        A = H.T @ H
+        A.flat[:: self.n_hidden + 1] += self.reg
+        self.P = np.linalg.inv(A)
+        self.beta = self.P @ (H.T @ T)
+        self.n_samples_seen = len(X)
+        return self
+
+    # -- sequential phase ---------------------------------------------------------
+
+    def partial_fit(self, X: np.ndarray, T: np.ndarray) -> "OSELM":
+        """Fold a chunk of training rows into ``(P, β)``.
+
+        Dispatches to the rank-1 fast path for single rows (the on-device
+        mode); larger chunks use the ``m×m`` inner inverse.
+        """
+        if not self.is_fitted:
+            raise NotFittedError(self, "partial_fit")
+        X = as_matrix(X, name="X", n_features=self.n_inputs)
+        T = self._as_targets(T, len(X))
+        if len(X) == 1:
+            self._rank1_update(self.layer.transform(X), T)
+        else:
+            H = self.layer.transform(X)
+            PHt = self.P @ H.T
+            M = H @ PHt
+            M.flat[:: len(X) + 1] += 1.0
+            K = PHt @ np.linalg.inv(M)
+            self.beta += K @ (T - H @ self.beta)
+            self.P -= K @ PHt.T
+            self._symmetrize()
+        self.n_samples_seen += len(X)
+        return self
+
+    def partial_fit_one(self, x: np.ndarray, t: np.ndarray) -> "OSELM":
+        """Single-sample sequential update (no inversion, O(h²) work)."""
+        if not self.is_fitted:
+            raise NotFittedError(self, "partial_fit_one")
+        h = self.layer.transform_one(x)
+        t = np.asarray(t, dtype=np.float64).reshape(1, -1)
+        if t.shape[1] != self.n_outputs:
+            raise ConfigurationError(
+                f"target has {t.shape[1]} outputs, model expects {self.n_outputs}."
+            )
+        if not np.all(np.isfinite(t)):
+            raise ConfigurationError("target contains NaN or infinite values.")
+        self._rank1_update(h, t)
+        self.n_samples_seen += 1
+        return self
+
+    def _rank1_update(self, h: np.ndarray, t: np.ndarray) -> None:
+        """RLS rank-1 step with h a (1, n_hidden) row, t a (1, n_outputs) row."""
+        Ph = self.P @ h[0]                     # (n_hidden,)
+        denom = 1.0 + float(h[0] @ Ph)
+        k = Ph / denom                          # gain vector
+        err = t[0] - h[0] @ self.beta           # (n_outputs,)
+        self.beta += np.outer(k, err)
+        # P ← P − k (h P); h P == Ph because P is symmetric.
+        self.P -= np.outer(k, Ph)
+        self._symmetrize()
+
+    def _symmetrize(self) -> None:
+        # RLS recursions slowly lose symmetry in floating point; re-impose it
+        # so long streams (22 701 samples in the NSL-KDD run) stay stable.
+        self.P += self.P.T
+        self.P *= 0.5
+
+    # -- inference -------------------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Network outputs ``H β`` for a batch, shape ``(n, n_outputs)``."""
+        if not self.is_fitted:
+            raise NotFittedError(self, "predict")
+        X = as_matrix(X, name="X", n_features=self.n_inputs)
+        return self.layer.transform(X) @ self.beta
+
+    def predict_one(self, x: np.ndarray) -> np.ndarray:
+        """Network output vector for one sample, shape ``(n_outputs,)``."""
+        if not self.is_fitted:
+            raise NotFittedError(self, "predict_one")
+        return (self.layer.transform_one(x) @ self.beta)[0]
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _as_targets(self, T: np.ndarray, n: int) -> np.ndarray:
+        T = np.asarray(T, dtype=np.float64)
+        if T.ndim == 1:
+            T = T.reshape(-1, 1) if self.n_outputs == 1 else T.reshape(1, -1)
+        if T.shape != (n, self.n_outputs):
+            raise ConfigurationError(
+                f"targets have shape {T.shape}, expected ({n}, {self.n_outputs})."
+            )
+        if not np.all(np.isfinite(T)):
+            raise ConfigurationError("targets contain NaN or infinite values.")
+        return T
+
+    def state_nbytes(self) -> int:
+        """Resident memory of the learned state (β and P), in bytes.
+
+        Random-layer weights are counted separately by the device memory
+        model since they could live in flash on a microcontroller.
+        """
+        if not self.is_fitted:
+            return 0
+        return int(self.beta.nbytes + self.P.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OSELM({self.n_inputs}-{self.n_hidden}-{self.n_outputs}, "
+            f"activation={self.layer.activation!r}, seen={self.n_samples_seen})"
+        )

@@ -1,0 +1,96 @@
+"""Random-projection hidden layer for (OS-)ELM networks.
+
+Extreme Learning Machines fix the input-to-hidden weights at random and only
+learn the hidden-to-output weights analytically. This module owns that fixed
+random layer: weight/bias initialisation and the nonlinear feature map
+``H = g(X·α + b)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError
+from ..utils.math import sigmoid
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import as_matrix, check_positive
+
+__all__ = ["ACTIVATIONS", "RandomLayer"]
+
+ACTIVATIONS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "sigmoid": sigmoid,
+    "tanh": np.tanh,
+    "relu": lambda x: np.maximum(x, 0.0),
+    "linear": lambda x: np.asarray(x, dtype=np.float64),
+}
+
+
+class RandomLayer:
+    """Fixed random hidden layer ``x ↦ g(x·α + b)``.
+
+    Parameters
+    ----------
+    n_inputs, n_hidden:
+        Input dimensionality and hidden width. The paper uses 38→22 for
+        NSL-KDD and 511→22 for the cooling-fan dataset.
+    activation:
+        One of ``"sigmoid"`` (paper default), ``"tanh"``, ``"relu"``,
+        ``"linear"``.
+    weight_scale:
+        Weights/biases are drawn uniform in ``[-weight_scale, weight_scale]``.
+    seed:
+        RNG seed; the layer is immutable after construction.
+    """
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_hidden: int,
+        *,
+        activation: str = "sigmoid",
+        weight_scale: float = 1.0,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive(n_inputs, "n_inputs")
+        check_positive(n_hidden, "n_hidden")
+        check_positive(weight_scale, "weight_scale")
+        if activation not in ACTIVATIONS:
+            raise ConfigurationError(
+                f"unknown activation {activation!r}; choose from {sorted(ACTIVATIONS)}."
+            )
+        self.n_inputs = int(n_inputs)
+        self.n_hidden = int(n_hidden)
+        self.activation = activation
+        self.weight_scale = float(weight_scale)
+        rng = ensure_rng(seed)
+        self.weights = rng.uniform(
+            -weight_scale, weight_scale, size=(self.n_inputs, self.n_hidden)
+        )
+        self.biases = rng.uniform(-weight_scale, weight_scale, size=self.n_hidden)
+        self.weights.setflags(write=False)
+        self.biases.setflags(write=False)
+        self._g = ACTIVATIONS[activation]
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Map ``(n, n_inputs)`` inputs to ``(n, n_hidden)`` features."""
+        X = as_matrix(X, name="X", n_features=self.n_inputs)
+        return self._g(X @ self.weights + self.biases)
+
+    def transform_one(self, x: np.ndarray) -> np.ndarray:
+        """Feature row vector ``(1, n_hidden)`` for a single sample.
+
+        Validates finiteness: a NaN reaching the sequential RLS update
+        would corrupt the model state irreversibly.
+        """
+        from ..utils.validation import as_vector
+
+        x = as_vector(x, name="x", n_features=self.n_inputs).reshape(1, -1)
+        return self._g(x @ self.weights + self.biases)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RandomLayer(n_inputs={self.n_inputs}, n_hidden={self.n_hidden}, "
+            f"activation={self.activation!r})"
+        )

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch everything from this package with a single ``except`` clause while still
+being able to distinguish configuration mistakes from lifecycle mistakes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NotFittedError",
+    "ConfigurationError",
+    "DataValidationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An estimator method was called before the estimator was fitted.
+
+    Raised by ``predict``/``score``/``update``-style methods on models and
+    detectors whose ``fit`` (or initial-training) phase has not run yet.
+    """
+
+    def __init__(self, obj: object, method: str = "this method") -> None:
+        name = type(obj).__name__ if not isinstance(obj, str) else obj
+        super().__init__(
+            f"{name} is not fitted yet; call 'fit' before using {method}."
+        )
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A hyper-parameter or combination of hyper-parameters is invalid."""
+
+
+class DataValidationError(ReproError, ValueError):
+    """Input data has the wrong shape, dtype, or contains invalid values."""

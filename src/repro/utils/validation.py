@@ -1,0 +1,146 @@
+"""Input-validation helpers shared across the library.
+
+These helpers normalise user input into contiguous ``float64`` NumPy arrays
+and raise :class:`~repro.utils.exceptions.DataValidationError` (for data
+problems) or :class:`~repro.utils.exceptions.ConfigurationError` (for
+hyper-parameter problems) with consistent, actionable messages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .exceptions import ConfigurationError, DataValidationError
+
+__all__ = [
+    "as_matrix",
+    "as_vector",
+    "check_consistent_length",
+    "check_positive",
+    "check_in_range",
+    "check_probability",
+    "check_labels",
+]
+
+
+def as_matrix(
+    X: object,
+    *,
+    name: str = "X",
+    n_features: Optional[int] = None,
+    allow_empty: bool = False,
+    dtype: type = np.float64,
+) -> np.ndarray:
+    """Coerce ``X`` to a 2-D ``(n_samples, n_features)`` float array.
+
+    A 1-D input is interpreted as a single sample (one row). Non-finite
+    values are rejected: on a microcontroller a NaN propagating through a
+    sequential update silently corrupts the model state forever, so the
+    library refuses them at the boundary.
+    """
+    arr = np.asarray(X, dtype=dtype)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise DataValidationError(
+            f"{name} must be 1-D or 2-D, got {arr.ndim}-D with shape {arr.shape}."
+        )
+    if not allow_empty and arr.shape[0] == 0:
+        raise DataValidationError(f"{name} must contain at least one sample.")
+    if arr.shape[1] == 0:
+        raise DataValidationError(f"{name} must have at least one feature.")
+    if n_features is not None and arr.shape[1] != n_features:
+        raise DataValidationError(
+            f"{name} has {arr.shape[1]} features, expected {n_features}."
+        )
+    if not np.all(np.isfinite(arr)):
+        raise DataValidationError(f"{name} contains NaN or infinite values.")
+    return np.ascontiguousarray(arr)
+
+
+def as_vector(
+    x: object,
+    *,
+    name: str = "x",
+    n_features: Optional[int] = None,
+    dtype: type = np.float64,
+) -> np.ndarray:
+    """Coerce ``x`` to a 1-D float vector (a single sample)."""
+    arr = np.asarray(x, dtype=dtype)
+    if arr.ndim == 2 and arr.shape[0] == 1:
+        arr = arr[0]
+    if arr.ndim != 1:
+        raise DataValidationError(
+            f"{name} must be a single sample (1-D), got shape {arr.shape}."
+        )
+    if arr.shape[0] == 0:
+        raise DataValidationError(f"{name} must have at least one feature.")
+    if n_features is not None and arr.shape[0] != n_features:
+        raise DataValidationError(
+            f"{name} has {arr.shape[0]} features, expected {n_features}."
+        )
+    if not np.all(np.isfinite(arr)):
+        raise DataValidationError(f"{name} contains NaN or infinite values.")
+    return np.ascontiguousarray(arr)
+
+
+def check_consistent_length(**named_arrays: Sequence) -> None:
+    """Raise if the named arrays do not all share the same first dimension."""
+    lengths = {name: len(a) for name, a in named_arrays.items()}
+    if len(set(lengths.values())) > 1:
+        detail = ", ".join(f"{k}={v}" for k, v in lengths.items())
+        raise DataValidationError(f"Inconsistent sample counts: {detail}.")
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate that a scalar hyper-parameter is (strictly) positive."""
+    if strict and not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}.")
+    if not strict and not value >= 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}.")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    *,
+    low: float = -np.inf,
+    high: float = np.inf,
+    inclusive: bool = True,
+) -> float:
+    """Validate that ``low (<|<=) value (<|<=) high``."""
+    ok = low <= value <= high if inclusive else low < value < high
+    if not ok:
+        brackets = "[]" if inclusive else "()"
+        raise ConfigurationError(
+            f"{name} must be in {brackets[0]}{low}, {high}{brackets[1]}, got {value!r}."
+        )
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate a probability-like parameter in ``[0, 1]``."""
+    return check_in_range(value, name, low=0.0, high=1.0)
+
+
+def check_labels(y: object, *, n_classes: Optional[int] = None, name: str = "y") -> np.ndarray:
+    """Coerce labels to a 1-D int array of class indices ``0..C-1``."""
+    arr = np.asarray(y)
+    if arr.ndim != 1:
+        raise DataValidationError(f"{name} must be 1-D, got shape {arr.shape}.")
+    if not np.issubdtype(arr.dtype, np.integer):
+        if np.issubdtype(arr.dtype, np.floating) and np.all(arr == np.floor(arr)):
+            arr = arr.astype(np.int64)
+        else:
+            raise DataValidationError(f"{name} must contain integer class indices.")
+    arr = arr.astype(np.int64)
+    if arr.size and arr.min() < 0:
+        raise DataValidationError(f"{name} contains negative class indices.")
+    if n_classes is not None and arr.size and arr.max() >= n_classes:
+        raise DataValidationError(
+            f"{name} contains label {arr.max()} but only {n_classes} classes exist."
+        )
+    return arr

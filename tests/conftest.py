@@ -1,0 +1,67 @@
+"""Shared fixtures: small, fast streams and pre-trained models.
+
+Everything here is deliberately miniature (tens of dimensions, hundreds of
+samples) so the full unit suite runs in seconds; the integration tests
+scale up selectively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import DataStream, GaussianConcept
+from repro.oselm import MultiInstanceModel
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def two_blob_concept() -> GaussianConcept:
+    """Two well-separated Gaussian classes in 6 dimensions."""
+    means = np.array(
+        [
+            [0.2, 0.2, 0.8, 0.8, 0.5, 0.1],
+            [0.8, 0.8, 0.2, 0.2, 0.5, 0.9],
+        ]
+    )
+    return GaussianConcept(means, 0.05)
+
+
+@pytest.fixture
+def shifted_concept(two_blob_concept: GaussianConcept) -> GaussianConcept:
+    """A confusing covariate drift: class 0 moves 45 % of the way toward
+    class 1 (degrading a frozen model) while each new mean stays closer to
+    its own old mean (so unsupervised reconstruction keeps identities)."""
+    means = two_blob_concept.means.copy()
+    gap = means[1] - means[0]
+    means[0] = means[0] + 0.45 * gap
+    means[1] = means[1] + np.array([0.1, -0.1, 0.1, -0.1, 0.2, 0.0])
+    return GaussianConcept(means, 0.08)
+
+
+@pytest.fixture
+def train_stream(two_blob_concept: GaussianConcept) -> DataStream:
+    from repro.datasets import make_stationary_stream
+
+    return make_stationary_stream(two_blob_concept, 240, seed=1, name="train")
+
+
+@pytest.fixture
+def drift_stream(
+    two_blob_concept: GaussianConcept, shifted_concept: GaussianConcept
+) -> DataStream:
+    from repro.datasets import make_sudden_drift_stream
+
+    return make_sudden_drift_stream(
+        two_blob_concept, shifted_concept, n_samples=1200, drift_at=400, seed=2
+    )
+
+
+@pytest.fixture
+def trained_model(train_stream: DataStream) -> MultiInstanceModel:
+    model = MultiInstanceModel(6, 4, 2, seed=7)
+    return model.fit_initial(train_stream.X, train_stream.y)

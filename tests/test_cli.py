@@ -1,0 +1,62 @@
+"""Unit tests for the ``python -m repro`` experiment CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import COMMANDS, main
+
+
+class TestArgParsing:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_all_commands_registered(self):
+        assert set(COMMANDS) == {
+            "table2", "table3", "table4", "table5", "table6", "fig1"
+        }
+
+
+class TestFastCommands:
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "Quant Tree" in out and "SPLL" in out and "Proposed" in out
+        assert "NO" in out and "yes" in out  # Pico feasibility column
+
+    def test_table6(self, capsys):
+        assert main(["table6"]) == 0
+        out = capsys.readouterr().out
+        assert "Label prediction" in out
+        assert "148.87" in out  # paper column present
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("sudden", "gradual", "incremental", "reoccurring"):
+            assert kind in out
+
+
+@pytest.mark.slow
+class TestStreamCommands:
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Window size = 10" in out
+        assert "Reoccurring" in out
+
+    def test_table2_reduced(self, capsys):
+        assert main(["table2", "--reduced"]) == 0
+        out = capsys.readouterr().out
+        assert "ONLAD" in out and "accuracy %" in out
+
+    def test_table5(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated Pi4 s" in out

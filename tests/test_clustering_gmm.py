@@ -1,0 +1,109 @@
+"""Unit tests for the EM-fitted Gaussian mixture model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import GaussianMixture
+from repro.utils.exceptions import ConfigurationError, NotFittedError
+
+
+@pytest.fixture
+def two_gaussians(rng):
+    a = rng.normal([0, 0], 0.5, size=(150, 2))
+    b = rng.normal([6, 6], 0.8, size=(150, 2))
+    return np.concatenate([a, b])
+
+
+COV_TYPES = ["full", "tied", "diag", "spherical"]
+
+
+class TestFit:
+    @pytest.mark.parametrize("cov", COV_TYPES)
+    def test_recovers_means(self, two_gaussians, cov):
+        g = GaussianMixture(2, covariance_type=cov, seed=0).fit(two_gaussians)
+        means = g.means_[np.argsort(g.means_[:, 0])]
+        np.testing.assert_allclose(means[0], [0, 0], atol=0.3)
+        np.testing.assert_allclose(means[1], [6, 6], atol=0.3)
+
+    def test_weights_near_half(self, two_gaussians):
+        g = GaussianMixture(2, seed=0).fit(two_gaussians)
+        np.testing.assert_allclose(g.weights_, 0.5, atol=0.1)
+        assert g.weights_.sum() == pytest.approx(1.0)
+
+    def test_loglik_increases_with_components(self, two_gaussians):
+        g1 = GaussianMixture(1, seed=0).fit(two_gaussians)
+        g2 = GaussianMixture(2, seed=0).fit(two_gaussians)
+        assert g2.score(two_gaussians) > g1.score(two_gaussians)
+
+    def test_converged_flag(self, two_gaussians):
+        g = GaussianMixture(2, seed=0, max_iter=200).fit(two_gaussians)
+        assert g.converged_
+        assert g.n_iter_ <= 200
+
+    def test_single_component_matches_sample_stats(self, rng):
+        X = rng.normal(3.0, 2.0, size=(400, 3))
+        g = GaussianMixture(1, covariance_type="diag", seed=0).fit(X)
+        np.testing.assert_allclose(g.means_[0], X.mean(axis=0), atol=0.05)
+        np.testing.assert_allclose(g.covariances_[0], X.var(axis=0), rtol=0.2)
+
+    def test_too_many_components(self):
+        with pytest.raises(ConfigurationError):
+            GaussianMixture(5).fit(np.ones((3, 2)))
+
+    def test_unknown_covariance_type(self):
+        with pytest.raises(ConfigurationError):
+            GaussianMixture(2, covariance_type="banded")
+
+    def test_reg_covar_keeps_degenerate_data_finite(self):
+        X = np.zeros((50, 3))  # zero-variance data
+        g = GaussianMixture(1, covariance_type="full", reg_covar=1e-4, seed=0).fit(X)
+        assert np.isfinite(g.score(X))
+
+    def test_tied_covariance_is_single_matrix(self, two_gaussians):
+        g = GaussianMixture(2, covariance_type="tied", seed=0).fit(two_gaussians)
+        assert g.covariances_.shape == (2, 2)
+
+
+class TestInference:
+    def test_predict_separates_blobs(self, two_gaussians):
+        g = GaussianMixture(2, seed=0).fit(two_gaussians)
+        labels = g.predict(two_gaussians)
+        # First 150 from blob A, rest from blob B — one swap allowed.
+        first, second = labels[:150], labels[150:]
+        assert (first == first[0]).mean() > 0.97
+        assert (second == second[0]).mean() > 0.97
+        assert first[0] != second[0]
+
+    def test_score_samples_higher_near_means(self, two_gaussians):
+        g = GaussianMixture(2, seed=0).fit(two_gaussians)
+        near = g.score_samples(np.array([[0.0, 0.0]]))
+        far = g.score_samples(np.array([[20.0, 20.0]]))
+        assert near[0] > far[0]
+
+    def test_density_normalised_1d(self, rng):
+        # Numerically integrate exp(score) over a grid — should be ~1.
+        X = rng.normal(0, 1, size=(500, 1))
+        g = GaussianMixture(2, seed=0).fit(X)
+        grid = np.linspace(-8, 8, 4001).reshape(-1, 1)
+        dens = np.exp(g.score_samples(grid))
+        integral = np.trapezoid(dens.ravel(), grid.ravel())
+        assert integral == pytest.approx(1.0, abs=0.02)
+
+    def test_not_fitted(self):
+        g = GaussianMixture(2)
+        with pytest.raises(NotFittedError):
+            g.predict(np.ones((2, 2)))
+        with pytest.raises(NotFittedError):
+            g.score_samples(np.ones((2, 2)))
+        with pytest.raises(NotFittedError):
+            g.sample(3)
+
+    @pytest.mark.parametrize("cov", COV_TYPES)
+    def test_sample_roundtrip(self, two_gaussians, cov, rng):
+        g = GaussianMixture(2, covariance_type=cov, seed=0).fit(two_gaussians)
+        S = g.sample(1000, rng)
+        assert S.shape == (1000, 2)
+        # Samples should score comparably to training data under the model.
+        assert abs(g.score(S) - g.score(two_gaussians)) < 1.0

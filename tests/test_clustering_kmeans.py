@@ -1,0 +1,138 @@
+"""Unit tests for batch k-means and k-means++ seeding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import KMeans, kmeans_plus_plus_init
+from repro.utils.exceptions import ConfigurationError, NotFittedError
+
+
+@pytest.fixture
+def three_blobs(rng):
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    X = np.concatenate([c + rng.normal(0, 0.3, size=(40, 2)) for c in centers])
+    return X, centers
+
+
+class TestKMeansPlusPlus:
+    def test_shape(self, three_blobs, rng):
+        X, _ = three_blobs
+        centers = kmeans_plus_plus_init(X, 3, rng)
+        assert centers.shape == (3, 2)
+
+    def test_centers_are_data_points(self, three_blobs, rng):
+        X, _ = three_blobs
+        centers = kmeans_plus_plus_init(X, 3, rng)
+        for c in centers:
+            assert np.abs(X - c).sum(axis=1).min() < 1e-12
+
+    def test_spreads_over_blobs(self, three_blobs, rng):
+        X, true_centers = three_blobs
+        # With well-separated blobs, k-means++ picks one seed per blob
+        # almost always.
+        hits = 0
+        for trial in range(20):
+            centers = kmeans_plus_plus_init(X, 3, np.random.default_rng(trial))
+            assigned = {np.abs(true_centers - c).sum(axis=1).argmin() for c in centers}
+            hits += len(assigned) == 3
+        assert hits >= 18
+
+    def test_too_many_clusters(self, rng):
+        with pytest.raises(ConfigurationError):
+            kmeans_plus_plus_init(np.ones((2, 2)), 3, rng)
+
+    def test_identical_points_degenerate(self, rng):
+        X = np.ones((10, 2))
+        centers = kmeans_plus_plus_init(X, 3, rng)
+        np.testing.assert_allclose(centers, 1.0)
+
+
+class TestKMeans:
+    def test_recovers_blob_centers(self, three_blobs):
+        X, true_centers = three_blobs
+        km = KMeans(3, seed=0).fit(X)
+        found = km.cluster_centers_
+        for tc in true_centers:
+            assert np.abs(found - tc).sum(axis=1).min() < 0.5
+
+    def test_labels_partition_data(self, three_blobs):
+        X, _ = three_blobs
+        km = KMeans(3, seed=0).fit(X)
+        assert km.labels_.shape == (len(X),)
+        assert set(np.unique(km.labels_)) == {0, 1, 2}
+
+    def test_inertia_positive_and_small_for_tight_blobs(self, three_blobs):
+        X, _ = three_blobs
+        km = KMeans(3, seed=0).fit(X)
+        assert 0 < km.inertia_ < len(X)  # ~0.18 variance per point
+
+    def test_predict_matches_nearest_center(self, three_blobs, rng):
+        X, _ = three_blobs
+        km = KMeans(3, seed=0).fit(X)
+        Q = rng.normal(size=(10, 2)) * 5
+        pred = km.predict(Q)
+        for q, p in zip(Q, pred):
+            d = ((km.cluster_centers_ - q) ** 2).sum(axis=1)
+            assert p == d.argmin()
+
+    def test_fit_predict(self, three_blobs):
+        X, _ = three_blobs
+        km = KMeans(3, seed=0)
+        np.testing.assert_array_equal(km.fit_predict(X), km.labels_)
+
+    def test_transform_distances(self, three_blobs):
+        X, _ = three_blobs
+        km = KMeans(3, seed=0).fit(X)
+        D = km.transform(X[:5])
+        assert D.shape == (5, 3)
+        assert (D >= 0).all()
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            KMeans(2).predict(np.ones((2, 2)))
+
+    def test_more_clusters_than_samples(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(5).fit(np.ones((3, 2)))
+
+    def test_explicit_init_array(self, three_blobs):
+        X, true_centers = three_blobs
+        km = KMeans(3, init=true_centers).fit(X)
+        # Initialised at the truth, Lloyd stays there.
+        for tc in true_centers:
+            assert np.abs(km.cluster_centers_ - tc).sum(axis=1).min() < 0.5
+
+    def test_explicit_init_wrong_count(self, three_blobs):
+        X, true_centers = three_blobs
+        with pytest.raises(ConfigurationError):
+            KMeans(2, init=true_centers).fit(X)
+
+    def test_unknown_init_string(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(2, init="fancy")
+
+    def test_random_init_mode(self, three_blobs):
+        X, _ = three_blobs
+        km = KMeans(3, init="random", seed=0).fit(X)
+        assert km.inertia_ is not None
+
+    def test_k1_center_is_mean(self, rng):
+        X = rng.normal(size=(50, 3))
+        km = KMeans(1, seed=0).fit(X)
+        np.testing.assert_allclose(km.cluster_centers_[0], X.mean(axis=0), atol=1e-8)
+
+    def test_seed_reproducibility(self, three_blobs):
+        X, _ = three_blobs
+        a = KMeans(3, seed=42).fit(X).cluster_centers_
+        b = KMeans(3, seed=42).fit(X).cluster_centers_
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_cluster_reseeded(self):
+        # Degenerate init: all centres on one point; Lloyd must recover
+        # without NaNs via the farthest-point reseeding rule.
+        X = np.concatenate([np.zeros((20, 2)), np.full((20, 2), 5.0)])
+        km = KMeans(2, init=np.zeros((2, 2)), max_iter=50).fit(X)
+        assert np.isfinite(km.cluster_centers_).all()
+        assert len(np.unique(km.labels_)) == 2

@@ -1,0 +1,135 @@
+"""Unit tests for sequential k-means and its update primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    SequentialKMeans,
+    ewma_update,
+    sequential_mean_update,
+)
+from repro.utils.exceptions import ConfigurationError, NotFittedError
+
+
+class TestSequentialMeanUpdate:
+    def test_equals_arithmetic_mean(self, rng):
+        xs = rng.normal(size=(20, 3))
+        c, n = np.zeros(3), 0
+        for x in xs:
+            c, n = sequential_mean_update(c, n, x)
+        np.testing.assert_allclose(c, xs.mean(axis=0), atol=1e-12)
+        assert n == 20
+
+    def test_first_update_adopts_sample(self):
+        c, n = sequential_mean_update(np.array([99.0]), 0, np.array([3.0]))
+        assert c[0] == 3.0 and n == 1
+
+    def test_paper_formula(self):
+        # cor ← (cor·num + data) / (num + 1), the exact Algorithm 4 line 3.
+        c, n = sequential_mean_update(np.array([2.0]), 4, np.array([7.0]))
+        assert c[0] == pytest.approx((2.0 * 4 + 7.0) / 5)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sequential_mean_update(np.zeros(2), -1, np.zeros(2))
+
+    def test_returns_fresh_array(self):
+        c0 = np.array([1.0])
+        c1, _ = sequential_mean_update(c0, 1, np.array([2.0]))
+        assert c1 is not c0
+
+
+class TestEwmaUpdate:
+    def test_formula(self):
+        out = ewma_update(np.array([0.0]), np.array([10.0]), 0.3)
+        assert out[0] == pytest.approx(3.0)
+
+    def test_alpha_one_adopts_sample(self):
+        out = ewma_update(np.array([5.0]), np.array([1.0]), 1.0)
+        assert out[0] == 1.0
+
+    def test_invalid_alpha(self):
+        for alpha in (0.0, -0.1, 1.5):
+            with pytest.raises(ConfigurationError):
+                ewma_update(np.zeros(1), np.zeros(1), alpha)
+
+
+class TestSequentialKMeans:
+    def test_initialize_explicit(self):
+        skm = SequentialKMeans(2).initialize(np.array([[0.0, 0.0], [5.0, 5.0]]))
+        assert skm.is_fitted
+        np.testing.assert_array_equal(skm.counts_, [1, 1])
+
+    def test_initialize_wrong_count(self):
+        with pytest.raises(ConfigurationError):
+            SequentialKMeans(3).initialize(np.zeros((2, 2)))
+
+    def test_tracks_two_blobs(self, rng):
+        centers = np.array([[0.0, 0.0], [8.0, 8.0]])
+        skm = SequentialKMeans(2).initialize(centers + 0.5)
+        for _ in range(300):
+            c = centers[rng.integers(2)]
+            skm.partial_fit(c + rng.normal(0, 0.2, size=2))
+        for tc in centers:
+            assert np.abs(skm.cluster_centers_ - tc).sum(axis=1).min() < 0.3
+
+    def test_partial_fit_returns_label(self):
+        skm = SequentialKMeans(2).initialize(np.array([[0.0], [10.0]]))
+        assert skm.partial_fit(np.array([1.0])) == 0
+        assert skm.partial_fit(np.array([9.0])) == 1
+
+    def test_counts_increment(self):
+        skm = SequentialKMeans(2).initialize(np.array([[0.0], [10.0]]))
+        skm.partial_fit(np.array([1.0]))
+        np.testing.assert_array_equal(skm.counts_, [2, 1])
+
+    def test_l1_metric_assignment(self):
+        skm = SequentialKMeans(2, metric="l1").initialize(
+            np.array([[0.0, 0.0], [4.0, 4.0]])
+        )
+        # Point closer in L1 to the second centroid.
+        assert skm.predict_one(np.array([3.0, 3.0])) == 1
+
+    def test_invalid_metric(self):
+        with pytest.raises(ConfigurationError):
+            SequentialKMeans(2, metric="cosine")
+
+    def test_ewma_mode_moves_fast(self):
+        exact = SequentialKMeans(1).initialize(np.array([[0.0]]), counts=np.array([100]))
+        ew = SequentialKMeans(1, alpha=0.5).initialize(np.array([[0.0]]))
+        for _ in range(5):
+            exact.partial_fit(np.array([10.0]))
+            ew.partial_fit(np.array([10.0]))
+        assert ew.cluster_centers_[0, 0] > exact.cluster_centers_[0, 0]
+
+    def test_fit_seeds_from_first_rows(self, rng):
+        X = rng.normal(size=(30, 2))
+        skm = SequentialKMeans(3).fit(X)
+        assert skm.is_fitted
+        assert skm.counts_.sum() == 30
+
+    def test_fit_not_enough_samples(self):
+        with pytest.raises(ConfigurationError):
+            SequentialKMeans(5).fit(np.ones((3, 2)))
+
+    def test_predict_batch_no_update(self, rng):
+        skm = SequentialKMeans(2).initialize(np.array([[0.0, 0.0], [5.0, 5.0]]))
+        before = skm.cluster_centers_.copy()
+        labels = skm.predict(rng.normal(size=(10, 2)))
+        assert labels.shape == (10,)
+        np.testing.assert_array_equal(skm.cluster_centers_, before)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            SequentialKMeans(2).predict_one(np.zeros(2))
+
+    def test_initialize_random(self, rng):
+        X = rng.normal(size=(20, 2))
+        skm = SequentialKMeans(4, seed=0).initialize_random(X)
+        assert skm.cluster_centers_.shape == (4, 2)
+
+    def test_counts_validation(self):
+        with pytest.raises(ConfigurationError):
+            SequentialKMeans(2).initialize(np.zeros((2, 2)), counts=np.array([-1, 1]))

@@ -1,0 +1,180 @@
+"""Unit tests for CentroidSet — Algorithms 3/4 and the drift rate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CentroidSet
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def cents():
+    trained = np.array([[0.0, 0.0], [4.0, 4.0], [8.0, 0.0]])
+    return CentroidSet(trained, np.array([10, 10, 10]))
+
+
+class TestConstruction:
+    def test_recent_starts_at_trained(self, cents):
+        np.testing.assert_array_equal(cents.recent, cents.trained)
+        assert cents.drift_distance() == 0.0
+
+    def test_counts_validation(self):
+        with pytest.raises(ConfigurationError):
+            CentroidSet(np.zeros((2, 3)), np.array([1, -1]))
+        with pytest.raises(ConfigurationError):
+            CentroidSet(np.zeros((2, 3)), np.array([1, 1, 1]))
+
+    def test_trained_immutable(self, cents):
+        with pytest.raises(ValueError):
+            cents.trained[0, 0] = 5.0
+
+    def test_from_labelled_data(self, rng):
+        X = np.array([[0.0, 0.0], [2.0, 0.0], [10.0, 10.0]])
+        y = np.array([0, 0, 1])
+        c = CentroidSet.from_labelled_data(X, y)
+        np.testing.assert_allclose(c.trained[0], [1.0, 0.0])
+        np.testing.assert_allclose(c.trained[1], [10.0, 10.0])
+        np.testing.assert_array_equal(c.counts, [2, 1])
+
+    def test_from_labelled_data_missing_label(self):
+        with pytest.raises(ConfigurationError):
+            CentroidSet.from_labelled_data(np.ones((3, 2)), np.zeros(3, dtype=int), n_labels=2)
+
+    def test_from_labelled_data_label_exceeds_n(self):
+        with pytest.raises(ConfigurationError):
+            CentroidSet.from_labelled_data(
+                np.ones((3, 2)), np.array([0, 1, 2]), n_labels=2
+            )
+
+    def test_properties(self, cents):
+        assert cents.n_labels == 3 and cents.n_features == 2
+
+
+class TestUpdate:
+    def test_paper_running_mean_formula(self, cents):
+        # cor ← (cor·num + x) / (num + 1)
+        cents.update(0, np.array([11.0, 0.0]))
+        np.testing.assert_allclose(cents.recent[0], [1.0, 0.0])
+        assert cents.counts[0] == 11
+
+    def test_only_that_label_moves(self, cents):
+        cents.update(1, np.array([100.0, 100.0]))
+        np.testing.assert_array_equal(cents.recent[0], cents.trained[0])
+        np.testing.assert_array_equal(cents.recent[2], cents.trained[2])
+
+    def test_invalid_label(self, cents):
+        with pytest.raises(ConfigurationError):
+            cents.update(3, np.zeros(2))
+
+    def test_zero_count_adopts_sample(self):
+        c = CentroidSet(np.zeros((1, 2)), np.array([0]))
+        c.update(0, np.array([5.0, 5.0]))
+        np.testing.assert_array_equal(c.recent[0], [5.0, 5.0])
+        assert c.counts[0] == 1
+
+    def test_max_count_caps_inertia(self):
+        capped = CentroidSet(np.zeros((1, 2)), np.array([1000]), max_count=10)
+        exact = CentroidSet(np.zeros((1, 2)), np.array([1000]))
+        x = np.array([1.0, 1.0])
+        capped.update(0, x)
+        exact.update(0, x)
+        # Capped: weight 1/11 ; exact: weight 1/1001.
+        assert capped.recent[0, 0] == pytest.approx(1.0 / 11)
+        assert exact.recent[0, 0] == pytest.approx(1.0 / 1001)
+
+    def test_max_count_converges_exponentially(self):
+        c = CentroidSet(np.zeros((1, 1)), np.array([500]), max_count=20)
+        for _ in range(200):
+            c.update(0, np.array([1.0]))
+        assert c.recent[0, 0] > 0.99
+
+    def test_drift_distance_is_l1_sum(self, cents):
+        cents.update(0, np.array([11.0, 2.0]))  # recent[0] -> (1.0, 0.1818...)
+        expected = np.abs(cents.recent - cents.trained).sum()
+        assert cents.drift_distance() == pytest.approx(expected)
+
+    def test_sample_distance(self, cents):
+        d = cents.sample_distance(1, np.array([5.0, 5.0]))
+        assert d == pytest.approx(2.0)
+        d_recent = cents.sample_distance(1, np.array([5.0, 5.0]), which="recent")
+        assert d_recent == pytest.approx(2.0)
+
+
+class TestInitCoord:
+    def test_adopts_spread_increasing_sample(self, cents):
+        # A far-away sample should replace some coordinate.
+        label = cents.init_coord(np.array([100.0, 100.0]))
+        assert label != -1
+        assert (cents.recent[label] == [100.0, 100.0]).all()
+
+    def test_rejects_spread_decreasing_sample(self, cents):
+        # The exact centroid of the current coordinates reduces spread.
+        label = cents.init_coord(np.array([4.0, 1.3]))
+        assert label == -1
+        np.testing.assert_array_equal(cents.recent, cents.trained)
+
+    def test_picks_best_replacement(self):
+        c = CentroidSet(np.array([[0.0], [1.0]]), np.array([1, 1]))
+        # Replacing the coordinate CLOSEST to the far sample maximises spread.
+        label = c.init_coord(np.array([10.0]))
+        assert label == 1
+        np.testing.assert_array_equal(c.recent[0], [0.0])
+
+    def test_single_label_never_adopts(self):
+        c = CentroidSet(np.zeros((1, 2)), np.array([1]))
+        assert c.init_coord(np.array([9.0, 9.0])) == -1
+
+    def test_trained_untouched(self, cents):
+        before = cents.trained.copy()
+        cents.init_coord(np.array([100.0, 100.0]))
+        np.testing.assert_array_equal(cents.trained, before)
+
+
+class TestUpdateCoord:
+    def test_assigns_l1_nearest(self, cents):
+        # (7, 1) is L1-nearest to coordinate 2 at (8, 0).
+        label = cents.update_coord(np.array([7.0, 1.0]))
+        assert label == 2
+
+    def test_updates_after_assignment(self, cents):
+        cents.update_coord(np.array([7.0, 1.0]))
+        assert cents.counts[2] == 11
+        np.testing.assert_allclose(cents.recent[2], [(8 * 10 + 7) / 11, 1 / 11])
+
+    def test_nearest_label_l1_vs_l2_difference(self):
+        # Point where L1 and L2 nearest differ: L1 favours axis-aligned.
+        c = CentroidSet(np.array([[0.0, 0.0], [3.0, 3.0]]), np.array([1, 1]))
+        x = np.array([2.4, 2.4])  # L1: 4.8 vs 1.2 -> label 1
+        assert c.nearest_label(x) == 1
+
+
+class TestLifecycle:
+    def test_reset_recent(self, cents):
+        cents.update(0, np.array([50.0, 50.0]))
+        cents.reset_recent()
+        np.testing.assert_array_equal(cents.recent, cents.trained)
+        np.testing.assert_array_equal(cents.counts, [10, 10, 10])
+        assert cents.drift_distance() == 0.0
+
+    def test_reset_counts(self, cents):
+        cents.reset_counts(1)
+        np.testing.assert_array_equal(cents.counts, [1, 1, 1])
+
+    def test_promote_recent_to_trained(self, cents):
+        cents.update(0, np.array([50.0, 50.0]))
+        moved = cents.recent.copy()
+        cents.promote_recent_to_trained()
+        np.testing.assert_array_equal(cents.trained, moved)
+        assert cents.drift_distance() == 0.0
+        # Reset after promotion snaps to the NEW trained state.
+        cents.update(1, np.array([99.0, 99.0]))
+        cents.reset_recent()
+        np.testing.assert_array_equal(cents.recent, moved)
+
+    def test_state_nbytes(self, cents):
+        expected = cents.trained.nbytes + cents.recent.nbytes + cents.counts.nbytes
+        assert cents.state_nbytes() == expected
+        # 3 labels × 2 dims × 8 B × 2 matrices + counts — tiny.
+        assert cents.state_nbytes() < 1000

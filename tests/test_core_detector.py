@@ -1,0 +1,133 @@
+"""Unit tests for SequentialDriftDetector — Algorithm 1's state machine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CentroidSet, SequentialDriftDetector
+from repro.utils.exceptions import ConfigurationError
+
+
+def make_detector(window=5, theta_error=1.0, theta_drift=3.0, counts=(1, 1)):
+    cents = CentroidSet(np.array([[0.0, 0.0], [10.0, 10.0]]), np.array(counts))
+    return SequentialDriftDetector(
+        cents, window_size=window, theta_error=theta_error, theta_drift=theta_drift
+    )
+
+
+class TestConstruction:
+    def test_initial_state(self):
+        det = make_detector()
+        assert not det.drift and not det.check
+        assert det.window_count == 0
+
+    def test_requires_centroid_set(self):
+        with pytest.raises(ConfigurationError):
+            SequentialDriftDetector(
+                np.zeros((2, 2)), window_size=5, theta_error=1.0, theta_drift=1.0
+            )
+
+    def test_invalid_window(self):
+        cents = CentroidSet(np.zeros((1, 2)), np.array([1]))
+        with pytest.raises(ConfigurationError):
+            SequentialDriftDetector(cents, window_size=0, theta_error=1.0, theta_drift=1.0)
+
+
+class TestWindowTrigger:
+    def test_low_error_keeps_idle(self):
+        det = make_detector(theta_error=1.0)
+        step = det.update(np.zeros(2), 0, error=0.5)
+        assert not step.checking and step.window_count == 0
+        # Idle samples never touch the centroids (Algorithm 1 gates the
+        # update on check=True).
+        assert det.centroids.drift_distance() == 0.0
+
+    def test_high_error_opens_window(self):
+        det = make_detector(theta_error=1.0)
+        step = det.update(np.zeros(2), 0, error=2.0)
+        assert step.checking
+        assert step.window_count == 1
+        assert det.n_windows_opened == 1
+
+    def test_threshold_is_inclusive(self):
+        det = make_detector(theta_error=1.0)
+        assert det.update(np.zeros(2), 0, error=1.0).checking  # line 8: >=
+
+    def test_window_not_retriggered_while_open(self):
+        det = make_detector(window=5, theta_error=1.0)
+        det.update(np.zeros(2), 0, error=2.0)
+        det.update(np.zeros(2), 0, error=2.0)
+        assert det.n_windows_opened == 1
+
+    def test_window_samples_update_centroids(self):
+        det = make_detector(window=5, theta_error=1.0, counts=(1, 1))
+        det.update(np.array([2.0, 0.0]), 0, error=2.0)
+        assert det.centroids.counts[0] == 2
+        assert det.centroids.drift_distance() > 0
+
+
+class TestDriftDecision:
+    def test_drift_fires_at_window_end_when_far(self):
+        det = make_detector(window=3, theta_error=0.5, theta_drift=2.0)
+        steps = [det.update(np.array([5.0, 5.0]), 0, error=1.0) for _ in range(3)]
+        assert not steps[0].drift_detected and not steps[1].drift_detected
+        assert steps[2].drift_detected
+        assert det.drift
+        assert det.n_drifts == 1
+
+    def test_no_drift_when_distance_small(self):
+        det = make_detector(window=3, theta_error=0.5, theta_drift=100.0)
+        steps = [det.update(np.array([1.0, 0.0]), 0, error=1.0) for _ in range(3)]
+        assert not steps[2].drift_detected
+        assert not det.drift
+        assert not det.check  # window closed (line 19)
+
+    def test_window_can_reopen_after_negative_check(self):
+        det = make_detector(window=2, theta_error=0.5, theta_drift=100.0)
+        for _ in range(2):
+            det.update(np.array([1.0, 0.0]), 0, error=1.0)
+        det.update(np.zeros(2), 0, error=1.0)
+        assert det.n_windows_opened == 2
+
+    def test_detector_inert_while_drifting(self):
+        det = make_detector(window=2, theta_error=0.5, theta_drift=1.0)
+        for _ in range(2):
+            det.update(np.array([9.0, 9.0]), 0, error=1.0)
+        assert det.drift
+        counts_before = det.centroids.counts.copy()
+        step = det.update(np.array([9.0, 9.0]), 0, error=1.0)
+        assert step.drifting and not step.drift_detected
+        np.testing.assert_array_equal(det.centroids.counts, counts_before)
+
+    def test_end_drift_resets_flags(self):
+        det = make_detector(window=2, theta_error=0.5, theta_drift=1.0)
+        for _ in range(2):
+            det.update(np.array([9.0, 9.0]), 0, error=1.0)
+        det.end_drift()
+        assert not det.drift and not det.check and det.window_count == 0
+
+    def test_distance_reported(self):
+        det = make_detector(window=3, theta_error=0.5, theta_drift=100.0)
+        step = det.update(np.array([4.0, 0.0]), 0, error=1.0)
+        assert step.distance == pytest.approx(det.centroids.drift_distance())
+
+    def test_drift_threshold_inclusive(self):
+        # Engineer dist to land exactly on theta_drift: counts=1,
+        # window=1, sample at (4, 0) → recent[0]=(2,0) → dist=2.
+        det = make_detector(window=1, theta_error=0.5, theta_drift=2.0, counts=(1, 1))
+        step = det.update(np.array([4.0, 0.0]), 0, error=1.0)
+        assert step.drift_detected  # line 17: >=
+
+
+class TestMemory:
+    def test_state_is_centroids_plus_scalars(self):
+        det = make_detector()
+        assert det.state_nbytes() == det.centroids.state_nbytes() + 48
+
+    def test_memory_constant_over_stream(self, rng):
+        det = make_detector(window=10, theta_error=0.0, theta_drift=1e9)
+        before = det.state_nbytes()
+        for _ in range(500):
+            det.update(rng.random(2), int(rng.integers(2)), error=1.0)
+        assert det.state_nbytes() == before  # never stores samples

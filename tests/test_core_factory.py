@@ -1,0 +1,101 @@
+"""Unit tests for the §4.2 method factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_baseline,
+    build_model,
+    build_onlad,
+    build_proposed,
+    build_quanttree_pipeline,
+    build_spll_pipeline,
+)
+from repro.core.pipeline import (
+    BatchDetectorPipeline,
+    NoDetectionPipeline,
+    ONLADPipeline,
+    ProposedPipeline,
+)
+from repro.detectors import SPLL, QuantTree
+
+
+class TestBuildModel:
+    def test_geometry(self, train_stream):
+        m = build_model(train_stream.X, train_stream.y, n_hidden=4, seed=0)
+        assert m.n_features == 6 and m.n_hidden == 4 and m.n_labels == 2
+        assert m.is_fitted
+
+    def test_forgetting_passthrough(self, train_stream):
+        m = build_model(train_stream.X, train_stream.y, forgetting_factor=0.9, seed=0)
+        assert m.forgetting_factor == 0.9
+
+
+class TestBuildProposed:
+    def test_wiring(self, train_stream):
+        p = build_proposed(train_stream.X, train_stream.y, n_hidden=4, seed=0)
+        assert isinstance(p, ProposedPipeline)
+        assert p.reconstructor.model is p.model
+        assert p.reconstructor.centroids is p.detector.centroids
+
+    def test_thresholds_calibrated(self, train_stream):
+        p = build_proposed(train_stream.X, train_stream.y, n_hidden=4, seed=0)
+        assert p.detector.theta_drift > 0
+        assert p.detector.theta_error > 0
+
+    def test_z_raises_threshold(self, train_stream):
+        lo = build_proposed(train_stream.X, train_stream.y, n_hidden=4, z=0.5, seed=0)
+        hi = build_proposed(train_stream.X, train_stream.y, n_hidden=4, z=2.0, seed=0)
+        assert hi.detector.theta_drift > lo.detector.theta_drift
+
+    def test_window_size_setting(self, train_stream):
+        p = build_proposed(train_stream.X, train_stream.y, window_size=77, n_hidden=4, seed=0)
+        assert p.detector.window_size == 77
+
+    def test_max_count_default_and_override(self, train_stream):
+        default = build_proposed(train_stream.X, train_stream.y, n_hidden=4, seed=0)
+        assert default.detector.centroids.max_count == 500
+        exact = build_proposed(
+            train_stream.X, train_stream.y, n_hidden=4, max_count=None, seed=0
+        )
+        assert exact.detector.centroids.max_count is None
+
+    def test_seed_reproducibility(self, train_stream, drift_stream):
+        a = build_proposed(train_stream.X, train_stream.y, n_hidden=4, seed=3)
+        b = build_proposed(train_stream.X, train_stream.y, n_hidden=4, seed=3)
+        ra = a.run(drift_stream.take(300))
+        rb = b.run(drift_stream.take(300))
+        assert [r.predicted for r in ra] == [r.predicted for r in rb]
+
+
+class TestOtherFactories:
+    def test_baseline_type(self, train_stream):
+        assert isinstance(
+            build_baseline(train_stream.X, train_stream.y, n_hidden=4, seed=0),
+            NoDetectionPipeline,
+        )
+
+    def test_onlad_forgetting_default(self, train_stream):
+        p = build_onlad(train_stream.X, train_stream.y, n_hidden=4, seed=0)
+        assert isinstance(p, ONLADPipeline)
+        assert p.model.forgetting_factor == 0.97
+
+    def test_quanttree_pipeline(self, train_stream):
+        p = build_quanttree_pipeline(
+            train_stream.X, train_stream.y, batch_size=60, n_bins=8, n_hidden=4, seed=0
+        )
+        assert isinstance(p, BatchDetectorPipeline)
+        assert isinstance(p.detector, QuantTree)
+        assert p.detector.is_fitted
+        assert p.detector.batch_size == 60
+        assert p.name == "quanttree"
+
+    def test_spll_pipeline(self, train_stream):
+        p = build_spll_pipeline(
+            train_stream.X, train_stream.y, batch_size=60, n_hidden=4, seed=0
+        )
+        assert isinstance(p.detector, SPLL)
+        assert p.detector.is_fitted
+        assert p.name == "spll"

@@ -1,0 +1,108 @@
+"""Unit tests for the DriftMonitor event facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DriftEvent, DriftMonitor, build_proposed
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def pipeline(train_stream):
+    return build_proposed(
+        train_stream.X, train_stream.y, window_size=20, n_hidden=4,
+        reconstruction_samples=60, seed=0,
+    )
+
+
+class TestConstruction:
+    def test_requires_pipeline(self):
+        with pytest.raises(ConfigurationError):
+            DriftMonitor("not a pipeline")
+
+    def test_unknown_event_kind(self, pipeline):
+        mon = DriftMonitor(pipeline)
+        with pytest.raises(ConfigurationError):
+            mon.subscribe("explosion", lambda e: None)
+
+    def test_non_callable_rejected(self, pipeline):
+        mon = DriftMonitor(pipeline)
+        with pytest.raises(ConfigurationError):
+            mon.subscribe("drift", 42)
+
+
+class TestEvents:
+    def test_drift_and_reconstruction_events(self, pipeline, drift_stream):
+        events = []
+        mon = DriftMonitor(
+            pipeline,
+            on_drift=lambda e: events.append(e),
+            on_reconstruction_end=lambda e: events.append(e),
+        )
+        mon.process_stream(drift_stream)
+        kinds = [e.kind for e in events]
+        assert "drift" in kinds
+        assert "reconstruction_end" in kinds
+        assert kinds.index("drift") < kinds.index("reconstruction_end")
+
+    def test_drift_event_fields(self, pipeline, drift_stream):
+        seen = []
+        mon = DriftMonitor(pipeline, on_drift=seen.append)
+        mon.process_stream(drift_stream)
+        ev = seen[0]
+        assert isinstance(ev, DriftEvent)
+        assert ev.record.drift_detected
+        assert ev.n_drifts_so_far == 1
+        assert ev.record.index >= 400  # after the true drift
+
+    def test_sample_events_every_sample(self, pipeline, drift_stream):
+        count = [0]
+        mon = DriftMonitor(pipeline, on_sample=lambda e: count.__setitem__(0, count[0] + 1))
+        mon.process_stream(drift_stream.take(100))
+        assert count[0] == 100
+        assert mon.n_samples == 100
+
+    def test_reconstruction_end_marks_phase_boundary(self, pipeline, drift_stream):
+        ends = []
+        mon = DriftMonitor(pipeline, on_reconstruction_end=ends.append)
+        records = mon.process_stream(drift_stream)
+        assert ends
+        end_idx = ends[0].record.index
+        assert not records[end_idx].reconstructing
+        assert records[end_idx - 1].reconstructing
+
+    def test_callback_exception_propagates(self, pipeline, drift_stream):
+        def boom(event):
+            raise RuntimeError("application bug")
+
+        mon = DriftMonitor(pipeline, on_sample=boom)
+        with pytest.raises(RuntimeError):
+            mon.process(drift_stream.X[0], 0)
+
+    def test_late_subscription(self, pipeline, drift_stream):
+        mon = DriftMonitor(pipeline)
+        hits = []
+        mon.subscribe("drift", hits.append)
+        mon.process_stream(drift_stream)
+        assert hits
+
+
+class TestStatus:
+    def test_initial_idle(self, pipeline):
+        assert DriftMonitor(pipeline).status == "idle"
+
+    def test_status_transitions(self, pipeline, drift_stream):
+        mon = DriftMonitor(pipeline)
+        statuses = set()
+        for x, y in drift_stream:
+            mon.process(x, y)
+            statuses.add(mon.status)
+        assert {"idle", "reconstructing"} <= statuses
+
+    def test_counts(self, pipeline, drift_stream):
+        mon = DriftMonitor(pipeline)
+        records = mon.process_stream(drift_stream)
+        assert mon.n_drifts == sum(r.drift_detected for r in records)
+        assert mon.n_samples == len(drift_stream)

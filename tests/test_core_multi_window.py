@@ -1,0 +1,109 @@
+"""Unit tests for the multi-window detector ensemble (future-work feature)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CentroidSet, MultiWindowDetector
+from repro.utils.exceptions import ConfigurationError
+
+
+def make_ensemble(windows=(2, 5, 10), policy="majority", theta_drift=2.0):
+    cents = CentroidSet(np.array([[0.0, 0.0], [10.0, 10.0]]), np.array([1, 1]))
+    return MultiWindowDetector(
+        cents, windows, theta_error=0.5, theta_drift=theta_drift, policy=policy
+    )
+
+
+class TestConstruction:
+    def test_members_sorted_by_window(self):
+        ens = make_ensemble(windows=(10, 2, 5))
+        assert ens.window_sizes == (2, 5, 10)
+        assert [m.window_size for m in ens.members] == [2, 5, 10]
+
+    def test_members_have_independent_state(self):
+        ens = make_ensemble()
+        states = {id(m.centroids) for m in ens.members}
+        assert len(states) == len(ens.members)
+
+    def test_invalid_policy(self):
+        with pytest.raises(ConfigurationError):
+            make_ensemble(policy="quorum")
+
+    def test_duplicate_windows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_ensemble(windows=(5, 5))
+
+    def test_empty_windows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_ensemble(windows=())
+
+    def test_max_count_propagates(self):
+        cents = CentroidSet(np.zeros((1, 2)), np.array([1]), max_count=7)
+        ens = MultiWindowDetector(cents, (2, 4), theta_error=0.5, theta_drift=2.0)
+        assert all(m.centroids.max_count == 7 for m in ens.members)
+
+
+class TestVoting:
+    def feed_drifting(self, ens, n):
+        """Drive all members toward drift with far-away anomalous samples."""
+        steps = []
+        for _ in range(n):
+            steps.append(ens.update(np.array([8.0, 0.0]), 0, error=1.0))
+        return steps
+
+    def test_any_policy_fires_with_fastest_member(self):
+        ens = make_ensemble(policy="any")
+        steps = self.feed_drifting(ens, 2)  # smallest window = 2 completes
+        assert steps[-1].drift_detected
+
+    def test_majority_waits_for_second_member(self):
+        ens = make_ensemble(policy="majority")
+        steps = self.feed_drifting(ens, 5)
+        fired_at = [i for i, s in enumerate(steps) if s.drift_detected]
+        assert fired_at == [4]  # members with W=2 and W=5 both drifting
+
+    def test_all_policy_waits_for_slowest(self):
+        ens = make_ensemble(policy="all")
+        steps = self.feed_drifting(ens, 10)
+        fired_at = [i for i, s in enumerate(steps) if s.drift_detected]
+        assert fired_at == [9]
+
+    def test_votes_counted(self):
+        ens = make_ensemble(policy="all")
+        steps = self.feed_drifting(ens, 6)
+        assert steps[-1].votes == 2  # W=2 and W=5 drifting, W=10 not yet
+
+    def test_detected_only_on_transition(self):
+        ens = make_ensemble(policy="any")
+        steps = self.feed_drifting(ens, 6)
+        detections = [s.drift_detected for s in steps]
+        assert sum(detections) == 1  # no re-fire while flag stays up
+
+    def test_no_drift_when_stationary(self, rng):
+        ens = make_ensemble(theta_drift=50.0)
+        for _ in range(100):
+            step = ens.update(rng.normal(0, 0.1, 2), 0, error=1.0)
+            assert not step.drift_detected
+
+    def test_end_drift_resets_all(self):
+        ens = make_ensemble(policy="any")
+        self.feed_drifting(ens, 3)
+        assert ens.drift
+        ens.end_drift()
+        assert not ens.drift
+        assert all(not m.drift for m in ens.members)
+
+    def test_member_steps_exposed(self):
+        ens = make_ensemble()
+        step = ens.update(np.array([8.0, 0.0]), 0, error=1.0)
+        assert len(step.member_steps) == 3
+        assert all(s.checking for s in step.member_steps)
+
+
+class TestMemory:
+    def test_linear_in_members(self):
+        one = make_ensemble(windows=(5,))
+        three = make_ensemble(windows=(2, 5, 10))
+        assert three.state_nbytes() == 3 * one.state_nbytes()

@@ -1,0 +1,143 @@
+"""Unit tests for ModelReconstructor — Algorithm 2's four phases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CentroidSet, ModelReconstructor
+from repro.oselm import MultiInstanceModel
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def setup(train_stream):
+    model = MultiInstanceModel(6, 4, 2, seed=0).fit_initial(train_stream.X, train_stream.y)
+    cents = CentroidSet.from_labelled_data(train_stream.X, train_stream.y, 2)
+    rec = ModelReconstructor(model, cents, n_total=40, n_search=4, n_update=12)
+    return model, cents, rec
+
+
+class TestConfiguration:
+    def test_phase_bounds_enforced(self, setup):
+        model, cents, _ = setup
+        with pytest.raises(ConfigurationError):
+            ModelReconstructor(model, cents, n_total=40, n_search=12, n_update=12)
+        with pytest.raises(ConfigurationError):
+            ModelReconstructor(model, cents, n_total=40, n_search=2, n_update=30)
+
+    def test_defaults_valid_over_range(self, setup):
+        model, cents, _ = setup
+        for n in (40, 100, 400, 1000):
+            r = ModelReconstructor(model, cents, n_total=n)
+            assert 0 < r.n_search < r.n_update <= n // 2
+
+    def test_min_total(self, setup):
+        model, cents, _ = setup
+        with pytest.raises(ConfigurationError):
+            ModelReconstructor(model, cents, n_total=3)
+
+
+class TestPhaseSequence:
+    def test_phases_in_order(self, setup, drift_stream):
+        _, _, rec = setup
+        phases = []
+        i = 400
+        while True:
+            step = rec.process(drift_stream.X[i])
+            phases.append(step.phase)
+            i += 1
+            if not step.still_reconstructing:
+                break
+        # count runs 1..40: search for count<4, update for count<12,
+        # centroid training until count<20, predict training until 40.
+        assert phases[0] == "search"
+        assert phases[4] == "update"
+        assert phases[12] == "train_centroid"
+        assert phases[25] == "train_predict"
+        assert phases[-1] == "finish"
+        assert len(phases) == 40
+
+    def test_returns_false_exactly_at_n(self, setup, drift_stream):
+        _, _, rec = setup
+        results = [rec.process(drift_stream.X[400 + i]).still_reconstructing for i in range(40)]
+        assert all(results[:-1]) and not results[-1]
+
+    def test_counter_resets_for_next_reconstruction(self, setup, drift_stream):
+        _, _, rec = setup
+        for i in range(40):
+            rec.process(drift_stream.X[400 + i])
+        assert rec.count == 0
+        assert not rec.is_active
+        assert rec.n_reconstructions == 1
+        step = rec.process(drift_stream.X[500])
+        assert step.count == 1 and rec.is_active
+
+    def test_counts_reset_at_begin(self, setup, drift_stream):
+        _, cents, rec = setup
+        assert cents.counts.max() > 1
+        rec.process(drift_stream.X[400])
+        assert (cents.counts <= 2).all()  # reset to 1, maybe one update since
+
+
+class TestModelEffects:
+    def test_covariance_reset(self, setup, drift_stream):
+        model, _, rec = setup
+        p_before = [inst.core.P.copy() for inst in model.instances]
+        rec.process(drift_stream.X[400])
+        for inst, pb in zip(model.instances, p_before):
+            assert not np.allclose(inst.core.P, pb)
+
+    def test_covariance_reset_optional(self, train_stream, drift_stream):
+        model = MultiInstanceModel(6, 4, 2, seed=0).fit_initial(train_stream.X, train_stream.y)
+        cents = CentroidSet.from_labelled_data(train_stream.X, train_stream.y, 2)
+        rec = ModelReconstructor(
+            model, cents, n_total=40, n_search=4, n_update=12, reset_covariance=False
+        )
+        p_before = model.instances[0].core.P.copy()
+        rec.process(drift_stream.X[400])
+        np.testing.assert_array_equal(model.instances[0].core.P, p_before)
+
+    def test_model_trains_during_reconstruction(self, setup, drift_stream):
+        model, _, rec = setup
+        seen_before = sum(inst.n_samples_seen for inst in model.instances)
+        for i in range(40):
+            rec.process(drift_stream.X[400 + i])
+        seen_after = sum(inst.n_samples_seen for inst in model.instances)
+        # All samples except the final count==N one train the model.
+        assert seen_after - seen_before == 39
+
+    def test_promotion_on_finish(self, setup, drift_stream):
+        _, cents, rec = setup
+        trained_before = cents.trained.copy()
+        for i in range(40):
+            rec.process(drift_stream.X[400 + i])
+        assert not np.allclose(cents.trained, trained_before)
+        assert cents.drift_distance() == 0.0
+
+    def test_adapts_to_shifted_concept(self, setup, drift_stream):
+        """End-to-end: after reconstruction on post-drift samples the model
+        classifies the shifted blobs accurately again."""
+        model, cents, _ = setup
+        rec = ModelReconstructor(model, cents, n_total=300, n_search=20, n_update=100)
+        i = 400
+        while True:
+            step = rec.process(drift_stream.X[i])
+            i += 1
+            if not step.still_reconstructing:
+                break
+        post = drift_stream.slice(i, 1200)
+        acc = (model.predict(post.X) == post.y).mean()
+        assert acc > 0.9
+
+    def test_literal_overlap_double_trains(self, train_stream, drift_stream):
+        model = MultiInstanceModel(6, 4, 2, seed=0).fit_initial(train_stream.X, train_stream.y)
+        cents = CentroidSet.from_labelled_data(train_stream.X, train_stream.y, 2)
+        rec = ModelReconstructor(
+            model, cents, n_total=40, n_search=4, n_update=12, literal_overlap=True
+        )
+        seen_before = sum(inst.n_samples_seen for inst in model.instances)
+        for i in range(19):  # counts 1..19 (< N/2): double-train region
+            rec.process(drift_stream.X[400 + i])
+        seen_after = sum(inst.n_samples_seen for inst in model.instances)
+        assert seen_after - seen_before == 2 * 19

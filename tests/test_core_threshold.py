@@ -1,0 +1,115 @@
+"""Unit tests for Eq. 1 threshold calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CentroidSet,
+    calibrate_drift_threshold,
+    calibrate_error_threshold,
+    drift_threshold,
+    training_distances,
+)
+from repro.utils.exceptions import ConfigurationError, DataValidationError
+
+
+class TestTrainingDistances:
+    def test_l1_distances(self):
+        X = np.array([[1.0, 1.0], [5.0, 5.0]])
+        cents = np.array([[0.0, 0.0], [4.0, 4.0]])
+        d = training_distances(X, np.array([0, 1]), cents)
+        np.testing.assert_allclose(d, [2.0, 2.0])
+
+    def test_l2_metric(self):
+        X = np.array([[3.0, 4.0]])
+        cents = np.array([[0.0, 0.0]])
+        d = training_distances(X, np.array([0]), cents, metric="l2")
+        assert d[0] == pytest.approx(5.0)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ConfigurationError):
+            training_distances(
+                np.ones((1, 2)), np.array([0]), np.zeros((1, 2)), metric="cosine"
+            )
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(DataValidationError):
+            training_distances(np.ones((2, 2)), np.array([0]), np.zeros((1, 2)))
+
+    def test_label_out_of_range(self):
+        with pytest.raises(DataValidationError):
+            training_distances(np.ones((1, 2)), np.array([3]), np.zeros((2, 2)))
+
+
+class TestDriftThreshold:
+    def test_equation_one(self):
+        d = np.array([1.0, 2.0, 3.0, 4.0])
+        # μ = 2.5, population σ = sqrt(1.25)
+        assert drift_threshold(d, z=1.0) == pytest.approx(2.5 + np.sqrt(1.25))
+
+    def test_z_zero_gives_mean(self):
+        d = np.array([1.0, 3.0])
+        assert drift_threshold(d, z=0.0) == pytest.approx(2.0)
+
+    def test_z_scaling_monotone(self, rng):
+        d = rng.random(100)
+        assert drift_threshold(d, 0.5) < drift_threshold(d, 1.0) < drift_threshold(d, 2.0)
+
+    def test_population_not_sample_std(self):
+        d = np.array([0.0, 2.0])
+        # population σ = 1 (1/N), sample σ = sqrt(2) (1/(N-1)).
+        assert drift_threshold(d, z=1.0) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataValidationError):
+            drift_threshold(np.array([]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(DataValidationError):
+            drift_threshold(np.array([1.0, np.nan]))
+
+
+class TestCalibrateDriftThreshold:
+    def test_accepts_centroid_set(self, rng):
+        X = rng.random((50, 3))
+        y = rng.integers(0, 2, size=50)
+        y[:2] = [0, 1]
+        cents = CentroidSet.from_labelled_data(X, y, 2)
+        t1 = calibrate_drift_threshold(X, y, cents)
+        t2 = calibrate_drift_threshold(X, y, cents.trained)
+        assert t1 == pytest.approx(t2)
+        assert t1 > 0
+
+    def test_tight_clusters_give_small_threshold(self, rng):
+        Xt = np.concatenate([rng.normal(0, 0.01, (30, 2)), rng.normal(5, 0.01, (30, 2))])
+        Xl = np.concatenate([rng.normal(0, 1.0, (30, 2)), rng.normal(5, 1.0, (30, 2))])
+        y = np.array([0] * 30 + [1] * 30)
+        ct = CentroidSet.from_labelled_data(Xt, y, 2)
+        cl = CentroidSet.from_labelled_data(Xl, y, 2)
+        assert calibrate_drift_threshold(Xt, y, ct) < calibrate_drift_threshold(Xl, y, cl)
+
+
+class TestCalibrateErrorThreshold:
+    def test_mean_sigma(self, rng):
+        s = rng.random(1000)
+        t = calibrate_error_threshold(s, method="mean_sigma", z=2.0)
+        assert t == pytest.approx(s.mean() + 2.0 * s.std())
+
+    def test_quantile(self, rng):
+        s = rng.random(1000)
+        t = calibrate_error_threshold(s, method="quantile", q=0.9)
+        assert t == pytest.approx(np.quantile(s, 0.9))
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ConfigurationError):
+            calibrate_error_threshold(rng.random(10), method="gmm")
+
+    def test_invalid_quantile(self, rng):
+        with pytest.raises(ConfigurationError):
+            calibrate_error_threshold(rng.random(10), method="quantile", q=0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataValidationError):
+            calibrate_error_threshold(np.array([]))

@@ -1,0 +1,119 @@
+"""Unit tests for the classic synthetic drift benchmarks (SEA etc.)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    make_hyperplane_stream,
+    make_rbf_drift_stream,
+    make_sea_stream,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestSEA:
+    def test_shape_and_drifts(self):
+        s = make_sea_stream(500, seed=0)
+        assert s.X.shape == (2000, 3)
+        assert s.drift_points == (500, 1000, 1500)
+
+    def test_label_rule_per_block(self):
+        s = make_sea_stream(400, thresholds=(8.0, 9.5), noise=0.0, seed=1)
+        for k, theta in enumerate((8.0, 9.5)):
+            sl = slice(k * 400, (k + 1) * 400)
+            expected = (s.X[sl, 0] + s.X[sl, 1] <= theta).astype(int)
+            np.testing.assert_array_equal(s.y[sl], expected)
+
+    def test_feature_range(self):
+        s = make_sea_stream(200, seed=0)
+        assert s.X.min() >= 0.0 and s.X.max() <= 10.0
+
+    def test_noise_flips_labels(self):
+        clean = make_sea_stream(500, noise=0.0, seed=2)
+        noisy = make_sea_stream(500, noise=0.3, seed=2)
+        assert (clean.y != noisy.y).mean() == pytest.approx(0.3, abs=0.05)
+
+    def test_third_feature_irrelevant(self):
+        s = make_sea_stream(1000, noise=0.0, seed=3)
+        # Labels determined entirely by f1+f2.
+        expected = (s.X[:, 0] + s.X[:, 1] <= 8.0).astype(int)
+        np.testing.assert_array_equal(s.y[:1000], expected[:1000])
+
+    def test_empty_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_sea_stream(100, thresholds=())
+
+    def test_single_block_no_drift(self):
+        s = make_sea_stream(300, thresholds=(8.0,), seed=0)
+        assert s.drift_points == ()
+
+
+class TestHyperplane:
+    def test_shape(self):
+        s = make_hyperplane_stream(1500, 6, drift_start=700, seed=0)
+        assert s.X.shape == (1500, 6)
+        assert s.drift_points == (700,)
+
+    def test_classes_roughly_balanced(self):
+        s = make_hyperplane_stream(3000, drift_start=1500, seed=0)
+        assert 0.35 < s.y.mean() < 0.65
+
+    def test_boundary_is_stationary_before_drift(self):
+        s = make_hyperplane_stream(
+            3000, 6, drift_start=2999, rotation_per_step=0.0, seed=0
+        )
+        # With zero rotation the labels are a fixed linear rule; a simple
+        # linear probe (least squares) should classify well.
+        X, y = s.X - 0.5, 2.0 * s.y - 1.0
+        w, *_ = np.linalg.lstsq(X, y, rcond=None)
+        acc = ((X @ w > 0) == (y > 0)).mean()
+        assert acc > 0.9
+
+    def test_boundary_moves_after_drift(self):
+        s = make_hyperplane_stream(
+            6000, 6, drift_start=1000, rotation_per_step=5e-3,
+            margin_noise=0.0, seed=0,
+        )
+        X, y = s.X - 0.5, s.y
+        w, *_ = np.linalg.lstsq(X[:1000], 2.0 * y[:1000] - 1.0, rcond=None)
+        acc_pre = ((X[:1000] @ w > 0) == (y[:1000] > 0)).mean()
+        acc_post = ((X[5000:] @ w > 0) == (y[5000:] > 0)).mean()
+        assert acc_pre > 0.95
+        assert acc_post < acc_pre - 0.1
+
+    def test_invalid_drift_start(self):
+        with pytest.raises(ConfigurationError):
+            make_hyperplane_stream(100, drift_start=500)
+
+
+class TestRBFDrift:
+    def test_shape(self):
+        s = make_rbf_drift_stream(1000, 5, 4, drift_start=400, seed=0)
+        assert s.X.shape == (1000, 5)
+        assert s.drift_points == (400,)
+
+    def test_two_classes(self):
+        s = make_rbf_drift_stream(1000, 5, 4, drift_start=400, seed=0)
+        assert set(np.unique(s.y)) == {0, 1}
+
+    def test_prototypes_move_after_drift(self):
+        s = make_rbf_drift_stream(
+            6000, 4, 2, drift_start=1000, velocity=2e-3, spread=0.02, seed=0
+        )
+        pre = s.X[:1000].mean(axis=0)
+        post = s.X[5000:].mean(axis=0)
+        assert np.abs(pre - post).sum() > 0.2
+
+    def test_stationary_before_drift(self):
+        s = make_rbf_drift_stream(
+            4000, 4, 2, drift_start=3999, velocity=2e-3, spread=0.02, seed=0
+        )
+        a = s.X[:1500].mean(axis=0)
+        b = s.X[1500:3000].mean(axis=0)
+        assert np.abs(a - b).sum() < 0.1
+
+    def test_samples_bounded_near_box(self):
+        s = make_rbf_drift_stream(3000, 4, 3, drift_start=100, velocity=5e-3, seed=0)
+        assert s.X.min() > -1.0 and s.X.max() < 2.0

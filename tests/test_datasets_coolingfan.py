@@ -1,0 +1,149 @@
+"""Unit tests for the synthetic cooling-fan spectrum generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    N_BINS,
+    FanSpectrumModel,
+    fan_condition,
+    make_cooling_fan_like,
+    make_fan_samples,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestSpectrumModel:
+    def test_mean_spectrum_shape_and_positivity(self):
+        spec = FanSpectrumModel().mean_spectrum()
+        assert spec.shape == (N_BINS,)
+        assert (spec >= 0).all()
+
+    def test_fundamental_peak_present(self):
+        m = FanSpectrumModel(rotation_hz=38.0)
+        spec = m.mean_spectrum()
+        local = spec[35:42]
+        assert local.max() > 3 * np.median(spec)
+
+    def test_blade_pass_peak_dominates(self):
+        m = FanSpectrumModel(rotation_hz=38.0, n_blades=7)
+        spec = m.mean_spectrum()
+        bpf = 7 * 38
+        assert spec[bpf - 2 : bpf + 2].max() == pytest.approx(spec.max(), rel=0.2)
+
+    def test_unbalance_raises_fundamental(self):
+        base = FanSpectrumModel(unbalance=0.1).mean_spectrum()
+        dmg = FanSpectrumModel(unbalance=1.4).mean_spectrum()
+        assert dmg[36:40].max() > base[36:40].max() + 0.5
+
+    def test_sideband_energy(self):
+        base = FanSpectrumModel(sideband=0.0).mean_spectrum()
+        sb = FanSpectrumModel(sideband=0.8).mean_spectrum()
+        lo = 7 * 38 - 38  # first lower sideband
+        assert sb[lo - 2 : lo + 2].max() > base[lo - 2 : lo + 2].max() + 0.1
+
+    def test_samples_nonnegative_and_shaped(self, rng):
+        X = FanSpectrumModel().sample(20, rng)
+        assert X.shape == (20, N_BINS)
+        assert (X >= 0).all()
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            FanSpectrumModel(rotation_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            FanSpectrumModel(n_blades=0)
+        with pytest.raises(ConfigurationError):
+            FanSpectrumModel(unbalance=-1.0)
+
+
+class TestConditions:
+    def test_all_conditions_constructible(self):
+        for cond in ("normal", "holes", "chipped"):
+            for env in ("silent", "noisy"):
+                fan_condition(cond, env)
+
+    def test_unknown_condition(self):
+        with pytest.raises(ConfigurationError):
+            fan_condition("melted")
+
+    def test_unknown_environment(self):
+        with pytest.raises(ConfigurationError):
+            fan_condition("normal", "vacuum")
+
+    def test_noisy_lifts_floor(self):
+        silent = fan_condition("normal", "silent").mean_spectrum()
+        noisy = fan_condition("normal", "noisy").mean_spectrum()
+        assert np.median(noisy) > np.median(silent)
+
+    def test_noisy_adds_interference_line(self):
+        noisy = fan_condition("normal", "noisy").mean_spectrum()
+        silent = fan_condition("normal", "silent").mean_spectrum()
+        assert noisy[48:53].max() - silent[48:53].max() > 0.2
+
+    def test_damage_modes_differ_from_normal(self, rng):
+        normal = fan_condition("normal").mean_spectrum()
+        for cond in ("holes", "chipped"):
+            dmg = fan_condition(cond).mean_spectrum()
+            assert np.abs(dmg - normal).sum() > 1.0
+
+    def test_make_fan_samples(self):
+        X = make_fan_samples("holes", "silent", 5, seed=0)
+        assert X.shape == (5, N_BINS)
+
+
+class TestScenarios:
+    def test_sudden(self):
+        train, test = make_cooling_fan_like("sudden", seed=0)
+        assert train.X.shape == (120, N_BINS)
+        assert test.X.shape == (700, N_BINS)
+        assert test.drift_points == (120,)
+        assert (test.y[:120] == 0).all() and (test.y[120:] == 1).all()
+
+    def test_gradual_mixes(self):
+        _, test = make_cooling_fan_like("gradual", seed=0)
+        assert test.drift_points == (120,)
+        mid = test.y[120:600]
+        assert 0 < mid.mean() < 1  # both concepts appear
+        assert (test.y[600:] == 1).all()
+        # Damage probability rises across the transition.
+        assert test.y[120:280].mean() < test.y[440:600].mean()
+
+    def test_reoccurring(self):
+        _, test = make_cooling_fan_like("reoccurring", seed=0)
+        assert test.drift_points == (120, 170)
+        assert (test.y[120:170] == 1).all()
+        assert (test.y[170:] == 0).all()
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ConfigurationError):
+            make_cooling_fan_like("cyclic")
+
+    def test_invalid_drift_at(self):
+        with pytest.raises(ConfigurationError):
+            make_cooling_fan_like("sudden", drift_at=700, n_test=700)
+
+    def test_two_mode_training(self):
+        train, _ = make_cooling_fan_like("sudden", n_modes=2, seed=0)
+        assert set(np.unique(train.y)) == {0, 1}
+        assert len(train) == 240
+        # The two modes are spectrally distinct.
+        m0 = train.X[train.y == 0].mean(axis=0)
+        m1 = train.X[train.y == 1].mean(axis=0)
+        assert np.abs(m0 - m1).sum() > 1.0
+
+    def test_invalid_modes(self):
+        with pytest.raises(ConfigurationError):
+            make_cooling_fan_like("sudden", n_modes=3)
+
+    def test_seed_reproducibility(self):
+        a = make_cooling_fan_like("sudden", seed=4)[1]
+        b = make_cooling_fan_like("sudden", seed=4)[1]
+        np.testing.assert_array_equal(a.X, b.X)
+
+    def test_damage_visible_in_spectrum(self):
+        _, test = make_cooling_fan_like("sudden", seed=0)
+        pre = test.X[:120].mean(axis=0)
+        post = test.X[150:300].mean(axis=0)
+        assert np.abs(pre - post).sum() > 1.0

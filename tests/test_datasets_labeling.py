@@ -1,0 +1,75 @@
+"""Unit tests for the unsupervised initial-labelling step (§3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import cluster_label
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def separable(rng):
+    a = rng.normal([0, 0, 0], 0.1, (60, 3))
+    b = rng.normal([3, 3, 3], 0.1, (60, 3))
+    idx = rng.permutation(120)
+    return np.concatenate([a, b])[idx]
+
+
+class TestClusterLabel:
+    def test_labels_cover_all_clusters(self, separable):
+        cl = cluster_label(separable, 2, seed=0)
+        assert set(np.unique(cl.labels)) == {0, 1}
+        assert cl.centers.shape == (2, 3)
+
+    def test_labels_match_geometry(self, separable):
+        cl = cluster_label(separable, 2, seed=0)
+        # Samples near (0,0,0) share one label, samples near (3,3,3) the other.
+        near_origin = separable.sum(axis=1) < 4.5
+        lab0 = cl.labels[near_origin]
+        lab1 = cl.labels[~near_origin]
+        assert (lab0 == lab0[0]).all()
+        assert (lab1 == lab1[0]).all()
+        assert lab0[0] != lab1[0]
+
+    def test_separation_low_for_separable_data(self, separable):
+        cl = cluster_label(separable, 2, seed=0)
+        assert cl.separation < 0.2
+        assert cl.is_reliable()
+
+    def test_separation_high_for_unclustered_data(self, rng):
+        X = rng.normal(size=(200, 3))
+        cl = cluster_label(X, 2, seed=0)
+        assert cl.separation > 0.4
+
+    def test_too_few_samples(self):
+        with pytest.raises(ConfigurationError):
+            cluster_label(np.ones((3, 2)), 2)
+
+    def test_reproducible(self, separable):
+        a = cluster_label(separable, 2, seed=3)
+        b = cluster_label(separable, 2, seed=3)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_integration_with_proposed_pipeline(self, separable, rng):
+        """The §3.2 unsupervised flow end-to-end: cluster-label the
+        training window, build the proposed pipeline on the pseudo-labels,
+        and detect a drift."""
+        from repro.core import build_proposed
+        from repro.datasets import DataStream
+
+        cl = cluster_label(separable, 2, seed=0)
+        pipe = build_proposed(
+            separable, cl.labels, window_size=20, n_hidden=6,
+            reconstruction_samples=60, seed=1,
+        )
+        drifted = separable + 2.0
+        test = DataStream(
+            np.concatenate([separable, drifted]),
+            np.zeros(240, dtype=np.int64),
+            drift_points=(120,),
+        )
+        records = pipe.run(test)
+        det = [r.index for r in records if r.drift_detected]
+        assert det and det[0] >= 120

@@ -1,0 +1,113 @@
+"""Unit tests for the synthetic NSL-KDD-like generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import NSLKDDConfig, make_nslkdd_like, nslkdd_default_config
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def small_pair():
+    cfg = NSLKDDConfig(n_train=400, n_test=2000, drift_at=800)
+    return make_nslkdd_like(cfg, seed=3)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = nslkdd_default_config()
+        assert cfg.n_features == 38
+        assert cfg.n_train == 2522
+        assert cfg.n_test == 22701
+        assert cfg.drift_at == 8333
+
+    def test_invalid_drift_at(self):
+        with pytest.raises(ConfigurationError):
+            NSLKDDConfig(n_test=100, drift_at=100)
+
+    def test_invalid_attack_fraction(self):
+        with pytest.raises(ConfigurationError):
+            NSLKDDConfig(attack_fraction=0.0)
+
+    def test_too_few_features(self):
+        with pytest.raises(ConfigurationError):
+            NSLKDDConfig(n_features=4)
+
+    def test_invalid_ambiguous_fraction(self):
+        with pytest.raises(ConfigurationError):
+            NSLKDDConfig(ambiguous_fraction=1.0)
+
+
+class TestGeneration:
+    def test_shapes_and_drift(self, small_pair):
+        train, test = small_pair
+        assert train.X.shape == (400, 38)
+        assert test.X.shape == (2000, 38)
+        assert test.drift_points == (800,)
+        assert train.drift_points == ()
+
+    def test_paper_sizes_by_default(self):
+        train, test = make_nslkdd_like(seed=0)
+        assert len(train) == 2522 and len(test) == 22701
+        assert test.drift_points == (8333,)
+
+    def test_values_in_unit_box(self, small_pair):
+        train, test = small_pair
+        for s in (train, test):
+            assert s.X.min() >= 0.0 and s.X.max() <= 1.0
+
+    def test_two_classes_present(self, small_pair):
+        train, test = small_pair
+        assert set(np.unique(train.y)) == {0, 1}
+        assert set(np.unique(test.y)) == {0, 1}
+
+    def test_seed_reproducibility(self):
+        cfg = NSLKDDConfig(n_train=100, n_test=300, drift_at=100)
+        a = make_nslkdd_like(cfg, seed=9)
+        b = make_nslkdd_like(cfg, seed=9)
+        np.testing.assert_array_equal(a[1].X, b[1].X)
+        assert not np.allclose(make_nslkdd_like(cfg, seed=10)[1].X, a[1].X)
+
+    def test_distribution_actually_shifts(self, small_pair):
+        _, test = small_pair
+        pre = test.X[:800].mean(axis=0)
+        post = test.X[800:].mean(axis=0)
+        assert np.abs(pre - post).sum() > 1.0
+
+    def test_train_matches_pre_drift_concept(self, small_pair):
+        train, test = small_pair
+        pre = test.X[:800].mean(axis=0)
+        assert np.abs(train.X.mean(axis=0) - pre).sum() < 1.0
+
+    def test_classes_separable_pre_drift(self, small_pair):
+        train, _ = small_pair
+        m0 = train.X[train.y == 0].mean(axis=0)
+        m1 = train.X[train.y == 1].mean(axis=0)
+        # Nearest-class-mean classification should be near-perfect pre-drift.
+        d0 = np.abs(train.X - m0).sum(axis=1)
+        d1 = np.abs(train.X - m1).sum(axis=1)
+        pred = (d1 < d0).astype(int)
+        assert (pred == train.y).mean() > 0.9
+
+    def test_identity_preserved_post_drift(self):
+        """Each post-drift class mean stays closer to its own pre-drift mean —
+        the property unsupervised reconstruction depends on."""
+        train, test = make_nslkdd_like(NSLKDDConfig(n_train=600, n_test=4000, drift_at=1000), seed=1)
+        pre0 = train.X[train.y == 0].mean(axis=0)
+        pre1 = train.X[train.y == 1].mean(axis=0)
+        post = test.slice(1000)
+        post0 = post.X[post.y == 0].mean(axis=0)
+        post1 = post.X[post.y == 1].mean(axis=0)
+        assert np.abs(post0 - pre0).sum() < np.abs(post0 - pre1).sum()
+        assert np.abs(post1 - pre1).sum() < np.abs(post1 - pre0).sum()
+
+    def test_zero_shift_is_stationary(self):
+        cfg = NSLKDDConfig(n_train=200, n_test=1000, drift_at=400, drift_shift=0.0,
+                           ambiguous_fraction=0.0)
+        _, test = make_nslkdd_like(cfg, seed=2)
+        pre = test.X[:400].mean(axis=0)
+        post = test.X[400:].mean(axis=0)
+        # Only finite-sample noise remains (no concept change).
+        assert np.abs(pre - post).max() < 0.08

@@ -1,0 +1,81 @@
+"""Unit tests for the frozen-statistics scalers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import MinMaxScaler, StandardScaler
+from repro.utils.exceptions import NotFittedError
+
+
+class TestMinMaxScaler:
+    def test_unit_box_on_training_data(self, rng):
+        X = rng.normal(size=(50, 4)) * 3 + 1
+        out = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(out.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.max(axis=0), 1.0, atol=1e-12)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.ones((2, 2)))
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.column_stack([np.ones(5), np.arange(5.0)])
+        out = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(out[:, 0], 0.0)
+
+    def test_statistics_frozen_after_fit(self, rng):
+        sc = MinMaxScaler().fit(rng.random((20, 3)))
+        before = sc.data_min_.copy()
+        sc.transform(rng.random((10, 3)) * 100)
+        np.testing.assert_array_equal(sc.data_min_, before)
+
+    def test_out_of_range_unclipped_by_default(self, rng):
+        sc = MinMaxScaler().fit(rng.random((20, 2)))
+        out = sc.transform(np.full((1, 2), 10.0))
+        assert (out > 1.0).all()
+
+    def test_clip(self, rng):
+        sc = MinMaxScaler(clip=True).fit(rng.random((20, 2)))
+        out = sc.transform(np.full((1, 2), 10.0))
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_roundtrip(self, rng):
+        X = rng.normal(size=(30, 3))
+        sc = MinMaxScaler().fit(X)
+        np.testing.assert_allclose(sc.inverse_transform(sc.transform(X)), X, atol=1e-10)
+
+    def test_feature_count_mismatch(self, rng):
+        sc = MinMaxScaler().fit(rng.random((5, 3)))
+        with pytest.raises(Exception):
+            sc.transform(rng.random((5, 4)))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        X = rng.normal(3.0, 2.0, size=(200, 4))
+        out = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_constant_feature_no_nan(self):
+        X = np.column_stack([np.full(5, 7.0), np.arange(5.0)])
+        out = StandardScaler().fit_transform(X)
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out[:, 0], 0.0)
+
+    def test_roundtrip(self, rng):
+        X = rng.normal(size=(30, 3))
+        sc = StandardScaler().fit(X)
+        np.testing.assert_allclose(sc.inverse_transform(sc.transform(X)), X, atol=1e-10)
+
+    def test_frozen_statistics(self, rng):
+        sc = StandardScaler().fit(rng.random((20, 2)))
+        before = sc.mean_.copy()
+        sc.transform(rng.random((5, 2)) + 50)
+        np.testing.assert_array_equal(sc.mean_, before)

@@ -1,0 +1,123 @@
+"""Unit tests for DataStream and concatenation semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import DataStream, concatenate_streams
+from repro.utils.exceptions import DataValidationError
+
+
+def make(n=10, d=3, drifts=(), name="s", label=0):
+    X = np.arange(n * d, dtype=float).reshape(n, d)
+    y = np.full(n, label, dtype=np.int64)
+    return DataStream(X, y, drift_points=drifts, name=name)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        s = make(n=8, d=4)
+        assert len(s) == 8 and s.n_features == 4 and s.n_classes == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataValidationError):
+            DataStream(np.ones((3, 2)), np.zeros(4, dtype=int))
+
+    def test_drift_out_of_range(self):
+        with pytest.raises(DataValidationError):
+            make(n=5, drifts=(9,))
+
+    def test_drift_points_sorted_deduped_order(self):
+        s = make(n=10, drifts=(7, 3))
+        assert s.drift_points == (3, 7)
+
+    def test_immutability(self):
+        s = make()
+        with pytest.raises(ValueError):
+            s.X[0, 0] = 99.0
+        with pytest.raises(ValueError):
+            s.y[0] = 1
+
+    def test_iteration_yields_pairs(self):
+        s = make(n=3)
+        pairs = list(s)
+        assert len(pairs) == 3
+        x, y = pairs[0]
+        assert x.shape == (3,) and isinstance(y, int)
+
+    def test_n_classes_from_max_label(self):
+        s = DataStream(np.ones((4, 2)), np.array([0, 2, 1, 2]))
+        assert s.n_classes == 3
+
+
+class TestSlice:
+    def test_basic(self):
+        s = make(n=10, drifts=(5,))
+        sub = s.slice(2, 8)
+        assert len(sub) == 6
+        assert sub.drift_points == (3,)
+
+    def test_drift_outside_slice_dropped(self):
+        s = make(n=10, drifts=(5,))
+        assert s.slice(6, 10).drift_points == ()
+
+    def test_default_stop(self):
+        s = make(n=10)
+        assert len(s.slice(4)) == 6
+
+    def test_take(self):
+        assert len(make(n=10).take(3)) == 3
+
+    def test_slice_copies_data(self):
+        s = make(n=5)
+        sub = s.slice(0, 2)
+        assert sub.X.base is None or not np.shares_memory(sub.X, s.X)
+
+
+class TestTransforms:
+    def test_with_noise_changes_values(self, rng):
+        s = make(n=5)
+        noisy = s.with_noise(0.1, rng)
+        assert not np.allclose(noisy.X, s.X)
+        assert noisy.drift_points == s.drift_points
+
+    def test_shuffled_within_region_only(self, rng):
+        s = make(n=10)
+        shuffled = s.shuffled_within(2, 8, rng)
+        np.testing.assert_array_equal(shuffled.X[:2], s.X[:2])
+        np.testing.assert_array_equal(shuffled.X[8:], s.X[8:])
+        # Region contents preserved as a multiset.
+        np.testing.assert_array_equal(
+            np.sort(shuffled.X[2:8], axis=0), np.sort(s.X[2:8], axis=0)
+        )
+
+
+class TestConcatenate:
+    def test_boundary_marked(self):
+        s = concatenate_streams([make(n=4), make(n=6)])
+        assert s.drift_points == (4,)
+        assert len(s) == 10
+
+    def test_boundary_not_marked(self):
+        s = concatenate_streams([make(n=4), make(n=6)], mark_boundaries=False)
+        assert s.drift_points == ()
+
+    def test_inner_drifts_reindexed(self):
+        a = make(n=4, drifts=(2,))
+        b = make(n=6, drifts=(3,))
+        s = concatenate_streams([a, b], mark_boundaries=False)
+        assert s.drift_points == (2, 7)
+
+    def test_feature_mismatch(self):
+        with pytest.raises(DataValidationError):
+            concatenate_streams([make(d=3), make(d=4)])
+
+    def test_empty_list(self):
+        with pytest.raises(DataValidationError):
+            concatenate_streams([])
+
+    def test_three_parts(self):
+        s = concatenate_streams([make(n=2), make(n=3), make(n=4)])
+        assert s.drift_points == (2, 5)
+        assert len(s) == 9

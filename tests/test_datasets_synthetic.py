@@ -1,0 +1,157 @@
+"""Unit tests for the Figure-1 drift-type generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    GaussianConcept,
+    make_gradual_drift_stream,
+    make_incremental_drift_stream,
+    make_reoccurring_drift_stream,
+    make_stationary_stream,
+    make_sudden_drift_stream,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def concept_a():
+    return GaussianConcept(np.array([[0.0, 0.0], [4.0, 4.0]]), 0.1)
+
+
+@pytest.fixture
+def concept_b():
+    return GaussianConcept(np.array([[10.0, 10.0], [14.0, 14.0]]), 0.1)
+
+
+class TestGaussianConcept:
+    def test_shapes(self, concept_a, rng):
+        X, y = concept_a.sample(50, rng)
+        assert X.shape == (50, 2) and y.shape == (50,)
+
+    def test_class_probs_respected(self, rng):
+        c = GaussianConcept(np.zeros((2, 1)), 1.0, class_probs=np.array([1.0, 0.0]))
+        _, y = c.sample(100, rng)
+        assert (y == 0).all()
+
+    def test_invalid_probs(self):
+        with pytest.raises(ConfigurationError):
+            GaussianConcept(np.zeros((2, 1)), 1.0, class_probs=np.array([0.7, 0.7]))
+
+    def test_std_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            GaussianConcept(np.zeros((2, 3)), np.ones((2, 2)))
+
+    def test_negative_std(self):
+        with pytest.raises(ConfigurationError):
+            GaussianConcept(np.zeros((1, 2)), -1.0)
+
+    def test_shifted(self, concept_a):
+        moved = concept_a.shifted(1.0)
+        np.testing.assert_allclose(moved.means, concept_a.means + 1.0)
+
+    def test_interpolate_endpoints(self, concept_a, concept_b):
+        np.testing.assert_allclose(
+            concept_a.interpolate(concept_b, 0.0).means, concept_a.means
+        )
+        np.testing.assert_allclose(
+            concept_a.interpolate(concept_b, 1.0).means, concept_b.means
+        )
+
+    def test_samples_near_means(self, concept_a, rng):
+        X, y = concept_a.sample(500, rng)
+        for c in (0, 1):
+            np.testing.assert_allclose(
+                X[y == c].mean(axis=0), concept_a.means[c], atol=0.05
+            )
+
+
+class TestStationary:
+    def test_no_drift_points(self, concept_a):
+        s = make_stationary_stream(concept_a, 30, seed=0)
+        assert s.drift_points == () and len(s) == 30
+
+    def test_seed_reproducible(self, concept_a):
+        a = make_stationary_stream(concept_a, 30, seed=5)
+        b = make_stationary_stream(concept_a, 30, seed=5)
+        np.testing.assert_array_equal(a.X, b.X)
+
+
+class TestSudden:
+    def test_distribution_switch(self, concept_a, concept_b):
+        s = make_sudden_drift_stream(concept_a, concept_b, n_samples=400, drift_at=200, seed=0)
+        assert s.drift_points == (200,)
+        # Means are far apart, so segment means identify the concepts.
+        assert s.X[:200].mean() < 5 < s.X[200:].mean()
+
+    def test_invalid_drift_at(self, concept_a, concept_b):
+        with pytest.raises(ConfigurationError):
+            make_sudden_drift_stream(concept_a, concept_b, n_samples=10, drift_at=10)
+
+    def test_concept_shape_mismatch(self, concept_a):
+        other = GaussianConcept(np.zeros((3, 2)), 0.1)
+        with pytest.raises(ConfigurationError):
+            make_sudden_drift_stream(concept_a, other, n_samples=10, drift_at=5)
+
+
+class TestGradual:
+    def test_mixing_fraction_rises(self, concept_a, concept_b):
+        s = make_gradual_drift_stream(
+            concept_a, concept_b, n_samples=1200, drift_start=200, drift_end=1000, seed=0
+        )
+        new = s.X.mean(axis=1) > 5  # crude concept classifier
+        assert new[:200].mean() == 0.0
+        early = new[200:500].mean()
+        late = new[700:1000].mean()
+        assert early < 0.5 < late
+        assert new[1000:].mean() == 1.0
+
+    def test_both_concepts_present_in_transition(self, concept_a, concept_b):
+        s = make_gradual_drift_stream(
+            concept_a, concept_b, n_samples=600, drift_start=100, drift_end=500, seed=1
+        )
+        mid = s.X[250:350].mean(axis=1) > 5
+        assert 0 < mid.mean() < 1
+
+    def test_invalid_bounds(self, concept_a, concept_b):
+        with pytest.raises(ConfigurationError):
+            make_gradual_drift_stream(
+                concept_a, concept_b, n_samples=100, drift_start=50, drift_end=40
+            )
+
+
+class TestIncremental:
+    def test_mean_slides_monotonically(self, concept_a, concept_b):
+        s = make_incremental_drift_stream(
+            concept_a, concept_b, n_samples=900, drift_start=100, drift_end=800, seed=0
+        )
+        seg_means = [s.X[i : i + 100].mean() for i in range(100, 800, 100)]
+        assert all(a < b for a, b in zip(seg_means, seg_means[1:]))
+
+    def test_intermediate_distributions_visited(self, concept_a, concept_b):
+        s = make_incremental_drift_stream(
+            concept_a, concept_b, n_samples=600, drift_start=100, drift_end=500, seed=0
+        )
+        mid = s.X[290:310].mean()
+        # Halfway through, samples come from a genuinely intermediate concept
+        # (not a mixture of the two extremes).
+        assert 4 < mid < 10
+
+
+class TestReoccurring:
+    def test_old_concept_returns(self, concept_a, concept_b):
+        s = make_reoccurring_drift_stream(
+            concept_a, concept_b, n_samples=600, drift_at=200, reoccur_at=300, seed=0
+        )
+        assert s.drift_points == (200, 300)
+        assert s.X[:200].mean() < 5
+        assert s.X[200:300].mean() > 5
+        assert s.X[300:].mean() < 5
+
+    def test_invalid_ordering(self, concept_a, concept_b):
+        with pytest.raises(ConfigurationError):
+            make_reoccurring_drift_stream(
+                concept_a, concept_b, n_samples=600, drift_at=300, reoccur_at=200
+            )

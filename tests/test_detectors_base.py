@@ -1,0 +1,82 @@
+"""Unit tests for detector base classes and the null detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import NoDetection
+from repro.detectors.base import BatchDriftDetector
+from repro.utils.exceptions import NotFittedError
+
+
+class TestNoDetection:
+    def test_never_fires(self, rng):
+        nd = NoDetection().fit_reference(rng.normal(size=(10, 3)))
+        for x in rng.normal(size=(50, 3)) + 100:  # wildly shifted
+            assert not nd.update_one(x)
+
+    def test_detect_batch_false(self, rng):
+        nd = NoDetection(batch_size=5).fit_reference(rng.normal(size=(10, 3)))
+        assert not nd.detect_batch(rng.normal(size=(5, 3)) + 100)
+
+    def test_zero_memory(self, rng):
+        nd = NoDetection().fit_reference(rng.normal(size=(10, 3)))
+        assert nd.state_nbytes() == 0
+
+    def test_default_batch_size_one(self):
+        assert NoDetection().batch_size == 1
+
+
+class _ThresholdDetector(BatchDriftDetector):
+    """Minimal concrete detector: statistic = batch mean, threshold = 1."""
+
+    def _fit(self, X):
+        self.ref_mean = X.mean()
+
+    def _statistic(self, batch):
+        return float(batch.mean() - self.ref_mean)
+
+    def _threshold(self):
+        return 1.0
+
+
+class TestBatchBase:
+    def test_buffering_protocol(self, rng):
+        det = _ThresholdDetector(batch_size=4).fit_reference(np.zeros((10, 2)))
+        assert not det.update_one(np.zeros(2))
+        assert det.buffered_samples == 1
+        for _ in range(2):
+            det.update_one(np.zeros(2))
+        assert det.buffered_samples == 3
+        det.update_one(np.zeros(2))
+        assert det.buffered_samples == 0
+        assert det.n_tests == 1
+
+    def test_detection_on_completing_sample(self):
+        det = _ThresholdDetector(batch_size=2).fit_reference(np.zeros((10, 2)))
+        assert not det.update_one(np.full(2, 5.0))
+        assert det.update_one(np.full(2, 5.0))
+
+    def test_reset_stream(self):
+        det = _ThresholdDetector(batch_size=4).fit_reference(np.zeros((10, 2)))
+        det.update_one(np.zeros(2))
+        det.reset_stream()
+        assert det.buffered_samples == 0
+
+    def test_fit_clears_state(self):
+        det = _ThresholdDetector(batch_size=2).fit_reference(np.zeros((10, 2)))
+        det.update_one(np.zeros(2))
+        det.fit_reference(np.ones((10, 2)))
+        assert det.buffered_samples == 0 and det.n_tests == 0
+        assert det.last_statistic is None
+
+    def test_not_fitted(self):
+        det = _ThresholdDetector(batch_size=2)
+        with pytest.raises(NotFittedError):
+            det.update_one(np.zeros(2))
+
+    def test_statistic_recorded(self):
+        det = _ThresholdDetector(batch_size=2).fit_reference(np.zeros((10, 2)))
+        det.detect_batch(np.full((2, 2), 3.0))
+        assert det.last_statistic == pytest.approx(3.0)

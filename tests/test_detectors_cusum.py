@@ -1,0 +1,107 @@
+"""Unit tests for the two-sided CUSUM detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import CUSUM, DriftState
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestWarmup:
+    def test_estimates_mean_from_warmup(self, rng):
+        c = CUSUM(warmup=50)
+        for v in rng.normal(0.3, 0.1, 49):
+            c.update(v)
+            assert c.estimated_mean is None
+        c.update(0.3)
+        assert c.estimated_mean == pytest.approx(0.3, abs=0.05)
+
+    def test_no_detection_during_warmup(self):
+        c = CUSUM(threshold=0.001, warmup=30)
+        for _ in range(29):
+            assert c.update(100.0) is DriftState.NORMAL
+
+    def test_given_target_mean_skips_warmup(self):
+        c = CUSUM(target_mean=0.1, threshold=5.0, drift_magnitude=0.0)
+        assert c.estimated_mean == 0.1
+        fired = False
+        for _ in range(10):
+            fired |= c.update(1.0) is DriftState.DRIFT
+        assert fired  # deviations accumulate immediately
+
+
+class TestDetection:
+    def test_detects_mean_increase(self, rng):
+        c = CUSUM(threshold=10.0, drift_magnitude=0.05)
+        first = None
+        for i in range(3000):
+            v = rng.normal(0.1 if i < 1500 else 0.6, 0.1)
+            if c.update(v) is DriftState.DRIFT:
+                first = i
+                break
+        assert first is not None and 1500 <= first <= 1600
+        assert c.last_direction == "increase"
+
+    def test_detects_mean_decrease(self, rng):
+        c = CUSUM(threshold=10.0, drift_magnitude=0.05)
+        first = None
+        for i in range(3000):
+            v = rng.normal(0.6 if i < 1500 else 0.1, 0.1)
+            if c.update(v) is DriftState.DRIFT:
+                first = i
+                break
+        assert first is not None and first >= 1500
+        assert c.last_direction == "decrease"
+
+    def test_quiet_on_stationary(self, rng):
+        c = CUSUM(threshold=30.0, drift_magnitude=0.1)
+        fired = sum(
+            c.update(v) is DriftState.DRIFT for v in rng.normal(0.3, 0.1, 5000)
+        )
+        assert fired == 0
+
+    def test_slack_suppresses_small_shifts(self, rng):
+        # A shift smaller than the slack never accumulates.
+        c = CUSUM(target_mean=0.5, threshold=10.0, drift_magnitude=0.3)
+        fired = any(
+            c.update(v) is DriftState.DRIFT for v in rng.normal(0.6, 0.05, 4000)
+        )
+        assert not fired
+
+    def test_higher_threshold_slower(self, rng):
+        def first(th, seed):
+            c = CUSUM(threshold=th, drift_magnitude=0.05)
+            r = np.random.default_rng(seed)
+            for i in range(4000):
+                v = r.normal(0.1 if i < 1000 else 0.7, 0.1)
+                if c.update(v) is DriftState.DRIFT:
+                    return i
+            return 4000
+
+        assert first(5.0, 3) <= first(50.0, 3)
+
+
+class TestLifecycle:
+    def test_reset_restores_warmup_when_estimating(self, rng):
+        c = CUSUM(warmup=20)
+        for v in rng.normal(size=50):
+            c.update(v)
+        c.reset()
+        assert c.estimated_mean is None and c.n_samples_seen == 0
+
+    def test_reset_keeps_given_target(self):
+        c = CUSUM(target_mean=0.4)
+        c.update(1.0)
+        c.reset()
+        assert c.estimated_mean == 0.4
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            CUSUM(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            CUSUM(drift_magnitude=-0.1)
+
+    def test_state_nbytes_tiny(self):
+        assert CUSUM().state_nbytes() < 100

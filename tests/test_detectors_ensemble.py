@@ -1,0 +1,134 @@
+"""Unit tests for the voting detector ensemble."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import DDM, DriftState, PageHinkley, VotingDetectorEnsemble
+from repro.detectors.base import ErrorRateDriftDetector
+from repro.utils.exceptions import ConfigurationError
+
+
+class _Scripted(ErrorRateDriftDetector):
+    """Fires DRIFT at pre-scripted sample indices (1-based)."""
+
+    def __init__(self, fire_at):
+        super().__init__()
+        self.fire_at = set(fire_at)
+
+    def update(self, error):
+        self.n_samples_seen += 1
+        self.state = (
+            DriftState.DRIFT if self.n_samples_seen in self.fire_at else DriftState.NORMAL
+        )
+        return self.state
+
+
+class TestConstruction:
+    def test_empty_members_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VotingDetectorEnsemble([])
+
+    def test_invalid_policy(self):
+        with pytest.raises(ConfigurationError):
+            VotingDetectorEnsemble([DDM()], policy="quorum")
+
+    def test_non_detector_member_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VotingDetectorEnsemble([DDM(), "not a detector"])
+
+
+class TestVoting:
+    def feed(self, ens, n):
+        return [ens.update(0) for _ in range(n)]
+
+    def test_any_fires_with_first_member(self):
+        ens = VotingDetectorEnsemble(
+            [_Scripted({5}), _Scripted({20})], policy="any"
+        )
+        states = self.feed(ens, 10)
+        assert states[4] is DriftState.DRIFT
+
+    def test_majority_needs_two_of_three(self):
+        ens = VotingDetectorEnsemble(
+            [_Scripted({3}), _Scripted({7}), _Scripted({100})], policy="majority"
+        )
+        states = self.feed(ens, 10)
+        assert states[2] is DriftState.WARNING  # one sticky vote pending
+        assert states[6] is DriftState.DRIFT    # second vote arrives
+
+    def test_all_needs_every_member(self):
+        ens = VotingDetectorEnsemble(
+            [_Scripted({2}), _Scripted({4}), _Scripted({6})], policy="all"
+        )
+        states = self.feed(ens, 8)
+        assert DriftState.DRIFT not in states[:5]
+        assert states[5] is DriftState.DRIFT
+
+    def test_votes_cleared_after_firing(self):
+        ens = VotingDetectorEnsemble(
+            [_Scripted({2}), _Scripted({3})], policy="majority"
+        )
+        self.feed(ens, 4)
+        assert ens._votes == [False, False]
+        assert ens.n_detections == 1
+
+    def test_non_sticky_votes_require_coincidence(self):
+        ens = VotingDetectorEnsemble(
+            [_Scripted({3}), _Scripted({7})], policy="majority", sticky_votes=False
+        )
+        states = self.feed(ens, 10)
+        assert DriftState.DRIFT not in states  # votes never coincide
+
+    def test_non_sticky_fires_on_coincidence(self):
+        ens = VotingDetectorEnsemble(
+            [_Scripted({5}), _Scripted({5})], policy="majority", sticky_votes=False
+        )
+        states = self.feed(ens, 6)
+        assert states[4] is DriftState.DRIFT
+
+
+class TestRealMembers:
+    def test_detects_real_surge(self, rng):
+        ens = VotingDetectorEnsemble(
+            [DDM(), PageHinkley(threshold=20.0)], policy="majority"
+        )
+        det = []
+        for i in range(4000):
+            err = rng.random() < (0.05 if i < 2000 else 0.6)
+            if ens.update(err) is DriftState.DRIFT:
+                det.append(i)
+                ens.reset()
+        assert any(2000 <= d <= 2600 for d in det)
+
+    def test_all_policy_reduces_false_alarms(self, rng):
+        """On a stationary noisy stream the conservative policy fires no
+        more often than the sensitive one."""
+
+        def run(policy, seed):
+            ens = VotingDetectorEnsemble(
+                [DDM(), PageHinkley(threshold=15.0)], policy=policy
+            )
+            r = np.random.default_rng(seed)
+            fires = 0
+            for _ in range(4000):
+                if ens.update(r.random() < 0.3) is DriftState.DRIFT:
+                    fires += 1
+                    ens.reset()
+            return fires
+
+        assert run("all", 7) <= run("any", 7)
+
+    def test_reset_propagates(self, rng):
+        ddm = DDM()
+        ens = VotingDetectorEnsemble([ddm], policy="any")
+        for _ in range(100):
+            ens.update(rng.random() < 0.5)
+        ens.reset()
+        assert ddm.n_samples_seen == 0
+        assert ens.n_samples_seen == 0
+
+    def test_state_nbytes_sums_members(self):
+        ens = VotingDetectorEnsemble([DDM(), PageHinkley()])
+        assert ens.state_nbytes() >= DDM().state_nbytes() + PageHinkley().state_nbytes()

@@ -1,0 +1,192 @@
+"""Unit tests for the error-rate detectors: DDM, ADWIN, Page-Hinkley."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import ADWIN, DDM, DriftState, PageHinkley
+from repro.utils.exceptions import ConfigurationError
+
+
+def bernoulli_stream(rng, n, p_before, p_after, change_at):
+    for i in range(n):
+        p = p_before if i < change_at else p_after
+        yield rng.random() < p
+
+
+class TestDDM:
+    def test_detects_error_surge(self, rng):
+        # Reset-and-continue usage: DDM is known to false-alarm on low
+        # error rates, but a detection must land shortly after the surge.
+        ddm = DDM()
+        detections = []
+        for i, err in enumerate(bernoulli_stream(rng, 3000, 0.05, 0.6, 1500)):
+            if ddm.update(err) is DriftState.DRIFT:
+                detections.append(i)
+                ddm.reset()
+        after = [d for d in detections if d >= 1500]
+        assert after and after[0] <= 1700
+
+    def test_warning_precedes_drift(self, rng):
+        ddm = DDM(min_samples=30)
+        states = []
+        # Clean step change from zero-ish errors to heavy errors.
+        for i in range(400):
+            err = rng.random() < (0.02 if i < 200 else 0.8)
+            states.append(ddm.update(err))
+            if states[-1] is DriftState.DRIFT:
+                break
+        assert states[-1] is DriftState.DRIFT
+        assert DriftState.WARNING in states
+        assert states.index(DriftState.WARNING) < len(states) - 1
+
+    def test_stationary_stream_mostly_normal(self, rng):
+        ddm = DDM()
+        drifts = sum(
+            ddm.update(err) is DriftState.DRIFT
+            for err in bernoulli_stream(rng, 2000, 0.2, 0.2, 2000)
+        )
+        assert drifts <= 2  # DDM has a known modest false-positive rate
+
+    def test_grace_period(self):
+        ddm = DDM(min_samples=30)
+        for _ in range(29):
+            assert ddm.update(True) is DriftState.NORMAL
+
+    def test_reset(self, rng):
+        ddm = DDM()
+        for err in bernoulli_stream(rng, 500, 0.05, 0.05, 500):
+            ddm.update(err)
+        ddm.reset()
+        assert ddm.n_samples_seen == 0
+        assert ddm.error_rate == 0.0
+        assert ddm.state is DriftState.NORMAL
+
+    def test_invalid_levels(self):
+        with pytest.raises(ConfigurationError):
+            DDM(warning_level=3.0, drift_level=2.0)
+
+    def test_error_rate_estimate(self):
+        ddm = DDM()
+        for v in [1, 0, 1, 0]:
+            ddm.update(v)
+        assert ddm.error_rate == pytest.approx(0.5)
+
+    def test_state_nbytes_tiny(self):
+        assert DDM().state_nbytes() < 100
+
+
+class TestADWIN:
+    def test_detects_mean_change(self, rng):
+        ad = ADWIN()
+        detections = []
+        for i, err in enumerate(bernoulli_stream(rng, 4000, 0.1, 0.7, 2000)):
+            if ad.update(float(err)) is DriftState.DRIFT:
+                detections.append(i)
+        assert detections and 2000 <= detections[0] <= 2300
+
+    def test_window_shrinks_on_change(self, rng):
+        ad = ADWIN()
+        for i, err in enumerate(bernoulli_stream(rng, 3000, 0.1, 0.9, 1500)):
+            ad.update(float(err))
+        # After the change the window should have dropped the old regime.
+        assert ad.width < 2500
+        assert ad.estimation > 0.5
+
+    def test_no_detection_when_stationary(self, rng):
+        ad = ADWIN(delta=0.002)
+        drifts = sum(
+            ad.update(float(err)) is DriftState.DRIFT
+            for err in bernoulli_stream(rng, 3000, 0.3, 0.3, 3000)
+        )
+        assert drifts == 0
+
+    def test_width_grows_while_stationary(self, rng):
+        ad = ADWIN()
+        for err in bernoulli_stream(rng, 1000, 0.3, 0.3, 1000):
+            ad.update(float(err))
+        assert ad.width == 1000
+
+    def test_memory_logarithmic(self, rng):
+        ad = ADWIN(max_buckets=5)
+        for err in bernoulli_stream(rng, 5000, 0.3, 0.3, 5000):
+            ad.update(float(err))
+        # Exponential histogram: buckets ~ max_buckets * log2(n).
+        assert len(ad._buckets) < 5 * 14
+        assert ad.state_nbytes() < 6000
+
+    def test_estimation_tracks_mean(self, rng):
+        ad = ADWIN()
+        vals = rng.random(500)
+        for v in vals:
+            ad.update(float(v))
+        assert ad.estimation == pytest.approx(vals.mean(), abs=0.05)
+
+    def test_real_valued_inputs(self, rng):
+        ad = ADWIN()
+        fired = False
+        for i in range(3000):
+            v = rng.normal(0.0 if i < 1500 else 2.0, 0.5)
+            fired |= ad.update(v) is DriftState.DRIFT
+        assert fired
+
+    def test_reset(self, rng):
+        ad = ADWIN()
+        for _ in range(100):
+            ad.update(1.0)
+        ad.reset()
+        assert ad.width == 0 and ad.estimation == 0.0
+
+    def test_invalid_delta(self):
+        for d in (0.0, 1.0, -0.1):
+            with pytest.raises(ConfigurationError):
+                ADWIN(delta=d)
+
+
+class TestPageHinkley:
+    def test_detects_increase(self, rng):
+        ph = PageHinkley(threshold=20.0)
+        first = None
+        for i, err in enumerate(bernoulli_stream(rng, 3000, 0.05, 0.6, 1500)):
+            if ph.update(err) is DriftState.DRIFT:
+                first = i
+                break
+        assert first is not None and first >= 1500
+
+    def test_stationary_no_detection(self, rng):
+        ph = PageHinkley(threshold=50.0, delta=0.01)
+        fired = any(
+            ph.update(err) is DriftState.DRIFT
+            for err in bernoulli_stream(rng, 3000, 0.2, 0.2, 3000)
+        )
+        assert not fired
+
+    def test_grace_period(self):
+        ph = PageHinkley(threshold=0.001, min_samples=50)
+        for _ in range(49):
+            assert ph.update(1.0) is DriftState.NORMAL
+
+    def test_reset(self, rng):
+        ph = PageHinkley(threshold=5.0)
+        for _ in range(100):
+            ph.update(1.0)
+        ph.reset()
+        assert ph.n_samples_seen == 0
+
+    def test_higher_threshold_slower(self, rng):
+        def first_detection(threshold, seed):
+            ph = PageHinkley(threshold=threshold)
+            r = np.random.default_rng(seed)
+            for i in range(4000):
+                err = r.random() < (0.05 if i < 1000 else 0.6)
+                if ph.update(err) is DriftState.DRIFT:
+                    return i
+            return 4000
+
+        lo = first_detection(10.0, 3)
+        hi = first_detection(60.0, 3)
+        assert lo <= hi
+
+    def test_state_nbytes_tiny(self):
+        assert PageHinkley().state_nbytes() < 100

@@ -1,0 +1,113 @@
+"""Unit tests for the Hellinger-distance drift detector (HDDDM)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import HDDDM, hellinger_distance
+from repro.utils.exceptions import ConfigurationError, NotFittedError
+
+
+@pytest.fixture
+def reference(rng):
+    return rng.normal(size=(400, 4))
+
+
+class TestHellingerDistance:
+    def bounds(self, X):
+        return X.min(axis=0), X.max(axis=0)
+
+    def test_identical_sets_near_zero(self, rng):
+        X = rng.normal(size=(500, 3))
+        lo, hi = self.bounds(X)
+        d = hellinger_distance(X, X, n_bins=10, lo=lo, hi=hi)
+        assert d == pytest.approx(0.0, abs=1e-12)
+
+    def test_same_distribution_small(self, rng):
+        a, b = rng.normal(size=(500, 3)), rng.normal(size=(500, 3))
+        lo, hi = self.bounds(a)
+        assert hellinger_distance(a, b, n_bins=10, lo=lo, hi=hi) < 0.15
+
+    def test_shifted_distribution_large(self, rng):
+        a = rng.normal(size=(500, 3))
+        b = rng.normal(size=(500, 3)) + 2.0
+        lo, hi = self.bounds(a)
+        d = hellinger_distance(a, b, n_bins=10, lo=lo, hi=hi)
+        assert d > 0.4
+
+    def test_bounded_by_one(self, rng):
+        a = rng.normal(size=(200, 2))
+        b = rng.normal(size=(200, 2)) + 100.0  # fully disjoint supports
+        lo, hi = self.bounds(a)
+        d = hellinger_distance(a, b, n_bins=8, lo=lo, hi=hi)
+        assert d <= 1.0 + 1e-9
+
+    def test_feature_mismatch(self, rng):
+        with pytest.raises(ConfigurationError):
+            hellinger_distance(
+                rng.normal(size=(10, 2)), rng.normal(size=(10, 3)),
+                n_bins=4, lo=np.zeros(2), hi=np.ones(2),
+            )
+
+    def test_constant_feature_skipped(self, rng):
+        a = np.column_stack([np.ones(100), rng.normal(size=100)])
+        b = np.column_stack([np.ones(100), rng.normal(size=100)])
+        lo, hi = a.min(axis=0), a.max(axis=0)
+        d = hellinger_distance(a, b, n_bins=8, lo=lo, hi=hi)
+        assert np.isfinite(d)
+
+
+class TestHDDDM:
+    def test_no_detection_on_stationary(self, reference, rng):
+        det = HDDDM(batch_size=100, z=3.0).fit_reference(reference)
+        fired = [det.detect_batch(rng.normal(size=(100, 4))) for _ in range(12)]
+        assert sum(fired) <= 1
+
+    def test_detects_sudden_shift(self, reference, rng):
+        det = HDDDM(batch_size=100, z=3.0).fit_reference(reference)
+        for _ in range(6):  # build the change history on stationary batches
+            det.detect_batch(rng.normal(size=(100, 4)))
+        assert det.detect_batch(rng.normal(size=(100, 4)) + 1.5)
+
+    def test_needs_history_before_firing(self, reference, rng):
+        det = HDDDM(batch_size=100).fit_reference(reference)
+        # First two batches can never fire (threshold is inf).
+        assert not det.detect_batch(rng.normal(size=(100, 4)) + 5.0)
+        assert not det.detect_batch(rng.normal(size=(100, 4)))
+
+    def test_streaming_interface(self, reference, rng):
+        det = HDDDM(batch_size=50).fit_reference(reference)
+        for _ in range(4):
+            for x in rng.normal(size=(50, 4)):
+                det.update_one(x)
+        fired = False
+        for x in rng.normal(size=(50, 4)) + 2.0:
+            fired |= det.update_one(x)
+        assert fired
+
+    def test_not_fitted(self, rng):
+        with pytest.raises(NotFittedError):
+            HDDDM(batch_size=10).detect_batch(rng.normal(size=(10, 2)))
+
+    def test_default_bins_sqrt_rule(self, reference):
+        det = HDDDM(batch_size=50).fit_reference(reference)
+        assert det._bins == int(np.sqrt(400))
+
+    def test_state_nbytes_counts_reference_and_buffer(self, reference):
+        det = HDDDM(batch_size=50).fit_reference(reference)
+        assert det.state_nbytes() >= reference.nbytes + 50 * 4 * 8
+
+    def test_refit_resets_history(self, reference, rng):
+        det = HDDDM(batch_size=100).fit_reference(reference)
+        for _ in range(5):
+            det.detect_batch(rng.normal(size=(100, 4)))
+        det.fit_reference(reference)
+        assert det._eps.count == 0
+        assert det._prev_distance is None
+
+    def test_invalid_params(self):
+        with pytest.raises(Exception):
+            HDDDM(batch_size=0)
+        with pytest.raises(Exception):
+            HDDDM(batch_size=10, z=-1.0)

@@ -1,0 +1,153 @@
+"""Unit tests for KSWIN and EDDM, plus the KS two-sample test itself."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import EDDM, KSWIN, DriftState, ks_two_sample
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestKSTwoSample:
+    def test_identical_samples_d_zero(self):
+        a = np.arange(50.0)
+        d, p = ks_two_sample(a, a)
+        assert d == pytest.approx(0.0)
+        assert p > 0.99
+
+    def test_same_distribution_high_p(self, rng):
+        d, p = ks_two_sample(rng.normal(size=300), rng.normal(size=300))
+        assert p > 0.01
+
+    def test_shifted_distribution_low_p(self, rng):
+        d, p = ks_two_sample(rng.normal(size=300), rng.normal(2.0, 1.0, 300))
+        assert d > 0.5
+        assert p < 1e-6
+
+    def test_statistic_matches_scipy(self, rng):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        a, b = rng.normal(size=80), rng.normal(0.5, 1.2, 120)
+        d, p = ks_two_sample(a, b)
+        ref = scipy_stats.ks_2samp(a, b)
+        assert d == pytest.approx(ref.statistic, abs=1e-12)
+        assert p == pytest.approx(ref.pvalue, abs=0.02)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ks_two_sample(np.array([]), np.array([1.0]))
+
+
+class TestKSWIN:
+    def test_detects_mean_shift(self, rng):
+        kw = KSWIN(seed=0)
+        det = []
+        for i in range(3000):
+            v = rng.normal(0.0 if i < 1500 else 1.5)
+            if kw.update(v) is DriftState.DRIFT:
+                det.append(i)
+        post = [d for d in det if d >= 1500]
+        assert post and post[0] < 1700
+
+    def test_few_false_alarms_when_stationary(self, rng):
+        kw = KSWIN(seed=0)
+        fps = sum(
+            kw.update(float(v)) is DriftState.DRIFT for v in rng.normal(size=5000)
+        )
+        assert fps <= 3
+
+    def test_window_reset_on_detection(self, rng):
+        kw = KSWIN(window_size=60, stat_size=20, alpha=0.01, seed=0)
+        for i in range(200):
+            v = rng.normal(0.0 if i < 150 else 4.0)
+            state = kw.update(v)
+            if state is DriftState.DRIFT:
+                assert len(kw._window) == 20  # reset to the recent slice
+                return
+        pytest.fail("no detection")
+
+    def test_no_test_before_window_full(self, rng):
+        kw = KSWIN(window_size=100, stat_size=30, seed=0)
+        for v in rng.normal(size=99):
+            assert kw.update(float(v)) is DriftState.NORMAL
+        assert kw.last_p_value is None
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            KSWIN(stat_size=100, window_size=100)
+        with pytest.raises(Exception):
+            KSWIN(alpha=2.0)
+
+    def test_reset(self, rng):
+        kw = KSWIN(seed=0)
+        for v in rng.normal(size=200):
+            kw.update(float(v))
+        kw.reset()
+        assert len(kw._window) == 0 and kw.n_samples_seen == 0
+
+    def test_state_nbytes_bounded_by_window(self):
+        assert KSWIN(window_size=100).state_nbytes() < 2000
+
+
+class TestEDDM:
+    def test_detects_error_bunching(self, rng):
+        ed = EDDM()
+        det = []
+        for i in range(8000):
+            err = rng.random() < (0.02 if i < 4000 else 0.4)
+            if ed.update(err) is DriftState.DRIFT:
+                det.append(i)
+                ed.reset()
+        post = [d for d in det if d >= 4000]
+        assert post and post[0] < 4600
+
+    def test_warning_level_exists(self, rng):
+        ed = EDDM(min_errors=20)
+        states = set()
+        for i in range(8000):
+            err = rng.random() < (0.02 if i < 4000 else 0.4)
+            states.add(ed.update(err))
+            if DriftState.DRIFT in states:
+                break
+        assert DriftState.WARNING in states
+
+    def test_stationary_stream_quiet(self, rng):
+        ed = EDDM()
+        drifts = sum(
+            ed.update(rng.random() < 0.1) is DriftState.DRIFT for _ in range(6000)
+        )
+        assert drifts <= 1
+
+    def test_needs_min_errors(self):
+        ed = EDDM(min_errors=30)
+        # 20 consecutive errors: gaps recorded = 19 < 30 -> still NORMAL.
+        for _ in range(20):
+            assert ed.update(True) is DriftState.NORMAL
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            EDDM(alpha=0.95, beta=0.90)
+        with pytest.raises(ConfigurationError):
+            EDDM(alpha=0.0, beta=0.95)
+
+    def test_reset(self, rng):
+        ed = EDDM()
+        for _ in range(100):
+            ed.update(rng.random() < 0.5)
+        ed.reset()
+        assert ed.n_samples_seen == 0
+        assert ed._gaps.count == 0
+
+    def test_improving_model_never_drifts(self):
+        """Errors spread further apart over time — EDDM must stay quiet."""
+        ed = EDDM()
+        t, gap = 0, 2
+        for _ in range(200):
+            for _ in range(gap):
+                assert ed.update(False) is not DriftState.DRIFT
+                t += 1
+            assert ed.update(True) is not DriftState.DRIFT
+            gap += 1
+
+    def test_state_nbytes_tiny(self):
+        assert EDDM().state_nbytes() < 100

@@ -1,0 +1,154 @@
+"""Unit tests for the Quant Tree batch drift detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import (
+    QuantTree,
+    QuantTreePartition,
+    pearson_statistic,
+    quanttree_threshold,
+)
+from repro.utils.exceptions import ConfigurationError, NotFittedError
+
+
+@pytest.fixture
+def reference(rng):
+    return rng.normal(size=(640, 4))
+
+
+class TestPartition:
+    def test_equal_probability_bins(self, reference):
+        part = QuantTreePartition(16, seed=0).fit(reference)
+        np.testing.assert_allclose(part.probabilities, 1.0 / 16, atol=0.01)
+        assert part.probabilities.sum() == pytest.approx(1.0)
+
+    def test_assignment_covers_all_bins(self, reference):
+        part = QuantTreePartition(8, seed=0).fit(reference)
+        bins = part.assign(reference)
+        assert set(np.unique(bins)) == set(range(8))
+
+    def test_counts_sum_to_batch(self, reference, rng):
+        part = QuantTreePartition(8, seed=0).fit(reference)
+        batch = rng.normal(size=(100, 4))
+        counts = part.counts(batch)
+        assert counts.sum() == 100
+
+    def test_split_count(self, reference):
+        part = QuantTreePartition(8, seed=0).fit(reference)
+        assert len(part.splits) == 7
+
+    def test_too_few_samples(self):
+        with pytest.raises(ConfigurationError):
+            QuantTreePartition(8, seed=0).fit(np.ones((4, 2)))
+
+    def test_min_bins(self):
+        with pytest.raises(ConfigurationError):
+            QuantTreePartition(1)
+
+    def test_dimension_independence_of_size(self, rng):
+        """The partition's memory does not grow with dimensionality."""
+        lo = QuantTreePartition(8, seed=0).fit(rng.normal(size=(100, 2)))
+        hi = QuantTreePartition(8, seed=0).fit(rng.normal(size=(100, 200)))
+        assert len(lo.splits) == len(hi.splits)
+
+    def test_reference_count_recorded(self, reference):
+        part = QuantTreePartition(8, seed=0).fit(reference)
+        assert part.n_reference == len(reference)
+
+
+class TestPearson:
+    def test_zero_when_exact(self):
+        probs = np.full(4, 0.25)
+        counts = np.full(4, 25.0)
+        assert pearson_statistic(counts, probs, 100) == pytest.approx(0.0)
+
+    def test_grows_with_imbalance(self):
+        probs = np.full(4, 0.25)
+        mild = pearson_statistic(np.array([30, 20, 25, 25.0]), probs, 100)
+        harsh = pearson_statistic(np.array([70, 10, 10, 10.0]), probs, 100)
+        assert 0 < mild < harsh
+
+
+class TestThreshold:
+    def test_threshold_positive_and_cached(self):
+        t1 = quanttree_threshold(200, 8, 50, 0.05, 500)
+        t2 = quanttree_threshold(200, 8, 50, 0.05, 500)
+        assert t1 == t2 > 0
+
+    def test_smaller_alpha_larger_threshold(self):
+        lo = quanttree_threshold(200, 8, 50, 0.10, 800)
+        hi = quanttree_threshold(200, 8, 50, 0.01, 800)
+        assert hi > lo
+
+    def test_false_positive_rate_respected(self, rng):
+        """Stationary batches should rarely exceed the MC threshold."""
+        thr = quanttree_threshold(400, 8, 60, 0.05, 1500)
+        part = QuantTreePartition(8, seed=1).fit(rng.normal(size=(400, 3)))
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            batch = rng.normal(size=(60, 3))
+            stat = pearson_statistic(part.counts(batch), part.probabilities, 60)
+            hits += stat >= thr
+        assert hits / trials < 0.15  # nominal 0.05 with MC slack
+
+
+class TestQuantTreeDetector:
+    def test_detects_mean_shift(self, reference, rng):
+        qt = QuantTree(batch_size=100, n_bins=16, seed=0).fit_reference(reference)
+        assert not qt.detect_batch(rng.normal(size=(100, 4)))
+        assert qt.detect_batch(rng.normal(size=(100, 4)) + 1.5)
+
+    def test_detects_variance_change(self, reference, rng):
+        qt = QuantTree(batch_size=100, n_bins=16, seed=0).fit_reference(reference)
+        assert qt.detect_batch(rng.normal(size=(100, 4)) * 3.0)
+
+    def test_streaming_update_one(self, reference, rng):
+        qt = QuantTree(batch_size=50, n_bins=8, seed=0).fit_reference(reference)
+        fired = [qt.update_one(x) for x in rng.normal(size=(49, 4))]
+        assert not any(fired)
+        assert qt.buffered_samples == 49
+        qt.update_one(rng.normal(size=4))  # completes the batch
+        assert qt.buffered_samples == 0
+
+    def test_streaming_detects_shift(self, reference, rng):
+        qt = QuantTree(batch_size=50, n_bins=8, seed=0).fit_reference(reference)
+        fired = [qt.update_one(x) for x in rng.normal(size=(50, 4)) + 2.0]
+        assert fired[-1]
+
+    def test_not_fitted(self, rng):
+        qt = QuantTree(batch_size=10)
+        with pytest.raises(NotFittedError):
+            qt.detect_batch(rng.normal(size=(10, 2)))
+        with pytest.raises(NotFittedError):
+            qt.update_one(rng.normal(size=2))
+
+    def test_feature_mismatch(self, reference, rng):
+        qt = QuantTree(batch_size=10, n_bins=8, seed=0).fit_reference(reference)
+        with pytest.raises(Exception):
+            qt.detect_batch(rng.normal(size=(10, 5)))
+
+    def test_state_nbytes_dominated_by_buffer(self, reference):
+        qt = QuantTree(batch_size=100, n_bins=16, seed=0).fit_reference(reference)
+        assert qt.state_nbytes() > 100 * 4 * 8  # at least the buffer
+
+    def test_statistic_recorded(self, reference, rng):
+        qt = QuantTree(batch_size=100, n_bins=16, seed=0).fit_reference(reference)
+        qt.detect_batch(rng.normal(size=(100, 4)))
+        assert qt.last_statistic is not None
+        assert qt.n_tests == 1
+
+    def test_refit_clears_stream_state(self, reference, rng):
+        qt = QuantTree(batch_size=50, n_bins=8, seed=0).fit_reference(reference)
+        qt.update_one(rng.normal(size=4))
+        qt.fit_reference(reference)
+        assert qt.buffered_samples == 0 and qt.n_tests == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(Exception):
+            QuantTree(batch_size=0)
+        with pytest.raises(Exception):
+            QuantTree(batch_size=10, alpha=2.0)

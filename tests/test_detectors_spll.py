@@ -1,0 +1,115 @@
+"""Unit tests for the SPLL (semi-parametric log-likelihood) detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import SPLL, spll_statistic
+from repro.utils.exceptions import ConfigurationError, NotFittedError
+
+
+@pytest.fixture
+def reference(rng):
+    a = rng.normal([0, 0, 0], 0.5, size=(150, 3))
+    b = rng.normal([4, 4, 4], 0.5, size=(150, 3))
+    return np.concatenate([a, b])
+
+
+class TestStatistic:
+    def test_small_for_matching_distribution(self, rng):
+        means = np.array([[0.0, 0.0]])
+        cov = np.ones(2)
+        batch = rng.normal(size=(200, 2))
+        s = spll_statistic(means, cov, batch, diag=True)
+        # Mean squared Mahalanobis to the single unit-covariance cluster ≈ d.
+        assert s == pytest.approx(2.0, abs=0.4)
+
+    def test_grows_with_shift(self, rng):
+        means = np.array([[0.0, 0.0]])
+        cov = np.ones(2)
+        near = spll_statistic(means, cov, rng.normal(size=(100, 2)), diag=True)
+        far = spll_statistic(means, cov, rng.normal(size=(100, 2)) + 3, diag=True)
+        assert far > near + 3
+
+    def test_min_over_clusters(self, rng):
+        means = np.array([[0.0, 0.0], [10.0, 10.0]])
+        cov = np.ones(2)
+        batch = rng.normal(size=(50, 2)) + 10  # near the second cluster
+        s = spll_statistic(means, cov, batch, diag=True)
+        assert s < 5
+
+    def test_full_covariance_path(self, rng):
+        means = np.array([[0.0, 0.0]])
+        cov = np.array([[2.0, 0.5], [0.5, 1.0]])
+        L = np.linalg.cholesky(cov)
+        batch = rng.normal(size=(500, 2)) @ L.T
+        s = spll_statistic(means, cov, batch, diag=False)
+        assert s == pytest.approx(2.0, abs=0.4)
+
+
+class TestDetector:
+    def test_no_detection_on_stationary(self, reference, rng):
+        sp = SPLL(batch_size=100, n_clusters=2, seed=0).fit_reference(reference)
+        a = rng.normal([0, 0, 0], 0.5, size=(50, 3))
+        b = rng.normal([4, 4, 4], 0.5, size=(50, 3))
+        assert not sp.detect_batch(np.concatenate([a, b]))
+
+    def test_detects_shift(self, reference, rng):
+        sp = SPLL(batch_size=100, n_clusters=2, seed=0).fit_reference(reference)
+        assert sp.detect_batch(rng.normal([2, 2, 2], 0.5, size=(100, 3)))
+
+    def test_detects_collapse_to_one_cluster(self, reference, rng):
+        sp = SPLL(batch_size=100, n_clusters=2, seed=0).fit_reference(reference)
+        batch = rng.normal([0, 0, 0], 0.5, size=(100, 3))  # cluster B vanished
+        # Symmetric criterion catches the reverse direction.
+        assert sp.detect_batch(batch)
+
+    def test_asymmetric_mode(self, reference, rng):
+        sp = SPLL(batch_size=100, n_clusters=2, symmetric=False, seed=0).fit_reference(
+            reference
+        )
+        assert sp.detect_batch(rng.normal([2, 2, 2], 0.5, size=(100, 3)))
+
+    def test_threshold_calibrated(self, reference):
+        sp = SPLL(batch_size=100, n_clusters=2, seed=0).fit_reference(reference)
+        assert sp.threshold_ is not None and sp.threshold_ > 0
+
+    def test_not_fitted(self, rng):
+        with pytest.raises(NotFittedError):
+            SPLL(batch_size=10).detect_batch(rng.normal(size=(10, 2)))
+
+    def test_reference_too_small(self):
+        with pytest.raises(ConfigurationError):
+            SPLL(batch_size=10, n_clusters=5, seed=0).fit_reference(np.random.default_rng(0).normal(size=(8, 2)))
+
+    def test_invalid_covariance(self):
+        with pytest.raises(ConfigurationError):
+            SPLL(batch_size=10, covariance="banded")
+
+    def test_state_nbytes_counts_two_windows(self, reference):
+        sp = SPLL(batch_size=100, n_clusters=2, seed=0).fit_reference(reference)
+        nbytes = sp.state_nbytes()
+        # reference window + batch buffer at least
+        assert nbytes >= reference.nbytes + 100 * 3 * 8
+
+    def test_streaming_update_one(self, reference, rng):
+        sp = SPLL(batch_size=60, n_clusters=2, seed=0).fit_reference(reference)
+        shifted = rng.normal([2, 2, 2], 0.5, size=(60, 3))
+        fired = [sp.update_one(x) for x in shifted]
+        assert fired[-1]
+
+    def test_full_covariance_detector(self, reference, rng):
+        sp = SPLL(batch_size=100, n_clusters=2, covariance="full", seed=0).fit_reference(
+            reference
+        )
+        assert sp.detect_batch(rng.normal([2, 2, 2], 0.5, size=(100, 3)))
+
+    def test_false_positive_rate_reasonable(self, reference, rng):
+        sp = SPLL(batch_size=100, n_clusters=2, seed=0).fit_reference(reference)
+        hits = 0
+        for _ in range(30):
+            a = rng.normal([0, 0, 0], 0.5, size=(50, 3))
+            b = rng.normal([4, 4, 4], 0.5, size=(50, 3))
+            hits += sp.detect_batch(np.concatenate([a, b]))
+        assert hits <= 5

@@ -1,0 +1,126 @@
+"""Unit tests for the Table-4 memory models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import (
+    RASPBERRY_PI_4,
+    RASPBERRY_PI_PICO,
+    discriminative_model_memory,
+    fits_on,
+    proposed_memory,
+    quanttree_memory,
+    spll_memory,
+)
+from repro.utils.exceptions import ConfigurationError
+
+# The paper's fan configuration: D=511, batch 235, K=16 bins, C=2.
+FAN = dict(batch_size=235, n_features=511)
+
+
+class TestAnalyticModels:
+    def test_spll_holds_two_windows(self):
+        rep = spll_memory(235, 511, 3)
+        assert rep.components["reference_window"] == 235 * 511 * 8
+        assert rep.components["batch_buffer"] == 235 * 511 * 8
+        # Paper Table 4: SPLL = 1933 kB ≈ two 961 kB windows.
+        assert rep.total_kb == pytest.approx(1933, rel=0.05)
+
+    def test_quanttree_buffer_dominates(self):
+        rep = quanttree_memory(235, 511, 16)
+        assert rep.components["batch_buffer"] == 235 * 511 * 8
+        assert rep.components["batch_buffer"] > 100 * (
+            rep.components["splits"] + rep.components["bin_probabilities"]
+        )
+
+    def test_quanttree_histogram_size_independent_of_dims(self):
+        lo = quanttree_memory(10, 2, 16)
+        hi = quanttree_memory(10, 2000, 16)
+        assert lo.components["splits"] == hi.components["splits"]
+
+    def test_proposed_tiny(self):
+        rep = proposed_memory(2, 511)
+        assert rep.components["trained_centroids"] == 2 * 511 * 8
+        assert rep.total_kb < 20
+
+    def test_paper_ordering(self):
+        proposed = proposed_memory(2, 511).total_bytes
+        qt = quanttree_memory(235, 511, 16).total_bytes
+        spll = spll_memory(235, 511, 3).total_bytes
+        assert proposed < qt < spll
+        # Paper: proposed saves >=88.9% vs QuantTree, >=96.4% vs SPLL.
+        assert 1 - proposed / qt > 0.889
+        assert 1 - proposed / spll > 0.964
+
+    def test_spll_full_covariance_larger(self):
+        diag = spll_memory(235, 511, 3, covariance="diag").total_bytes
+        full = spll_memory(235, 511, 3, covariance="full").total_bytes
+        assert full > diag
+
+    def test_spll_invalid_covariance(self):
+        with pytest.raises(ConfigurationError):
+            spll_memory(10, 5, 2, covariance="banded")
+
+    def test_model_memory_per_instance(self):
+        rep = discriminative_model_memory(2, 511, 22)
+        per = 511 * 22 * 8 + 22 * 8 + 22 * 511 * 8 + 22 * 22 * 8
+        assert rep.total_bytes == 2 * per
+
+    def test_alpha_in_flash_excluded_from_ram(self):
+        ram = discriminative_model_memory(2, 511, 22, alpha_in_flash=True)
+        full = discriminative_model_memory(2, 511, 22)
+        assert ram.total_bytes == full.total_bytes - 2 * (511 * 22 * 8 + 22 * 8)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            quanttree_memory(0, 5, 4)
+        with pytest.raises(ConfigurationError):
+            proposed_memory(2, 0)
+
+
+class TestPicoFeasibility:
+    """Paper §5.3: 'the batch-based Quant Tree and SPLL methods cannot
+    operate on Raspberry Pi Pico' (264 kB) while the proposed method can."""
+
+    def test_batch_methods_do_not_fit_pico(self):
+        assert not fits_on(quanttree_memory(**FAN, n_bins=16), RASPBERRY_PI_PICO)
+        assert not fits_on(spll_memory(**FAN, n_clusters=3), RASPBERRY_PI_PICO)
+
+    def test_proposed_fits_pico_with_model(self):
+        # The constant random weights execute from flash on the Pico;
+        # only mutable state (beta, P, centroids) occupies the 264 kB RAM.
+        det = proposed_memory(2, 511)
+        model = discriminative_model_memory(2, 511, 22, alpha_in_flash=True)
+        assert fits_on(det, RASPBERRY_PI_PICO, model=model)
+
+    def test_everything_fits_pi4(self):
+        for rep in (
+            quanttree_memory(**FAN, n_bins=16),
+            spll_memory(**FAN, n_clusters=3),
+            proposed_memory(2, 511),
+        ):
+            assert fits_on(rep, RASPBERRY_PI_4)
+
+
+class TestLiveAgreement:
+    """The analytic model must agree with the implementations' own
+    state_nbytes() on the dominant terms."""
+
+    def test_quanttree_live_vs_analytic(self, rng):
+        from repro.detectors import QuantTree
+
+        qt = QuantTree(batch_size=50, n_bins=8, seed=0).fit_reference(
+            rng.normal(size=(200, 12))
+        )
+        analytic = quanttree_memory(50, 12, 8).total_bytes
+        assert qt.state_nbytes() == pytest.approx(analytic, rel=0.1)
+
+    def test_proposed_live_vs_analytic(self, rng):
+        from repro.core import CentroidSet
+
+        cents = CentroidSet.from_labelled_data(
+            rng.normal(size=(40, 12)), rng.integers(0, 2, 40), 2
+        )
+        analytic = proposed_memory(2, 12).total_bytes
+        assert cents.state_nbytes() == pytest.approx(analytic, rel=0.15)

@@ -1,0 +1,103 @@
+"""Unit tests for the op-count cost model (Table 6 structure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import EXP_FLOPS, OpCount, StageCostModel
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestOpCount:
+    def test_addition(self):
+        a = OpCount(macs=10, adds=5)
+        b = OpCount(macs=1, cmps=2)
+        c = a + b
+        assert c.macs == 11 and c.adds == 5 and c.cmps == 2
+
+    def test_scaled(self):
+        a = OpCount(macs=3, divs=2).scaled(10)
+        assert a.macs == 30 and a.divs == 20
+
+    def test_flop_weights(self):
+        assert OpCount(macs=1).flops == 2.0
+        assert OpCount(adds=1).flops == 1.0
+        assert OpCount(divs=1).flops == 4.0
+        assert OpCount(exps=1).flops == EXP_FLOPS
+        assert OpCount(moves=4).flops == 1.0
+
+    def test_empty_is_zero(self):
+        assert OpCount().flops == 0.0
+
+
+class TestStageCostModel:
+    @pytest.fixture
+    def paper_geometry(self):
+        """Pico demo geometry: C=2, D=511, H=22."""
+        return StageCostModel(2, 511, 22)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            StageCostModel(0, 511, 22)
+
+    def test_prediction_scales_with_instances(self):
+        one = StageCostModel(1, 511, 22).label_prediction().flops
+        two = StageCostModel(2, 511, 22).label_prediction().flops
+        assert two == pytest.approx(2 * one, rel=0.01)
+
+    def test_prediction_dominated_by_matmuls(self, paper_geometry):
+        ops = paper_geometry.label_prediction()
+        assert ops.macs == 2 * (511 * 22 + 22 * 511)
+
+    def test_distance_linear_in_dims(self):
+        lo = StageCostModel(2, 100, 22).distance_computation().flops
+        hi = StageCostModel(2, 200, 22).distance_computation().flops
+        assert hi == pytest.approx(2 * lo, rel=0.05)
+
+    def test_table6_row_ordering(self, paper_geometry):
+        """The paper's qualitative cost ordering must hold structurally:
+        retrain-with-prediction > prediction > retrain-without >
+        distance/update/init (cheap coordinate ops)."""
+        rows = {k: v.flops for k, v in paper_geometry.table6_rows().items()}
+        pred = rows["Label prediction"]
+        assert rows["Model retraining with label prediction"] > pred
+        assert pred > rows["Model retraining without label prediction"]
+        assert pred > 10 * rows["Distance computation"]
+        assert pred > 10 * rows["Label coordinates update"]
+        assert pred > 10 * rows["Label coordinates initialization"]
+
+    def test_retrain_with_equals_pred_plus_cached_update(self, paper_geometry):
+        rows = paper_geometry.table6_rows()
+        expected = (
+            paper_geometry.label_prediction().flops
+            + paper_geometry.oselm_train_cached().flops
+        )
+        assert rows["Model retraining with label prediction"].flops == pytest.approx(expected)
+
+    def test_detection_overhead_below_prediction(self, paper_geometry):
+        """Paper §5.4: 'the additional computation time for the concept
+        drift detection is less than the label prediction time'."""
+        rows = paper_geometry.table6_rows()
+        detection_extra = (
+            rows["Distance computation"].flops
+            + rows["Label coordinates update"].flops
+            + rows["Label coordinates initialization"].flops
+        )
+        assert detection_extra < rows["Label prediction"].flops
+
+    def test_init_coord_quadratic_in_labels(self):
+        c2 = StageCostModel(2, 100, 8).init_coord().flops
+        c4 = StageCostModel(4, 100, 8).init_coord().flops
+        # pairs: C=2 -> 1, C=4 -> 6; candidate loop adds another factor C.
+        assert c4 > 5 * c2
+
+    def test_all_rows_present(self, paper_geometry):
+        rows = paper_geometry.table6_rows()
+        assert set(rows) == {
+            "Label prediction",
+            "Distance computation",
+            "Model retraining without label prediction",
+            "Model retraining with label prediction",
+            "Label coordinates initialization",
+            "Label coordinates update",
+        }

@@ -1,0 +1,53 @@
+"""Unit tests for device profiles (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import RASPBERRY_PI_4, RASPBERRY_PI_PICO, DeviceProfile
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestConstants:
+    def test_table1_specs(self):
+        assert RASPBERRY_PI_4.clock_hz == 1.5e9
+        assert RASPBERRY_PI_4.ram_bytes == 4 * 1024**3
+        assert RASPBERRY_PI_4.has_fpu
+        assert RASPBERRY_PI_PICO.clock_hz == 133e6
+        assert RASPBERRY_PI_PICO.ram_bytes == 264 * 1024
+        assert not RASPBERRY_PI_PICO.has_fpu
+
+    def test_pico_much_slower_per_flop(self):
+        # Soft-float M0+ vs NEON A72: orders of magnitude apart.
+        pico_t = RASPBERRY_PI_PICO.seconds_for_flops(1e6)
+        pi4_t = RASPBERRY_PI_4.seconds_for_flops(1e6)
+        assert pico_t > 50 * pi4_t
+
+
+class TestProfile:
+    def test_seconds_linear_in_flops(self):
+        t1 = RASPBERRY_PI_4.seconds_for_flops(1e6)
+        t2 = RASPBERRY_PI_4.seconds_for_flops(2e6)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_ms_conversion(self):
+        assert RASPBERRY_PI_4.ms_for_flops(1e6) == pytest.approx(
+            1e3 * RASPBERRY_PI_4.seconds_for_flops(1e6)
+        )
+
+    def test_zero_flops(self):
+        assert RASPBERRY_PI_PICO.seconds_for_flops(0) == 0.0
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RASPBERRY_PI_4.seconds_for_flops(-1)
+
+    def test_fits(self):
+        assert RASPBERRY_PI_PICO.fits(100 * 1024)
+        assert not RASPBERRY_PI_PICO.fits(300 * 1024)
+
+    def test_invalid_profile(self):
+        with pytest.raises(ConfigurationError):
+            DeviceProfile("x", "cpu", 0.0, 1.0, 10, True)
+        with pytest.raises(ConfigurationError):
+            DeviceProfile("x", "cpu", 1.0, -1.0, 10, True)

@@ -1,0 +1,125 @@
+"""Unit tests for the precision-reduction (quantisation) simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_proposed
+from repro.device.quantize import (
+    quantize_array,
+    quantize_model,
+    quantize_pipeline,
+    state_bytes_at,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestQuantizeArray:
+    def test_float64_is_identity(self, rng):
+        a = rng.normal(size=100)
+        np.testing.assert_array_equal(quantize_array(a, "float64"), a)
+
+    def test_float32_rounds(self, rng):
+        a = rng.normal(size=100)
+        out = quantize_array(a, "float32")
+        assert out.dtype == np.float64
+        np.testing.assert_allclose(out, a, rtol=1e-6)
+        assert not np.array_equal(out, a)  # some precision was lost
+
+    def test_float16_rounds_more(self, rng):
+        a = rng.normal(size=1000)
+        err32 = np.abs(quantize_array(a, "float32") - a).max()
+        err16 = np.abs(quantize_array(a, "float16") - a).max()
+        assert err16 > err32
+
+    def test_float16_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quantize_array(np.array([1e6]), "float16")
+
+    def test_unknown_dtype(self):
+        with pytest.raises(ConfigurationError):
+            quantize_array(np.ones(3), "bfloat16")
+
+
+class TestQuantizeModel:
+    @pytest.fixture
+    def pipeline(self, train_stream):
+        return build_proposed(
+            train_stream.X, train_stream.y, window_size=20, n_hidden=4,
+            reconstruction_samples=60, seed=0,
+        )
+
+    def test_original_untouched(self, pipeline):
+        before = pipeline.model.instances[0].core.beta.copy()
+        quantize_model(pipeline.model, "float16")
+        np.testing.assert_array_equal(pipeline.model.instances[0].core.beta, before)
+
+    def test_float32_predictions_nearly_identical(self, pipeline, drift_stream):
+        q = quantize_model(pipeline.model, "float32")
+        orig = pipeline.model.predict(drift_stream.X[:300])
+        quant = q.predict(drift_stream.X[:300])
+        assert (orig == quant).mean() > 0.99
+
+    def test_float16_still_functional(self, pipeline, train_stream):
+        q = quantize_model(pipeline.model, "float16")
+        acc = (q.predict(train_stream.X) == train_stream.y).mean()
+        assert acc > 0.9
+
+    def test_quantized_model_can_keep_training(self, pipeline, drift_stream):
+        q = quantize_model(pipeline.model, "float32")
+        q.partial_fit_one(drift_stream.X[0])
+        assert np.isfinite(q.instances[0].core.P).all()
+
+
+class TestQuantizePipeline:
+    @pytest.fixture
+    def pipeline(self, train_stream):
+        return build_proposed(
+            train_stream.X, train_stream.y, window_size=20, n_hidden=4,
+            reconstruction_samples=60, seed=0,
+        )
+
+    def test_float32_detection_behaviour_preserved(self, pipeline, drift_stream):
+        q = quantize_pipeline(pipeline, "float32")
+        a = [r.drift_detected for r in pipeline.run(drift_stream)]
+        b = [r.drift_detected for r in q.run(drift_stream)]
+        # Same detections (thresholds and scores barely move at f32).
+        assert a == b
+
+    def test_thresholds_quantized(self, pipeline):
+        q = quantize_pipeline(pipeline, "float16")
+        assert q.detector.theta_drift == np.float64(
+            np.float16(pipeline.detector.theta_drift)
+        )
+
+    def test_centroids_quantized_and_locked(self, pipeline):
+        q = quantize_pipeline(pipeline, "float32")
+        with pytest.raises(ValueError):
+            q.detector.centroids.trained[0, 0] = 1.0
+
+    def test_float16_pipeline_still_detects(self, pipeline, drift_stream):
+        q = quantize_pipeline(pipeline, "float16")
+        records = q.run(drift_stream)
+        det = [r.index for r in records if r.drift_detected]
+        assert det and det[0] >= 400
+
+
+class TestStateBytes:
+    def test_sizes(self):
+        assert state_bytes_at(1000, "float64") == 8000
+        assert state_bytes_at(1000, "float32") == 4000
+        assert state_bytes_at(1000, "float16") == 2000
+
+    def test_pico_table4_at_float32(self):
+        """At float32 the proposed method's footprint halves again —
+        the deployment headroom story."""
+        from repro.device import proposed_memory
+
+        f64 = proposed_memory(2, 511).total_bytes
+        n_values = f64 // 8
+        assert state_bytes_at(n_values, "float32") == f64 // 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            state_bytes_at(-1, "float32")

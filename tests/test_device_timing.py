@@ -1,0 +1,113 @@
+"""Unit tests for the Table-5/6 latency estimation layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import StepRecord
+from repro.device import (
+    RASPBERRY_PI_4,
+    RASPBERRY_PI_PICO,
+    OpCount,
+    PhaseTally,
+    StageCostModel,
+    estimate_stream_seconds,
+    quanttree_batch_ops,
+    spll_batch_ops,
+    stage_latency_table,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+def rec(phase, index=0):
+    return StepRecord(index, 0, 0, True, 0.0, False, False, phase)
+
+
+class TestStageLatencyTable:
+    def test_pico_label_prediction_near_calibration(self):
+        """The Pico profile is calibrated on Table 6's 148.87 ms row."""
+        tbl = stage_latency_table(StageCostModel(2, 511, 22), RASPBERRY_PI_PICO)
+        assert tbl["Label prediction"] == pytest.approx(148.87, rel=0.05)
+
+    def test_all_rows_positive(self):
+        tbl = stage_latency_table(StageCostModel(2, 511, 22), RASPBERRY_PI_PICO)
+        assert all(v > 0 for v in tbl.values())
+
+    def test_pi4_much_faster(self):
+        m = StageCostModel(2, 511, 22)
+        pico = stage_latency_table(m, RASPBERRY_PI_PICO)
+        pi4 = stage_latency_table(m, RASPBERRY_PI_4)
+        for k in pico:
+            assert pi4[k] < pico[k] / 50
+
+    def test_latency_within_paper_magnitude(self):
+        """Every reproduced Table 6 row within 3x of the paper's value."""
+        paper = {
+            "Label prediction": 148.87,
+            "Distance computation": 10.58,
+            "Model retraining without label prediction": 25.42,
+            "Model retraining with label prediction": 166.65,
+            "Label coordinates initialization": 25.59,
+            "Label coordinates update": 6.05,
+        }
+        tbl = stage_latency_table(StageCostModel(2, 511, 22), RASPBERRY_PI_PICO)
+        for k, v in paper.items():
+            assert tbl[k] < 3 * v and tbl[k] > v / 5
+
+
+class TestPhaseTally:
+    def test_from_records(self):
+        tally = PhaseTally.from_records([rec("predict"), rec("predict"), rec("check")])
+        assert tally.counts["predict"] == 2
+        assert tally.counts["check"] == 1
+        assert tally.total == 3
+
+
+class TestStreamEstimate:
+    def test_predict_only_stream(self):
+        tally = PhaseTally.from_records([rec("predict")] * 700)
+        geom = StageCostModel(2, 511, 22)
+        est = estimate_stream_seconds(tally, geom, RASPBERRY_PI_4)
+        # 700 × label prediction on the Pi 4 ≈ Table 5's 1.05 s baseline.
+        assert est == pytest.approx(1.05, rel=0.1)
+
+    def test_check_phase_costs_more_than_predict(self):
+        geom = StageCostModel(2, 511, 22)
+        base = estimate_stream_seconds(
+            PhaseTally.from_records([rec("predict")] * 100), geom, RASPBERRY_PI_4
+        )
+        check = estimate_stream_seconds(
+            PhaseTally.from_records([rec("check")] * 100), geom, RASPBERRY_PI_4
+        )
+        assert check > base
+
+    def test_unknown_phase_rejected(self):
+        tally = PhaseTally.from_records([rec("teleport")])
+        with pytest.raises(ConfigurationError):
+            estimate_stream_seconds(tally, StageCostModel(2, 8, 4), RASPBERRY_PI_4)
+
+    def test_batch_ops_added(self):
+        geom = StageCostModel(2, 511, 22)
+        tally = PhaseTally.from_records([rec("predict")] * 100)
+        plain = estimate_stream_seconds(tally, geom, RASPBERRY_PI_4)
+        with_batches = estimate_stream_seconds(
+            tally, geom, RASPBERRY_PI_4,
+            per_batch_ops=spll_batch_ops(235, 511, 3), n_batches=3,
+        )
+        assert with_batches > plain
+
+    def test_spll_batches_far_heavier_than_quanttree(self):
+        """Structural reason for Table 5's SPLL blow-up: per-batch k-means."""
+        sp = spll_batch_ops(235, 511, 3).flops
+        qt = quanttree_batch_ops(235, 16).flops
+        assert sp > 100 * qt
+
+    def test_spll_asymmetric_much_cheaper(self):
+        sym = spll_batch_ops(235, 511, 3, symmetric=True).flops
+        asym = spll_batch_ops(235, 511, 3, symmetric=False).flops
+        assert asym < sym / 10
+
+    def test_quanttree_batch_linear_in_size(self):
+        a = quanttree_batch_ops(100, 16).flops
+        b = quanttree_batch_ops(200, 16).flops
+        assert b == pytest.approx(2 * a, rel=0.1)

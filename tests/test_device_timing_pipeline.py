@@ -1,0 +1,103 @@
+"""Deeper tests for the timing layer: phase tallies from *real* pipeline
+runs, batch-pipeline phases, and the end-to-end Table-5 estimate plumbing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_baseline,
+    build_onlad,
+    build_proposed,
+    build_quanttree_pipeline,
+)
+from repro.device import (
+    RASPBERRY_PI_4,
+    PhaseTally,
+    StageCostModel,
+    estimate_stream_seconds,
+    quanttree_batch_ops,
+)
+from repro.metrics import evaluate_method
+
+
+GEOM = StageCostModel(2, 6, 4)
+
+
+class TestPhaseTallyFromRuns:
+    def test_baseline_all_predict(self, train_stream, drift_stream):
+        pipe = build_baseline(train_stream.X, train_stream.y, n_hidden=4, seed=0)
+        res = evaluate_method(pipe, drift_stream)
+        assert res.phase_tally.counts == {"predict": len(drift_stream)}
+
+    def test_onlad_all_train(self, train_stream, drift_stream):
+        pipe = build_onlad(train_stream.X, train_stream.y, n_hidden=4, seed=0)
+        res = evaluate_method(pipe, drift_stream.take(100))
+        assert res.phase_tally.counts == {"train": 100}
+
+    def test_proposed_phase_budget_adds_up(self, train_stream, drift_stream):
+        pipe = build_proposed(
+            train_stream.X, train_stream.y, window_size=20, n_hidden=4,
+            reconstruction_samples=60, seed=0,
+        )
+        res = evaluate_method(pipe, drift_stream)
+        tally = res.phase_tally
+        assert tally.total == len(drift_stream)
+        # Reconstruction phases account for 60 samples per detection.
+        recon = sum(
+            tally.counts.get(p, 0)
+            for p in ("search", "update", "train_centroid", "train_predict", "finish")
+        )
+        assert recon == 60 * len(res.delay.detections)
+
+    def test_batch_pipeline_phases_include_refit(self, train_stream, drift_stream):
+        pipe = build_quanttree_pipeline(
+            train_stream.X, train_stream.y, batch_size=80, n_bins=8,
+            n_hidden=4, reconstruction_samples=60, seed=0,
+        )
+        res = evaluate_method(pipe, drift_stream)
+        if res.delay.detections:  # detection happened -> refit follows
+            assert res.phase_tally.counts.get("refit", 0) == 80 * len(res.delay.detections)
+
+
+class TestEstimatePlumbing:
+    def test_estimate_monotone_in_stream_length(self, train_stream, drift_stream):
+        pipe = build_baseline(train_stream.X, train_stream.y, n_hidden=4, seed=0)
+        short = evaluate_method(pipe, drift_stream.take(100)).phase_tally
+        long = PhaseTally.from_records(
+            build_baseline(train_stream.X, train_stream.y, n_hidden=4, seed=0)
+            .run(drift_stream)
+        )
+        a = estimate_stream_seconds(short, GEOM, RASPBERRY_PI_4)
+        b = estimate_stream_seconds(long, GEOM, RASPBERRY_PI_4)
+        assert b > a
+
+    def test_reconstruction_costs_more_than_prediction(self, train_stream, drift_stream):
+        prop = build_proposed(
+            train_stream.X, train_stream.y, window_size=20, n_hidden=4,
+            reconstruction_samples=60, seed=0,
+        )
+        res = evaluate_method(prop, drift_stream)
+        with_recon = estimate_stream_seconds(res.phase_tally, GEOM, RASPBERRY_PI_4)
+        all_predict = PhaseTally()
+        all_predict.counts["predict"] = res.phase_tally.total
+        baseline = estimate_stream_seconds(all_predict, GEOM, RASPBERRY_PI_4)
+        assert with_recon > baseline
+
+    def test_batch_term_scales_with_batches(self):
+        tally = PhaseTally()
+        tally.counts["predict"] = 100
+        ops = quanttree_batch_ops(50, 8)
+        one = estimate_stream_seconds(
+            tally, GEOM, RASPBERRY_PI_4, per_batch_ops=ops, n_batches=1
+        )
+        five = estimate_stream_seconds(
+            tally, GEOM, RASPBERRY_PI_4, per_batch_ops=ops, n_batches=5
+        )
+        base = estimate_stream_seconds(tally, GEOM, RASPBERRY_PI_4)
+        assert five - base == pytest.approx(5 * (one - base), rel=1e-9)
+
+    def test_zero_phase_tally_is_zero_seconds(self):
+        assert estimate_stream_seconds(PhaseTally(), GEOM, RASPBERRY_PI_4) == 0.0

@@ -1,0 +1,141 @@
+"""Failure-injection tests: the library must refuse corrupted input at
+every boundary rather than propagate it into sequential state.
+
+On a microcontroller a NaN that slips into the RLS recursion poisons the
+model *permanently* (there is no re-fit from scratch); these tests verify
+that every public entry point that streams data rejects non-finite input,
+mismatched dimensionality, and lifecycle misuse — and that rejected calls
+leave state untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CentroidSet, SequentialDriftDetector, build_proposed
+from repro.datasets import DataStream
+from repro.oselm import MultiInstanceModel, OSELM
+from repro.utils.exceptions import DataValidationError
+
+
+NAN_SAMPLE = np.array([0.1, np.nan, 0.3, 0.4, 0.5, 0.6])
+INF_SAMPLE = np.array([0.1, np.inf, 0.3, 0.4, 0.5, 0.6])
+
+
+class TestNaNRejection:
+    def test_oselm_fit_rejects_nan(self, rng):
+        m = OSELM(3, 4, 3, seed=0)
+        X = rng.normal(size=(10, 3))
+        X[3, 1] = np.nan
+        with pytest.raises(DataValidationError):
+            m.fit_initial(X, X)
+
+    def test_oselm_partial_fit_one_rejects_nan_and_preserves_state(self, rng):
+        m = OSELM(3, 4, 3, seed=0)
+        X = rng.normal(size=(10, 3))
+        m.fit_initial(X, X)
+        beta_before = m.beta.copy()
+        with pytest.raises(Exception):
+            m.partial_fit_one(np.array([1.0, np.nan, 0.0]), np.zeros(3))
+        np.testing.assert_array_equal(m.beta, beta_before)
+        assert np.isfinite(m.P).all()
+
+    def test_model_prediction_rejects_nan(self, trained_model):
+        with pytest.raises(DataValidationError):
+            trained_model.predict_one(NAN_SAMPLE)
+
+    def test_model_training_rejects_inf(self, trained_model):
+        seen = [i.n_samples_seen for i in trained_model.instances]
+        with pytest.raises(DataValidationError):
+            trained_model.partial_fit_one(INF_SAMPLE)
+        assert [i.n_samples_seen for i in trained_model.instances] == seen
+
+    def test_centroid_update_rejects_nan(self):
+        c = CentroidSet(np.zeros((2, 6)), np.array([1, 1]))
+        with pytest.raises(DataValidationError):
+            c.update(0, NAN_SAMPLE)
+        assert c.drift_distance() == 0.0
+
+    def test_detector_update_rejects_nan_sample(self):
+        c = CentroidSet(np.zeros((2, 6)), np.array([1, 1]))
+        det = SequentialDriftDetector(c, window_size=5, theta_error=0.0, theta_drift=1.0)
+        with pytest.raises(DataValidationError):
+            det.update(NAN_SAMPLE, 0, error=1.0)
+
+    def test_stream_construction_rejects_nan(self):
+        X = np.ones((4, 3))
+        X[2, 0] = np.nan
+        with pytest.raises(DataValidationError):
+            DataStream(X, np.zeros(4, dtype=int))
+
+    def test_pipeline_rejects_nan_and_stays_usable(self, train_stream, drift_stream):
+        pipe = build_proposed(
+            train_stream.X, train_stream.y, window_size=20, n_hidden=4,
+            reconstruction_samples=60, seed=0,
+        )
+        with pytest.raises(DataValidationError):
+            pipe.process_one(NAN_SAMPLE, 0)
+        # The rejected sample must not have corrupted anything: the
+        # pipeline still runs the full stream and detects the drift.
+        records = pipe.run(drift_stream)
+        assert any(r.drift_detected for r in records)
+        assert all(np.isfinite(r.anomaly_score) for r in records)
+
+
+class TestDimensionMismatch:
+    def test_model_wrong_width(self, trained_model):
+        with pytest.raises(Exception):
+            trained_model.predict_one(np.ones(9))
+
+    def test_detector_wrong_width(self):
+        c = CentroidSet(np.zeros((2, 6)), np.array([1, 1]))
+        det = SequentialDriftDetector(c, window_size=5, theta_error=0.0, theta_drift=1.0)
+        with pytest.raises(Exception):
+            det.update(np.ones(4), 0, error=1.0)
+
+    def test_batch_detector_wrong_width(self, rng):
+        from repro.detectors import QuantTree
+
+        qt = QuantTree(batch_size=10, n_bins=4, seed=0).fit_reference(
+            rng.normal(size=(50, 6))
+        )
+        with pytest.raises(Exception):
+            qt.update_one(np.ones(5))
+
+
+class TestLifecycleMisuse:
+    def test_everything_guards_unfitted_use(self, rng):
+        from repro.clustering import GaussianMixture, KMeans
+        from repro.detectors import SPLL, QuantTree
+        from repro.oselm import OSELMAutoencoder
+        from repro.utils.exceptions import NotFittedError
+
+        X = rng.normal(size=(5, 3))
+        for obj, call in [
+            (OSELM(3, 4, 1, seed=0), lambda o: o.predict(X)),
+            (OSELMAutoencoder(3, 2, seed=0), lambda o: o.score(X)),
+            (MultiInstanceModel(3, 2, 2, seed=0), lambda o: o.predict(X)),
+            (KMeans(2), lambda o: o.predict(X)),
+            (GaussianMixture(2), lambda o: o.score_samples(X)),
+            (QuantTree(batch_size=4), lambda o: o.detect_batch(X[:4])),
+            (SPLL(batch_size=4), lambda o: o.detect_batch(X[:4])),
+        ]:
+            with pytest.raises(NotFittedError):
+                call(obj)
+
+    def test_long_stream_after_many_rejections(self, train_stream, rng):
+        """Hammer the model with alternating bad/good samples; state must
+        stay finite throughout."""
+        model = MultiInstanceModel(6, 4, 2, seed=0).fit_initial(
+            train_stream.X, train_stream.y
+        )
+        for i in range(200):
+            if i % 3 == 0:
+                with pytest.raises(Exception):
+                    model.partial_fit_one(NAN_SAMPLE)
+            else:
+                model.partial_fit_one(rng.random(6))
+        for inst in model.instances:
+            assert np.isfinite(inst.core.beta).all()
+            assert np.isfinite(inst.core.P).all()

@@ -1,0 +1,118 @@
+"""Integration tests: the five methods end-to-end on a reduced NSL-KDD-like
+stream — the Table 2 / Figure 4 experiment at 1/6 scale.
+
+These assert the *shape* of the paper's results: method ordering, drift
+response, and delay relationships — not absolute values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_baseline,
+    build_onlad,
+    build_proposed,
+    build_quanttree_pipeline,
+    build_spll_pipeline,
+)
+from repro.datasets import NSLKDDConfig, make_nslkdd_like
+from repro.metrics import compare_methods, evaluate_method, segment_accuracy
+
+DRIFT_AT = 1500
+
+
+@pytest.fixture(scope="module")
+def streams():
+    cfg = NSLKDDConfig(n_train=600, n_test=4500, drift_at=DRIFT_AT)
+    return make_nslkdd_like(cfg, seed=0)
+
+
+@pytest.fixture(scope="module")
+def results(streams):
+    train, test = streams
+    builders = {
+        "quanttree": lambda: build_quanttree_pipeline(
+            train.X, train.y, batch_size=300, n_bins=16, seed=1
+        ),
+        "spll": lambda: build_spll_pipeline(train.X, train.y, batch_size=300, seed=1),
+        "baseline": lambda: build_baseline(train.X, train.y, seed=1),
+        "onlad": lambda: build_onlad(train.X, train.y, forgetting_factor=0.97, seed=1),
+        "proposed": lambda: build_proposed(train.X, train.y, window_size=100, seed=1),
+    }
+    return compare_methods(builders, test)
+
+
+class TestTable2Shape:
+    def test_adaptive_methods_beat_frozen_baseline(self, results):
+        for name in ("quanttree", "spll", "proposed"):
+            assert results[name].accuracy > results["baseline"].accuracy, name
+
+    def test_proposed_close_to_batch_methods(self, results):
+        """Paper: proposed loses at most a few points to QuantTree/SPLL."""
+        best_batch = max(results["quanttree"].accuracy, results["spll"].accuracy)
+        assert results["proposed"].accuracy > best_batch - 0.08
+
+    def test_all_active_methods_detect_the_drift(self, results):
+        for name in ("quanttree", "spll", "proposed"):
+            assert results[name].first_delay is not None, name
+
+    def test_batch_methods_detect_faster(self, results):
+        """Paper: the proposed method 'needed more samples to detect the
+        concept drift compared to the batch-based' methods."""
+        batch_delay = min(results["quanttree"].first_delay, results["spll"].first_delay)
+        assert results["proposed"].first_delay >= batch_delay
+
+    def test_baseline_never_detects(self, results):
+        assert results["baseline"].delay.detections == ()
+
+    def test_memory_ordering(self, results):
+        assert (
+            results["proposed"].detector_nbytes
+            < results["quanttree"].detector_nbytes
+            < results["spll"].detector_nbytes
+        )
+
+
+class TestFigure4Shape:
+    def test_baseline_accuracy_drops_at_drift(self, results):
+        pre, post = segment_accuracy(results["baseline"].records, [DRIFT_AT])
+        assert pre > 0.9
+        assert post < pre - 0.1
+
+    def test_proposed_recovers_after_detection(self, results):
+        res = results["proposed"]
+        det = res.first_delay + DRIFT_AT
+        recon_end = det + 450  # reconstruction budget + margin
+        pre, dip, post = segment_accuracy(res.records, [DRIFT_AT, recon_end])
+        assert post > dip
+        assert post > 0.85
+
+    def test_accuracy_curves_well_formed(self, results):
+        for res in results.values():
+            pos, acc = res.accuracy_curve(window=300)
+            assert np.isfinite(acc).all()
+            assert len(pos) == len(res.records) - 299
+
+
+class TestWindowSizeSweep:
+    def test_larger_windows_do_not_detect_faster(self, streams):
+        """Table 2: delay grows (weakly) with window size."""
+        train, test = streams
+        delays = {}
+        for W in (50, 400):
+            p = build_proposed(train.X, train.y, window_size=W, seed=1)
+            delays[W] = evaluate_method(p, test).first_delay
+        assert delays[400] is None or delays[50] is None or delays[50] <= delays[400]
+
+    def test_detection_reproducible(self, streams):
+        train, test = streams
+        a = evaluate_method(
+            build_proposed(train.X, train.y, window_size=100, seed=5), test
+        )
+        b = evaluate_method(
+            build_proposed(train.X, train.y, window_size=100, seed=5), test
+        )
+        assert a.delay.detections == b.delay.detections
+        assert a.accuracy == b.accuracy

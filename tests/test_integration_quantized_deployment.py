@@ -1,0 +1,73 @@
+"""Integration: the full gateway→quantise→persist→restore→stream chain.
+
+Combines `repro.device.quantize` and `repro.io` the way a real deployment
+would: calibrate at float64, quantise the state for the device format,
+persist, restore, and confirm the quantised deployment still detects and
+recovers from a drift while fitting the Pico's RAM at float32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_proposed
+from repro.datasets import NSLKDDConfig, make_nslkdd_like
+from repro.device import proposed_memory, discriminative_model_memory, RASPBERRY_PI_PICO
+from repro.device.quantize import quantize_pipeline, state_bytes_at
+from repro.io import load_pipeline, save_pipeline
+from repro.metrics import evaluate_method, segment_accuracy
+
+CFG = NSLKDDConfig(n_train=500, n_test=3000, drift_at=1000)
+
+
+@pytest.fixture(scope="module")
+def streams():
+    return make_nslkdd_like(CFG, seed=0)
+
+
+@pytest.fixture(scope="module")
+def f64_result(streams):
+    train, test = streams
+    pipe = build_proposed(train.X, train.y, window_size=50, seed=1)
+    return evaluate_method(pipe, test)
+
+
+@pytest.mark.parametrize("dtype", ["float32", "float16"])
+def test_quantized_deployment_detects_and_recovers(streams, f64_result, dtype):
+    train, test = streams
+    pipe = build_proposed(train.X, train.y, window_size=50, seed=1)
+    q = quantize_pipeline(pipe, dtype)
+    res = evaluate_method(q, test)
+    assert res.delay.detections, f"{dtype} deployment missed the drift"
+    # Accuracy within a couple points of the float64 run.
+    assert res.accuracy > f64_result.accuracy - 0.03
+    det_end = res.delay.detections[0] + 450
+    _, _, post = segment_accuracy(res.records, [1000, det_end])
+    assert post > 0.8
+
+
+def test_quantize_then_persist_roundtrip(streams, tmp_path):
+    train, test = streams
+    pipe = build_proposed(train.X, train.y, window_size=50, seed=1)
+    q = quantize_pipeline(pipe, "float32")
+    path = tmp_path / "edge_f32.npz"
+    save_pipeline(q, path)
+    restored = load_pipeline(path)
+    a = [r.predicted for r in q.run(test.take(600))]
+    b = [r.predicted for r in restored.run(test.take(600))]
+    assert a == b
+
+
+def test_float32_state_fits_pico_with_margin(streams):
+    """At the deployment precision the whole mutable state uses well under
+    half of the Pico's RAM."""
+    train, _ = streams
+    pipe = build_proposed(train.X, train.y, window_size=50, seed=1)
+    C, D, H = pipe.model.n_labels, pipe.model.n_features, pipe.model.n_hidden
+    n_values = (
+        proposed_memory(C, D).total_bytes
+        + discriminative_model_memory(C, D, H, alpha_in_flash=True).total_bytes
+    ) // 8
+    f32_bytes = state_bytes_at(n_values, "float32")
+    assert f32_bytes < RASPBERRY_PI_PICO.ram_bytes / 2

@@ -1,0 +1,120 @@
+"""Unit tests for pipeline persistence (save_pipeline / load_pipeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_proposed
+from repro.datasets import NSLKDDConfig, make_nslkdd_like
+from repro.io import load_pipeline, save_pipeline
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def small_streams():
+    cfg = NSLKDDConfig(n_train=300, n_test=1200, drift_at=400)
+    return make_nslkdd_like(cfg, seed=0)
+
+
+@pytest.fixture
+def pipeline(small_streams):
+    train, _ = small_streams
+    return build_proposed(
+        train.X, train.y, window_size=30, reconstruction_samples=80, seed=1
+    )
+
+
+class TestRoundTrip:
+    def test_predictions_identical(self, pipeline, small_streams, tmp_path):
+        _, test = small_streams
+        path = tmp_path / "pipe.npz"
+        save_pipeline(pipeline, path)
+        restored = load_pipeline(path)
+        a = pipeline.run(test)
+        b = restored.run(test)
+        assert [r.predicted for r in a] == [r.predicted for r in b]
+        assert [r.drift_detected for r in a] == [r.drift_detected for r in b]
+        np.testing.assert_allclose(
+            [r.anomaly_score for r in a], [r.anomaly_score for r in b]
+        )
+
+    def test_thresholds_preserved(self, pipeline, tmp_path):
+        path = tmp_path / "pipe.npz"
+        save_pipeline(pipeline, path)
+        restored = load_pipeline(path)
+        assert restored.detector.theta_drift == pipeline.detector.theta_drift
+        assert restored.detector.theta_error == pipeline.detector.theta_error
+        assert restored.detector.window_size == pipeline.detector.window_size
+
+    def test_centroid_state_preserved(self, pipeline, tmp_path):
+        # Mutate the recent centroids first so the round trip carries
+        # mid-stream state, not just the initial condition.
+        pipeline.detector.centroids.update(0, np.full(38, 0.5))
+        path = tmp_path / "pipe.npz"
+        save_pipeline(pipeline, path)
+        restored = load_pipeline(path)
+        np.testing.assert_array_equal(
+            restored.detector.centroids.recent, pipeline.detector.centroids.recent
+        )
+        np.testing.assert_array_equal(
+            restored.detector.centroids.counts, pipeline.detector.centroids.counts
+        )
+        assert restored.detector.centroids.max_count == pipeline.detector.centroids.max_count
+
+    def test_reconstructor_config_preserved(self, pipeline, tmp_path):
+        path = tmp_path / "pipe.npz"
+        save_pipeline(pipeline, path)
+        restored = load_pipeline(path)
+        assert restored.reconstructor.n_total == pipeline.reconstructor.n_total
+        assert restored.reconstructor.n_search == pipeline.reconstructor.n_search
+        assert restored.reconstructor.n_update == pipeline.reconstructor.n_update
+
+    def test_model_weights_bitexact(self, pipeline, tmp_path):
+        path = tmp_path / "pipe.npz"
+        save_pipeline(pipeline, path)
+        restored = load_pipeline(path)
+        for a, b in zip(pipeline.model.instances, restored.model.instances):
+            np.testing.assert_array_equal(a.core.layer.weights, b.core.layer.weights)
+            np.testing.assert_array_equal(a.core.beta, b.core.beta)
+            np.testing.assert_array_equal(a.core.P, b.core.P)
+            assert a.core.n_samples_seen == b.core.n_samples_seen
+
+    def test_restored_pipeline_keeps_learning(self, pipeline, small_streams, tmp_path):
+        _, test = small_streams
+        path = tmp_path / "pipe.npz"
+        save_pipeline(pipeline, path)
+        restored = load_pipeline(path)
+        records = restored.run(test)
+        # The restored pipeline detects and reconstructs like a live one.
+        assert any(r.drift_detected for r in records)
+
+
+class TestValidation:
+    def test_unfitted_rejected(self, small_streams):
+        from repro.core import (
+            CentroidSet,
+            ModelReconstructor,
+            ProposedPipeline,
+            SequentialDriftDetector,
+        )
+        from repro.oselm import MultiInstanceModel
+
+        train, _ = small_streams
+        model = MultiInstanceModel(38, 22, 2, seed=0)  # not fitted
+        cents = CentroidSet.from_labelled_data(train.X, train.y, 2)
+        det = SequentialDriftDetector(cents, window_size=5, theta_error=1, theta_drift=1)
+        rec = ModelReconstructor(model, cents)
+        pipe = ProposedPipeline(model, det, rec)
+        with pytest.raises(ConfigurationError):
+            save_pipeline(pipe, "whatever.npz")
+
+    def test_wrong_type_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_pipeline("not a pipeline", tmp_path / "x.npz")
+
+    def test_archive_is_single_file(self, pipeline, tmp_path):
+        path = tmp_path / "deploy.npz"
+        save_pipeline(pipeline, path)
+        assert path.exists()
+        assert path.stat().st_size > 1000

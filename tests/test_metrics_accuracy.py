@@ -1,0 +1,84 @@
+"""Unit tests for accuracy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import StepRecord
+from repro.metrics import (
+    correctness_array,
+    overall_accuracy,
+    segment_accuracy,
+    windowed_accuracy,
+)
+from repro.utils.exceptions import DataValidationError
+
+
+def recs(pattern):
+    """Build records whose correctness follows ``pattern`` (iterable of 0/1)."""
+    return [
+        StepRecord(i, 0, 0 if ok else 1, bool(ok), 0.0, False, False, "predict")
+        for i, ok in enumerate(pattern)
+    ]
+
+
+class TestCorrectness:
+    def test_array(self):
+        c = correctness_array(recs([1, 0, 1]))
+        np.testing.assert_array_equal(c, [1.0, 0.0, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataValidationError):
+            correctness_array([])
+
+    def test_unlabelled_rejected(self):
+        bad = [StepRecord(0, 0, None, None, 0.0, False, False, "predict")]
+        with pytest.raises(DataValidationError):
+            correctness_array(bad)
+
+
+class TestOverall:
+    def test_mean(self):
+        assert overall_accuracy(recs([1, 1, 0, 0])) == pytest.approx(0.5)
+
+    def test_perfect(self):
+        assert overall_accuracy(recs([1] * 10)) == 1.0
+
+
+class TestWindowed:
+    def test_positions_and_values(self):
+        pattern = [1] * 10 + [0] * 10
+        pos, acc = windowed_accuracy(recs(pattern), window=10)
+        assert pos[0] == 9 and pos[-1] == 19
+        assert acc[0] == pytest.approx(1.0)
+        assert acc[-1] == pytest.approx(0.0)
+        assert acc[5] == pytest.approx(0.5)  # half-window overlap
+
+    def test_window_longer_than_stream(self):
+        with pytest.raises(DataValidationError):
+            windowed_accuracy(recs([1, 0]), window=10)
+
+    def test_trailing_window_semantics(self):
+        pos, acc = windowed_accuracy(recs([1, 0, 1, 0]), window=2)
+        np.testing.assert_allclose(acc, [0.5, 0.5, 0.5])
+
+    def test_invalid_window(self):
+        with pytest.raises(Exception):
+            windowed_accuracy(recs([1, 0]), window=0)
+
+
+class TestSegments:
+    def test_pre_post_split(self):
+        pattern = [1] * 10 + [0] * 10
+        pre, post = segment_accuracy(recs(pattern), [10])
+        assert pre == 1.0 and post == 0.0
+
+    def test_multiple_boundaries(self):
+        pattern = [1] * 4 + [0] * 4 + [1] * 4
+        a, b, c = segment_accuracy(recs(pattern), [4, 8])
+        assert (a, b, c) == (1.0, 0.0, 1.0)
+
+    def test_empty_segment_nan(self):
+        out = segment_accuracy(recs([1, 1]), [0])
+        assert np.isnan(out[0]) and out[1] == 1.0

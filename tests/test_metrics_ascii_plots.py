@@ -1,0 +1,102 @@
+"""Unit tests for the terminal plotting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.ascii_plots import ascii_scatter, hbar_chart, sparkline
+from repro.utils.exceptions import ConfigurationError, DataValidationError
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        s = sparkline(np.linspace(0, 1, 50), width=8)
+        assert len(s) == 8
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_constant_series_mid_block(self):
+        s = sparkline([5.0, 5.0, 5.0], width=3)
+        assert len(set(s)) == 1
+
+    def test_pinned_scale(self):
+        # With lo/hi pinned wide, a small series stays low.
+        s = sparkline([0.1, 0.2], width=2, lo=0.0, hi=1.0)
+        assert all(ch in "▁▂▃" for ch in s)
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1.0, 2.0], width=50)) == 2
+
+    def test_validation(self):
+        with pytest.raises(DataValidationError):
+            sparkline([])
+        with pytest.raises(DataValidationError):
+            sparkline([np.nan])
+        with pytest.raises(ConfigurationError):
+            sparkline([1.0], lo=2.0, hi=1.0)
+
+
+class TestHBar:
+    def test_proportional_bars(self):
+        out = hbar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_labels_aligned(self):
+        out = hbar_chart({"short": 1.0, "muchlonger": 2.0})
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_unit_suffix(self):
+        out = hbar_chart({"x": 3.0}, unit="ms")
+        assert "3ms" in out
+
+    def test_zero_values_ok(self):
+        out = hbar_chart({"x": 0.0, "y": 0.0})
+        assert "#" not in out
+
+    def test_validation(self):
+        with pytest.raises(DataValidationError):
+            hbar_chart({})
+        with pytest.raises(DataValidationError):
+            hbar_chart({"x": -1.0})
+
+
+class TestAsciiScatter:
+    def test_grid_dimensions(self):
+        out = ascii_scatter({"*": np.array([[0.5, 0.5]])}, width=10, height=4)
+        lines = out.splitlines()
+        assert len(lines) == 6  # border + 4 rows + border
+        assert all(len(l) == 12 for l in lines)
+
+    def test_point_placement_corners(self):
+        out = ascii_scatter(
+            {"a": np.array([[0.0, 0.0]]), "b": np.array([[1.0, 1.0]])},
+            width=10, height=4,
+        )
+        lines = out.splitlines()
+        assert lines[-2][1] == "a"  # bottom-left
+        assert lines[1][-2] == "b"  # top-right (clipped to last cell)
+
+    def test_later_glyph_overdraws(self):
+        pts = np.array([[0.5, 0.5]])
+        out = ascii_scatter({"x": pts, "o": pts}, width=8, height=4)
+        assert "o" in out and "x" not in out
+
+    def test_out_of_bounds_clipped(self):
+        out = ascii_scatter({"*": np.array([[5.0, -3.0]])}, width=8, height=4)
+        assert "*" in out  # clipped onto the border cell, not dropped
+
+    def test_custom_bounds(self):
+        out = ascii_scatter(
+            {"*": np.array([[50.0, 50.0]])},
+            width=9, height=3, bounds=(0.0, 100.0, 0.0, 100.0),
+        )
+        assert out.splitlines()[2][5] == "*"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_scatter({"ab": np.array([[0.5, 0.5]])})
+        with pytest.raises(ConfigurationError):
+            ascii_scatter({"*": np.zeros((1, 2))}, bounds=(1.0, 0.0, 0.0, 1.0))

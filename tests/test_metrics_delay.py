@@ -1,0 +1,79 @@
+"""Unit tests for detection-delay metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import StepRecord
+from repro.metrics import delay_report, detection_delay, detection_indices
+from repro.utils.exceptions import DataValidationError
+
+
+def recs(n, detections):
+    det = set(detections)
+    return [
+        StepRecord(i, 0, 0, True, 0.0, i in det, False, "predict") for i in range(n)
+    ]
+
+
+class TestDetectionIndices:
+    def test_extracts_detection_positions(self):
+        assert detection_indices(recs(10, [3, 7])) == [3, 7]
+
+    def test_empty(self):
+        assert detection_indices(recs(5, [])) == []
+
+
+class TestDetectionDelay:
+    def test_basic(self):
+        assert detection_delay([120, 300], drift_point=100) == 20
+
+    def test_detection_at_drift_point(self):
+        assert detection_delay([100], drift_point=100) == 0
+
+    def test_only_earlier_detections(self):
+        assert detection_delay([50], drift_point=100) is None
+
+    def test_no_detections(self):
+        assert detection_delay([], drift_point=100) is None
+
+    def test_negative_drift_point(self):
+        with pytest.raises(DataValidationError):
+            detection_delay([5], drift_point=-1)
+
+
+class TestDelayReport:
+    def test_single_drift(self):
+        rep = delay_report(recs(1000, [450]), [400])
+        assert rep.delays == (50,)
+        assert rep.first_delay == 50
+        assert rep.false_positives == ()
+
+    def test_false_positive_separated(self):
+        rep = delay_report(recs(1000, [100, 450]), [400])
+        assert rep.false_positives == (100,)
+        assert rep.delays == (50,)
+
+    def test_missed_drift(self):
+        rep = delay_report(recs(1000, []), [400])
+        assert rep.delays == (None,)
+        assert rep.first_delay is None
+
+    def test_multiple_drifts_segmented(self):
+        # Detections at 130 and 520 attribute to drifts at 100 and 500.
+        rep = delay_report(recs(1000, [130, 520]), [100, 500])
+        assert rep.delays == (30, 20)
+
+    def test_detection_in_first_segment_only(self):
+        rep = delay_report(recs(1000, [130]), [100, 500])
+        assert rep.delays == (30, None)
+
+    def test_detection_counts_only_first_in_segment(self):
+        rep = delay_report(recs(1000, [130, 180, 520]), [100, 500])
+        assert rep.delays == (30, 20)
+        assert rep.detections == (130, 180, 520)
+
+    def test_no_drift_points(self):
+        rep = delay_report(recs(100, [50]), [])
+        assert rep.delays == ()
+        assert rep.false_positives == ()

@@ -1,0 +1,76 @@
+"""Unit tests for the drift-detection quality metrics (MDR/MTD/MTFA)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.metrics import evaluate_detections
+from repro.utils.exceptions import DataValidationError
+
+
+class TestMatching:
+    def test_perfect_run(self):
+        ev = evaluate_detections([450, 950], [400, 900], 2000, horizon=200)
+        assert ev.matched_delays == (50, 50)
+        assert ev.recall == 1.0 and ev.precision == 1.0
+        assert ev.missed_detection_rate == 0.0
+        assert ev.mean_time_to_detection == 50.0
+        assert ev.false_alarms == ()
+        assert ev.mean_time_between_false_alarms is None
+
+    def test_missed_drift(self):
+        ev = evaluate_detections([], [400], 1000)
+        assert ev.matched_delays == (None,)
+        assert ev.recall == 0.0
+        assert ev.missed_detection_rate == 1.0
+        assert ev.mean_time_to_detection is None
+
+    def test_detection_outside_horizon_is_false_alarm(self):
+        ev = evaluate_detections([900], [400], 2000, horizon=100)
+        assert ev.matched_delays == (None,)
+        assert ev.false_alarms == (900,)
+        assert ev.precision == 0.0
+
+    def test_false_alarm_before_any_drift(self):
+        ev = evaluate_detections([100, 450], [400], 1000, horizon=200)
+        assert ev.matched_delays == (50,)
+        assert ev.false_alarms == (100,)
+        assert ev.precision == 0.5
+
+    def test_each_detection_used_once(self):
+        # One detection cannot satisfy two drifts.
+        ev = evaluate_detections([450], [400, 440], 1000, horizon=200)
+        assert ev.matched_delays in ((None, 10), (50, None))
+        assert ev.n_detected == 1
+
+    def test_detection_clipped_at_next_drift(self):
+        # A detection after the second drift cannot match the first even
+        # inside the first's horizon.
+        ev = evaluate_detections([850], [400, 800], 2000, horizon=1000)
+        assert ev.matched_delays == (None, 50)
+
+    def test_extra_detections_in_same_segment(self):
+        ev = evaluate_detections([450, 500, 550], [400], 1000, horizon=300)
+        assert ev.matched_delays == (50,)
+        assert ev.false_alarms == (500, 550)
+
+    def test_mtfa(self):
+        ev = evaluate_detections([100, 200], [], 1000)
+        assert ev.mean_time_between_false_alarms == 500.0
+
+    def test_no_drifts_nan_rates(self):
+        ev = evaluate_detections([], [], 1000)
+        assert math.isnan(ev.recall)
+        assert math.isnan(ev.precision)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DataValidationError):
+            evaluate_detections([2000], [400], 1000)
+        with pytest.raises(DataValidationError):
+            evaluate_detections([100], [1500], 1000)
+
+    def test_unsorted_inputs_handled(self):
+        ev = evaluate_detections([950, 450], [900, 400], 2000, horizon=200)
+        assert ev.matched_delays == (50, 50)

@@ -1,0 +1,113 @@
+"""Unit tests for the experiment runner and table formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_baseline, build_proposed
+from repro.metrics import (
+    MethodResult,
+    compare_methods,
+    evaluate_method,
+    format_paper_comparison,
+    format_table,
+)
+from repro.utils.exceptions import DataValidationError
+
+
+class TestEvaluateMethod:
+    def test_result_fields(self, train_stream, drift_stream):
+        pipe = build_proposed(
+            train_stream.X, train_stream.y, n_hidden=4,
+            reconstruction_samples=60, window_size=20, seed=0,
+        )
+        res = evaluate_method(pipe, drift_stream)
+        assert isinstance(res, MethodResult)
+        assert res.name == "proposed"
+        assert 0 <= res.accuracy <= 1
+        assert res.wall_seconds > 0
+        assert res.phase_tally.total == len(drift_stream)
+        assert res.detector_nbytes > 0
+        assert len(res.records) == len(drift_stream)
+
+    def test_delay_against_ground_truth(self, train_stream, drift_stream):
+        pipe = build_proposed(
+            train_stream.X, train_stream.y, n_hidden=4,
+            reconstruction_samples=60, window_size=20, seed=0,
+        )
+        res = evaluate_method(pipe, drift_stream)
+        assert res.first_delay is not None and res.first_delay >= 0
+
+    def test_accuracy_curve(self, train_stream, drift_stream):
+        pipe = build_baseline(train_stream.X, train_stream.y, n_hidden=4, seed=0)
+        res = evaluate_method(pipe, drift_stream)
+        pos, acc = res.accuracy_curve(window=100)
+        assert len(pos) == len(acc) == len(drift_stream) - 99
+        assert acc.max() <= 1.0 and acc.min() >= 0.0
+
+    def test_summary_row_keys(self, train_stream, drift_stream):
+        pipe = build_baseline(train_stream.X, train_stream.y, n_hidden=4, seed=0)
+        row = evaluate_method(pipe, drift_stream).summary_row()
+        assert set(row) == {
+            "method", "accuracy_pct", "delay", "false_positives",
+            "wall_seconds", "detector_kb",
+        }
+
+    def test_empty_stream_rejected(self, train_stream):
+        pipe = build_baseline(train_stream.X, train_stream.y, n_hidden=4, seed=0)
+        with pytest.raises(DataValidationError):
+            evaluate_method(pipe, train_stream.slice(0, 0))
+
+    def test_name_override(self, train_stream, drift_stream):
+        pipe = build_baseline(train_stream.X, train_stream.y, n_hidden=4, seed=0)
+        assert evaluate_method(pipe, drift_stream.take(50), name="frozen").name == "frozen"
+
+
+class TestCompareMethods:
+    def test_runs_all_builders(self, train_stream, drift_stream):
+        builders = {
+            "baseline": lambda: build_baseline(
+                train_stream.X, train_stream.y, n_hidden=4, seed=0
+            ),
+            "proposed": lambda: build_proposed(
+                train_stream.X, train_stream.y, n_hidden=4,
+                reconstruction_samples=60, window_size=20, seed=0,
+            ),
+        }
+        results = compare_methods(builders, drift_stream)
+        assert set(results) == {"baseline", "proposed"}
+        assert results["proposed"].accuracy > results["baseline"].accuracy
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["method", "acc"], [["qt", 96.8], ["spll", 96.3]])
+        lines = out.splitlines()
+        assert "method" in lines[0] and "acc" in lines[0]
+        assert "96.80" in out and "spll" in out
+
+    def test_none_rendered_as_dash(self):
+        out = format_table(["m", "delay"], [["baseline", None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(DataValidationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers(self):
+        with pytest.raises(DataValidationError):
+            format_table([], [])
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="Table X")
+        assert out.splitlines()[0] == "Table X"
+
+    def test_paper_comparison(self):
+        out = format_paper_comparison(
+            "Table 4", {"proposed": 16.4}, {"proposed": 69.0, "spll": 1933.0}, unit="kB"
+        )
+        assert "reproduced (kB)" in out
+        assert "16.40" in out and "1933.00" in out
+        # Missing measured value renders as '-'.
+        assert out.splitlines()[-1].count("-") >= 1

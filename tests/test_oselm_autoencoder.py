@@ -1,0 +1,98 @@
+"""Unit tests for the OS-ELM autoencoder anomaly scorer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.oselm import OSELMAutoencoder
+from repro.utils.exceptions import ConfigurationError, NotFittedError
+
+
+@pytest.fixture
+def normal_data(rng):
+    # Data on a 2-D manifold embedded in 8-D: reconstructable through a
+    # narrow bottleneck.
+    latent = rng.normal(size=(200, 2))
+    basis = rng.normal(size=(2, 8))
+    return 0.3 * (latent @ basis) + 0.5
+
+
+class TestLifecycle:
+    def test_fit_and_score_shapes(self, normal_data):
+        ae = OSELMAutoencoder(8, 4, seed=0).fit_initial(normal_data)
+        s = ae.score(normal_data[:10])
+        assert s.shape == (10,)
+        assert (s >= 0).all()
+
+    def test_not_fitted(self, normal_data):
+        ae = OSELMAutoencoder(8, 4, seed=0)
+        with pytest.raises(NotFittedError):
+            ae.score(normal_data)
+
+    def test_reconstruct_shape(self, normal_data):
+        ae = OSELMAutoencoder(8, 4, seed=0).fit_initial(normal_data)
+        assert ae.reconstruct(normal_data[:5]).shape == (5, 8)
+
+    def test_invalid_metric(self):
+        with pytest.raises(ConfigurationError):
+            OSELMAutoencoder(8, 4, error_metric="rmse")
+
+    def test_partial_fit_variants_count(self, normal_data):
+        ae = OSELMAutoencoder(8, 4, seed=0).fit_initial(normal_data[:50])
+        ae.partial_fit(normal_data[50:60])
+        ae.partial_fit_one(normal_data[60])
+        assert ae.n_samples_seen == 61
+
+
+class TestAnomalyScoring:
+    def test_inliers_score_below_outliers(self, normal_data, rng):
+        ae = OSELMAutoencoder(8, 4, seed=0).fit_initial(normal_data)
+        inlier_scores = ae.score(normal_data[:50])
+        outliers = rng.normal(size=(50, 8)) * 2 + 5
+        outlier_scores = ae.score(outliers)
+        assert outlier_scores.mean() > 5 * inlier_scores.mean()
+
+    def test_score_one_matches_batch(self, normal_data):
+        ae = OSELMAutoencoder(8, 4, seed=0).fit_initial(normal_data)
+        assert ae.score_one(normal_data[3]) == pytest.approx(
+            float(ae.score(normal_data[3:4])[0])
+        )
+
+    def test_mae_metric(self, normal_data):
+        ae = OSELMAutoencoder(8, 4, error_metric="mae", seed=0).fit_initial(normal_data)
+        x = normal_data[0]
+        r = ae.reconstruct(x.reshape(1, -1))[0]
+        assert ae.score_one(x) == pytest.approx(float(np.abs(r - x).mean()))
+
+    def test_mse_metric_definition(self, normal_data):
+        ae = OSELMAutoencoder(8, 4, seed=0).fit_initial(normal_data)
+        x = normal_data[0]
+        r = ae.reconstruct(x.reshape(1, -1))[0]
+        assert ae.score_one(x) == pytest.approx(float(((r - x) ** 2).mean()))
+
+    def test_sequential_training_reduces_score_on_new_concept(self, normal_data, rng):
+        ae = OSELMAutoencoder(8, 4, seed=0).fit_initial(normal_data)
+        new_concept = normal_data + 1.5
+        before = ae.score(new_concept).mean()
+        for x in new_concept[:150]:
+            ae.partial_fit_one(x)
+        after = ae.score(new_concept[150:]).mean()
+        assert after < before
+
+    def test_forgetting_core_selected(self):
+        ae = OSELMAutoencoder(8, 4, forgetting_factor=0.97, seed=0)
+        from repro.oselm import ForgettingOSELM
+
+        assert isinstance(ae.core, ForgettingOSELM)
+        assert ae.core.forgetting_factor == 0.97
+
+    def test_plain_core_by_default(self):
+        from repro.oselm import ForgettingOSELM, OSELM
+
+        ae = OSELMAutoencoder(8, 4, seed=0)
+        assert type(ae.core) is OSELM
+
+    def test_state_nbytes_delegates(self, normal_data):
+        ae = OSELMAutoencoder(8, 4, seed=0).fit_initial(normal_data)
+        assert ae.state_nbytes() == ae.core.state_nbytes() > 0

@@ -1,0 +1,116 @@
+"""Unit tests for the supervised OS-ELM classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.oselm import ForgettingOSELM, OSELM, OSELMClassifier
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def linear_data(rng):
+    X = rng.normal(size=(400, 5))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(np.int64)
+    return X, y
+
+
+@pytest.fixture
+def three_class_data(rng):
+    centers = np.array([[0, 0], [4, 0], [0, 4]], dtype=float)
+    X = np.concatenate([c + rng.normal(0, 0.5, (100, 2)) for c in centers])
+    y = np.repeat([0, 1, 2], 100)
+    return X, y
+
+
+class TestConstruction:
+    def test_min_classes(self):
+        with pytest.raises(ConfigurationError):
+            OSELMClassifier(5, 10, 1)
+
+    def test_plain_core_default(self):
+        clf = OSELMClassifier(5, 10, 2, seed=0)
+        assert type(clf.core) is OSELM
+
+    def test_forgetting_core(self):
+        clf = OSELMClassifier(5, 10, 2, forgetting_factor=0.95, seed=0)
+        assert isinstance(clf.core, ForgettingOSELM)
+
+
+class TestTraining:
+    def test_binary_accuracy(self, linear_data):
+        X, y = linear_data
+        clf = OSELMClassifier(5, 30, 2, seed=0).fit_initial(X[:300], y[:300])
+        assert clf.score(X[300:], y[300:]) > 0.9
+
+    def test_three_class_accuracy(self, three_class_data):
+        X, y = three_class_data
+        idx = np.random.default_rng(0).permutation(len(X))
+        X, y = X[idx], y[idx]
+        clf = OSELMClassifier(2, 20, 3, seed=0).fit_initial(X[:200], y[:200])
+        assert clf.score(X[200:], y[200:]) > 0.9
+
+    def test_sequential_matches_batch(self, linear_data):
+        X, y = linear_data
+        batch = OSELMClassifier(5, 15, 2, seed=0).fit_initial(X, y)
+        seq = OSELMClassifier(5, 15, 2, seed=0).fit_initial(X[:100], y[:100])
+        for i in range(100, len(X)):
+            seq.partial_fit_one(X[i], int(y[i]))
+        np.testing.assert_allclose(seq.core.beta, batch.core.beta, atol=1e-6)
+
+    def test_chunk_partial_fit(self, linear_data):
+        X, y = linear_data
+        clf = OSELMClassifier(5, 15, 2, seed=0).fit_initial(X[:100], y[:100])
+        clf.partial_fit(X[100:200], y[100:200])
+        assert clf.core.n_samples_seen == 200
+
+    def test_label_validation(self, linear_data):
+        X, y = linear_data
+        clf = OSELMClassifier(5, 15, 2, seed=0).fit_initial(X[:50], y[:50])
+        with pytest.raises(ConfigurationError):
+            clf.partial_fit_one(X[0], 5)
+        with pytest.raises(Exception):
+            clf.fit_initial(X, np.full(len(X), 3))
+
+    def test_length_mismatch(self, linear_data):
+        X, y = linear_data
+        with pytest.raises(ConfigurationError):
+            OSELMClassifier(5, 15, 2, seed=0).fit_initial(X, y[:-1])
+
+
+class TestInference:
+    def test_decision_function_shape(self, linear_data):
+        X, y = linear_data
+        clf = OSELMClassifier(5, 15, 2, seed=0).fit_initial(X, y)
+        assert clf.decision_function(X[:7]).shape == (7, 2)
+
+    def test_predict_one_matches_batch(self, linear_data):
+        X, y = linear_data
+        clf = OSELMClassifier(5, 15, 2, seed=0).fit_initial(X, y)
+        assert clf.predict_one(X[3]) == clf.predict(X[3:4])[0]
+
+    def test_forgetting_variant_tracks_flip(self, rng):
+        """After the label rule flips, the forgetting classifier recovers
+        faster than the plain one."""
+        X = rng.normal(size=(1200, 4))
+        y_old = (X[:, 0] > 0).astype(np.int64)
+        y_new = 1 - y_old
+        # Long old-concept history (400), short adaptation burst (150):
+        # the plain model is still outvoted by its history while the
+        # forgetting model has already discarded it.
+        plain = OSELMClassifier(4, 20, 2, seed=0).fit_initial(X[:400], y_old[:400])
+        forget = OSELMClassifier(4, 20, 2, forgetting_factor=0.95, seed=0).fit_initial(
+            X[:400], y_old[:400]
+        )
+        for i in range(400, 550):
+            plain.partial_fit_one(X[i], int(y_new[i]))
+            forget.partial_fit_one(X[i], int(y_new[i]))
+        assert forget.score(X[800:], y_new[800:]) > plain.score(X[800:], y_new[800:])
+
+    def test_state_nbytes(self, linear_data):
+        X, y = linear_data
+        clf = OSELMClassifier(5, 15, 2, seed=0)
+        assert clf.state_nbytes() == 0
+        clf.fit_initial(X, y)
+        assert clf.state_nbytes() > 0

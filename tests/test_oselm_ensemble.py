@@ -1,0 +1,122 @@
+"""Unit tests for the multi-instance discriminative model (paper §3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.oselm import MultiInstanceModel
+from repro.utils.exceptions import ConfigurationError, NotFittedError
+
+
+class TestTraining:
+    def test_fit_initial_per_label(self, train_stream):
+        m = MultiInstanceModel(6, 4, 2, seed=0).fit_initial(train_stream.X, train_stream.y)
+        assert m.is_fitted
+        for inst in m.instances:
+            assert inst.is_fitted
+
+    def test_missing_label_rejected(self, rng):
+        X = rng.random((20, 6))
+        y = np.zeros(20, dtype=int)  # label 1 absent
+        with pytest.raises(ConfigurationError):
+            MultiInstanceModel(6, 4, 2, seed=0).fit_initial(X, y)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ConfigurationError):
+            MultiInstanceModel(6, 4, 2, seed=0).fit_initial(
+                rng.random((10, 6)), np.zeros(9, dtype=int)
+            )
+
+    def test_label_out_of_range(self, rng):
+        X = rng.random((10, 6))
+        y = np.array([0, 1, 2, 0, 1, 0, 1, 0, 1, 0])
+        with pytest.raises(Exception):
+            MultiInstanceModel(6, 4, 2, seed=0).fit_initial(X, y)
+
+    def test_instances_have_independent_layers(self):
+        m = MultiInstanceModel(6, 4, 3, seed=0)
+        w = [inst.core.layer.weights for inst in m.instances]
+        assert not np.allclose(w[0], w[1])
+        assert not np.allclose(w[1], w[2])
+
+    def test_seed_reproducibility(self):
+        a = MultiInstanceModel(6, 4, 2, seed=5)
+        b = MultiInstanceModel(6, 4, 2, seed=5)
+        np.testing.assert_array_equal(
+            a.instances[1].core.layer.weights, b.instances[1].core.layer.weights
+        )
+
+
+class TestPrediction:
+    def test_classifies_separable_blobs(self, trained_model, train_stream):
+        pred = trained_model.predict(train_stream.X)
+        assert (pred == train_stream.y).mean() > 0.95
+
+    def test_predict_one_matches_batch(self, trained_model, train_stream):
+        x = train_stream.X[5]
+        assert trained_model.predict_one(x) == trained_model.predict(x.reshape(1, -1))[0]
+
+    def test_predict_with_score_is_argmin(self, trained_model, train_stream):
+        x = train_stream.X[0]
+        label, score = trained_model.predict_with_score(x)
+        scores = trained_model.scores_one(x)
+        assert label == scores.argmin()
+        assert score == pytest.approx(scores.min())
+
+    def test_scores_shape(self, trained_model, train_stream):
+        S = trained_model.scores(train_stream.X[:7])
+        assert S.shape == (7, 2)
+        assert (S >= 0).all()
+
+    def test_not_fitted(self):
+        m = MultiInstanceModel(6, 4, 2, seed=0)
+        with pytest.raises(NotFittedError):
+            m.predict_one(np.zeros(6))
+
+
+class TestSequentialTraining:
+    def test_self_labelled_trains_closest(self, trained_model, train_stream):
+        x = train_stream.X[0]
+        expected = trained_model.predict_one(x)
+        before = [inst.n_samples_seen for inst in trained_model.instances]
+        trained = trained_model.partial_fit_one(x)
+        assert trained == expected
+        after = [inst.n_samples_seen for inst in trained_model.instances]
+        assert after[trained] == before[trained] + 1
+        other = 1 - trained
+        assert after[other] == before[other]
+
+    def test_explicit_label_trains_that_instance(self, trained_model, train_stream):
+        x = train_stream.X[0]
+        before = trained_model.instances[1].n_samples_seen
+        assert trained_model.partial_fit_one(x, label=1) == 1
+        assert trained_model.instances[1].n_samples_seen == before + 1
+
+    def test_invalid_label(self, trained_model, train_stream):
+        with pytest.raises(ConfigurationError):
+            trained_model.partial_fit_one(train_stream.X[0], label=5)
+
+    def test_adapts_to_shifted_concept(self, trained_model, drift_stream):
+        """Sequentially training on shifted samples lowers their scores."""
+        post = drift_stream.X[400:700]
+        before = trained_model.scores(post).min(axis=1).mean()
+        for x in post[:200]:
+            trained_model.partial_fit_one(x)
+        after = trained_model.scores(drift_stream.X[700:900]).min(axis=1).mean()
+        assert after < before
+
+    def test_state_nbytes_sums_instances(self, trained_model):
+        total = sum(inst.state_nbytes() for inst in trained_model.instances)
+        assert trained_model.state_nbytes() == total > 0
+
+
+class TestONLADConfiguration:
+    def test_forgetting_propagates(self):
+        m = MultiInstanceModel(6, 4, 2, forgetting_factor=0.97, seed=0)
+        for inst in m.instances:
+            assert inst.forgetting_factor == 0.97
+
+    def test_invalid_n_labels(self):
+        with pytest.raises(ConfigurationError):
+            MultiInstanceModel(6, 4, 0, seed=0)

@@ -1,0 +1,102 @@
+"""Unit tests for the forgetting-factor OS-ELM (ONLAD's learning rule)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.oselm import OSELM, ForgettingOSELM
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_valid_factors(self):
+        for a in (0.5, 0.97, 1.0):
+            ForgettingOSELM(3, 4, 3, forgetting_factor=a, seed=0)
+
+    def test_invalid_factors(self):
+        for a in (0.0, -0.5, 1.5):
+            with pytest.raises(ConfigurationError):
+                ForgettingOSELM(3, 4, 3, forgetting_factor=a, seed=0)
+
+
+class TestForgettingBehaviour:
+    def test_factor_one_equals_plain_oselm(self, rng):
+        X = rng.normal(size=(40, 3))
+        plain = OSELM(3, 5, 3, seed=0).fit_initial(X[:20], X[:20])
+        forget = ForgettingOSELM(3, 5, 3, forgetting_factor=1.0, seed=0).fit_initial(
+            X[:20], X[:20]
+        )
+        for i in range(20, 40):
+            plain.partial_fit_one(X[i], X[i])
+            forget.partial_fit_one(X[i], X[i])
+        np.testing.assert_allclose(plain.beta, forget.beta, atol=1e-10)
+
+    def test_tracks_concept_change_faster_than_plain(self, rng):
+        """After a target-function flip, the forgetting model's error on the
+        new concept drops below the plain model's."""
+        X = rng.normal(size=(600, 4))
+        w_old = np.ones((4, 1))
+        w_new = -np.ones((4, 1))
+        plain = OSELM(4, 12, 1, seed=0).fit_initial(X[:100], X[:100] @ w_old)
+        forget = ForgettingOSELM(4, 12, 1, forgetting_factor=0.95, seed=0).fit_initial(
+            X[:100], X[:100] @ w_old
+        )
+        for i in range(100, 400):
+            t = (X[i] @ w_new).reshape(1)
+            plain.partial_fit_one(X[i], t)
+            forget.partial_fit_one(X[i], t)
+        Xq = rng.normal(size=(100, 4))
+        err_plain = np.abs(plain.predict(Xq) - Xq @ w_new).mean()
+        err_forget = np.abs(forget.predict(Xq) - Xq @ w_new).mean()
+        assert err_forget < err_plain
+
+    def test_effective_memory_shrinks_with_factor(self, rng):
+        """A smaller factor forgets the old concept more completely."""
+        X = rng.normal(size=(400, 3))
+        w_old, w_new = np.ones((3, 1)), -np.ones((3, 1))
+        errs = {}
+        for a in (0.90, 0.999):
+            m = ForgettingOSELM(3, 10, 1, forgetting_factor=a, seed=0).fit_initial(
+                X[:100], X[:100] @ w_old
+            )
+            for i in range(100, 200):
+                m.partial_fit_one(X[i], (X[i] @ w_new).reshape(1))
+            Xq = rng.normal(size=(80, 3))
+            errs[a] = np.abs(m.predict(Xq) - Xq @ w_new).mean()
+        assert errs[0.90] < errs[0.999]
+
+    def test_chunk_partial_fit_equals_rowwise(self, rng):
+        X = rng.normal(size=(30, 3))
+        a = ForgettingOSELM(3, 5, 3, forgetting_factor=0.95, seed=0).fit_initial(
+            X[:10], X[:10]
+        )
+        b = ForgettingOSELM(3, 5, 3, forgetting_factor=0.95, seed=0).fit_initial(
+            X[:10], X[:10]
+        )
+        a.partial_fit(X[10:], X[10:])
+        for i in range(10, 30):
+            b.partial_fit_one(X[i], X[i])
+        np.testing.assert_allclose(a.beta, b.beta, atol=1e-10)
+
+    def test_P_inflates_relative_to_plain(self, rng):
+        """Forgetting divides P by α each step — its covariance stays larger
+        (more plastic) than plain OS-ELM's after the same stream."""
+        X = rng.normal(size=(200, 3))
+        plain = OSELM(3, 6, 3, seed=0).fit_initial(X[:20], X[:20])
+        forget = ForgettingOSELM(3, 6, 3, forgetting_factor=0.95, seed=0).fit_initial(
+            X[:20], X[:20]
+        )
+        for i in range(20, 200):
+            plain.partial_fit_one(X[i], X[i])
+            forget.partial_fit_one(X[i], X[i])
+        assert np.trace(forget.P) > np.trace(plain.P)
+
+    def test_long_stream_stays_finite(self, rng):
+        m = ForgettingOSELM(3, 6, 3, forgetting_factor=0.97, seed=0)
+        X0 = rng.normal(size=(20, 3))
+        m.fit_initial(X0, X0)
+        for _ in range(2000):
+            x = rng.normal(size=3)
+            m.partial_fit_one(x, x)
+        assert np.isfinite(m.beta).all() and np.isfinite(m.P).all()

@@ -1,0 +1,150 @@
+"""Unit tests for OS-ELM — including the sequential ≡ batch equivalence.
+
+The defining property of OS-ELM (Liang et al. 2006) is that the sequential
+phase produces *exactly* the ridge-regression solution over all data seen
+so far. Several tests pin this equivalence down for chunked and rank-1
+updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.oselm import OSELM
+from repro.utils.exceptions import ConfigurationError, NotFittedError
+
+
+def ridge_beta(model: OSELM, X: np.ndarray, T: np.ndarray) -> np.ndarray:
+    """Closed-form ridge solution on the model's own hidden features."""
+    H = model.layer.transform(X)
+    A = H.T @ H + model.reg * np.eye(model.n_hidden)
+    return np.linalg.solve(A, H.T @ T)
+
+
+@pytest.fixture
+def data(rng):
+    X = rng.normal(size=(80, 5))
+    W = rng.normal(size=(5, 2))
+    T = X @ W + 0.01 * rng.normal(size=(80, 2))
+    return X, T
+
+
+class TestInitialPhase:
+    def test_initial_matches_ridge(self, data):
+        X, T = data
+        m = OSELM(5, 10, 2, seed=0).fit_initial(X, T)
+        np.testing.assert_allclose(m.beta, ridge_beta(m, X, T), atol=1e-8)
+
+    def test_not_fitted_guards(self, data):
+        X, T = data
+        m = OSELM(5, 10, 2, seed=0)
+        with pytest.raises(NotFittedError):
+            m.predict(X)
+        with pytest.raises(NotFittedError):
+            m.partial_fit(X, T)
+        with pytest.raises(NotFittedError):
+            m.partial_fit_one(X[0], T[0])
+
+    def test_small_initial_batch_ok_with_ridge(self, rng):
+        # Fewer initial samples than hidden nodes still yields PD state.
+        m = OSELM(5, 10, 1, reg=1e-2, seed=0)
+        m.fit_initial(rng.normal(size=(4, 5)), rng.normal(size=(4, 1)))
+        assert np.isfinite(m.beta).all()
+
+    def test_refit_resets_count(self, data):
+        X, T = data
+        m = OSELM(5, 10, 2, seed=0).fit_initial(X, T)
+        m.partial_fit(X[:5], T[:5])
+        m.fit_initial(X, T)
+        assert m.n_samples_seen == len(X)
+
+    def test_1d_targets_single_output(self, rng):
+        m = OSELM(3, 4, 1, seed=0)
+        m.fit_initial(rng.normal(size=(10, 3)), rng.normal(size=10))
+        assert m.beta.shape == (4, 1)
+
+
+class TestSequentialEquivalence:
+    def test_chunked_updates_match_full_batch(self, data):
+        X, T = data
+        m = OSELM(5, 10, 2, seed=0).fit_initial(X[:30], T[:30])
+        m.partial_fit(X[30:55], T[30:55])
+        m.partial_fit(X[55:], T[55:])
+        np.testing.assert_allclose(m.beta, ridge_beta(m, X, T), atol=1e-6)
+
+    def test_rank1_stream_matches_full_batch(self, data):
+        X, T = data
+        m = OSELM(5, 10, 2, seed=0).fit_initial(X[:30], T[:30])
+        for i in range(30, len(X)):
+            m.partial_fit_one(X[i], T[i])
+        np.testing.assert_allclose(m.beta, ridge_beta(m, X, T), atol=1e-6)
+
+    def test_single_row_chunk_uses_rank1_path(self, data):
+        X, T = data
+        a = OSELM(5, 10, 2, seed=0).fit_initial(X[:30], T[:30])
+        b = OSELM(5, 10, 2, seed=0).fit_initial(X[:30], T[:30])
+        a.partial_fit(X[30:31], T[30:31])
+        b.partial_fit_one(X[30], T[30])
+        np.testing.assert_allclose(a.beta, b.beta, atol=1e-10)
+
+    def test_sample_counter(self, data):
+        X, T = data
+        m = OSELM(5, 10, 2, seed=0).fit_initial(X[:30], T[:30])
+        m.partial_fit(X[30:40], T[30:40])
+        m.partial_fit_one(X[40], T[40])
+        assert m.n_samples_seen == 41
+
+    def test_P_stays_symmetric_positive(self, data):
+        X, T = data
+        m = OSELM(5, 10, 2, seed=0).fit_initial(X[:30], T[:30])
+        for i in range(30, len(X)):
+            m.partial_fit_one(X[i], T[i])
+        np.testing.assert_allclose(m.P, m.P.T, atol=1e-12)
+        eig = np.linalg.eigvalsh(m.P)
+        assert (eig > 0).all()
+
+
+class TestPrediction:
+    def test_fits_linear_map_well(self, data):
+        X, T = data
+        m = OSELM(5, 30, 2, seed=0).fit_initial(X, T)
+        pred = m.predict(X)
+        rel = np.linalg.norm(pred - T) / np.linalg.norm(T)
+        assert rel < 0.15
+
+    def test_predict_one_matches_batch(self, data):
+        X, T = data
+        m = OSELM(5, 10, 2, seed=0).fit_initial(X, T)
+        np.testing.assert_allclose(m.predict_one(X[3]), m.predict(X[3:4])[0])
+
+    def test_target_shape_mismatch(self, data):
+        X, T = data
+        m = OSELM(5, 10, 2, seed=0)
+        with pytest.raises(ConfigurationError):
+            m.fit_initial(X, T[:, :1])
+
+    def test_nan_target_rejected(self, rng):
+        m = OSELM(3, 4, 1, seed=0)
+        with pytest.raises(ConfigurationError):
+            m.fit_initial(rng.normal(size=(5, 3)), np.full(5, np.nan))
+
+    def test_state_nbytes(self, data):
+        X, T = data
+        m = OSELM(5, 10, 2, seed=0)
+        assert m.state_nbytes() == 0
+        m.fit_initial(X, T)
+        assert m.state_nbytes() == m.beta.nbytes + m.P.nbytes
+
+
+class TestLongStreamStability:
+    def test_thousands_of_rank1_updates_stay_finite(self, rng):
+        m = OSELM(4, 8, 4, seed=1)
+        X0 = rng.normal(size=(20, 4))
+        m.fit_initial(X0, X0 @ np.eye(4))
+        for _ in range(3000):
+            x = rng.normal(size=4)
+            m.partial_fit_one(x, x)
+        assert np.isfinite(m.beta).all()
+        assert np.isfinite(m.P).all()
+        np.testing.assert_allclose(m.P, m.P.T, atol=1e-9)

@@ -1,0 +1,94 @@
+"""Unit tests for the fixed random hidden layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.oselm import ACTIVATIONS, RandomLayer
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_shapes(self):
+        layer = RandomLayer(5, 3, seed=0)
+        assert layer.weights.shape == (5, 3)
+        assert layer.biases.shape == (3,)
+
+    def test_weights_in_scale(self):
+        layer = RandomLayer(100, 50, weight_scale=0.5, seed=0)
+        assert np.abs(layer.weights).max() <= 0.5
+        assert np.abs(layer.biases).max() <= 0.5
+
+    def test_immutable(self):
+        layer = RandomLayer(3, 2, seed=0)
+        with pytest.raises(ValueError):
+            layer.weights[0, 0] = 1.0
+
+    def test_seed_reproducible(self):
+        a, b = RandomLayer(4, 4, seed=7), RandomLayer(4, 4, seed=7)
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_unknown_activation(self):
+        with pytest.raises(ConfigurationError):
+            RandomLayer(3, 2, activation="swish")
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            RandomLayer(0, 2)
+        with pytest.raises(ConfigurationError):
+            RandomLayer(2, 0)
+
+
+class TestTransform:
+    def test_output_shape(self, rng):
+        layer = RandomLayer(6, 4, seed=0)
+        assert layer.transform(rng.normal(size=(10, 6))).shape == (10, 4)
+
+    def test_transform_one_matches_batch(self, rng):
+        layer = RandomLayer(6, 4, seed=0)
+        x = rng.normal(size=6)
+        np.testing.assert_allclose(
+            layer.transform_one(x)[0], layer.transform(x.reshape(1, -1))[0]
+        )
+
+    def test_sigmoid_range(self, rng):
+        layer = RandomLayer(6, 4, activation="sigmoid", seed=0)
+        H = layer.transform(rng.normal(size=(30, 6)) * 10)
+        assert (H > 0).all() and (H < 1).all()
+
+    def test_tanh_range(self, rng):
+        layer = RandomLayer(6, 4, activation="tanh", seed=0)
+        H = layer.transform(rng.normal(size=(30, 6)) * 10)
+        assert (H >= -1).all() and (H <= 1).all()  # saturates to ±1 in float
+
+    def test_relu_nonnegative(self, rng):
+        layer = RandomLayer(6, 4, activation="relu", seed=0)
+        assert (layer.transform(rng.normal(size=(30, 6))) >= 0).all()
+
+    def test_linear_is_affine(self, rng):
+        layer = RandomLayer(3, 2, activation="linear", seed=0)
+        X = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(
+            layer.transform(X), X @ layer.weights + layer.biases
+        )
+
+    def test_wrong_dim_rejected(self, rng):
+        layer = RandomLayer(6, 4, seed=0)
+        with pytest.raises(Exception):
+            layer.transform(rng.normal(size=(5, 7)))
+        with pytest.raises(Exception):
+            layer.transform_one(rng.normal(size=7))
+
+    def test_nan_sample_rejected(self):
+        layer = RandomLayer(3, 2, seed=0)
+        with pytest.raises(Exception):
+            layer.transform_one(np.array([1.0, np.nan, 0.0]))
+
+    def test_deterministic_transform(self, rng):
+        layer = RandomLayer(6, 4, seed=3)
+        X = rng.normal(size=(5, 6))
+        np.testing.assert_array_equal(layer.transform(X), layer.transform(X))
+
+    def test_all_activations_registered(self):
+        assert set(ACTIVATIONS) == {"sigmoid", "tanh", "relu", "linear"}

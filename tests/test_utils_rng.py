@@ -1,0 +1,65 @@
+"""Unit tests for repro.utils.rng — seeding and child-generator spawning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a, b = ensure_rng(42), ensure_rng(42)
+        assert a.random() == b.random()
+
+    def test_different_seeds_differ(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_generator_passthrough_shares_state(self):
+        g = np.random.default_rng(0)
+        same = ensure_rng(g)
+        assert same is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        a = ensure_rng(ss)
+        assert isinstance(a, np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        kids = spawn_rngs(0, 3)
+        draws = [k.random(100) for k in kids]
+        # No two children produce identical streams.
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_reproducible_from_int_seed(self):
+        a = [g.random() for g in spawn_rngs(99, 3)]
+        b = [g.random() for g in spawn_rngs(99, 3)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(5)
+        kids = spawn_rngs(g, 2)
+        assert len(kids) == 2
+        assert kids[0].random() != kids[1].random()
+
+    def test_spawn_from_generator_deterministic(self):
+        a = [g.random() for g in spawn_rngs(np.random.default_rng(5), 2)]
+        b = [g.random() for g in spawn_rngs(np.random.default_rng(5), 2)]
+        assert a == b

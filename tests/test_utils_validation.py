@@ -1,0 +1,148 @@
+"""Unit tests for repro.utils.validation — input coercion and guards."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.exceptions import ConfigurationError, DataValidationError
+from repro.utils.validation import (
+    as_matrix,
+    as_vector,
+    check_consistent_length,
+    check_in_range,
+    check_labels,
+    check_positive,
+    check_probability,
+)
+
+
+class TestAsMatrix:
+    def test_2d_passthrough(self):
+        X = as_matrix([[1.0, 2.0], [3.0, 4.0]])
+        assert X.shape == (2, 2) and X.dtype == np.float64
+
+    def test_1d_becomes_row(self):
+        assert as_matrix([1.0, 2.0, 3.0]).shape == (1, 3)
+
+    def test_3d_rejected(self):
+        with pytest.raises(DataValidationError):
+            as_matrix(np.zeros((2, 2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataValidationError):
+            as_matrix(np.zeros((0, 3)))
+
+    def test_empty_allowed_when_flagged(self):
+        assert as_matrix(np.zeros((0, 3)), allow_empty=True).shape == (0, 3)
+
+    def test_zero_features_rejected(self):
+        with pytest.raises(DataValidationError):
+            as_matrix(np.zeros((3, 0)), allow_empty=True)
+
+    def test_nan_rejected(self):
+        with pytest.raises(DataValidationError):
+            as_matrix([[1.0, float("nan")]])
+
+    def test_inf_rejected(self):
+        with pytest.raises(DataValidationError):
+            as_matrix([[1.0, float("inf")]])
+
+    def test_feature_count_enforced(self):
+        with pytest.raises(DataValidationError):
+            as_matrix([[1.0, 2.0]], n_features=3)
+
+    def test_contiguous_output(self):
+        X = np.asfortranarray(np.ones((4, 3)))
+        assert as_matrix(X).flags["C_CONTIGUOUS"]
+
+    def test_name_in_message(self):
+        with pytest.raises(DataValidationError, match="spectra"):
+            as_matrix(np.zeros((2, 2, 2)), name="spectra")
+
+
+class TestAsVector:
+    def test_1d(self):
+        v = as_vector([1, 2, 3])
+        assert v.shape == (3,) and v.dtype == np.float64
+
+    def test_row_matrix_squeezed(self):
+        assert as_vector(np.ones((1, 4))).shape == (4,)
+
+    def test_2d_rejected(self):
+        with pytest.raises(DataValidationError):
+            as_vector(np.ones((2, 4)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataValidationError):
+            as_vector([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(DataValidationError):
+            as_vector([np.nan])
+
+    def test_feature_count(self):
+        with pytest.raises(DataValidationError):
+            as_vector([1.0], n_features=2)
+
+
+class TestScalarChecks:
+    def test_positive_ok(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    def test_positive_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_positive(0, "x")
+
+    def test_nonneg_zero_ok(self):
+        assert check_positive(0, "x", strict=False) == 0
+
+    def test_nonneg_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_positive(-1, "x", strict=False)
+
+    def test_in_range_inclusive(self):
+        assert check_in_range(1.0, "x", low=0.0, high=1.0) == 1.0
+
+    def test_in_range_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range(1.0, "x", low=0.0, high=1.0, inclusive=False)
+
+    def test_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ConfigurationError):
+            check_probability(1.5, "p")
+
+
+class TestCheckLabels:
+    def test_int_labels(self):
+        y = check_labels([0, 1, 2])
+        assert y.dtype == np.int64
+
+    def test_integral_floats_accepted(self):
+        assert check_labels(np.array([0.0, 1.0])).tolist() == [0, 1]
+
+    def test_fractional_floats_rejected(self):
+        with pytest.raises(DataValidationError):
+            check_labels([0.5])
+
+    def test_negative_rejected(self):
+        with pytest.raises(DataValidationError):
+            check_labels([-1, 0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DataValidationError):
+            check_labels([0, 3], n_classes=3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(DataValidationError):
+            check_labels([[0], [1]])
+
+
+class TestConsistentLength:
+    def test_ok(self):
+        check_consistent_length(a=[1, 2], b=[3, 4])
+
+    def test_mismatch(self):
+        with pytest.raises(DataValidationError, match="a=2"):
+            check_consistent_length(a=[1, 2], b=[3])
