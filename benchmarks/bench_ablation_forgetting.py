@@ -10,7 +10,6 @@ the proposed method.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import build_onlad, build_proposed

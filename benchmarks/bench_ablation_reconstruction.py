@@ -9,7 +9,6 @@ accuracy is what the choices trade off.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import CentroidSet, ModelReconstructor, build_model

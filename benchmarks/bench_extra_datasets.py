@@ -10,7 +10,6 @@ drift) — reporting detection delay and false positives per stream.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import build_proposed

@@ -11,7 +11,6 @@ method sequential.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core import CentroidSet
 from repro.datasets import GaussianConcept, make_stationary_stream

@@ -9,7 +9,6 @@ decay, proposed/batch recovery — are visible in ``bench_output.txt``.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.metrics import format_table, segment_accuracy
 

@@ -12,8 +12,6 @@ three window sizes) at full stream size (22 701 test samples, drift at
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core import build_proposed
 from repro.metrics import format_table
 

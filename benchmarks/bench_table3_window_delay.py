@@ -11,8 +11,6 @@ qualitative findings (§5.2):
 
 from __future__ import annotations
 
-import pytest
-
 from repro.metrics import format_table
 
 PAPER_TABLE3 = {

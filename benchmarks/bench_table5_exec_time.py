@@ -17,12 +17,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import (
-    build_baseline,
-    build_proposed,
-    build_quanttree_pipeline,
-    build_spll_pipeline,
-)
 from repro.datasets import make_cooling_fan_like
 from repro.device import (
     RASPBERRY_PI_4,
@@ -31,7 +25,7 @@ from repro.device import (
     quanttree_batch_ops,
     spll_batch_ops,
 )
-from repro.metrics import evaluate_method, format_table
+from repro.metrics import format_table, make_grid
 
 PAPER_TABLE5 = {
     "Quant Tree": 1.52,
@@ -43,6 +37,16 @@ PAPER_TABLE5 = {
 GEOMETRY = StageCostModel(2, 511, 22)
 BATCH = 235
 
+#: (batch_ops, n_batches) are applied after the run; per-sample phases come
+#: from the measured tallies, so the cells themselves are pure grid cells.
+FAN_STREAM = {"fan": ("coolingfan", {"scenario": "sudden", "n_modes": 2, "seed": 0})}
+TABLE5_METHODS = {
+    "Quant Tree": ("quanttree", {"batch_size": BATCH, "n_bins": 16}),
+    "SPLL": ("spll", {"batch_size": BATCH}),
+    "Baseline (no concept drift detection)": ("baseline", {}),
+    "Proposed method": ("proposed", {"window_size": 50}),
+}
+
 
 @pytest.fixture(scope="module")
 def fan_streams():
@@ -50,33 +54,23 @@ def fan_streams():
 
 
 @pytest.fixture(scope="module")
-def table5_rows(fan_streams):
-    train, test = fan_streams
+def table5_rows(fan_streams, grid_runner):
+    _, test = fan_streams
     n_batches = len(test) // BATCH
-    spec = {
-        "Quant Tree": (
-            lambda: build_quanttree_pipeline(train.X, train.y, batch_size=BATCH, n_bins=16, seed=1),
-            quanttree_batch_ops(BATCH, 16), n_batches,
-        ),
-        "SPLL": (
-            lambda: build_spll_pipeline(train.X, train.y, batch_size=BATCH, seed=1),
-            spll_batch_ops(BATCH, 511, 3), n_batches,
-        ),
-        "Baseline (no concept drift detection)": (
-            lambda: build_baseline(train.X, train.y, seed=1), None, 0,
-        ),
-        "Proposed method": (
-            lambda: build_proposed(train.X, train.y, window_size=50, seed=1), None, 0,
-        ),
+    batch_terms = {
+        "Quant Tree": (quanttree_batch_ops(BATCH, 16), n_batches),
+        "SPLL": (spll_batch_ops(BATCH, 511, 3), n_batches),
     }
+    cells = make_grid(TABLE5_METHODS, FAN_STREAM, seeds=[1])
     rows = {}
-    for name, (build, batch_ops, nb) in spec.items():
-        res = evaluate_method(build(), test)
+    for cell_result in grid_runner.run(cells):
+        res = cell_result.to_method_result()
+        batch_ops, nb = batch_terms.get(res.name, (None, 0))
         est = estimate_stream_seconds(
             res.phase_tally, GEOMETRY, RASPBERRY_PI_4,
             per_batch_ops=batch_ops, n_batches=nb,
         )
-        rows[name] = (est, res.wall_seconds, res.phase_tally)
+        rows[res.name] = (est, res.wall_seconds, res.phase_tally)
     # Reference-implementation SPLL (sklearn-default k-means: n_init=10,
     # effectively ~25 Lloyd iterations on this data).
     res = rows["SPLL"]

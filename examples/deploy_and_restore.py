@@ -16,8 +16,6 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-import numpy as np
-
 from repro.core import build_proposed
 from repro.datasets import NSLKDDConfig, make_nslkdd_like
 from repro.device import RASPBERRY_PI_PICO, discriminative_model_memory, proposed_memory

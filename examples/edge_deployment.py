@@ -28,7 +28,6 @@ from repro.datasets import make_cooling_fan_like
 from repro.device import (
     RASPBERRY_PI_4,
     RASPBERRY_PI_PICO,
-    PhaseTally,
     StageCostModel,
     discriminative_model_memory,
     estimate_stream_seconds,

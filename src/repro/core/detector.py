@@ -22,8 +22,6 @@ argument (Table 4) rests on this property, which the tests assert via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
 import numpy as np
 
 from ..utils.exceptions import ConfigurationError
@@ -132,6 +130,12 @@ class SequentialDriftDetector:
                         drift_detected = True
                         self.n_drifts += 1
                     self.check = False
+                    if not self.drift:
+                        # The window closed without drift: the detector is
+                        # idle again, so ``win`` must honour its documented
+                        # "0 when idle" contract (on drift, ``end_drift``
+                        # performs the reset).
+                        self._win = 0
         return DetectorStep(
             drift_detected=drift_detected,
             drifting=self.drift,

@@ -12,8 +12,6 @@ thresholds per §3.4, and returns a ready-to-stream pipeline.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
-
 import numpy as np
 
 from ..detectors.base import BatchDriftDetector

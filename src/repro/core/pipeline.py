@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
@@ -67,6 +67,9 @@ class StreamPipeline(abc.ABC):
     #: Human-readable method name used in reports and tables.
     name: str = "pipeline"
 
+    #: Chunk length used by :meth:`run` when ``chunk_size`` is not given.
+    default_chunk_size: int = 256
+
     def __init__(self, model: MultiInstanceModel) -> None:
         if not isinstance(model, MultiInstanceModel):
             raise ConfigurationError("model must be a MultiInstanceModel.")
@@ -79,9 +82,43 @@ class StreamPipeline(abc.ABC):
     def process_one(self, x: np.ndarray, y_true: Optional[int] = None) -> StepRecord:
         """Consume one sample; returns the per-sample record."""
 
-    def run(self, stream: DataStream) -> List[StepRecord]:
-        """Stream every sample through :meth:`process_one`."""
-        return [self.process_one(x, y) for x, y in stream]
+    def run(
+        self, stream: DataStream, *, chunk_size: Optional[int] = None
+    ) -> List[StepRecord]:
+        """Replay ``stream``; returns one :class:`StepRecord` per sample.
+
+        ``chunk_size`` controls the vectorized fast path: samples are
+        consumed in chunks of up to that many, and while the pipeline is
+        in its pure-predict phase (detector idle, no reconstruction, no
+        refit) a whole chunk is scored with matrix ops at once, dropping
+        back to :meth:`process_one` from the first sample that triggers a
+        state change. Records are **bit-identical** to the per-sample path
+        (the golden-equivalence tests assert this), so the default is
+        chunked; pass ``chunk_size=1`` to force the reference per-sample
+        loop.
+        """
+        chunk = self.default_chunk_size if chunk_size is None else int(chunk_size)
+        if chunk <= 1:
+            return [self.process_one(x, y) for x, y in stream]
+        records: List[StepRecord] = []
+        X, y = stream.X, stream.y
+        n = len(stream)
+        i = 0
+        while i < n:
+            recs = self._process_chunk(X[i : i + chunk], y[i : i + chunk])
+            records.extend(recs)
+            i += len(recs)
+        return records
+
+    def _process_chunk(self, Xc: np.ndarray, yc: np.ndarray) -> List[StepRecord]:
+        """Consume a non-empty prefix of the chunk; returns its records.
+
+        The base implementation has no fast path and simply streams the
+        whole chunk through :meth:`process_one` (ONLAD trains on every
+        sample, so nothing can be batched there). Subclasses with a pure
+        predict phase override this to score vectorised prefixes.
+        """
+        return [self.process_one(Xc[j], int(yc[j])) for j in range(len(Xc))]
 
     # -- shared helpers --------------------------------------------------------------
 
@@ -123,6 +160,13 @@ class NoDetectionPipeline(StreamPipeline):
     def process_one(self, x: np.ndarray, y_true: Optional[int] = None) -> StepRecord:
         c, err = self.model.predict_with_score(x)
         return self._record(c, err, y_true)
+
+    def _process_chunk(self, Xc: np.ndarray, yc: np.ndarray) -> List[StepRecord]:
+        # The model is frozen, so every chunk is one batched forward pass.
+        labels, scores = self.model.predict_with_score_batch(Xc)
+        return [
+            self._record(labels[j], scores[j], int(yc[j])) for j in range(len(Xc))
+        ]
 
 
 class ONLADPipeline(StreamPipeline):
@@ -192,6 +236,22 @@ class ProposedPipeline(StreamPipeline):
             )
         phase = "check" if det.checking else "predict"
         return self._record(c, err, y_true, phase=phase)
+
+    def _process_chunk(self, Xc: np.ndarray, yc: np.ndarray) -> List[StepRecord]:
+        # Fast path only while the detector is idle: no open check window,
+        # no reconstruction. Idle samples with score < θ_error are pure
+        # predictions (Algorithm 1 mutates nothing for them), so the chunk
+        # is scored at once and control drops to process_one at the first
+        # sample whose score reaches the trigger.
+        if self.detector.drift or self.detector.check:
+            return [self.process_one(Xc[0], int(yc[0]))]
+        labels, scores = self.model.predict_with_score_batch(Xc)
+        hits = np.flatnonzero(scores >= self.detector.theta_error)
+        stop = int(hits[0]) if len(hits) else len(Xc)
+        recs = [self._record(labels[j], scores[j], int(yc[j])) for j in range(stop)]
+        if stop < len(Xc):
+            recs.append(self.process_one(Xc[stop], int(yc[stop])))
+        return recs
 
     def state_nbytes(self) -> int:
         """Detector centroid state (the method's whole extra footprint)."""
@@ -266,10 +326,34 @@ class BatchDetectorPipeline(StreamPipeline):
             )
         return self._record(c, err, y_true)
 
+    def _process_chunk(self, Xc: np.ndarray, yc: np.ndarray) -> List[StepRecord]:
+        # Samples that cannot complete the detector's batch are pure
+        # predictions plus a buffer append; score them in one batched
+        # forward pass and leave the batch-completing sample (and any
+        # reconstruction/refit state) to process_one.
+        if self._reconstructing or self._refitting:
+            return [self.process_one(Xc[0], int(yc[0]))]
+        room = self.detector.batch_size - self.detector.buffered_samples - 1
+        stop = min(room, len(Xc))
+        if stop <= 0:
+            return [self.process_one(Xc[0], int(yc[0]))]
+        labels, scores = self.model.predict_with_score_batch(Xc[:stop])
+        recs = []
+        for j in range(stop):
+            self.detector.update_one(Xc[j])  # cannot fill the batch: no test fires
+            recs.append(self._record(labels[j], scores[j], int(yc[j])))
+        return recs
+
     def state_nbytes(self) -> int:
-        """Batch-detector state incl. its sample buffer (Table 4's cost)."""
+        """Batch-detector state incl. its sample buffer (Table 4's cost).
+
+        Also counts the samples held in ``_refit_buffer`` while the
+        reference window is being rebuilt — they are resident memory this
+        method (and only this method) pays for.
+        """
         nbytes = getattr(self.detector, "state_nbytes", None)
-        return int(nbytes()) if callable(nbytes) else 0
+        total = int(nbytes()) if callable(nbytes) else 0
+        return total + sum(int(s.nbytes) for s in self._refit_buffer)
 
 
 class ErrorRatePipeline(StreamPipeline):
@@ -294,6 +378,20 @@ class ErrorRatePipeline(StreamPipeline):
         self.name = name or type(detector).__name__.lower()
         self._reconstructing = False
 
+    def _reconstruction_step(self, x: np.ndarray):
+        """Drive one reconstruction sample; resets detector on completion.
+
+        The detector reset must happen in *every* path that finishes a
+        reconstruction — including the one-shot case where reconstruction
+        completes within the detection sample itself — or stale DDM/ADWIN
+        error statistics re-fire immediately on the next sample.
+        """
+        step = self.reconstructor.process(x)
+        if not step.still_reconstructing:
+            self._reconstructing = False
+            self.detector.reset()
+        return step
+
     def process_one(self, x: np.ndarray, y_true: Optional[int] = None) -> StepRecord:
         if y_true is None:
             raise ConfigurationError(
@@ -301,21 +399,40 @@ class ErrorRatePipeline(StreamPipeline):
             )
         c, err = self.model.predict_with_score(x)
         if self._reconstructing:
-            step = self.reconstructor.process(x)
-            if not step.still_reconstructing:
-                self._reconstructing = False
-                self.detector.reset()
+            step = self._reconstruction_step(x)
             return self._record(c, err, y_true, reconstructing=True, phase=step.phase)
         state = self.detector.update(c != y_true)
         if state is DriftState.DRIFT:
             self._reconstructing = True
-            step = self.reconstructor.process(x)
-            if not step.still_reconstructing:
-                self._reconstructing = False
+            step = self._reconstruction_step(x)
             return self._record(
                 c, err, y_true, drift_detected=True, reconstructing=True, phase=step.phase
             )
         return self._record(c, err, y_true)
+
+    def _process_chunk(self, Xc: np.ndarray, yc: np.ndarray) -> List[StepRecord]:
+        # The model is only mutated by reconstruction, so chunk scores stay
+        # valid up to (and including) the sample that fires the detector;
+        # the detector itself is still fed sample by sample.
+        if self._reconstructing:
+            return [self.process_one(Xc[0], int(yc[0]))]
+        labels, scores = self.model.predict_with_score_batch(Xc)
+        recs: List[StepRecord] = []
+        for j in range(len(Xc)):
+            c, y_j = int(labels[j]), int(yc[j])
+            state = self.detector.update(c != y_j)
+            if state is DriftState.DRIFT:
+                self._reconstructing = True
+                step = self._reconstruction_step(Xc[j])
+                recs.append(
+                    self._record(
+                        c, scores[j], y_j,
+                        drift_detected=True, reconstructing=True, phase=step.phase,
+                    )
+                )
+                return recs
+            recs.append(self._record(c, scores[j], y_j))
+        return recs
 
     def state_nbytes(self) -> int:
         nbytes = getattr(self.detector, "state_nbytes", None)

@@ -11,7 +11,7 @@ noise injection) return new streams and re-index drift points accordingly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
@@ -20,6 +20,17 @@ from ..utils.exceptions import DataValidationError
 from ..utils.validation import as_matrix, check_labels
 
 __all__ = ["DataStream", "concatenate_streams"]
+
+
+def _owned(arr: np.ndarray, source: object) -> np.ndarray:
+    """Return ``arr``, copied iff freezing it would mutate caller memory."""
+    if (
+        isinstance(source, np.ndarray)
+        and source.flags.writeable
+        and np.shares_memory(arr, source)
+    ):
+        return arr.copy()
+    return arr
 
 
 @dataclass(frozen=True)
@@ -58,6 +69,12 @@ class DataStream:
                 raise DataValidationError(
                     f"drift point {d} outside stream of length {len(X)}."
                 )
+        # The coercion helpers return the input by reference when it is
+        # already a contiguous array of the right dtype — freezing such an
+        # array in place would silently freeze the *caller's* data too, so
+        # take a private copy before setflags.
+        X = _owned(X, self.X)
+        y = _owned(y, self.y)
         X.setflags(write=False)
         y.setflags(write=False)
         object.__setattr__(self, "X", X)
@@ -90,8 +107,10 @@ class DataStream:
         stop = len(self) if stop is None else stop
         start, stop, _ = slice(start, stop).indices(len(self))
         drifts = tuple(d - start for d in self.drift_points if start <= d < stop)
+        Xs = self.X[start:stop].copy()  # sub-streams own their data
+        Xs.setflags(write=False)
         return DataStream(
-            self.X[start:stop].copy(),
+            Xs,
             self.y[start:stop].copy(),
             drift_points=drifts,
             name=f"{self.name}[{start}:{stop}]",
@@ -104,7 +123,8 @@ class DataStream:
     def with_noise(self, scale: float, rng: np.random.Generator) -> "DataStream":
         """Return a copy with additive Gaussian noise of std ``scale``."""
         noisy = self.X + rng.normal(0.0, scale, size=self.X.shape)
-        return DataStream(noisy, self.y.copy(), self.drift_points, f"{self.name}+noise")
+        noisy.setflags(write=False)  # freshly built here: freeze, don't re-copy
+        return DataStream(noisy, self.y, self.drift_points, f"{self.name}+noise")
 
     def shuffled_within(self, start: int, stop: int, rng: np.random.Generator) -> "DataStream":
         """Shuffle samples inside ``[start, stop)`` (drift points unchanged).
@@ -116,7 +136,10 @@ class DataStream:
         seg = idx[start:stop].copy()
         rng.shuffle(seg)
         idx[start:stop] = seg
-        return DataStream(self.X[idx].copy(), self.y[idx].copy(), self.drift_points, self.name)
+        Xs, ys = self.X[idx], self.y[idx]  # fancy indexing: already fresh arrays
+        Xs.setflags(write=False)
+        ys.setflags(write=False)
+        return DataStream(Xs, ys, self.drift_points, self.name)
 
 
 def concatenate_streams(
@@ -142,6 +165,8 @@ def concatenate_streams(
             )
     X = np.concatenate([s.X for s in streams], axis=0)
     y = np.concatenate([s.y for s in streams], axis=0)
+    X.setflags(write=False)  # freshly built: freeze so __post_init__ need not copy
+    y.setflags(write=False)
     drifts: list[int] = []
     offset = 0
     for i, s in enumerate(streams):

@@ -18,7 +18,7 @@ of a pluggable *concept* abstraction (a per-class sampling distribution).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

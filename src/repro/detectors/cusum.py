@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..utils.exceptions import ConfigurationError
 from ..utils.math import RunningMoments
 from ..utils.validation import check_positive
 from .base import DriftState, ErrorRateDriftDetector

@@ -24,9 +24,8 @@ and one transcendental (sigmoid's exp + divide) as ``EXP_FLOPS``. A
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
-from ..utils.exceptions import ConfigurationError
 from ..utils.validation import check_positive
 
 __all__ = ["EXP_FLOPS", "OpCount", "StageCostModel"]

@@ -23,7 +23,6 @@ from .core.coords import CentroidSet
 from .core.detector import SequentialDriftDetector
 from .core.pipeline import ProposedPipeline
 from .core.reconstruction import ModelReconstructor
-from .oselm.autoencoder import OSELMAutoencoder
 from .oselm.ensemble import MultiInstanceModel
 from .utils.exceptions import ConfigurationError, DataValidationError
 

@@ -9,6 +9,14 @@ from .accuracy import (
 from .ascii_plots import ascii_scatter, hbar_chart, sparkline
 from .drift_eval import DriftEvaluation, evaluate_detections
 from .delay import DelayReport, delay_report, detection_delay, detection_indices
+from .parallel import (
+    CellResult,
+    CellSpec,
+    ParallelExecutionError,
+    ParallelRunner,
+    make_grid,
+    run_cell,
+)
 from .runner import MethodResult, compare_methods, evaluate_method
 from .tables import format_paper_comparison, format_table
 
@@ -29,6 +37,12 @@ __all__ = [
     "MethodResult",
     "evaluate_method",
     "compare_methods",
+    "CellSpec",
+    "CellResult",
+    "ParallelRunner",
+    "ParallelExecutionError",
+    "make_grid",
+    "run_cell",
     "format_table",
     "format_paper_comparison",
 ]

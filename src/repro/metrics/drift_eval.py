@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from ..utils.exceptions import ConfigurationError, DataValidationError
+from ..utils.exceptions import DataValidationError
 from ..utils.validation import check_positive
 
 __all__ = ["DriftEvaluation", "evaluate_detections"]

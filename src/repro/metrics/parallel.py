@@ -1,0 +1,540 @@
+"""Parallel experiment grid runner — (method × stream × seed) at scale.
+
+The paper's tables are grids: every method configuration replayed over
+every stream for one or more seeds. :func:`~repro.metrics.runner.compare_methods`
+runs such a grid serially in-process; this module fans the cells across a
+:class:`concurrent.futures.ProcessPoolExecutor` instead, with
+
+* **declarative cells** (:class:`CellSpec`) naming a registered pipeline
+  builder and stream factory plus their kwargs — specs are picklable and
+  JSON-canonical, so any cell can be shipped to a worker or hashed;
+* **per-cell seeding** — the spec's ``seed`` goes to the pipeline builder
+  (and to the stream factory unless its kwargs pin one), so results are a
+  pure function of the spec and identical for any ``max_workers``;
+* **timeout/retry** — a cell that raises, times out, or loses its worker
+  process is retried on a fresh pool up to ``retries`` times;
+* **an on-disk JSON result cache** keyed by a hash of the canonical spec —
+  re-running a grid only computes the cells that changed.
+
+Results come back as :class:`CellResult` — a JSON round-trippable summary
+(accuracy, delays, phase tally, memory, wall-clock) that can optionally
+carry the full per-sample records and rebuild a
+:class:`~repro.metrics.runner.MethodResult` for downstream tooling.
+
+Example
+-------
+>>> runner = ParallelRunner(cache_dir="results/", max_workers=4)
+>>> cells = make_grid(
+...     methods={"Proposed (W=100)": ("proposed", {"window_size": 100}),
+...              "Baseline": ("baseline", {})},
+...     streams={"nslkdd": ("nslkdd", {"seed": 0})},
+...     seeds=[1, 2, 3],
+... )
+>>> results = runner.run(cells)   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import factory
+from ..core.pipeline import StepRecord
+from ..datasets.stream import DataStream
+from ..device.timing import PhaseTally
+from ..utils.exceptions import ConfigurationError
+from .delay import delay_report
+from .runner import MethodResult, evaluate_method
+
+__all__ = [
+    "CellSpec",
+    "CellResult",
+    "ParallelRunner",
+    "ParallelExecutionError",
+    "make_grid",
+    "run_cell",
+    "METHOD_BUILDERS",
+    "STREAM_FACTORIES",
+]
+
+#: Bump when the cached-result layout changes; stale cache files are ignored.
+_CACHE_VERSION = 1
+
+
+class ParallelExecutionError(RuntimeError):
+    """A grid cell kept failing after all retries."""
+
+
+# --------------------------------------------------------------------------
+# Registries — what a CellSpec's string keys resolve to in a worker process
+# --------------------------------------------------------------------------
+
+def _stream_nslkdd(**kwargs) -> Tuple[DataStream, DataStream]:
+    from ..datasets import make_nslkdd_like
+    from ..datasets.nslkdd import NSLKDDConfig
+
+    config_kwargs = {
+        k: kwargs.pop(k)
+        for k in list(kwargs)
+        if k in {f.name for f in NSLKDDConfig.__dataclass_fields__.values()}
+    }
+    config = NSLKDDConfig(**config_kwargs) if config_kwargs else None
+    return make_nslkdd_like(config, **kwargs)
+
+
+def _stream_cooling_fan(**kwargs) -> Tuple[DataStream, DataStream]:
+    from ..datasets import make_cooling_fan_like
+
+    scenario = kwargs.pop("scenario", "sudden")
+    return make_cooling_fan_like(scenario, **kwargs)
+
+
+def _stream_blobs(
+    *,
+    n_features: int = 6,
+    n_train: int = 240,
+    n_test: int = 1200,
+    drift_at: int = 400,
+    shift: float = 0.45,
+    seed: int = 0,
+) -> Tuple[DataStream, DataStream]:
+    """Small two-blob sudden-drift pair — fast cells for tests/examples."""
+    from ..datasets import GaussianConcept, make_stationary_stream, make_sudden_drift_stream
+
+    rng = np.random.default_rng(seed)
+    means = rng.uniform(0.1, 0.9, size=(2, n_features))
+    means[1] = 1.0 - means[0]
+    old = GaussianConcept(means, 0.05)
+    moved = means.copy()
+    moved[0] = moved[0] + shift * (moved[1] - moved[0])
+    new = GaussianConcept(moved, 0.08)
+    train = make_stationary_stream(old, n_train, seed=seed, name="train")
+    test = make_sudden_drift_stream(
+        old, new, n_samples=n_test, drift_at=drift_at, seed=seed + 1, name="blobs"
+    )
+    return train, test
+
+
+#: Pipeline builders addressable from a :class:`CellSpec` (all accept
+#: ``(X, y, *, seed=..., **kwargs)`` and return a ready pipeline).
+METHOD_BUILDERS: Dict[str, Callable[..., Any]] = {
+    "proposed": factory.build_proposed,
+    "baseline": factory.build_baseline,
+    "onlad": factory.build_onlad,
+    "quanttree": factory.build_quanttree_pipeline,
+    "spll": factory.build_spll_pipeline,
+    "hdddm": factory.build_hdddm_pipeline,
+}
+
+#: Stream factories addressable from a :class:`CellSpec` (return
+#: ``(train, test)`` :class:`DataStream` pairs).
+STREAM_FACTORIES: Dict[str, Callable[..., Tuple[DataStream, DataStream]]] = {
+    "nslkdd": _stream_nslkdd,
+    "coolingfan": _stream_cooling_fan,
+    "blobs": _stream_blobs,
+}
+
+
+def _resolve(registry: Mapping[str, Callable], key: str, kind: str) -> Callable:
+    """Look up ``key`` in ``registry`` or import a ``module:attr`` path."""
+    if key in registry:
+        return registry[key]
+    if ":" in key:
+        mod, attr = key.split(":", 1)
+        return getattr(importlib.import_module(mod), attr)
+    raise ConfigurationError(
+        f"unknown {kind} {key!r}; registered: {sorted(registry)} "
+        f"(or use a 'module:callable' path)."
+    )
+
+
+# --------------------------------------------------------------------------
+# Cell specification and result
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One (method × stream × seed) grid cell, fully declarative.
+
+    Parameters
+    ----------
+    name:
+        Display name (table row label). Not part of the cache key.
+    method:
+        Key into :data:`METHOD_BUILDERS` or a ``"module:callable"`` path to
+        a builder with the factory signature ``(X, y, *, seed, **kwargs)``.
+    stream:
+        Key into :data:`STREAM_FACTORIES` or a ``"module:callable"`` path
+        returning a ``(train, test)`` stream pair.
+    seed:
+        Per-cell seed: forwarded to the builder as ``seed=``, and to the
+        stream factory too unless ``stream_kwargs`` pins its own ``seed``.
+    method_kwargs, stream_kwargs:
+        Extra keyword arguments for builder / factory (JSON-serializable).
+    n_test:
+        Truncate the test stream to its first ``n_test`` samples (None =
+        full stream).
+    chunk_size:
+        Forwarded to :meth:`StreamPipeline.run` (None = default fast path).
+    """
+
+    name: str
+    method: str
+    stream: str
+    seed: int = 0
+    method_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    stream_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    n_test: Optional[int] = None
+    chunk_size: Optional[int] = None
+
+    def canonical(self) -> dict:
+        """Order-independent dict of everything that affects the result."""
+        return {
+            "version": _CACHE_VERSION,
+            "method": self.method,
+            "stream": self.stream,
+            "seed": int(self.seed),
+            "method_kwargs": dict(sorted(self.method_kwargs.items())),
+            "stream_kwargs": dict(sorted(self.stream_kwargs.items())),
+            "n_test": self.n_test,
+            "chunk_size": self.chunk_size,
+        }
+
+    def config_hash(self) -> str:
+        """Stable hash of :meth:`canonical` — the cache key."""
+        blob = json.dumps(self.canonical(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+
+_RECORD_FIELDS = (
+    "index", "predicted", "true_label", "correct",
+    "anomaly_score", "drift_detected", "reconstructing", "phase",
+)
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars to builtins; JSON floats round-trip exactly."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def _records_to_columns(records: Sequence[StepRecord]) -> Dict[str, list]:
+    return {f: [_jsonable(getattr(r, f)) for r in records] for f in _RECORD_FIELDS}
+
+
+def _columns_to_records(cols: Mapping[str, list]) -> List[StepRecord]:
+    return [StepRecord(*vals) for vals in zip(*(cols[f] for f in _RECORD_FIELDS))]
+
+
+@dataclass
+class CellResult:
+    """JSON round-trippable outcome of one grid cell."""
+
+    name: str
+    spec: dict
+    accuracy: float
+    delays: List[Optional[int]]
+    false_positives: List[int]
+    detections: List[int]
+    drift_points: List[int]
+    phase_counts: Dict[str, int]
+    wall_seconds: float
+    detector_nbytes: int
+    n_records: int
+    records: Optional[Dict[str, list]] = None
+    from_cache: bool = False
+    attempts: int = 1
+
+    @property
+    def first_delay(self) -> Optional[int]:
+        return self.delays[0] if self.delays else None
+
+    def to_json(self) -> dict:
+        out = dict(self.__dict__)
+        out.pop("from_cache")
+        return out
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any], *, from_cache: bool = False) -> "CellResult":
+        return cls(**{**data, "from_cache": from_cache})
+
+    def to_method_result(self) -> MethodResult:
+        """Rebuild a full :class:`MethodResult` (needs stored records)."""
+        if self.records is None:
+            raise ConfigurationError(
+                f"cell {self.name!r} was run without keep_records=True; "
+                "per-sample records are not available."
+            )
+        records = _columns_to_records(self.records)
+        return MethodResult(
+            name=self.name,
+            records=records,
+            accuracy=self.accuracy,
+            delay=delay_report(records, self.drift_points),
+            phase_tally=PhaseTally.from_records(records),
+            wall_seconds=self.wall_seconds,
+            detector_nbytes=self.detector_nbytes,
+        )
+
+
+# --------------------------------------------------------------------------
+# Worker entry point (module-level: must be picklable for the process pool)
+# --------------------------------------------------------------------------
+
+def run_cell(spec: CellSpec, *, keep_records: bool = False) -> CellResult:
+    """Execute one grid cell in the current process.
+
+    Deterministic in the spec alone: streams and models derive every RNG
+    from the spec's seeds, so this returns identical numbers whether it
+    runs inline, in any worker process, or on another host.
+    """
+    stream_factory = _resolve(STREAM_FACTORIES, spec.stream, "stream factory")
+    stream_kwargs = dict(spec.stream_kwargs)
+    stream_kwargs.setdefault("seed", int(spec.seed))
+    train, test = stream_factory(**stream_kwargs)
+    if spec.n_test is not None:
+        test = test.take(int(spec.n_test))
+
+    builder = _resolve(METHOD_BUILDERS, spec.method, "method builder")
+    pipeline = builder(train.X, train.y, seed=int(spec.seed), **dict(spec.method_kwargs))
+
+    result = evaluate_method(pipeline, test, name=spec.name, chunk_size=spec.chunk_size)
+    return CellResult(
+        name=spec.name,
+        spec=spec.canonical(),
+        accuracy=float(result.accuracy),
+        delays=list(result.delay.delays),
+        false_positives=list(result.delay.false_positives),
+        detections=list(result.delay.detections),
+        drift_points=list(test.drift_points),
+        phase_counts=dict(result.phase_tally.counts),
+        wall_seconds=float(result.wall_seconds),
+        detector_nbytes=int(result.detector_nbytes),
+        n_records=len(result.records),
+        records=_records_to_columns(result.records) if keep_records else None,
+    )
+
+
+def _run_cell_job(args: Tuple[CellSpec, bool]) -> CellResult:
+    spec, keep_records = args
+    return run_cell(spec, keep_records=keep_records)
+
+
+# --------------------------------------------------------------------------
+# The runner
+# --------------------------------------------------------------------------
+
+class ParallelRunner:
+    """Fan a list of :class:`CellSpec` over worker processes, with caching.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for per-cell JSON results (created on demand). ``None``
+        disables caching.
+    max_workers:
+        Pool width. ``0`` or ``1`` runs cells inline in this process (no
+        pool) — handy for debugging and exact single-process semantics;
+        ``None`` uses ``os.cpu_count()``.
+    timeout:
+        Per-cell wall-clock limit in seconds (``None`` = unlimited). A
+        timed-out cell counts as a failure and is retried.
+    retries:
+        How many *extra* attempts a failing cell gets (on a fresh pool)
+        before :class:`ParallelExecutionError` is raised.
+    keep_records:
+        Store per-sample records in results (and in the cache) so
+        :meth:`CellResult.to_method_result` can rebuild full results.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str | os.PathLike] = None,
+        *,
+        max_workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        keep_records: bool = False,
+    ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.max_workers = max_workers
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.keep_records = bool(keep_records)
+
+    # -- cache ------------------------------------------------------------------
+
+    def _cache_path(self, spec: CellSpec) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{spec.config_hash()}.json"
+
+    def _cache_load(self, spec: CellSpec) -> Optional[CellResult]:
+        path = self._cache_path(spec)
+        if path is None or not path.is_file():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if data.get("spec") != spec.canonical():
+            return None  # hash collision or stale layout — recompute
+        if self.keep_records and data.get("records") is None:
+            return None  # cached without records but records requested now
+        data.setdefault("name", spec.name)
+        result = CellResult.from_json(data, from_cache=True)
+        result.name = spec.name  # display name may differ between runs
+        return result
+
+    def _cache_store(self, result: CellResult) -> None:
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        spec_hash = hashlib.sha256(
+            json.dumps(result.spec, sort_keys=True).encode()
+        ).hexdigest()[:16]
+        path = self.cache_dir / f"{spec_hash}.json"
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(result.to_json()))
+        tmp.replace(path)  # atomic: parallel runners never see half files
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, cells: Sequence[CellSpec]) -> List[CellResult]:
+        """Run every cell; returns results aligned with the input order."""
+        results: List[Optional[CellResult]] = [None] * len(cells)
+        pending: List[int] = []
+        for i, spec in enumerate(cells):
+            cached = self._cache_load(spec)
+            if cached is not None:
+                results[i] = cached
+            else:
+                pending.append(i)
+
+        errors: Dict[int, str] = {}
+        for attempt in range(1 + self.retries):
+            if not pending:
+                break
+            pending, errors = self._run_wave(cells, pending, results, attempt + 1)
+        if pending:
+            detail = "; ".join(
+                f"{cells[i].name!r}: {errors.get(i, 'unknown error')}" for i in pending
+            )
+            raise ParallelExecutionError(
+                f"{len(pending)} cell(s) failed after {1 + self.retries} attempt(s): {detail}"
+            )
+        return results  # type: ignore[return-value]
+
+    def run_grid(
+        self,
+        methods: Mapping[str, Tuple[str, Mapping[str, Any]]],
+        streams: Mapping[str, Tuple[str, Mapping[str, Any]]],
+        seeds: Iterable[int],
+        **cell_kwargs,
+    ) -> Dict[Tuple[str, str, int], CellResult]:
+        """Run the full cross product; returns ``(method, stream, seed) →`` result."""
+        cells = make_grid(methods, streams, seeds, **cell_kwargs)
+        keys = [
+            (m, s, int(seed))
+            for seed in seeds
+            for s in streams
+            for m in methods
+        ]
+        return dict(zip(keys, self.run(cells)))
+
+    def _run_wave(
+        self,
+        cells: Sequence[CellSpec],
+        pending: List[int],
+        results: List[Optional[CellResult]],
+        attempt: int,
+    ) -> Tuple[List[int], Dict[int, str]]:
+        """One attempt over the still-missing cells; returns (failures, errors)."""
+        failures: List[int] = []
+        errors: Dict[int, str] = {}
+
+        def record(i: int, result: CellResult) -> None:
+            result.attempts = attempt
+            results[i] = result
+            self._cache_store(result)
+
+        workers = os.cpu_count() or 1 if self.max_workers is None else self.max_workers
+        if workers <= 1:
+            # Inline mode: exact single-process semantics, no pool. Timeouts
+            # need a worker process to enforce, so they do not apply here.
+            for i in pending:
+                try:
+                    record(i, run_cell(cells[i], keep_records=self.keep_records))
+                except Exception as exc:  # noqa: BLE001 — isolate per cell
+                    failures.append(i)
+                    errors[i] = f"{type(exc).__name__}: {exc}"
+            return failures, errors
+
+        executor = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = {
+                i: executor.submit(_run_cell_job, (cells[i], self.keep_records))
+                for i in pending
+            }
+            broken = False
+            for i, fut in futures.items():
+                if broken:
+                    failures.append(i)
+                    errors.setdefault(i, "process pool broke earlier this wave")
+                    continue
+                try:
+                    record(i, fut.result(timeout=self.timeout))
+                except FutureTimeout:
+                    failures.append(i)
+                    errors[i] = f"timed out after {self.timeout}s"
+                except Exception as exc:  # noqa: BLE001 — worker died or raised
+                    failures.append(i)
+                    errors[i] = f"{type(exc).__name__}: {exc}"
+                    if type(exc).__name__ == "BrokenProcessPool":
+                        broken = True
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return failures, errors
+
+
+def make_grid(
+    methods: Mapping[str, Tuple[str, Mapping[str, Any]]],
+    streams: Mapping[str, Tuple[str, Mapping[str, Any]]],
+    seeds: Iterable[int],
+    **cell_kwargs,
+) -> List[CellSpec]:
+    """Cross ``methods × streams × seeds`` into a flat list of cells.
+
+    ``methods`` maps a display name to ``(builder_key, builder_kwargs)``;
+    ``streams`` maps a stream label to ``(factory_key, factory_kwargs)``.
+    Extra ``cell_kwargs`` (``n_test``, ``chunk_size``) apply to every cell.
+    """
+    cells: List[CellSpec] = []
+    for seed in seeds:
+        for stream_label, (stream_key, stream_kwargs) in streams.items():
+            for method_label, (method_key, method_kwargs) in methods.items():
+                cells.append(
+                    CellSpec(
+                        name=method_label if len(streams) == 1 else f"{method_label} @ {stream_label}",
+                        method=method_key,
+                        stream=stream_key,
+                        seed=int(seed),
+                        method_kwargs=dict(method_kwargs),
+                        stream_kwargs=dict(stream_kwargs),
+                        **cell_kwargs,
+                    )
+                )
+    return cells

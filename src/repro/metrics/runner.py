@@ -10,8 +10,8 @@ five configurations) over one stream.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -62,12 +62,18 @@ def evaluate_method(
     stream: DataStream,
     *,
     name: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> MethodResult:
-    """Run ``pipeline`` over ``stream`` and collect all metrics."""
+    """Run ``pipeline`` over ``stream`` and collect all metrics.
+
+    ``chunk_size`` is forwarded to :meth:`StreamPipeline.run` (``None``
+    keeps the pipeline's default vectorized chunking; ``1`` forces the
+    per-sample reference path — records are identical either way).
+    """
     if len(stream) == 0:
         raise DataValidationError("stream must be non-empty.")
     t0 = time.perf_counter()
-    records = pipeline.run(stream)
+    records = pipeline.run(stream, chunk_size=chunk_size)
     wall = time.perf_counter() - t0
     return MethodResult(
         name=name or pipeline.name,
@@ -83,14 +89,18 @@ def evaluate_method(
 def compare_methods(
     builders: Mapping[str, Callable[[], StreamPipeline]],
     stream: DataStream,
+    *,
+    chunk_size: Optional[int] = None,
 ) -> Dict[str, MethodResult]:
     """Evaluate several freshly-built pipelines on the same stream.
 
     ``builders`` maps a display name to a zero-argument factory — each
     method gets its own model instance, as in the paper's five-way
-    comparison (§4.2).
+    comparison (§4.2). For large (method × stream × seed) grids prefer
+    :class:`repro.metrics.parallel.ParallelRunner`, which fans the cells
+    over worker processes and caches results on disk.
     """
     results: Dict[str, MethodResult] = {}
     for name, build in builders.items():
-        results[name] = evaluate_method(build(), stream, name=name)
+        results[name] = evaluate_method(build(), stream, name=name, chunk_size=chunk_size)
     return results

@@ -117,6 +117,19 @@ class OSELMAutoencoder:
             return float(np.mean((r - x) ** 2))
         return float(np.mean(np.abs(r - x)))
 
+    def score_rowwise(self, X: np.ndarray) -> np.ndarray:
+        """Batch anomaly scores, bit-identical per row to :meth:`score_one`.
+
+        Built on :meth:`~repro.oselm.oselm.OSELM.predict_rowwise`; the
+        per-row reduction (``np.mean`` along the feature axis) uses the
+        same pairwise summation as the 1-D mean of ``score_one``.
+        """
+        X = as_matrix(X, name="X", n_features=self.n_features)
+        R = self.core.predict_rowwise(X)
+        if self.error_metric == "mse":
+            return np.mean((R - X) ** 2, axis=1)
+        return np.mean(np.abs(R - X), axis=1)
+
     def state_nbytes(self) -> int:
         """Resident learned-state bytes (delegates to the core)."""
         return self.core.state_nbytes()

@@ -10,8 +10,6 @@ KSWIN) and for downstream users who do have labels on-device.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..utils.exceptions import ConfigurationError

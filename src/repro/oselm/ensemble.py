@@ -15,7 +15,7 @@ continuously retrained on every sample.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -150,6 +150,32 @@ class MultiInstanceModel:
             raise NotFittedError(self, "scores")
         X = as_matrix(X, name="X", n_features=self.n_features)
         return np.column_stack([inst.score(X) for inst in self.instances])
+
+    def scores_rowwise(self, X: np.ndarray) -> np.ndarray:
+        """Batch scores, shape ``(n, C)``, bit-identical per row to
+        :meth:`scores_one`.
+
+        Unlike :meth:`scores` (one big GEMM per instance, fastest but off
+        by an ulp from the per-sample path), this uses the row-stable
+        kernels so ``scores_rowwise(X)[i] == scores_one(X[i])`` exactly —
+        the property the chunked streaming fast path is built on.
+        """
+        if not self.is_fitted:
+            raise NotFittedError(self, "scores_rowwise")
+        X = as_matrix(X, name="X", n_features=self.n_features)
+        return np.column_stack([inst.score_rowwise(X) for inst in self.instances])
+
+    def predict_with_score_batch(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised ``(labels, anomaly_scores)`` for a whole chunk.
+
+        Equivalent to ``[predict_with_score(x) for x in X]`` — same argmin
+        tie-breaking, same floats to the last bit — but computed with
+        matrix ops instead of a per-sample Python loop. Returns
+        ``(n,)`` int labels and ``(n,)`` float scores.
+        """
+        S = self.scores_rowwise(X)
+        labels = S.argmin(axis=1)
+        return labels, S[np.arange(len(S)), labels]
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Batch argmin-score labels, shape ``(n,)``."""

@@ -190,6 +190,19 @@ class OSELM:
             raise NotFittedError(self, "predict_one")
         return (self.layer.transform_one(x) @ self.beta)[0]
 
+    def predict_rowwise(self, X: np.ndarray) -> np.ndarray:
+        """Batch outputs, bit-identical per row to :meth:`predict_one`.
+
+        Uses the stacked single-row products of
+        :meth:`~repro.oselm.random_layer.RandomLayer.transform_rowwise` for
+        both layers, so chunked streaming reproduces the per-sample path
+        exactly (see the pipeline fast path).
+        """
+        if not self.is_fitted:
+            raise NotFittedError(self, "predict_rowwise")
+        H = self.layer.transform_rowwise(X)
+        return np.matmul(H[:, None, :], self.beta)[:, 0, :]
+
     # -- helpers ----------------------------------------------------------------------
 
     def _as_targets(self, T: np.ndarray, n: int) -> np.ndarray:

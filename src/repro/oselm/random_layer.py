@@ -89,6 +89,20 @@ class RandomLayer:
         x = as_vector(x, name="x", n_features=self.n_inputs).reshape(1, -1)
         return self._g(x @ self.weights + self.biases)
 
+    def transform_rowwise(self, X: np.ndarray) -> np.ndarray:
+        """Batch feature map, bit-identical per row to :meth:`transform_one`.
+
+        ``transform`` multiplies the whole ``(n, n_inputs)`` block in one
+        GEMM, whose blocked summation order differs from the single-row
+        GEMM of ``transform_one`` by up to an ulp. This variant instead
+        stacks the rows as ``(n, 1, n_inputs)`` so :func:`numpy.matmul`
+        issues the *same* single-row product per sample at C speed — the
+        streaming fast path relies on this for byte-identical records.
+        """
+        X = as_matrix(X, name="X", n_features=self.n_inputs)
+        H = self._g(np.matmul(X[:, None, :], self.weights) + self.biases)
+        return H[:, 0, :]
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"RandomLayer(n_inputs={self.n_inputs}, n_hidden={self.n_hidden}, "

@@ -11,7 +11,7 @@ Funnelling all of them through :func:`ensure_rng` guarantees that
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

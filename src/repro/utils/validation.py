@@ -8,7 +8,7 @@ hyper-parameter problems) with consistent, actionable messages.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

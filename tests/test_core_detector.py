@@ -83,6 +83,15 @@ class TestDriftDecision:
         assert not det.drift
         assert not det.check  # window closed (line 19)
 
+    def test_window_count_zero_after_negative_check(self):
+        """Regression: ``window_count`` documents "0 when idle" — a window
+        that closes *without* drift must reset ``win``, not leave it at W."""
+        det = make_detector(window=3, theta_error=0.5, theta_drift=100.0)
+        steps = [det.update(np.array([1.0, 0.0]), 0, error=1.0) for _ in range(3)]
+        assert not steps[2].checking and not steps[2].drifting  # idle again
+        assert steps[2].window_count == 0
+        assert det.window_count == 0
+
     def test_window_can_reopen_after_negative_check(self):
         det = make_detector(window=2, theta_error=0.5, theta_drift=100.0)
         for _ in range(2):

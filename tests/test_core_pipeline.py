@@ -16,7 +16,8 @@ from repro.core import (
     SequentialDriftDetector,
     build_proposed,
 )
-from repro.detectors import DDM, QuantTree
+from repro.core import ReconstructionStep
+from repro.detectors import DDM, DriftState, ErrorRateDriftDetector, QuantTree
 from repro.oselm import MultiInstanceModel
 from repro.utils.exceptions import ConfigurationError
 
@@ -176,6 +177,18 @@ class TestBatchDetectorPipeline:
         rec = ModelReconstructor(model, cents, n_total=60, n_search=6, n_update=20)
         assert BatchDetectorPipeline(model, qt, rec).name == "quanttree"
 
+    def test_state_nbytes_counts_refit_buffer(self, train_stream, drift_stream, model):
+        qt = QuantTree(batch_size=80, n_bins=8, seed=0).fit_reference(train_stream.X)
+        cents = CentroidSet.from_labelled_data(train_stream.X, train_stream.y, 2)
+        rec = ModelReconstructor(model, cents, n_total=60, n_search=6, n_update=20)
+        pipe = BatchDetectorPipeline(model, qt, rec)
+        base = pipe.state_nbytes()
+        pipe._refitting = True  # reference window is being rebuilt
+        for j in range(3):
+            assert pipe.process_one(drift_stream.X[j], 0).phase == "refit"
+        d = drift_stream.n_features
+        assert pipe.state_nbytes() == base + 3 * d * 8
+
 
 class TestErrorRatePipeline:
     def test_requires_labels(self, train_stream, drift_stream, model):
@@ -194,3 +207,38 @@ class TestErrorRatePipeline:
         assert det  # supervised detection fires somewhere after the drift
         after = [r.correct for r in recs if r.index > det[0] + 60]
         assert np.mean(after) > 0.8
+
+    def test_one_shot_reconstruction_resets_detector(self, drift_stream, model):
+        """Regression: when reconstruction completes within the detection
+        sample itself, the detector must be reset exactly like on the
+        multi-step path — otherwise stale error statistics re-fire."""
+
+        class FireAt(ErrorRateDriftDetector):
+            def __init__(self, at: int) -> None:
+                super().__init__()
+                self.fire_at = at
+
+            def update(self, error):
+                self.n_samples_seen += 1
+                fire = self.n_samples_seen == self.fire_at
+                self.state = DriftState.DRIFT if fire else DriftState.NORMAL
+                return self.state
+
+        class OneShotReconstructor:
+            def process(self, x):
+                return ReconstructionStep(
+                    still_reconstructing=False, phase="finish", label=-1, count=1
+                )
+
+        det = FireAt(5)
+        pipe = ErrorRatePipeline(model, det, OneShotReconstructor())
+        recs = [
+            pipe.process_one(drift_stream.X[i], int(drift_stream.y[i]))
+            for i in range(8)
+        ]
+        assert recs[4].drift_detected and recs[4].reconstructing
+        assert not pipe._reconstructing  # one-shot: already finished
+        # The reset happened inside sample 4, so only the three samples
+        # after it have been counted since.
+        assert det.n_samples_seen == 3
+        assert not any(r.reconstructing for r in recs[5:])

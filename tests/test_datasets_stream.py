@@ -39,6 +39,17 @@ class TestConstruction:
         with pytest.raises(ValueError):
             s.y[0] = 1
 
+    def test_caller_arrays_stay_writable(self):
+        """Regression: freezing the stream must not freeze the caller's
+        arrays — contiguous float64 input used to be frozen in place."""
+        X = np.zeros((4, 3), dtype=np.float64)  # taken by reference pre-fix
+        y = np.zeros(4, dtype=np.int64)
+        s = DataStream(X, y)
+        assert X.flags.writeable and y.flags.writeable
+        X[0, 0] = 7.0  # caller keeps full ownership...
+        assert s.X[0, 0] == 0.0  # ...and the stream is unaffected
+        assert not s.X.flags.writeable and not s.y.flags.writeable
+
     def test_iteration_yields_pairs(self):
         s = make(n=3)
         pairs = list(s)

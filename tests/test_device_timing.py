@@ -8,7 +8,6 @@ from repro.core.pipeline import StepRecord
 from repro.device import (
     RASPBERRY_PI_4,
     RASPBERRY_PI_PICO,
-    OpCount,
     PhaseTally,
     StageCostModel,
     estimate_stream_seconds,

@@ -4,7 +4,6 @@ runs, batch-pipeline phases, and the end-to-end Table-5 estimate plumbing.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import (

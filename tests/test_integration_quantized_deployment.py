@@ -8,7 +8,6 @@ recovers from a drift while fitting the Pico's RAM at float32.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import build_proposed

@@ -68,7 +68,7 @@ class TestAsciiScatter:
         out = ascii_scatter({"*": np.array([[0.5, 0.5]])}, width=10, height=4)
         lines = out.splitlines()
         assert len(lines) == 6  # border + 4 rows + border
-        assert all(len(l) == 12 for l in lines)
+        assert all(len(row) == 12 for row in lines)
 
     def test_point_placement_corners(self):
         out = ascii_scatter(

@@ -1,0 +1,209 @@
+"""Unit tests for the ParallelRunner experiment grid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_baseline, build_proposed
+from repro.metrics import (
+    CellSpec,
+    ParallelExecutionError,
+    ParallelRunner,
+    compare_methods,
+    make_grid,
+    run_cell,
+)
+from repro.metrics.parallel import METHOD_BUILDERS, STREAM_FACTORIES
+from repro.utils.exceptions import ConfigurationError
+
+#: One small, fast grid reused across tests (stream seed pinned so the
+#: cell seed only drives the models).
+BLOBS_KWARGS = {"seed": 3, "n_test": 400, "drift_at": 150}
+METHODS = {
+    "Proposed": ("proposed", {"window_size": 30}),
+    "Baseline": ("baseline", {}),
+}
+STREAMS = {"blobs": ("blobs", dict(BLOBS_KWARGS))}
+
+
+def small_cells(seeds=(1,)):
+    return make_grid(METHODS, STREAMS, seeds=list(seeds))
+
+
+class TestCellSpec:
+    def test_hash_ignores_display_name(self):
+        a = CellSpec(name="A", method="baseline", stream="blobs", seed=1)
+        b = CellSpec(name="B", method="baseline", stream="blobs", seed=1)
+        assert a.config_hash() == b.config_hash()
+
+    def test_hash_sensitive_to_config(self):
+        base = CellSpec(name="x", method="baseline", stream="blobs", seed=1)
+        variants = [
+            CellSpec(name="x", method="proposed", stream="blobs", seed=1),
+            CellSpec(name="x", method="baseline", stream="blobs", seed=2),
+            CellSpec(name="x", method="baseline", stream="blobs", seed=1,
+                     method_kwargs={"n_hidden": 8}),
+            CellSpec(name="x", method="baseline", stream="blobs", seed=1, n_test=99),
+            CellSpec(name="x", method="baseline", stream="blobs", seed=1, chunk_size=1),
+        ]
+        hashes = {v.config_hash() for v in variants}
+        assert base.config_hash() not in hashes
+        assert len(hashes) == len(variants)
+
+    def test_make_grid_shape_and_names(self):
+        cells = make_grid(METHODS, STREAMS, seeds=[1, 2])
+        assert len(cells) == 4
+        assert {c.name for c in cells} == {"Proposed", "Baseline"}  # one stream
+        two = make_grid(METHODS, {**STREAMS, "b2": ("blobs", {"seed": 9})}, seeds=[1])
+        assert "Proposed @ b2" in {c.name for c in two}
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_cell(CellSpec(name="x", method="nope", stream="blobs", seed=1))
+        with pytest.raises(ConfigurationError):
+            run_cell(CellSpec(name="x", method="baseline", stream="nope", seed=1))
+
+
+class TestEquivalence:
+    def test_reproduces_compare_methods_cell_for_cell(self):
+        """Acceptance: same seeds → the grid runner returns exactly what a
+        serial compare_methods run produces, record for record."""
+        train, test = STREAM_FACTORIES["blobs"](**BLOBS_KWARGS)
+        builders = {
+            "Proposed": lambda: build_proposed(train.X, train.y, window_size=30, seed=1),
+            "Baseline": lambda: build_baseline(train.X, train.y, seed=1),
+        }
+        direct = compare_methods(builders, test)
+
+        runner = ParallelRunner(max_workers=1, keep_records=True)
+        for res in runner.run(small_cells(seeds=[1])):
+            ref = direct[res.name]
+            assert res.accuracy == ref.accuracy
+            assert tuple(res.detections) == ref.delay.detections
+            assert tuple(res.delays) == ref.delay.delays
+            assert res.to_method_result().records == ref.records
+
+    def test_deterministic_across_max_workers(self):
+        cells = small_cells(seeds=[1, 2])
+        inline = ParallelRunner(max_workers=1, keep_records=True).run(cells)
+        pooled = ParallelRunner(max_workers=2, keep_records=True, timeout=300).run(cells)
+        for a, b in zip(inline, pooled):
+            assert a.accuracy == b.accuracy
+            assert a.delays == b.delays
+            assert a.records == b.records
+
+
+class TestCache:
+    def test_second_invocation_served_from_cache(self, tmp_path):
+        cells = small_cells()
+        runner = ParallelRunner(cache_dir=tmp_path, max_workers=1, keep_records=True)
+        first = runner.run(cells)
+        assert all(not r.from_cache for r in first)
+        second = runner.run(cells)
+        assert all(r.from_cache for r in second)
+        for a, b in zip(first, second):
+            assert a.accuracy == b.accuracy
+            assert a.records == b.records
+            assert a.to_method_result().records == b.to_method_result().records
+
+    def test_changed_config_misses_cache(self, tmp_path):
+        runner = ParallelRunner(cache_dir=tmp_path, max_workers=1)
+        runner.run(small_cells(seeds=[1]))
+        fresh = runner.run(small_cells(seeds=[2]))
+        assert all(not r.from_cache for r in fresh)
+
+    def test_records_requested_but_not_cached_recomputes(self, tmp_path):
+        cells = small_cells()
+        ParallelRunner(cache_dir=tmp_path, max_workers=1, keep_records=False).run(cells)
+        upgraded = ParallelRunner(
+            cache_dir=tmp_path, max_workers=1, keep_records=True
+        ).run(cells)
+        assert all(not r.from_cache for r in upgraded)
+        assert all(r.records is not None for r in upgraded)
+
+    def test_no_records_means_no_method_result(self):
+        (res,) = ParallelRunner(max_workers=1).run(small_cells(seeds=[1]))[:1]
+        assert res.records is None
+        with pytest.raises(ConfigurationError):
+            res.to_method_result()
+
+
+class TestRetry:
+    def test_transient_failure_is_retried(self, monkeypatch):
+        calls = {"n": 0}
+
+        def flaky(X, y, *, seed=None, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient worker failure")
+            return build_baseline(X, y, seed=seed)
+
+        monkeypatch.setitem(METHOD_BUILDERS, "flaky", flaky)
+        cells = [
+            CellSpec(name="flaky", method="flaky", stream="blobs", seed=1,
+                     stream_kwargs=dict(BLOBS_KWARGS))
+        ]
+        (res,) = ParallelRunner(max_workers=1, retries=1).run(cells)
+        assert res.attempts == 2
+        assert calls["n"] == 2
+
+    def test_persistent_failure_raises_after_retries(self, monkeypatch):
+        def broken(X, y, *, seed=None, **kwargs):
+            raise RuntimeError("always broken")
+
+        monkeypatch.setitem(METHOD_BUILDERS, "broken", broken)
+        cells = [
+            CellSpec(name="broken", method="broken", stream="blobs", seed=1,
+                     stream_kwargs=dict(BLOBS_KWARGS))
+        ]
+        with pytest.raises(ParallelExecutionError, match="always broken"):
+            ParallelRunner(max_workers=1, retries=2).run(cells)
+
+    def test_failures_do_not_poison_other_cells(self, monkeypatch):
+        def broken(X, y, *, seed=None, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setitem(METHOD_BUILDERS, "broken", broken)
+        good = small_cells(seeds=[1])
+        bad = CellSpec(name="broken", method="broken", stream="blobs", seed=1,
+                       stream_kwargs=dict(BLOBS_KWARGS))
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            ParallelRunner(max_workers=1, retries=0).run([*good, bad])
+        assert "broken" in str(excinfo.value)
+        assert "Proposed" not in str(excinfo.value)  # the good cells ran
+
+
+class TestRunGrid:
+    def test_keys_are_method_stream_seed(self):
+        runner = ParallelRunner(max_workers=1)
+        out = runner.run_grid(METHODS, STREAMS, seeds=[1, 2])
+        assert set(out) == {
+            (m, "blobs", s) for m in METHODS for s in (1, 2)
+        }
+        for (method, _stream, _seed), res in out.items():
+            assert res.name == method
+
+    def test_cell_seed_changes_results(self):
+        runner = ParallelRunner(max_workers=1)
+        out = runner.run_grid(
+            {"Baseline": ("baseline", {})},
+            # no stream seed pinned: the cell seed drives data + model
+            {"blobs": ("blobs", {"n_test": 400, "drift_at": 150})},
+            seeds=[1, 2],
+        )
+        a = out[("Baseline", "blobs", 1)]
+        b = out[("Baseline", "blobs", 2)]
+        assert a.accuracy != b.accuracy
+
+
+class TestJsonRoundTrip:
+    def test_float_scores_survive_cache_bitwise(self, tmp_path):
+        cells = small_cells()
+        runner = ParallelRunner(cache_dir=tmp_path, max_workers=1, keep_records=True)
+        live = runner.run(cells)
+        cached = runner.run(cells)
+        for a, b in zip(live, cached):
+            sa = np.array(a.records["anomaly_score"])
+            sb = np.array(b.records["anomaly_score"])
+            np.testing.assert_array_equal(sa, sb)  # exact, not approx

@@ -120,3 +120,37 @@ class TestONLADConfiguration:
     def test_invalid_n_labels(self):
         with pytest.raises(ConfigurationError):
             MultiInstanceModel(6, 4, 0, seed=0)
+
+
+class TestBatchScoring:
+    """The vectorized fast path must be *bit-identical* to per-sample
+    scoring — the chunked pipeline equivalence rests on this."""
+
+    def test_scores_rowwise_bitwise_equal(self, trained_model, drift_stream):
+        X = drift_stream.X[:64]
+        S = trained_model.scores_rowwise(X)
+        assert S.shape == (64, 2)
+        for i in range(len(X)):
+            np.testing.assert_array_equal(S[i], trained_model.scores_one(X[i]))
+
+    def test_predict_with_score_batch_matches_per_sample(
+        self, trained_model, drift_stream
+    ):
+        X = drift_stream.X[:200]
+        labels, scores = trained_model.predict_with_score_batch(X)
+        for i in range(len(X)):
+            c, err = trained_model.predict_with_score(X[i])
+            assert int(labels[i]) == c
+            assert float(scores[i]) == err  # exact, not approx
+
+    def test_batch_is_argmin_of_rowwise_scores(self, trained_model, drift_stream):
+        X = drift_stream.X[:50]
+        labels, scores = trained_model.predict_with_score_batch(X)
+        S = trained_model.scores_rowwise(X)
+        np.testing.assert_array_equal(labels, S.argmin(axis=1))
+        np.testing.assert_array_equal(scores, S.min(axis=1))
+
+    def test_not_fitted(self):
+        m = MultiInstanceModel(6, 4, 2, seed=0)
+        with pytest.raises(NotFittedError):
+            m.predict_with_score_batch(np.zeros((3, 6)))
