@@ -26,7 +26,7 @@ Quickstart::
     print(result.accuracy, result.first_delay)
 """
 
-from . import clustering, core, datasets, detectors, device, metrics, oselm, utils
+from . import clustering, core, datasets, detectors, device, metrics, oselm, telemetry, utils
 from .core import (
     CentroidSet,
     ModelReconstructor,
@@ -45,6 +45,8 @@ from .detectors import ADWIN, DDM, SPLL, NoDetection, PageHinkley, QuantTree
 from .device import RASPBERRY_PI_4, RASPBERRY_PI_PICO, DeviceProfile
 from .metrics import MethodResult, compare_methods, evaluate_method
 from .oselm import OSELM, ForgettingOSELM, MultiInstanceModel, OSELMAutoencoder
+from .telemetry import Telemetry, get_telemetry
+from .telemetry import configure as configure_telemetry
 
 __version__ = "1.0.0"
 
@@ -58,6 +60,10 @@ __all__ = [
     "core",
     "device",
     "metrics",
+    "telemetry",
+    "Telemetry",
+    "get_telemetry",
+    "configure_telemetry",
     "CentroidSet",
     "SequentialDriftDetector",
     "ModelReconstructor",

@@ -13,9 +13,21 @@ touching pytest:
     python -m repro fig1                  # the four drift archetypes
     python -m repro all --reduced         # everything
 
-``--reduced`` shrinks the NSL-KDD stream ~4× for quick runs; the fan
-experiments are small either way. Every command prints a reproduced-vs-
-paper table through :mod:`repro.metrics.tables`.
+``--reduced`` shrinks the NSL-KDD stream ~4× for quick runs; ``--tiny``
+shrinks every stream much further (seconds end-to-end — for smoke tests,
+not faithful numbers). The fan experiments are small either way. Every
+command prints a reproduced-vs-paper table through
+:mod:`repro.metrics.tables`.
+
+Observability flags (see ``docs/telemetry.md``)::
+
+    python -m repro table2 --tiny --telemetry trace.jsonl
+    python -m repro table3 --telemetry-summary
+
+``--telemetry PATH`` streams every event (drifts, reconstructions,
+spans, parallel cells) as JSON lines to ``PATH``; ``--telemetry-summary``
+prints an ASCII metrics digest after the run. ``repro --version`` prints
+the package version.
 """
 
 from __future__ import annotations
@@ -48,12 +60,17 @@ from .device import (
     stage_latency_table,
 )
 from .metrics import detection_delay, evaluate_method, format_table
+from .telemetry import JsonlSink, render_summary
+from .telemetry import configure as configure_telemetry
 
 __all__ = ["main"]
 
 
 def _nslkdd(args):
-    if args.reduced:
+    if getattr(args, "tiny", False):
+        cfg = NSLKDDConfig(n_train=300, n_test=1500, drift_at=500)
+        batch = 150
+    elif args.reduced:
         cfg = NSLKDDConfig(n_train=800, n_test=6000, drift_at=2000)
         batch = 300
     else:
@@ -61,6 +78,13 @@ def _nslkdd(args):
         batch = 480
     train, test = make_nslkdd_like(cfg, seed=args.seed)
     return train, test, cfg, batch
+
+
+def _fan_kwargs(args) -> dict:
+    """Cooling-fan stream sizing: default paper shape, or ``--tiny``."""
+    if getattr(args, "tiny", False):
+        return {"n_test": 300, "gradual_end": 260}
+    return {}
 
 
 def cmd_table2(args) -> None:
@@ -94,7 +118,7 @@ def cmd_table3(args) -> None:
     for W in (10, 50, 150):
         row: list[object] = [f"Window size = {W}"]
         for scenario in ("sudden", "gradual", "reoccurring"):
-            train, test = make_cooling_fan_like(scenario, seed=args.seed)
+            train, test = make_cooling_fan_like(scenario, seed=args.seed, **_fan_kwargs(args))
             pipe = build_proposed(train.X, train.y, window_size=W, seed=1)
             res = evaluate_method(pipe, test)
             row.append(detection_delay(res.delay.detections, 120))
@@ -127,17 +151,20 @@ def cmd_table4(args) -> None:
 
 
 def cmd_table5(args) -> None:
-    train, test = make_cooling_fan_like("sudden", n_modes=2, seed=args.seed)
+    train, test = make_cooling_fan_like(
+        "sudden", n_modes=2, seed=args.seed, **_fan_kwargs(args)
+    )
+    batch = 100 if getattr(args, "tiny", False) else 235
     geometry = StageCostModel(2, 511, 22)
-    n_batches = len(test) // 235
+    n_batches = len(test) // batch
     spec = {
         "Quant Tree": (
-            lambda: build_quanttree_pipeline(train.X, train.y, batch_size=235, n_bins=16, seed=1),
-            quanttree_batch_ops(235, 16),
+            lambda: build_quanttree_pipeline(train.X, train.y, batch_size=batch, n_bins=16, seed=1),
+            quanttree_batch_ops(batch, 16),
         ),
         "SPLL": (
-            lambda: build_spll_pipeline(train.X, train.y, batch_size=235, seed=1),
-            spll_batch_ops(235, 511, 3),
+            lambda: build_spll_pipeline(train.X, train.y, batch_size=batch, seed=1),
+            spll_batch_ops(batch, 511, 3),
         ),
         "Baseline": (lambda: build_baseline(train.X, train.y, seed=1), None),
         "Proposed method": (
@@ -156,7 +183,7 @@ def cmd_table5(args) -> None:
     print(format_table(
         ["method", "estimated Pi4 s", "paper s", "host wall s"],
         rows,
-        title="Table 5 reproduction (700-sample fan stream)",
+        title=f"Table 5 reproduction ({len(test)}-sample fan stream)",
     ))
 
 
@@ -223,9 +250,14 @@ COMMANDS: Dict[str, Callable] = {
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the paper's tables and figures from the shell.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     parser.add_argument(
         "experiment",
@@ -234,14 +266,40 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--reduced", action="store_true",
                         help="shrink the NSL-KDD stream for quick runs")
+    parser.add_argument("--tiny", action="store_true",
+                        help="shrink every stream to smoke-test size "
+                             "(fast, not faithful to the paper's numbers)")
     parser.add_argument("--seed", type=int, default=0, help="dataset seed")
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="write a JSONL telemetry event trace to PATH")
+    parser.add_argument("--telemetry-summary", action="store_true",
+                        help="print an ASCII telemetry digest after the run")
     args = parser.parse_args(argv)
 
-    targets = list(COMMANDS) if args.experiment == "all" else [args.experiment]
-    for i, name in enumerate(targets):
-        if i:
+    telemetry_on = bool(args.telemetry or args.telemetry_summary)
+    sink = None
+    if telemetry_on:
+        sinks = []
+        if args.telemetry:
+            sink = JsonlSink(args.telemetry)
+            sinks.append(sink)
+        configure_telemetry(enabled=True, sinks=sinks, reset=True)
+    try:
+        targets = list(COMMANDS) if args.experiment == "all" else [args.experiment]
+        for i, name in enumerate(targets):
+            if i:
+                print("\n" + "=" * 72 + "\n")
+            COMMANDS[name](args)
+        if args.telemetry_summary:
             print("\n" + "=" * 72 + "\n")
-        COMMANDS[name](args)
+            print(render_summary())
+    finally:
+        if telemetry_on:
+            if sink is not None:
+                sink.close()
+            # Leave the process-wide hub as main() found it so repeated
+            # in-process calls (tests, notebooks) stay isolated.
+            configure_telemetry(enabled=False, sinks=[], reset=True)
     return 0
 
 

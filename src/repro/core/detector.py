@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 import numpy as np
 
+from ..telemetry import Telemetry, get_telemetry
 from ..utils.exceptions import ConfigurationError
 from ..utils.validation import check_positive
 from .coords import CentroidSet
@@ -97,6 +98,8 @@ class SequentialDriftDetector:
         #: total check windows opened / drifts flagged (diagnostics)
         self.n_windows_opened = 0
         self.n_drifts = 0
+        #: telemetry hub (the process default; reassign for private capture)
+        self.telemetry: Telemetry = get_telemetry()
 
     @property
     def window_count(self) -> int:
@@ -111,6 +114,8 @@ class SequentialDriftDetector:
         model); it resumes after :meth:`end_drift`.
         """
         drift_detected = False
+        opened = False
+        closed = False
         if not self.drift:
             if not self.check:
                 # Lines 8-10: open a window on an anomalous score.
@@ -118,6 +123,7 @@ class SequentialDriftDetector:
                     self.check = True
                     self._win = 0
                     self.n_windows_opened += 1
+                    opened = True
             if self.check and self._win < self.window_size:
                 # Lines 12-15: sequential centroid + drift-rate update.
                 self.centroids.update(label, x)
@@ -125,6 +131,7 @@ class SequentialDriftDetector:
                 self._win += 1
                 if self._win == self.window_size:
                     # Lines 16-19: end-of-window drift decision.
+                    closed = True
                     if self.last_distance >= self.theta_drift:
                         self.drift = True
                         drift_detected = True
@@ -136,6 +143,9 @@ class SequentialDriftDetector:
                         # "0 when idle" contract (on drift, ``end_drift``
                         # performs the reset).
                         self._win = 0
+        tel = self.telemetry
+        if tel.enabled and (opened or closed or self.check):
+            self._telemetry_update(tel, opened, closed, drift_detected, error)
         return DetectorStep(
             drift_detected=drift_detected,
             drifting=self.drift,
@@ -143,6 +153,39 @@ class SequentialDriftDetector:
             window_count=self._win,
             distance=self.last_distance,
         )
+
+    def _telemetry_update(
+        self,
+        tel: Telemetry,
+        opened: bool,
+        closed: bool,
+        drift_detected: bool,
+        error: float,
+    ) -> None:
+        """Window lifecycle events + the live drift-rate gauge."""
+        reg = tel.registry
+        reg.gauge(
+            "detector.distance", "current L1 centroid drift rate (Eq. 1 numerator)"
+        ).set(self.last_distance)
+        if opened:
+            reg.counter(
+                "detector.windows_opened", "check windows opened (θ_error crossings)"
+            ).inc()
+            tel.emit("window_opened", window=self.n_windows_opened, score=error)
+        if closed:
+            reg.counter(
+                "detector.windows_closed", "check windows closed", labels=("drift",)
+            ).inc(drift=drift_detected)
+            if drift_detected:
+                reg.counter(
+                    "detector.drifts", "drift flags raised (θ_drift crossings)"
+                ).inc()
+            tel.emit(
+                "window_closed",
+                window=self.n_windows_opened,
+                drift=drift_detected,
+                distance=self.last_distance,
+            )
 
     def end_drift(self) -> None:
         """Lower the drift flag (Reconstruct_Model returned False)."""

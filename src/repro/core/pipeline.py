@@ -32,6 +32,7 @@ import numpy as np
 from ..datasets.stream import DataStream
 from ..detectors.base import BatchDriftDetector, DriftState, ErrorRateDriftDetector
 from ..oselm.ensemble import MultiInstanceModel
+from ..telemetry import Telemetry, get_telemetry
 from ..utils.exceptions import ConfigurationError
 from .detector import SequentialDriftDetector
 from .reconstruction import ModelReconstructor
@@ -77,6 +78,9 @@ class StreamPipeline(abc.ABC):
         self._index = 0
         #: stream indices at which this pipeline reported a drift
         self.detections: List[int] = []
+        #: telemetry hub (the process default; reassign for private capture)
+        self.telemetry: Telemetry = get_telemetry()
+        self._in_recon = False
 
     @abc.abstractmethod
     def process_one(self, x: np.ndarray, y_true: Optional[int] = None) -> StepRecord:
@@ -98,17 +102,20 @@ class StreamPipeline(abc.ABC):
         loop.
         """
         chunk = self.default_chunk_size if chunk_size is None else int(chunk_size)
-        if chunk <= 1:
-            return [self.process_one(x, y) for x, y in stream]
-        records: List[StepRecord] = []
-        X, y = stream.X, stream.y
-        n = len(stream)
-        i = 0
-        while i < n:
-            recs = self._process_chunk(X[i : i + chunk], y[i : i + chunk])
-            records.extend(recs)
-            i += len(recs)
-        return records
+        tel = self.telemetry
+        with tel.span("pipeline.run", pipeline=self.name, samples=len(stream)):
+            if chunk <= 1:
+                return [self.process_one(x, y) for x, y in stream]
+            records: List[StepRecord] = []
+            X, y = stream.X, stream.y
+            n = len(stream)
+            i = 0
+            while i < n:
+                with tel.span("pipeline.chunk", pipeline=self.name, start=i):
+                    recs = self._process_chunk(X[i : i + chunk], y[i : i + chunk])
+                records.extend(recs)
+                i += len(recs)
+            return records
 
     def _process_chunk(self, Xc: np.ndarray, yc: np.ndarray) -> List[StepRecord]:
         """Consume a non-empty prefix of the chunk; returns its records.
@@ -145,7 +152,41 @@ class StreamPipeline(abc.ABC):
         if drift_detected:
             self.detections.append(self._index)
         self._index += 1
+        tel = self.telemetry
+        if tel.enabled:
+            self._telemetry_step(tel, rec)
+        elif reconstructing or self._in_recon:
+            # Edge state stays consistent even while telemetry is off, so
+            # enabling it mid-stream never fabricates a started event.
+            self._in_recon = reconstructing and phase != "finish"
         return rec
+
+    def _telemetry_step(self, tel: Telemetry, rec: StepRecord) -> None:
+        """Per-sample metrics + the drift/reconstruction event edges."""
+        reg = tel.registry
+        reg.counter(
+            "pipeline.samples", "processed samples", labels=("pipeline", "phase")
+        ).inc(pipeline=self.name, phase=rec.phase)
+        if rec.drift_detected:
+            reg.counter(
+                "pipeline.drifts", "drifts reported", labels=("pipeline",)
+            ).inc(pipeline=self.name)
+            tel.emit(
+                "drift_detected",
+                pipeline=self.name,
+                index=rec.index,
+                score=rec.anomaly_score,
+            )
+        if rec.reconstructing:
+            if not self._in_recon:
+                tel.emit(
+                    "reconstruction_started", pipeline=self.name, index=rec.index
+                )
+            if rec.phase == "finish":
+                tel.emit(
+                    "reconstruction_finished", pipeline=self.name, index=rec.index
+                )
+        self._in_recon = rec.reconstructing and rec.phase != "finish"
 
     def state_nbytes(self) -> int:
         """Resident bytes of everything beyond the discriminative model."""
@@ -314,6 +355,9 @@ class BatchDetectorPipeline(StreamPipeline):
                 self.detector.fit_reference(np.asarray(self._refit_buffer))
                 self._refit_buffer = []
                 self._refitting = False
+                self.telemetry.emit(
+                    "reference_refitted", pipeline=self.name, index=self._index
+                )
             return self._record(c, err, y_true, phase="refit")
         detected = self.detector.update_one(x)
         if detected:

@@ -44,6 +44,7 @@ from typing import Optional
 import numpy as np
 
 from ..oselm.ensemble import MultiInstanceModel
+from ..telemetry import Telemetry, get_telemetry
 from ..utils.exceptions import ConfigurationError
 from ..utils.validation import check_positive
 from .coords import CentroidSet
@@ -124,6 +125,8 @@ class ModelReconstructor:
         self.count = 0
         self.n_reconstructions = 0
         self._active = False
+        #: telemetry hub (the process default; reassign for private capture)
+        self.telemetry: Telemetry = get_telemetry()
 
     @property
     def is_active(self) -> bool:
@@ -187,7 +190,20 @@ class ModelReconstructor:
         elif count < self.n_total:
             # Lines 11-12: self-labelled training.
             label = self.model.partial_fit_one(x)
-        if count >= self.n_total:
+        finished = count >= self.n_total
+        tel = self.telemetry
+        if tel.enabled:
+            reg = tel.registry
+            reg.counter(
+                "reconstructor.samples",
+                "reconstruction samples by phase",
+                labels=("phase",),
+            ).inc(phase="finish" if finished else phase)
+            if finished:
+                reg.counter(
+                    "reconstructor.reconstructions", "completed reconstructions"
+                ).inc()
+        if finished:
             # Lines 13-15: budget exhausted — lower the flag; the N-th
             # sample itself is not trained on (count < N is false for it).
             self._finish()

@@ -22,6 +22,7 @@ import numpy as np
 from ..core.coords import CentroidSet
 from ..core.pipeline import ProposedPipeline
 from ..oselm.ensemble import MultiInstanceModel
+from ..telemetry import get_telemetry
 from ..utils.exceptions import ConfigurationError
 
 __all__ = ["quantize_array", "quantize_model", "quantize_pipeline", "state_bytes_at"]
@@ -107,6 +108,13 @@ def quantize_pipeline(pipeline: ProposedPipeline, dtype: DType) -> ProposedPipel
     det = q.detector
     det.theta_drift = float(quantize_array(np.array([det.theta_drift]), dtype)[0])
     det.theta_error = float(quantize_array(np.array([det.theta_error]), dtype)[0])
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.emit(
+            "pipeline_quantized",
+            dtype=dtype,
+            state_bytes=q.model.state_nbytes() + q.state_nbytes(),
+        )
     return q
 
 

@@ -50,6 +50,7 @@ from ..core import factory
 from ..core.pipeline import StepRecord
 from ..datasets.stream import DataStream
 from ..device.timing import PhaseTally
+from ..telemetry import Telemetry, get_telemetry
 from ..utils.exceptions import ConfigurationError
 from .delay import delay_report
 from .runner import MethodResult, evaluate_method
@@ -67,6 +68,14 @@ __all__ = [
 
 #: Bump when the cached-result layout changes; stale cache files are ignored.
 _CACHE_VERSION = 1
+
+
+def _package_version() -> str:
+    """The installed ``repro.__version__`` (imported lazily: the package
+    ``__init__`` defines it *after* importing this module)."""
+    from .. import __version__
+
+    return __version__
 
 
 class ParallelExecutionError(RuntimeError):
@@ -374,6 +383,10 @@ class ParallelRunner:
         self.timeout = timeout
         self.retries = int(retries)
         self.keep_records = bool(keep_records)
+        #: telemetry hub (the process default; reassign for private capture).
+        #: Counters/events are recorded in the *parent* process only —
+        #: worker processes have their own (disabled) default hubs.
+        self.telemetry: Telemetry = get_telemetry()
 
     # -- cache ------------------------------------------------------------------
 
@@ -389,6 +402,10 @@ class ParallelRunner:
         try:
             data = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
+            return None
+        if data.pop("repro_version", None) != _package_version():
+            # Written by a different library version: the algorithms may
+            # have changed under the spec, so the entry is stale.
             return None
         if data.get("spec") != spec.canonical():
             return None  # hash collision or stale layout — recompute
@@ -408,26 +425,43 @@ class ParallelRunner:
         ).hexdigest()[:16]
         path = self.cache_dir / f"{spec_hash}.json"
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(result.to_json()))
+        payload = result.to_json()
+        payload["repro_version"] = _package_version()
+        tmp.write_text(json.dumps(payload))
         tmp.replace(path)  # atomic: parallel runners never see half files
 
     # -- execution --------------------------------------------------------------
 
     def run(self, cells: Sequence[CellSpec]) -> List[CellResult]:
         """Run every cell; returns results aligned with the input order."""
+        tel = self.telemetry
         results: List[Optional[CellResult]] = [None] * len(cells)
         pending: List[int] = []
         for i, spec in enumerate(cells):
             cached = self._cache_load(spec)
             if cached is not None:
                 results[i] = cached
+                if tel.enabled:
+                    tel.registry.counter(
+                        "parallel.cache_hits", "grid cells served from cache"
+                    ).inc()
+                    tel.emit("cell_cache_hit", name=spec.name)
             else:
                 pending.append(i)
+                if tel.enabled and self.cache_dir is not None:
+                    tel.registry.counter(
+                        "parallel.cache_misses", "grid cells not found in cache"
+                    ).inc()
 
         errors: Dict[int, str] = {}
         for attempt in range(1 + self.retries):
             if not pending:
                 break
+            if attempt and tel.enabled:
+                tel.registry.counter(
+                    "parallel.retry_waves", "extra attempts over failed cells"
+                ).inc()
+                tel.emit("retry_wave", attempt=attempt + 1, cells=len(pending))
             pending, errors = self._run_wave(cells, pending, results, attempt + 1)
         if pending:
             detail = "; ".join(
@@ -463,6 +497,7 @@ class ParallelRunner:
         attempt: int,
     ) -> Tuple[List[int], Dict[int, str]]:
         """One attempt over the still-missing cells; returns (failures, errors)."""
+        tel = self.telemetry
         failures: List[int] = []
         errors: Dict[int, str] = {}
 
@@ -470,17 +505,42 @@ class ParallelRunner:
             result.attempts = attempt
             results[i] = result
             self._cache_store(result)
+            if tel.enabled:
+                tel.registry.counter(
+                    "parallel.cells_run", "grid cells computed (not cached)"
+                ).inc()
+                tel.emit(
+                    "cell_finished",
+                    name=result.name,
+                    attempt=attempt,
+                    wall_seconds=result.wall_seconds,
+                )
+
+        def failed(i: int, reason: str, *, timeout: bool = False) -> None:
+            failures.append(i)
+            errors[i] = reason
+            if tel.enabled:
+                tel.registry.counter(
+                    "parallel.failures", "cell attempts that failed"
+                ).inc()
+                if timeout:
+                    tel.registry.counter(
+                        "parallel.timeouts", "cell attempts that timed out"
+                    ).inc()
+                tel.emit(
+                    "cell_failed", name=cells[i].name, attempt=attempt, error=reason
+                )
 
         workers = os.cpu_count() or 1 if self.max_workers is None else self.max_workers
         if workers <= 1:
             # Inline mode: exact single-process semantics, no pool. Timeouts
             # need a worker process to enforce, so they do not apply here.
             for i in pending:
+                tel.emit("cell_started", name=cells[i].name, attempt=attempt)
                 try:
                     record(i, run_cell(cells[i], keep_records=self.keep_records))
                 except Exception as exc:  # noqa: BLE001 — isolate per cell
-                    failures.append(i)
-                    errors[i] = f"{type(exc).__name__}: {exc}"
+                    failed(i, f"{type(exc).__name__}: {exc}")
             return failures, errors
 
         executor = ProcessPoolExecutor(max_workers=workers)
@@ -489,6 +549,8 @@ class ParallelRunner:
                 i: executor.submit(_run_cell_job, (cells[i], self.keep_records))
                 for i in pending
             }
+            for i in pending:
+                tel.emit("cell_started", name=cells[i].name, attempt=attempt)
             broken = False
             for i, fut in futures.items():
                 if broken:
@@ -498,11 +560,9 @@ class ParallelRunner:
                 try:
                     record(i, fut.result(timeout=self.timeout))
                 except FutureTimeout:
-                    failures.append(i)
-                    errors[i] = f"timed out after {self.timeout}s"
+                    failed(i, f"timed out after {self.timeout}s", timeout=True)
                 except Exception as exc:  # noqa: BLE001 — worker died or raised
-                    failures.append(i)
-                    errors[i] = f"{type(exc).__name__}: {exc}"
+                    failed(i, f"{type(exc).__name__}: {exc}")
                     if type(exc).__name__ == "BrokenProcessPool":
                         broken = True
         finally:

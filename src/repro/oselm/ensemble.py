@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..telemetry import Telemetry, get_telemetry
 from ..utils.exceptions import ConfigurationError, NotFittedError
 from ..utils.rng import SeedLike, spawn_rngs
 from ..utils.validation import as_matrix, as_vector, check_labels, check_positive
@@ -78,6 +79,8 @@ class MultiInstanceModel:
         self.n_hidden = int(n_hidden)
         self.n_labels = int(n_labels)
         self.forgetting_factor = forgetting_factor
+        #: telemetry hub (the process default; reassign for private capture)
+        self.telemetry: Telemetry = get_telemetry()
 
     @property
     def is_fitted(self) -> bool:
@@ -123,6 +126,11 @@ class MultiInstanceModel:
                 f"label {label} out of range [0, {self.n_labels})."
             )
         self.instances[label].partial_fit_one(x)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "oselm.train", "sequential training steps", labels=("instance",)
+            ).inc(instance=label)
         return int(label)
 
     # -- inference ----------------------------------------------------------------
@@ -142,6 +150,9 @@ class MultiInstanceModel:
         """``(label, anomaly_score)`` — Algorithm 1 lines 6-7 in one pass."""
         scores = self.scores_one(x)
         c = int(scores.argmin())
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter("oselm.predict", "label predictions").inc()
         return c, float(scores[c])
 
     def scores(self, X: np.ndarray) -> np.ndarray:
@@ -175,6 +186,9 @@ class MultiInstanceModel:
         """
         S = self.scores_rowwise(X)
         labels = S.argmin(axis=1)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter("oselm.predict", "label predictions").inc(len(S))
         return labels, S[np.arange(len(S)), labels]
 
     def predict(self, X: np.ndarray) -> np.ndarray:

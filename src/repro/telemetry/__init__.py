@@ -1,0 +1,63 @@
+"""Structured telemetry: event tracing, metrics, and live instrumentation.
+
+The paper's contribution is fundamentally about *when* things happen on a
+constrained device — detection delay, reconstruction windows, per-phase
+execution time (Tables 2/3/5) — and this subpackage gives the reproduction
+runtime visibility into exactly that:
+
+* :class:`Telemetry` — a hub holding a :class:`MetricsRegistry` (counters,
+  gauges, fixed-bucket histograms) and a span tracer, fanned out to
+  pluggable sinks (:class:`RingBufferSink`, :class:`JsonlSink`,
+  :class:`StderrSink`);
+* a process-wide **no-op default** (:func:`get_telemetry`) that every
+  pipeline, detector, reconstructor, model, and runner adopts at
+  construction — a single ``enabled`` check keeps disabled-instrumentation
+  overhead under 5 % (``benchmarks/bench_telemetry_overhead.py``);
+* :func:`configure` — flip the default hub on/off and attach sinks,
+  affecting components that already exist;
+* exporters — ``registry.as_dict()`` / ``to_json()`` / ``to_prometheus()``
+  (text exposition format) — and :func:`render_summary` (lazy import, see
+  :mod:`repro.telemetry.report`) for a terminal digest.
+
+See ``docs/telemetry.md`` for the event schema and instrumentation map.
+"""
+
+from .events import Event
+from .hub import Span, Telemetry, configure, get_telemetry
+from .metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .sinks import EventSink, JsonlSink, RingBufferSink, StderrSink
+
+__all__ = [
+    "Telemetry",
+    "Span",
+    "get_telemetry",
+    "configure",
+    "Event",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "EventSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "StderrSink",
+    "render_summary",
+]
+
+
+def __getattr__(name: str):
+    # ``report`` imports repro.metrics (tables, ascii plots), which imports
+    # this package back — deferring the import until first use breaks the
+    # cycle while keeping ``repro.telemetry.render_summary`` addressable.
+    if name == "render_summary":
+        from .report import render_summary
+
+        return render_summary
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

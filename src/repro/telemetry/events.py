@@ -1,0 +1,67 @@
+"""Structured telemetry events.
+
+An :class:`Event` is one timestamped, named occurrence with arbitrary
+key-value fields — ``drift_detected(index=843)``, ``cell_finished
+(name="Proposed", attempt=1)``. Events are ordered by a per-hub sequence
+number; the ``t`` field is *monotonic* seconds since the hub was created
+(never wall-clock, so traces are diffable across runs and immune to clock
+adjustments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = ["Event"]
+
+
+def jsonable_fields(fields: Dict[str, Any]) -> Dict[str, Any]:
+    """Coerce field values to JSON-safe builtins (numpy scalars included)."""
+    out: Dict[str, Any] = {}
+    for k, v in fields.items():
+        if isinstance(v, (np.bool_,)):
+            out[k] = bool(v)
+        elif isinstance(v, np.integer):
+            out[k] = int(v)
+        elif isinstance(v, np.floating):
+            out[k] = float(v)
+        elif isinstance(v, (bool, int, float, str)) or v is None:
+            out[k] = v
+        else:
+            out[k] = repr(v)
+    return out
+
+
+@dataclass(frozen=True)
+class Event:
+    """One telemetry occurrence.
+
+    Attributes
+    ----------
+    name:
+        Event type (``drift_detected``, ``window_opened``, ``span`` …).
+    seq:
+        Per-hub monotone sequence number (1-based).
+    t:
+        Monotonic seconds since the emitting hub was created.
+    fields:
+        Free-form payload; values should be scalars (they are coerced to
+        JSON-safe builtins on serialisation).
+    """
+
+    name: str
+    seq: int
+    t: float
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Flat JSON-safe dict (field keys merged next to the envelope)."""
+        return {
+            "event": self.name,
+            "seq": self.seq,
+            "t": round(self.t, 9),
+            **jsonable_fields(self.fields),
+        }

@@ -1,0 +1,239 @@
+"""The :class:`Telemetry` hub and the process-wide default instance.
+
+A hub bundles a :class:`~repro.telemetry.metrics.MetricsRegistry`, a list
+of event sinks, and a span tracer behind **one** ``enabled`` flag. Every
+instrumented hot path in the library guards its work with a single
+``tel.enabled`` check, so with telemetry off (the default) instrumentation
+costs one attribute load and a branch — the overhead benchmark
+(``benchmarks/bench_telemetry_overhead.py``) holds this under 5 % on a
+pure-predict stream.
+
+Components pick up the **module-level default hub** at construction time
+(:func:`get_telemetry`); :func:`configure` mutates that default *in
+place*, so enabling telemetry affects pipelines that already exist. A
+component's ``telemetry`` attribute can also be reassigned to a private
+:class:`Telemetry` instance for isolated capture.
+
+Typical session::
+
+    from repro.telemetry import configure, get_telemetry
+    from repro.telemetry.sinks import JsonlSink
+
+    configure(enabled=True, sinks=[JsonlSink("trace.jsonl")])
+    ...  # run experiments; events/metrics accumulate on the default hub
+    print(get_telemetry().registry.to_prometheus())
+    configure(enabled=False, sinks=[], reset=True)   # back to no-op
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Sequence
+
+from .events import Event
+from .metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
+from .sinks import EventSink
+
+__all__ = ["Telemetry", "Span", "get_telemetry", "configure"]
+
+
+class _NullSpan:
+    """Zero-cost context manager returned by ``span()`` when disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """Timed region: duration goes to ``span.<name>.seconds`` + one event.
+
+    Durations come from ``time.perf_counter`` (monotonic); the recorded
+    event carries the duration and any fields given at entry. Nested and
+    concurrent spans are independent objects, so they compose freely.
+    """
+
+    __slots__ = ("_tel", "name", "fields", "seconds", "_t0")
+
+    def __init__(self, tel: "Telemetry", name: str, fields: dict) -> None:
+        self._tel = tel
+        self.name = name
+        self.fields = fields
+        self.seconds: Optional[float] = None
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, *exc: object) -> bool:
+        self.seconds = time.perf_counter() - self._t0
+        tel = self._tel
+        tel.registry.histogram(
+            f"span.{self.name}.seconds",
+            "span durations (monotonic seconds)",
+            buckets=DEFAULT_TIME_BUCKETS,
+        ).observe(self.seconds)
+        tel.emit(
+            "span",
+            span=self.name,
+            seconds=self.seconds,
+            ok=exc_type is None,
+            **self.fields,
+        )
+        return False
+
+
+class Telemetry:
+    """Metrics registry + event tracer + sinks behind one ``enabled`` flag.
+
+    Parameters
+    ----------
+    enabled:
+        Start enabled. The default hub starts disabled (no-op).
+    sinks:
+        Initial event sinks (see :mod:`repro.telemetry.sinks`).
+
+    Notes
+    -----
+    Instrumented call sites **must** guard with ``if tel.enabled:`` before
+    touching the registry so the disabled path stays branch-cheap;
+    :meth:`emit` and :meth:`span` additionally self-guard, so they are
+    safe to call unguarded from cold paths.
+    """
+
+    def __init__(self, *, enabled: bool = False, sinks: Iterable[EventSink] = ()) -> None:
+        self.enabled = bool(enabled)
+        self.registry = MetricsRegistry()
+        self._sinks: List[EventSink] = list(sinks)
+        self._seq = 0
+        self._t0 = time.perf_counter()
+
+    # -- hubs are shared infrastructure, never cloned with their owners ------
+
+    def __deepcopy__(self, memo: dict) -> "Telemetry":
+        return self
+
+    def __copy__(self) -> "Telemetry":
+        return self
+
+    def __reduce__(self):
+        # Pickling a component (e.g. shipping a pipeline to a worker
+        # process) must not drag file-handle sinks along: the unpickled
+        # side re-attaches to *its* process-wide default hub.
+        return (get_telemetry, ())
+
+    # -- sinks ----------------------------------------------------------------
+
+    @property
+    def sinks(self) -> List[EventSink]:
+        return list(self._sinks)
+
+    def add_sink(self, sink: EventSink) -> EventSink:
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: EventSink) -> None:
+        self._sinks.remove(sink)
+
+    # -- events ---------------------------------------------------------------
+
+    def emit(self, name: str, /, **fields: object) -> Optional[Event]:
+        """Record one named event; no-op (returns None) when disabled.
+
+        ``name`` is positional-only so a field may itself be called
+        ``name`` (e.g. ``emit("cell_started", name=spec.name)``).
+        """
+        if not self.enabled:
+            return None
+        self._seq += 1
+        event = Event(
+            name=name, seq=self._seq, t=time.perf_counter() - self._t0, fields=fields
+        )
+        self.registry.counter(
+            "telemetry.events", "events emitted by name", labels=("name",)
+        ).inc(name=name)
+        for sink in self._sinks:
+            sink.handle(event)
+        return event
+
+    # -- spans ----------------------------------------------------------------
+
+    def span(self, name: str, **fields: object):
+        """Context manager timing a region; a shared no-op when disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, fields)
+
+    # -- metric accessors (registry passthrough) ------------------------------
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()):
+        return self.registry.counter(name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()):
+        return self.registry.gauge(name, help, labels)
+
+    def histogram(self, name: str, help: str = "", labels: Sequence[str] = (), **kw):
+        return self.registry.histogram(name, help, labels, **kw)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def enable(self) -> "Telemetry":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Telemetry":
+        self.enabled = False
+        return self
+
+    def reset(self) -> "Telemetry":
+        """Drop all metrics and restart the event clock (sinks are kept)."""
+        self.registry.reset()
+        self._seq = 0
+        self._t0 = time.perf_counter()
+        return self
+
+    def close(self) -> None:
+        """Close every sink (JSONL files etc.); the hub stays usable."""
+        for sink in self._sinks:
+            sink.close()
+
+
+#: The process-wide default hub every component adopts at construction.
+_DEFAULT = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide default hub (disabled until :func:`configure`)."""
+    return _DEFAULT
+
+
+def configure(
+    *,
+    enabled: Optional[bool] = None,
+    sinks: Optional[Iterable[EventSink]] = None,
+    reset: bool = False,
+) -> Telemetry:
+    """Mutate the default hub in place; returns it.
+
+    ``enabled``/``sinks`` replace the respective setting when given
+    (``sinks`` replaces the whole list; existing sinks are *not* closed —
+    close them via ``get_telemetry().close()`` first if they own files).
+    ``reset=True`` clears accumulated metrics and restarts the clock.
+    Already-constructed pipelines, detectors, and runners observe the
+    change immediately because they hold a reference to this hub.
+    """
+    if reset:
+        _DEFAULT.reset()
+    if sinks is not None:
+        _DEFAULT._sinks = list(sinks)
+    if enabled is not None:
+        _DEFAULT.enabled = bool(enabled)
+    return _DEFAULT

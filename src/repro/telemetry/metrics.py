@@ -1,0 +1,342 @@
+"""Metric primitives and the registry they live in.
+
+Three metric kinds, mirroring the Prometheus data model the
+``stream_pipeline`` reference instrumentation uses, but with zero external
+dependencies and deliberately *deterministic* values:
+
+* :class:`Counter` — monotone event tallies (samples processed, drifts
+  flagged, cache hits);
+* :class:`Gauge` — last-written level (current centroid drift distance);
+* :class:`Histogram` — observations bucketed over **fixed edges** chosen at
+  registration time (span durations).
+
+No metric value ever depends on the wall clock: counters and gauges hold
+whatever the instrumented code fed them, and the only time source anywhere
+in :mod:`repro.telemetry` is the *monotonic* ``time.perf_counter`` used for
+span durations. Re-running a deterministic experiment therefore reproduces
+every counter and gauge bit-for-bit (histograms of durations are the one
+machine-dependent signal, and they are clearly labelled as such).
+
+Metrics may declare label names; each distinct label-value combination is
+an independent series, exactly as in Prometheus exposition.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..utils.exceptions import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+]
+
+#: Fixed duration-histogram edges (seconds): 10 µs … 30 s, roughly log-spaced.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0
+)
+
+_LabelKey = Tuple[str, ...]
+
+
+class _Metric:
+    """Shared plumbing: name, help text, label handling, series storage."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        if not name:
+            raise ConfigurationError("metric name must be non-empty.")
+        self.name = str(name)
+        self.help = str(help)
+        self.label_names: Tuple[str, ...] = tuple(labels)
+
+    def _key(self, labels: Mapping[str, object]) -> _LabelKey:
+        if not self.label_names:
+            if labels:
+                raise ConfigurationError(
+                    f"metric {self.name!r} takes no labels, got {sorted(labels)}."
+                )
+            return ()
+        try:
+            return tuple(str(labels[k]) for k in self.label_names)
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"metric {self.name!r} requires labels {list(self.label_names)}."
+            ) from exc
+
+    def _label_dict(self, key: _LabelKey) -> Dict[str, str]:
+        return dict(zip(self.label_names, key))
+
+
+class Counter(_Metric):
+    """Monotonically increasing tally, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labels)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (must be >= 0) to this series."""
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name!r} cannot decrease.")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """Current tally of one series (0 if never incremented)."""
+        return self._values.get(self._key(labels), 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum over every label combination."""
+        return sum(self._values.values())
+
+    def samples(self) -> List[dict]:
+        return [
+            {"labels": self._label_dict(k), "value": v}
+            for k, v in sorted(self._values.items())
+        ]
+
+    def clear(self) -> None:
+        self._values.clear()
+
+
+class Gauge(_Metric):
+    """Last-written level; supports set/inc/dec."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labels)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def samples(self) -> List[dict]:
+        return [
+            {"labels": self._label_dict(k), "value": v}
+            for k, v in sorted(self._values.items())
+        ]
+
+    def clear(self) -> None:
+        self._values.clear()
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * n_buckets
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Observations over fixed, strictly increasing bucket edges.
+
+    An observation lands in the first bucket whose upper edge is >= the
+    value; values above the last edge land in the implicit ``+Inf``
+    overflow bucket. Edges are immutable after registration — summaries
+    therefore never shift retroactively.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        *,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labels)
+        edges = tuple(float(b) for b in buckets)
+        if not edges or any(nxt <= prev for nxt, prev in zip(edges[1:], edges)):
+            raise ConfigurationError(
+                f"histogram {self.name!r} needs strictly increasing bucket edges."
+            )
+        self.buckets: Tuple[float, ...] = edges
+        self._series: Dict[_LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets) + 1)
+        # bisect_left ⇒ a value equal to an edge lands in that edge's
+        # bucket (Prometheus ``le`` is an inclusive upper bound).
+        series.counts[bisect_left(self.buckets, value)] += 1
+        series.sum += value
+        series.count += 1
+
+    def _get(self, labels: Mapping[str, object]) -> Optional[_HistogramSeries]:
+        return self._series.get(self._key(labels))
+
+    def count(self, **labels: object) -> int:
+        s = self._get(labels)
+        return s.count if s else 0
+
+    def sum(self, **labels: object) -> float:
+        s = self._get(labels)
+        return s.sum if s else 0.0
+
+    def mean(self, **labels: object) -> float:
+        s = self._get(labels)
+        return s.sum / s.count if s and s.count else 0.0
+
+    def bucket_counts(self, **labels: object) -> List[int]:
+        """Per-bucket (non-cumulative) counts; last entry is the overflow."""
+        s = self._get(labels)
+        return list(s.counts) if s else [0] * (len(self.buckets) + 1)
+
+    def samples(self) -> List[dict]:
+        return [
+            {
+                "labels": self._label_dict(k),
+                "buckets": list(self.buckets),
+                "counts": list(s.counts),
+                "sum": s.sum,
+                "count": s.count,
+            }
+            for k, s in sorted(self._series.items())
+        ]
+
+    def clear(self) -> None:
+        self._series.clear()
+
+
+def _prometheus_name(name: str) -> str:
+    sanitized = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{sanitized}"
+
+
+def _prometheus_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels.items()]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class MetricsRegistry:
+    """Name → metric map with get-or-create accessors and exporters.
+
+    Re-registering an existing name returns the existing metric, provided
+    kind and label names match (a mismatch is a configuration error — two
+    call sites disagreeing about a metric is a bug worth failing loudly on).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str, labels: Sequence[str], **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, labels, **kwargs)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, cls) or metric.label_names != tuple(labels):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {metric.kind} "
+                f"with labels {list(metric.label_names)}."
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        *,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    # -- access ---------------------------------------------------------------
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __iter__(self) -> Iterator[_Metric]:
+        return iter([self._metrics[n] for n in self.names()])
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every registered metric (a fresh registry)."""
+        self._metrics.clear()
+
+    # -- exporters ------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Plain-builtin snapshot: ``{name: {kind, help, samples}}``."""
+        return {
+            m.name: {"kind": m.kind, "help": m.help, "samples": m.samples()}
+            for m in self
+        }
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of every metric."""
+        lines: List[str] = []
+        for metric in self:
+            pname = _prometheus_name(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {pname} {metric.help}")
+            lines.append(f"# TYPE {pname} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for s in metric.samples():
+                    cumulative = 0
+                    for edge, n in zip(
+                        [*metric.buckets, float("inf")], s["counts"]
+                    ):
+                        cumulative += n
+                        le = "+Inf" if edge == float("inf") else repr(edge)
+                        labelled = _prometheus_labels(s["labels"], 'le="%s"' % le)
+                        lines.append(f"{pname}_bucket{labelled} {cumulative}")
+                    lines.append(
+                        f"{pname}_sum{_prometheus_labels(s['labels'])} {s['sum']!r}"
+                    )
+                    lines.append(
+                        f"{pname}_count{_prometheus_labels(s['labels'])} {s['count']}"
+                    )
+            else:
+                for s in metric.samples():
+                    lines.append(
+                        f"{pname}{_prometheus_labels(s['labels'])} {s['value']:g}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")

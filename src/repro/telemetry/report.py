@@ -1,0 +1,107 @@
+"""Human-readable digest of a telemetry hub — the ``--telemetry-summary``
+renderer.
+
+Builds a per-phase timing / event digest from whatever the hub's registry
+accumulated, reusing the repo's ASCII plotting helpers
+(:mod:`repro.metrics.ascii_plots`) and table renderer so the output slots
+next to the reproduced paper tables.
+
+This module intentionally lives *behind* a lazy import in
+``repro.telemetry.__getattr__``: it pulls in :mod:`repro.metrics`, which
+itself imports telemetry, and deferring the import breaks that cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..metrics.ascii_plots import hbar_chart
+from ..metrics.tables import format_table
+from .hub import Telemetry, get_telemetry
+from .metrics import Counter, Gauge, Histogram
+
+__all__ = ["render_summary"]
+
+
+def _labels_str(labels: dict) -> str:
+    return ",".join(f"{k}={v}" for k, v in labels.items()) or "-"
+
+
+def render_summary(tel: Optional[Telemetry] = None) -> str:
+    """Render counters, gauges, span timings, and event tallies as text.
+
+    ``tel`` defaults to the process-wide hub. Sections with no data are
+    omitted; an untouched hub renders a single placeholder line.
+    """
+    tel = tel if tel is not None else get_telemetry()
+    sections: List[str] = []
+
+    # -- event tallies (maintained by Telemetry.emit) -------------------------
+    events = tel.registry.get("telemetry.events")
+    if isinstance(events, Counter) and events.samples():
+        rows = [
+            [s["labels"]["name"], int(s["value"])]
+            for s in sorted(events.samples(), key=lambda s: -s["value"])
+        ]
+        sections.append(format_table(["event", "count"], rows, title="Events"))
+
+    # -- span timing digest ---------------------------------------------------
+    span_rows = []
+    span_totals = {}
+    for metric in tel.registry:
+        if isinstance(metric, Histogram) and metric.name.startswith("span."):
+            name = metric.name[len("span."):-len(".seconds")]
+            for s in metric.samples():
+                count, total = s["count"], s["sum"]
+                if count:
+                    span_rows.append(
+                        [name, count, round(total, 4), round(1e3 * total / count, 3)]
+                    )
+                    span_totals[name] = span_totals.get(name, 0.0) + total
+    if span_rows:
+        sections.append(
+            format_table(
+                ["span", "count", "total s", "mean ms"],
+                sorted(span_rows, key=lambda r: -r[2]),
+                title="Span timings (monotonic)",
+            )
+        )
+        sections.append(hbar_chart(span_totals, unit="s"))
+
+    # -- per-phase sample digest (pipeline.samples counter) -------------------
+    phases = tel.registry.get("pipeline.samples")
+    if isinstance(phases, Counter) and phases.samples():
+        by_phase: dict = {}
+        for s in phases.samples():
+            key = f"{s['labels'].get('pipeline', '?')}/{s['labels'].get('phase', '?')}"
+            by_phase[key] = by_phase.get(key, 0) + s["value"]
+        sections.append(
+            "Samples by pipeline/phase\n" + hbar_chart(by_phase, unit=" samples")
+        )
+
+    # -- remaining counters and gauges ----------------------------------------
+    skip = {"telemetry.events", "pipeline.samples"}
+    counter_rows = [
+        [m.name, _labels_str(s["labels"]), f"{s['value']:g}"]
+        for m in tel.registry
+        if isinstance(m, Counter) and m.name not in skip
+        for s in m.samples()
+    ]
+    if counter_rows:
+        sections.append(
+            format_table(["counter", "labels", "value"], counter_rows, title="Counters")
+        )
+    gauge_rows = [
+        [m.name, _labels_str(s["labels"]), f"{s['value']:g}"]
+        for m in tel.registry
+        if isinstance(m, Gauge)
+        for s in m.samples()
+    ]
+    if gauge_rows:
+        sections.append(
+            format_table(["gauge", "labels", "value"], gauge_rows, title="Gauges")
+        )
+
+    if not sections:
+        return "Telemetry summary: no metrics or events recorded."
+    return "Telemetry summary\n=================\n\n" + "\n\n".join(sections)

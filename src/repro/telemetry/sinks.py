@@ -1,0 +1,114 @@
+"""Event sinks — where emitted telemetry events go.
+
+Three built-ins, all sharing the one-method :class:`EventSink` protocol:
+
+* :class:`RingBufferSink` — bounded in-memory buffer, the default for
+  tests and interactive inspection (zero I/O);
+* :class:`JsonlSink` — one JSON object per line, the machine-readable
+  trace format (``--telemetry PATH.jsonl`` on the CLI);
+* :class:`StderrSink` — human-readable one-liners for watching a run live.
+
+Custom sinks only need a ``handle(event)`` method; exceptions they raise
+propagate (telemetry is opt-in, so a broken sink should fail fast, not rot
+silently).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterator, List, Optional, Union
+
+from ..utils.exceptions import ConfigurationError
+from ..utils.validation import check_positive
+from .events import Event
+
+__all__ = ["EventSink", "RingBufferSink", "JsonlSink", "StderrSink"]
+
+
+class EventSink:
+    """Protocol-ish base class; subclasses override :meth:`handle`."""
+
+    def handle(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; idempotent. Default: nothing to release."""
+
+
+class RingBufferSink(EventSink):
+    """Keep the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        check_positive(capacity, "capacity")
+        self.capacity = int(capacity)
+        self._buffer: deque[Event] = deque(maxlen=self.capacity)
+
+    def handle(self, event: Event) -> None:
+        self._buffer.append(event)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._buffer)
+
+    def events(self, name: Optional[str] = None) -> List[Event]:
+        """Buffered events, optionally filtered by event name."""
+        if name is None:
+            return list(self._buffer)
+        return [e for e in self._buffer if e.name == name]
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+
+class JsonlSink(EventSink):
+    """Append events to ``path`` as JSON Lines.
+
+    The file opens eagerly (so a bad path fails at configuration time,
+    not mid-run) and is buffered; call :meth:`flush` to force bytes out or
+    :meth:`close` when done — both are safe to call repeatedly. Usable as
+    a context manager.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
+        self.n_written = 0
+
+    def handle(self, event: Event) -> None:
+        if self._fh is None:
+            raise ConfigurationError(f"JsonlSink({self.path}) is closed.")
+        self._fh.write(json.dumps(event.to_json()) + "\n")
+        self.n_written += 1
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class StderrSink(EventSink):
+    """Render events as single human-readable lines (default: stderr)."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self._stream = stream
+
+    def handle(self, event: Event) -> None:
+        stream = self._stream if self._stream is not None else sys.stderr
+        fields = " ".join(f"{k}={v}" for k, v in event.to_json().items()
+                          if k not in ("event", "seq", "t"))
+        stream.write(f"[telemetry +{event.t:9.4f}s] {event.name} {fields}".rstrip() + "\n")

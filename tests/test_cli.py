@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+import repro
 from repro.cli import COMMANDS, main
+from repro.telemetry import get_telemetry
 
 
 class TestArgParsing:
@@ -20,6 +24,12 @@ class TestArgParsing:
         assert set(COMMANDS) == {
             "table2", "table3", "table4", "table5", "table6", "fig1"
         }
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
 
 
 class TestFastCommands:
@@ -41,6 +51,54 @@ class TestFastCommands:
         out = capsys.readouterr().out
         for kind in ("sudden", "gradual", "incremental", "reoccurring"):
             assert kind in out
+
+
+class TestTinyStreamCommands:
+    """End-to-end smoke of the streaming tables on ``--tiny`` streams
+    (seconds, through the chunked runner — not faithful numbers)."""
+
+    def test_table2_tiny(self, capsys):
+        assert main(["table2", "--tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "stream 1500" in out
+        for method in ("Quant Tree", "SPLL", "Baseline", "ONLAD", "Proposed"):
+            assert method in out
+
+    def test_table3_tiny(self, capsys):
+        assert main(["table3", "--tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Window size = 10" in out
+        assert "Sudden" in out and "Reoccurring" in out
+
+    def test_table5_tiny(self, capsys):
+        assert main(["table5", "--tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "300-sample fan stream" in out
+        assert "estimated Pi4 s" in out
+
+
+class TestTelemetryFlags:
+    def test_telemetry_writes_jsonl_and_restores_hub(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["table3", "--tiny", "--telemetry", str(path)]) == 0
+        lines = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert lines  # events were captured
+        assert {"event", "seq", "t"} <= set(lines[0])
+        assert any(ln["event"] == "drift_detected" for ln in lines)
+        # main() must leave the process-wide hub as it found it
+        hub = get_telemetry()
+        assert not hub.enabled and hub.sinks == [] and len(hub.registry) == 0
+
+    def test_telemetry_summary_printed(self, capsys):
+        assert main(["table3", "--tiny", "--telemetry-summary"]) == 0
+        out = capsys.readouterr().out
+        assert "drift_detected" in out
+        assert "Span timings" in out
+        assert not get_telemetry().enabled
+
+    def test_no_flags_leave_hub_untouched(self, capsys):
+        assert main(["table4"]) == 0
+        assert not get_telemetry().enabled
 
 
 @pytest.mark.slow

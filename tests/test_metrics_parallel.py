@@ -129,6 +129,27 @@ class TestCache:
             res.to_method_result()
 
 
+class TestCacheVersionStamp:
+    def test_cache_files_carry_package_version(self, tmp_path):
+        import json
+
+        import repro
+
+        ParallelRunner(cache_dir=tmp_path, max_workers=1).run(small_cells())
+        payloads = [json.loads(p.read_text()) for p in tmp_path.glob("*.json")]
+        assert payloads
+        assert all(p["repro_version"] == repro.__version__ for p in payloads)
+
+    def test_version_mismatch_is_cache_miss(self, tmp_path, monkeypatch):
+        runner = ParallelRunner(cache_dir=tmp_path, max_workers=1)
+        runner.run(small_cells())
+        monkeypatch.setattr("repro.__version__", "0.0.0-stale")
+        rerun = runner.run(small_cells())
+        assert all(not r.from_cache for r in rerun)  # stale stamp ignored
+        third = runner.run(small_cells())  # re-stamped on the re-run
+        assert all(r.from_cache for r in third)
+
+
 class TestRetry:
     def test_transient_failure_is_retried(self, monkeypatch):
         calls = {"n": 0}

@@ -1,0 +1,333 @@
+"""Unit tests for the telemetry hub, metrics, sinks, and exporters."""
+
+from __future__ import annotations
+
+import copy
+import io
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Event,
+    Gauge,
+    Histogram,
+    JsonlSink,
+    MetricsRegistry,
+    RingBufferSink,
+    StderrSink,
+    Telemetry,
+    configure,
+    get_telemetry,
+    render_summary,
+)
+from repro.telemetry.events import jsonable_fields
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def tel() -> Telemetry:
+    """A private enabled hub with a ring sink (does not touch the default)."""
+    return Telemetry(enabled=True, sinks=[RingBufferSink()])
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("hits")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+        assert c.total == 3.5
+
+    def test_label_series_are_independent(self):
+        c = Counter("hits", labels=("kind",))
+        c.inc(kind="a")
+        c.inc(3, kind="b")
+        assert c.value(kind="a") == 1.0
+        assert c.value(kind="b") == 3.0
+        assert c.total == 4.0
+        assert c.samples() == [
+            {"labels": {"kind": "a"}, "value": 1.0},
+            {"labels": {"kind": "b"}, "value": 3.0},
+        ]
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Counter("hits").inc(-1)
+
+    def test_unexpected_and_missing_labels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Counter("plain").inc(kind="a")
+        with pytest.raises(ConfigurationError):
+            Counter("labelled", labels=("kind",)).inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("level")
+        g.set(10)
+        g.inc(2)
+        g.dec(7)
+        assert g.value() == 5.0
+
+    def test_labelled(self):
+        g = Gauge("level", labels=("node",))
+        g.set(1.5, node="x")
+        assert g.value(node="x") == 1.5
+        assert g.value(node="y") == 0.0
+
+
+class TestHistogram:
+    def test_bucketing_and_overflow(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.0, 1.5, 4.0, 100.0):
+            h.observe(v)
+        # le=1: {0.5, 1.0}; le=2: {1.5}; le=5: {4.0}; +Inf: {100.0}
+        assert h.bucket_counts() == [2, 1, 1, 1]
+        assert h.count() == 5
+        assert h.sum() == pytest.approx(107.0)
+        assert h.mean() == pytest.approx(107.0 / 5)
+
+    def test_edges_must_strictly_increase(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("bad", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("bad", buckets=())
+        Histogram("fine", buckets=DEFAULT_TIME_BUCKETS)  # the default is valid
+
+    def test_empty_series_reads_as_zero(self):
+        h = Histogram("lat", buckets=(1.0,))
+        assert h.count() == 0
+        assert h.mean() == 0.0
+        assert h.bucket_counts() == [0, 0]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", "help")
+        b = reg.counter("x")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_mismatch_fails_loudly(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+
+    def test_label_mismatch_fails_loudly(self):
+        reg = MetricsRegistry()
+        reg.counter("x", labels=("a",))
+        with pytest.raises(ConfigurationError):
+            reg.counter("x", labels=("b",))
+
+    def test_reset_empties_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert len(reg) == 0
+
+
+class TestExporters:
+    def make_registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("hits", "hits by kind", labels=("kind",)).inc(2, kind="a")
+        reg.gauge("level").set(1.25)
+        h = reg.histogram("lat", "latency", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(10.0)
+        return reg
+
+    def test_as_dict_round_trips_json(self):
+        reg = self.make_registry()
+        snapshot = json.loads(reg.to_json())
+        assert snapshot == reg.as_dict()
+        assert snapshot["hits"]["kind"] == "counter"
+        assert snapshot["hits"]["samples"] == [
+            {"labels": {"kind": "a"}, "value": 2.0}
+        ]
+        assert snapshot["lat"]["samples"][0]["count"] == 2
+
+    def test_prometheus_text_format(self):
+        text = self.make_registry().to_prometheus()
+        assert '# TYPE repro_hits counter' in text
+        assert 'repro_hits{kind="a"} 2' in text
+        assert "# TYPE repro_level gauge" in text
+        assert "repro_level 1.25" in text
+        # histogram: cumulative buckets + +Inf + sum/count
+        assert 'repro_lat_bucket{le="1.0"} 1' in text
+        assert 'repro_lat_bucket{le="2.0"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf"} 2' in text
+        assert "repro_lat_sum 10.5" in text
+        assert "repro_lat_count 2" in text
+
+    def test_prometheus_name_sanitised(self):
+        reg = MetricsRegistry()
+        reg.counter("span.pipeline.run.seconds").inc()
+        assert "repro_span_pipeline_run_seconds 1" in reg.to_prometheus()
+
+
+class TestEvents:
+    def test_to_json_flattens_fields(self):
+        e = Event(name="drift_detected", seq=3, t=1.5, fields={"index": 7})
+        assert e.to_json() == {
+            "event": "drift_detected", "seq": 3, "t": 1.5, "index": 7
+        }
+
+    def test_numpy_scalars_coerced(self):
+        out = jsonable_fields({
+            "i": np.int64(3), "f": np.float32(0.5), "b": np.bool_(True),
+            "s": "x", "n": None, "arr": np.array([1, 2]),
+        })
+        assert out["i"] == 3 and isinstance(out["i"], int)
+        assert out["f"] == 0.5 and isinstance(out["f"], float)
+        assert out["b"] is True
+        assert out["s"] == "x" and out["n"] is None
+        assert isinstance(out["arr"], str)  # repr fallback
+        json.dumps(out)  # everything serialisable
+
+
+class TestSinks:
+    def test_ring_buffer_bounded_and_filterable(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(5):
+            sink.handle(Event(name="a" if i % 2 else "b", seq=i, t=0.0))
+        assert len(sink) == 3
+        assert [e.seq for e in sink.events()] == [2, 3, 4]
+        assert [e.seq for e in sink.events("a")] == [3]
+        sink.clear()
+        assert len(sink) == 0
+
+    def test_jsonl_sink_writes_one_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.handle(Event(name="x", seq=1, t=0.25, fields={"k": 1}))
+            sink.handle(Event(name="y", seq=2, t=0.50))
+            assert sink.n_written == 2
+        lines = path.read_text().splitlines()
+        assert [json.loads(ln)["event"] for ln in lines] == ["x", "y"]
+        assert json.loads(lines[0])["k"] == 1
+
+    def test_jsonl_sink_closed_rejects_events(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ConfigurationError):
+            sink.handle(Event(name="x", seq=1, t=0.0))
+
+    def test_stderr_sink_renders_one_line(self):
+        buf = io.StringIO()
+        StderrSink(buf).handle(Event(name="x", seq=1, t=0.5, fields={"a": 2}))
+        line = buf.getvalue()
+        assert line.endswith("\n") and line.count("\n") == 1
+        assert "x" in line and "a=2" in line
+
+
+class TestHub:
+    def test_disabled_emit_is_noop(self):
+        sink = RingBufferSink()
+        tel = Telemetry(enabled=False, sinks=[sink])
+        assert tel.emit("x") is None
+        assert len(sink) == 0
+        assert len(tel.registry) == 0
+
+    def test_emit_routes_to_all_sinks_and_counts(self, tel):
+        other = RingBufferSink()
+        tel.add_sink(other)
+        event = tel.emit("drift_detected", index=4)
+        assert event is not None and event.seq == 1
+        (ring,) = [s for s in tel.sinks if s is not other]
+        assert [e.name for e in ring.events()] == ["drift_detected"]
+        assert [e.name for e in other.events()] == ["drift_detected"]
+        assert tel.counter("telemetry.events", labels=("name",)).value(
+            name="drift_detected"
+        ) == 1
+
+    def test_emit_allows_name_field(self, tel):
+        event = tel.emit("cell_started", name="Proposed @ blobs")
+        assert event.fields["name"] == "Proposed @ blobs"
+
+    def test_span_times_into_histogram_and_event(self, tel):
+        with tel.span("work", tag="t") as span:
+            pass
+        assert span.seconds is not None and span.seconds >= 0.0
+        h = tel.registry.get("span.work.seconds")
+        assert h.count() == 1
+        (event,) = tel.sinks[0].events("span")
+        assert event.fields["span"] == "work"
+        assert event.fields["ok"] is True
+        assert event.fields["tag"] == "t"
+
+    def test_span_records_failure_and_propagates(self, tel):
+        with pytest.raises(ValueError):
+            with tel.span("work"):
+                raise ValueError("boom")
+        (event,) = tel.sinks[0].events("span")
+        assert event.fields["ok"] is False
+
+    def test_disabled_span_is_shared_noop(self):
+        tel = Telemetry()
+        a = tel.span("x")
+        b = tel.span("y")
+        assert a is b  # the singleton null span
+        with a:
+            pass
+        assert len(tel.registry) == 0
+
+    def test_reset_clears_metrics_and_sequence(self, tel):
+        tel.emit("x")
+        tel.reset()
+        assert len(tel.registry) == 0
+        assert tel.emit("y").seq == 1
+
+    def test_deepcopy_and_copy_return_self(self, tel):
+        assert copy.deepcopy(tel) is tel
+        assert copy.copy(tel) is tel
+
+    def test_pickle_reattaches_to_default_hub(self, tel):
+        assert pickle.loads(pickle.dumps(tel)) is get_telemetry()
+
+
+class TestDefaultHub:
+    def test_default_starts_disabled(self):
+        assert get_telemetry().enabled is False
+
+    def test_configure_mutates_in_place(self):
+        hub = get_telemetry()
+        sink = RingBufferSink()
+        try:
+            assert configure(enabled=True, sinks=[sink]) is hub
+            assert hub.enabled and hub.sinks == [sink]
+            hub.emit("x")
+            assert len(sink) == 1
+        finally:
+            configure(enabled=False, sinks=[], reset=True)
+        assert not hub.enabled and hub.sinks == []
+        assert len(hub.registry) == 0
+
+
+class TestRenderSummary:
+    def test_empty_hub_renders_placeholder(self):
+        assert "no metrics or events" in render_summary(Telemetry())
+
+    def test_sections_present(self, tel):
+        tel.emit("drift_detected", index=1)
+        with tel.span("pipeline.run", pipeline="proposed"):
+            pass
+        tel.counter(
+            "pipeline.samples", labels=("pipeline", "phase")
+        ).inc(40, pipeline="proposed", phase="predict")
+        tel.counter("detector.drifts").inc(2)
+        tel.gauge("detector.distance").set(1.75)
+        text = render_summary(tel)
+        assert "drift_detected" in text
+        assert "pipeline.run" in text
+        assert "proposed/predict" in text
+        assert "detector.drifts" in text
+        assert "detector.distance" in text
