@@ -5,7 +5,10 @@ The realistic on-device story: a gateway (or lab machine) performs the
 initial OS-ELM training and threshold calibration on collected data, the
 resulting pipeline state is serialised to a single ``.npz`` archive, the
 edge device restores it and runs the fully-sequential loop — and the
-restored pipeline behaves *identically* to the original.
+restored pipeline behaves *identically* to the original. Then the part
+that matters in the field: the device is killed mid-stream (watchdog
+reset), reboots, and *resumes* from its periodic checkpoint — producing
+records byte-identical to a run that was never interrupted.
 
 Run:
     python examples/deploy_and_restore.py
@@ -21,6 +24,7 @@ from repro.datasets import NSLKDDConfig, make_nslkdd_like
 from repro.device import RASPBERRY_PI_PICO, discriminative_model_memory, proposed_memory
 from repro.io import load_pipeline, save_pipeline
 from repro.metrics import evaluate_method
+from repro.resilience import InjectedCrash, crash_at
 
 CFG = NSLKDDConfig(n_train=800, n_test=5000, drift_at=1600)
 
@@ -57,6 +61,27 @@ def main() -> None:
             r.predicted for r in res.records
         ]
         print(f"check:   original and restored runs identical: {identical}")
+
+        # --- crash mid-stream, reboot, resume -----------------------------
+        # The device checkpoints every 256 samples; a watchdog reset kills
+        # it at sample 2500 (after the drift and the refit).
+        ckpt = Path(td) / "run.ckpt"
+        victim = load_pipeline(archive)
+        try:
+            with crash_at(victim, 2500):
+                victim.run(test, checkpoint_every=256, checkpoint_path=ckpt)
+        except InjectedCrash:
+            print("edge:    killed at sample 2500 (watchdog reset)")
+
+        # Reboot: restore the deployed model, then resume the stream from
+        # the last checkpoint on disk.
+        rebooted = load_pipeline(archive)
+        resumed = rebooted.resume(test, ckpt)
+        print(f"edge:    resumed from sample {rebooted.last_resumed_at}, "
+              f"finished remaining {len(test) - rebooted.last_resumed_at} samples")
+        byte_identical = resumed == res.records
+        print(f"check:   resumed records byte-identical to uninterrupted run: "
+              f"{byte_identical}")
 
     # --- RAM budget on the target board -----------------------------------
     det = proposed_memory(pipeline.model.n_labels, pipeline.model.n_features)

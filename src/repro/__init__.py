@@ -26,7 +26,18 @@ Quickstart::
     print(result.accuracy, result.first_delay)
 """
 
-from . import clustering, core, datasets, detectors, device, metrics, oselm, telemetry, utils
+from . import (
+    clustering,
+    core,
+    datasets,
+    detectors,
+    device,
+    metrics,
+    oselm,
+    resilience,
+    telemetry,
+    utils,
+)
 from .core import (
     CentroidSet,
     ModelReconstructor,
@@ -45,6 +56,7 @@ from .detectors import ADWIN, DDM, SPLL, NoDetection, PageHinkley, QuantTree
 from .device import RASPBERRY_PI_4, RASPBERRY_PI_PICO, DeviceProfile
 from .metrics import MethodResult, compare_methods, evaluate_method
 from .oselm import OSELM, ForgettingOSELM, MultiInstanceModel, OSELMAutoencoder
+from .resilience import Checkpoint, load_checkpoint, save_checkpoint
 from .telemetry import Telemetry, get_telemetry
 from .telemetry import configure as configure_telemetry
 
@@ -60,7 +72,11 @@ __all__ = [
     "core",
     "device",
     "metrics",
+    "resilience",
     "telemetry",
+    "Checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
     "Telemetry",
     "get_telemetry",
     "configure_telemetry",

@@ -33,7 +33,9 @@ the package version.
 from __future__ import annotations
 
 import argparse
+import re
 import sys
+from pathlib import Path
 from typing import Callable, Dict
 
 import numpy as np
@@ -60,6 +62,7 @@ from .device import (
     stage_latency_table,
 )
 from .metrics import detection_delay, evaluate_method, format_table
+from .resilience import remove_run_checkpoint
 from .telemetry import JsonlSink, render_summary
 from .telemetry import configure as configure_telemetry
 
@@ -87,6 +90,35 @@ def _fan_kwargs(args) -> dict:
     return {}
 
 
+def _slug(text: str) -> str:
+    return "-".join(re.findall(r"[a-z0-9]+", text.lower()))
+
+
+def _eval(args, pipeline, stream, *, name=None, label=None):
+    """``evaluate_method`` with the CLI's crash-safety flags applied.
+
+    With ``--checkpoint-dir`` (or ``--resume-from``) each evaluation
+    checkpoints under a stable per-cell filename; ``--resume-from``
+    additionally picks up any checkpoint left by an interrupted run.
+    Spent checkpoints are removed once the cell completes.
+    """
+    ckpt_dir = args.resume_from or args.checkpoint_dir
+    if ckpt_dir is None:
+        return evaluate_method(pipeline, stream, name=name)
+    path = Path(ckpt_dir) / f"{_slug(label or name or pipeline.name)}.ckpt"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    result = evaluate_method(
+        pipeline,
+        stream,
+        name=name,
+        checkpoint_every=args.checkpoint_every or 256,
+        checkpoint_path=path,
+        resume=args.resume_from is not None,
+    )
+    remove_run_checkpoint(path)
+    return result
+
+
 def cmd_table2(args) -> None:
     train, test, cfg, batch = _nslkdd(args)
     builders = {
@@ -102,7 +134,7 @@ def cmd_table2(args) -> None:
     }
     rows = []
     for name, build in builders.items():
-        res = evaluate_method(build(), test, name=name)
+        res = _eval(args, build(), test, name=name, label=f"table2-{name}")
         rows.append([name, round(100 * res.accuracy, 1), res.first_delay])
     print(format_table(
         ["method", "accuracy %", "delay"],
@@ -120,7 +152,7 @@ def cmd_table3(args) -> None:
         for scenario in ("sudden", "gradual", "reoccurring"):
             train, test = make_cooling_fan_like(scenario, seed=args.seed, **_fan_kwargs(args))
             pipe = build_proposed(train.X, train.y, window_size=W, seed=1)
-            res = evaluate_method(pipe, test)
+            res = _eval(args, pipe, test, label=f"table3-w{W}-{scenario}")
             row.append(detection_delay(res.delay.detections, 120))
         rows.append(row)
     print(format_table(
@@ -174,7 +206,7 @@ def cmd_table5(args) -> None:
     paper = {"Quant Tree": 1.52, "SPLL": 9.28, "Baseline": 1.05, "Proposed method": 1.50}
     rows = []
     for name, (build, ops) in spec.items():
-        res = evaluate_method(build(), test)
+        res = _eval(args, build(), test, label=f"table5-{name}")
         est = estimate_stream_seconds(
             res.phase_tally, geometry, RASPBERRY_PI_4,
             per_batch_ops=ops, n_batches=n_batches if ops is not None else 0,
@@ -274,7 +306,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="write a JSONL telemetry event trace to PATH")
     parser.add_argument("--telemetry-summary", action="store_true",
                         help="print an ASCII telemetry digest after the run")
+    parser.add_argument("--checkpoint-every", metavar="N", type=int, default=None,
+                        help="checkpoint pipeline state every N samples "
+                             "(needs --checkpoint-dir or --resume-from; default 256)")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="write per-evaluation crash-recovery checkpoints to DIR")
+    parser.add_argument("--resume-from", metavar="DIR", default=None,
+                        help="like --checkpoint-dir, but also resume any "
+                             "checkpoints an interrupted run left in DIR")
     args = parser.parse_args(argv)
+    if args.checkpoint_every is not None and not (args.checkpoint_dir or args.resume_from):
+        parser.error("--checkpoint-every requires --checkpoint-dir or --resume-from")
 
     telemetry_on = bool(args.telemetry or args.telemetry_summary)
     sink = None

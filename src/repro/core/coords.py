@@ -230,6 +230,45 @@ class CentroidSet:
         """
         return int(self.trained.nbytes + self.recent.nbytes + self.counts.nbytes)
 
+    # -- checkpoint protocol -----------------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Snapshot every mutable field (trained/recent/counts)."""
+        return {
+            "trained": self.trained.copy(),
+            "recent": self.recent.copy(),
+            "counts": self.counts.copy(),
+            "trained_counts": self._trained_counts.copy(),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` snapshot onto *this* object.
+
+        Fields are reassigned in place so components sharing the
+        CentroidSet by identity (the proposed pipeline's detector and
+        reconstructor) keep sharing it after a restore.
+        """
+        trained = np.asarray(state["trained"], dtype=np.float64)
+        recent = np.asarray(state["recent"], dtype=np.float64)
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        trained_counts = np.asarray(state["trained_counts"], dtype=np.int64)
+        if (
+            trained.shape != self.trained.shape
+            or recent.shape != trained.shape
+            or counts.shape != (len(trained),)
+            or trained_counts.shape != (len(trained),)
+        ):
+            raise ConfigurationError(
+                f"centroid state shapes {trained.shape}/{recent.shape}/"
+                f"{counts.shape} do not match this CentroidSet "
+                f"({self.trained.shape})."
+            )
+        self.trained = trained.copy()
+        self.trained.setflags(write=False)
+        self.recent = recent.copy()
+        self.counts = counts.copy()
+        self._trained_counts = trained_counts.copy()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"CentroidSet(C={self.n_labels}, D={self.n_features}, "

@@ -196,3 +196,27 @@ class SequentialDriftDetector:
     def state_nbytes(self) -> int:
         """Centroid state + a few scalars — no sample storage, ever."""
         return self.centroids.state_nbytes() + 6 * 8
+
+    # -- checkpoint protocol -----------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Snapshot the Algorithm 1 state machine plus its centroids."""
+        return {
+            "centroids": self.centroids.get_state(),
+            "drift": bool(self.drift),
+            "check": bool(self.check),
+            "win": int(self._win),
+            "last_distance": float(self.last_distance),
+            "n_windows_opened": int(self.n_windows_opened),
+            "n_drifts": int(self.n_drifts),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` snapshot."""
+        self.centroids.set_state(state["centroids"])
+        self.drift = bool(state["drift"])
+        self.check = bool(state["check"])
+        self._win = int(state["win"])
+        self.last_distance = float(state["last_distance"])
+        self.n_windows_opened = int(state["n_windows_opened"])
+        self.n_drifts = int(state["n_drifts"])

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -33,7 +34,7 @@ from ..datasets.stream import DataStream
 from ..detectors.base import BatchDriftDetector, DriftState, ErrorRateDriftDetector
 from ..oselm.ensemble import MultiInstanceModel
 from ..telemetry import Telemetry, get_telemetry
-from ..utils.exceptions import ConfigurationError
+from ..utils.exceptions import CheckpointCorruptError, ConfigurationError
 from .detector import SequentialDriftDetector
 from .reconstruction import ModelReconstructor
 
@@ -71,6 +72,32 @@ class StreamPipeline(abc.ABC):
     #: Chunk length used by :meth:`run` when ``chunk_size`` is not given.
     default_chunk_size: int = 256
 
+    #: How the pipeline's adaptive state evolves while streaming:
+    #: ``"static"`` — never after construction (frozen baseline);
+    #: ``"quiet"`` — only on non-predict samples (drift checks,
+    #: reconstruction), which the record stream makes observable;
+    #: ``"always"`` — potentially on every sample (per-sample training,
+    #: detector buffers/statistics). Checkpointed runs rewrite the state
+    #: container only for intervals that may have mutated state; the
+    #: record log is appended either way.
+    checkpoint_volatility: str = "always"
+
+    #: ``True`` — fsync the record log and state container so
+    #: checkpoints survive power cuts; ``False`` (default) — atomic
+    #: rename only, which survives any *process* crash (the tested
+    #: threat model) but may lose the newest checkpoint to a power cut.
+    #: On edge flash storage an fsync costs milliseconds of wall time
+    #: and real kernel CPU, so durability is opt-in.
+    checkpoint_durable: bool = False
+
+    #: append accumulated clean (state-unchanged) records to the record
+    #: log and push them to the OS after this many clean checkpoint
+    #: intervals (fsync'd too under :attr:`checkpoint_durable`). A plain
+    #: crash loses nothing regardless — the unwind path persists the
+    #: clean tail — so this only bounds how much pure-predict progress a
+    #: SIGKILL or power cut can cost.
+    checkpoint_sync_blocks: int = 8
+
     def __init__(self, model: MultiInstanceModel) -> None:
         if not isinstance(model, MultiInstanceModel):
             raise ConfigurationError("model must be a MultiInstanceModel.")
@@ -81,13 +108,20 @@ class StreamPipeline(abc.ABC):
         #: telemetry hub (the process default; reassign for private capture)
         self.telemetry: Telemetry = get_telemetry()
         self._in_recon = False
+        #: position of the checkpoint the last :meth:`resume` continued from
+        self.last_resumed_at: Optional[int] = None
 
     @abc.abstractmethod
     def process_one(self, x: np.ndarray, y_true: Optional[int] = None) -> StepRecord:
         """Consume one sample; returns the per-sample record."""
 
     def run(
-        self, stream: DataStream, *, chunk_size: Optional[int] = None
+        self,
+        stream: DataStream,
+        *,
+        chunk_size: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
     ) -> List[StepRecord]:
         """Replay ``stream``; returns one :class:`StepRecord` per sample.
 
@@ -100,10 +134,40 @@ class StreamPipeline(abc.ABC):
         (the golden-equivalence tests assert this), so the default is
         chunked; pass ``chunk_size=1`` to force the reference per-sample
         loop.
+
+        With ``checkpoint_every=N`` and ``checkpoint_path`` given (both
+        or neither), the run is checkpointed every ``N`` processed
+        samples as two files: ``checkpoint_path`` — an atomic state
+        container, rewritten only when the interval may have changed
+        adaptive state (see :attr:`checkpoint_volatility`) — and a
+        ``checkpoint_path.log`` sidecar to which each interval's records
+        are appended incrementally (:mod:`repro.resilience.reclog`). A
+        later :meth:`resume` on a freshly built pipeline continues from
+        the last checkpoint with byte-identical records. Because chunked
+        and per-sample scoring agree bit-for-bit, a checkpoint taken at
+        any whole number of samples resumes exactly, wherever chunk
+        boundaries fell.
         """
+        if (checkpoint_every is None) != (checkpoint_path is None):
+            raise ConfigurationError(
+                "checkpoint_every and checkpoint_path must be given together."
+            )
         chunk = self.default_chunk_size if chunk_size is None else int(chunk_size)
         tel = self.telemetry
         with tel.span("pipeline.run", pipeline=self.name, samples=len(stream)):
+            if checkpoint_path is not None:
+                if int(checkpoint_every) < 1:
+                    raise ConfigurationError(
+                        f"checkpoint_every must be >= 1, got {checkpoint_every}."
+                    )
+                return self._run_checkpointed(
+                    stream,
+                    chunk,
+                    int(checkpoint_every),
+                    Path(checkpoint_path),
+                    records=[],
+                    start=0,
+                )
             if chunk <= 1:
                 return [self.process_one(x, y) for x, y in stream]
             records: List[StepRecord] = []
@@ -116,6 +180,278 @@ class StreamPipeline(abc.ABC):
                 records.extend(recs)
                 i += len(recs)
             return records
+
+    def _run_checkpointed(
+        self,
+        stream: DataStream,
+        chunk: int,
+        every: int,
+        path: Path,
+        *,
+        records: List[StepRecord],
+        start: int,
+        start_epoch: int = 0,
+        state_written: bool = False,
+        log_trusted_bytes: Optional[int] = None,
+    ) -> List[StepRecord]:
+        """Shared engine of checkpointed :meth:`run` and :meth:`resume`.
+
+        Sub-chunks are capped at the next checkpoint boundary so saves
+        land at exact multiples of ``every`` samples (unless a pipeline
+        state change ends a chunk early, in which case the save happens
+        as soon as the boundary is crossed).
+
+        Record persistence is *deferred*: a boundary whose span may have
+        mutated adaptive state (per :attr:`checkpoint_volatility`)
+        appends everything accumulated since the last append as one
+        block (with a bumped epoch — see :mod:`repro.resilience.reclog`
+        for the trust rule) and rewrites the state container; a clean
+        boundary writes nothing at all, so the pure-predict hot path —
+        the paper's common case — costs only the boundary arithmetic.
+        Accumulated clean records reach the log at the next dirty
+        boundary, every :attr:`checkpoint_sync_blocks` clean intervals,
+        or on the crash-unwind path below, whichever comes first. For
+        ``"quiet"`` pipelines an interval is clean iff its last record
+        is a pure prediction: every fast path returns the state-mutating
+        sample *last* in its sub-chunk, so the check is O(1) per
+        sub-chunk.
+
+        The slow work — state-container writes and (with
+        :attr:`checkpoint_durable`) fsyncs — runs on the shared
+        strict-FIFO writer thread. FIFO plus program order preserves the
+        trust-rule ordering (the boundary's block reaches the OS before
+        its container lands), and the writer is drained before this
+        method returns *or* raises, so everything submitted is on disk
+        by the time the caller observes the outcome — a killed run can
+        be resumed immediately, and a finished one can unlink its
+        checkpoint without racing the worker.
+        """
+        from ..resilience.checkpoint import save_checkpoint
+        from ..resilience.reclog import RecordLogWriter, record_log_path
+        from ..resilience.writer import shared_writer
+
+        tel = self.telemetry
+        X, y = stream.X, stream.y
+        n = len(stream)
+        i = start
+        last_saved = start
+        last_appended = start
+        step = max(1, chunk)
+        volatility = self.checkpoint_volatility
+        durable = self.checkpoint_durable
+        dirty = volatility == "always"
+        epoch = int(start_epoch)
+        unsynced = 0
+        stream_id = self._stream_id(stream)
+        log = RecordLogWriter(record_log_path(path), trusted_bytes=log_trusted_bytes)
+        writer = shared_writer()
+
+        def _submit_state(boundary: int, snap_epoch: int) -> None:
+            # get_state() is an isolated snapshot (the resilience state
+            # tests assert this), so the worker thread can serialise it
+            # while the loop keeps mutating the live pipeline.
+            snapshot = self.get_state()
+            state = {
+                "pipeline_class": type(self).__name__,
+                "pipeline": snapshot,
+                "position": boundary,
+                "checkpoint_every": int(every),
+                "epoch": snap_epoch,
+                "stream": stream_id,
+            }
+            meta = {"pipeline": self.name, "position": boundary}
+
+            def task() -> None:
+                if durable:
+                    # The boundary's log block must be durable before
+                    # the container that references it (trust rule).
+                    log.sync()
+                save_checkpoint(path, state, kind="pipeline-run", meta=meta, durable=durable)
+
+            writer.submit(task)
+
+        try:
+            while i < n:
+                take = min(step, n - i, max(1, last_saved + every - i))
+                with tel.span("pipeline.chunk", pipeline=self.name, start=i):
+                    recs = self._process_chunk(X[i : i + take], y[i : i + take])
+                records.extend(recs)
+                i += len(recs)
+                if volatility == "quiet" and not dirty:
+                    last = recs[-1]
+                    if last.phase != "predict" or last.drift_detected or last.reconstructing:
+                        dirty = True
+                if i - last_saved >= every and i < n:
+                    if dirty or not state_written:
+                        # A dirty span's block carries the *new* epoch
+                        # and lands before its container: a crash in
+                        # between leaves a higher-epoch tail that resume
+                        # correctly distrusts.
+                        epoch += 1
+                        log.append(
+                            records[last_appended:i], start_index=last_appended, epoch=epoch
+                        )
+                        last_appended = i
+                        # The block must reach the OS before the sync +
+                        # container task can run (sync only fsyncs the fd).
+                        log.flush()
+                        _submit_state(i, epoch)
+                        state_written = True
+                        dirty = volatility == "always"
+                        unsynced = 0
+                    else:
+                        # Clean interval: nothing to persist — the log
+                        # stays deferred so the pure-predict hot path
+                        # writes nothing. Every ``checkpoint_sync_blocks``
+                        # intervals the accumulated span is appended and
+                        # pushed to the OS, bounding how much progress a
+                        # SIGKILL (which skips the unwind hook below) can
+                        # cost; a plain exception loses nothing either way.
+                        unsynced += 1
+                        if unsynced >= self.checkpoint_sync_blocks:
+                            log.append(
+                                records[last_appended:i], start_index=last_appended, epoch=epoch
+                            )
+                            last_appended = i
+                            log.flush()
+                            if durable:
+                                writer.submit(log.sync)
+                            unsynced = 0
+                    last_saved = i
+        except BaseException:
+            # Crash unwind: if state has not changed since the last
+            # container write, the accumulated clean records are still
+            # resumable — append them so resume continues from the exact
+            # crash point rather than the last boundary. (A dirty tail
+            # is useless to resume — the on-disk state predates it — so
+            # it is dropped.) Never let persistence errors mask the
+            # original exception.
+            if not dirty and i > last_appended:
+                try:
+                    log.append(records[last_appended:i], start_index=last_appended, epoch=epoch)
+                    log.flush()
+                except Exception:
+                    pass
+            try:
+                writer.flush()
+            except Exception:
+                pass
+            log.close()
+            raise
+        try:
+            writer.flush()
+        finally:
+            log.close()
+        return records
+
+    @staticmethod
+    def _stream_id(stream: DataStream) -> dict:
+        return {
+            "fingerprint": stream.fingerprint(),
+            "length": int(len(stream)),
+            "name": stream.name,
+            "n_features": int(stream.X.shape[1]),
+        }
+
+    def resume(
+        self,
+        stream: DataStream,
+        checkpoint_path: Union[str, Path],
+        *,
+        chunk_size: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+    ) -> List[StepRecord]:
+        """Continue an interrupted checkpointed :meth:`run`.
+
+        Call on a *freshly constructed* pipeline (same configuration as
+        the interrupted one); the checkpoint restores every mutable
+        field. Returns the **full** record list — the records produced
+        before the checkpoint plus the remainder of the stream — and the
+        result is byte-identical to an uninterrupted run. Checkpointing
+        continues to the same files (cadence from the checkpoint unless
+        ``checkpoint_every`` overrides it).
+
+        The resume position is the end of the record log's trusted
+        prefix (see :mod:`repro.resilience.reclog`): at least the state
+        container's position, and further when clean intervals were
+        logged after the last state rewrite.
+
+        Raises :class:`~repro.utils.exceptions.CheckpointCorruptError`
+        for damaged files — including a record log that cannot cover the
+        state container's position — with in-memory state left untouched,
+        and :class:`~repro.utils.exceptions.ConfigurationError` when the
+        checkpoint belongs to a different pipeline class or stream.
+        """
+        from ..resilience.checkpoint import load_checkpoint
+        from ..resilience.reclog import read_record_log, record_log_path
+
+        path = Path(checkpoint_path)
+        ckpt = load_checkpoint(path, expected_kind="pipeline-run")
+        state = ckpt.state
+        if state["pipeline_class"] != type(self).__name__:
+            raise ConfigurationError(
+                f"checkpoint is for pipeline {state['pipeline_class']!r}, "
+                f"not {type(self).__name__!r}."
+            )
+        expected = self._stream_id(stream)
+        if state["stream"] != expected:
+            raise ConfigurationError(
+                f"checkpoint stream {state['stream']!r} does not match the "
+                f"given stream {expected!r}."
+            )
+        epoch = int(state["epoch"])
+        base_position = int(state["position"])
+        records, trusted_bytes = read_record_log(
+            record_log_path(path), max_epoch=epoch
+        )
+        if len(records) < base_position:
+            tel = self.telemetry
+            if tel.enabled:
+                tel.registry.counter(
+                    "checkpoint.corrupt", "corrupt checkpoints rejected"
+                ).inc()
+            raise CheckpointCorruptError(
+                f"record log for {path} is missing or damaged before the "
+                f"checkpoint position ({len(records)} of {base_position} "
+                "records recovered)."
+            )
+        position = len(records)
+        self.set_state(state["pipeline"])
+        # The trusted log may extend past the container's position by
+        # clean intervals (only the sample counter advanced); fast-forward
+        # the counter to match.
+        self._index = position
+        #: stream position this run continued from
+        self.last_resumed_at = position
+        every = (
+            int(state["checkpoint_every"])
+            if checkpoint_every is None
+            else int(checkpoint_every)
+        )
+        chunk = self.default_chunk_size if chunk_size is None else int(chunk_size)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "pipeline.resumes", "checkpointed runs resumed"
+            ).inc()
+            tel.emit(
+                "run_resumed",
+                pipeline=self.name,
+                position=position,
+                path=str(path),
+            )
+        with tel.span("pipeline.run", pipeline=self.name, samples=len(stream)):
+            return self._run_checkpointed(
+                stream,
+                chunk,
+                every,
+                path,
+                records=records,
+                start=position,
+                start_epoch=epoch,
+                state_written=True,
+                log_trusted_bytes=trusted_bytes,
+            )
 
     def _process_chunk(self, Xc: np.ndarray, yc: np.ndarray) -> List[StepRecord]:
         """Consume a non-empty prefix of the chunk; returns its records.
@@ -192,11 +528,41 @@ class StreamPipeline(abc.ABC):
         """Resident bytes of everything beyond the discriminative model."""
         return 0
 
+    # -- checkpoint protocol -----------------------------------------------------------
+
+    def _extra_state(self) -> dict:
+        """Subclass hook: additional mutable fields to checkpoint."""
+        return {}
+
+    def _set_extra_state(self, state: dict) -> None:
+        """Subclass hook: restore the fields from :meth:`_extra_state`."""
+
+    def get_state(self) -> dict:
+        """Snapshot every mutable field of the pipeline and its model."""
+        return {
+            "index": int(self._index),
+            "detections": [int(d) for d in self.detections],
+            "in_recon": bool(self._in_recon),
+            "model": self.model.get_state(),
+            "extra": self._extra_state(),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` snapshot."""
+        self._index = int(state["index"])
+        self.detections = [int(d) for d in state["detections"]]
+        self._in_recon = bool(state["in_recon"])
+        self.model.set_state(state["model"])
+        self._set_extra_state(state["extra"])
+
 
 class NoDetectionPipeline(StreamPipeline):
     """Frozen OS-ELM ensemble — predicts, never adapts (Table 2 'Baseline')."""
 
     name = "baseline"
+    #: frozen model: the state container is written once, then only the
+    #: record log grows — checkpointing costs O(interval) per interval.
+    checkpoint_volatility = "static"
 
     def process_one(self, x: np.ndarray, y_true: Optional[int] = None) -> StepRecord:
         c, err = self.model.predict_with_score(x)
@@ -237,6 +603,11 @@ class ProposedPipeline(StreamPipeline):
     """
 
     name = "proposed"
+    #: Algorithm 1 mutates nothing for idle sub-threshold predictions,
+    #: and every state-mutating sample (trigger, check, reconstruction)
+    #: ends its sub-chunk and is flagged by phase/drift/recon — so clean
+    #: intervals skip the state-container rewrite.
+    checkpoint_volatility = "quiet"
 
     def __init__(
         self,
@@ -297,6 +668,17 @@ class ProposedPipeline(StreamPipeline):
     def state_nbytes(self) -> int:
         """Detector centroid state (the method's whole extra footprint)."""
         return self.detector.state_nbytes()
+
+    def _extra_state(self) -> dict:
+        # The detector snapshot covers the shared CentroidSet.
+        return {
+            "detector": self.detector.get_state(),
+            "reconstructor": self.reconstructor.get_state(),
+        }
+
+    def _set_extra_state(self, state: dict) -> None:
+        self.detector.set_state(state["detector"])
+        self.reconstructor.set_state(state["reconstructor"])
 
 
 class BatchDetectorPipeline(StreamPipeline):
@@ -399,6 +781,29 @@ class BatchDetectorPipeline(StreamPipeline):
         total = int(nbytes()) if callable(nbytes) else 0
         return total + sum(int(s.nbytes) for s in self._refit_buffer)
 
+    def _extra_state(self) -> dict:
+        return {
+            "detector": self.detector.get_state(),
+            "reconstructor": self.reconstructor.get_state(),
+            "centroids": self.reconstructor.centroids.get_state(),
+            "reconstructing": bool(self._reconstructing),
+            "refitting": bool(self._refitting),
+            "refit_buffer": (
+                np.asarray(self._refit_buffer) if self._refit_buffer else None
+            ),
+        }
+
+    def _set_extra_state(self, state: dict) -> None:
+        self.detector.set_state(state["detector"])
+        self.reconstructor.set_state(state["reconstructor"])
+        self.reconstructor.centroids.set_state(state["centroids"])
+        self._reconstructing = bool(state["reconstructing"])
+        self._refitting = bool(state["refitting"])
+        buf = state["refit_buffer"]
+        self._refit_buffer = (
+            [] if buf is None else [row.copy() for row in np.asarray(buf)]
+        )
+
 
 class ErrorRatePipeline(StreamPipeline):
     """Supervised error-rate detection (DDM / ADWIN) + reconstruction.
@@ -481,3 +886,17 @@ class ErrorRatePipeline(StreamPipeline):
     def state_nbytes(self) -> int:
         nbytes = getattr(self.detector, "state_nbytes", None)
         return int(nbytes()) if callable(nbytes) else 0
+
+    def _extra_state(self) -> dict:
+        return {
+            "detector": self.detector.get_state(),
+            "reconstructor": self.reconstructor.get_state(),
+            "centroids": self.reconstructor.centroids.get_state(),
+            "reconstructing": bool(self._reconstructing),
+        }
+
+    def _set_extra_state(self, state: dict) -> None:
+        self.detector.set_state(state["detector"])
+        self.reconstructor.set_state(state["reconstructor"])
+        self.reconstructor.centroids.set_state(state["centroids"])
+        self._reconstructing = bool(state["reconstructing"])

@@ -153,6 +153,30 @@ class ModelReconstructor:
         self.n_reconstructions += 1
         self.centroids.promote_recent_to_trained()
 
+    # -- checkpoint protocol -----------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Snapshot the reconstruction progress counters.
+
+        The shared model/centroids are snapshotted by their owners; this
+        covers only what the reconstructor itself mutates.
+        """
+        return {
+            "count": int(self.count),
+            "n_reconstructions": int(self.n_reconstructions),
+            "active": bool(self._active),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` snapshot."""
+        self.count = int(state["count"])
+        self.n_reconstructions = int(state["n_reconstructions"])
+        self._active = bool(state["active"])
+
+    def state_nbytes(self) -> int:
+        """Three scalar counters — the reconstructor stores no samples."""
+        return 3 * 8
+
     # -- Algorithm 2 -------------------------------------------------------------------
 
     def process(self, x: np.ndarray) -> ReconstructionStep:

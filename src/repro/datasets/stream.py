@@ -100,6 +100,26 @@ class DataStream:
         """Number of distinct class indices (max label + 1; 0 if empty)."""
         return int(self.y.max()) + 1 if len(self.y) else 0
 
+    def fingerprint(self) -> str:
+        """Content hash of the stream (data + labels + drift points).
+
+        Used by the checkpoint layer to refuse resuming a run against a
+        different stream than the one it was interrupted on. Cached — the
+        arrays are frozen, so the hash cannot go stale.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(str(self.X.shape).encode())
+            h.update(np.ascontiguousarray(self.X).tobytes())
+            h.update(np.ascontiguousarray(self.y).tobytes())
+            h.update(repr(self.drift_points).encode())
+            cached = h.hexdigest()[:32]
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
     # -- transformations -----------------------------------------------------
 
     def slice(self, start: int, stop: Optional[int] = None) -> "DataStream":

@@ -206,3 +206,32 @@ class ADWIN(ErrorRateDriftDetector):
     def state_nbytes(self) -> int:
         """Exponential-histogram memory: 3 floats per live bucket."""
         return len(self._buckets) * 3 * 8 + 5 * 8
+
+    def _extra_state(self) -> dict:
+        import numpy as np
+
+        buckets = np.array(
+            [[b.total, b.variance, float(b.count)] for b in self._buckets],
+            dtype=np.float64,
+        ).reshape(len(self._buckets), 3)
+        return {
+            "buckets": buckets,
+            "total": float(self._total),
+            "variance": float(self._variance),
+            "width": int(self._width),
+            "ticks": int(self._ticks),
+            "n_detections": int(self.n_detections),
+        }
+
+    def _set_extra_state(self, state: dict) -> None:
+        import numpy as np
+
+        buckets = np.asarray(state["buckets"], dtype=np.float64).reshape(-1, 3)
+        self._buckets = [
+            _Bucket(float(t), float(v), int(c)) for t, v, c in buckets
+        ]
+        self._total = float(state["total"])
+        self._variance = float(state["variance"])
+        self._width = int(state["width"])
+        self._ticks = int(state["ticks"])
+        self.n_detections = int(state["n_detections"])

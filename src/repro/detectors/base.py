@@ -118,6 +118,38 @@ class BatchDriftDetector(abc.ABC):
         """Drop buffered samples (e.g. after an adaptation phase)."""
         self._buffer.clear()
 
+    # -- checkpoint protocol ------------------------------------------------------
+
+    def _extra_state(self) -> dict:
+        """Subclass hook: additional mutable fields to checkpoint."""
+        return {}
+
+    def _set_extra_state(self, state: dict) -> None:
+        """Subclass hook: restore the fields from :meth:`_extra_state`."""
+
+    def get_state(self) -> dict:
+        """Snapshot the streaming buffer, counters, and subclass state."""
+        return {
+            "n_features": None if self.n_features is None else int(self.n_features),
+            "buffer": np.asarray(self._buffer) if self._buffer else None,
+            "n_tests": int(self.n_tests),
+            "last_statistic": (
+                None if self.last_statistic is None else float(self.last_statistic)
+            ),
+            "extra": self._extra_state(),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` snapshot."""
+        nf = state["n_features"]
+        self.n_features = None if nf is None else int(nf)
+        buffer = state["buffer"]
+        self._buffer = [] if buffer is None else [row.copy() for row in np.asarray(buffer)]
+        self.n_tests = int(state["n_tests"])
+        ls = state["last_statistic"]
+        self.last_statistic = None if ls is None else float(ls)
+        self._set_extra_state(state["extra"])
+
 
 class ErrorRateDriftDetector(abc.ABC):
     """Detector fed with per-sample prediction correctness.
@@ -140,3 +172,26 @@ class ErrorRateDriftDetector(abc.ABC):
         """Restart monitoring (after the model has been retrained)."""
         self.n_samples_seen = 0
         self.state = DriftState.NORMAL
+
+    # -- checkpoint protocol ------------------------------------------------------
+
+    def _extra_state(self) -> dict:
+        """Subclass hook: additional mutable fields to checkpoint."""
+        return {}
+
+    def _set_extra_state(self, state: dict) -> None:
+        """Subclass hook: restore the fields from :meth:`_extra_state`."""
+
+    def get_state(self) -> dict:
+        """Snapshot the sample counter, drift state, and subclass state."""
+        return {
+            "n_samples_seen": int(self.n_samples_seen),
+            "state": self.state.value,
+            "extra": self._extra_state(),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` snapshot."""
+        self.n_samples_seen = int(state["n_samples_seen"])
+        self.state = DriftState(state["state"])
+        self._set_extra_state(state["extra"])

@@ -106,3 +106,20 @@ class CUSUM(ErrorRateDriftDetector):
     def state_nbytes(self) -> int:
         """A handful of scalars."""
         return 6 * 8
+
+    def _extra_state(self) -> dict:
+        return {
+            "mu0": None if self._mu0 is None else float(self._mu0),
+            "warm": self._warm.get_state(),
+            "g_pos": float(self._g_pos),
+            "g_neg": float(self._g_neg),
+            "last_direction": self.last_direction,
+        }
+
+    def _set_extra_state(self, state: dict) -> None:
+        mu0 = state["mu0"]
+        self._mu0 = None if mu0 is None else float(mu0)
+        self._warm.set_state(state["warm"])
+        self._g_pos = float(state["g_pos"])
+        self._g_neg = float(state["g_neg"])
+        self.last_direction = state["last_direction"]

@@ -105,3 +105,15 @@ class DDM(ErrorRateDriftDetector):
     def state_nbytes(self) -> int:
         """A handful of scalars — DDM's memory footprint is trivial."""
         return 6 * 8
+
+    def _extra_state(self) -> dict:
+        return {
+            "n_errors": int(self._n_errors),
+            "p_min": float(self._p_min),
+            "s_min": float(self._s_min),
+        }
+
+    def _set_extra_state(self, state: dict) -> None:
+        self._n_errors = int(state["n_errors"])
+        self._p_min = float(state["p_min"])
+        self._s_min = float(state["s_min"])

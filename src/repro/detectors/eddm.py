@@ -122,3 +122,20 @@ class EDDM(ErrorRateDriftDetector):
     def state_nbytes(self) -> int:
         """A handful of scalars."""
         return 6 * 8
+
+    def _extra_state(self) -> dict:
+        return {
+            "gaps": self._gaps.get_state(),
+            "last_error_at": (
+                None if self._last_error_at is None else int(self._last_error_at)
+            ),
+            "best_level": float(self._best_level),
+            "below_drift": int(self._below_drift),
+        }
+
+    def _set_extra_state(self, state: dict) -> None:
+        self._gaps.set_state(state["gaps"])
+        lea = state["last_error_at"]
+        self._last_error_at = None if lea is None else int(lea)
+        self._best_level = float(state["best_level"])
+        self._below_drift = int(state["below_drift"])

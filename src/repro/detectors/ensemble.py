@@ -108,3 +108,22 @@ class VotingDetectorEnsemble(ErrorRateDriftDetector):
             nbytes = getattr(m, "state_nbytes", None)
             total += int(nbytes()) if callable(nbytes) else 0
         return total
+
+    def _extra_state(self) -> dict:
+        return {
+            "members": [m.get_state() for m in self.members],
+            "votes": [bool(v) for v in self._votes],
+            "n_detections": int(self.n_detections),
+        }
+
+    def _set_extra_state(self, state: dict) -> None:
+        members_state = state["members"]
+        if len(members_state) != len(self.members):
+            raise ConfigurationError(
+                f"state has {len(members_state)} members, ensemble has "
+                f"{len(self.members)}."
+            )
+        for m, ms in zip(self.members, members_state):
+            m.set_state(ms)
+        self._votes = [bool(v) for v in state["votes"]]
+        self.n_detections = int(state["n_detections"])

@@ -131,3 +131,29 @@ class HDDDM(BatchDriftDetector):
             + self.batch_size * d * 8
             + 2 * self._bins * d * 8
         )
+
+    # -- checkpoint protocol -----------------------------------------------------------
+
+    def _extra_state(self) -> dict:
+        return {
+            "reference": None if self.reference_ is None else self.reference_.copy(),
+            "lo": None if self._lo is None else np.asarray(self._lo).copy(),
+            "hi": None if self._hi is None else np.asarray(self._hi).copy(),
+            "bins": int(self._bins),
+            "prev_distance": (
+                None if self._prev_distance is None else float(self._prev_distance)
+            ),
+            "eps": self._eps.get_state(),
+            "pending_threshold": float(self._pending_threshold),
+        }
+
+    def _set_extra_state(self, state: dict) -> None:
+        ref, lo, hi = state["reference"], state["lo"], state["hi"]
+        self.reference_ = None if ref is None else np.asarray(ref, dtype=np.float64).copy()
+        self._lo = None if lo is None else np.asarray(lo, dtype=np.float64).copy()
+        self._hi = None if hi is None else np.asarray(hi, dtype=np.float64).copy()
+        self._bins = int(state["bins"])
+        pd = state["prev_distance"]
+        self._prev_distance = None if pd is None else float(pd)
+        self._eps.set_state(state["eps"])
+        self._pending_threshold = float(state["pending_threshold"])

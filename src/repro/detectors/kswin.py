@@ -136,3 +136,27 @@ class KSWIN(ErrorRateDriftDetector):
     def state_nbytes(self) -> int:
         """One float window of ``window_size`` values."""
         return self.window_size * 8 + 4 * 8
+
+    def _extra_state(self) -> dict:
+        from ..utils.rng import get_generator_state
+
+        return {
+            "window": np.asarray(self._window, dtype=np.float64),
+            "last_p_value": (
+                None if self.last_p_value is None else float(self.last_p_value)
+            ),
+            "n_detections": int(self.n_detections),
+            "rng": get_generator_state(self._rng),
+        }
+
+    def _set_extra_state(self, state: dict) -> None:
+        from ..utils.rng import set_generator_state
+
+        self._window = deque(
+            (float(v) for v in np.asarray(state["window"], dtype=np.float64)),
+            maxlen=self.window_size,
+        )
+        lpv = state["last_p_value"]
+        self.last_p_value = None if lpv is None else float(lpv)
+        self.n_detections = int(state["n_detections"])
+        set_generator_state(self._rng, state["rng"])

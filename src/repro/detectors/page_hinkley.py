@@ -78,3 +78,15 @@ class PageHinkley(ErrorRateDriftDetector):
     def state_nbytes(self) -> int:
         """A handful of scalars."""
         return 4 * 8
+
+    def _extra_state(self) -> dict:
+        return {
+            "mean": float(self._mean),
+            "cumulative": float(self._cumulative),
+            "min_cumulative": float(self._min_cumulative),
+        }
+
+    def _set_extra_state(self, state: dict) -> None:
+        self._mean = float(state["mean"])
+        self._cumulative = float(state["cumulative"])
+        self._min_cumulative = float(state["min_cumulative"])

@@ -230,3 +230,50 @@ class QuantTree(BatchDriftDetector):
         prob_bytes = self.n_bins * 8
         buffer_bytes = self.batch_size * (self.n_features or 0) * 8
         return split_bytes + prob_bytes + buffer_bytes
+
+    # -- checkpoint protocol -----------------------------------------------------
+
+    def _extra_state(self) -> dict:
+        from ..utils.rng import get_generator_state
+
+        splits = self.partition.splits
+        return {
+            "split_dims": np.array([s.dim for s in splits], dtype=np.int64),
+            "split_thresholds": np.array(
+                [s.threshold for s in splits], dtype=np.float64
+            ),
+            "split_take_left": np.array([s.take_left for s in splits], dtype=np.bool_),
+            "probabilities": (
+                None
+                if self.partition.probabilities is None
+                else self.partition.probabilities.copy()
+            ),
+            "n_reference": int(self.partition.n_reference),
+            "cached_threshold": (
+                None if self._cached_threshold is None else float(self._cached_threshold)
+            ),
+            "rng": get_generator_state(self._rng),
+        }
+
+    def _set_extra_state(self, state: dict) -> None:
+        from ..utils.rng import set_generator_state
+
+        set_generator_state(self._rng, state["rng"])
+        # Rebuild the partition sharing self._rng, exactly as _fit does.
+        partition = QuantTreePartition(self.n_bins, seed=self._rng)
+        partition.splits = [
+            _Split(int(d), float(t), bool(tl))
+            for d, t, tl in zip(
+                np.asarray(state["split_dims"], dtype=np.int64),
+                np.asarray(state["split_thresholds"], dtype=np.float64),
+                np.asarray(state["split_take_left"], dtype=np.bool_),
+            )
+        ]
+        probs = state["probabilities"]
+        partition.probabilities = (
+            None if probs is None else np.asarray(probs, dtype=np.float64).copy()
+        )
+        partition.n_reference = int(state["n_reference"])
+        self.partition = partition
+        ct = state["cached_threshold"]
+        self._cached_threshold = None if ct is None else float(ct)

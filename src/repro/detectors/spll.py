@@ -210,3 +210,27 @@ class SPLL(BatchDriftDetector):
         cov = d * 8 if self.covariance_mode == "diag" else d * d * 8
         buffer = self.batch_size * d * 8
         return int(ref + means + cov + buffer)
+
+    # -- checkpoint protocol ----------------------------------------------------------------
+
+    def _extra_state(self) -> dict:
+        from ..utils.rng import get_generator_state
+
+        return {
+            "reference": None if self.reference_ is None else self.reference_.copy(),
+            "means": None if self.means_ is None else self.means_.copy(),
+            "cov": None if self.cov_ is None else self.cov_.copy(),
+            "threshold": None if self.threshold_ is None else float(self.threshold_),
+            "rng": get_generator_state(self._rng),
+        }
+
+    def _set_extra_state(self, state: dict) -> None:
+        from ..utils.rng import set_generator_state
+
+        ref, means, cov = state["reference"], state["means"], state["cov"]
+        self.reference_ = None if ref is None else np.asarray(ref, dtype=np.float64).copy()
+        self.means_ = None if means is None else np.asarray(means, dtype=np.float64).copy()
+        self.cov_ = None if cov is None else np.asarray(cov, dtype=np.float64).copy()
+        thr = state["threshold"]
+        self.threshold_ = None if thr is None else float(thr)
+        set_generator_state(self._rng, state["rng"])

@@ -4,52 +4,52 @@ An on-device workflow trains the discriminative model and calibrates the
 detector on a gateway, then ships the state to the edge device. This
 module serialises the proposed pipeline's full state — OS-ELM instances
 (random layers, β, P), centroid matrices, thresholds, window/counter
-state, reconstruction budgets — to a single compressed ``.npz`` archive
-and restores a behaviourally identical pipeline from it.
+state, reconstruction budgets — and restores a behaviourally identical
+pipeline from it.
 
-Only documented public state is stored (no pickling of code objects), so
-archives are portable across library versions that keep the same fields.
+Archives use the :mod:`repro.resilience` checkpoint container: writes are
+atomic (temp file + fsync + rename — a crash mid-save can no longer leave
+a torn archive at the target path), the payload is checksummed (a
+truncated or bit-flipped file raises
+:class:`~repro.utils.exceptions.CheckpointCorruptError` instead of
+loading half-initialized state), and the format is versioned. Only
+documented public state is stored (no pickling of code objects).
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import Union
-
-import numpy as np
 
 from .core.coords import CentroidSet
 from .core.detector import SequentialDriftDetector
 from .core.pipeline import ProposedPipeline
 from .core.reconstruction import ModelReconstructor
 from .oselm.ensemble import MultiInstanceModel
-from .utils.exceptions import ConfigurationError, DataValidationError
+from .resilience.checkpoint import load_checkpoint, save_checkpoint
+from .utils.exceptions import ConfigurationError
 
 __all__ = ["save_pipeline", "load_pipeline"]
 
-_FORMAT_VERSION = 1
+#: Checkpoint ``kind`` tag for deployable proposed-pipeline archives.
+PIPELINE_KIND = "proposed-pipeline"
 
 PathLike = Union[str, Path]
 
 
-def _model_arrays(model: MultiInstanceModel) -> dict[str, np.ndarray]:
-    arrays: dict[str, np.ndarray] = {}
-    for i, inst in enumerate(model.instances):
-        core = inst.core
-        arrays[f"inst{i}_alpha"] = np.asarray(core.layer.weights)
-        arrays[f"inst{i}_bias"] = np.asarray(core.layer.biases)
-        arrays[f"inst{i}_beta"] = core.beta
-        arrays[f"inst{i}_P"] = core.P
-        arrays[f"inst{i}_seen"] = np.array([core.n_samples_seen])
-    return arrays
+def _archive_path(path: PathLike) -> Path:
+    path = Path(path)
+    # Historical behaviour (inherited from np.savez): a path without the
+    # .npz suffix gets it appended, so callers can pass either form.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
 def save_pipeline(pipeline: ProposedPipeline, path: PathLike) -> Path:
     """Serialise a fitted :class:`ProposedPipeline` to ``path`` (.npz).
 
-    Returns the written path. Raises when the model is not fitted (there
-    would be nothing meaningful to deploy).
+    The write is atomic: the archive appears at ``path`` complete and
+    checksummed, or not at all. Returns the written path. Raises when the
+    model is not fitted (there would be nothing meaningful to deploy).
     """
     if not isinstance(pipeline, ProposedPipeline):
         raise ConfigurationError("save_pipeline expects a ProposedPipeline.")
@@ -60,8 +60,7 @@ def save_pipeline(pipeline: ProposedPipeline, path: PathLike) -> Path:
     rec = pipeline.reconstructor
     cents = det.centroids
 
-    meta = {
-        "format_version": _FORMAT_VERSION,
+    config = {
         "n_features": model.n_features,
         "n_hidden": model.n_hidden,
         "n_labels": model.n_labels,
@@ -80,77 +79,59 @@ def save_pipeline(pipeline: ProposedPipeline, path: PathLike) -> Path:
         "reset_covariance": rec.reset_covariance,
         "literal_overlap": rec.literal_overlap,
     }
-    arrays = {
-        "trained_centroids": cents.trained,
-        "recent_centroids": cents.recent,
-        "counts": cents.counts,
-        "trained_counts": cents._trained_counts,
-        "meta_json": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-        **_model_arrays(model),
-    }
-    path = Path(path)
-    np.savez_compressed(path, **arrays)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    path = _archive_path(path)
+    return save_checkpoint(
+        path,
+        {"config": config, "pipeline": pipeline.get_state()},
+        kind=PIPELINE_KIND,
+    )
 
 
 def load_pipeline(path: PathLike) -> ProposedPipeline:
     """Restore a :class:`ProposedPipeline` saved by :func:`save_pipeline`.
 
     The restored pipeline predicts and detects identically to the saved
-    one (same random layers, weights, thresholds, centroid state).
+    one (same random layers, weights, thresholds, centroid state). A
+    corrupted archive raises
+    :class:`~repro.utils.exceptions.CheckpointCorruptError` before any
+    object is built.
     """
-    with np.load(Path(path)) as data:
-        meta = json.loads(bytes(data["meta_json"]).decode())
-        if meta.get("format_version") != _FORMAT_VERSION:
-            raise DataValidationError(
-                f"unsupported archive format {meta.get('format_version')!r}."
-            )
-        C = int(meta["n_labels"])
-        model = MultiInstanceModel(
-            int(meta["n_features"]),
-            int(meta["n_hidden"]),
-            C,
-            forgetting_factor=meta["forgetting_factor"],
-            error_metric=meta["error_metric"],
-            activation=meta["activation"],
-            weight_scale=float(meta["weight_scale"]),
-            reg=float(meta["reg"]),
-            seed=0,
-        )
-        for i, inst in enumerate(model.instances):
-            core = inst.core
-            # Overwrite the fresh random layer with the stored one.
-            weights = data[f"inst{i}_alpha"]
-            biases = data[f"inst{i}_bias"]
-            core.layer.weights = weights.copy()
-            core.layer.biases = biases.copy()
-            core.layer.weights.setflags(write=False)
-            core.layer.biases.setflags(write=False)
-            core.beta = data[f"inst{i}_beta"].copy()
-            core.P = data[f"inst{i}_P"].copy()
-            core.n_samples_seen = int(data[f"inst{i}_seen"][0])
+    ckpt = load_checkpoint(Path(path), expected_kind=PIPELINE_KIND)
+    cfg = ckpt.state["config"]
+    pipe_state = ckpt.state["pipeline"]
 
-        cents = CentroidSet(
-            data["trained_centroids"],
-            data["trained_counts"],
-            max_count=meta["max_count"],
-        )
-        cents.recent = data["recent_centroids"].copy()
-        cents.counts = data["counts"].copy()
-
+    model = MultiInstanceModel(
+        int(cfg["n_features"]),
+        int(cfg["n_hidden"]),
+        int(cfg["n_labels"]),
+        forgetting_factor=cfg["forgetting_factor"],
+        error_metric=cfg["error_metric"],
+        activation=cfg["activation"],
+        weight_scale=float(cfg["weight_scale"]),
+        reg=float(cfg["reg"]),
+        seed=0,  # placeholder layers; set_state overwrites them below
+    )
+    cent_state = pipe_state["extra"]["detector"]["centroids"]
+    cents = CentroidSet(
+        cent_state["trained"],
+        cent_state["trained_counts"],
+        max_count=cfg["max_count"],
+    )
     detector = SequentialDriftDetector(
         cents,
-        window_size=int(meta["window_size"]),
-        theta_error=float(meta["theta_error"]),
-        theta_drift=float(meta["theta_drift"]),
+        window_size=int(cfg["window_size"]),
+        theta_error=float(cfg["theta_error"]),
+        theta_drift=float(cfg["theta_drift"]),
     )
     reconstructor = ModelReconstructor(
         model,
         cents,
-        n_total=int(meta["n_total"]),
-        n_search=int(meta["n_search"]),
-        n_update=int(meta["n_update"]),
-        reset_covariance=bool(meta["reset_covariance"]),
-        literal_overlap=bool(meta["literal_overlap"]),
+        n_total=int(cfg["n_total"]),
+        n_search=int(cfg["n_search"]),
+        n_update=int(cfg["n_update"]),
+        reset_covariance=bool(cfg["reset_covariance"]),
+        literal_overlap=bool(cfg["literal_overlap"]),
     )
-    return ProposedPipeline(model, detector, reconstructor)
+    pipe = ProposedPipeline(model, detector, reconstructor)
+    pipe.set_state(pipe_state)
+    return pipe

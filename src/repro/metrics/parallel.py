@@ -50,6 +50,7 @@ from ..core import factory
 from ..core.pipeline import StepRecord
 from ..datasets.stream import DataStream
 from ..device.timing import PhaseTally
+from ..resilience.reclog import remove_run_checkpoint
 from ..telemetry import Telemetry, get_telemetry
 from ..utils.exceptions import ConfigurationError
 from .delay import delay_report
@@ -266,6 +267,8 @@ class CellResult:
     records: Optional[Dict[str, list]] = None
     from_cache: bool = False
     attempts: int = 1
+    #: stream position this cell resumed from (None = ran start to finish)
+    resumed_at: Optional[int] = None
 
     @property
     def first_delay(self) -> Optional[int]:
@@ -303,12 +306,24 @@ class CellResult:
 # Worker entry point (module-level: must be picklable for the process pool)
 # --------------------------------------------------------------------------
 
-def run_cell(spec: CellSpec, *, keep_records: bool = False) -> CellResult:
+def run_cell(
+    spec: CellSpec,
+    *,
+    keep_records: bool = False,
+    checkpoint_path: Optional[str | os.PathLike] = None,
+    checkpoint_every: Optional[int] = None,
+) -> CellResult:
     """Execute one grid cell in the current process.
 
     Deterministic in the spec alone: streams and models derive every RNG
     from the spec's seeds, so this returns identical numbers whether it
     runs inline, in any worker process, or on another host.
+
+    With ``checkpoint_path`` the cell is crash-safe: the pipeline state is
+    checkpointed every ``checkpoint_every`` samples, a retry after a crash
+    resumes from the last checkpoint (numbers identical to an unbroken
+    run), and the file is removed once the cell completes. A corrupt
+    checkpoint is discarded and the cell restarts from sample 0.
     """
     stream_factory = _resolve(STREAM_FACTORIES, spec.stream, "stream factory")
     stream_kwargs = dict(spec.stream_kwargs)
@@ -320,7 +335,18 @@ def run_cell(spec: CellSpec, *, keep_records: bool = False) -> CellResult:
     builder = _resolve(METHOD_BUILDERS, spec.method, "method builder")
     pipeline = builder(train.X, train.y, seed=int(spec.seed), **dict(spec.method_kwargs))
 
-    result = evaluate_method(pipeline, test, name=spec.name, chunk_size=spec.chunk_size)
+    result = evaluate_method(
+        pipeline,
+        test,
+        name=spec.name,
+        chunk_size=spec.chunk_size,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+    )
+    if checkpoint_path is not None:
+        # The cell finished: its checkpoint is spent (a later re-run must
+        # not "resume" past the end of a completed stream).
+        remove_run_checkpoint(checkpoint_path)
     return CellResult(
         name=spec.name,
         spec=spec.canonical(),
@@ -334,12 +360,18 @@ def run_cell(spec: CellSpec, *, keep_records: bool = False) -> CellResult:
         detector_nbytes=int(result.detector_nbytes),
         n_records=len(result.records),
         records=_records_to_columns(result.records) if keep_records else None,
+        resumed_at=result.resumed_at,
     )
 
 
-def _run_cell_job(args: Tuple[CellSpec, bool]) -> CellResult:
-    spec, keep_records = args
-    return run_cell(spec, keep_records=keep_records)
+def _run_cell_job(args: Tuple[CellSpec, bool, Optional[str], Optional[int]]) -> CellResult:
+    spec, keep_records, checkpoint_path, checkpoint_every = args
+    return run_cell(
+        spec,
+        keep_records=keep_records,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+    )
 
 
 # --------------------------------------------------------------------------
@@ -367,6 +399,15 @@ class ParallelRunner:
     keep_records:
         Store per-sample records in results (and in the cache) so
         :meth:`CellResult.to_method_result` can rebuild full results.
+    checkpoint_dir:
+        Directory for per-cell crash-recovery checkpoints (created on
+        demand; keyed by the spec hash like the cache). When set, a cell
+        that dies mid-stream resumes from its last checkpoint on retry
+        instead of starting over, with identical final numbers; the
+        checkpoint is deleted once the cell completes. ``None`` disables
+        crash recovery.
+    checkpoint_every:
+        Checkpoint cadence in samples (used only with ``checkpoint_dir``).
     """
 
     def __init__(
@@ -377,12 +418,16 @@ class ParallelRunner:
         timeout: Optional[float] = None,
         retries: int = 1,
         keep_records: bool = False,
+        checkpoint_dir: Optional[str | os.PathLike] = None,
+        checkpoint_every: int = 256,
     ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.max_workers = max_workers
         self.timeout = timeout
         self.retries = int(retries)
         self.keep_records = bool(keep_records)
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        self.checkpoint_every = int(checkpoint_every)
         #: telemetry hub (the process default; reassign for private capture).
         #: Counters/events are recorded in the *parent* process only —
         #: worker processes have their own (disabled) default hubs.
@@ -394,6 +439,11 @@ class ParallelRunner:
         if self.cache_dir is None:
             return None
         return self.cache_dir / f"{spec.config_hash()}.json"
+
+    def _checkpoint_path(self, spec: CellSpec) -> Optional[Path]:
+        if self.checkpoint_dir is None:
+            return None
+        return self.checkpoint_dir / f"{spec.config_hash()}.ckpt"
 
     def _cache_load(self, spec: CellSpec) -> Optional[CellResult]:
         path = self._cache_path(spec)
@@ -435,6 +485,8 @@ class ParallelRunner:
     def run(self, cells: Sequence[CellSpec]) -> List[CellResult]:
         """Run every cell; returns results aligned with the input order."""
         tel = self.telemetry
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
         results: List[Optional[CellResult]] = [None] * len(cells)
         pending: List[int] = []
         for i, spec in enumerate(cells):
@@ -509,6 +561,13 @@ class ParallelRunner:
                 tel.registry.counter(
                     "parallel.cells_run", "grid cells computed (not cached)"
                 ).inc()
+                if result.resumed_at is not None:
+                    tel.registry.counter(
+                        "parallel.resumes", "cells resumed from a crash checkpoint"
+                    ).inc()
+                    tel.emit(
+                        "cell_resumed", name=result.name, position=result.resumed_at
+                    )
                 tel.emit(
                     "cell_finished",
                     name=result.name,
@@ -538,7 +597,18 @@ class ParallelRunner:
             for i in pending:
                 tel.emit("cell_started", name=cells[i].name, attempt=attempt)
                 try:
-                    record(i, run_cell(cells[i], keep_records=self.keep_records))
+                    ckpt = self._checkpoint_path(cells[i])
+                    record(
+                        i,
+                        run_cell(
+                            cells[i],
+                            keep_records=self.keep_records,
+                            checkpoint_path=ckpt,
+                            checkpoint_every=(
+                                self.checkpoint_every if ckpt is not None else None
+                            ),
+                        ),
+                    )
                 except Exception as exc:  # noqa: BLE001 — isolate per cell
                     failed(i, f"{type(exc).__name__}: {exc}")
             return failures, errors
@@ -546,7 +616,23 @@ class ParallelRunner:
         executor = ProcessPoolExecutor(max_workers=workers)
         try:
             futures = {
-                i: executor.submit(_run_cell_job, (cells[i], self.keep_records))
+                i: executor.submit(
+                    _run_cell_job,
+                    (
+                        cells[i],
+                        self.keep_records,
+                        (
+                            str(self._checkpoint_path(cells[i]))
+                            if self.checkpoint_dir is not None
+                            else None
+                        ),
+                        (
+                            self.checkpoint_every
+                            if self.checkpoint_dir is not None
+                            else None
+                        ),
+                    ),
+                )
                 for i in pending
             }
             for i in pending:

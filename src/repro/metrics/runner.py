@@ -11,14 +11,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
 from ..core.pipeline import StepRecord, StreamPipeline
 from ..datasets.stream import DataStream
 from ..device.timing import PhaseTally
-from ..utils.exceptions import DataValidationError
+from ..resilience.reclog import remove_run_checkpoint
+from ..utils.exceptions import CheckpointCorruptError, DataValidationError
 from .accuracy import overall_accuracy, windowed_accuracy
 from .delay import DelayReport, delay_report
 
@@ -36,6 +38,8 @@ class MethodResult:
     phase_tally: PhaseTally
     wall_seconds: float
     detector_nbytes: int
+    #: Stream position an interrupted run was resumed from (None = fresh run).
+    resumed_at: Optional[int] = None
 
     @property
     def first_delay(self) -> Optional[int]:
@@ -57,23 +61,76 @@ class MethodResult:
         }
 
 
+def _resume_with_position(
+    pipeline: StreamPipeline,
+    stream: DataStream,
+    ckpt: Path,
+    *,
+    chunk_size: Optional[int],
+    checkpoint_every: int,
+) -> tuple[List[StepRecord], int]:
+    records = pipeline.resume(
+        stream, ckpt, chunk_size=chunk_size, checkpoint_every=checkpoint_every
+    )
+    return records, int(pipeline.last_resumed_at)
+
+
 def evaluate_method(
     pipeline: StreamPipeline,
     stream: DataStream,
     *,
     name: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    resume: bool = True,
 ) -> MethodResult:
     """Run ``pipeline`` over ``stream`` and collect all metrics.
 
     ``chunk_size`` is forwarded to :meth:`StreamPipeline.run` (``None``
     keeps the pipeline's default vectorized chunking; ``1`` forces the
     per-sample reference path — records are identical either way).
+
+    When ``checkpoint_path`` is given the run is crash-safe: state is
+    saved every ``checkpoint_every`` samples (default 256), and if a
+    checkpoint already exists there (and ``resume`` is true) the run
+    continues from it instead of starting over — producing records
+    byte-identical to an uninterrupted run. A corrupt checkpoint is
+    discarded and the run restarts cleanly from sample 0.
     """
     if len(stream) == 0:
         raise DataValidationError("stream must be non-empty.")
+    resumed_at: Optional[int] = None
     t0 = time.perf_counter()
-    records = pipeline.run(stream, chunk_size=chunk_size)
+    if checkpoint_path is None:
+        if checkpoint_every is not None:
+            raise DataValidationError(
+                "checkpoint_every requires checkpoint_path."
+            )
+        records = pipeline.run(stream, chunk_size=chunk_size)
+    else:
+        ckpt = Path(checkpoint_path)
+        every = 256 if checkpoint_every is None else int(checkpoint_every)
+        if resume and ckpt.exists():
+            try:
+                records, resumed_at = _resume_with_position(
+                    pipeline, stream, ckpt, chunk_size=chunk_size, checkpoint_every=every
+                )
+            except CheckpointCorruptError:
+                remove_run_checkpoint(ckpt)
+                records = pipeline.run(
+                    stream,
+                    chunk_size=chunk_size,
+                    checkpoint_every=every,
+                    checkpoint_path=ckpt,
+                )
+        else:
+            records = pipeline.run(
+                stream,
+                chunk_size=chunk_size,
+                checkpoint_every=every,
+                checkpoint_path=ckpt,
+            )
     wall = time.perf_counter() - t0
     return MethodResult(
         name=name or pipeline.name,
@@ -83,6 +140,7 @@ def evaluate_method(
         phase_tally=PhaseTally.from_records(records),
         wall_seconds=wall,
         detector_nbytes=pipeline.state_nbytes(),
+        resumed_at=resumed_at,
     )
 
 

@@ -134,6 +134,14 @@ class OSELMAutoencoder:
         """Resident learned-state bytes (delegates to the core)."""
         return self.core.state_nbytes()
 
+    def get_state(self) -> dict:
+        """Snapshot the wrapped OS-ELM core."""
+        return {"core": self.core.get_state()}
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` snapshot."""
+        self.core.set_state(state["core"])
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         tag = "" if self.forgetting_factor is None else f", α={self.forgetting_factor}"
         return f"OSELMAutoencoder({self.n_features}-{self.n_hidden}-{self.n_features}{tag})"

@@ -199,6 +199,22 @@ class MultiInstanceModel:
         """Total resident learned-state bytes across instances."""
         return sum(inst.state_nbytes() for inst in self.instances)
 
+    # -- checkpoint protocol -----------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Snapshot every instance's learned state."""
+        return {"instances": [inst.get_state() for inst in self.instances]}
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` snapshot."""
+        instances = state["instances"]
+        if len(instances) != self.n_labels:
+            raise ConfigurationError(
+                f"state has {len(instances)} instances, model has {self.n_labels}."
+            )
+        for inst, inst_state in zip(self.instances, instances):
+            inst.set_state(inst_state)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         tag = "" if self.forgetting_factor is None else f", α={self.forgetting_factor}"
         return (

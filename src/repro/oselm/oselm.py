@@ -227,6 +227,42 @@ class OSELM:
             return 0
         return int(self.beta.nbytes + self.P.nbytes)
 
+    # -- checkpoint protocol -----------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Snapshot the learned state plus the frozen random layer.
+
+        The layer weights are included so a restore is self-contained
+        even if the receiving model was built from a different seed.
+        """
+        return {
+            "weights": self.layer.weights.copy(),
+            "biases": self.layer.biases.copy(),
+            "beta": None if self.beta is None else self.beta.copy(),
+            "P": None if self.P is None else self.P.copy(),
+            "n_samples_seen": int(self.n_samples_seen),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` snapshot."""
+        weights = np.asarray(state["weights"], dtype=np.float64)
+        biases = np.asarray(state["biases"], dtype=np.float64)
+        if weights.shape != self.layer.weights.shape or biases.shape != self.layer.biases.shape:
+            raise ConfigurationError(
+                f"layer state shapes {weights.shape}/{biases.shape} do not match "
+                f"this OSELM ({self.layer.weights.shape}/{self.layer.biases.shape})."
+            )
+        self.layer.weights = weights.copy()
+        self.layer.weights.setflags(write=False)
+        self.layer.biases = biases.copy()
+        self.layer.biases.setflags(write=False)
+        beta, P = state["beta"], state["P"]
+        if (beta is None) != (P is None):
+            raise ConfigurationError("beta and P must both be present or both None.")
+        self.beta = None if beta is None else np.asarray(beta, dtype=np.float64).copy()
+        self.P = None if P is None else np.asarray(P, dtype=np.float64).copy()
+        self.n_samples_seen = int(state["n_samples_seen"])
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"OSELM({self.n_inputs}-{self.n_hidden}-{self.n_outputs}, "

@@ -1,0 +1,158 @@
+"""Background checkpoint writer — keeps fsync latency off the hot path.
+
+A durable checkpoint save (flatten + pack + sha256 + fsync'd atomic
+write) costs milliseconds of *wall* time — almost all of it waiting on
+``fsync`` — which dwarfs the per-sample cost of a pure-predict streaming
+loop. :class:`AsyncCheckpointWriter` moves that waiting onto one worker
+thread so the stream loop only pays for a state *snapshot* (array
+copies, microseconds). Cheap work (record-log block appends, which
+flush but never fsync) stays inline on the caller's thread: on a
+single-core device a thread wake-up costs more than the append itself.
+
+Semantics that keep crash recovery deterministic:
+
+* **Strict FIFO.** Tasks run in submission order, none are dropped —
+  so a log-fsync task submitted before a state-container task is
+  durable first, which is what the record log's epoch trust rule
+  requires. Anything the caller wrote inline *before* ``submit`` is
+  ordered before the task by program order.
+* **Drain on exit.** :meth:`flush` runs every queued task before
+  returning, and the stream loop flushes on *both* normal completion
+  and crash — so when ``run()``/``resume()`` returns or raises,
+  everything submitted is on disk. Callers may unlink or load the
+  checkpoint immediately without racing the worker.
+* **Errors surface.** A failure on the worker (disk full, permission)
+  is re-raised on the caller's thread at the next ``submit``/``flush``/
+  ``close``; later tasks are skipped once one has failed.
+
+The process shares one lazily-started worker via :func:`shared_writer`
+— thread start/join costs a visible fraction of a short run, so it is
+paid once, not per run. The shared worker is re-created transparently
+if the previous one died (e.g. in a forked worker process, which
+inherits the parent's writer object but not its thread).
+
+Tasks run on the worker thread: they must only touch data the caller
+no longer mutates (isolated ``get_state()`` snapshots, immutable
+``StepRecord`` lists, file descriptors that stay open until after
+``flush``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, Optional
+
+__all__ = ["AsyncCheckpointWriter", "shared_writer"]
+
+
+class AsyncCheckpointWriter:
+    """Single worker thread running checkpoint tasks in strict FIFO order."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._wake = threading.Event()
+        self._queue: Deque[Callable[[], None]] = deque()
+        self._busy = False
+        self._closed = False
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-checkpoint-writer", daemon=True
+        )
+        self._thread.start()
+
+    # -- caller side -----------------------------------------------------------------
+
+    def submit(self, task: Callable[[], None]) -> None:
+        """Queue one task; it runs on the worker after all earlier tasks."""
+        with self._lock:
+            self._raise_pending_error()
+            if self._closed:
+                raise RuntimeError("AsyncCheckpointWriter is closed.")
+            self._queue.append(task)
+            self._wake.set()
+
+    def flush(self) -> None:
+        """Block until every task submitted so far has run."""
+        with self._idle:
+            while self._queue or self._busy:
+                self._idle.wait()
+            self._raise_pending_error()
+
+    def close(self) -> None:
+        """Drain the queue, stop the worker, and surface any task error."""
+        with self._lock:
+            self._closed = True
+            self._wake.set()
+        self._thread.join()
+        with self._lock:
+            self._raise_pending_error()
+
+    def __enter__(self) -> "AsyncCheckpointWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            # Still drain (landing the newest checkpoint), but never mask
+            # the in-flight exception with a writer error.
+            try:
+                self.close()
+            except Exception:
+                pass
+
+    def _raise_pending_error(self) -> None:
+        if self._error is not None:
+            exc, self._error = self._error, None
+            raise exc
+
+    # -- worker side -----------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            self._wake.wait()
+            with self._lock:
+                if not self._queue:
+                    if self._closed:
+                        self._idle.notify_all()
+                        return
+                    self._wake.clear()
+                    continue
+                task = self._queue.popleft()
+                self._busy = True
+            try:
+                if self._error is None:  # skip the backlog after a failure
+                    task()
+            except BaseException as exc:  # surfaced on the caller's thread
+                with self._lock:
+                    if self._error is None:
+                        self._error = exc
+            finally:
+                with self._lock:
+                    self._busy = False
+                    self._idle.notify_all()
+
+
+_shared_lock = threading.Lock()
+_shared: Optional[AsyncCheckpointWriter] = None
+
+
+def shared_writer() -> AsyncCheckpointWriter:
+    """The process-wide checkpoint writer (created on first use).
+
+    Callers scope their use with :meth:`AsyncCheckpointWriter.flush`
+    rather than ``close`` — the worker thread outlives any one run. A
+    dead worker (closed by a test, or inherited across ``fork``) is
+    replaced transparently.
+    """
+    global _shared
+    with _shared_lock:
+        if (
+            _shared is None
+            or _shared._closed
+            or not _shared._thread.is_alive()
+        ):
+            _shared = AsyncCheckpointWriter()
+        return _shared

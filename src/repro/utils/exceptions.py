@@ -12,6 +12,9 @@ __all__ = [
     "NotFittedError",
     "ConfigurationError",
     "DataValidationError",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointVersionError",
 ]
 
 
@@ -39,3 +42,21 @@ class ConfigurationError(ReproError, ValueError):
 
 class DataValidationError(ReproError, ValueError):
     """Input data has the wrong shape, dtype, or contains invalid values."""
+
+
+class CheckpointError(ReproError):
+    """Base class for checkpoint persistence errors."""
+
+
+class CheckpointCorruptError(CheckpointError, ValueError):
+    """A checkpoint file is damaged and was refused.
+
+    Raised for bad magic, checksum mismatches (truncation, bit flips),
+    undecodable headers, and malformed payloads. Loading never returns
+    partial state: the error is raised before any state object is built,
+    so the caller's in-memory state is untouched.
+    """
+
+
+class CheckpointVersionError(CheckpointCorruptError):
+    """An intact checkpoint was written with an incompatible format version."""

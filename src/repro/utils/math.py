@@ -118,3 +118,13 @@ class RunningMoments:
         self.count = 0
         self.mean = 0.0
         self._m2 = 0.0
+
+    def get_state(self) -> dict:
+        """Snapshot the running moments as plain builtins."""
+        return {"count": int(self.count), "mean": float(self.mean), "m2": float(self._m2)}
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        self.count = int(state["count"])
+        self.mean = float(state["mean"])
+        self._m2 = float(state["m2"])

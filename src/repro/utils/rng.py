@@ -15,7 +15,13 @@ from typing import Union
 
 import numpy as np
 
-__all__ = ["SeedLike", "ensure_rng", "spawn_rngs"]
+__all__ = [
+    "SeedLike",
+    "ensure_rng",
+    "spawn_rngs",
+    "get_generator_state",
+    "set_generator_state",
+]
 
 #: Anything accepted as a seed by the library.
 SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
@@ -57,3 +63,27 @@ def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
         return [np.random.default_rng(int(s)) for s in seeds]
     ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def get_generator_state(gen: np.random.Generator) -> dict:
+    """Snapshot a generator's bit-generator state as a plain nested dict.
+
+    The returned structure contains only builtins (ints, strings, dicts),
+    so it survives a JSON round-trip — which is exactly what the
+    checkpoint layer needs to resume RNG-consuming components
+    (QuantTree, SPLL, KSWIN) bit-identically.
+    """
+    import copy
+
+    return copy.deepcopy(gen.bit_generator.state)
+
+
+def set_generator_state(gen: np.random.Generator, state: dict) -> None:
+    """Restore a generator snapshot taken by :func:`get_generator_state`.
+
+    Mutates ``gen`` in place so components sharing the generator object
+    keep sharing it after a restore.
+    """
+    import copy
+
+    gen.bit_generator.state = copy.deepcopy(state)

@@ -1,0 +1,31 @@
+"""Module-level helpers for crash-recovery tests.
+
+``crashing_builder`` must be addressable as a ``"module:callable"``
+method path in a :class:`repro.metrics.parallel.CellSpec` (worker
+processes re-import it by name), so it lives in an importable module
+rather than inside a test function.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core import build_proposed
+from repro.resilience import crash_at
+
+
+def crashing_builder(X, y, *, seed=0, crash_marker=None, crash_step=40, **kwargs):
+    """Build a proposed pipeline armed to crash once at ``crash_step``.
+
+    The first call (no marker file yet) arms the crash and drops the
+    marker; every later call — i.e. the retry after the injected death —
+    builds a normal pipeline. This makes a ParallelRunner cell die
+    exactly once, deterministically.
+    """
+    pipe = build_proposed(X, y, seed=seed, **kwargs)
+    if crash_marker is not None:
+        marker = Path(crash_marker)
+        if not marker.exists():
+            marker.write_text("armed")
+            crash_at(pipe, int(crash_step))  # armed for life; never disarmed
+    return pipe

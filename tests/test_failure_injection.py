@@ -139,3 +139,185 @@ class TestLifecycleMisuse:
         for inst in model.instances:
             assert np.isfinite(inst.core.beta).all()
             assert np.isfinite(inst.core.P).all()
+
+
+class TestCheckpointCorruption:
+    """Damaged checkpoints must raise CheckpointCorruptError — partial
+    state never reaches a live pipeline."""
+
+    @pytest.fixture()
+    def saved_checkpoint(self, tmp_path, train_stream, drift_stream):
+        from repro.resilience import InjectedCrash, crash_at
+
+        pipe = build_proposed(
+            train_stream.X, train_stream.y, window_size=20, n_hidden=4,
+            reconstruction_samples=60, seed=0,
+        )
+        path = tmp_path / "run.ckpt"
+        with pytest.raises(InjectedCrash):
+            with crash_at(pipe, 80):
+                pipe.run(drift_stream, checkpoint_every=16, checkpoint_path=path)
+        return path
+
+    def _fresh(self, train_stream):
+        return build_proposed(
+            train_stream.X, train_stream.y, window_size=20, n_hidden=4,
+            reconstruction_samples=60, seed=0,
+        )
+
+    def test_truncated_checkpoint_refused(self, saved_checkpoint, train_stream, drift_stream):
+        from repro.resilience import truncate_file
+        from repro.utils.exceptions import CheckpointCorruptError
+
+        truncate_file(saved_checkpoint)
+        with pytest.raises(CheckpointCorruptError):
+            self._fresh(train_stream).resume(drift_stream, saved_checkpoint)
+
+    def test_bit_flipped_checkpoint_refused(self, saved_checkpoint, train_stream, drift_stream):
+        from repro.resilience import flip_bit
+        from repro.utils.exceptions import CheckpointCorruptError
+
+        flip_bit(saved_checkpoint, 1234)
+        with pytest.raises(CheckpointCorruptError):
+            self._fresh(train_stream).resume(drift_stream, saved_checkpoint)
+
+    def test_wrong_version_checkpoint_refused(self, saved_checkpoint, train_stream, drift_stream):
+        from repro.resilience import FORMAT_VERSION, corrupt_version
+        from repro.utils.exceptions import CheckpointVersionError
+
+        corrupt_version(saved_checkpoint, FORMAT_VERSION + 7)
+        with pytest.raises(CheckpointVersionError):
+            self._fresh(train_stream).resume(drift_stream, saved_checkpoint)
+
+    def test_refusal_leaves_pipeline_usable(self, saved_checkpoint, train_stream, drift_stream):
+        from repro.resilience import flip_bit
+        from repro.utils.exceptions import CheckpointCorruptError
+
+        flip_bit(saved_checkpoint, 999)
+        pipe = self._fresh(train_stream)
+        with pytest.raises(CheckpointCorruptError):
+            pipe.resume(drift_stream, saved_checkpoint)
+        records = pipe.run(drift_stream)  # state untouched → still golden
+        assert len(records) == len(drift_stream)
+        assert all(np.isfinite(r.anomaly_score) for r in records)
+
+
+class TestParallelRunnerCrashRecovery:
+    """A grid cell killed mid-stream resumes from its checkpoint on the
+    retry wave, with counters that tell the true story."""
+
+    def _spec(self, tmp_path):
+        from repro.metrics.parallel import CellSpec
+
+        stream_kwargs = {"seed": 3, "n_test": 300, "drift_at": 120}
+        crashing = CellSpec(
+            name="Proposed (crashes once)",
+            method="tests._resilience_helpers:crashing_builder",
+            stream="blobs",
+            seed=1,
+            method_kwargs={
+                "window_size": 30,
+                "crash_marker": str(tmp_path / "crashed.marker"),
+                "crash_step": 150,
+            },
+            stream_kwargs=stream_kwargs,
+        )
+        plain = CellSpec(
+            name="Proposed (reference)",
+            method="proposed",
+            stream="blobs",
+            seed=1,
+            method_kwargs={"window_size": 30},
+            stream_kwargs=stream_kwargs,
+        )
+        return crashing, plain
+
+    def test_cell_resumes_after_kill_with_consistent_counters(self, tmp_path):
+        from repro.metrics.parallel import ParallelRunner
+        from repro.telemetry import configure, get_telemetry
+
+        crashing, plain = self._spec(tmp_path)
+        configure(enabled=True, sinks=[], reset=True)
+        try:
+            runner = ParallelRunner(
+                cache_dir=tmp_path / "cache",
+                checkpoint_dir=tmp_path / "ckpt",
+                checkpoint_every=32,
+                max_workers=1,  # inline: the injected crash stays in-process
+                retries=1,
+            )
+            (result,) = runner.run([crashing])
+            reg = get_telemetry().registry
+            assert reg.get("parallel.cache_misses").total == 1
+            assert reg.get("parallel.failures").total == 1
+            assert reg.get("parallel.retry_waves").total == 1
+            assert reg.get("parallel.cells_run").total == 1
+            assert reg.get("parallel.resumes").total == 1
+            assert reg.get("pipeline.resumes").total == 1
+        finally:
+            configure(enabled=False, sinks=[], reset=True)
+
+        assert result.attempts == 2
+        assert result.resumed_at is not None
+        assert 0 < result.resumed_at <= 150
+        # the checkpoint is spent once the cell completes
+        assert list((tmp_path / "ckpt").glob("*.ckpt")) == []
+
+        # identical numbers to a cell that never crashed
+        reference = ParallelRunner(max_workers=1).run([plain])[0]
+        assert result.accuracy == reference.accuracy
+        assert result.delays == reference.delays
+        assert result.detections == reference.detections
+        assert result.n_records == reference.n_records
+
+    def test_corrupt_cell_checkpoint_falls_back_to_fresh_run(self, tmp_path):
+        from repro.metrics.parallel import ParallelRunner, run_cell
+        from repro.resilience import flip_bit
+
+        crashing, plain = self._spec(tmp_path)
+        runner = ParallelRunner(
+            checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_every=32,
+            max_workers=1,
+            retries=0,
+        )
+        ckpt = runner._checkpoint_path(crashing)
+        with pytest.raises(Exception):
+            runner.run([crashing])  # first attempt dies, checkpoint remains
+        assert ckpt.exists()
+        flip_bit(ckpt, 640)
+
+        # retry with a damaged checkpoint: detected, discarded, clean rerun
+        result = run_cell(
+            crashing, checkpoint_path=ckpt, checkpoint_every=32
+        )
+        assert result.resumed_at is None
+        reference = run_cell(plain)
+        assert result.accuracy == reference.accuracy
+        assert result.detections == reference.detections
+
+
+class TestNaNBurst:
+    def test_nan_burst_stream_is_refused(self, rng):
+        from repro.resilience import nan_burst
+
+        X = rng.random((50, 6))
+        bad = nan_burst(X, start=10, length=5)
+        with pytest.raises(DataValidationError):
+            DataStream(bad, np.zeros(50, dtype=int))
+
+    def test_nan_burst_rejected_mid_stream_without_poisoning(self, train_stream, rng):
+        from repro.resilience import nan_burst
+
+        pipe = build_proposed(
+            train_stream.X, train_stream.y, window_size=20, n_hidden=4,
+            reconstruction_samples=60, seed=0,
+        )
+        burst = nan_burst(rng.random((30, 6)), start=0, length=30)
+        for row in burst:
+            with pytest.raises(DataValidationError):
+                pipe.process_one(row, 0)
+        clean = rng.random((100, 6))
+        for row in clean:
+            rec = pipe.process_one(row, 0)
+            assert np.isfinite(rec.anomaly_score)

@@ -1,0 +1,182 @@
+"""Golden-equivalence resume tests: kill → resume == uninterrupted run.
+
+The crash-safety contract of ``StreamPipeline.run(checkpoint_every=...)``
+is that a run killed at *any* step and resumed from its last checkpoint
+produces a record list **byte-for-byte identical** to an uninterrupted
+run — same predictions, same float64 anomaly scores down to the last
+bit, same detections. These tests enforce that for every pipeline family
+× two stream shapes (NSL-KDD-like, cooling-fan-like), with kills placed
+at awkward positions: right after the first checkpoint, mid pure-predict
+cruise, and one sample either side of the true drift point (i.e. with
+detector windows / batch buffers / reconstruction mid-flight).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CentroidSet,
+    ErrorRatePipeline,
+    ModelReconstructor,
+    build_baseline,
+    build_model,
+    build_onlad,
+    build_proposed,
+    build_quanttree_pipeline,
+    build_spll_pipeline,
+)
+from repro.datasets import NSLKDDConfig, make_cooling_fan_like, make_nslkdd_like
+from repro.detectors import DDM
+from repro.resilience import InjectedCrash, crash_at
+
+SEED = 3
+EVERY = 5  # tight cadence so even the earliest kill has a checkpoint behind it
+
+
+def _ddm_pipeline(train):
+    model = build_model(train.X, train.y, seed=SEED)
+    cents = CentroidSet.from_labelled_data(train.X, train.y, train.n_classes)
+    rec = ModelReconstructor(model, cents, n_total=120)
+    return ErrorRatePipeline(model, DDM(), rec)
+
+
+#: every pipeline family: NoDetection, ONLAD, proposed, batch (×2), error-rate
+MAKERS = {
+    "baseline": lambda tr: build_baseline(tr.X, tr.y, seed=SEED),
+    "onlad": lambda tr: build_onlad(tr.X, tr.y, forgetting_factor=0.95, seed=SEED),
+    "proposed": lambda tr: build_proposed(tr.X, tr.y, window_size=60, seed=SEED),
+    "quanttree": lambda tr: build_quanttree_pipeline(
+        tr.X, tr.y, batch_size=250, n_bins=8, seed=SEED
+    ),
+    "spll": lambda tr: build_spll_pipeline(tr.X, tr.y, batch_size=250, seed=SEED),
+    "ddm": _ddm_pipeline,
+}
+
+#: stream label -> (factory, true drift position)
+STREAMS = {
+    "nslkdd": (
+        lambda: make_nslkdd_like(
+            NSLKDDConfig(n_train=400, n_test=900, drift_at=300), seed=0
+        ),
+        300,
+    ),
+    "coolingfan": (
+        lambda: make_cooling_fan_like("sudden", n_test=300, seed=0),
+        120,
+    ),
+}
+
+_stream_cache: dict = {}
+_golden_cache: dict = {}
+
+
+def _streams(label):
+    if label not in _stream_cache:
+        _stream_cache[label] = STREAMS[label][0]()
+    return _stream_cache[label]
+
+
+def _golden(method, label):
+    key = (method, label)
+    if key not in _golden_cache:
+        train, test = _streams(label)
+        _golden_cache[key] = MAKERS[method](train).run(test)
+    return _golden_cache[key]
+
+
+def _assert_byte_identical(resumed, golden):
+    assert len(resumed) == len(golden)
+    assert resumed == golden
+    # StepRecord equality compares floats with ==; go one step further and
+    # require the float64 *bit patterns* to match.
+    a = np.array([r.anomaly_score for r in resumed], dtype=np.float64)
+    b = np.array([r.anomaly_score for r in golden], dtype=np.float64)
+    assert a.tobytes() == b.tobytes()
+
+
+def _kill_points(label):
+    drift = STREAMS[label][1]
+    return (7, 64, drift - 1, drift + 1)
+
+
+@pytest.mark.parametrize("label", sorted(STREAMS))
+@pytest.mark.parametrize("method", sorted(MAKERS))
+def test_kill_resume_byte_identical(method, label, tmp_path):
+    train, test = _streams(label)
+    golden = _golden(method, label)
+
+    for kill in _kill_points(label):
+        ckpt = tmp_path / f"{method}-{label}-{kill}.ckpt"
+        victim = MAKERS[method](train)
+        with pytest.raises(InjectedCrash):
+            with crash_at(victim, kill):
+                victim.run(test, checkpoint_every=EVERY, checkpoint_path=ckpt)
+        assert ckpt.exists(), f"no checkpoint written before kill at {kill}"
+
+        survivor = MAKERS[method](train)
+        resumed = survivor.resume(test, ckpt)
+        assert 0 < survivor.last_resumed_at <= kill
+        _assert_byte_identical(resumed, golden)
+
+
+@pytest.mark.parametrize("method", ["proposed", "quanttree"])
+def test_double_kill_resume(method, tmp_path):
+    """Crash, resume, crash again later, resume again — still golden."""
+    train, test = _streams("nslkdd")
+    golden = _golden(method, "nslkdd")
+    ckpt = tmp_path / "double.ckpt"
+
+    victim = MAKERS[method](train)
+    with pytest.raises(InjectedCrash):
+        with crash_at(victim, 64):
+            victim.run(test, checkpoint_every=EVERY, checkpoint_path=ckpt)
+
+    second = MAKERS[method](train)
+    with pytest.raises(InjectedCrash):
+        with crash_at(second, 500):
+            second.resume(test, ckpt)
+
+    survivor = MAKERS[method](train)
+    resumed = survivor.resume(test, ckpt)
+    assert survivor.last_resumed_at >= 495
+    _assert_byte_identical(resumed, golden)
+
+
+def test_checkpointed_run_without_crash_matches_golden(tmp_path):
+    """Checkpointing itself must not perturb the records."""
+    train, test = _streams("nslkdd")
+    golden = _golden("proposed", "nslkdd")
+    pipe = MAKERS["proposed"](train)
+    recs = pipe.run(test, checkpoint_every=EVERY, checkpoint_path=tmp_path / "c.ckpt")
+    _assert_byte_identical(recs, golden)
+
+
+def test_resume_refuses_wrong_stream(tmp_path):
+    train, test = _streams("nslkdd")
+    ckpt = tmp_path / "c.ckpt"
+    victim = MAKERS["baseline"](train)
+    with pytest.raises(InjectedCrash):
+        with crash_at(victim, 64):
+            victim.run(test, checkpoint_every=EVERY, checkpoint_path=ckpt)
+
+    from repro.utils.exceptions import ConfigurationError
+
+    other = test.take(200)  # different data ⇒ different fingerprint
+    with pytest.raises(ConfigurationError):
+        MAKERS["baseline"](train).resume(other, ckpt)
+
+
+def test_resume_refuses_wrong_pipeline_class(tmp_path):
+    train, test = _streams("nslkdd")
+    ckpt = tmp_path / "c.ckpt"
+    victim = MAKERS["proposed"](train)
+    with pytest.raises(InjectedCrash):
+        with crash_at(victim, 64):
+            victim.run(test, checkpoint_every=EVERY, checkpoint_path=ckpt)
+
+    from repro.utils.exceptions import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        MAKERS["quanttree"](train).resume(test, ckpt)
