@@ -12,7 +12,10 @@ The package is layered (see DESIGN.md):
 * :mod:`repro.datasets` — drift streams and the two (synthesised) paper
   datasets;
 * :mod:`repro.device` — Raspberry Pi 4 / Pico memory & latency models;
-* :mod:`repro.metrics` — prequential accuracy, delay, experiment runner.
+* :mod:`repro.metrics` — prequential accuracy, delay, experiment runner;
+* :mod:`repro.guard` — self-healing runtime: input sanitation,
+  numeric-health sentinels, and a degradation ladder;
+* :mod:`repro.resilience` — crash-safe checkpointing and fault injection.
 
 Quickstart::
 
@@ -32,6 +35,7 @@ from . import (
     datasets,
     detectors,
     device,
+    guard,
     metrics,
     oselm,
     resilience,
@@ -53,6 +57,7 @@ from .core import (
 )
 from .datasets import DataStream, make_cooling_fan_like, make_nslkdd_like
 from .detectors import ADWIN, DDM, SPLL, NoDetection, PageHinkley, QuantTree
+from .guard import GuardLevel, InputSanitizer, NumericHealthSentinel, RuntimeGuard
 from .device import RASPBERRY_PI_4, RASPBERRY_PI_PICO, DeviceProfile
 from .metrics import MethodResult, compare_methods, evaluate_method
 from .oselm import OSELM, ForgettingOSELM, MultiInstanceModel, OSELMAutoencoder
@@ -71,9 +76,14 @@ __all__ = [
     "detectors",
     "core",
     "device",
+    "guard",
     "metrics",
     "resilience",
     "telemetry",
+    "RuntimeGuard",
+    "InputSanitizer",
+    "NumericHealthSentinel",
+    "GuardLevel",
     "Checkpoint",
     "save_checkpoint",
     "load_checkpoint",

@@ -28,6 +28,15 @@ Observability flags (see ``docs/telemetry.md``)::
 spans, parallel cells) as JSON lines to ``PATH``; ``--telemetry-summary``
 prints an ASCII metrics digest after the run. ``repro --version`` prints
 the package version.
+
+Self-healing flags (see ``docs/robustness.md``)::
+
+    python -m repro table2 --tiny --guard-policy impute_last_good --guard-report
+
+``--guard-policy`` attaches a :class:`repro.guard.RuntimeGuard` (bounds
+learned from each experiment's training set) to every evaluated
+pipeline; ``--guard-report`` prints each guard's intervention summary
+after its run.
 """
 
 from __future__ import annotations
@@ -94,28 +103,42 @@ def _slug(text: str) -> str:
     return "-".join(re.findall(r"[a-z0-9]+", text.lower()))
 
 
-def _eval(args, pipeline, stream, *, name=None, label=None):
-    """``evaluate_method`` with the CLI's crash-safety flags applied.
+def _eval(args, pipeline, stream, *, name=None, label=None, train=None):
+    """``evaluate_method`` with the CLI's crash-safety and guard flags.
 
     With ``--checkpoint-dir`` (or ``--resume-from``) each evaluation
     checkpoints under a stable per-cell filename; ``--resume-from``
     additionally picks up any checkpoint left by an interrupted run.
-    Spent checkpoints are removed once the cell completes.
+    Spent checkpoints are removed once the cell completes. With
+    ``--guard-policy`` (and ``train`` provided by the experiment) a
+    :class:`repro.guard.RuntimeGuard` with bounds learned from the
+    training set is attached before the run.
     """
+    guard = None
+    if getattr(args, "guard_policy", None) is not None and train is not None:
+        from .guard import RuntimeGuard
+
+        guard = RuntimeGuard.from_init_data(train.X, policy=args.guard_policy)
+        pipeline.attach_guard(guard)
     ckpt_dir = args.resume_from or args.checkpoint_dir
     if ckpt_dir is None:
-        return evaluate_method(pipeline, stream, name=name)
-    path = Path(ckpt_dir) / f"{_slug(label or name or pipeline.name)}.ckpt"
-    path.parent.mkdir(parents=True, exist_ok=True)
-    result = evaluate_method(
-        pipeline,
-        stream,
-        name=name,
-        checkpoint_every=args.checkpoint_every or 256,
-        checkpoint_path=path,
-        resume=args.resume_from is not None,
-    )
-    remove_run_checkpoint(path)
+        result = evaluate_method(pipeline, stream, name=name)
+    else:
+        path = Path(ckpt_dir) / f"{_slug(label or name or pipeline.name)}.ckpt"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        result = evaluate_method(
+            pipeline,
+            stream,
+            name=name,
+            checkpoint_every=args.checkpoint_every or 256,
+            checkpoint_path=path,
+            resume=args.resume_from is not None,
+        )
+        remove_run_checkpoint(path)
+    if guard is not None and getattr(args, "guard_report", False):
+        print(f"\n[guard] {label or name or pipeline.name}")
+        print(guard.report_text())
+        print()
     return result
 
 
@@ -134,7 +157,7 @@ def cmd_table2(args) -> None:
     }
     rows = []
     for name, build in builders.items():
-        res = _eval(args, build(), test, name=name, label=f"table2-{name}")
+        res = _eval(args, build(), test, name=name, label=f"table2-{name}", train=train)
         rows.append([name, round(100 * res.accuracy, 1), res.first_delay])
     print(format_table(
         ["method", "accuracy %", "delay"],
@@ -152,7 +175,7 @@ def cmd_table3(args) -> None:
         for scenario in ("sudden", "gradual", "reoccurring"):
             train, test = make_cooling_fan_like(scenario, seed=args.seed, **_fan_kwargs(args))
             pipe = build_proposed(train.X, train.y, window_size=W, seed=1)
-            res = _eval(args, pipe, test, label=f"table3-w{W}-{scenario}")
+            res = _eval(args, pipe, test, label=f"table3-w{W}-{scenario}", train=train)
             row.append(detection_delay(res.delay.detections, 120))
         rows.append(row)
     print(format_table(
@@ -206,7 +229,7 @@ def cmd_table5(args) -> None:
     paper = {"Quant Tree": 1.52, "SPLL": 9.28, "Baseline": 1.05, "Proposed method": 1.50}
     rows = []
     for name, (build, ops) in spec.items():
-        res = _eval(args, build(), test, label=f"table5-{name}")
+        res = _eval(args, build(), test, label=f"table5-{name}", train=train)
         est = estimate_stream_seconds(
             res.phase_tally, geometry, RASPBERRY_PI_4,
             per_batch_ops=ops, n_batches=n_batches if ops is not None else 0,
@@ -314,9 +337,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--resume-from", metavar="DIR", default=None,
                         help="like --checkpoint-dir, but also resume any "
                              "checkpoints an interrupted run left in DIR")
+    parser.add_argument("--guard-policy", metavar="POLICY", default=None,
+                        choices=["reject", "clip", "impute_last_good", "quarantine"],
+                        help="attach a self-healing runtime guard with this "
+                             "input-fault policy to every evaluated pipeline")
+    parser.add_argument("--guard-report", action="store_true",
+                        help="print each guard's intervention summary after "
+                             "its run (needs --guard-policy)")
     args = parser.parse_args(argv)
     if args.checkpoint_every is not None and not (args.checkpoint_dir or args.resume_from):
         parser.error("--checkpoint-every requires --checkpoint-dir or --resume-from")
+    if args.guard_report and args.guard_policy is None:
+        parser.error("--guard-report requires --guard-policy")
 
     telemetry_on = bool(args.telemetry or args.telemetry_summary)
     sink = None

@@ -110,6 +110,20 @@ class StreamPipeline(abc.ABC):
         self._in_recon = False
         #: position of the checkpoint the last :meth:`resume` continued from
         self.last_resumed_at: Optional[int] = None
+        #: attached :class:`~repro.guard.runtime.RuntimeGuard` (or None)
+        self.guard = None
+
+    def attach_guard(self, guard) -> "StreamPipeline":
+        """Route every sample through ``guard`` (see :mod:`repro.guard`).
+
+        Must be called after the guard's telemetry-relevant configuration
+        is final and before :meth:`run`; the guard adopts this pipeline's
+        telemetry hub and takes its initial rollback snapshot here.
+        Returns ``self`` for chaining.
+        """
+        guard.bind(self)
+        self.guard = guard
+        return self
 
     @abc.abstractmethod
     def process_one(self, x: np.ndarray, y_true: Optional[int] = None) -> StepRecord:
@@ -168,15 +182,16 @@ class StreamPipeline(abc.ABC):
                     records=[],
                     start=0,
                 )
-            if chunk <= 1:
+            if chunk <= 1 and self.guard is None:
                 return [self.process_one(x, y) for x, y in stream]
             records: List[StepRecord] = []
             X, y = stream.X, stream.y
             n = len(stream)
+            step = max(1, chunk)
             i = 0
             while i < n:
                 with tel.span("pipeline.chunk", pipeline=self.name, start=i):
-                    recs = self._process_chunk(X[i : i + chunk], y[i : i + chunk])
+                    recs = self._consume_chunk(X[i : i + step], y[i : i + step])
                 records.extend(recs)
                 i += len(recs)
             return records
@@ -274,7 +289,7 @@ class StreamPipeline(abc.ABC):
             while i < n:
                 take = min(step, n - i, max(1, last_saved + every - i))
                 with tel.span("pipeline.chunk", pipeline=self.name, start=i):
-                    recs = self._process_chunk(X[i : i + take], y[i : i + take])
+                    recs = self._consume_chunk(X[i : i + take], y[i : i + take])
                 records.extend(recs)
                 i += len(recs)
                 if volatility == "quiet" and not dirty:
@@ -453,6 +468,18 @@ class StreamPipeline(abc.ABC):
                 log_trusted_bytes=trusted_bytes,
             )
 
+    def _consume_chunk(self, Xc: np.ndarray, yc: np.ndarray) -> List[StepRecord]:
+        """Chunk dispatcher: through the guard when attached, direct otherwise.
+
+        Both :meth:`run` loops call this instead of
+        :meth:`_process_chunk`, so attaching a guard re-routes every
+        sample without the pipelines knowing; unguarded runs pay one
+        attribute check per chunk.
+        """
+        if self.guard is None:
+            return self._process_chunk(Xc, yc)
+        return self.guard.process_chunk(Xc, yc)
+
     def _process_chunk(self, Xc: np.ndarray, yc: np.ndarray) -> List[StepRecord]:
         """Consume a non-empty prefix of the chunk; returns its records.
 
@@ -462,6 +489,16 @@ class StreamPipeline(abc.ABC):
         predict phase override this to score vectorised prefixes.
         """
         return [self.process_one(Xc[j], int(yc[j])) for j in range(len(Xc))]
+
+    def _guard_bypass(self) -> None:
+        """Guard hook: drop adaptive in-flight state on entering bypass.
+
+        Called once when the degradation ladder escalates to
+        ``PASSTHROUGH`` or beyond. Subclasses with detectors or an
+        in-flight reconstruction override this to abort/reset them so
+        adaptation restarts cleanly if the ladder later steps back down.
+        The frozen baseline has nothing to drop.
+        """
 
     # -- shared helpers --------------------------------------------------------------
 
@@ -669,6 +706,12 @@ class ProposedPipeline(StreamPipeline):
         """Detector centroid state (the method's whole extra footprint)."""
         return self.detector.state_nbytes()
 
+    def _guard_bypass(self) -> None:
+        # Abandon any half-done reconstruction (nothing is promoted) and
+        # close the detector's window/flag so Algorithm 1 restarts idle.
+        self.reconstructor.abort()
+        self.detector.end_drift()
+
     def _extra_state(self) -> dict:
         # The detector snapshot covers the shared CentroidSet.
         return {
@@ -723,6 +766,15 @@ class BatchDetectorPipeline(StreamPipeline):
         if self.refit_reference:
             self._refitting = True
             self._refit_buffer = []
+
+    def _guard_bypass(self) -> None:
+        # Drop reconstruction, any half-filled refit buffer, and the
+        # detector's sample buffer — all built from now-suspect input.
+        self.reconstructor.abort()
+        self._reconstructing = False
+        self._refitting = False
+        self._refit_buffer = []
+        self.detector.reset_stream()
 
     def process_one(self, x: np.ndarray, y_true: Optional[int] = None) -> StepRecord:
         c, err = self.model.predict_with_score(x)
@@ -840,6 +892,13 @@ class ErrorRatePipeline(StreamPipeline):
             self._reconstructing = False
             self.detector.reset()
         return step
+
+    def _guard_bypass(self) -> None:
+        # Error-rate statistics accumulated on faulty predictions are
+        # meaningless — restart the detector clean alongside the abort.
+        self.reconstructor.abort()
+        self._reconstructing = False
+        self.detector.reset()
 
     def process_one(self, x: np.ndarray, y_true: Optional[int] = None) -> StepRecord:
         if y_true is None:

@@ -153,6 +153,25 @@ class ModelReconstructor:
         self.n_reconstructions += 1
         self.centroids.promote_recent_to_trained()
 
+    def abort(self) -> None:
+        """Abandon an in-flight reconstruction without promoting anything.
+
+        The guard runtime calls this when the degradation ladder bypasses
+        adaptation mid-reconstruction (the samples driving it are suspect):
+        the partially-moved recent coordinates are left un-promoted — the
+        next reconstruction re-seeds them — and the run does not count
+        toward ``n_reconstructions``. A no-op when idle.
+        """
+        if not self._active:
+            return
+        self._active = False
+        self.count = 0
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "reconstructor.aborts", "reconstructions abandoned by the guard"
+            ).inc()
+
     # -- checkpoint protocol -----------------------------------------------------------
 
     def get_state(self) -> dict:

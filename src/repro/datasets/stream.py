@@ -49,15 +49,26 @@ class DataStream:
         changes. Used only by the evaluation harness, never by detectors.
     name:
         Human-readable identifier used in reports.
+    ensure_finite:
+        ``True`` (default) — refuse NaN/inf at construction, the safe
+        contract every unguarded pipeline relies on. ``False`` — admit
+        non-finite samples; this is how the fault-injection and
+        :mod:`repro.guard` chaos harnesses model a dying sensor, and such
+        streams are only meant for pipelines with a guard attached (an
+        unguarded pipeline will raise ``DataValidationError`` at the
+        first bad sample instead of silently corrupting its state).
     """
 
     X: np.ndarray
     y: np.ndarray
     drift_points: Tuple[int, ...] = ()
     name: str = "stream"
+    ensure_finite: bool = True
 
     def __post_init__(self) -> None:
-        X = as_matrix(self.X, name="X", allow_empty=True)
+        X = as_matrix(
+            self.X, name="X", allow_empty=True, ensure_finite=self.ensure_finite
+        )
         y = check_labels(self.y, name="y")
         if len(X) != len(y):
             raise DataValidationError(
@@ -134,6 +145,7 @@ class DataStream:
             self.y[start:stop].copy(),
             drift_points=drifts,
             name=f"{self.name}[{start}:{stop}]",
+            ensure_finite=self.ensure_finite,
         )
 
     def take(self, n: int) -> "DataStream":
@@ -144,7 +156,10 @@ class DataStream:
         """Return a copy with additive Gaussian noise of std ``scale``."""
         noisy = self.X + rng.normal(0.0, scale, size=self.X.shape)
         noisy.setflags(write=False)  # freshly built here: freeze, don't re-copy
-        return DataStream(noisy, self.y, self.drift_points, f"{self.name}+noise")
+        return DataStream(
+            noisy, self.y, self.drift_points, f"{self.name}+noise",
+            ensure_finite=self.ensure_finite,
+        )
 
     def shuffled_within(self, start: int, stop: int, rng: np.random.Generator) -> "DataStream":
         """Shuffle samples inside ``[start, stop)`` (drift points unchanged).
@@ -159,7 +174,9 @@ class DataStream:
         Xs, ys = self.X[idx], self.y[idx]  # fancy indexing: already fresh arrays
         Xs.setflags(write=False)
         ys.setflags(write=False)
-        return DataStream(Xs, ys, self.drift_points, self.name)
+        return DataStream(
+            Xs, ys, self.drift_points, self.name, ensure_finite=self.ensure_finite
+        )
 
 
 def concatenate_streams(
@@ -199,4 +216,5 @@ def concatenate_streams(
         y,
         drift_points=tuple(sorted(set(drifts))),
         name=name or "+".join(s.name for s in streams),
+        ensure_finite=all(s.ensure_finite for s in streams),
     )

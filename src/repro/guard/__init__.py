@@ -1,0 +1,55 @@
+"""Self-healing runtime: input guards, sentinels, and a degradation ladder.
+
+The paper's deployment target is a resource-limited edge device running
+unattended for weeks. Everything upstream of the model — transducers,
+ADCs, wiring — fails more often than the model does, and the OS-ELM
+recursion happily trains on whatever arrives. This package hardens the
+streaming pipelines against that reality with three cooperating layers:
+
+* :mod:`~repro.guard.sanitizer` — per-feature input plausibility bounds
+  learned from the init set, with four handling policies (``reject``,
+  ``clip``, ``impute_last_good``, ``quarantine``);
+* :mod:`~repro.guard.sentinels` — numeric-health probes over the OS-ELM
+  recursion state (P symmetry/magnitude, beta norm, non-finite state);
+* :mod:`~repro.guard.ladder` — a hysteretic degradation ladder
+  (healthy → sanitizing → detector-bypassed passthrough → frozen).
+
+:class:`~repro.guard.runtime.RuntimeGuard` composes the three and
+attaches to any :class:`~repro.core.pipeline.StreamPipeline`; the
+:mod:`~repro.guard.chaos` module provides the seeded fault-schedule
+harness the chaos-soak tests run all five pipelines through.
+
+With a guard attached and no faults in the stream, per-step records are
+byte-identical to an unguarded run — hardening costs nothing until
+something actually goes wrong.
+"""
+
+from .chaos import (
+    FAULT_KINDS,
+    ScheduledFault,
+    apply_fault_schedule,
+    chaos_stream,
+    make_fault_schedule,
+)
+from .ladder import DegradationLadder, GuardLevel, Transition
+from .runtime import RuntimeGuard
+from .sanitizer import POLICIES, FeatureBounds, InputSanitizer, SanitizedSample
+from .sentinels import NumericHealthSentinel, SentinelTrip
+
+__all__ = [
+    "POLICIES",
+    "FeatureBounds",
+    "InputSanitizer",
+    "SanitizedSample",
+    "NumericHealthSentinel",
+    "SentinelTrip",
+    "GuardLevel",
+    "Transition",
+    "DegradationLadder",
+    "RuntimeGuard",
+    "FAULT_KINDS",
+    "ScheduledFault",
+    "make_fault_schedule",
+    "apply_fault_schedule",
+    "chaos_stream",
+]

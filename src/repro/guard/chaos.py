@@ -1,0 +1,135 @@
+"""Chaos-soak harness: seeded random fault schedules over real streams.
+
+The unit tests exercise each fault and each policy in isolation; the
+chaos soak answers the deployment question — *does every pipeline
+survive a month of compounding sensor failures?* — by splicing a seeded
+random schedule of the five fault generators (NaN bursts, stuck-at,
+dropout, spike trains, dead features) into an otherwise ordinary
+evaluation stream, then streaming it through a guarded pipeline and
+asserting zero uncaught exceptions plus a recovery trail in telemetry.
+
+Determinism: a schedule is fully determined by ``(seed, stream shape)``
+— ``numpy.random.default_rng(seed)`` drives every choice — so a failing
+soak reproduces from its seed alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets.stream import DataStream
+from ..resilience.faults import dropout, feature_dead, nan_burst, spike_train, stuck_at
+from ..utils.exceptions import ConfigurationError
+
+__all__ = [
+    "FAULT_KINDS",
+    "ScheduledFault",
+    "make_fault_schedule",
+    "apply_fault_schedule",
+    "chaos_stream",
+]
+
+#: fault generators a schedule can draw from (all deterministic)
+FAULT_KINDS = ("nan_burst", "stuck_at", "dropout", "spike_train", "feature_dead")
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """One fault occurrence: what, where, and how wide."""
+
+    kind: str
+    start: int
+    length: int
+    columns: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}."
+            )
+
+
+def make_fault_schedule(
+    n_samples: int,
+    n_features: int,
+    *,
+    seed: int,
+    n_faults: int = 6,
+    max_length: int = 12,
+    kinds: Sequence[str] = FAULT_KINDS,
+    protect_prefix: int = 0,
+) -> Tuple[ScheduledFault, ...]:
+    """Draw a deterministic random schedule of ``n_faults`` faults.
+
+    ``protect_prefix`` keeps the first samples fault-free (handy when the
+    stream's head doubles as the guard's bounds source). ``feature_dead``
+    is drawn with a bounded length here — the soak wants overlapping
+    transient faults, not one channel erasing the rest of the stream.
+    """
+    if n_samples < 1 or n_features < 1:
+        raise ConfigurationError("schedule needs a non-empty stream.")
+    for k in kinds:
+        if k not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {k!r}; choose from {FAULT_KINDS}."
+            )
+    rng = np.random.default_rng(seed)
+    lo = min(int(protect_prefix), n_samples - 1)
+    faults = []
+    for _ in range(int(n_faults)):
+        kind = str(rng.choice(list(kinds)))
+        start = int(rng.integers(lo, n_samples))
+        length = int(rng.integers(1, max(2, max_length + 1)))
+        n_cols = int(rng.integers(1, n_features + 1))
+        cols = tuple(
+            int(c) for c in sorted(rng.choice(n_features, size=n_cols, replace=False))
+        )
+        faults.append(ScheduledFault(kind, start, length, cols))
+    return tuple(sorted(faults, key=lambda f: (f.start, f.kind)))
+
+
+def apply_fault_schedule(
+    X: np.ndarray, schedule: Sequence[ScheduledFault]
+) -> np.ndarray:
+    """Splice every scheduled fault into a copy of ``X`` (in order)."""
+    X = np.asarray(X, dtype=np.float64).copy()
+    for f in schedule:
+        cols = list(f.columns)
+        if f.kind == "nan_burst":
+            X = nan_burst(X, f.start, f.length, columns=cols)
+        elif f.kind == "stuck_at":
+            X = stuck_at(X, f.start, f.length, columns=cols)
+        elif f.kind == "dropout":
+            X = dropout(X, f.start, f.length, columns=cols)
+        elif f.kind == "spike_train":
+            X = spike_train(X, f.start, f.length, columns=cols)
+        else:  # feature_dead — bounded to the scheduled window for soaks
+            stop = min(f.start + f.length, len(X))
+            X = dropout(X, f.start, stop - f.start, columns=cols[:1])
+    return X
+
+
+def chaos_stream(
+    stream: DataStream,
+    schedule: Sequence[ScheduledFault],
+    *,
+    name: Optional[str] = None,
+) -> DataStream:
+    """Return ``stream`` with the schedule's faults spliced in.
+
+    The result is built with ``ensure_finite=False`` — it may carry NaN
+    and is only meant for pipelines with a guard attached (an unguarded
+    pipeline raises ``DataValidationError`` at the first bad sample, by
+    design).
+    """
+    X = apply_fault_schedule(stream.X, schedule)
+    return DataStream(
+        X,
+        stream.y,
+        drift_points=stream.drift_points,
+        name=name or f"{stream.name}+chaos",
+        ensure_finite=False,
+    )

@@ -1,0 +1,189 @@
+"""The degradation ladder — the third rung of the self-healing runtime.
+
+A pipeline that keeps adapting on garbage data destroys its own model; a
+pipeline that halts on the first bad sample fails the paper's
+month-long-unattended deployment story. The ladder resolves the tension
+by trading capability for safety one notch at a time:
+
+``HEALTHY``
+    Full pipeline: detection, reconstruction, sequential training, and
+    the vectorized chunk fast path. Byte-identical to an unguarded run.
+``SANITIZING``
+    Full pipeline behaviour, but every sample goes through the
+    per-sample sanitizer (the chunk fast path is suspended). Entered
+    after a burst of input faults.
+``PASSTHROUGH``
+    Detector and reconstruction are bypassed: the model still predicts
+    and the record stream keeps flowing, but nothing adapts — faulty
+    input can no longer masquerade as concept drift. Entered when a
+    numeric-health sentinel trips (the model just had to be restored
+    from a snapshot; feeding the restored state more suspect data would
+    re-poison it).
+``FROZEN``
+    Terminal safe mode: predictions only, from whatever state survived,
+    until the operator intervenes. Entered after repeated sentinel
+    trips — the "limp home" rung.
+
+Transitions have **hysteresis** in both directions: escalation needs a
+burst (several faults inside a short window), not a single bad sample,
+and de-escalation needs a clean streak that doubles with altitude, so a
+flapping sensor cannot bounce the pipeline between rungs every few
+samples. ``FROZEN`` never de-escalates on its own.
+
+The ladder is pure bookkeeping — it decides *levels*, while the guard
+runtime enforces what each level means and emits the telemetry trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import List, Optional
+
+from ..utils.exceptions import ConfigurationError
+
+__all__ = ["GuardLevel", "Transition", "DegradationLadder"]
+
+
+class GuardLevel(IntEnum):
+    """Rungs of the degradation ladder, ordered by lost capability."""
+
+    HEALTHY = 0
+    SANITIZING = 1
+    PASSTHROUGH = 2
+    FROZEN = 3
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One ladder move, stamped with the exact stream index."""
+
+    index: int
+    from_level: GuardLevel
+    to_level: GuardLevel
+    reason: str
+
+
+class DegradationLadder:
+    """Hysteretic level controller for a guarded pipeline.
+
+    Parameters
+    ----------
+    trip_faults, fault_window:
+        Escalate ``HEALTHY → SANITIZING`` once ``trip_faults`` input
+        faults land within any ``fault_window`` consecutive samples. A
+        single cosmic-ray sample is repaired without a level change.
+    freeze_trips, trip_window:
+        Escalate to ``FROZEN`` once ``freeze_trips`` sentinel trips land
+        within ``trip_window`` samples — repeated numeric divergence
+        means rollback is not containing the problem.
+    cooldown:
+        Clean samples required to step down one level from
+        ``SANITIZING``; each higher rung doubles it (``cooldown * 2``
+        from ``PASSTHROUGH``). De-escalation is always one rung at a
+        time, and ``FROZEN`` is sticky.
+    """
+
+    def __init__(
+        self,
+        *,
+        trip_faults: int = 3,
+        fault_window: int = 32,
+        freeze_trips: int = 2,
+        trip_window: int = 512,
+        cooldown: int = 64,
+    ) -> None:
+        for label, v in (
+            ("trip_faults", trip_faults),
+            ("fault_window", fault_window),
+            ("freeze_trips", freeze_trips),
+            ("trip_window", trip_window),
+            ("cooldown", cooldown),
+        ):
+            if int(v) < 1:
+                raise ConfigurationError(f"{label} must be >= 1, got {v!r}.")
+        self.trip_faults = int(trip_faults)
+        self.fault_window = int(fault_window)
+        self.freeze_trips = int(freeze_trips)
+        self.trip_window = int(trip_window)
+        self.cooldown = int(cooldown)
+        self.level = GuardLevel.HEALTHY
+        self._fault_indices: List[int] = []
+        self._trip_indices: List[int] = []
+        self._clean_streak = 0
+
+    # -- event intake ----------------------------------------------------------
+
+    def record_fault(self, index: int) -> Optional[Transition]:
+        """An input fault at stream ``index``; maybe escalate to SANITIZING."""
+        self._clean_streak = 0
+        self._fault_indices.append(int(index))
+        lo = index - self.fault_window + 1
+        self._fault_indices = [i for i in self._fault_indices if i >= lo]
+        if (
+            self.level == GuardLevel.HEALTHY
+            and len(self._fault_indices) >= self.trip_faults
+        ):
+            return self._move(
+                index,
+                GuardLevel.SANITIZING,
+                f"{len(self._fault_indices)} input faults within "
+                f"{self.fault_window} samples",
+            )
+        return None
+
+    def record_trip(self, index: int, reason: str = "sentinel trip") -> Optional[Transition]:
+        """A sentinel trip at ``index``; escalate to PASSTHROUGH or FROZEN."""
+        self._clean_streak = 0
+        self._trip_indices.append(int(index))
+        lo = index - self.trip_window + 1
+        self._trip_indices = [i for i in self._trip_indices if i >= lo]
+        if self.level == GuardLevel.FROZEN:
+            return None
+        if len(self._trip_indices) >= self.freeze_trips:
+            return self._move(
+                index,
+                GuardLevel.FROZEN,
+                f"{len(self._trip_indices)} sentinel trips within "
+                f"{self.trip_window} samples ({reason})",
+            )
+        if self.level < GuardLevel.PASSTHROUGH:
+            return self._move(index, GuardLevel.PASSTHROUGH, reason)
+        return None
+
+    def record_clean(self, index: int) -> Optional[Transition]:
+        """A clean sample at ``index``; maybe step one rung back down."""
+        if self.level in (GuardLevel.HEALTHY, GuardLevel.FROZEN):
+            return None
+        self._clean_streak += 1
+        needed = self.cooldown * (2 ** (int(self.level) - 1))
+        if self._clean_streak >= needed:
+            self._clean_streak = 0
+            return self._move(
+                index,
+                GuardLevel(int(self.level) - 1),
+                f"{needed} consecutive clean samples",
+            )
+        return None
+
+    def _move(self, index: int, to: GuardLevel, reason: str) -> Transition:
+        t = Transition(int(index), self.level, to, reason)
+        self.level = to
+        self._clean_streak = 0
+        return t
+
+    # -- checkpoint protocol ---------------------------------------------------
+
+    def get_state(self) -> dict:
+        return {
+            "level": int(self.level),
+            "fault_indices": list(self._fault_indices),
+            "trip_indices": list(self._trip_indices),
+            "clean_streak": int(self._clean_streak),
+        }
+
+    def set_state(self, state: dict) -> None:
+        self.level = GuardLevel(int(state["level"]))
+        self._fault_indices = [int(i) for i in state["fault_indices"]]
+        self._trip_indices = [int(i) for i in state["trip_indices"]]
+        self._clean_streak = int(state["clean_streak"])

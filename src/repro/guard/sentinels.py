@@ -1,0 +1,89 @@
+"""Numeric-health sentinels — the second rung of the self-healing runtime.
+
+The OS-ELM recursion is numerically delicate: each sequential update
+multiplies through the running inverse covariance ``P``, so one garbage
+sample (or plain accumulation over a month of updates) can leave ``P``
+asymmetric, blow up ``beta``, or seed a NaN that silently poisons every
+later prediction. The failure is *latent* — the update itself does not
+raise — which is why the guard probes model state **after** mutating
+steps rather than trusting exceptions.
+
+:class:`NumericHealthSentinel` wraps the per-instance probes
+(``OSELM.numeric_health`` / ``OSELM.check_health``) for a whole
+:class:`~repro.oselm.ensemble.MultiInstanceModel` and reports which
+instances tripped. The guard runtime decides what to do about a trip
+(roll back to the last healthy snapshot, or re-initialize) — the
+sentinel only detects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..oselm.ensemble import MultiInstanceModel
+from ..utils.exceptions import NumericalHealthError
+
+__all__ = ["SentinelTrip", "NumericHealthSentinel"]
+
+
+@dataclass(frozen=True)
+class SentinelTrip:
+    """One instance's failed health check."""
+
+    instance: int
+    reason: str
+
+
+class NumericHealthSentinel:
+    """Health probe over every OS-ELM instance of a multi-instance model.
+
+    Parameters mirror ``OSELM.check_health``:
+
+    max_beta_norm:
+        Frobenius-norm ceiling for the output weights. The init-set fit
+        lands orders of magnitude below this; crossing it means the
+        recursion is diverging.
+    max_p_magnitude:
+        Ceiling for ``|P|``. ``P`` shrinks as evidence accumulates
+        (it is an inverse covariance); growth toward this bound signals
+        a collapsing information matrix.
+    symmetry_tol:
+        Allowed ``max|P - Pᵀ|``. The update preserves symmetry exactly
+        in real arithmetic; drift beyond round-off means accumulated
+        floating-point damage (the library re-symmetrizes, so any
+        violation here is serious).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_beta_norm: float = 1e6,
+        max_p_magnitude: float = 1e8,
+        symmetry_tol: float = 1e-6,
+    ) -> None:
+        self.max_beta_norm = float(max_beta_norm)
+        self.max_p_magnitude = float(max_p_magnitude)
+        self.symmetry_tol = float(symmetry_tol)
+        #: total instance-level trips observed (report currency)
+        self.n_trips = 0
+
+    def check(self, model: MultiInstanceModel) -> Tuple[SentinelTrip, ...]:
+        """Probe every instance; return the trips (empty = healthy)."""
+        trips: List[SentinelTrip] = []
+        for c, inst in enumerate(model.instances):
+            core = getattr(inst, "core", inst)
+            try:
+                core.check_health(
+                    max_beta_norm=self.max_beta_norm,
+                    max_p_magnitude=self.max_p_magnitude,
+                    symmetry_tol=self.symmetry_tol,
+                )
+            except NumericalHealthError as exc:
+                trips.append(SentinelTrip(instance=c, reason=str(exc)))
+        self.n_trips += len(trips)
+        return tuple(trips)
+
+    def is_healthy(self, model: MultiInstanceModel) -> bool:
+        """Convenience wrapper: True iff :meth:`check` finds nothing."""
+        return not self.check(model)

@@ -34,7 +34,12 @@ from typing import Optional
 
 import numpy as np
 
-from ..utils.exceptions import ConfigurationError, NotFittedError
+from ..utils.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    NotFittedError,
+    NumericalHealthError,
+)
 from ..utils.rng import SeedLike
 from ..utils.validation import as_matrix, check_positive
 from .random_layer import RandomLayer
@@ -153,7 +158,7 @@ class OSELM:
                 f"target has {t.shape[1]} outputs, model expects {self.n_outputs}."
             )
         if not np.all(np.isfinite(t)):
-            raise ConfigurationError("target contains NaN or infinite values.")
+            raise DataValidationError("target contains NaN or infinite values.")
         self._rank1_update(h, t)
         self.n_samples_seen += 1
         return self
@@ -203,6 +208,70 @@ class OSELM:
         H = self.layer.transform_rowwise(X)
         return np.matmul(H[:, None, :], self.beta)[:, 0, :]
 
+    # -- numeric health ----------------------------------------------------------------
+
+    def numeric_health(self) -> dict:
+        """Cheap (O(h²)) indicators of the RLS recursion's numeric state.
+
+        Returns a dict the guard layer's sentinels threshold against:
+
+        * ``finite`` — no NaN/inf anywhere in ``β`` or ``P``;
+        * ``beta_norm`` — Frobenius norm of ``β`` (explodes when a huge
+          target is folded in, e.g. a sensor spike hitting an autoencoder);
+        * ``p_max`` — largest ``|P|`` entry (a condition proxy: ``P`` is
+          the inverse covariance, so a blow-up means the recursion lost
+          positive definiteness);
+        * ``p_asymmetry`` — ``max|P - Pᵀ|`` (kept ≈0 by ``_symmetrize``;
+          growth signals external corruption);
+        * ``p_diag_min`` — smallest diagonal entry (must stay > 0 for a
+          PD matrix).
+
+        An unfitted model reports ``{"fitted": False}``.
+        """
+        if not self.is_fitted:
+            return {"fitted": False}
+        beta, P = self.beta, self.P
+        with np.errstate(over="ignore", invalid="ignore"):
+            return {
+                "fitted": True,
+                "finite": bool(np.isfinite(beta).all() and np.isfinite(P).all()),
+                "beta_norm": float(np.sqrt(np.sum(beta * beta))),
+                "p_max": float(np.abs(P).max()),
+                "p_asymmetry": float(np.abs(P - P.T).max()),
+                "p_diag_min": float(np.diagonal(P).min()),
+            }
+
+    def check_health(
+        self,
+        *,
+        max_beta_norm: float = 1e6,
+        max_p_magnitude: float = 1e8,
+        symmetry_tol: float = 1e-6,
+    ) -> None:
+        """Raise :class:`NumericalHealthError` if the state has diverged.
+
+        The thresholds mirror :class:`repro.guard.NumericHealthSentinel`'s
+        defaults; an unfitted model trivially passes.
+        """
+        h = self.numeric_health()
+        if not h.get("fitted"):
+            return
+        violations = []
+        if not h["finite"]:
+            violations.append("non-finite values in beta/P")
+        if h["beta_norm"] > max_beta_norm:
+            violations.append(f"||beta||={h['beta_norm']:.3g} exceeds {max_beta_norm:g}")
+        if h["p_max"] > max_p_magnitude:
+            violations.append(f"max|P|={h['p_max']:.3g} exceeds {max_p_magnitude:g}")
+        if h["p_asymmetry"] > symmetry_tol:
+            violations.append(f"P asymmetry {h['p_asymmetry']:.3g} exceeds {symmetry_tol:g}")
+        if h["p_diag_min"] <= 0.0:
+            violations.append(f"P diagonal min {h['p_diag_min']:.3g} is not positive")
+        if violations:
+            raise NumericalHealthError(
+                f"{type(self).__name__} numeric state diverged: " + "; ".join(violations)
+            )
+
     # -- helpers ----------------------------------------------------------------------
 
     def _as_targets(self, T: np.ndarray, n: int) -> np.ndarray:
@@ -214,7 +283,7 @@ class OSELM:
                 f"targets have shape {T.shape}, expected ({n}, {self.n_outputs})."
             )
         if not np.all(np.isfinite(T)):
-            raise ConfigurationError("targets contain NaN or infinite values.")
+            raise DataValidationError("targets contain NaN or infinite values.")
         return T
 
     def state_nbytes(self) -> int:

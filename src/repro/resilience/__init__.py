@@ -32,8 +32,12 @@ from .faults import (
     InjectedCrash,
     corrupt_version,
     crash_at,
+    dropout,
+    feature_dead,
     flip_bit,
     nan_burst,
+    spike_train,
+    stuck_at,
     truncate_file,
 )
 from .reclog import (
@@ -66,6 +70,10 @@ __all__ = [
     "flip_bit",
     "corrupt_version",
     "nan_burst",
+    "stuck_at",
+    "dropout",
+    "spike_train",
+    "feature_dead",
     "flatten_state",
     "unflatten_state",
     "snapshot_state",

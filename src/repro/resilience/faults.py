@@ -10,7 +10,13 @@ in the field:
   :func:`corrupt_version` damage checkpoint files in the precise ways a
   brownout or flash wear does (torn write, flipped cell, stale format);
 * **sensor garbage** — :func:`nan_burst` splices a NaN window into a raw
-  feature matrix before it becomes a (NaN-rejecting) ``DataStream``.
+  feature matrix, and the sensor-fault family (:func:`stuck_at`,
+  :func:`dropout`, :func:`spike_train`, :func:`feature_dead`) reproduces
+  the four classic field failures of cheap transducers: a frozen reading,
+  a dead link reporting a constant, periodic electrical spikes, and a
+  channel that flatlines for good. These produce *finite* garbage, so an
+  unguarded pipeline streams it silently — exactly the scenario the
+  :mod:`repro.guard` layer exists to catch.
 
 Everything here is deterministic: no RNG, no wall clock.
 """
@@ -34,6 +40,10 @@ __all__ = [
     "flip_bit",
     "corrupt_version",
     "nan_burst",
+    "stuck_at",
+    "dropout",
+    "spike_train",
+    "feature_dead",
 ]
 
 
@@ -157,4 +167,95 @@ def nan_burst(
         X[start:stop, :] = np.nan
     else:
         X[start:stop, list(columns)] = np.nan
+    return X
+
+
+def _window(X: np.ndarray, start: int, length: int) -> tuple[np.ndarray, int, int]:
+    """Copy ``X`` and clamp the fault window — shared by the sensor faults."""
+    X = np.asarray(X, dtype=np.float64).copy()
+    if not 0 <= start <= len(X):
+        raise ValueError(f"start {start} outside [0, {len(X)}]")
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    return X, int(start), min(int(start) + int(length), len(X))
+
+
+def stuck_at(
+    X: np.ndarray,
+    start: int,
+    length: int,
+    columns: Optional[Sequence[int]] = None,
+    value: Optional[float] = None,
+) -> np.ndarray:
+    """Freeze readings for a window — a sensor stuck at its last value.
+
+    The affected columns repeat row ``start``'s reading (or ``value``
+    when given) for ``length`` samples. Finite and usually in-range, so
+    only distribution-level guards can notice it.
+    """
+    X, start, stop = _window(X, start, length)
+    cols = slice(None) if columns is None else list(columns)
+    held = X[start, cols].copy() if value is None else float(value)
+    X[start:stop, cols] = held
+    return X
+
+
+def dropout(
+    X: np.ndarray,
+    start: int,
+    length: int,
+    columns: Optional[Sequence[int]] = None,
+    fill: float = 0.0,
+) -> np.ndarray:
+    """Zero (or ``fill``) a window — a dead link reporting a constant.
+
+    Unlike :func:`nan_burst` the readings stay finite, mimicking an ADC
+    whose input line went open-circuit.
+    """
+    X, start, stop = _window(X, start, length)
+    cols = slice(None) if columns is None else list(columns)
+    X[start:stop, cols] = float(fill)
+    return X
+
+
+def spike_train(
+    X: np.ndarray,
+    start: int,
+    length: int,
+    columns: Optional[Sequence[int]] = None,
+    *,
+    period: int = 3,
+    magnitude: float = 1e3,
+) -> np.ndarray:
+    """Add alternating ±``magnitude`` spikes every ``period`` samples.
+
+    Electrical interference: most samples in the window are untouched,
+    but every ``period``-th reading is blown far out of the learned
+    bounds with a deterministic alternating sign.
+    """
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    X, start, stop = _window(X, start, length)
+    cols = slice(None) if columns is None else list(columns)
+    for n, i in enumerate(range(start, stop, int(period))):
+        X[i, cols] += magnitude if n % 2 == 0 else -magnitude
+    return X
+
+
+def feature_dead(
+    X: np.ndarray,
+    column: int,
+    start: int = 0,
+    value: float = 0.0,
+) -> np.ndarray:
+    """Flatline one feature from ``start`` to the end of the stream.
+
+    The permanent version of :func:`dropout`: a channel fails and never
+    comes back — the survive-the-month scenario for the degradation
+    ladder's sanitizing rung.
+    """
+    X, start, _ = _window(X, start, 0)
+    if not 0 <= int(column) < X.shape[1]:
+        raise ValueError(f"column {column} outside matrix with {X.shape[1]} features")
+    X[start:, int(column)] = float(value)
     return X

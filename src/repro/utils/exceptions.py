@@ -12,6 +12,8 @@ __all__ = [
     "NotFittedError",
     "ConfigurationError",
     "DataValidationError",
+    "GuardError",
+    "NumericalHealthError",
     "CheckpointError",
     "CheckpointCorruptError",
     "CheckpointVersionError",
@@ -42,6 +44,26 @@ class ConfigurationError(ReproError, ValueError):
 
 class DataValidationError(ReproError, ValueError):
     """Input data has the wrong shape, dtype, or contains invalid values."""
+
+
+class GuardError(ReproError, RuntimeError):
+    """The runtime guard refused to continue a stream.
+
+    Raised by :mod:`repro.guard` under the ``reject`` sanitizer policy
+    when an input sample is non-finite or out of the learned bounds —
+    the loud-failure counterpart of the repairing policies (``clip``,
+    ``impute_last_good``, ``quarantine``), which never raise.
+    """
+
+
+class NumericalHealthError(GuardError):
+    """A numeric-health sentinel found diverged model state.
+
+    Raised by :meth:`repro.oselm.oselm.OSELM.check_health` (and by the
+    guard layer in strict configurations) when the RLS state carries
+    non-finite values, an exploded ``β`` norm, a blown-up or asymmetric
+    ``P`` matrix, or a non-positive-definite diagonal.
+    """
 
 
 class CheckpointError(ReproError):

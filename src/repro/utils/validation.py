@@ -25,6 +25,21 @@ __all__ = [
 ]
 
 
+def _coerce(X: object, dtype: type, name: str) -> np.ndarray:
+    """``np.asarray`` that reports uncastable input as a data problem.
+
+    Object arrays of strings (a sensor stream gone textual, a CSV column
+    parsed wrong) make ``np.asarray`` raise a bare ``ValueError``; wrap it
+    so callers see the library's :class:`DataValidationError` instead.
+    """
+    try:
+        return np.asarray(X, dtype=dtype)
+    except (ValueError, TypeError) as exc:
+        raise DataValidationError(
+            f"{name} could not be coerced to {np.dtype(dtype).name}: {exc}"
+        ) from exc
+
+
 def as_matrix(
     X: object,
     *,
@@ -32,15 +47,19 @@ def as_matrix(
     n_features: Optional[int] = None,
     allow_empty: bool = False,
     dtype: type = np.float64,
+    ensure_finite: bool = True,
 ) -> np.ndarray:
     """Coerce ``X`` to a 2-D ``(n_samples, n_features)`` float array.
 
     A 1-D input is interpreted as a single sample (one row). Non-finite
     values are rejected: on a microcontroller a NaN propagating through a
     sequential update silently corrupts the model state forever, so the
-    library refuses them at the boundary.
+    library refuses them at the boundary. ``ensure_finite=False`` lifts
+    only that check — it exists for the fault-injection and
+    :mod:`repro.guard` layers, which deliberately carry sensor garbage up
+    to the sanitizer instead of dying at the edge of the library.
     """
-    arr = np.asarray(X, dtype=dtype)
+    arr = _coerce(X, dtype, name)
     if arr.ndim == 1:
         arr = arr.reshape(1, -1)
     if arr.ndim != 2:
@@ -55,7 +74,7 @@ def as_matrix(
         raise DataValidationError(
             f"{name} has {arr.shape[1]} features, expected {n_features}."
         )
-    if not np.all(np.isfinite(arr)):
+    if ensure_finite and not np.all(np.isfinite(arr)):
         raise DataValidationError(f"{name} contains NaN or infinite values.")
     return np.ascontiguousarray(arr)
 
@@ -66,9 +85,10 @@ def as_vector(
     name: str = "x",
     n_features: Optional[int] = None,
     dtype: type = np.float64,
+    ensure_finite: bool = True,
 ) -> np.ndarray:
     """Coerce ``x`` to a 1-D float vector (a single sample)."""
-    arr = np.asarray(x, dtype=dtype)
+    arr = _coerce(x, dtype, name)
     if arr.ndim == 2 and arr.shape[0] == 1:
         arr = arr[0]
     if arr.ndim != 1:
@@ -81,7 +101,7 @@ def as_vector(
         raise DataValidationError(
             f"{name} has {arr.shape[0]} features, expected {n_features}."
         )
-    if not np.all(np.isfinite(arr)):
+    if ensure_finite and not np.all(np.isfinite(arr)):
         raise DataValidationError(f"{name} contains NaN or infinite values.")
     return np.ascontiguousarray(arr)
 

@@ -14,6 +14,15 @@ from repro.datasets import DataStream, GaussianConcept
 from repro.oselm import MultiInstanceModel
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run the reduced chaos-soak matrix (the CI smoke leg)",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

@@ -297,6 +297,104 @@ class TestParallelRunnerCrashRecovery:
         assert result.detections == reference.detections
 
 
+class TestSensorFaultGenerators:
+    """The four finite-garbage faults: deterministic, copying, clamped."""
+
+    @pytest.fixture
+    def X(self, rng):
+        return rng.normal(size=(40, 5))
+
+    def test_stuck_at_holds_first_windowed_reading(self, X):
+        from repro.resilience import stuck_at
+
+        out = stuck_at(X, start=10, length=6, columns=[1, 3])
+        for i in range(10, 16):
+            np.testing.assert_array_equal(out[i, [1, 3]], X[10, [1, 3]])
+        # untouched columns and rows are bit-identical
+        np.testing.assert_array_equal(out[:, [0, 2, 4]], X[:, [0, 2, 4]])
+        np.testing.assert_array_equal(out[:10], X[:10])
+        np.testing.assert_array_equal(out[16:], X[16:])
+
+    def test_stuck_at_explicit_value(self, X):
+        from repro.resilience import stuck_at
+
+        out = stuck_at(X, start=0, length=3, value=7.5)
+        assert (out[:3] == 7.5).all()
+
+    def test_dropout_fills_constant(self, X):
+        from repro.resilience import dropout
+
+        out = dropout(X, start=5, length=4, columns=[0], fill=-1.0)
+        assert (out[5:9, 0] == -1.0).all()
+        assert np.isfinite(out).all()
+
+    def test_spike_train_alternates_sign_on_period(self, X):
+        from repro.resilience import spike_train
+
+        out = spike_train(X, start=0, length=10, columns=[2], period=3,
+                          magnitude=100.0)
+        delta = out[:, 2] - X[:, 2]
+        np.testing.assert_allclose(delta[[0, 3, 6, 9]], [100, -100, 100, -100])
+        assert (delta[[1, 2, 4, 5, 7, 8]] == 0).all()
+
+    def test_spike_train_rejects_bad_period(self, X):
+        from repro.resilience import spike_train
+
+        with pytest.raises(ValueError):
+            spike_train(X, start=0, length=5, period=0)
+
+    def test_feature_dead_flatlines_to_the_end(self, X):
+        from repro.resilience import feature_dead
+
+        out = feature_dead(X, column=4, start=12)
+        assert (out[12:, 4] == 0.0).all()
+        np.testing.assert_array_equal(out[:12, 4], X[:12, 4])
+
+    def test_feature_dead_rejects_bad_column(self, X):
+        from repro.resilience import feature_dead
+
+        with pytest.raises(ValueError):
+            feature_dead(X, column=5)
+
+    def test_window_clamps_past_stream_end(self, X):
+        from repro.resilience import dropout
+
+        out = dropout(X, start=38, length=100)
+        assert (out[38:] == 0.0).all() and out.shape == X.shape
+
+    def test_invalid_start_rejected(self, X):
+        from repro.resilience import stuck_at
+
+        with pytest.raises(ValueError):
+            stuck_at(X, start=41, length=1)
+        with pytest.raises(ValueError):
+            stuck_at(X, start=0, length=-1)
+
+    def test_generators_never_mutate_input(self, X):
+        from repro.resilience import dropout, feature_dead, spike_train, stuck_at
+
+        before = X.copy()
+        stuck_at(X, 0, 5)
+        dropout(X, 0, 5)
+        spike_train(X, 0, 5)
+        feature_dead(X, column=0)
+        np.testing.assert_array_equal(X, before)
+
+    def test_finite_garbage_streams_silently_without_guard(self, train_stream):
+        # The defining property that motivates the guard layer: stuck-at
+        # garbage is finite, so an unguarded pipeline accepts it.
+        from repro.resilience import stuck_at
+
+        pipe = build_proposed(
+            train_stream.X, train_stream.y, window_size=20, n_hidden=4,
+            reconstruction_samples=60, seed=0,
+        )
+        X = stuck_at(np.tile(train_stream.X[:1], (30, 1)), 0, 30, value=0.5)
+        for row in X:
+            rec = pipe.process_one(row, 0)
+            assert np.isfinite(rec.anomaly_score)
+
+
 class TestNaNBurst:
     def test_nan_burst_stream_is_refused(self, rng):
         from repro.resilience import nan_burst

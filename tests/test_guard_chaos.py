@@ -1,0 +1,201 @@
+"""Chaos soak: all five pipelines x both datasets under seeded fault storms.
+
+Each soak splices a seeded random schedule of sensor faults (NaN bursts,
+stuck-at, dropout, spike trains, dead features) into an ordinary
+evaluation stream and runs it through a guarded pipeline. The acceptance
+bar is the deployment one:
+
+* **zero uncaught exceptions** — the run completes;
+* **index-aligned records** — repaired/quarantined samples never shift
+  the record stream against the input stream;
+* **auditable recovery trail** — every fault handled and every ladder
+  transition lands in telemetry with the exact stream index.
+
+Under ``pytest --smoke`` the matrix shrinks to one dataset x one seed
+(the CI smoke leg); the full matrix covers both synthesised paper
+datasets and two schedule seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CentroidSet,
+    ErrorRatePipeline,
+    ModelReconstructor,
+    build_baseline,
+    build_model,
+    build_onlad,
+    build_proposed,
+    build_quanttree_pipeline,
+    build_spll_pipeline,
+)
+from repro.datasets import NSLKDDConfig, make_cooling_fan_like, make_nslkdd_like
+from repro.detectors import DDM
+from repro.guard import (
+    FAULT_KINDS,
+    RuntimeGuard,
+    ScheduledFault,
+    apply_fault_schedule,
+    chaos_stream,
+    make_fault_schedule,
+)
+from repro.telemetry import RingBufferSink, Telemetry
+from repro.utils.exceptions import ConfigurationError
+
+SEED = 3
+
+
+def _ddm_pipeline(train):
+    model = build_model(train.X, train.y, seed=SEED)
+    cents = CentroidSet.from_labelled_data(train.X, train.y, train.n_classes)
+    rec = ModelReconstructor(model, cents, n_total=120)
+    return ErrorRatePipeline(model, DDM(), rec)
+
+
+MAKERS = {
+    "baseline": lambda tr: build_baseline(tr.X, tr.y, seed=SEED),
+    "onlad": lambda tr: build_onlad(tr.X, tr.y, forgetting_factor=0.95, seed=SEED),
+    "proposed": lambda tr: build_proposed(tr.X, tr.y, window_size=60, seed=SEED),
+    "quanttree": lambda tr: build_quanttree_pipeline(
+        tr.X, tr.y, batch_size=250, n_bins=8, seed=SEED
+    ),
+    "spll": lambda tr: build_spll_pipeline(tr.X, tr.y, batch_size=250, seed=SEED),
+    "ddm": _ddm_pipeline,
+}
+
+#: module cache — the synthesised datasets are deterministic, build once
+_STREAMS: dict = {}
+
+
+def _streams(dataset: str):
+    if dataset not in _STREAMS:
+        if dataset == "fan":
+            _STREAMS[dataset] = make_cooling_fan_like(
+                "sudden", n_train=150, n_test=500, drift_at=150, seed=5, n_bins=64
+            )
+        else:
+            cfg = NSLKDDConfig(n_train=300, n_test=900, drift_at=300)
+            _STREAMS[dataset] = make_nslkdd_like(cfg, seed=5)
+    return _STREAMS[dataset]
+
+
+def pytest_generate_tests(metafunc: pytest.Metafunc) -> None:
+    """Shrink the soak matrix under ``--smoke`` (the CI leg)."""
+    smoke = metafunc.config.getoption("--smoke")
+    if "dataset" in metafunc.fixturenames:
+        metafunc.parametrize("dataset", ["nslkdd"] if smoke else ["fan", "nslkdd"])
+    if "chaos_seed" in metafunc.fixturenames:
+        metafunc.parametrize("chaos_seed", [7] if smoke else [7, 19])
+
+
+class TestChaosSoak:
+    def _soak(self, name, dataset, chaos_seed):
+        train, test = _streams(dataset)
+        schedule = make_fault_schedule(
+            len(test),
+            test.n_features,
+            seed=chaos_seed,
+            n_faults=8,
+            max_length=15,
+            protect_prefix=5,
+        )
+        stream = chaos_stream(test, schedule)
+        pipe = MAKERS[name](train)
+        tel = Telemetry(enabled=True, sinks=[RingBufferSink()])
+        pipe.telemetry = tel
+        guard = RuntimeGuard.from_init_data(train.X)
+        pipe.attach_guard(guard)
+        records = pipe.run(stream)
+        return guard, tel.sinks[0], records, stream
+
+    @pytest.mark.parametrize("name", sorted(MAKERS))
+    def test_pipeline_survives_fault_storm(self, name, dataset, chaos_seed):
+        guard, sink, records, stream = self._soak(name, dataset, chaos_seed)
+        # Zero uncaught exceptions (we got here) and no dropped samples:
+        assert len(records) == len(stream)
+        assert [r.index for r in records] == list(range(len(stream)))
+        # The storm actually hit something, and each handled fault left
+        # a telemetry event carrying its exact stream index.
+        assert guard.sanitizer.n_faults > 0
+        faults = sink.events("guard_fault")
+        assert len(faults) == guard.sanitizer.n_faults
+        assert all(0 <= e.fields["index"] < len(stream) for e in faults)
+        # Ladder history and the emitted trail agree, index for index.
+        moves = sink.events("guard_level_changed")
+        assert [(m.fields["index"], m.fields["to_level"]) for m in moves] == [
+            (t.index, t.to_level.name) for t in guard.transitions
+        ]
+        # If the sentinel tripped, a recovery event must exist for it.
+        if guard.sentinel.n_trips:
+            assert sink.events("sentinel_tripped")
+            assert sink.events("model_rolled_back") or sink.events(
+                "model_reinitialized"
+            )
+
+    def test_protected_prefix_matches_golden(self, dataset, chaos_seed):
+        """Records before the first fault are byte-identical to a clean run."""
+        train, test = _streams(dataset)
+        schedule = make_fault_schedule(
+            len(test), test.n_features, seed=chaos_seed, protect_prefix=50
+        )
+        first_fault = min(f.start for f in schedule)
+        assert first_fault >= 50
+        golden = MAKERS["proposed"](train).run(test.slice(0, first_fault))
+        pipe = MAKERS["proposed"](train)
+        pipe.attach_guard(RuntimeGuard.from_init_data(train.X))
+        records = pipe.run(chaos_stream(test, schedule))
+        assert records[:first_fault] == golden
+
+
+class TestFaultSchedule:
+    def test_schedule_is_deterministic_in_seed(self):
+        a = make_fault_schedule(500, 6, seed=11)
+        b = make_fault_schedule(500, 6, seed=11)
+        c = make_fault_schedule(500, 6, seed=12)
+        assert a == b
+        assert a != c
+
+    def test_protect_prefix_respected(self):
+        sched = make_fault_schedule(300, 4, seed=0, n_faults=20, protect_prefix=100)
+        assert all(f.start >= 100 for f in sched)
+
+    def test_columns_are_valid_and_sorted(self):
+        for f in make_fault_schedule(200, 5, seed=1, n_faults=10):
+            assert f.columns == tuple(sorted(f.columns))
+            assert all(0 <= c < 5 for c in f.columns)
+            assert f.kind in FAULT_KINDS
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_fault_schedule(100, 3, seed=0, kinds=("nan_burst", "gamma_ray"))
+        with pytest.raises(ConfigurationError):
+            ScheduledFault("gamma_ray", 0, 1, (0,))
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_fault_schedule(0, 3, seed=0)
+
+    def test_apply_leaves_input_untouched(self, rng):
+        X = rng.random((100, 4))
+        before = X.copy()
+        sched = make_fault_schedule(100, 4, seed=2, n_faults=5)
+        out = apply_fault_schedule(X, sched)
+        np.testing.assert_array_equal(X, before)
+        assert out is not X
+
+    def test_chaos_stream_carries_nan_unchecked(self, rng):
+        from repro.datasets import DataStream
+
+        X = rng.random((60, 4))
+        stream = DataStream(X, np.zeros(60, dtype=int), name="clean")
+        sched = (ScheduledFault("nan_burst", 10, 5, (1,)),)
+        chaotic = chaos_stream(stream, sched)
+        assert chaotic.name == "clean+chaos"
+        assert np.isnan(chaotic.X[10:15, 1]).all()
+        # Only the scheduled window differs from the original.
+        mask = np.ones_like(X, dtype=bool)
+        mask[10:15, 1] = False
+        np.testing.assert_array_equal(chaotic.X[mask], X[mask])

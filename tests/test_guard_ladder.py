@@ -1,0 +1,141 @@
+"""Unit tests for the degradation ladder's hysteresis state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.guard import DegradationLadder, GuardLevel
+from repro.utils.exceptions import ConfigurationError
+
+
+def ladder(**kw) -> DegradationLadder:
+    defaults = dict(trip_faults=3, fault_window=16, freeze_trips=2,
+                    trip_window=100, cooldown=4)
+    defaults.update(kw)
+    return DegradationLadder(**defaults)
+
+
+class TestEscalation:
+    def test_starts_healthy(self):
+        assert ladder().level == GuardLevel.HEALTHY
+
+    def test_single_fault_does_not_escalate(self):
+        lad = ladder()
+        assert lad.record_fault(10) is None
+        assert lad.level == GuardLevel.HEALTHY
+
+    def test_fault_burst_escalates_to_sanitizing(self):
+        lad = ladder()
+        assert lad.record_fault(10) is None
+        assert lad.record_fault(11) is None
+        t = lad.record_fault(12)
+        assert t is not None and t.to_level == GuardLevel.SANITIZING
+        assert t.index == 12 and t.from_level == GuardLevel.HEALTHY
+        assert lad.level == GuardLevel.SANITIZING
+
+    def test_spread_out_faults_never_escalate(self):
+        lad = ladder()
+        for i in (0, 20, 40, 60, 80):  # always outside the 16-sample window
+            assert lad.record_fault(i) is None
+        assert lad.level == GuardLevel.HEALTHY
+
+    def test_sentinel_trip_jumps_to_passthrough(self):
+        lad = ladder()
+        t = lad.record_trip(50, "beta diverged")
+        assert t.to_level == GuardLevel.PASSTHROUGH
+        assert "beta diverged" in t.reason
+
+    def test_repeated_trips_freeze(self):
+        lad = ladder()
+        lad.record_trip(50)
+        t = lad.record_trip(60)
+        assert t is not None and t.to_level == GuardLevel.FROZEN
+
+    def test_distant_trips_do_not_freeze(self):
+        lad = ladder()
+        lad.record_trip(50)
+        assert lad.record_trip(50 + 200) is None  # outside trip_window
+        assert lad.level == GuardLevel.PASSTHROUGH
+
+    def test_frozen_is_terminal_for_trips(self):
+        lad = ladder()
+        lad.record_trip(1)
+        lad.record_trip(2)
+        assert lad.level == GuardLevel.FROZEN
+        assert lad.record_trip(3) is None
+        assert lad.level == GuardLevel.FROZEN
+
+
+class TestDeescalation:
+    def test_cooldown_steps_down_one_level(self):
+        lad = ladder()
+        for i in range(3):
+            lad.record_fault(i)
+        assert lad.level == GuardLevel.SANITIZING
+        t = None
+        for i in range(3, 3 + 4):
+            t = lad.record_clean(i) or t
+        assert t is not None and t.to_level == GuardLevel.HEALTHY
+
+    def test_fault_resets_clean_streak(self):
+        lad = ladder()
+        for i in range(3):
+            lad.record_fault(i)
+        for i in range(3, 6):  # 3 clean < cooldown of 4
+            assert lad.record_clean(i) is None
+        lad.record_fault(6)  # streak restarts
+        for i in range(7, 10):
+            assert lad.record_clean(i) is None
+        assert lad.level == GuardLevel.SANITIZING
+
+    def test_higher_rung_needs_longer_streak(self):
+        lad = ladder()
+        lad.record_trip(0)
+        assert lad.level == GuardLevel.PASSTHROUGH
+        # PASSTHROUGH needs cooldown * 2 = 8 clean samples.
+        for i in range(1, 8):
+            assert lad.record_clean(i) is None
+        t = lad.record_clean(8)
+        assert t is not None and t.to_level == GuardLevel.SANITIZING
+        # then 4 more to reach HEALTHY
+        for i in range(9, 12):
+            assert lad.record_clean(i) is None
+        assert lad.record_clean(12).to_level == GuardLevel.HEALTHY
+
+    def test_frozen_never_deescalates(self):
+        lad = ladder()
+        lad.record_trip(0)
+        lad.record_trip(1)
+        for i in range(2, 500):
+            assert lad.record_clean(i) is None
+        assert lad.level == GuardLevel.FROZEN
+
+    def test_healthy_ignores_clean(self):
+        assert ladder().record_clean(5) is None
+
+
+class TestConfigAndState:
+    @pytest.mark.parametrize(
+        "field", ["trip_faults", "fault_window", "freeze_trips", "trip_window", "cooldown"]
+    )
+    def test_positive_parameters_enforced(self, field):
+        with pytest.raises(ConfigurationError):
+            ladder(**{field: 0})
+
+    def test_state_roundtrip(self):
+        lad = ladder()
+        lad.record_fault(1)
+        lad.record_fault(2)
+        lad.record_trip(3)
+        fresh = ladder()
+        fresh.set_state(lad.get_state())
+        assert fresh.level == lad.level
+        assert fresh.get_state() == lad.get_state()
+
+    def test_levels_are_ordered(self):
+        assert (
+            GuardLevel.HEALTHY
+            < GuardLevel.SANITIZING
+            < GuardLevel.PASSTHROUGH
+            < GuardLevel.FROZEN
+        )

@@ -1,0 +1,293 @@
+"""Integration tests: RuntimeGuard attached to the five stream pipelines.
+
+Pins the three load-bearing contracts of the self-healing runtime:
+
+1. **zero-cost when clean** — with a guard attached and no faults in the
+   stream, every pipeline's records are byte-identical to an unguarded
+   run (the guard delegates whole chunks verbatim);
+2. **every policy x every pipeline survives faults** — repaired or
+   quarantined samples keep the record stream index-aligned, reject
+   raises :class:`GuardError` loudly;
+3. **sentinel trips recover** — diverged model state rolls back to the
+   last healthy snapshot (or re-initializes), the ladder bypasses
+   adaptation, and the whole trail lands in telemetry with exact stream
+   indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CentroidSet,
+    ErrorRatePipeline,
+    ModelReconstructor,
+    build_baseline,
+    build_model,
+    build_onlad,
+    build_proposed,
+    build_quanttree_pipeline,
+)
+from repro.datasets import DataStream
+from repro.detectors import DDM
+from repro.guard import (
+    GuardLevel,
+    NumericHealthSentinel,
+    POLICIES,
+    RuntimeGuard,
+)
+from repro.resilience import InjectedCrash, crash_at, nan_burst, spike_train
+from repro.telemetry import RingBufferSink, Telemetry
+from repro.utils.exceptions import ConfigurationError, GuardError
+
+SEED = 3
+
+
+def _ddm_pipeline(train):
+    model = build_model(train.X, train.y, seed=SEED)
+    cents = CentroidSet.from_labelled_data(train.X, train.y, train.n_classes)
+    rec = ModelReconstructor(model, cents, n_total=120)
+    return ErrorRatePipeline(model, DDM(), rec)
+
+
+MAKERS = {
+    "baseline": lambda tr: build_baseline(tr.X, tr.y, seed=SEED),
+    "onlad": lambda tr: build_onlad(tr.X, tr.y, forgetting_factor=0.95, seed=SEED),
+    "proposed": lambda tr: build_proposed(tr.X, tr.y, window_size=60, seed=SEED),
+    "quanttree": lambda tr: build_quanttree_pipeline(
+        tr.X, tr.y, batch_size=250, n_bins=8, seed=SEED
+    ),
+    "ddm": _ddm_pipeline,
+}
+
+
+def make_guard(train, policy="impute_last_good", **kw) -> RuntimeGuard:
+    return RuntimeGuard.from_init_data(train.X, policy=policy, **kw)
+
+
+@pytest.fixture
+def faulty_stream(drift_stream) -> DataStream:
+    """The drift stream with a NaN burst and a spike train spliced in."""
+    X = nan_burst(drift_stream.X, 150, 8, columns=[1, 4])
+    X = spike_train(X, 600, 30, columns=[2], period=5, magnitude=1e4)
+    return DataStream(
+        X, drift_stream.y, drift_stream.drift_points,
+        name="faulty", ensure_finite=False,
+    )
+
+
+class TestByteIdentityWhenClean:
+    @pytest.mark.parametrize("name", list(MAKERS))
+    def test_guarded_equals_unguarded(self, name, train_stream, drift_stream):
+        golden = MAKERS[name](train_stream).run(drift_stream)
+        pipe = MAKERS[name](train_stream)
+        guard = make_guard(train_stream)
+        pipe.attach_guard(guard)
+        assert pipe.run(drift_stream) == golden
+        assert guard.sanitizer.n_faults == 0
+        assert guard.level == GuardLevel.HEALTHY
+
+    def test_guarded_per_sample_path_equals_chunked(self, train_stream, drift_stream):
+        chunked = MAKERS["proposed"](train_stream)
+        chunked.attach_guard(make_guard(train_stream))
+        per_sample = MAKERS["proposed"](train_stream)
+        per_sample.attach_guard(make_guard(train_stream))
+        assert (
+            chunked.run(drift_stream)
+            == per_sample.run(drift_stream, chunk_size=1)
+        )
+
+
+class TestPolicyMatrix:
+    @pytest.mark.parametrize("name", list(MAKERS))
+    @pytest.mark.parametrize("policy", [p for p in POLICIES if p != "reject"])
+    def test_every_policy_survives_faults(
+        self, name, policy, train_stream, faulty_stream
+    ):
+        pipe = MAKERS[name](train_stream)
+        guard = make_guard(train_stream, policy=policy)
+        pipe.attach_guard(guard)
+        records = pipe.run(faulty_stream)
+        assert len(records) == len(faulty_stream)
+        assert [r.index for r in records] == list(range(len(faulty_stream)))
+        assert guard.sanitizer.n_faults > 0
+
+    @pytest.mark.parametrize("name", list(MAKERS))
+    def test_reject_policy_raises_guard_error(self, name, train_stream, faulty_stream):
+        pipe = MAKERS[name](train_stream)
+        pipe.attach_guard(make_guard(train_stream, policy="reject"))
+        with pytest.raises(GuardError, match="sample 150"):
+            pipe.run(faulty_stream)
+
+    def test_quarantine_records_are_placeholders(self, train_stream, faulty_stream):
+        pipe = MAKERS["baseline"](train_stream)
+        guard = make_guard(train_stream, policy="quarantine")
+        pipe.attach_guard(guard)
+        records = pipe.run(faulty_stream)
+        quarantined = [r for r in records if r.phase == "quarantine"]
+        assert len(quarantined) == guard.sanitizer.counts["quarantined"] > 0
+        assert {r.index for r in quarantined} >= set(range(150, 158))
+        # The raw faulty samples are retained for post-mortem inspection.
+        assert len(guard.sanitizer.quarantined) > 0
+
+    def test_unguarded_pipeline_refuses_faulty_stream(
+        self, train_stream, faulty_stream
+    ):
+        # The historical loud-failure contract survives: without a guard,
+        # non-finite input raises instead of corrupting state.
+        from repro.utils.exceptions import DataValidationError
+
+        with pytest.raises(DataValidationError):
+            MAKERS["onlad"](train_stream).run(faulty_stream)
+
+    def test_clean_samples_unaffected_by_repairs(self, train_stream, faulty_stream):
+        # Records before the first fault are byte-identical to golden.
+        golden = MAKERS["baseline"](train_stream).run(faulty_stream.slice(0, 150))
+        pipe = MAKERS["baseline"](train_stream)
+        pipe.attach_guard(make_guard(train_stream, policy="clip"))
+        records = pipe.run(faulty_stream)
+        assert records[:150] == golden
+
+
+class TestSentinelRecovery:
+    def _run_with_tight_sentinel(self, train_stream, stream, maker="onlad"):
+        """A sentinel that trips on the first sequential update."""
+        pipe = MAKERS[maker](train_stream)
+        tel = Telemetry(enabled=True, sinks=[RingBufferSink()])
+        pipe.telemetry = tel
+        sentinel = NumericHealthSentinel(max_beta_norm=1e-9)
+        guard = RuntimeGuard.from_init_data(
+            train_stream.X, sentinel=sentinel, snapshot_every=10_000
+        )
+        pipe.attach_guard(guard)
+        # chunk_size=1 gives per-sample sentinel cadence (the chunked fast
+        # path probes once per chunk, which is the cheap default).
+        records = pipe.run(stream, chunk_size=1)
+        return pipe, guard, tel.sinks[0], records
+
+    def test_trip_rolls_back_and_bypasses(self, train_stream, drift_stream):
+        stream = drift_stream.take(200)
+        pipe, guard, sink, records = self._run_with_tight_sentinel(
+            train_stream, stream
+        )
+        assert len(records) == len(stream)
+        assert guard.sentinel.n_trips > 0
+        assert guard.level >= GuardLevel.PASSTHROUGH
+        # ONLAD trains every sample, so the trip fires immediately and the
+        # rest of the stream runs in bypass phases.
+        assert records[-1].phase in ("passthrough", "frozen")
+
+    def test_recovery_trail_in_telemetry(self, train_stream, drift_stream):
+        stream = drift_stream.take(200)
+        _, guard, sink, _ = self._run_with_tight_sentinel(train_stream, stream)
+        tripped = sink.events("sentinel_tripped")
+        assert tripped and tripped[0].fields["index"] >= 1
+        recovered = sink.events("model_rolled_back") + sink.events(
+            "model_reinitialized"
+        )
+        assert len(recovered) >= guard.n_rollbacks + guard.n_reinits > 0
+        # Trip 1 -> PASSTHROUGH; a clean cooldown streak steps back down
+        # to SANITIZING; training resumes, trips again -> FROZEN.
+        moves = sink.events("guard_level_changed")
+        assert [m.fields["to_level"] for m in moves] == [
+            "PASSTHROUGH",
+            "SANITIZING",
+            "FROZEN",
+        ]
+        # Every transition carries the exact stream index it happened at.
+        assert [m.fields["index"] for m in moves] == [
+            t.index for t in guard.transitions
+        ]
+
+    def test_rollback_restores_snapshot_state(self, train_stream, drift_stream):
+        pipe = MAKERS["onlad"](train_stream)
+        guard = RuntimeGuard.from_init_data(
+            train_stream.X,
+            sentinel=NumericHealthSentinel(),
+            snapshot_every=10_000,
+        )
+        pipe.attach_guard(guard)
+        beta0 = pipe.model.instances[0].core.beta.copy()
+        # Poison the live model, then feed one clean sample: the sentinel
+        # must restore the bind-time snapshot.
+        pipe.model.instances[0].core.beta[:] = np.nan
+        pipe.run(drift_stream.take(1))
+        assert guard.n_rollbacks == 1
+        np.testing.assert_array_equal(pipe.model.instances[0].core.beta, beta0)
+
+    def test_bypass_aborts_inflight_reconstruction(self, train_stream, drift_stream):
+        pipe = MAKERS["proposed"](train_stream)
+        guard = RuntimeGuard.from_init_data(
+            train_stream.X, sentinel=NumericHealthSentinel(max_beta_norm=1e-9)
+        )
+        pipe.attach_guard(guard)
+        pipe.run(drift_stream)
+        # The tight sentinel tripped during reconstruction training; the
+        # bypass hook must have aborted it and idled the detector.
+        assert guard.level >= GuardLevel.PASSTHROUGH
+        assert not pipe.reconstructor.is_active
+        assert not pipe.detector.drift and not pipe.detector.check
+
+
+class TestAttachment:
+    def test_attach_returns_pipeline(self, train_stream):
+        pipe = MAKERS["baseline"](train_stream)
+        assert pipe.attach_guard(make_guard(train_stream)) is pipe
+
+    def test_guard_cannot_serve_two_pipelines(self, train_stream):
+        guard = make_guard(train_stream)
+        MAKERS["baseline"](train_stream).attach_guard(guard)
+        with pytest.raises(ConfigurationError):
+            MAKERS["onlad"](train_stream).attach_guard(guard)
+
+    def test_guard_adopts_pipeline_telemetry(self, train_stream):
+        pipe = MAKERS["baseline"](train_stream)
+        tel = Telemetry(enabled=True, sinks=[RingBufferSink()])
+        pipe.telemetry = tel
+        guard = make_guard(train_stream)
+        pipe.attach_guard(guard)
+        assert guard.telemetry is tel
+
+    def test_report_text_mentions_policy_and_level(self, train_stream, drift_stream):
+        pipe = MAKERS["baseline"](train_stream)
+        guard = make_guard(train_stream, policy="clip")
+        pipe.attach_guard(guard)
+        pipe.run(drift_stream.take(50))
+        text = guard.report_text()
+        assert "clip" in text and "HEALTHY" in text
+
+
+class TestCheckpointComposition:
+    def test_guarded_checkpointed_run_matches_plain_guarded(
+        self, tmp_path, train_stream, faulty_stream
+    ):
+        plain = MAKERS["proposed"](train_stream)
+        plain.attach_guard(make_guard(train_stream, policy="clip"))
+        golden = plain.run(faulty_stream)
+
+        ckpt = MAKERS["proposed"](train_stream)
+        ckpt.attach_guard(make_guard(train_stream, policy="clip"))
+        path = tmp_path / "guarded.ckpt"
+        records = ckpt.run(
+            faulty_stream, checkpoint_every=64, checkpoint_path=path
+        )
+        assert records == golden
+
+    def test_guarded_crash_resume_is_byte_identical(
+        self, tmp_path, train_stream, drift_stream
+    ):
+        golden_pipe = MAKERS["proposed"](train_stream)
+        golden_pipe.attach_guard(make_guard(train_stream))
+        golden = golden_pipe.run(drift_stream)
+
+        path = tmp_path / "crash.ckpt"
+        victim = MAKERS["proposed"](train_stream)
+        victim.attach_guard(make_guard(train_stream))
+        with crash_at(victim, 700):
+            with pytest.raises(InjectedCrash):
+                victim.run(drift_stream, checkpoint_every=100, checkpoint_path=path)
+
+        fresh = MAKERS["proposed"](train_stream)
+        fresh.attach_guard(make_guard(train_stream))
+        assert fresh.resume(drift_stream, path) == golden

@@ -1,0 +1,97 @@
+"""Unit tests for repro.guard.sentinels and the OSELM health probes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.guard import NumericHealthSentinel
+from repro.oselm import OSELM
+from repro.utils.exceptions import (
+    GuardError,
+    NumericalHealthError,
+    ReproError,
+)
+
+
+@pytest.fixture
+def fitted(rng) -> OSELM:
+    X = rng.normal(size=(30, 4))
+    return OSELM(4, 6, 4, seed=0).fit_initial(X, X)
+
+
+class TestOSELMHealthProbes:
+    def test_unfitted_reports_unfitted(self):
+        assert OSELM(3, 4, 3, seed=0).numeric_health() == {"fitted": False}
+
+    def test_healthy_model_passes(self, fitted):
+        h = fitted.numeric_health()
+        assert h["fitted"] and h["finite"]
+        assert h["p_asymmetry"] < 1e-9 and h["p_diag_min"] > 0
+        fitted.check_health()  # must not raise
+
+    def test_nan_in_beta_trips(self, fitted):
+        fitted.beta[0, 0] = np.nan
+        with pytest.raises(NumericalHealthError, match="non-finite"):
+            fitted.check_health()
+
+    def test_beta_explosion_trips(self, fitted):
+        fitted.beta *= 1e9
+        with pytest.raises(NumericalHealthError, match="beta"):
+            fitted.check_health()
+
+    def test_p_magnitude_trips(self, fitted):
+        fitted.P *= 1e12
+        with pytest.raises(NumericalHealthError):
+            fitted.check_health()
+
+    def test_p_asymmetry_trips(self, fitted):
+        fitted.P[0, 1] += 1.0
+        with pytest.raises(NumericalHealthError, match="asymmet"):
+            fitted.check_health()
+
+    def test_nonfinite_health_emits_no_warnings(self, fitted, recwarn):
+        fitted.P[0, 0] = np.inf
+        h = fitted.numeric_health()
+        assert not h["finite"]
+        assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
+
+    def test_thresholds_are_tunable(self, fitted):
+        fitted.check_health(max_beta_norm=np.inf)  # still fine
+        with pytest.raises(NumericalHealthError):
+            fitted.check_health(max_beta_norm=1e-12)
+
+
+class TestExceptionTaxonomy:
+    def test_numerical_health_is_guard_error(self):
+        assert issubclass(NumericalHealthError, GuardError)
+        assert issubclass(GuardError, ReproError)
+        assert issubclass(GuardError, RuntimeError)
+
+
+class TestNumericHealthSentinel:
+    def test_healthy_ensemble_no_trips(self, trained_model):
+        s = NumericHealthSentinel()
+        assert s.check(trained_model) == ()
+        assert s.is_healthy(trained_model)
+        assert s.n_trips == 0
+
+    def test_poisoned_instance_identified(self, trained_model):
+        trained_model.instances[1].core.beta[:] = np.nan
+        s = NumericHealthSentinel()
+        trips = s.check(trained_model)
+        assert [t.instance for t in trips] == [1]
+        assert "non-finite" in trips[0].reason
+        assert s.n_trips == 1
+
+    def test_multiple_instances_all_reported(self, trained_model):
+        for inst in trained_model.instances:
+            inst.core.P *= 1e12
+        s = NumericHealthSentinel()
+        assert [t.instance for t in s.check(trained_model)] == [0, 1]
+
+    def test_custom_thresholds(self, trained_model):
+        tight = NumericHealthSentinel(max_beta_norm=1e-9)
+        assert not tight.is_healthy(trained_model)
+        loose = NumericHealthSentinel(max_beta_norm=1e30, max_p_magnitude=1e30)
+        assert loose.is_healthy(trained_model)

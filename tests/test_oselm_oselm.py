@@ -12,7 +12,11 @@ import numpy as np
 import pytest
 
 from repro.oselm import OSELM
-from repro.utils.exceptions import ConfigurationError, NotFittedError
+from repro.utils.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    NotFittedError,
+)
 
 
 def ridge_beta(model: OSELM, X: np.ndarray, T: np.ndarray) -> np.ndarray:
@@ -125,8 +129,11 @@ class TestPrediction:
             m.fit_initial(X, T[:, :1])
 
     def test_nan_target_rejected(self, rng):
+        # Bad *data* is a DataValidationError, not a configuration bug —
+        # the guard layer relies on this classification to tell faulty
+        # input apart from caller errors.
         m = OSELM(3, 4, 1, seed=0)
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(DataValidationError):
             m.fit_initial(rng.normal(size=(5, 3)), np.full(5, np.nan))
 
     def test_state_nbytes(self, data):

@@ -60,6 +60,27 @@ class TestAsMatrix:
         with pytest.raises(DataValidationError, match="spectra"):
             as_matrix(np.zeros((2, 2, 2)), name="spectra")
 
+    def test_textual_input_is_data_error(self):
+        # A CSV column parsed wrong: np.asarray raises a bare ValueError,
+        # which must surface as the library's data-problem type.
+        with pytest.raises(DataValidationError, match="coerced"):
+            as_matrix([["1.0", "oops"]])
+
+    def test_object_dtype_numbers_coerced(self):
+        X = as_matrix(np.array([[1, 2.5]], dtype=object))
+        assert X.dtype == np.float64 and X[0, 1] == 2.5
+
+    def test_ensure_finite_false_admits_nan(self):
+        X = as_matrix([[1.0, float("nan")]], ensure_finite=False)
+        assert np.isnan(X[0, 1])
+
+    def test_ensure_finite_false_still_checks_shape(self):
+        with pytest.raises(DataValidationError):
+            as_matrix(np.zeros((2, 2, 2)), ensure_finite=False)
+
+    def test_dtype_override(self):
+        assert as_matrix([[1.0, 2.0]], dtype=np.float32).dtype == np.float32
+
 
 class TestAsVector:
     def test_1d(self):
@@ -84,6 +105,19 @@ class TestAsVector:
     def test_feature_count(self):
         with pytest.raises(DataValidationError):
             as_vector([1.0], n_features=2)
+
+    def test_textual_input_is_data_error(self):
+        with pytest.raises(DataValidationError, match="coerced"):
+            as_vector(["not", "numbers"])
+
+    def test_ensure_finite_false_admits_inf(self):
+        v = as_vector([np.inf, 1.0], ensure_finite=False)
+        assert np.isinf(v[0])
+
+    def test_column_matrix_rejected(self):
+        # (n, 1) is ambiguous — only an explicit row (1, n) squeezes.
+        with pytest.raises(DataValidationError):
+            as_vector(np.ones((4, 1)))
 
 
 class TestScalarChecks:
