@@ -5,29 +5,44 @@ This bench sweeps the bottleneck width on the reduced NSL-KDD stream: the
 autoencoder needs enough capacity to separate the classes but a narrow
 bottleneck is what makes anomaly scores informative (and keeps the
 ``O(H²)`` rank-1 update cheap on the device — the cost column).
+
+The sweep is a list of :class:`repro.engine.ExperimentSpec` cells (one
+per width) resolved through the registries and run by the grid runner's
+:func:`repro.metrics.parallel.run_cell` — each row is reproducible from
+its spec alone.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core import build_proposed
-from repro.datasets import NSLKDDConfig, make_nslkdd_like
 from repro.device import RASPBERRY_PI_PICO, StageCostModel
-from repro.metrics import evaluate_method, format_table
+from repro.engine import ExperimentSpec
+from repro.metrics import format_table
+from repro.metrics.parallel import run_cell
 
 WIDTHS = (4, 10, 22, 48, 96)
 DRIFT_AT = 2500
 
+SPECS = {
+    h: ExperimentSpec(
+        name=f"H = {h}",
+        pipeline="proposed",
+        dataset="nslkdd",
+        seed=0,
+        model_seed=1,
+        pipeline_kwargs={"n_hidden": h, "window_size": 100},
+        dataset_kwargs={"n_train": 800, "n_test": 8000, "drift_at": DRIFT_AT},
+    )
+    for h in WIDTHS
+}
+
 
 @pytest.fixture(scope="module")
 def sweep():
-    cfg = NSLKDDConfig(n_train=800, n_test=8000, drift_at=DRIFT_AT)
-    train, test = make_nslkdd_like(cfg, seed=0)
     out = {}
-    for h in WIDTHS:
-        pipe = build_proposed(train.X, train.y, n_hidden=h, window_size=100, seed=1)
-        res = evaluate_method(pipe, test)
+    for h, spec in SPECS.items():
+        res = run_cell(spec)
         pico_ms = RASPBERRY_PI_PICO.ms_for_flops(
             StageCostModel(2, 38, h).label_prediction().flops
         )

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Register a custom pipeline + dataset and run them from a JSON spec.
+
+The declarative layer (``repro.engine``) resolves pipelines and datasets
+by string key, so plugging your own method into the whole toolchain —
+``ExperimentSpec``, the parallel grid runner, the ``python -m repro spec``
+command — takes one decorator:
+
+1. register a builder under a name (``@register_pipeline("tuned")``),
+2. describe the experiment as a JSON-round-trippable ``ExperimentSpec``,
+3. build + run it (or hand the JSON to ``python -m repro spec``).
+
+Run:
+    python examples/custom_experiment.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import build_proposed
+from repro.engine import ExperimentSpec, build_experiment, register_pipeline
+from repro.metrics import evaluate_method
+
+
+# -- 1. a custom pipeline builder -------------------------------------------
+#
+# Builders take the training split plus keyword parameters and return a
+# trained StreamPipeline. Registering one makes it addressable by name
+# from any spec — including spec *files* run via `python -m repro spec`.
+
+@register_pipeline("proposed-tuned")
+def build_proposed_tuned(X, y, *, seed=None, window_size=80, **kwargs):
+    """The paper's proposed pipeline with a tighter drift threshold."""
+    return build_proposed(
+        X, y,
+        window_size=window_size,
+        z=0.5,                  # more sensitive than the paper's z=1
+        n_hidden=16,
+        **kwargs,
+        seed=seed,
+    )
+
+
+# -- 2. a declarative experiment -------------------------------------------
+#
+# Everything that affects the numbers lives in the spec: pipeline key,
+# its kwargs, the dataset key + kwargs, and the seeds. `to_json()` /
+# `from_json()` round-trip losslessly, so specs can live in files and
+# version control; `config_hash()` is what the parallel runner caches on.
+
+SPEC_JSON = json.dumps({
+    "name": "Tuned proposed on drifting blobs",
+    "pipeline": "proposed-tuned",
+    "dataset": "blobs",                      # built-in small 2-blob stream
+    "seed": 0,                               # dataset seed
+    "model_seed": 1,                         # builder seed (paper-style fixed)
+    "pipeline_kwargs": {"window_size": 60},
+    "dataset_kwargs": {"n_test": 1200, "drift_at": 400},
+})
+
+
+def main() -> None:
+    spec = ExperimentSpec.from_json(json.loads(SPEC_JSON))
+    print(f"spec: {spec.name!r}  (cache key {spec.config_hash()})")
+
+    # -- 3. materialise and run ---------------------------------------------
+    experiment = build_experiment(spec)     # streams synthesised, model trained
+    result = evaluate_method(
+        experiment.pipeline, experiment.test, name=spec.name
+    )
+    print(f"accuracy        : {100 * result.accuracy:.1f}%")
+    print(f"drift @ {experiment.test.drift_points}, "
+          f"first detection delay: {result.first_delay}")
+
+    # The same spec is runnable from the shell — write it to a file and:
+    #   python -m repro spec my_experiment.json
+    # Determinism: building the spec twice yields byte-identical records.
+    rerun = evaluate_method(
+        build_experiment(spec).pipeline, build_experiment(spec).test,
+        name=spec.name,
+    )
+    assert rerun.records == result.records
+    print("re-built from the same spec: records are identical ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,9 @@ The package is layered (see DESIGN.md):
 * :mod:`repro.metrics` — prequential accuracy, delay, experiment runner;
 * :mod:`repro.guard` — self-healing runtime: input sanitation,
   numeric-health sentinels, and a degradation ladder;
-* :mod:`repro.resilience` — crash-safe checkpointing and fault injection.
+* :mod:`repro.resilience` — crash-safe checkpointing and fault injection;
+* :mod:`repro.engine` — composable streaming engine (interceptor stack)
+  plus the declarative registries and :class:`~repro.engine.ExperimentSpec`.
 
 Quickstart::
 
@@ -35,6 +37,7 @@ from . import (
     datasets,
     detectors,
     device,
+    engine,
     guard,
     metrics,
     oselm,
@@ -57,6 +60,13 @@ from .core import (
 )
 from .datasets import DataStream, make_cooling_fan_like, make_nslkdd_like
 from .detectors import ADWIN, DDM, SPLL, NoDetection, PageHinkley, QuantTree
+from .engine import (
+    ExperimentSpec,
+    build_experiment,
+    register_dataset,
+    register_detector,
+    register_pipeline,
+)
 from .guard import GuardLevel, InputSanitizer, NumericHealthSentinel, RuntimeGuard
 from .device import RASPBERRY_PI_4, RASPBERRY_PI_PICO, DeviceProfile
 from .metrics import MethodResult, compare_methods, evaluate_method
@@ -76,10 +86,16 @@ __all__ = [
     "detectors",
     "core",
     "device",
+    "engine",
     "guard",
     "metrics",
     "resilience",
     "telemetry",
+    "ExperimentSpec",
+    "build_experiment",
+    "register_pipeline",
+    "register_dataset",
+    "register_detector",
     "RuntimeGuard",
     "InputSanitizer",
     "NumericHealthSentinel",

@@ -12,12 +12,24 @@ touching pytest:
     python -m repro table6                # Pico latency breakdown
     python -m repro fig1                  # the four drift archetypes
     python -m repro all --reduced         # everything
+    python -m repro spec my_experiments.json   # run declarative spec file(s)
 
 ``--reduced`` shrinks the NSL-KDD stream ~4× for quick runs; ``--tiny``
 shrinks every stream much further (seconds end-to-end — for smoke tests,
 not faithful numbers). The fan experiments are small either way. Every
 command prints a reproduced-vs-paper table through
 :mod:`repro.metrics.tables`.
+
+The streaming tables are declarative: each cell is an
+:class:`repro.engine.ExperimentSpec` naming a registered pipeline builder
+and dataset factory (see ``docs/architecture.md``). ``--seed`` moves the
+dataset seed, ``--model-seed`` the builder seed (default 1, the paper's
+fixed model seed). The ``spec`` command runs arbitrary cells from a JSON
+file — either one spec object or ``{"experiments": [...]}``:
+
+.. code-block:: bash
+
+    python -m repro spec examples/specs/quickstart.json
 
 Observability flags (see ``docs/telemetry.md``)::
 
@@ -42,21 +54,15 @@ after its run.
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import sys
 from pathlib import Path
-from typing import Callable, Dict
+from typing import Callable, Dict, List
 
 import numpy as np
 
-from .core import (
-    build_baseline,
-    build_onlad,
-    build_proposed,
-    build_quanttree_pipeline,
-    build_spll_pipeline,
-)
-from .datasets import NSLKDDConfig, make_cooling_fan_like, make_nslkdd_like
+from .datasets import NSLKDDConfig
 from .device import (
     RASPBERRY_PI_4,
     RASPBERRY_PI_PICO,
@@ -70,15 +76,19 @@ from .device import (
     spll_memory,
     stage_latency_table,
 )
+from .engine import Experiment, ExperimentSpec, build_experiment
 from .metrics import detection_delay, evaluate_method, format_table
 from .resilience import remove_run_checkpoint
 from .telemetry import JsonlSink, render_summary
 from .telemetry import configure as configure_telemetry
+from .utils.exceptions import ConfigurationError
+from .utils.validation import validate_checkpoint_config
 
 __all__ = ["main"]
 
 
 def _nslkdd(args):
+    """NSL-KDD sizing for the active fidelity tier → (dataset_kwargs, batch, cfg)."""
     if getattr(args, "tiny", False):
         cfg = NSLKDDConfig(n_train=300, n_test=1500, drift_at=500)
         batch = 150
@@ -88,8 +98,8 @@ def _nslkdd(args):
     else:
         cfg = NSLKDDConfig()
         batch = 480
-    train, test = make_nslkdd_like(cfg, seed=args.seed)
-    return train, test, cfg, batch
+    kwargs = {"n_train": cfg.n_train, "n_test": cfg.n_test, "drift_at": cfg.drift_at}
+    return kwargs, batch, cfg
 
 
 def _fan_kwargs(args) -> dict:
@@ -103,66 +113,82 @@ def _slug(text: str) -> str:
     return "-".join(re.findall(r"[a-z0-9]+", text.lower()))
 
 
-def _eval(args, pipeline, stream, *, name=None, label=None, train=None):
+def _spec(args, **fields) -> ExperimentSpec:
+    """An :class:`ExperimentSpec` carrying the CLI's global knobs."""
+    fields.setdefault("seed", args.seed)
+    fields.setdefault("model_seed", args.model_seed)
+    fields.setdefault("guard_policy", getattr(args, "guard_policy", None))
+    return ExperimentSpec(**fields)
+
+
+def _eval_experiment(args, experiment: Experiment, *, label=None):
     """``evaluate_method`` with the CLI's crash-safety and guard flags.
 
     With ``--checkpoint-dir`` (or ``--resume-from``) each evaluation
     checkpoints under a stable per-cell filename; ``--resume-from``
     additionally picks up any checkpoint left by an interrupted run.
-    Spent checkpoints are removed once the cell completes. With
-    ``--guard-policy`` (and ``train`` provided by the experiment) a
-    :class:`repro.guard.RuntimeGuard` with bounds learned from the
-    training set is attached before the run.
+    Spent checkpoints are removed once the cell completes. The guard (if
+    the spec carries a ``guard_policy``) was already attached by
+    :func:`repro.engine.build_experiment`.
     """
-    guard = None
-    if getattr(args, "guard_policy", None) is not None and train is not None:
-        from .guard import RuntimeGuard
-
-        guard = RuntimeGuard.from_init_data(train.X, policy=args.guard_policy)
-        pipeline.attach_guard(guard)
+    spec = experiment.spec
     ckpt_dir = args.resume_from or args.checkpoint_dir
     if ckpt_dir is None:
-        result = evaluate_method(pipeline, stream, name=name)
+        result = evaluate_method(
+            experiment.pipeline, experiment.test,
+            name=spec.name, chunk_size=spec.chunk_size,
+        )
     else:
-        path = Path(ckpt_dir) / f"{_slug(label or name or pipeline.name)}.ckpt"
+        path = Path(ckpt_dir) / f"{_slug(label or spec.name)}.ckpt"
         path.parent.mkdir(parents=True, exist_ok=True)
         result = evaluate_method(
-            pipeline,
-            stream,
-            name=name,
+            experiment.pipeline,
+            experiment.test,
+            name=spec.name,
+            chunk_size=spec.chunk_size,
             checkpoint_every=args.checkpoint_every or 256,
             checkpoint_path=path,
             resume=args.resume_from is not None,
         )
         remove_run_checkpoint(path)
-    if guard is not None and getattr(args, "guard_report", False):
-        print(f"\n[guard] {label or name or pipeline.name}")
-        print(guard.report_text())
+    if experiment.guard is not None and getattr(args, "guard_report", False):
+        print(f"\n[guard] {label or spec.name}")
+        print(experiment.guard.report_text())
         print()
     return result
 
 
+def _run_spec(args, spec: ExperimentSpec, *, label=None):
+    """Build ``spec`` and evaluate it → (result, built experiment)."""
+    experiment = build_experiment(spec)
+    return _eval_experiment(args, experiment, label=label), experiment
+
+
 def cmd_table2(args) -> None:
-    train, test, cfg, batch = _nslkdd(args)
-    builders = {
-        "Quant Tree": lambda: build_quanttree_pipeline(
-            train.X, train.y, batch_size=batch, n_bins=32, seed=1
-        ),
-        "SPLL": lambda: build_spll_pipeline(train.X, train.y, batch_size=batch, seed=1),
-        "Baseline (no detection)": lambda: build_baseline(train.X, train.y, seed=1),
-        "ONLAD": lambda: build_onlad(train.X, train.y, forgetting_factor=0.90, seed=1),
-        "Proposed (W=100)": lambda: build_proposed(train.X, train.y, window_size=100, seed=1),
-        "Proposed (W=250)": lambda: build_proposed(train.X, train.y, window_size=250, seed=1),
-        "Proposed (W=1000)": lambda: build_proposed(train.X, train.y, window_size=1000, seed=1),
+    dataset_kwargs, batch, cfg = _nslkdd(args)
+    methods = {
+        "Quant Tree": ("quanttree", {"batch_size": batch, "n_bins": 32}),
+        "SPLL": ("spll", {"batch_size": batch}),
+        "Baseline (no detection)": ("baseline", {}),
+        "ONLAD": ("onlad", {"forgetting_factor": 0.90}),
+        "Proposed (W=100)": ("proposed", {"window_size": 100}),
+        "Proposed (W=250)": ("proposed", {"window_size": 250}),
+        "Proposed (W=1000)": ("proposed", {"window_size": 1000}),
     }
     rows = []
-    for name, build in builders.items():
-        res = _eval(args, build(), test, name=name, label=f"table2-{name}", train=train)
+    stream_len = cfg.n_test
+    for name, (pipeline, pipeline_kwargs) in methods.items():
+        spec = _spec(
+            args, name=name, pipeline=pipeline, dataset="nslkdd",
+            pipeline_kwargs=pipeline_kwargs, dataset_kwargs=dataset_kwargs,
+        )
+        res, ex = _run_spec(args, spec, label=f"table2-{name}")
+        stream_len = len(ex.test)
         rows.append([name, round(100 * res.accuracy, 1), res.first_delay])
     print(format_table(
         ["method", "accuracy %", "delay"],
         rows,
-        title=f"Table 2 reproduction (stream {len(test)}, drift @{cfg.drift_at})",
+        title=f"Table 2 reproduction (stream {stream_len}, drift @{cfg.drift_at})",
     ))
     print("\nPaper: QT 96.8/296, SPLL 96.3/296, baseline 83.5, ONLAD 65.7, "
           "proposed 96.0/843 (W=100), 95.5/993 (W=250), 92.5/1263 (W=1000).")
@@ -173,9 +199,15 @@ def cmd_table3(args) -> None:
     for W in (10, 50, 150):
         row: list[object] = [f"Window size = {W}"]
         for scenario in ("sudden", "gradual", "reoccurring"):
-            train, test = make_cooling_fan_like(scenario, seed=args.seed, **_fan_kwargs(args))
-            pipe = build_proposed(train.X, train.y, window_size=W, seed=1)
-            res = _eval(args, pipe, test, label=f"table3-w{W}-{scenario}", train=train)
+            spec = _spec(
+                args,
+                name=f"Proposed (W={W}) @ {scenario}",
+                pipeline="proposed",
+                dataset="coolingfan",
+                pipeline_kwargs={"window_size": W},
+                dataset_kwargs={"scenario": scenario, **_fan_kwargs(args)},
+            )
+            res, _ = _run_spec(args, spec, label=f"table3-w{W}-{scenario}")
             row.append(detection_delay(res.delay.detections, 120))
         rows.append(row)
     print(format_table(
@@ -206,39 +238,38 @@ def cmd_table4(args) -> None:
 
 
 def cmd_table5(args) -> None:
-    train, test = make_cooling_fan_like(
-        "sudden", n_modes=2, seed=args.seed, **_fan_kwargs(args)
-    )
     batch = 100 if getattr(args, "tiny", False) else 235
     geometry = StageCostModel(2, 511, 22)
-    n_batches = len(test) // batch
-    spec = {
+    dataset_kwargs = {"scenario": "sudden", "n_modes": 2, **_fan_kwargs(args)}
+    methods = {
         "Quant Tree": (
-            lambda: build_quanttree_pipeline(train.X, train.y, batch_size=batch, n_bins=16, seed=1),
+            ("quanttree", {"batch_size": batch, "n_bins": 16}),
             quanttree_batch_ops(batch, 16),
         ),
-        "SPLL": (
-            lambda: build_spll_pipeline(train.X, train.y, batch_size=batch, seed=1),
-            spll_batch_ops(batch, 511, 3),
-        ),
-        "Baseline": (lambda: build_baseline(train.X, train.y, seed=1), None),
-        "Proposed method": (
-            lambda: build_proposed(train.X, train.y, window_size=50, seed=1), None
-        ),
+        "SPLL": (("spll", {"batch_size": batch}), spll_batch_ops(batch, 511, 3)),
+        "Baseline": (("baseline", {}), None),
+        "Proposed method": (("proposed", {"window_size": 50}), None),
     }
     paper = {"Quant Tree": 1.52, "SPLL": 9.28, "Baseline": 1.05, "Proposed method": 1.50}
     rows = []
-    for name, (build, ops) in spec.items():
-        res = _eval(args, build(), test, label=f"table5-{name}", train=train)
+    stream_len = dataset_kwargs.get("n_test", 0)
+    for name, ((pipeline, pipeline_kwargs), ops) in methods.items():
+        spec = _spec(
+            args, name=name, pipeline=pipeline, dataset="coolingfan",
+            pipeline_kwargs=pipeline_kwargs, dataset_kwargs=dataset_kwargs,
+        )
+        res, ex = _run_spec(args, spec, label=f"table5-{name}")
+        stream_len = len(ex.test)
         est = estimate_stream_seconds(
             res.phase_tally, geometry, RASPBERRY_PI_4,
-            per_batch_ops=ops, n_batches=n_batches if ops is not None else 0,
+            per_batch_ops=ops,
+            n_batches=stream_len // batch if ops is not None else 0,
         )
         rows.append([name, round(est, 2), paper[name], round(res.wall_seconds, 2)])
     print(format_table(
         ["method", "estimated Pi4 s", "paper s", "host wall s"],
         rows,
-        title=f"Table 5 reproduction ({len(test)}-sample fan stream)",
+        title=f"Table 5 reproduction ({stream_len}-sample fan stream)",
     ))
 
 
@@ -293,6 +324,47 @@ def cmd_fig1(args) -> None:
     ))
 
 
+def _load_specs(path: Path) -> List[ExperimentSpec]:
+    """Parse a spec file: one JSON spec object, or ``{"experiments": [...]}``."""
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read spec file {str(path)!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"spec file {str(path)!r} is not valid JSON: {exc}") from exc
+    if isinstance(data, dict):
+        entries = data["experiments"] if "experiments" in data else [data]
+    elif isinstance(data, list):
+        entries = data
+    else:
+        raise ConfigurationError(
+            f"spec file {str(path)!r} must hold a spec object, a list of "
+            "them, or {\"experiments\": [...]}."
+        )
+    return [ExperimentSpec.from_json(entry) for entry in entries]
+
+
+def cmd_spec(args) -> None:
+    """Run the experiments declared in a JSON spec file (``spec`` command)."""
+    specs = _load_specs(Path(args.spec_path))
+    rows = []
+    for spec in specs:
+        if spec.guard_policy is None and getattr(args, "guard_policy", None):
+            spec = spec.replace(guard_policy=args.guard_policy)
+        res, _ = _run_spec(args, spec, label=f"spec-{spec.name}")
+        rows.append([
+            spec.name,
+            f"{spec.pipeline} @ {spec.dataset}",
+            round(100 * res.accuracy, 1),
+            res.first_delay,
+        ])
+    print(format_table(
+        ["experiment", "cell", "accuracy %", "delay"],
+        rows,
+        title=f"Spec run: {args.spec_path} ({len(specs)} experiment(s))",
+    ))
+
+
 COMMANDS: Dict[str, Callable] = {
     "table2": cmd_table2,
     "table3": cmd_table3,
@@ -316,8 +388,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*COMMANDS, "all"],
-        help="which table/figure to reproduce",
+        choices=[*COMMANDS, "all", "spec"],
+        help="which table/figure to reproduce, or 'spec' to run a JSON spec file",
+    )
+    parser.add_argument(
+        "spec_path", nargs="?", default=None,
+        help="JSON experiment-spec file (only with the 'spec' command)",
     )
     parser.add_argument("--reduced", action="store_true",
                         help="shrink the NSL-KDD stream for quick runs")
@@ -325,6 +401,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="shrink every stream to smoke-test size "
                              "(fast, not faithful to the paper's numbers)")
     parser.add_argument("--seed", type=int, default=0, help="dataset seed")
+    parser.add_argument("--model-seed", type=int, default=1,
+                        help="model/builder seed for the table pipelines "
+                             "(default 1, the paper's fixed model seed)")
     parser.add_argument("--telemetry", metavar="PATH", default=None,
                         help="write a JSONL telemetry event trace to PATH")
     parser.add_argument("--telemetry-summary", action="store_true",
@@ -345,10 +424,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="print each guard's intervention summary after "
                              "its run (needs --guard-policy)")
     args = parser.parse_args(argv)
-    if args.checkpoint_every is not None and not (args.checkpoint_dir or args.resume_from):
-        parser.error("--checkpoint-every requires --checkpoint-dir or --resume-from")
+    try:
+        # Same pairing rule as StreamPipeline.run; the CLI additionally
+        # defaults the cadence (256) when only a directory is given.
+        validate_checkpoint_config(
+            args.checkpoint_every,
+            args.resume_from or args.checkpoint_dir,
+            allow_default_every=True,
+        )
+    except ConfigurationError as exc:
+        parser.error(str(exc))
     if args.guard_report and args.guard_policy is None:
         parser.error("--guard-report requires --guard-policy")
+    if args.experiment == "spec" and args.spec_path is None:
+        parser.error("the 'spec' command needs a JSON spec file path")
+    if args.experiment != "spec" and args.spec_path is not None:
+        parser.error("a spec file path only makes sense with the 'spec' command")
 
     telemetry_on = bool(args.telemetry or args.telemetry_summary)
     sink = None
@@ -359,11 +450,14 @@ def main(argv: list[str] | None = None) -> int:
             sinks.append(sink)
         configure_telemetry(enabled=True, sinks=sinks, reset=True)
     try:
-        targets = list(COMMANDS) if args.experiment == "all" else [args.experiment]
-        for i, name in enumerate(targets):
-            if i:
-                print("\n" + "=" * 72 + "\n")
-            COMMANDS[name](args)
+        if args.experiment == "spec":
+            cmd_spec(args)
+        else:
+            targets = list(COMMANDS) if args.experiment == "all" else [args.experiment]
+            for i, name in enumerate(targets):
+                if i:
+                    print("\n" + "=" * 72 + "\n")
+                COMMANDS[name](args)
         if args.telemetry_summary:
             print("\n" + "=" * 72 + "\n")
             print(render_summary())

@@ -22,12 +22,17 @@ argument (Table 4) rests on this property, which the tests assert via
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from ..telemetry import Telemetry, get_telemetry
 from ..utils.exceptions import ConfigurationError
+from ..utils.hooks import default_telemetry
 from ..utils.validation import check_positive
 from .coords import CentroidSet
+
+if TYPE_CHECKING:  # type-only: core has no runtime telemetry dependency
+    from ..telemetry import Telemetry
 
 __all__ = ["DetectorStep", "SequentialDriftDetector"]
 
@@ -99,7 +104,7 @@ class SequentialDriftDetector:
         self.n_windows_opened = 0
         self.n_drifts = 0
         #: telemetry hub (the process default; reassign for private capture)
-        self.telemetry: Telemetry = get_telemetry()
+        self.telemetry: Telemetry = default_telemetry()
 
     @property
     def window_count(self) -> int:

@@ -33,8 +33,9 @@ import numpy as np
 from ..datasets.stream import DataStream
 from ..detectors.base import BatchDriftDetector, DriftState, ErrorRateDriftDetector
 from ..oselm.ensemble import MultiInstanceModel
-from ..telemetry import Telemetry, get_telemetry
-from ..utils.exceptions import CheckpointCorruptError, ConfigurationError
+from ..utils.hooks import default_telemetry
+from ..utils.exceptions import ConfigurationError
+from ..utils.validation import validate_checkpoint_config
 from .detector import SequentialDriftDetector
 from .reconstruction import ModelReconstructor
 
@@ -106,7 +107,7 @@ class StreamPipeline(abc.ABC):
         #: stream indices at which this pipeline reported a drift
         self.detections: List[int] = []
         #: telemetry hub (the process default; reassign for private capture)
-        self.telemetry: Telemetry = get_telemetry()
+        self.telemetry = default_telemetry()
         self._in_recon = False
         #: position of the checkpoint the last :meth:`resume` continued from
         self.last_resumed_at: Optional[int] = None
@@ -161,212 +162,21 @@ class StreamPipeline(abc.ABC):
         and per-sample scoring agree bit-for-bit, a checkpoint taken at
         any whole number of samples resumes exactly, wherever chunk
         boundaries fell.
+
+        The run itself is driven by :mod:`repro.engine`: this method
+        validates the options and assembles the default interceptor
+        stack (telemetry → guard → chunk scheduler → checkpoint).
         """
-        if (checkpoint_every is None) != (checkpoint_path is None):
-            raise ConfigurationError(
-                "checkpoint_every and checkpoint_path must be given together."
-            )
-        chunk = self.default_chunk_size if chunk_size is None else int(chunk_size)
-        tel = self.telemetry
-        with tel.span("pipeline.run", pipeline=self.name, samples=len(stream)):
-            if checkpoint_path is not None:
-                if int(checkpoint_every) < 1:
-                    raise ConfigurationError(
-                        f"checkpoint_every must be >= 1, got {checkpoint_every}."
-                    )
-                return self._run_checkpointed(
-                    stream,
-                    chunk,
-                    int(checkpoint_every),
-                    Path(checkpoint_path),
-                    records=[],
-                    start=0,
-                )
-            if chunk <= 1 and self.guard is None:
-                return [self.process_one(x, y) for x, y in stream]
-            records: List[StepRecord] = []
-            X, y = stream.X, stream.y
-            n = len(stream)
-            step = max(1, chunk)
-            i = 0
-            while i < n:
-                with tel.span("pipeline.chunk", pipeline=self.name, start=i):
-                    recs = self._consume_chunk(X[i : i + step], y[i : i + step])
-                records.extend(recs)
-                i += len(recs)
-            return records
+        every, path = validate_checkpoint_config(checkpoint_every, checkpoint_path)
+        from ..engine import run_stream
 
-    def _run_checkpointed(
-        self,
-        stream: DataStream,
-        chunk: int,
-        every: int,
-        path: Path,
-        *,
-        records: List[StepRecord],
-        start: int,
-        start_epoch: int = 0,
-        state_written: bool = False,
-        log_trusted_bytes: Optional[int] = None,
-    ) -> List[StepRecord]:
-        """Shared engine of checkpointed :meth:`run` and :meth:`resume`.
-
-        Sub-chunks are capped at the next checkpoint boundary so saves
-        land at exact multiples of ``every`` samples (unless a pipeline
-        state change ends a chunk early, in which case the save happens
-        as soon as the boundary is crossed).
-
-        Record persistence is *deferred*: a boundary whose span may have
-        mutated adaptive state (per :attr:`checkpoint_volatility`)
-        appends everything accumulated since the last append as one
-        block (with a bumped epoch — see :mod:`repro.resilience.reclog`
-        for the trust rule) and rewrites the state container; a clean
-        boundary writes nothing at all, so the pure-predict hot path —
-        the paper's common case — costs only the boundary arithmetic.
-        Accumulated clean records reach the log at the next dirty
-        boundary, every :attr:`checkpoint_sync_blocks` clean intervals,
-        or on the crash-unwind path below, whichever comes first. For
-        ``"quiet"`` pipelines an interval is clean iff its last record
-        is a pure prediction: every fast path returns the state-mutating
-        sample *last* in its sub-chunk, so the check is O(1) per
-        sub-chunk.
-
-        The slow work — state-container writes and (with
-        :attr:`checkpoint_durable`) fsyncs — runs on the shared
-        strict-FIFO writer thread. FIFO plus program order preserves the
-        trust-rule ordering (the boundary's block reaches the OS before
-        its container lands), and the writer is drained before this
-        method returns *or* raises, so everything submitted is on disk
-        by the time the caller observes the outcome — a killed run can
-        be resumed immediately, and a finished one can unlink its
-        checkpoint without racing the worker.
-        """
-        from ..resilience.checkpoint import save_checkpoint
-        from ..resilience.reclog import RecordLogWriter, record_log_path
-        from ..resilience.writer import shared_writer
-
-        tel = self.telemetry
-        X, y = stream.X, stream.y
-        n = len(stream)
-        i = start
-        last_saved = start
-        last_appended = start
-        step = max(1, chunk)
-        volatility = self.checkpoint_volatility
-        durable = self.checkpoint_durable
-        dirty = volatility == "always"
-        epoch = int(start_epoch)
-        unsynced = 0
-        stream_id = self._stream_id(stream)
-        log = RecordLogWriter(record_log_path(path), trusted_bytes=log_trusted_bytes)
-        writer = shared_writer()
-
-        def _submit_state(boundary: int, snap_epoch: int) -> None:
-            # get_state() is an isolated snapshot (the resilience state
-            # tests assert this), so the worker thread can serialise it
-            # while the loop keeps mutating the live pipeline.
-            snapshot = self.get_state()
-            state = {
-                "pipeline_class": type(self).__name__,
-                "pipeline": snapshot,
-                "position": boundary,
-                "checkpoint_every": int(every),
-                "epoch": snap_epoch,
-                "stream": stream_id,
-            }
-            meta = {"pipeline": self.name, "position": boundary}
-
-            def task() -> None:
-                if durable:
-                    # The boundary's log block must be durable before
-                    # the container that references it (trust rule).
-                    log.sync()
-                save_checkpoint(path, state, kind="pipeline-run", meta=meta, durable=durable)
-
-            writer.submit(task)
-
-        try:
-            while i < n:
-                take = min(step, n - i, max(1, last_saved + every - i))
-                with tel.span("pipeline.chunk", pipeline=self.name, start=i):
-                    recs = self._consume_chunk(X[i : i + take], y[i : i + take])
-                records.extend(recs)
-                i += len(recs)
-                if volatility == "quiet" and not dirty:
-                    last = recs[-1]
-                    if last.phase != "predict" or last.drift_detected or last.reconstructing:
-                        dirty = True
-                if i - last_saved >= every and i < n:
-                    if dirty or not state_written:
-                        # A dirty span's block carries the *new* epoch
-                        # and lands before its container: a crash in
-                        # between leaves a higher-epoch tail that resume
-                        # correctly distrusts.
-                        epoch += 1
-                        log.append(
-                            records[last_appended:i], start_index=last_appended, epoch=epoch
-                        )
-                        last_appended = i
-                        # The block must reach the OS before the sync +
-                        # container task can run (sync only fsyncs the fd).
-                        log.flush()
-                        _submit_state(i, epoch)
-                        state_written = True
-                        dirty = volatility == "always"
-                        unsynced = 0
-                    else:
-                        # Clean interval: nothing to persist — the log
-                        # stays deferred so the pure-predict hot path
-                        # writes nothing. Every ``checkpoint_sync_blocks``
-                        # intervals the accumulated span is appended and
-                        # pushed to the OS, bounding how much progress a
-                        # SIGKILL (which skips the unwind hook below) can
-                        # cost; a plain exception loses nothing either way.
-                        unsynced += 1
-                        if unsynced >= self.checkpoint_sync_blocks:
-                            log.append(
-                                records[last_appended:i], start_index=last_appended, epoch=epoch
-                            )
-                            last_appended = i
-                            log.flush()
-                            if durable:
-                                writer.submit(log.sync)
-                            unsynced = 0
-                    last_saved = i
-        except BaseException:
-            # Crash unwind: if state has not changed since the last
-            # container write, the accumulated clean records are still
-            # resumable — append them so resume continues from the exact
-            # crash point rather than the last boundary. (A dirty tail
-            # is useless to resume — the on-disk state predates it — so
-            # it is dropped.) Never let persistence errors mask the
-            # original exception.
-            if not dirty and i > last_appended:
-                try:
-                    log.append(records[last_appended:i], start_index=last_appended, epoch=epoch)
-                    log.flush()
-                except Exception:
-                    pass
-            try:
-                writer.flush()
-            except Exception:
-                pass
-            log.close()
-            raise
-        try:
-            writer.flush()
-        finally:
-            log.close()
-        return records
-
-    @staticmethod
-    def _stream_id(stream: DataStream) -> dict:
-        return {
-            "fingerprint": stream.fingerprint(),
-            "length": int(len(stream)),
-            "name": stream.name,
-            "n_features": int(stream.X.shape[1]),
-        }
+        return run_stream(
+            self,
+            stream,
+            chunk_size=chunk_size,
+            checkpoint_every=every,
+            checkpoint_path=path,
+        )
 
     def resume(
         self,
@@ -396,89 +206,20 @@ class StreamPipeline(abc.ABC):
         state container's position — with in-memory state left untouched,
         and :class:`~repro.utils.exceptions.ConfigurationError` when the
         checkpoint belongs to a different pipeline class or stream.
+
+        Like :meth:`run`, the actual loop is :mod:`repro.engine`'s; the
+        engine restores the state snapshot, fast-forwards to the trusted
+        log prefix, and continues checkpointing to the same files.
         """
-        from ..resilience.checkpoint import load_checkpoint
-        from ..resilience.reclog import read_record_log, record_log_path
+        from ..engine import resume_stream
 
-        path = Path(checkpoint_path)
-        ckpt = load_checkpoint(path, expected_kind="pipeline-run")
-        state = ckpt.state
-        if state["pipeline_class"] != type(self).__name__:
-            raise ConfigurationError(
-                f"checkpoint is for pipeline {state['pipeline_class']!r}, "
-                f"not {type(self).__name__!r}."
-            )
-        expected = self._stream_id(stream)
-        if state["stream"] != expected:
-            raise ConfigurationError(
-                f"checkpoint stream {state['stream']!r} does not match the "
-                f"given stream {expected!r}."
-            )
-        epoch = int(state["epoch"])
-        base_position = int(state["position"])
-        records, trusted_bytes = read_record_log(
-            record_log_path(path), max_epoch=epoch
+        return resume_stream(
+            self,
+            stream,
+            checkpoint_path,
+            chunk_size=chunk_size,
+            checkpoint_every=checkpoint_every,
         )
-        if len(records) < base_position:
-            tel = self.telemetry
-            if tel.enabled:
-                tel.registry.counter(
-                    "checkpoint.corrupt", "corrupt checkpoints rejected"
-                ).inc()
-            raise CheckpointCorruptError(
-                f"record log for {path} is missing or damaged before the "
-                f"checkpoint position ({len(records)} of {base_position} "
-                "records recovered)."
-            )
-        position = len(records)
-        self.set_state(state["pipeline"])
-        # The trusted log may extend past the container's position by
-        # clean intervals (only the sample counter advanced); fast-forward
-        # the counter to match.
-        self._index = position
-        #: stream position this run continued from
-        self.last_resumed_at = position
-        every = (
-            int(state["checkpoint_every"])
-            if checkpoint_every is None
-            else int(checkpoint_every)
-        )
-        chunk = self.default_chunk_size if chunk_size is None else int(chunk_size)
-        tel = self.telemetry
-        if tel.enabled:
-            tel.registry.counter(
-                "pipeline.resumes", "checkpointed runs resumed"
-            ).inc()
-            tel.emit(
-                "run_resumed",
-                pipeline=self.name,
-                position=position,
-                path=str(path),
-            )
-        with tel.span("pipeline.run", pipeline=self.name, samples=len(stream)):
-            return self._run_checkpointed(
-                stream,
-                chunk,
-                every,
-                path,
-                records=records,
-                start=position,
-                start_epoch=epoch,
-                state_written=True,
-                log_trusted_bytes=trusted_bytes,
-            )
-
-    def _consume_chunk(self, Xc: np.ndarray, yc: np.ndarray) -> List[StepRecord]:
-        """Chunk dispatcher: through the guard when attached, direct otherwise.
-
-        Both :meth:`run` loops call this instead of
-        :meth:`_process_chunk`, so attaching a guard re-routes every
-        sample without the pipelines knowing; unguarded runs pay one
-        attribute check per chunk.
-        """
-        if self.guard is None:
-            return self._process_chunk(Xc, yc)
-        return self.guard.process_chunk(Xc, yc)
 
     def _process_chunk(self, Xc: np.ndarray, yc: np.ndarray) -> List[StepRecord]:
         """Consume a non-empty prefix of the chunk; returns its records.

@@ -39,15 +39,18 @@ rate re-anchors at zero.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from ..oselm.ensemble import MultiInstanceModel
-from ..telemetry import Telemetry, get_telemetry
 from ..utils.exceptions import ConfigurationError
+from ..utils.hooks import default_telemetry
 from ..utils.validation import check_positive
 from .coords import CentroidSet
+
+if TYPE_CHECKING:  # type-only: core has no runtime telemetry dependency
+    from ..telemetry import Telemetry
 
 __all__ = ["ReconstructionStep", "ModelReconstructor"]
 
@@ -126,7 +129,7 @@ class ModelReconstructor:
         self.n_reconstructions = 0
         self._active = False
         #: telemetry hub (the process default; reassign for private capture)
-        self.telemetry: Telemetry = get_telemetry()
+        self.telemetry: Telemetry = default_telemetry()
 
     @property
     def is_active(self) -> bool:

@@ -1,0 +1,56 @@
+"""The mutable per-run state shared by the engine and its interceptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, no runtime import
+    from ..core.pipeline import StepRecord, StreamPipeline
+    from ..datasets.stream import DataStream
+
+__all__ = ["RunContext"]
+
+
+@dataclass
+class RunContext:
+    """Everything one engine run knows: the pipeline, the stream, progress.
+
+    The engine owns ``position`` and ``records``; interceptors read them
+    (and only the :class:`~repro.engine.checkpoint.CheckpointInterceptor`
+    reads ``records`` — to slice out spans for the record log). ``X`` and
+    ``y`` are the stream's arrays, hoisted once so the hot loop slices
+    without attribute lookups.
+    """
+
+    pipeline: "StreamPipeline"
+    stream: "DataStream"
+    X: np.ndarray
+    y: np.ndarray
+    #: total samples in the stream
+    n: int
+    #: next stream index to consume (also: samples already in ``records``)
+    position: int = 0
+    #: records produced so far (resume pre-loads the checkpointed prefix)
+    records: List["StepRecord"] = field(default_factory=list)
+
+    @classmethod
+    def for_run(
+        cls,
+        pipeline: "StreamPipeline",
+        stream: "DataStream",
+        *,
+        start: int = 0,
+        records: List["StepRecord"] | None = None,
+    ) -> "RunContext":
+        return cls(
+            pipeline=pipeline,
+            stream=stream,
+            X=stream.X,
+            y=stream.y,
+            n=len(stream),
+            position=int(start),
+            records=[] if records is None else records,
+        )

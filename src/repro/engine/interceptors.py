@@ -1,0 +1,154 @@
+"""The interceptor protocol and the three stateless-ish stack members.
+
+An :class:`Interceptor` owns exactly one cross-cutting concern of a
+streaming run. The engine drives the stack through a fixed set of hooks:
+
+``run_scope``
+    A context manager entered for the whole run (telemetry's
+    ``pipeline.run`` span). Scopes are entered in stack order and exited
+    in reverse, around *everything* else — including validation of
+    engine options and the crash-unwind path.
+``on_start`` / ``on_complete`` / ``on_abort``
+    Lifecycle edges. ``on_start`` runs before the first chunk (resource
+    acquisition); ``on_complete`` after the last chunk of a successful
+    run; ``on_abort`` when any exception — including ``KeyboardInterrupt``
+    and injected crashes — unwinds the loop, before the exception
+    propagates.
+``clamp``
+    Caps the next sub-chunk length. Each interceptor sees the previous
+    one's result; the engine starts from "everything that is left".
+``wrap_consume``
+    Builds the per-chunk consume chain around the pipeline's
+    ``_process_chunk``. Wrapping happens in reverse stack order, so the
+    first interceptor in the stack is the outermost layer at call time.
+``allows_reference_loop``
+    The chunked loop is bypassed entirely — one ``process_one`` call per
+    sample, no chunk spans, no slicing — iff *every* interceptor allows
+    it. This keeps the reference path byte- and telemetry-identical to
+    the historical per-sample loop.
+
+The checkpoint interceptor (the only one with heavy state) lives in
+:mod:`repro.engine.checkpoint`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, ContextManager, List, Optional
+
+import numpy as np
+
+from .context import RunContext
+
+__all__ = [
+    "Interceptor",
+    "ChunkScheduler",
+    "GuardInterceptor",
+    "TelemetryInterceptor",
+]
+
+#: Signature of one link of the per-chunk consume chain.
+Consume = Callable[[np.ndarray, np.ndarray], list]
+
+
+class Interceptor:
+    """Base class: every hook is a no-op; override what the concern needs."""
+
+    def run_scope(self, ctx: RunContext) -> Optional[ContextManager]:
+        """Context manager wrapping the whole run, or ``None``."""
+        return None
+
+    def on_start(self, ctx: RunContext) -> None:
+        """Acquire per-run resources before the first chunk."""
+
+    def allows_reference_loop(self, ctx: RunContext) -> bool:
+        """``False`` forces the chunked loop even for ``chunk_size<=1``."""
+        return True
+
+    def clamp(self, ctx: RunContext, take: int) -> int:
+        """Cap the next sub-chunk length (``take`` >= 1 on entry)."""
+        return take
+
+    def wrap_consume(self, ctx: RunContext, consume: Consume) -> Consume:
+        """Wrap the downstream consume chain; default passes it through."""
+        return consume
+
+    def after_chunk(self, ctx: RunContext, recs: list) -> None:
+        """Observe the chunk just consumed (``ctx.position`` already advanced)."""
+
+    def on_abort(self, ctx: RunContext) -> None:
+        """Release resources when an exception unwinds the loop."""
+
+    def on_complete(self, ctx: RunContext) -> None:
+        """Release resources after a successful run."""
+
+
+class ChunkScheduler(Interceptor):
+    """Owns the sub-chunk length: ``chunk_size`` capped to what is left.
+
+    ``chunk_size <= 1`` requests the per-sample reference loop; the
+    engine honours that only when every other interceptor also allows it
+    (a guard or a checkpoint still needs the chunked loop, which then
+    degrades to one-sample chunks).
+    """
+
+    def __init__(self, chunk_size: int) -> None:
+        self.chunk_size = int(chunk_size)
+        self.step = max(1, self.chunk_size)
+
+    def allows_reference_loop(self, ctx: RunContext) -> bool:
+        return self.chunk_size <= 1
+
+    def clamp(self, ctx: RunContext, take: int) -> int:
+        return min(take, self.step)
+
+
+class GuardInterceptor(Interceptor):
+    """Routes every chunk through the pipeline's attached ``RuntimeGuard``.
+
+    The guard is re-read per chunk (one attribute check — the historical
+    ``_consume_chunk`` contract), so unguarded runs pay almost nothing
+    and the guard's own fast path still delegates to the pipeline's
+    vectorized ``_process_chunk``.
+    """
+
+    def allows_reference_loop(self, ctx: RunContext) -> bool:
+        return ctx.pipeline.guard is None
+
+    def wrap_consume(self, ctx: RunContext, consume: Consume) -> Consume:
+        pipeline = ctx.pipeline
+
+        def dispatch(Xc: np.ndarray, yc: np.ndarray) -> list:
+            guard = pipeline.guard
+            if guard is None:
+                return consume(Xc, yc)
+            return guard.process_chunk(Xc, yc)
+
+        return dispatch
+
+
+class TelemetryInterceptor(Interceptor):
+    """Emits the run/chunk spans on the pipeline's telemetry hub.
+
+    Owns no metrics of its own — per-sample counters and drift events
+    stay with ``StreamPipeline._record``, which runs regardless of how
+    the engine is stacked. When the hub is disabled both spans resolve
+    to the shared null span, so the overhead budget (<5%) holds.
+    """
+
+    def __init__(self, telemetry) -> None:
+        self.telemetry = telemetry
+
+    def run_scope(self, ctx: RunContext) -> ContextManager:
+        return self.telemetry.span(
+            "pipeline.run", pipeline=ctx.pipeline.name, samples=ctx.n
+        )
+
+    def wrap_consume(self, ctx: RunContext, consume: Consume) -> Consume:
+        tel = self.telemetry
+        name = ctx.pipeline.name
+
+        def traced(Xc: np.ndarray, yc: np.ndarray) -> list:
+            with tel.span("pipeline.chunk", pipeline=name, start=ctx.position):
+                return consume(Xc, yc)
+
+        return traced

@@ -5,21 +5,29 @@ every stream for one or more seeds. :func:`~repro.metrics.runner.compare_methods
 runs such a grid serially in-process; this module fans the cells across a
 :class:`concurrent.futures.ProcessPoolExecutor` instead, with
 
-* **declarative cells** (:class:`CellSpec`) naming a registered pipeline
-  builder and stream factory plus their kwargs — specs are picklable and
-  JSON-canonical, so any cell can be shipped to a worker or hashed;
+* **declarative cells** — each cell is an
+  :class:`~repro.engine.spec.ExperimentSpec` naming a registered
+  pipeline builder and dataset factory (see :mod:`repro.engine.registry`)
+  plus their kwargs — specs are picklable and JSON-canonical, so any
+  cell can be shipped to a worker or hashed;
 * **per-cell seeding** — the spec's ``seed`` goes to the pipeline builder
-  (and to the stream factory unless its kwargs pin one), so results are a
-  pure function of the spec and identical for any ``max_workers``;
+  (unless ``model_seed`` overrides it) and to the stream factory unless
+  its kwargs pin one, so results are a pure function of the spec and
+  identical for any ``max_workers``;
 * **timeout/retry** — a cell that raises, times out, or loses its worker
   process is retried on a fresh pool up to ``retries`` times;
-* **an on-disk JSON result cache** keyed by a hash of the canonical spec —
-  re-running a grid only computes the cells that changed.
+* **an on-disk JSON result cache** keyed by
+  :meth:`~repro.engine.spec.ExperimentSpec.config_hash` — re-running a
+  grid only computes the cells that changed, and any cell is
+  reproducible from its serialized spec alone.
 
 Results come back as :class:`CellResult` — a JSON round-trippable summary
 (accuracy, delays, phase tally, memory, wall-clock) that can optionally
 carry the full per-sample records and rebuild a
 :class:`~repro.metrics.runner.MethodResult` for downstream tooling.
+
+:func:`CellSpec` remains as a constructor accepting the legacy
+``method=``/``stream=`` vocabulary; it returns an ``ExperimentSpec``.
 
 Example
 -------
@@ -36,20 +44,19 @@ Example
 from __future__ import annotations
 
 import hashlib
-import importlib
 import json
 import os
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core import factory
 from ..core.pipeline import StepRecord
-from ..datasets.stream import DataStream
 from ..device.timing import PhaseTally
+from ..engine.registry import DATASET_FACTORIES, PIPELINE_BUILDERS
+from ..engine.spec import SPEC_VERSION, ExperimentSpec, build_experiment
 from ..resilience.reclog import remove_run_checkpoint
 from ..telemetry import Telemetry, get_telemetry
 from ..utils.exceptions import ConfigurationError
@@ -67,8 +74,14 @@ __all__ = [
     "STREAM_FACTORIES",
 ]
 
-#: Bump when the cached-result layout changes; stale cache files are ignored.
-_CACHE_VERSION = 1
+#: Cache-layout version — tracks the canonical spec layout (see
+#: :data:`repro.engine.spec.SPEC_VERSION`); stale cache files are ignored.
+_CACHE_VERSION = SPEC_VERSION
+
+#: Legacy aliases — the *same live dicts* as the engine registries, so
+#: ``monkeypatch.setitem(METHOD_BUILDERS, ...)`` is seen by resolution.
+METHOD_BUILDERS = PIPELINE_BUILDERS
+STREAM_FACTORIES = DATASET_FACTORIES
 
 
 def _package_version() -> str:
@@ -84,144 +97,39 @@ class ParallelExecutionError(RuntimeError):
 
 
 # --------------------------------------------------------------------------
-# Registries — what a CellSpec's string keys resolve to in a worker process
-# --------------------------------------------------------------------------
-
-def _stream_nslkdd(**kwargs) -> Tuple[DataStream, DataStream]:
-    from ..datasets import make_nslkdd_like
-    from ..datasets.nslkdd import NSLKDDConfig
-
-    config_kwargs = {
-        k: kwargs.pop(k)
-        for k in list(kwargs)
-        if k in {f.name for f in NSLKDDConfig.__dataclass_fields__.values()}
-    }
-    config = NSLKDDConfig(**config_kwargs) if config_kwargs else None
-    return make_nslkdd_like(config, **kwargs)
-
-
-def _stream_cooling_fan(**kwargs) -> Tuple[DataStream, DataStream]:
-    from ..datasets import make_cooling_fan_like
-
-    scenario = kwargs.pop("scenario", "sudden")
-    return make_cooling_fan_like(scenario, **kwargs)
-
-
-def _stream_blobs(
-    *,
-    n_features: int = 6,
-    n_train: int = 240,
-    n_test: int = 1200,
-    drift_at: int = 400,
-    shift: float = 0.45,
-    seed: int = 0,
-) -> Tuple[DataStream, DataStream]:
-    """Small two-blob sudden-drift pair — fast cells for tests/examples."""
-    from ..datasets import GaussianConcept, make_stationary_stream, make_sudden_drift_stream
-
-    rng = np.random.default_rng(seed)
-    means = rng.uniform(0.1, 0.9, size=(2, n_features))
-    means[1] = 1.0 - means[0]
-    old = GaussianConcept(means, 0.05)
-    moved = means.copy()
-    moved[0] = moved[0] + shift * (moved[1] - moved[0])
-    new = GaussianConcept(moved, 0.08)
-    train = make_stationary_stream(old, n_train, seed=seed, name="train")
-    test = make_sudden_drift_stream(
-        old, new, n_samples=n_test, drift_at=drift_at, seed=seed + 1, name="blobs"
-    )
-    return train, test
-
-
-#: Pipeline builders addressable from a :class:`CellSpec` (all accept
-#: ``(X, y, *, seed=..., **kwargs)`` and return a ready pipeline).
-METHOD_BUILDERS: Dict[str, Callable[..., Any]] = {
-    "proposed": factory.build_proposed,
-    "baseline": factory.build_baseline,
-    "onlad": factory.build_onlad,
-    "quanttree": factory.build_quanttree_pipeline,
-    "spll": factory.build_spll_pipeline,
-    "hdddm": factory.build_hdddm_pipeline,
-}
-
-#: Stream factories addressable from a :class:`CellSpec` (return
-#: ``(train, test)`` :class:`DataStream` pairs).
-STREAM_FACTORIES: Dict[str, Callable[..., Tuple[DataStream, DataStream]]] = {
-    "nslkdd": _stream_nslkdd,
-    "coolingfan": _stream_cooling_fan,
-    "blobs": _stream_blobs,
-}
-
-
-def _resolve(registry: Mapping[str, Callable], key: str, kind: str) -> Callable:
-    """Look up ``key`` in ``registry`` or import a ``module:attr`` path."""
-    if key in registry:
-        return registry[key]
-    if ":" in key:
-        mod, attr = key.split(":", 1)
-        return getattr(importlib.import_module(mod), attr)
-    raise ConfigurationError(
-        f"unknown {kind} {key!r}; registered: {sorted(registry)} "
-        f"(or use a 'module:callable' path)."
-    )
-
-
-# --------------------------------------------------------------------------
 # Cell specification and result
 # --------------------------------------------------------------------------
 
-@dataclass(frozen=True)
-class CellSpec:
-    """One (method × stream × seed) grid cell, fully declarative.
+def CellSpec(
+    name: str,
+    method: Optional[str] = None,
+    stream: Optional[str] = None,
+    seed: int = 0,
+    method_kwargs: Optional[Mapping[str, Any]] = None,
+    stream_kwargs: Optional[Mapping[str, Any]] = None,
+    n_test: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    **spec_kwargs,
+) -> ExperimentSpec:
+    """Legacy constructor: ``method``/``stream`` vocabulary → :class:`ExperimentSpec`.
 
-    Parameters
-    ----------
-    name:
-        Display name (table row label). Not part of the cache key.
-    method:
-        Key into :data:`METHOD_BUILDERS` or a ``"module:callable"`` path to
-        a builder with the factory signature ``(X, y, *, seed, **kwargs)``.
-    stream:
-        Key into :data:`STREAM_FACTORIES` or a ``"module:callable"`` path
-        returning a ``(train, test)`` stream pair.
-    seed:
-        Per-cell seed: forwarded to the builder as ``seed=``, and to the
-        stream factory too unless ``stream_kwargs`` pins its own ``seed``.
-    method_kwargs, stream_kwargs:
-        Extra keyword arguments for builder / factory (JSON-serializable).
-    n_test:
-        Truncate the test stream to its first ``n_test`` samples (None =
-        full stream).
-    chunk_size:
-        Forwarded to :meth:`StreamPipeline.run` (None = default fast path).
+    Kept so existing call sites (and muscle memory) keep working; new
+    code should construct :class:`~repro.engine.spec.ExperimentSpec`
+    directly with the ``pipeline``/``dataset`` field names.
     """
-
-    name: str
-    method: str
-    stream: str
-    seed: int = 0
-    method_kwargs: Mapping[str, Any] = field(default_factory=dict)
-    stream_kwargs: Mapping[str, Any] = field(default_factory=dict)
-    n_test: Optional[int] = None
-    chunk_size: Optional[int] = None
-
-    def canonical(self) -> dict:
-        """Order-independent dict of everything that affects the result."""
-        return {
-            "version": _CACHE_VERSION,
-            "method": self.method,
-            "stream": self.stream,
-            "seed": int(self.seed),
-            "method_kwargs": dict(sorted(self.method_kwargs.items())),
-            "stream_kwargs": dict(sorted(self.stream_kwargs.items())),
-            "n_test": self.n_test,
-            "chunk_size": self.chunk_size,
-        }
-
-    def config_hash(self) -> str:
-        """Stable hash of :meth:`canonical` — the cache key."""
-        blob = json.dumps(self.canonical(), sort_keys=True).encode()
-        return hashlib.sha256(blob).hexdigest()[:16]
+    if method is None or stream is None:
+        raise ConfigurationError("CellSpec needs both method= and stream=.")
+    return ExperimentSpec(
+        name=name,
+        pipeline=method,
+        dataset=stream,
+        seed=int(seed),
+        pipeline_kwargs=dict(method_kwargs or {}),
+        dataset_kwargs=dict(stream_kwargs or {}),
+        n_test=n_test,
+        chunk_size=chunk_size,
+        **spec_kwargs,
+    )
 
 
 _RECORD_FIELDS = (
@@ -307,7 +215,7 @@ class CellResult:
 # --------------------------------------------------------------------------
 
 def run_cell(
-    spec: CellSpec,
+    spec: ExperimentSpec,
     *,
     keep_records: bool = False,
     checkpoint_path: Optional[str | os.PathLike] = None,
@@ -315,9 +223,10 @@ def run_cell(
 ) -> CellResult:
     """Execute one grid cell in the current process.
 
-    Deterministic in the spec alone: streams and models derive every RNG
-    from the spec's seeds, so this returns identical numbers whether it
-    runs inline, in any worker process, or on another host.
+    Deterministic in the spec alone: :func:`~repro.engine.spec.build_experiment`
+    derives every RNG from the spec's seeds, so this returns identical
+    numbers whether it runs inline, in any worker process, or on another
+    host.
 
     With ``checkpoint_path`` the cell is crash-safe: the pipeline state is
     checkpointed every ``checkpoint_every`` samples, a retry after a crash
@@ -325,19 +234,10 @@ def run_cell(
     run), and the file is removed once the cell completes. A corrupt
     checkpoint is discarded and the cell restarts from sample 0.
     """
-    stream_factory = _resolve(STREAM_FACTORIES, spec.stream, "stream factory")
-    stream_kwargs = dict(spec.stream_kwargs)
-    stream_kwargs.setdefault("seed", int(spec.seed))
-    train, test = stream_factory(**stream_kwargs)
-    if spec.n_test is not None:
-        test = test.take(int(spec.n_test))
-
-    builder = _resolve(METHOD_BUILDERS, spec.method, "method builder")
-    pipeline = builder(train.X, train.y, seed=int(spec.seed), **dict(spec.method_kwargs))
-
+    experiment = build_experiment(spec)
     result = evaluate_method(
-        pipeline,
-        test,
+        experiment.pipeline,
+        experiment.test,
         name=spec.name,
         chunk_size=spec.chunk_size,
         checkpoint_every=checkpoint_every,
@@ -354,7 +254,7 @@ def run_cell(
         delays=list(result.delay.delays),
         false_positives=list(result.delay.false_positives),
         detections=list(result.delay.detections),
-        drift_points=list(test.drift_points),
+        drift_points=list(experiment.test.drift_points),
         phase_counts=dict(result.phase_tally.counts),
         wall_seconds=float(result.wall_seconds),
         detector_nbytes=int(result.detector_nbytes),
@@ -364,7 +264,7 @@ def run_cell(
     )
 
 
-def _run_cell_job(args: Tuple[CellSpec, bool, Optional[str], Optional[int]]) -> CellResult:
+def _run_cell_job(args: Tuple[ExperimentSpec, bool, Optional[str], Optional[int]]) -> CellResult:
     spec, keep_records, checkpoint_path, checkpoint_every = args
     return run_cell(
         spec,
@@ -379,13 +279,13 @@ def _run_cell_job(args: Tuple[CellSpec, bool, Optional[str], Optional[int]]) -> 
 # --------------------------------------------------------------------------
 
 class ParallelRunner:
-    """Fan a list of :class:`CellSpec` over worker processes, with caching.
+    """Fan a list of :class:`ExperimentSpec` over worker processes, with caching.
 
     Parameters
     ----------
     cache_dir:
         Directory for per-cell JSON results (created on demand). ``None``
-        disables caching.
+        disables caching. Cache keys are the specs' ``config_hash()``.
     max_workers:
         Pool width. ``0`` or ``1`` runs cells inline in this process (no
         pool) — handy for debugging and exact single-process semantics;
@@ -435,17 +335,17 @@ class ParallelRunner:
 
     # -- cache ------------------------------------------------------------------
 
-    def _cache_path(self, spec: CellSpec) -> Optional[Path]:
+    def _cache_path(self, spec: ExperimentSpec) -> Optional[Path]:
         if self.cache_dir is None:
             return None
         return self.cache_dir / f"{spec.config_hash()}.json"
 
-    def _checkpoint_path(self, spec: CellSpec) -> Optional[Path]:
+    def _checkpoint_path(self, spec: ExperimentSpec) -> Optional[Path]:
         if self.checkpoint_dir is None:
             return None
         return self.checkpoint_dir / f"{spec.config_hash()}.ckpt"
 
-    def _cache_load(self, spec: CellSpec) -> Optional[CellResult]:
+    def _cache_load(self, spec: ExperimentSpec) -> Optional[CellResult]:
         path = self._cache_path(spec)
         if path is None or not path.is_file():
             return None
@@ -482,7 +382,7 @@ class ParallelRunner:
 
     # -- execution --------------------------------------------------------------
 
-    def run(self, cells: Sequence[CellSpec]) -> List[CellResult]:
+    def run(self, cells: Sequence[ExperimentSpec]) -> List[CellResult]:
         """Run every cell; returns results aligned with the input order."""
         tel = self.telemetry
         if self.checkpoint_dir is not None:
@@ -543,7 +443,7 @@ class ParallelRunner:
 
     def _run_wave(
         self,
-        cells: Sequence[CellSpec],
+        cells: Sequence[ExperimentSpec],
         pending: List[int],
         results: List[Optional[CellResult]],
         attempt: int,
@@ -661,25 +561,26 @@ def make_grid(
     streams: Mapping[str, Tuple[str, Mapping[str, Any]]],
     seeds: Iterable[int],
     **cell_kwargs,
-) -> List[CellSpec]:
-    """Cross ``methods × streams × seeds`` into a flat list of cells.
+) -> List[ExperimentSpec]:
+    """Cross ``methods × streams × seeds`` into a flat list of specs.
 
     ``methods`` maps a display name to ``(builder_key, builder_kwargs)``;
     ``streams`` maps a stream label to ``(factory_key, factory_kwargs)``.
-    Extra ``cell_kwargs`` (``n_test``, ``chunk_size``) apply to every cell.
+    Extra ``cell_kwargs`` (``n_test``, ``chunk_size``, ``model_seed``,
+    ``guard_policy``) apply to every cell.
     """
-    cells: List[CellSpec] = []
+    cells: List[ExperimentSpec] = []
     for seed in seeds:
         for stream_label, (stream_key, stream_kwargs) in streams.items():
             for method_label, (method_key, method_kwargs) in methods.items():
                 cells.append(
-                    CellSpec(
+                    ExperimentSpec(
                         name=method_label if len(streams) == 1 else f"{method_label} @ {stream_label}",
-                        method=method_key,
-                        stream=stream_key,
+                        pipeline=method_key,
+                        dataset=stream_key,
                         seed=int(seed),
-                        method_kwargs=dict(method_kwargs),
-                        stream_kwargs=dict(stream_kwargs),
+                        pipeline_kwargs=dict(method_kwargs),
+                        dataset_kwargs=dict(stream_kwargs),
                         **cell_kwargs,
                     )
                 )

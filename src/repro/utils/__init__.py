@@ -13,6 +13,7 @@ from .math import (
     pairwise_sq_dists,
     sigmoid,
 )
+from .hooks import default_telemetry
 from .rng import SeedLike, ensure_rng, spawn_rngs
 from .validation import (
     as_matrix,
@@ -22,6 +23,7 @@ from .validation import (
     check_labels,
     check_positive,
     check_probability,
+    validate_checkpoint_config,
 )
 
 __all__ = [
@@ -44,4 +46,6 @@ __all__ = [
     "check_labels",
     "check_positive",
     "check_probability",
+    "validate_checkpoint_config",
+    "default_telemetry",
 ]

@@ -1,0 +1,24 @@
+"""Late-bound access to optional service layers.
+
+:mod:`repro.core` must stay importable (and analysable) without the
+telemetry subsystem — the layering check in ``tools/check_layering.py``
+enforces that ``repro.core`` never imports :mod:`repro.telemetry`,
+:mod:`repro.guard`, or :mod:`repro.resilience`. Pipelines still need a
+telemetry hub to attach to, so this module provides the one sanctioned
+indirection: a function-level import resolved at call time.
+"""
+
+from __future__ import annotations
+
+__all__ = ["default_telemetry"]
+
+
+def default_telemetry():
+    """The process-wide telemetry hub (see :func:`repro.telemetry.get_telemetry`).
+
+    Imported lazily so that modules below the telemetry layer can obtain
+    the hub without a module-level dependency on it.
+    """
+    from ..telemetry import get_telemetry
+
+    return get_telemetry()

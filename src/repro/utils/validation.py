@@ -8,7 +8,8 @@ hyper-parameter problems) with consistent, actionable messages.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -22,6 +23,7 @@ __all__ = [
     "check_in_range",
     "check_probability",
     "check_labels",
+    "validate_checkpoint_config",
 ]
 
 
@@ -144,6 +146,44 @@ def check_in_range(
 def check_probability(value: float, name: str) -> float:
     """Validate a probability-like parameter in ``[0, 1]``."""
     return check_in_range(value, name, low=0.0, high=1.0)
+
+
+def validate_checkpoint_config(
+    checkpoint_every: Optional[int],
+    checkpoint_path: Optional[Union[str, Path]],
+    *,
+    allow_default_every: bool = False,
+) -> Tuple[Optional[int], Optional[Path]]:
+    """Validate the ``checkpoint_every`` / ``checkpoint_path`` pairing.
+
+    The two options only make sense together: a cadence without a
+    destination cannot persist anything, and a destination without a
+    cadence has nothing to write (unless the caller supplies a default
+    cadence itself — ``allow_default_every=True``, the CLI's mode, where
+    a path alone is accepted and ``(None, path)`` is returned).
+
+    Returns the normalized ``(every, path)`` pair — ``(None, None)`` when
+    checkpointing is disabled — and raises
+    :class:`~repro.utils.exceptions.ConfigurationError` for a dangling
+    half of the pair or a non-positive cadence.
+    """
+    if checkpoint_path is None:
+        if checkpoint_every is not None:
+            raise ConfigurationError(
+                "checkpoint_every and checkpoint_path must be given together."
+            )
+        return None, None
+    if checkpoint_every is None:
+        if not allow_default_every:
+            raise ConfigurationError(
+                "checkpoint_every and checkpoint_path must be given together."
+            )
+        return None, Path(checkpoint_path)
+    if int(checkpoint_every) < 1:
+        raise ConfigurationError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}."
+        )
+    return int(checkpoint_every), Path(checkpoint_path)
 
 
 def check_labels(y: object, *, n_classes: Optional[int] = None, name: str = "y") -> np.ndarray:
