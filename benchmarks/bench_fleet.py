@@ -1,0 +1,123 @@
+"""Fleet benchmark: multiplexing throughput under LRU evict/restore churn.
+
+The fleet's acceptance scenario is a 1000-device soak through one
+:class:`repro.fleet.FleetManager` with LRU capacity 64 — far more
+devices than resident slots, so the manager spends the whole run
+spooling sessions to checkpoints and lazily restoring them. The bench
+reports sessions/sec and samples/sec, the eviction/restore counts, mean
+restore latency, and the byte-identity verdict for a sample of devices,
+and writes everything to ``BENCH_fleet.json``.
+
+Two entry points:
+
+* pytest-benchmark (regression tracking)::
+
+      PYTHONPATH=src python -m pytest benchmarks/bench_fleet.py --benchmark-only
+
+* standalone run for CI / the acceptance soak (no pytest needed; exits
+  non-zero if any sampled device's records diverge from its standalone
+  run)::
+
+      PYTHONPATH=src python benchmarks/bench_fleet.py --smoke   # 24 devices
+      PYTHONPATH=src python benchmarks/bench_fleet.py           # 1000 devices
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.fleet import run_fleet_soak
+
+#: The acceptance-scale soak (full mode).
+FULL = dict(n_devices=1000, capacity=64, n_test=120, feed_chunk=60, verify=8)
+#: CI smoke: same churn shape (devices >> capacity), seconds not minutes.
+SMOKE = dict(n_devices=24, capacity=4, n_test=120, feed_chunk=60, verify=8)
+
+
+def run_soak(params: dict, *, seed: int = 0, progress=None):
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-bench-") as tmp:
+        return run_fleet_soak(
+            params["n_devices"],
+            params["capacity"],
+            spool_dir=tmp,
+            seed=seed,
+            n_test=params["n_test"],
+            feed_chunk=params["feed_chunk"],
+            verify=params["verify"],
+            progress=progress,
+        )
+
+
+# --------------------------------------------------------------------------
+# pytest-benchmark entry points
+# --------------------------------------------------------------------------
+
+
+def test_fleet_churn_throughput(benchmark):
+    """Wall time of a small high-churn soak (verification excluded)."""
+    params = dict(SMOKE, verify=0)
+    report = benchmark(lambda: run_soak(params))
+    assert report.evictions > 0 and report.restores > 0
+
+
+# --------------------------------------------------------------------------
+# standalone entry point
+# --------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="24-device / capacity-4 variant for CI (same churn shape)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out",
+        default="BENCH_fleet.json",
+        help="where to write the JSON report (default: ./BENCH_fleet.json)",
+    )
+    args = parser.parse_args(argv)
+    params = SMOKE if args.smoke else FULL
+
+    print(
+        f"fleet soak: {params['n_devices']} devices, "
+        f"capacity {params['capacity']}, {params['n_test']} samples/device"
+    )
+    report = run_soak(params, seed=args.seed, progress=print)
+    data = report.to_json()
+    data["mode"] = "smoke" if args.smoke else "full"
+    data["seed"] = args.seed
+    Path(args.out).write_text(json.dumps(data, indent=2) + "\n")
+
+    print(
+        f"  {report.sessions_per_sec:.1f} sessions/s, "
+        f"{report.samples_per_sec:.0f} samples/s"
+    )
+    print(
+        f"  {report.evictions} evictions, {report.restores} restores "
+        f"(mean restore {data['restore_ms_mean']:.2f} ms), "
+        f"max resident {report.max_resident}"
+    )
+    print(f"  report -> {args.out}")
+    if report.mismatches:
+        print(
+            f"FAIL: fleet records diverged from standalone runs for "
+            f"{report.mismatches}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: {report.verified} sampled device(s) byte-identical to "
+        "standalone runs."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

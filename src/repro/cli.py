@@ -365,6 +365,44 @@ def cmd_spec(args) -> None:
     ))
 
 
+def cmd_fleet(args) -> None:
+    """Multiplex a device fleet through one engine (``fleet`` command)."""
+    import tempfile
+
+    from .fleet import run_fleet_soak
+
+    def _soak(spool: str):
+        return run_fleet_soak(
+            args.devices,
+            args.capacity,
+            spool_dir=spool,
+            seed=args.seed,
+            n_test=args.fleet_samples,
+            feed_chunk=args.fleet_chunk,
+            guard_policy=args.guard_policy,
+            verify=args.fleet_verify,
+            progress=print,
+        )
+
+    print(
+        f"fleet soak: {args.devices} devices, LRU capacity {args.capacity}, "
+        f"{args.fleet_samples} samples/device"
+    )
+    if args.spool_dir is not None:
+        report = _soak(args.spool_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-fleet-") as tmp:
+            report = _soak(tmp)
+    rows = [[k, v] for k, v in report.to_json().items() if k != "mismatches"]
+    print(format_table(["metric", "value"], rows, title="Fleet soak report"))
+    if report.mismatches:
+        raise ConfigurationError(
+            f"fleet records diverged from standalone runs for {report.mismatches}."
+        )
+    if report.verified:
+        print(f"\n{report.verified} device(s) verified byte-identical to standalone runs.")
+
+
 COMMANDS: Dict[str, Callable] = {
     "table2": cmd_table2,
     "table3": cmd_table3,
@@ -372,6 +410,7 @@ COMMANDS: Dict[str, Callable] = {
     "table5": cmd_table5,
     "table6": cmd_table6,
     "fig1": cmd_fig1,
+    "fleet": cmd_fleet,
 }
 
 
@@ -423,6 +462,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--guard-report", action="store_true",
                         help="print each guard's intervention summary after "
                              "its run (needs --guard-policy)")
+    parser.add_argument("--devices", type=int, default=100,
+                        help="fleet command: number of device streams")
+    parser.add_argument("--capacity", type=int, default=16,
+                        help="fleet command: LRU capacity (max resident sessions)")
+    parser.add_argument("--fleet-samples", type=int, default=300, metavar="N",
+                        help="fleet command: test samples per device")
+    parser.add_argument("--fleet-chunk", type=int, default=100, metavar="N",
+                        help="fleet command: samples arriving per submit")
+    parser.add_argument("--fleet-verify", type=int, default=0, metavar="K",
+                        help="fleet command: byte-compare the first K devices "
+                             "against standalone runs")
+    parser.add_argument("--spool-dir", metavar="DIR", default=None,
+                        help="fleet command: eviction spool directory "
+                             "(default: a temporary directory)")
     args = parser.parse_args(argv)
     try:
         # Same pairing rule as StreamPipeline.run; the CLI additionally
@@ -453,7 +506,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.experiment == "spec":
             cmd_spec(args)
         else:
-            targets = list(COMMANDS) if args.experiment == "all" else [args.experiment]
+            if args.experiment == "all":
+                # 'all' reproduces the paper artifacts; the fleet soak is
+                # an infrastructure demo, run it explicitly.
+                targets = [name for name in COMMANDS if name != "fleet"]
+            else:
+                targets = [args.experiment]
             for i, name in enumerate(targets):
                 if i:
                     print("\n" + "=" * 72 + "\n")

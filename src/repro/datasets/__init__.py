@@ -5,6 +5,7 @@ from .benchmarks import (
     make_rbf_drift_stream,
     make_sea_stream,
 )
+from .fleet import DevicePlan, interleave_schedule, plan_fleet
 from .labeling import ClusterLabels, cluster_label
 from .coolingfan import (
     N_BINS,
@@ -49,4 +50,7 @@ __all__ = [
     "make_sea_stream",
     "make_hyperplane_stream",
     "make_rbf_drift_stream",
+    "DevicePlan",
+    "plan_fleet",
+    "interleave_schedule",
 ]

@@ -1,0 +1,111 @@
+"""Multi-device stream planning for fleet simulations.
+
+A fleet run multiplexes *N* independent device streams through one
+process (see :mod:`repro.fleet`). This module owns the stream-level
+side of that: deterministically deriving per-device parameters (seed,
+whether the device drifts, where) and the interleaved arrival schedule
+that decides whose chunk lands next.
+
+Everything here is a pure function of its seed — the fleet golden tests
+rely on a plan being reproducible across processes — and nothing
+imports :mod:`repro.engine` (the registry imports ``repro.datasets`` at
+module scope, so the reverse edge would be a load-time cycle; spec
+construction therefore lives in :mod:`repro.fleet`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError
+
+__all__ = ["DevicePlan", "plan_fleet", "interleave_schedule"]
+
+
+@dataclass(frozen=True)
+class DevicePlan:
+    """Deterministic per-device stream parameters within a fleet.
+
+    ``drift_at`` is ``None`` for stationary devices. Drifting devices in
+    one fleet share the same ``drift_at`` (a *correlated* drift — the
+    fleet-wide event an edge deployment actually sees, e.g. a firmware
+    rollout or seasonal load change) but keep independent sample noise
+    through their per-device ``seed``.
+    """
+
+    device_id: str
+    seed: int
+    drift_at: int | None
+    shift: float
+
+
+def plan_fleet(
+    n_devices: int,
+    *,
+    seed: int = 0,
+    drift_fraction: float = 0.25,
+    drift_at: int = 400,
+    shift: float = 0.45,
+    id_prefix: str = "dev",
+) -> List[DevicePlan]:
+    """Derive the per-device plans for an ``n_devices`` fleet.
+
+    Which devices drift is a seeded draw (``drift_fraction`` of the
+    fleet, rounded down, spread uniformly), so fleets with the same seed
+    agree across processes and runs.
+    """
+    if n_devices <= 0:
+        raise ConfigurationError(f"n_devices must be positive, got {n_devices}.")
+    if not 0.0 <= drift_fraction <= 1.0:
+        raise ConfigurationError(
+            f"drift_fraction must be in [0, 1], got {drift_fraction}."
+        )
+    rng = np.random.default_rng(seed)
+    n_drift = int(n_devices * drift_fraction)
+    drifting = set(rng.choice(n_devices, size=n_drift, replace=False).tolist())
+    width = max(4, len(str(n_devices - 1)))
+    plans = []
+    for i in range(n_devices):
+        plans.append(
+            DevicePlan(
+                device_id=f"{id_prefix}{i:0{width}d}",
+                seed=int(seed) * 100_003 + i,
+                drift_at=drift_at if i in drifting else None,
+                shift=shift if i in drifting else 0.0,
+            )
+        )
+    return plans
+
+
+def interleave_schedule(
+    lengths: Sequence[int],
+    chunk_size: int,
+    *,
+    seed: int = 0,
+) -> Iterator[Tuple[int, int, int]]:
+    """Yield ``(device_index, start, stop)`` chunks in a seeded shuffle.
+
+    Round-based: each round visits every device that still has samples
+    once, in a freshly shuffled order, and hands over its next
+    ``chunk_size`` samples. That is the adversarial access pattern for
+    an LRU cache of sessions — with more live devices than resident
+    slots, *every* visit in a round is a miss — while staying exactly
+    reproducible from ``seed``.
+    """
+    if chunk_size <= 0:
+        raise ConfigurationError(f"chunk_size must be positive, got {chunk_size}.")
+    rng = np.random.default_rng(seed)
+    cursors = [0] * len(lengths)
+    live = [i for i, n in enumerate(lengths) if n > 0]
+    while live:
+        order = rng.permutation(len(live))
+        for j in order:
+            i = live[j]
+            start = cursors[i]
+            stop = min(start + chunk_size, lengths[i])
+            cursors[i] = stop
+            yield i, start, stop
+        live = [i for i in live if cursors[i] < lengths[i]]

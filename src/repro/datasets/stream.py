@@ -137,7 +137,10 @@ class DataStream:
         """Return the sub-stream ``[start, stop)`` with re-indexed drifts."""
         stop = len(self) if stop is None else stop
         start, stop, _ = slice(start, stop).indices(len(self))
-        drifts = tuple(d - start for d in self.drift_points if start <= d < stop)
+        # Drift points are legal anywhere in ``0 <= d <= len``, so a drift
+        # sitting exactly at ``stop`` stays with the sub-stream (re-indexed
+        # to its end) — ``take(len(s))`` must not lose an end annotation.
+        drifts = tuple(d - start for d in self.drift_points if start <= d <= stop)
         Xs = self.X[start:stop].copy()  # sub-streams own their data
         Xs.setflags(write=False)
         return DataStream(

@@ -41,7 +41,8 @@ from .registry import (
     resolve_detector,
     resolve_pipeline,
 )
-from .spec import Experiment, ExperimentSpec, build_experiment
+from .session import StreamSession
+from .spec import Experiment, ExperimentSpec, build_experiment, canonical_json, spec_hash
 
 __all__ = [
     "RunContext",
@@ -51,6 +52,7 @@ __all__ = [
     "TelemetryInterceptor",
     "CheckpointInterceptor",
     "StreamEngine",
+    "StreamSession",
     "default_stack",
     "run_stream",
     "resume_stream",
@@ -67,4 +69,6 @@ __all__ = [
     "ExperimentSpec",
     "Experiment",
     "build_experiment",
+    "spec_hash",
+    "canonical_json",
 ]

@@ -143,7 +143,7 @@ class CheckpointInterceptor(Interceptor):
                     self._last_appended = i
                     self._log.flush()
                     if self._durable:
-                        self._writer.submit(self._log.sync)
+                        self._writer.submit(self._log.sync, scope=self)
                     self._unsynced = 0
             self._last_saved = i
 
@@ -174,7 +174,7 @@ class CheckpointInterceptor(Interceptor):
                 log.sync()
             save_checkpoint(path, state, kind="pipeline-run", meta=meta, durable=durable)
 
-        self._writer.submit(task)
+        self._writer.submit(task, scope=self)
 
     def on_abort(self, ctx: RunContext) -> None:
         # Crash unwind: if state has not changed since the last container
@@ -194,13 +194,13 @@ class CheckpointInterceptor(Interceptor):
             except Exception:
                 pass
         try:
-            self._writer.flush()
+            self._writer.flush(scope=self)
         except Exception:
             pass
         self._log.close()
 
     def on_complete(self, ctx: RunContext) -> None:
         try:
-            self._writer.flush()
+            self._writer.flush(scope=self)
         finally:
             self._log.close()

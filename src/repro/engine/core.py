@@ -32,7 +32,60 @@ from .interceptors import (
     TelemetryInterceptor,
 )
 
-__all__ = ["StreamEngine", "default_stack", "run_stream", "resume_stream"]
+__all__ = [
+    "StreamEngine",
+    "default_stack",
+    "run_stream",
+    "resume_stream",
+    "prepare_stack",
+    "drive_chunks",
+]
+
+
+def prepare_stack(stack: Sequence[Interceptor], ctx: RunContext):
+    """Build the per-chunk machinery for ``stack``: the wrapped consume
+    chain plus the clamper/observer sub-lists (interceptors that override
+    the respective hook). Done once per run — or once per session — so
+    the hot loop pays no ``isinstance``/lookup cost per chunk."""
+    consume = ctx.pipeline._process_chunk
+    for ic in reversed(stack):
+        consume = ic.wrap_consume(ctx, consume)
+    base_clamp = Interceptor.clamp
+    clampers = [ic for ic in stack if type(ic).clamp is not base_clamp]
+    base_after = Interceptor.after_chunk
+    observers = [ic for ic in stack if type(ic).after_chunk is not base_after]
+    return consume, clampers, observers
+
+
+def drive_chunks(
+    ctx: RunContext,
+    consume,
+    clampers: List[Interceptor],
+    observers: List[Interceptor],
+    X,
+    y,
+    *,
+    base: int,
+    stop: int,
+) -> None:
+    """Advance ``ctx.position`` to ``stop`` through the prepared chain.
+
+    ``X``/``y`` hold the samples for stream-global indices
+    ``[base, base + len(X))`` — a whole stream for :class:`StreamEngine`
+    (``base=0``) or one externally-arriving chunk for a
+    :class:`~repro.engine.session.StreamSession`.
+    """
+    while ctx.position < stop:
+        i = ctx.position
+        take = stop - i
+        for ic in clampers:
+            take = ic.clamp(ctx, take)
+        lo = i - base
+        recs = consume(X[lo : lo + take], y[lo : lo + take])
+        ctx.records.extend(recs)
+        ctx.position = i + len(recs)
+        for ic in observers:
+            ic.after_chunk(ctx, recs)
 
 
 class StreamEngine:
@@ -76,28 +129,11 @@ class StreamEngine:
                 ctx.records.extend(recs)
                 ctx.position = ctx.n
             else:
-                consume = ctx.pipeline._process_chunk
-                for ic in reversed(stack):
-                    consume = ic.wrap_consume(ctx, consume)
-                base_clamp = Interceptor.clamp
-                clampers = [
-                    ic for ic in stack if type(ic).clamp is not base_clamp
-                ]
-                base_after = Interceptor.after_chunk
-                observers = [
-                    ic for ic in stack if type(ic).after_chunk is not base_after
-                ]
-                X, y, n = ctx.X, ctx.y, ctx.n
-                while ctx.position < n:
-                    i = ctx.position
-                    take = n - i
-                    for ic in clampers:
-                        take = ic.clamp(ctx, take)
-                    recs = consume(X[i : i + take], y[i : i + take])
-                    ctx.records.extend(recs)
-                    ctx.position = i + len(recs)
-                    for ic in observers:
-                        ic.after_chunk(ctx, recs)
+                consume, clampers, observers = prepare_stack(stack, ctx)
+                drive_chunks(
+                    ctx, consume, clampers, observers,
+                    ctx.X, ctx.y, base=0, stop=ctx.n,
+                )
         except BaseException:
             for ic in stack:
                 ic.on_abort(ctx)

@@ -1,0 +1,199 @@
+"""Long-lived incremental sessions: the engine loop, chunk by chunk.
+
+:class:`~repro.engine.core.StreamEngine` consumes a whole
+:class:`~repro.datasets.stream.DataStream` in one call. A
+:class:`StreamSession` keeps the same interceptor machinery **open
+between chunks** so data can arrive on someone else's schedule — the
+unit of multiplexing in :mod:`repro.fleet`, where one process drives
+thousands of device sessions and each device's samples trickle in
+interleaved with every other device's.
+
+The interceptor contract is unchanged: ``run_scope``/``on_start`` fire
+at :meth:`StreamSession.open`, every :meth:`feed` drives the clamp →
+consume → observe loop over the freshly arrived samples, and
+:meth:`close` / :meth:`abort` fire ``on_complete`` / ``on_abort`` and
+exit the scopes. Because pipeline record streams are chunk-boundary
+invariant (the chunked-equivalence suite pins this), *any* interleaving
+and sizing of ``feed`` calls yields records byte-identical to one
+``run()`` over the concatenated data — which is what makes fleet
+multiplexing and LRU evict/restore safe.
+
+A session does **not** own a stream (``ctx.stream`` is ``None``), so
+stacks containing the :class:`~repro.engine.checkpoint.CheckpointInterceptor`
+— which identifies runs by their stream — are not meaningful here;
+persistence of sessions is the caller's concern (see
+:class:`repro.fleet.FleetManager`, which checkpoints whole sessions on
+eviction).
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError
+from .context import RunContext
+from .core import drive_chunks, prepare_stack
+from .interceptors import Interceptor
+
+__all__ = ["StreamSession"]
+
+_EMPTY_X = np.empty((0, 1), dtype=np.float64)
+_EMPTY_Y = np.empty((0,), dtype=np.int64)
+
+
+class StreamSession:
+    """Drive one pipeline through an interceptor stack as chunks arrive.
+
+    Parameters
+    ----------
+    pipeline:
+        The :class:`~repro.core.pipeline.StreamPipeline` to drive. Its
+        ``_index`` must already agree with ``start`` (it does for a
+        freshly built pipeline at 0, and for a restored one whose
+        ``set_state`` was fed a snapshot taken at ``start``).
+    stack:
+        Ordered interceptors (e.g. telemetry → guard → scheduler). The
+        checkpoint interceptor is *not* supported — see the module
+        docstring.
+    start:
+        Stream-global index of the first sample the session will see.
+    records:
+        Pre-existing records ``[0, start)`` for a resumed/restored
+        session; the session appends to this list.
+
+    Lifecycle: ``open() → feed()* → close()`` (or ``abort()``). ``feed``
+    returns the records for *its* samples; :attr:`records` accumulates
+    everything. A consume-chain exception tears the session down
+    (``on_abort`` + scope exit) before propagating.
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        stack: Sequence[Interceptor],
+        *,
+        start: int = 0,
+        records: Optional[list] = None,
+    ) -> None:
+        self.stack: List[Interceptor] = list(stack)
+        self.ctx = RunContext(
+            pipeline=pipeline,
+            stream=None,
+            X=_EMPTY_X,
+            y=_EMPTY_Y,
+            n=int(start),
+            position=int(start),
+            records=[] if records is None else records,
+        )
+        self._scopes: Optional[ExitStack] = None
+        self._prepared = None
+        self._finished = False
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def pipeline(self):
+        return self.ctx.pipeline
+
+    @property
+    def position(self) -> int:
+        """Stream-global index of the next sample to consume."""
+        return self.ctx.position
+
+    @property
+    def records(self) -> list:
+        """All records this session (and any restored prefix) produced."""
+        return self.ctx.records
+
+    @property
+    def is_open(self) -> bool:
+        return self._scopes is not None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def open(self) -> "StreamSession":
+        """Enter the run scopes and fire ``on_start``; returns ``self``."""
+        if self._scopes is not None:
+            raise ConfigurationError("session is already open.")
+        if self._finished:
+            raise ConfigurationError("session is finished; build a new one.")
+        scopes = ExitStack()
+        try:
+            for ic in self.stack:
+                scope = ic.run_scope(self.ctx)
+                if scope is not None:
+                    scopes.enter_context(scope)
+            for ic in self.stack:
+                ic.on_start(self.ctx)
+            self._prepared = prepare_stack(self.stack, self.ctx)
+        except BaseException:
+            scopes.close()
+            raise
+        self._scopes = scopes
+        return self
+
+    def feed(self, Xc: np.ndarray, yc: np.ndarray) -> list:
+        """Consume one arriving chunk; returns the records it produced.
+
+        ``Xc``/``yc`` are the samples at stream-global indices
+        ``[position, position + len(Xc))``. The chunk is driven through
+        the same clamp → consume → observe loop as a whole-stream run,
+        so schedulers still split it and guards still screen it.
+        """
+        if self._scopes is None:
+            raise ConfigurationError(
+                "session is not open (open() it, or it was already closed)."
+            )
+        Xc = np.asarray(Xc)
+        yc = np.asarray(yc)
+        if len(Xc) != len(yc):
+            raise ConfigurationError(
+                f"chunk has {len(Xc)} samples but {len(yc)} labels."
+            )
+        if len(Xc) == 0:
+            return []
+        ctx = self.ctx
+        base = ctx.position
+        stop = base + len(Xc)
+        ctx.X, ctx.y = Xc, yc
+        ctx.n = stop
+        before = len(ctx.records)
+        consume, clampers, observers = self._prepared
+        try:
+            drive_chunks(
+                ctx, consume, clampers, observers, Xc, yc, base=base, stop=stop
+            )
+        except BaseException:
+            self._teardown(ok=False)
+            raise
+        return ctx.records[before:]
+
+    def close(self) -> list:
+        """Fire ``on_complete``, exit the scopes; returns all records.
+
+        Idempotent: closing a closed session just returns the records.
+        """
+        if self._scopes is not None:
+            self._teardown(ok=True)
+        return self.ctx.records
+
+    def abort(self) -> None:
+        """Fire ``on_abort`` and exit the scopes (no-op when closed)."""
+        if self._scopes is not None:
+            self._teardown(ok=False)
+
+    def _teardown(self, *, ok: bool) -> None:
+        scopes, self._scopes = self._scopes, None
+        self._prepared = None
+        self._finished = True
+        try:
+            for ic in self.stack:
+                if ok:
+                    ic.on_complete(self.ctx)
+                else:
+                    ic.on_abort(self.ctx)
+        finally:
+            scopes.close()

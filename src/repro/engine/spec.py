@@ -24,7 +24,13 @@ from typing import Any, List, Mapping, Optional
 from ..utils.exceptions import ConfigurationError
 from .registry import resolve_dataset, resolve_pipeline
 
-__all__ = ["ExperimentSpec", "Experiment", "build_experiment"]
+__all__ = [
+    "ExperimentSpec",
+    "Experiment",
+    "build_experiment",
+    "spec_hash",
+    "canonical_json",
+]
 
 #: Bump when the canonical spec layout changes; cache keys change with it.
 SPEC_VERSION = 2
@@ -41,6 +47,32 @@ _FIELDS = (
     "chunk_size",
     "guard_policy",
 )
+
+
+def canonical_json(canonical: Mapping[str, Any]) -> dict:
+    """A canonical spec dict after one JSON round trip.
+
+    Tuples become lists and numpy scalars become builtins — exactly the
+    form a spec takes when read back from a cache file, so comparisons
+    and hashes built on this never see container-type noise.
+    """
+    return json.loads(json.dumps(canonical, default=_json_fallback))
+
+
+def spec_hash(canonical: Mapping[str, Any]) -> str:
+    """Cache key for a canonical spec dict — the *single* hash used by
+    :meth:`ExperimentSpec.config_hash` and every cache path derivation,
+    so a spec and its stored result can never hash differently.
+    """
+    blob = json.dumps(canonical_json(canonical), sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _json_fallback(value: Any) -> Any:
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        return item()
+    raise TypeError(f"unsupported type in spec: {type(value).__name__}")
 
 
 @dataclass(frozen=True)
@@ -130,8 +162,7 @@ class ExperimentSpec:
 
     def config_hash(self) -> str:
         """Stable hash of :meth:`canonical` — the grid-runner cache key."""
-        blob = json.dumps(self.canonical(), sort_keys=True).encode()
-        return hashlib.sha256(blob).hexdigest()[:16]
+        return spec_hash(self.canonical())
 
     def replace(self, **changes) -> "ExperimentSpec":
         """A copy with ``changes`` applied (specs are immutable)."""

@@ -1,0 +1,33 @@
+"""repro.fleet — multi-tenant session hosting for device fleets.
+
+Multiplexes thousands of independent device pipelines through one
+process (or a shard pool of them) on top of the engine's
+:class:`~repro.engine.session.StreamSession`:
+
+* :class:`FleetManager` — per-device sessions behind an LRU: resident
+  memory is bounded by ``capacity``; cold sessions spill to
+  :mod:`repro.resilience` checkpoints and restore lazily,
+  byte-identically.
+* :class:`ShardedFleetManager` — the same fleet partitioned over
+  long-lived worker processes via
+  :class:`~repro.metrics.parallel.ShardPool`.
+* :func:`run_fleet_soak` — the seeded N-device churn harness that
+  doubles as the fleet benchmark (``benchmarks/bench_fleet.py``).
+
+See ``docs/fleet.md``.
+"""
+
+from .manager import FleetManager, FleetStats
+from .sharding import ShardedFleetManager, shard_of
+from .soak import SoakReport, make_fleet_specs, run_fleet_soak, verify_device
+
+__all__ = [
+    "FleetManager",
+    "FleetStats",
+    "ShardedFleetManager",
+    "shard_of",
+    "SoakReport",
+    "make_fleet_specs",
+    "run_fleet_soak",
+    "verify_device",
+]

@@ -1,0 +1,346 @@
+"""Multi-tenant session host: thousands of device streams, one engine.
+
+A :class:`FleetManager` owns one :class:`~repro.engine.session.StreamSession`
+per registered device and multiplexes them through a single process.
+Resident sessions are bounded by an LRU capacity; the coldest session is
+evicted to a :mod:`repro.resilience` checkpoint container (pipeline +
+guard state plus its column-encoded records) and lazily restored the
+next time that device's samples arrive. Because a pipeline rebuilt from
+its :class:`~repro.engine.spec.ExperimentSpec` is deterministic and
+record streams are chunk-boundary invariant, an evicted-and-restored
+device produces records **byte-identical** to one that ran alone — the
+fleet golden suite pins this for every registered pipeline family.
+
+Telemetry mirrors the per-flow labelling of edge NIDS exporters (one
+time series per device, like per-``src_ip`` packet counters): with the
+hub enabled, ``fleet.device.samples`` / ``fleet.device.drifts`` carry a
+``device`` label, and the manager-level eviction/restore counters and
+the ``fleet.resident_sessions`` gauge track cache behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..engine.interceptors import (
+    ChunkScheduler,
+    GuardInterceptor,
+    TelemetryInterceptor,
+)
+from ..engine.session import StreamSession
+from ..engine.spec import ExperimentSpec
+from ..utils.exceptions import ConfigurationError
+from ..utils.hooks import default_telemetry
+
+__all__ = ["FleetManager", "FleetStats"]
+
+#: Checkpoint container kind for evicted sessions (see repro.resilience).
+SESSION_KIND = "fleet-session"
+
+
+@dataclass
+class FleetStats:
+    """Counters the manager keeps regardless of telemetry state."""
+
+    devices: int = 0
+    samples: int = 0
+    chunks: int = 0
+    builds: int = 0
+    evictions: int = 0
+    restores: int = 0
+    max_resident: int = 0
+    evict_seconds: float = 0.0
+    restore_seconds: float = 0.0
+    device_samples: Dict[str, int] = field(default_factory=dict)
+    device_drifts: Dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "devices": self.devices,
+            "samples": self.samples,
+            "chunks": self.chunks,
+            "builds": self.builds,
+            "evictions": self.evictions,
+            "restores": self.restores,
+            "max_resident": self.max_resident,
+            "evict_seconds": self.evict_seconds,
+            "restore_seconds": self.restore_seconds,
+        }
+
+
+class FleetManager:
+    """Drive many device pipelines through one process with bounded memory.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of *resident* (live, in-memory) sessions. The
+        least-recently-submitted device is evicted to its checkpoint
+        file when a new session would exceed this.
+    spool_dir:
+        Directory for eviction checkpoints. Created on first eviction.
+    chunk_size:
+        Sub-chunk size for every device's :class:`ChunkScheduler`
+        (``None`` = each pipeline's ``default_chunk_size``). A device
+        spec's own ``chunk_size`` takes precedence.
+    telemetry:
+        Hub for the per-device metrics; defaults to the process hub.
+
+    Usage::
+
+        fm = FleetManager(capacity=64, spool_dir=tmp)
+        fm.add_device("dev0", spec)
+        recs = fm.submit("dev0", Xc, yc)   # records for this chunk
+        all_records = fm.finish("dev0")    # close + full record list
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        spool_dir: Optional[str | Path] = None,
+        *,
+        chunk_size: Optional[int] = None,
+        telemetry=None,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}.")
+        self.capacity = int(capacity)
+        self.spool_dir = Path(spool_dir) if spool_dir is not None else None
+        self.chunk_size = chunk_size
+        self.telemetry = telemetry if telemetry is not None else default_telemetry()
+        self.stats = FleetStats()
+        self._specs: Dict[str, ExperimentSpec] = {}
+        self._resident: "OrderedDict[str, StreamSession]" = OrderedDict()
+        self._evicted: Dict[str, Path] = {}
+        self._finished: Dict[str, List] = {}
+        self._closed = False
+
+    # -- registration ----------------------------------------------------------
+
+    def add_device(self, device_id: str, spec: ExperimentSpec) -> None:
+        """Register a device. Its pipeline is built lazily on first submit."""
+        self._check_open()
+        if device_id in self._specs:
+            raise ConfigurationError(f"device {device_id!r} is already registered.")
+        self._specs[str(device_id)] = spec
+        self.stats.devices += 1
+
+    @property
+    def devices(self) -> List[str]:
+        return list(self._specs)
+
+    @property
+    def resident(self) -> List[str]:
+        """Device ids currently holding a live session (LRU order, coldest first)."""
+        return list(self._resident)
+
+    # -- the hot path ----------------------------------------------------------
+
+    def submit(self, device_id: str, Xc: np.ndarray, yc: np.ndarray) -> list:
+        """Feed one arriving chunk to ``device_id``; returns its records.
+
+        Touches the device in the LRU, restoring (or first-building) its
+        session if it is not resident and evicting the coldest resident
+        session when over capacity.
+        """
+        self._check_open()
+        session = self._touch(device_id)
+        records = session.feed(Xc, yc)
+        n = len(Xc)
+        self.stats.samples += n
+        self.stats.chunks += 1
+        self.stats.device_samples[device_id] = (
+            self.stats.device_samples.get(device_id, 0) + n
+        )
+        drifts = sum(1 for r in records if r.drift_detected)
+        if drifts:
+            self.stats.device_drifts[device_id] = (
+                self.stats.device_drifts.get(device_id, 0) + drifts
+            )
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter(
+                "fleet.device.samples", "samples consumed per device", labels=("device",)
+            ).inc(n, device=device_id)
+            if drifts:
+                tel.counter(
+                    "fleet.device.drifts", "drift detections per device", labels=("device",)
+                ).inc(drifts, device=device_id)
+        return records
+
+    def finish(self, device_id: str) -> list:
+        """Close ``device_id``'s session and return its full record list.
+
+        A never-submitted device finishes with an empty record list; an
+        evicted device is restored first so ``on_complete`` still fires.
+        """
+        self._check_open()
+        if device_id in self._finished:
+            return self._finished[device_id]
+        if device_id not in self._specs:
+            raise ConfigurationError(f"unknown device {device_id!r}.")
+        if device_id not in self._resident and device_id not in self._evicted:
+            self._finished[device_id] = []
+            return []
+        session = self._touch(device_id)
+        records = session.close()
+        del self._resident[device_id]
+        self._finished[device_id] = records
+        self._set_resident_gauge()
+        return records
+
+    def finish_all(self) -> Dict[str, list]:
+        """Finish every registered device; returns ``device_id -> records``."""
+        return {dev: self.finish(dev) for dev in self._specs}
+
+    def close(self) -> None:
+        """Abort any still-open sessions and drop all state. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for session in self._resident.values():
+            session.abort()
+        self._resident.clear()
+        self._evicted.clear()
+
+    def __enter__(self) -> "FleetManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- LRU / spool internals -------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("FleetManager is closed.")
+
+    def _touch(self, device_id: str) -> StreamSession:
+        """Return a live session for ``device_id``, making room if needed."""
+        session = self._resident.get(device_id)
+        if session is not None:
+            self._resident.move_to_end(device_id)
+            return session
+        if device_id in self._finished:
+            raise ConfigurationError(f"device {device_id!r} is already finished.")
+        spec = self._specs.get(device_id)
+        if spec is None:
+            raise ConfigurationError(f"unknown device {device_id!r}.")
+        while len(self._resident) >= self.capacity:
+            self._evict_coldest()
+        if device_id in self._evicted:
+            session = self._restore(device_id, spec)
+        else:
+            session = self._build(device_id, spec)
+        self._resident[device_id] = session
+        self.stats.max_resident = max(self.stats.max_resident, len(self._resident))
+        self._set_resident_gauge()
+        return session
+
+    def _stack(self, spec: ExperimentSpec, pipeline) -> list:
+        chunk = spec.chunk_size if spec.chunk_size is not None else self.chunk_size
+        if chunk is None:
+            chunk = pipeline.default_chunk_size
+        return [
+            TelemetryInterceptor(pipeline.telemetry),
+            GuardInterceptor(),
+            ChunkScheduler(int(chunk)),
+        ]
+
+    def _build(self, device_id: str, spec: ExperimentSpec) -> StreamSession:
+        from ..engine.spec import build_experiment
+
+        exp = build_experiment(spec)
+        self.stats.builds += 1
+        return StreamSession(exp.pipeline, self._stack(spec, exp.pipeline)).open()
+
+    def _spool_path(self, device_id: str) -> Path:
+        if self.spool_dir is None:
+            raise ConfigurationError(
+                "FleetManager needs a spool_dir to evict sessions; either pass "
+                "one or raise capacity above the number of active devices."
+            )
+        return self.spool_dir / f"{device_id}.fleetck"
+
+    def _evict_coldest(self) -> None:
+        from ..resilience import encode_records, save_checkpoint
+
+        device_id, session = self._resident.popitem(last=False)
+        t0 = time.perf_counter()
+        pipeline = session.pipeline
+        guard = pipeline.guard
+        state = {
+            "position": session.position,
+            "pipeline": pipeline.get_state(),
+            "guard": None if guard is None else guard.get_state(),
+            "records": encode_records(session.records),
+        }
+        path = self._spool_path(device_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Spool files are a cache of live state, not crash-recovery
+        # artifacts — skip the fsync; a power cut loses the fleet run
+        # anyway.
+        save_checkpoint(
+            path,
+            state,
+            kind=SESSION_KIND,
+            meta={"device": device_id, "pipeline": type(pipeline).__name__},
+            durable=False,
+        )
+        session.close()
+        self._evicted[device_id] = path
+        self.stats.evictions += 1
+        self.stats.evict_seconds += time.perf_counter() - t0
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter("fleet.evictions", "sessions evicted to spool").inc()
+
+    def _restore(self, device_id: str, spec: ExperimentSpec) -> StreamSession:
+        from ..engine.spec import build_experiment
+        from ..resilience import decode_records, load_checkpoint
+
+        t0 = time.perf_counter()
+        path = self._evicted.pop(device_id)
+        ck = load_checkpoint(path, expected_kind=SESSION_KIND)
+        if ck.meta.get("device") != device_id:
+            raise ConfigurationError(
+                f"spool file {path} belongs to device {ck.meta.get('device')!r}, "
+                f"not {device_id!r}."
+            )
+        # Rebuilding from the spec is deterministic (same seeds -> same
+        # model shape), so set_state lands on an identical skeleton.
+        exp = build_experiment(spec)
+        exp.pipeline.set_state(ck.state["pipeline"])
+        if ck.state["guard"] is not None:
+            if exp.pipeline.guard is None:
+                raise ConfigurationError(
+                    f"device {device_id!r} was evicted with guard state but its "
+                    "spec builds no guard."
+                )
+            exp.pipeline.guard.set_state(ck.state["guard"])
+        records = decode_records(ck.state["records"])
+        session = StreamSession(
+            exp.pipeline,
+            self._stack(spec, exp.pipeline),
+            start=int(ck.state["position"]),
+            records=records,
+        ).open()
+        self.stats.restores += 1
+        self.stats.restore_seconds += time.perf_counter() - t0
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter("fleet.restores", "sessions restored from spool").inc()
+        return session
+
+    def _set_resident_gauge(self) -> None:
+        tel = self.telemetry
+        if tel.enabled:
+            tel.gauge("fleet.resident_sessions", "live sessions in memory").set(
+                len(self._resident)
+            )

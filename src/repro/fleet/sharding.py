@@ -1,0 +1,155 @@
+"""Scale the fleet across worker processes with long-lived shards.
+
+One :class:`~repro.fleet.manager.FleetManager` is single-threaded; a
+:class:`ShardedFleetManager` partitions the device space over a
+:class:`~repro.metrics.parallel.ShardPool` of worker processes, each
+hosting its own manager (own LRU, own spool subdirectory). Devices map
+to shards by a *stable* hash of their id — ``hashlib`` based, because
+Python's builtin ``hash`` is salted per process and would scatter a
+device across shards between runs.
+
+Submits are fire-and-forget by default (:meth:`ShardedFleetManager.submit`
+returns a ticket); the pool's FIFO-per-shard protocol keeps each
+device's chunks ordered, which is all the byte-identity contract needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..engine.spec import ExperimentSpec
+from ..metrics.parallel import ShardPool
+from ..utils.exceptions import ConfigurationError
+from .manager import FleetManager
+
+__all__ = ["ShardedFleetManager", "shard_of"]
+
+
+def shard_of(device_id: str, n_shards: int) -> int:
+    """Deterministic device -> shard mapping (stable across processes)."""
+    digest = hashlib.sha256(str(device_id).encode()).digest()
+    return int.from_bytes(digest[:8], "big") % int(n_shards)
+
+
+class _ShardHost:
+    """Per-worker wrapper the :class:`ShardPool` factory builds.
+
+    Lives in the worker process; its methods are what ``submit``/``call``
+    invoke by name. Must be a module-level class so the factory pickles.
+    """
+
+    def __init__(self, shard_index: int, capacity: int, spool_root, chunk_size):
+        spool = None if spool_root is None else Path(spool_root) / f"shard{shard_index}"
+        self.manager = FleetManager(
+            capacity=capacity, spool_dir=spool, chunk_size=chunk_size
+        )
+
+    def add_device(self, device_id: str, spec_json: dict) -> None:
+        self.manager.add_device(device_id, ExperimentSpec.from_json(spec_json))
+
+    def submit(self, device_id: str, Xc, yc) -> int:
+        return len(self.manager.submit(device_id, np.asarray(Xc), np.asarray(yc)))
+
+    def finish_all(self) -> Dict[str, list]:
+        return self.manager.finish_all()
+
+    def stats(self) -> dict:
+        return self.manager.stats.to_json()
+
+    def close(self) -> None:
+        self.manager.close()
+
+
+def _make_shard_host(shard_index: int, capacity, spool_root, chunk_size):
+    return _ShardHost(shard_index, capacity, spool_root, chunk_size)
+
+
+class ShardedFleetManager:
+    """A fleet partitioned over ``n_shards`` long-lived worker processes.
+
+    The API mirrors :class:`FleetManager` where it can: ``add_device``,
+    ``submit``, ``finish_all``, ``stats``, ``close``. ``submit`` is
+    asynchronous — it enqueues the chunk on the owning shard and returns
+    immediately; per-device ordering is preserved because a device lives
+    on exactly one shard and each shard's queue is strict FIFO. Call
+    :meth:`drain` (or ``finish_all``, which drains implicitly) to
+    surface any worker-side errors.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        capacity: int = 64,
+        spool_dir: Optional[str | Path] = None,
+        *,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be positive, got {n_shards}.")
+        self.n_shards = int(n_shards)
+        self._pool = ShardPool(
+            self.n_shards,
+            _make_shard_host,
+            factory_args=(
+                int(capacity),
+                None if spool_dir is None else str(spool_dir),
+                chunk_size,
+            ),
+        )
+        self._pending: List[tuple] = []
+        self._devices: Dict[str, int] = {}
+        self._closed = False
+
+    def shard_for(self, device_id: str) -> int:
+        return shard_of(device_id, self.n_shards)
+
+    def add_device(self, device_id: str, spec: ExperimentSpec) -> None:
+        shard = self.shard_for(device_id)
+        self._devices[str(device_id)] = shard
+        self._pool.call(shard, "add_device", str(device_id), spec.to_json())
+
+    def submit(self, device_id: str, Xc: np.ndarray, yc: np.ndarray):
+        """Enqueue a chunk on the device's shard; returns a ticket."""
+        shard = self._devices.get(str(device_id))
+        if shard is None:
+            raise ConfigurationError(f"unknown device {device_id!r}.")
+        ticket = self._pool.submit(
+            shard, "submit", str(device_id), np.asarray(Xc), np.asarray(yc)
+        )
+        self._pending.append(ticket)
+        return ticket
+
+    def drain(self) -> None:
+        """Wait for every outstanding submit (raises the first shard error)."""
+        pending, self._pending = self._pending, []
+        for ticket in pending:
+            self._pool.collect(ticket)
+
+    def finish_all(self) -> Dict[str, list]:
+        """Drain, close every device session, and merge the record maps."""
+        self.drain()
+        merged: Dict[str, list] = {}
+        for reply in self._pool.broadcast("finish_all"):
+            merged.update(reply)
+        return merged
+
+    def stats(self) -> List[dict]:
+        """Per-shard stat snapshots (as plain dicts from the workers)."""
+        self.drain()
+        return self._pool.broadcast("stats")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.close()
+
+    def __enter__(self) -> "ShardedFleetManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,223 @@
+"""Seeded fleet soak: N devices, correlated drift, adversarial LRU churn.
+
+The soak is the fleet's end-to-end proof *and* its first benchmark. It
+plans a fleet (:func:`repro.datasets.fleet.plan_fleet`), registers every
+device with a :class:`~repro.fleet.manager.FleetManager` whose capacity
+is far below the device count, and replays the devices' test streams in
+a seeded interleave so sessions constantly evict and restore. When
+``verify`` is on, every device's record list is compared byte-for-byte
+against a standalone :func:`~repro.engine.spec.build_experiment` run of
+the same spec — the multiplexed fleet must be indistinguishable from
+each device running alone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..datasets.fleet import interleave_schedule, plan_fleet
+from ..engine.spec import ExperimentSpec, build_experiment
+from .manager import FleetManager
+
+__all__ = ["SoakReport", "make_fleet_specs", "run_fleet_soak", "verify_device"]
+
+
+def make_fleet_specs(
+    n_devices: int,
+    *,
+    seed: int = 0,
+    drift_fraction: float = 0.25,
+    n_test: int = 600,
+    drift_at: Optional[int] = None,
+    shift: float = 0.45,
+    pipeline: str = "proposed",
+    model_seed: int = 7,
+    chunk_size: Optional[int] = None,
+    guard_policy: Optional[str] = None,
+) -> Dict[str, ExperimentSpec]:
+    """One ``blobs`` :class:`ExperimentSpec` per planned device.
+
+    Stationary devices get ``shift=0.0`` (their "drift" moves nothing);
+    drifting devices share ``drift_at`` — the correlated fleet-wide
+    event. All devices share ``model_seed`` (one firmware image) while
+    ``seed`` varies per device (independent sensor noise).
+    """
+    if drift_at is None:
+        drift_at = (2 * int(n_test)) // 3
+    plans = plan_fleet(
+        n_devices,
+        seed=seed,
+        drift_fraction=drift_fraction,
+        drift_at=drift_at,
+        shift=shift,
+    )
+    specs = {}
+    for plan in plans:
+        specs[plan.device_id] = ExperimentSpec(
+            name=plan.device_id,
+            pipeline=pipeline,
+            dataset="blobs",
+            seed=plan.seed,
+            model_seed=model_seed,
+            dataset_kwargs={
+                "n_test": int(n_test),
+                "drift_at": int(plan.drift_at if plan.drift_at is not None else drift_at),
+                "shift": float(plan.shift),
+            },
+            chunk_size=chunk_size,
+            guard_policy=guard_policy,
+        )
+    return specs
+
+
+def verify_device(spec: ExperimentSpec, records: list) -> bool:
+    """Byte-identity check: fleet records vs a standalone run of ``spec``."""
+    exp = build_experiment(spec)
+    solo = exp.run()
+    if len(solo) != len(records):
+        return False
+    for a, b in zip(solo, records):
+        if a != b:
+            return False
+    scores = np.array([r.anomaly_score for r in records], dtype=np.float64)
+    solo_scores = np.array([r.anomaly_score for r in solo], dtype=np.float64)
+    return scores.tobytes() == solo_scores.tobytes()
+
+
+@dataclass
+class SoakReport:
+    """What one soak run produced (the fleet bench serialises this)."""
+
+    devices: int
+    capacity: int
+    samples: int
+    chunks: int
+    elapsed_seconds: float
+    sessions_per_sec: float
+    samples_per_sec: float
+    evictions: int
+    restores: int
+    max_resident: int
+    evict_seconds: float
+    restore_seconds: float
+    verified: Optional[int] = None
+    mismatches: Optional[List[str]] = None
+
+    @property
+    def byte_identical(self) -> Optional[bool]:
+        if self.mismatches is None:
+            return None
+        return not self.mismatches
+
+    def to_json(self) -> dict:
+        out = {
+            "devices": self.devices,
+            "capacity": self.capacity,
+            "samples": self.samples,
+            "chunks": self.chunks,
+            "elapsed_seconds": self.elapsed_seconds,
+            "sessions_per_sec": self.sessions_per_sec,
+            "samples_per_sec": self.samples_per_sec,
+            "evictions": self.evictions,
+            "restores": self.restores,
+            "max_resident": self.max_resident,
+            "evict_seconds": self.evict_seconds,
+            "restore_seconds": self.restore_seconds,
+            "restore_ms_mean": (
+                1000.0 * self.restore_seconds / self.restores if self.restores else 0.0
+            ),
+        }
+        if self.mismatches is not None:
+            out["verified_devices"] = self.verified
+            out["byte_identical"] = self.byte_identical
+            out["mismatches"] = list(self.mismatches)
+        return out
+
+
+def run_fleet_soak(
+    n_devices: int = 1000,
+    capacity: int = 64,
+    *,
+    spool_dir,
+    seed: int = 0,
+    n_test: int = 600,
+    feed_chunk: int = 100,
+    drift_fraction: float = 0.25,
+    pipeline: str = "proposed",
+    guard_policy: Optional[str] = None,
+    verify: int = 0,
+    progress=None,
+) -> SoakReport:
+    """Drive the fleet through an interleaved replay; optionally verify.
+
+    ``feed_chunk`` is the *arrival* granularity (how many samples land
+    per submit), independent of the pipelines' internal chunking.
+    ``verify`` re-runs the first ``verify`` devices standalone and
+    byte-compares (0 = skip; it dominates runtime for large fleets).
+    ``progress`` is an optional callable invoked with a status line.
+    """
+    specs = make_fleet_specs(
+        n_devices,
+        seed=seed,
+        drift_fraction=drift_fraction,
+        n_test=n_test,
+        pipeline=pipeline,
+        guard_policy=guard_policy,
+    )
+    device_ids = list(specs)
+    # Pre-synthesise every device's test stream once: the soak measures
+    # the manager's churn, not dataset synthesis.
+    streams = {dev: build_experiment(spec).test for dev, spec in specs.items()}
+    lengths = [len(streams[dev].X) for dev in device_ids]
+
+    fm = FleetManager(capacity=capacity, spool_dir=spool_dir)
+    for dev, spec in specs.items():
+        fm.add_device(dev, spec)
+
+    t0 = time.perf_counter()
+    done = 0
+    for i, start, stop in interleave_schedule(lengths, feed_chunk, seed=seed):
+        dev = device_ids[i]
+        stream = streams[dev]
+        fm.submit(dev, stream.X[start:stop], stream.y[start:stop])
+        done += 1
+        if progress is not None and done % 500 == 0:
+            progress(
+                f"  {done} chunks, {fm.stats.evictions} evictions, "
+                f"{fm.stats.restores} restores"
+            )
+    per_device = fm.finish_all()
+    elapsed = time.perf_counter() - t0
+    stats = fm.stats
+    fm.close()
+
+    mismatches: Optional[List[str]] = None
+    verified: Optional[int] = None
+    if verify:
+        mismatches = []
+        targets = device_ids[: int(verify)]
+        for dev in targets:
+            if not verify_device(specs[dev], per_device[dev]):
+                mismatches.append(dev)
+        verified = len(targets)
+
+    return SoakReport(
+        devices=n_devices,
+        capacity=capacity,
+        samples=stats.samples,
+        chunks=stats.chunks,
+        elapsed_seconds=elapsed,
+        sessions_per_sec=n_devices / elapsed if elapsed > 0 else 0.0,
+        samples_per_sec=stats.samples / elapsed if elapsed > 0 else 0.0,
+        evictions=stats.evictions,
+        restores=stats.restores,
+        max_resident=stats.max_resident,
+        evict_seconds=stats.evict_seconds,
+        restore_seconds=stats.restore_seconds,
+        verified=verified,
+        mismatches=mismatches,
+    )

@@ -362,6 +362,79 @@ class RuntimeGuard:
             self._maybe_snapshot()
         return rec
 
+    # -- checkpoint protocol ---------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Isolated snapshot of everything mutable: ladder position,
+        sanitizer tallies and imputation source, sentinel trip count,
+        the in-memory rollback snapshot, and the intervention history.
+
+        Mirrors ``StreamPipeline.get_state`` so a guarded session can be
+        evicted to a checkpoint container and restored with its
+        degradation state — not just its model — intact.
+        """
+        state = {
+            "ladder": self.ladder.get_state(),
+            "sanitizer": {
+                "counts": dict(self.sanitizer.counts),
+                "last_good": self.sanitizer._last_good,
+                "quarantined": list(self.sanitizer.quarantined),
+            },
+            "sentinel_trips": (
+                0 if self.sentinel is None else int(self.sentinel.n_trips)
+            ),
+            "transitions": [
+                {
+                    "index": int(t.index),
+                    "from": int(t.from_level),
+                    "to": int(t.to_level),
+                    "reason": t.reason,
+                }
+                for t in self.transitions
+            ],
+            "n_rollbacks": int(self.n_rollbacks),
+            "n_reinits": int(self.n_reinits),
+            "snapshot": self._snapshot,
+            "snapshot_index": int(self._snapshot_index),
+            "since_snapshot": int(self._since_snapshot),
+            "last_pred": int(self._last_pred),
+            "last_score": float(self._last_score),
+        }
+        return snapshot_state(state)
+
+    def set_state(self, state: dict) -> None:
+        """Restore :meth:`get_state` output (after ``bind``)."""
+        self.ladder.set_state(state["ladder"])
+        san = state["sanitizer"]
+        self.sanitizer.counts = {k: int(v) for k, v in san["counts"].items()}
+        last_good = san["last_good"]
+        self.sanitizer._last_good = (
+            None if last_good is None else np.array(last_good, dtype=np.float64)
+        )
+        self.sanitizer.quarantined.clear()
+        self.sanitizer.quarantined.extend(
+            np.array(a, dtype=np.float64) for a in san["quarantined"]
+        )
+        if self.sentinel is not None:
+            self.sentinel.n_trips = int(state["sentinel_trips"])
+        self.transitions = [
+            Transition(
+                index=int(t["index"]),
+                from_level=GuardLevel(int(t["from"])),
+                to_level=GuardLevel(int(t["to"])),
+                reason=str(t["reason"]),
+            )
+            for t in state["transitions"]
+        ]
+        self.n_rollbacks = int(state["n_rollbacks"])
+        self.n_reinits = int(state["n_reinits"])
+        snap = state["snapshot"]
+        self._snapshot = None if snap is None else snapshot_state(snap)
+        self._snapshot_index = int(state["snapshot_index"])
+        self._since_snapshot = int(state["since_snapshot"])
+        self._last_pred = int(state["last_pred"])
+        self._last_score = float(state["last_score"])
+
     # -- reporting -------------------------------------------------------------
 
     def report(self) -> dict:

@@ -14,6 +14,8 @@ from .parallel import (
     CellSpec,
     ParallelExecutionError,
     ParallelRunner,
+    ShardError,
+    ShardPool,
     make_grid,
     run_cell,
 )
@@ -41,6 +43,8 @@ __all__ = [
     "CellResult",
     "ParallelRunner",
     "ParallelExecutionError",
+    "ShardPool",
+    "ShardError",
     "make_grid",
     "run_cell",
     "format_table",

@@ -43,8 +43,8 @@ Example
 
 from __future__ import annotations
 
-import hashlib
 import json
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from dataclasses import dataclass
@@ -56,7 +56,13 @@ import numpy as np
 from ..core.pipeline import StepRecord
 from ..device.timing import PhaseTally
 from ..engine.registry import DATASET_FACTORIES, PIPELINE_BUILDERS
-from ..engine.spec import SPEC_VERSION, ExperimentSpec, build_experiment
+from ..engine.spec import (
+    SPEC_VERSION,
+    ExperimentSpec,
+    build_experiment,
+    canonical_json,
+    spec_hash,
+)
 from ..resilience.reclog import remove_run_checkpoint
 from ..telemetry import Telemetry, get_telemetry
 from ..utils.exceptions import ConfigurationError
@@ -68,6 +74,8 @@ __all__ = [
     "CellResult",
     "ParallelRunner",
     "ParallelExecutionError",
+    "ShardPool",
+    "ShardError",
     "make_grid",
     "run_cell",
     "METHOD_BUILDERS",
@@ -357,8 +365,12 @@ class ParallelRunner:
             # Written by a different library version: the algorithms may
             # have changed under the spec, so the entry is stale.
             return None
-        if data.get("spec") != spec.canonical():
-            return None  # hash collision or stale layout — recompute
+        # Compare JSON-normalised: the stored spec went through a JSON
+        # round trip (tuples → lists), so a tuple-valued kwarg must not
+        # read as a mismatch — and a genuine sha256-prefix collision or
+        # stale layout still forces a recompute.
+        if data.get("spec") != canonical_json(spec.canonical()):
+            return None  # different spec behind the same hash — recompute
         if self.keep_records and data.get("records") is None:
             return None  # cached without records but records requested now
         data.setdefault("name", spec.name)
@@ -370,10 +382,9 @@ class ParallelRunner:
         if self.cache_dir is None:
             return
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        spec_hash = hashlib.sha256(
-            json.dumps(result.spec, sort_keys=True).encode()
-        ).hexdigest()[:16]
-        path = self.cache_dir / f"{spec_hash}.json"
+        # Same hash implementation as ExperimentSpec.config_hash — the
+        # stored file must land exactly where _cache_path will look.
+        path = self.cache_dir / f"{spec_hash(result.spec)}.json"
         tmp = path.with_suffix(".tmp")
         payload = result.to_json()
         payload["repro_version"] = _package_version()
@@ -554,6 +565,178 @@ class ParallelRunner:
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
         return failures, errors
+
+
+# --------------------------------------------------------------------------
+# Long-lived shards — the stateful counterpart of the one-shot wave pool
+# --------------------------------------------------------------------------
+
+
+class ShardError(RuntimeError):
+    """A shard worker raised (or died) while serving a request."""
+
+
+def _shard_worker(conn, factory, factory_args) -> None:
+    """Worker-process loop: build the host once, serve requests FIFO.
+
+    Protocol: the parent sends ``(ticket, method, args, kwargs)`` tuples
+    and eventually ``None`` (shutdown); each request is answered with
+    ``(ticket, ok, payload)`` where ``payload`` is the method's return
+    value (``ok=True``) or a one-line error description (``ok=False`` —
+    exceptions never cross the pipe, so an unpicklable error cannot
+    wedge the shard).
+    """
+    host = factory(*factory_args)
+    try:
+        while True:
+            msg = conn.recv()
+            if msg is None:
+                return
+            ticket, method, args, kwargs = msg
+            try:
+                result = getattr(host, method)(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 — ship, don't die
+                conn.send((ticket, False, f"{type(exc).__name__}: {exc}"))
+            else:
+                conn.send((ticket, True, result))
+    finally:
+        closer = getattr(host, "close", None)
+        if callable(closer):
+            try:
+                closer()
+            except Exception:
+                pass
+        conn.close()
+
+
+class ShardPool:
+    """Long-lived worker processes with a **submit/collect** protocol.
+
+    The wave pool above (:class:`ParallelRunner`) is one-shot: a grid
+    cell ships its whole job to a worker, runs, and the worker forgets
+    it. Fleet-scale session multiplexing needs the opposite — workers
+    that *keep state resident* between calls (each shard hosts the live
+    sessions of its slice of a device fleet). A :class:`ShardPool`
+    starts ``n_shards`` processes, builds one **host object** per shard
+    via ``factory(shard_index, *factory_args)`` (a module-level,
+    picklable callable), and then serves method calls on that host:
+
+    >>> pool = ShardPool(4, my_module.make_host)          # doctest: +SKIP
+    >>> t = pool.submit(2, "ingest", device_id, chunk)    # doctest: +SKIP
+    >>> pool.collect(t)                                   # doctest: +SKIP
+
+    ``submit`` is non-blocking (requests pipeline per shard, FIFO);
+    ``collect`` blocks until that ticket's reply arrives, buffering any
+    replies it drains for other tickets. :meth:`call` is the synchronous
+    convenience, :meth:`broadcast` fans one call over every shard.
+
+    A request that raises in the worker surfaces as :class:`ShardError`
+    at its ``collect`` — other requests (and other shards) are
+    unaffected. A dead shard process also raises :class:`ShardError`.
+    """
+
+    def __init__(self, n_shards: int, factory, *, factory_args: tuple = ()) -> None:
+        if int(n_shards) < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards!r}.")
+        ctx = multiprocessing.get_context()
+        self._conns = []
+        self._procs = []
+        for shard in range(int(n_shards)):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(child, factory, (shard, *factory_args)),
+                daemon=True,
+                name=f"repro-shard-{shard}",
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        self._next_ticket = 0
+        self._shard_of: Dict[int, int] = {}
+        self._replies: Dict[int, Tuple[bool, Any]] = {}
+        self._closed = False
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._procs)
+
+    def submit(self, shard: int, method: str, *args, **kwargs) -> int:
+        """Queue ``host.method(*args, **kwargs)`` on ``shard``; returns a ticket."""
+        if self._closed:
+            raise ConfigurationError("ShardPool is closed.")
+        if not 0 <= int(shard) < len(self._conns):
+            raise ConfigurationError(
+                f"shard {shard} out of range (pool has {len(self._conns)})."
+            )
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._shard_of[ticket] = int(shard)
+        try:
+            self._conns[shard].send((ticket, method, args, kwargs))
+        except (BrokenPipeError, OSError) as exc:
+            self._shard_of.pop(ticket, None)
+            raise ShardError(f"shard {shard} is dead: {exc}") from exc
+        return ticket
+
+    def collect(self, ticket: int) -> Any:
+        """Block until ``ticket``'s reply arrives; return (or raise) it."""
+        if ticket not in self._replies and ticket not in self._shard_of:
+            raise ConfigurationError(f"unknown or already-collected ticket {ticket}.")
+        shard = self._shard_of.get(ticket)
+        while ticket not in self._replies:
+            try:
+                t, ok, payload = self._conns[shard].recv()
+            except (EOFError, OSError) as exc:
+                raise ShardError(
+                    f"shard {shard} died with {len(self._shard_of)} "
+                    "request(s) outstanding."
+                ) from exc
+            self._replies[t] = (ok, payload)
+            self._shard_of.pop(t, None)
+        ok, payload = self._replies.pop(ticket)
+        if not ok:
+            raise ShardError(f"shard request failed: {payload}")
+        return payload
+
+    def call(self, shard: int, method: str, *args, **kwargs) -> Any:
+        """Synchronous ``submit`` + ``collect`` on one shard."""
+        return self.collect(self.submit(shard, method, *args, **kwargs))
+
+    def broadcast(self, method: str, *args, **kwargs) -> List[Any]:
+        """Call ``method`` on every shard; returns results in shard order."""
+        tickets = [
+            self.submit(shard, method, *args, **kwargs)
+            for shard in range(self.n_shards)
+        ]
+        return [self.collect(t) for t in tickets]
+
+    def close(self) -> None:
+        """Shut every shard down (idempotent); outstanding replies are dropped."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover — stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+        self._shard_of.clear()
+        self._replies.clear()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 def make_grid(

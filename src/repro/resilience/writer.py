@@ -20,10 +20,19 @@ Semantics that keep crash recovery deterministic:
   returning, and the stream loop flushes on *both* normal completion
   and crash — so when ``run()``/``resume()`` returns or raises,
   everything submitted is on disk. Callers may unlink or load the
-  checkpoint immediately without racing the worker.
-* **Errors surface.** A failure on the worker (disk full, permission)
-  is re-raised on the caller's thread at the next ``submit``/``flush``/
-  ``close``; later tasks are skipped once one has failed.
+  checkpoint immediately without racing the worker. ``flush(scope=...)``
+  waits only for that scope's tasks (FIFO ordering means everything
+  submitted before them has already run).
+* **Errors surface — per scope.** The writer is shared by every
+  pipeline in the process (see :func:`shared_writer`), so a failure is
+  tracked against the ``scope`` its task was submitted under and
+  re-raised only at that scope's next ``submit``/``flush`` — one
+  session's disk-full can never surface inside an unrelated session.
+  After a failure, only the *failing scope's* later tasks are skipped;
+  other scopes keep writing. Scope-less calls share one default scope
+  (the historical single-client behaviour), and a bare ``flush()`` /
+  ``close()`` drains everything and re-raises the oldest pending error
+  of any scope so no failure is ever silently dropped.
 
 The process shares one lazily-started worker via :func:`shared_writer`
 — thread start/join costs a visible fraction of a short run, so it is
@@ -41,22 +50,35 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, Dict, Hashable, Optional, Tuple
 
 __all__ = ["AsyncCheckpointWriter", "shared_writer"]
 
+#: Default for ``flush``: drain every scope, not one in particular.
+_ALL_SCOPES = object()
+
 
 class AsyncCheckpointWriter:
-    """Single worker thread running checkpoint tasks in strict FIFO order."""
+    """Single worker thread running checkpoint tasks in strict FIFO order.
+
+    ``scope`` on :meth:`submit`/:meth:`flush` is any hashable key naming
+    the client (a run's checkpoint interceptor, a fleet session, ...).
+    Task failures are remembered and re-raised per scope, so independent
+    clients sharing the process-wide writer cannot observe each other's
+    errors. Omitting the scope uses one shared default scope.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._wake = threading.Event()
-        self._queue: Deque[Callable[[], None]] = deque()
+        self._queue: Deque[Tuple[Hashable, Callable[[], None]]] = deque()
+        #: scope → tasks submitted but not yet finished (queued or running)
+        self._pending: Dict[Hashable, int] = {}
+        #: scope → first unraised failure, in failure order (dicts are ordered)
+        self._errors: Dict[Hashable, BaseException] = {}
         self._busy = False
         self._closed = False
-        self._error: Optional[BaseException] = None
         self._thread = threading.Thread(
             target=self._loop, name="repro-checkpoint-writer", daemon=True
         )
@@ -64,21 +86,38 @@ class AsyncCheckpointWriter:
 
     # -- caller side -----------------------------------------------------------------
 
-    def submit(self, task: Callable[[], None]) -> None:
-        """Queue one task; it runs on the worker after all earlier tasks."""
+    def submit(self, task: Callable[[], None], *, scope: Hashable = None) -> None:
+        """Queue one task; it runs on the worker after all earlier tasks.
+
+        Raises the scope's pending error first, if one of its earlier
+        tasks failed (the error is consumed; the scope is then usable
+        again).
+        """
         with self._lock:
-            self._raise_pending_error()
+            self._raise_scope_error(scope)
             if self._closed:
                 raise RuntimeError("AsyncCheckpointWriter is closed.")
-            self._queue.append(task)
+            self._queue.append((scope, task))
+            self._pending[scope] = self._pending.get(scope, 0) + 1
             self._wake.set()
 
-    def flush(self) -> None:
-        """Block until every task submitted so far has run."""
+    def flush(self, *, scope: Hashable = _ALL_SCOPES) -> None:
+        """Block until the scope's submitted tasks have run (default: all).
+
+        With an explicit ``scope``, waits only for that scope's tasks and
+        re-raises only that scope's pending error. Without one, drains
+        the whole queue and re-raises the oldest pending error of *any*
+        scope (the historical single-client contract).
+        """
         with self._idle:
-            while self._queue or self._busy:
-                self._idle.wait()
-            self._raise_pending_error()
+            if scope is _ALL_SCOPES:
+                while self._queue or self._busy:
+                    self._idle.wait()
+                self._raise_any_error()
+            else:
+                while self._pending.get(scope, 0):
+                    self._idle.wait()
+                self._raise_scope_error(scope)
 
     def close(self) -> None:
         """Drain the queue, stop the worker, and surface any task error."""
@@ -87,7 +126,7 @@ class AsyncCheckpointWriter:
             self._wake.set()
         self._thread.join()
         with self._lock:
-            self._raise_pending_error()
+            self._raise_any_error()
 
     def __enter__(self) -> "AsyncCheckpointWriter":
         return self
@@ -103,10 +142,15 @@ class AsyncCheckpointWriter:
             except Exception:
                 pass
 
-    def _raise_pending_error(self) -> None:
-        if self._error is not None:
-            exc, self._error = self._error, None
+    def _raise_scope_error(self, scope: Hashable) -> None:
+        exc = self._errors.pop(scope, None)
+        if exc is not None:
             raise exc
+
+    def _raise_any_error(self) -> None:
+        if self._errors:
+            scope = next(iter(self._errors))
+            raise self._errors.pop(scope)
 
     # -- worker side -----------------------------------------------------------------
 
@@ -120,18 +164,27 @@ class AsyncCheckpointWriter:
                         return
                     self._wake.clear()
                     continue
-                task = self._queue.popleft()
+                scope, task = self._queue.popleft()
                 self._busy = True
+                # Skip only the *failing scope's* backlog — its on-disk
+                # state is suspect after one failed write, but every other
+                # scope's tasks are independent and keep running.
+                skip = scope in self._errors
             try:
-                if self._error is None:  # skip the backlog after a failure
+                if not skip:
                     task()
-            except BaseException as exc:  # surfaced on the caller's thread
+            except BaseException as exc:  # surfaced on the scope's next call
                 with self._lock:
-                    if self._error is None:
-                        self._error = exc
+                    if scope not in self._errors:
+                        self._errors[scope] = exc
             finally:
                 with self._lock:
                     self._busy = False
+                    n = self._pending.get(scope, 0) - 1
+                    if n > 0:
+                        self._pending[scope] = n
+                    else:
+                        self._pending.pop(scope, None)
                     self._idle.notify_all()
 
 
@@ -143,9 +196,10 @@ def shared_writer() -> AsyncCheckpointWriter:
     """The process-wide checkpoint writer (created on first use).
 
     Callers scope their use with :meth:`AsyncCheckpointWriter.flush`
-    rather than ``close`` — the worker thread outlives any one run. A
-    dead worker (closed by a test, or inherited across ``fork``) is
-    replaced transparently.
+    rather than ``close`` — the worker thread outlives any one run — and
+    should pass a per-client ``scope`` to ``submit``/``flush`` so their
+    failures stay theirs. A dead worker (closed by a test, or inherited
+    across ``fork``) is replaced transparently.
     """
     global _shared
     with _shared_lock:

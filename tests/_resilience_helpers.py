@@ -29,3 +29,14 @@ def crashing_builder(X, y, *, seed=0, crash_marker=None, crash_step=40, **kwargs
             marker.write_text("armed")
             crash_at(pipe, int(crash_step))  # armed for life; never disarmed
     return pipe
+
+
+def tuple_kwarg_builder(X, y, *, seed=0, widths=(8,), **kwargs):
+    """Builder with a tuple-valued kwarg (cache round-trip regression).
+
+    ``widths`` only has to *exist*: a tuple in ``pipeline_kwargs`` turns
+    into a JSON list inside the cache file, and the loader must not read
+    that back as a spec mismatch.
+    """
+    assert isinstance(widths, tuple)
+    return build_proposed(X, y, seed=seed, **kwargs)

@@ -85,6 +85,29 @@ class TestSlice:
         sub = s.slice(0, 2)
         assert sub.X.base is None or not np.shares_memory(sub.X, s.X)
 
+    def test_drift_at_stop_boundary_kept(self):
+        # A drift annotation is legal anywhere in 0 <= d <= len, so a
+        # drift sitting exactly at ``stop`` belongs to the sub-stream
+        # (re-indexed to its end) — it used to be silently dropped.
+        s = make(n=10, drifts=(5,))
+        assert s.slice(2, 5).drift_points == (3,)
+
+    def test_take_keeps_end_annotation(self):
+        s = make(n=10, drifts=(6,))
+        assert s.take(6).drift_points == (6,)
+        assert s.take(10).drift_points == (6,)
+
+    def test_drift_at_start_boundary_kept(self):
+        s = make(n=10, drifts=(5,))
+        assert s.slice(5, 10).drift_points == (0,)
+
+    def test_boundary_drift_changes_fingerprint(self):
+        # Same data, drift only at the stop boundary: the kept
+        # annotation must show up in the slice's identity.
+        s = make(n=10, drifts=(5,))
+        plain = make(n=10, drifts=())
+        assert s.slice(2, 5).fingerprint() != plain.slice(2, 5).fingerprint()
+
 
 class TestTransforms:
     def test_with_noise_changes_values(self, rng):

@@ -1,0 +1,178 @@
+"""StreamSession: incremental drives must match whole-stream runs exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ChunkScheduler,
+    ExperimentSpec,
+    GuardInterceptor,
+    Interceptor,
+    StreamSession,
+    TelemetryInterceptor,
+    build_experiment,
+)
+from repro.utils.exceptions import ConfigurationError
+
+SPEC = ExperimentSpec(
+    name="session-cell",
+    pipeline="proposed",
+    dataset="blobs",
+    seed=11,
+    model_seed=5,
+    dataset_kwargs={"n_test": 300, "drift_at": 180},
+)
+
+
+def _stack(pipeline, chunk=64):
+    return [
+        TelemetryInterceptor(pipeline.telemetry),
+        GuardInterceptor(),
+        ChunkScheduler(chunk),
+    ]
+
+
+def _session_records(feed_sizes, *, spec=SPEC, chunk=64):
+    exp = build_experiment(spec)
+    session = StreamSession(exp.pipeline, _stack(exp.pipeline, chunk)).open()
+    X, y = exp.test.X, exp.test.y
+    pos = 0
+    for size in feed_sizes:
+        stop = min(pos + size, len(X))
+        got = session.feed(X[pos:stop], y[pos:stop])
+        assert len(got) == stop - pos
+        pos = stop
+    assert pos == len(X)
+    return session.close()
+
+
+def _assert_identical(a, b):
+    assert len(a) == len(b)
+    assert a == b
+    sa = np.array([r.anomaly_score for r in a])
+    sb = np.array([r.anomaly_score for r in b])
+    assert sa.tobytes() == sb.tobytes()
+
+
+class TestEquivalence:
+    def test_one_feed_equals_run(self):
+        solo = build_experiment(SPEC).run(chunk_size=64)
+        fed = _session_records([300])
+        _assert_identical(solo, fed)
+
+    @pytest.mark.parametrize(
+        "sizes",
+        [
+            [1] * 300,
+            [7, 64, 13, 100, 300],  # ragged, last one clipped
+            [150, 150],
+            [299, 1],
+        ],
+    )
+    def test_any_feed_interleaving_is_byte_identical(self, sizes):
+        solo = build_experiment(SPEC).run(chunk_size=64)
+        _assert_identical(solo, _session_records(sizes))
+
+    def test_guarded_session_matches_guarded_run(self):
+        spec = SPEC.replace(guard_policy="clip")
+        solo = build_experiment(spec).run(chunk_size=64)
+        _assert_identical(solo, _session_records([90, 90, 120], spec=spec))
+
+    def test_feed_returns_only_new_records(self):
+        exp = build_experiment(SPEC)
+        session = StreamSession(exp.pipeline, _stack(exp.pipeline)).open()
+        first = session.feed(exp.test.X[:50], exp.test.y[:50])
+        second = session.feed(exp.test.X[50:80], exp.test.y[50:80])
+        assert [r.index for r in first] == list(range(50))
+        assert [r.index for r in second] == list(range(50, 80))
+        assert session.records == first + second
+        session.abort()
+
+
+class TestLifecycle:
+    def _open(self):
+        exp = build_experiment(SPEC)
+        return exp, StreamSession(exp.pipeline, _stack(exp.pipeline)).open()
+
+    def test_feed_before_open_rejected(self):
+        exp = build_experiment(SPEC)
+        session = StreamSession(exp.pipeline, _stack(exp.pipeline))
+        with pytest.raises(ConfigurationError, match="not open"):
+            session.feed(exp.test.X[:10], exp.test.y[:10])
+
+    def test_double_open_rejected(self):
+        _, session = self._open()
+        with pytest.raises(ConfigurationError, match="already open"):
+            session.open()
+        session.abort()
+
+    def test_close_is_idempotent_and_reopen_rejected(self):
+        exp, session = self._open()
+        session.feed(exp.test.X[:10], exp.test.y[:10])
+        records = session.close()
+        assert session.close() == records
+        assert not session.is_open
+        with pytest.raises(ConfigurationError, match="finished"):
+            session.open()
+
+    def test_feed_after_close_rejected(self):
+        exp, session = self._open()
+        session.close()
+        with pytest.raises(ConfigurationError, match="not open"):
+            session.feed(exp.test.X[:10], exp.test.y[:10])
+
+    def test_mismatched_chunk_lengths_rejected(self):
+        exp, session = self._open()
+        with pytest.raises(ConfigurationError, match="labels"):
+            session.feed(exp.test.X[:10], exp.test.y[:9])
+        session.abort()
+
+    def test_empty_feed_is_a_noop(self):
+        exp, session = self._open()
+        assert session.feed(exp.test.X[:0], exp.test.y[:0]) == []
+        assert session.position == 0
+        session.abort()
+
+    def test_consume_error_tears_the_session_down(self):
+        aborts = []
+
+        class Exploding(Interceptor):
+            def wrap_consume(self, ctx, consume):
+                def boom(Xc, yc):
+                    raise RuntimeError("disk on fire")
+
+                return boom
+
+            def on_abort(self, ctx):
+                aborts.append(ctx.position)
+
+        exp = build_experiment(SPEC)
+        session = StreamSession(
+            exp.pipeline, [Exploding(), ChunkScheduler(64)]
+        ).open()
+        with pytest.raises(RuntimeError, match="disk on fire"):
+            session.feed(exp.test.X[:10], exp.test.y[:10])
+        assert not session.is_open
+        assert aborts == [0]
+
+    def test_start_offset_positions_the_session(self):
+        exp = build_experiment(SPEC)
+        prefix = exp.run(chunk_size=64)
+        # A second build, fast-forwarded by state transfer to index 100.
+        exp2 = build_experiment(SPEC)
+        state = None
+        # Replay the first 100 samples to produce the state organically.
+        warm = StreamSession(exp2.pipeline, _stack(exp2.pipeline)).open()
+        warm.feed(exp.test.X[:100], exp.test.y[:100])
+        state = exp2.pipeline.get_state()
+        warm.abort()
+        exp3 = build_experiment(SPEC)
+        exp3.pipeline.set_state(state)
+        session = StreamSession(
+            exp3.pipeline, _stack(exp3.pipeline), start=100, records=list(prefix[:100])
+        ).open()
+        assert session.position == 100
+        session.feed(exp.test.X[100:], exp.test.y[100:])
+        _assert_identical(prefix, session.close())

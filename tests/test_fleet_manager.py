@@ -1,0 +1,155 @@
+"""FleetManager unit behaviour: LRU policy, spool files, telemetry labels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ExperimentSpec, build_experiment
+from repro.fleet import FleetManager
+from repro.fleet.manager import SESSION_KIND
+from repro.resilience import load_checkpoint
+from repro.telemetry import Telemetry
+from repro.utils.exceptions import ConfigurationError
+
+
+def _spec(seed: int) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"cell-{seed}",
+        pipeline="baseline",  # frozen model: cheapest family for unit tests
+        dataset="blobs",
+        seed=seed,
+        model_seed=5,
+        dataset_kwargs={"n_test": 120, "drift_at": 60},
+    )
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    specs = {f"dev{i}": _spec(50 + i) for i in range(4)}
+    streams = {dev: build_experiment(spec).test for dev, spec in specs.items()}
+    fm = FleetManager(capacity=2, spool_dir=tmp_path / "spool")
+    for dev, spec in specs.items():
+        fm.add_device(dev, spec)
+    yield fm, specs, streams
+    fm.close()
+
+
+def _feed(fm, streams, dev, start=0, stop=40):
+    s = streams[dev]
+    return fm.submit(dev, s.X[start:stop], s.y[start:stop])
+
+
+class TestLRU:
+    def test_capacity_bounds_resident_sessions(self, fleet):
+        fm, specs, streams = fleet
+        for dev in specs:
+            _feed(fm, streams, dev)
+        assert len(fm.resident) == 2
+        assert fm.stats.max_resident == 2
+        assert fm.stats.evictions == 2
+
+    def test_least_recently_submitted_is_evicted_first(self, fleet):
+        fm, specs, streams = fleet
+        _feed(fm, streams, "dev0")
+        _feed(fm, streams, "dev1")
+        _feed(fm, streams, "dev0", 40, 80)  # dev1 is now coldest
+        _feed(fm, streams, "dev2")
+        assert fm.resident == ["dev0", "dev2"]
+
+    def test_restore_brings_back_the_same_position(self, fleet):
+        fm, specs, streams = fleet
+        _feed(fm, streams, "dev0", 0, 40)
+        _feed(fm, streams, "dev1")
+        _feed(fm, streams, "dev2")  # dev0 spooled
+        assert "dev0" not in fm.resident
+        records = _feed(fm, streams, "dev0", 40, 80)  # lazily restored
+        assert [r.index for r in records] == list(range(40, 80))
+        assert fm.stats.restores == 1
+
+    def test_spool_file_is_a_typed_checkpoint(self, fleet, tmp_path):
+        fm, specs, streams = fleet
+        for dev in ("dev0", "dev1", "dev2"):
+            _feed(fm, streams, dev)
+        path = tmp_path / "spool" / "dev0.fleetck"
+        assert path.is_file()
+        ck = load_checkpoint(path, expected_kind=SESSION_KIND)
+        assert ck.meta["device"] == "dev0"
+        assert ck.state["position"] == 40
+
+    def test_eviction_without_spool_dir_is_an_error(self):
+        fm = FleetManager(capacity=1, spool_dir=None)
+        fm.add_device("a", _spec(1))
+        fm.add_device("b", _spec(2))
+        stream = build_experiment(_spec(1)).test
+        fm.submit("a", stream.X[:40], stream.y[:40])
+        with pytest.raises(ConfigurationError, match="spool_dir"):
+            fm.submit("b", stream.X[:40], stream.y[:40])
+        fm.close()
+
+
+class TestLifecycle:
+    def test_unknown_device_rejected(self, fleet):
+        fm, _, streams = fleet
+        with pytest.raises(ConfigurationError, match="unknown device"):
+            fm.submit("ghost", streams["dev0"].X[:10], streams["dev0"].y[:10])
+
+    def test_duplicate_registration_rejected(self, fleet):
+        fm, specs, _ = fleet
+        with pytest.raises(ConfigurationError, match="already registered"):
+            fm.add_device("dev0", specs["dev0"])
+
+    def test_finish_never_submitted_device_is_empty(self, fleet):
+        fm, _, _ = fleet
+        assert fm.finish("dev3") == []
+
+    def test_finish_restores_evicted_device(self, fleet):
+        fm, specs, streams = fleet
+        _feed(fm, streams, "dev0")
+        _feed(fm, streams, "dev1")
+        _feed(fm, streams, "dev2")  # dev0 spooled
+        records = fm.finish("dev0")
+        assert len(records) == 40
+        assert fm.finish("dev0") == records  # idempotent
+
+    def test_submit_after_finish_rejected(self, fleet):
+        fm, _, streams = fleet
+        _feed(fm, streams, "dev0")
+        fm.finish("dev0")
+        with pytest.raises(ConfigurationError, match="finished"):
+            _feed(fm, streams, "dev0", 40, 80)
+
+    def test_closed_manager_rejects_everything(self, fleet):
+        fm, specs, streams = fleet
+        fm.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            _feed(fm, streams, "dev0")
+        fm.close()  # idempotent
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            FleetManager(capacity=0)
+
+
+class TestTelemetry:
+    def test_per_device_labels_and_cache_metrics(self, fleet):
+        fm, specs, streams = fleet
+        tel = Telemetry(enabled=True)
+        fm.telemetry = tel
+        for dev in specs:
+            _feed(fm, streams, dev)
+        _feed(fm, streams, "dev0", 40, 80)  # restore + more labelled samples
+        text = tel.registry.to_prometheus()
+        assert 'repro_fleet_device_samples{device="dev0"} 80' in text
+        assert 'repro_fleet_device_samples{device="dev3"} 40' in text
+        assert "repro_fleet_evictions" in text
+        assert "repro_fleet_restores" in text
+        assert "repro_fleet_resident_sessions 2" in text
+
+    def test_stats_track_without_telemetry(self, fleet):
+        fm, specs, streams = fleet
+        assert not fm.telemetry.enabled
+        for dev in specs:
+            _feed(fm, streams, dev)
+        assert fm.stats.samples == 160
+        assert fm.stats.device_samples["dev0"] == 40
+        assert fm.stats.evict_seconds > 0

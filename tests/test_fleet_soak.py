@@ -1,0 +1,54 @@
+"""The seeded soak harness end to end (miniature fleet; CI smoke leg)."""
+
+from __future__ import annotations
+
+from repro.fleet import make_fleet_specs, run_fleet_soak
+
+
+class TestMakeFleetSpecs:
+    def test_one_spec_per_device_with_shared_model_seed(self):
+        specs = make_fleet_specs(12, seed=2, drift_fraction=0.5, n_test=150)
+        assert len(specs) == 12
+        assert {s.model_seed for s in specs.values()} == {7}
+        assert len({s.seed for s in specs.values()}) == 12
+        shifts = {s.dataset_kwargs["shift"] for s in specs.values()}
+        assert shifts == {0.0, 0.45}
+        # Correlated drift: one drift_at across the drifting devices.
+        drift_ats = {
+            s.dataset_kwargs["drift_at"]
+            for s in specs.values()
+            if s.dataset_kwargs["shift"] > 0
+        }
+        assert len(drift_ats) == 1
+
+    def test_specs_are_deterministic(self):
+        assert make_fleet_specs(6, seed=9) == make_fleet_specs(6, seed=9)
+
+
+class TestSoak:
+    def test_mini_soak_verifies_byte_identity(self, tmp_path):
+        report = run_fleet_soak(
+            10,
+            3,
+            spool_dir=tmp_path / "spool",
+            seed=4,
+            n_test=120,
+            feed_chunk=40,
+            verify=10,
+        )
+        assert report.samples == 10 * 120
+        assert report.max_resident == 3
+        assert report.evictions > 0
+        assert report.restores > 0
+        assert report.byte_identical is True
+        assert report.mismatches == []
+        data = report.to_json()
+        assert data["sessions_per_sec"] > 0
+        assert data["restore_ms_mean"] > 0
+
+    def test_verify_zero_skips_comparison(self, tmp_path):
+        report = run_fleet_soak(
+            4, 2, spool_dir=tmp_path / "spool", seed=1, n_test=80, feed_chunk=40
+        )
+        assert report.byte_identical is None
+        assert "byte_identical" not in report.to_json()

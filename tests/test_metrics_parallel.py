@@ -228,3 +228,59 @@ class TestJsonRoundTrip:
             sa = np.array(a.records["anomaly_score"])
             sb = np.array(b.records["anomaly_score"])
             np.testing.assert_array_equal(sa, sb)  # exact, not approx
+
+
+class TestCacheIntegrity:
+    """The cache key must cover every result-affecting spec field, and
+    store/load must agree on both the path and the spec comparison."""
+
+    def test_distinct_paths_for_each_identity_field(self, tmp_path):
+        from repro.engine import ExperimentSpec
+
+        runner = ParallelRunner(cache_dir=tmp_path, max_workers=1)
+        base = ExperimentSpec(name="x", pipeline="baseline", dataset="blobs", seed=1)
+        variants = [
+            base.replace(model_seed=9),
+            base.replace(chunk_size=32),
+            base.replace(n_test=50),
+            base.replace(guard_policy="clip"),
+            base.replace(dataset_kwargs={"n_test": 80}),
+            base.replace(pipeline_kwargs={"n_hidden": 8}),
+        ]
+        paths = {runner._cache_path(v) for v in [base, *variants]}
+        assert len(paths) == len(variants) + 1
+
+    def test_store_lands_exactly_where_load_looks(self, tmp_path):
+        runner = ParallelRunner(cache_dir=tmp_path, max_workers=1)
+        (cell,) = small_cells(seeds=[1])[:1]
+        runner.run([cell])
+        assert runner._cache_path(cell).is_file()
+        assert runner._cache_load(cell) is not None
+
+    def test_tuple_valued_kwargs_hit_cache_on_rerun(self, tmp_path):
+        # Regression: the stored spec goes through a JSON round trip
+        # (tuple -> list), so the loader's equality check used to report
+        # a permanent mismatch and silently recompute every run.
+        from repro.engine import ExperimentSpec
+
+        spec = ExperimentSpec(
+            name="tuple-cell",
+            pipeline="tests._resilience_helpers:tuple_kwarg_builder",
+            dataset="blobs",
+            seed=1,
+            pipeline_kwargs={"widths": (8, 4), "window_size": 30},
+            dataset_kwargs=dict(BLOBS_KWARGS),
+        )
+        runner = ParallelRunner(cache_dir=tmp_path, max_workers=1)
+        (first,) = runner.run([spec])
+        assert not first.from_cache
+        (second,) = runner.run([spec])
+        assert second.from_cache
+
+    def test_display_name_change_still_hits(self, tmp_path):
+        (cell,) = small_cells(seeds=[1])[:1]
+        runner = ParallelRunner(cache_dir=tmp_path, max_workers=1)
+        runner.run([cell])
+        (renamed,) = runner.run([cell.replace(name="Renamed Cell")])
+        assert renamed.from_cache
+        assert renamed.name == "Renamed Cell"

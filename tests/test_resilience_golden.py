@@ -180,3 +180,47 @@ def test_resume_refuses_wrong_pipeline_class(tmp_path):
 
     with pytest.raises(ConfigurationError):
         MAKERS["quanttree"](train).resume(test, ckpt)
+
+
+class TestDerivedStreamResume:
+    """Derived streams (slice/take/with_noise) must resume byte-identically.
+
+    ``take`` used to drop a drift annotation sitting exactly at the cut,
+    which silently changed the derived stream's identity (fingerprint)
+    and its delay bookkeeping between the crashed and resumed runs.
+    """
+
+    def test_end_drift_survives_take(self):
+        _, test = _streams("coolingfan")
+        assert 120 in test.drift_points
+        assert test.take(120).drift_points == (120,)
+
+    def test_sliced_stream_resume_byte_identical(self, tmp_path):
+        train, test = _streams("coolingfan")
+        sub = test.take(120)  # the true drift sits exactly on the cut
+        golden = MAKERS["proposed"](train).run(sub)
+
+        ckpt = tmp_path / "sliced.ckpt"
+        victim = MAKERS["proposed"](train)
+        with pytest.raises(InjectedCrash):
+            with crash_at(victim, 64):
+                victim.run(sub, checkpoint_every=EVERY, checkpoint_path=ckpt)
+        survivor = MAKERS["proposed"](train)
+        resumed = survivor.resume(sub, ckpt)
+        _assert_byte_identical(resumed, golden)
+
+    def test_noisy_stream_resume_byte_identical(self, tmp_path):
+        train, test = _streams("coolingfan")
+        noisy = test.with_noise(0.01, np.random.default_rng(5))
+        golden = MAKERS["quanttree"](train).run(noisy)
+
+        ckpt = tmp_path / "noisy.ckpt"
+        victim = MAKERS["quanttree"](train)
+        with pytest.raises(InjectedCrash):
+            with crash_at(victim, 64):
+                victim.run(noisy, checkpoint_every=EVERY, checkpoint_path=ckpt)
+        survivor = MAKERS["quanttree"](train)
+        # Rebuild the derived stream exactly as a restarted process would.
+        noisy_again = test.with_noise(0.01, np.random.default_rng(5))
+        resumed = survivor.resume(noisy_again, ckpt)
+        _assert_byte_identical(resumed, golden)

@@ -1,0 +1,123 @@
+"""AsyncCheckpointWriter: FIFO, drain, and per-scope error isolation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.resilience.writer import AsyncCheckpointWriter, shared_writer
+
+
+class TestFifoAndDrain:
+    def test_tasks_run_in_submission_order(self):
+        ran = []
+        with AsyncCheckpointWriter() as w:
+            for i in range(20):
+                w.submit(lambda i=i: ran.append(i))
+            w.flush()
+            assert ran == list(range(20))
+
+    def test_flush_waits_for_slow_tasks(self):
+        gate = threading.Event()
+        done = []
+        with AsyncCheckpointWriter() as w:
+            w.submit(gate.wait)
+            w.submit(lambda: done.append(1))
+            gate.set()
+            w.flush()
+            assert done == [1]
+
+    def test_submit_after_close_rejected(self):
+        w = AsyncCheckpointWriter()
+        w.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            w.submit(lambda: None)
+
+
+class TestScopedErrors:
+    """Regression: two clients interleaved on one shared writer.
+
+    Historically a failed task poisoned the *writer* — the error
+    surfaced at whichever client called ``submit``/``flush`` next, so
+    one run's disk-full could abort an unrelated healthy run. Errors are
+    now tracked per ``scope``.
+    """
+
+    def test_one_scopes_failure_is_invisible_to_the_other(self):
+        ok_ran = []
+        with AsyncCheckpointWriter() as w:
+            a, b = object(), object()
+            # Interleaved submissions: b's tasks bracket a's failure.
+            w.submit(lambda: ok_ran.append("b1"), scope=b)
+            w.submit(lambda: 1 / 0, scope=a)
+            w.submit(lambda: ok_ran.append("b2"), scope=b)
+            w.flush(scope=b)  # healthy client: must NOT raise
+            assert ok_ran == ["b1", "b2"]
+            with pytest.raises(ZeroDivisionError):
+                w.flush(scope=a)
+            w.flush(scope=a)  # error was consumed: scope usable again
+
+    def test_failing_scopes_backlog_is_skipped_but_other_scopes_run(self):
+        ran = []
+        release = threading.Event()
+        with AsyncCheckpointWriter() as w:
+            a, b = "scope-a", "scope-b"
+            w.submit(release.wait, scope=b)  # hold the queue
+            w.submit(lambda: 1 / 0, scope=a)
+            w.submit(lambda: ran.append("a-later"), scope=a)  # must be skipped
+            w.submit(lambda: ran.append("b-later"), scope=b)  # must run
+            release.set()
+            w.flush(scope=b)
+            assert "b-later" in ran
+            assert "a-later" not in ran
+            with pytest.raises(ZeroDivisionError):
+                w.submit(lambda: None, scope=a)
+
+    def test_next_submit_on_failing_scope_raises_once(self):
+        landed = threading.Event()
+        with AsyncCheckpointWriter() as w:
+            w.submit(lambda: 1 / 0, scope="s")
+            w.submit(landed.set, scope="sync")  # FIFO: failure has run first
+            landed.wait()
+            with pytest.raises(ZeroDivisionError):
+                w.submit(lambda: None, scope="s")
+            w.submit(lambda: None, scope="s")  # consumed: usable again
+            w.flush(scope="s")
+
+    def test_bare_flush_raises_oldest_error_of_any_scope(self):
+        w = AsyncCheckpointWriter()
+        w.submit(lambda: 1 / 0, scope="first")
+        w.flush(scope="first-barrier")  # no tasks: returns immediately
+        w.submit(lambda: [][1], scope="second")
+        with pytest.raises(ZeroDivisionError):
+            w.flush()
+        with pytest.raises(IndexError):
+            w.flush()
+        w.close()
+
+    def test_close_surfaces_pending_error(self):
+        w = AsyncCheckpointWriter()
+        w.submit(lambda: 1 / 0, scope="s")
+        with pytest.raises(ZeroDivisionError):
+            w.close()
+
+    def test_default_scope_is_shared(self):
+        # Scope-less callers keep the historical single-client semantics.
+        with AsyncCheckpointWriter() as w:
+            w.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                w.flush()
+
+
+class TestSharedWriter:
+    def test_is_a_process_singleton(self):
+        assert shared_writer() is shared_writer()
+
+    def test_closed_singleton_is_replaced(self):
+        first = shared_writer()
+        first.close()
+        second = shared_writer()
+        assert second is not first
+        second.submit(lambda: None)
+        second.flush()
