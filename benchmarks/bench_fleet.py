@@ -38,7 +38,7 @@ FULL = dict(n_devices=1000, capacity=64, n_test=120, feed_chunk=60, verify=8)
 SMOKE = dict(n_devices=24, capacity=4, n_test=120, feed_chunk=60, verify=8)
 
 
-def run_soak(params: dict, *, seed: int = 0, progress=None):
+def run_soak(params: dict, *, seed: int = 0, n_shards=None, progress=None):
     with tempfile.TemporaryDirectory(prefix="repro-fleet-bench-") as tmp:
         return run_fleet_soak(
             params["n_devices"],
@@ -47,6 +47,7 @@ def run_soak(params: dict, *, seed: int = 0, progress=None):
             seed=seed,
             n_test=params["n_test"],
             feed_chunk=params["feed_chunk"],
+            n_shards=n_shards,
             verify=params["verify"],
             progress=progress,
         )
@@ -78,22 +79,62 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="partition the fleet over N worker processes "
+             "(ShardedFleetManager; default: one in-process manager)",
+    )
+    parser.add_argument(
         "--out",
         default="BENCH_fleet.json",
         help="where to write the JSON report (default: ./BENCH_fleet.json)",
     )
+    parser.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="perf-trajectory JSONL to append to "
+             "(default: ./BENCH_history.jsonl at the repo root)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="skip the trajectory append (exploratory runs)",
+    )
     args = parser.parse_args(argv)
     params = SMOKE if args.smoke else FULL
+    sharded = args.shards is not None and args.shards > 0
 
+    shard_note = f", {args.shards} shards" if sharded else ""
     print(
         f"fleet soak: {params['n_devices']} devices, "
         f"capacity {params['capacity']}, {params['n_test']} samples/device"
+        f"{shard_note}"
     )
-    report = run_soak(params, seed=args.seed, progress=print)
+    report = run_soak(
+        params,
+        seed=args.seed,
+        n_shards=args.shards if sharded else None,
+        progress=print,
+    )
+    mode = "smoke" if args.smoke else "full"
+    if sharded:
+        mode += f"-sharded{args.shards}"
     data = report.to_json()
-    data["mode"] = "smoke" if args.smoke else "full"
+    data["mode"] = mode
     data["seed"] = args.seed
     Path(args.out).write_text(json.dumps(data, indent=2) + "\n")
+    if not args.no_history:
+        from bench_history import DEFAULT_HISTORY, append_history
+
+        append_history(
+            args.history or DEFAULT_HISTORY,
+            "fleet",
+            mode,
+            {
+                "samples_per_sec": report.samples_per_sec,
+                "sessions_per_sec": report.sessions_per_sec,
+                "evictions": report.evictions,
+                "restores": report.restores,
+                "drifts": report.drifts,
+            },
+        )
 
     print(
         f"  {report.sessions_per_sec:.1f} sessions/s, "

@@ -1,0 +1,67 @@
+"""Append-only perf trajectory shared by every standalone bench.
+
+Each bench's ``main`` appends one JSON line to ``BENCH_history.jsonl``
+after a successful run::
+
+    {"bench": "fleet", "mode": "smoke", "git_sha": "4a36266",
+     "host": "ci-runner", "ts": 1754640000.0,
+     "metrics": {"samples_per_sec": 6376.1, ...}}
+
+``tools/check_bench_regression.py`` reads the same file and fails CI
+when the latest smoke entry regresses more than 20 % against the
+trailing median — the history file is the contract between the two.
+Records are append-only and self-describing (schema above) so the file
+survives bench renames and metric additions; readers must ignore
+metrics they do not know.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+
+__all__ = ["DEFAULT_HISTORY", "append_history", "git_sha"]
+
+#: Where benches append by default (repo root, next to BENCH_*.json).
+DEFAULT_HISTORY = Path(__file__).resolve().parent.parent / "BENCH_history.jsonl"
+
+
+def git_sha() -> str:
+    """Short commit hash of the repo this bench ran in ("unknown" outside git)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def append_history(path, bench: str, mode: str, metrics: dict) -> dict:
+    """Append one trajectory record to ``path`` and return it.
+
+    ``metrics`` values must be numeric; non-finite values are rejected by
+    the regression gate, not here (the record should faithfully show what
+    the bench measured).
+    """
+    record = {
+        "bench": str(bench),
+        "mode": str(mode),
+        "git_sha": git_sha(),
+        "host": platform.node() or "unknown",
+        "ts": time.time(),
+        "metrics": {k: float(v) for k, v in metrics.items()},
+    }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return record

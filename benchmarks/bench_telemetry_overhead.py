@@ -156,8 +156,8 @@ def _best_seconds(fn: Callable[[], object], rounds: int) -> float:
     return best
 
 
-def measure_overhead(*, n_samples: int, rounds: int) -> float:
-    """Best-of-``rounds`` relative overhead of the instrumented loop.
+def _measure(*, n_samples: int, rounds: int) -> tuple:
+    """Best-of-``rounds`` timing → (overhead ratio, best instr s, best plain s).
 
     The two variants are timed in interleaved rounds (A/B, A/B, ...) so
     slow drift of the host (thermal, noisy neighbours) cancels out of the
@@ -183,7 +183,12 @@ def measure_overhead(*, n_samples: int, rounds: int) -> float:
     for _ in range(rounds):
         best_inst = min(best_inst, _best_seconds(instrumented, 1))
         best_plain = min(best_plain, _best_seconds(plain, 1))
-    return best_inst / best_plain - 1.0
+    return best_inst / best_plain - 1.0, best_inst, best_plain
+
+
+def measure_overhead(*, n_samples: int, rounds: int) -> float:
+    """Best-of-``rounds`` relative overhead of the instrumented loop."""
+    return _measure(n_samples=n_samples, rounds=rounds)[0]
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -196,22 +201,44 @@ def main(argv: List[str] | None = None) -> int:
                         help="timing rounds per variant (default 15; 7 with --smoke)")
     parser.add_argument("--attempts", type=int, default=3,
                         help="re-measure up to this many times before failing")
+    parser.add_argument("--history", default=None, metavar="PATH",
+                        help="perf-trajectory JSONL to append to "
+                             "(default: ./BENCH_history.jsonl at the repo root)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip the trajectory append (exploratory runs)")
     args = parser.parse_args(argv)
 
     n_samples = args.samples or (4096 if args.smoke else 16384)
     rounds = args.rounds or (7 if args.smoke else 15)
 
-    ratio = float("inf")
+    def record(ratio: float, best_inst: float) -> None:
+        if args.no_history:
+            return
+        from bench_history import DEFAULT_HISTORY, append_history
+
+        append_history(
+            args.history or DEFAULT_HISTORY,
+            "telemetry_overhead",
+            "smoke" if args.smoke else "full",
+            {
+                "samples_per_sec": n_samples / best_inst,
+                "overhead_ratio": ratio,
+            },
+        )
+
+    ratio, best_inst = float("inf"), float("inf")
     for attempt in range(1, args.attempts + 1):
-        ratio = measure_overhead(n_samples=n_samples, rounds=rounds)
+        ratio, best_inst, _ = _measure(n_samples=n_samples, rounds=rounds)
         print(
             f"attempt {attempt}: disabled-telemetry overhead {ratio:+.2%} "
             f"(bound {OVERHEAD_BOUND:.0%}, {n_samples} samples, "
             f"best of {rounds})"
         )
         if ratio < OVERHEAD_BOUND:
+            record(ratio, best_inst)
             print("OK: instrumentation is free when disabled.")
             return 0
+    record(ratio, best_inst)
     print(f"FAIL: overhead {ratio:+.2%} exceeds {OVERHEAD_BOUND:.0%}.")
     return 1
 

@@ -37,9 +37,21 @@ Observability flags (see ``docs/telemetry.md``)::
     python -m repro table3 --telemetry-summary
 
 ``--telemetry PATH`` streams every event (drifts, reconstructions,
-spans, parallel cells) as JSON lines to ``PATH``; ``--telemetry-summary``
-prints an ASCII metrics digest after the run. ``repro --version`` prints
-the package version.
+spans, parallel cells, ``drift_audit`` provenance) as JSON lines to
+``PATH``; ``--telemetry-summary`` prints an ASCII metrics digest after
+the run. ``python -m repro audit PATH`` summarises the ``drift_audit``
+events in such a trace (top drifting devices, recovery percentiles).
+``repro --version`` prints the package version.
+
+Fleet observability (see ``docs/fleet.md``)::
+
+    python -m repro fleet --tiny --shards 4 --serve-metrics 9100
+
+``--shards N`` partitions the device fleet over N worker processes
+(their telemetry merges back into this process, labelled by shard);
+``--serve-metrics PORT`` serves ``/metrics`` (Prometheus text),
+``/health`` and ``/fleet`` on ``127.0.0.1:PORT`` while the soak runs
+(port 0 = any free port).
 
 Self-healing flags (see ``docs/robustness.md``)::
 
@@ -371,6 +383,41 @@ def cmd_fleet(args) -> None:
 
     from .fleet import run_fleet_soak
 
+    sharded = args.shards is not None and args.shards > 0
+    live: dict = {}
+
+    def _hook(fm) -> None:
+        live["manager"] = fm
+
+    server = None
+    if args.serve_metrics is not None:
+        from .telemetry.httpd import MetricsServer
+
+        def _fleet_stats() -> dict:
+            fm = live.get("manager")
+            if fm is None:
+                return {"status": "starting", "devices": args.devices}
+            if sharded:
+                # Worker pipes are owned by the soak thread; serve shape
+                # only rather than racing it for per-shard stats.
+                return {
+                    "sharded": True,
+                    "shards": int(args.shards),
+                    "devices": args.devices,
+                    "note": "per-shard stats aggregate when the soak finishes",
+                }
+            return fm.stats.to_json(include_devices=True)
+
+        def _health() -> dict:
+            return {"status": "ok", "devices": args.devices}
+
+        server = MetricsServer(
+            args.serve_metrics,
+            health_provider=_health,
+            fleet_provider=_fleet_stats,
+        ).start()
+        print(f"serving metrics on {server.url} (/metrics /health /fleet)")
+
     def _soak(spool: str):
         return run_fleet_soak(
             args.devices,
@@ -380,20 +427,31 @@ def cmd_fleet(args) -> None:
             n_test=args.fleet_samples,
             feed_chunk=args.fleet_chunk,
             guard_policy=args.guard_policy,
+            n_shards=args.shards if sharded else None,
             verify=args.fleet_verify,
             progress=print,
+            manager_hook=_hook,
         )
 
+    shard_note = f", {args.shards} shards" if sharded else ""
     print(
         f"fleet soak: {args.devices} devices, LRU capacity {args.capacity}, "
-        f"{args.fleet_samples} samples/device"
+        f"{args.fleet_samples} samples/device{shard_note}"
     )
-    if args.spool_dir is not None:
-        report = _soak(args.spool_dir)
-    else:
-        with tempfile.TemporaryDirectory(prefix="repro-fleet-") as tmp:
-            report = _soak(tmp)
-    rows = [[k, v] for k, v in report.to_json().items() if k != "mismatches"]
+    try:
+        if args.spool_dir is not None:
+            report = _soak(args.spool_dir)
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-fleet-") as tmp:
+                report = _soak(tmp)
+    finally:
+        if server is not None:
+            server.stop()
+    rows = [
+        [k, v]
+        for k, v in report.to_json().items()
+        if k != "mismatches" and v is not None
+    ]
     print(format_table(["metric", "value"], rows, title="Fleet soak report"))
     if report.mismatches:
         raise ConfigurationError(
@@ -401,6 +459,14 @@ def cmd_fleet(args) -> None:
         )
     if report.verified:
         print(f"\n{report.verified} device(s) verified byte-identical to standalone runs.")
+
+
+def cmd_audit(args) -> None:
+    """Summarise a ``drift_audit`` JSONL trace (``audit`` command)."""
+    from .telemetry import audit_report, load_audit, render_audit
+
+    records = load_audit(Path(args.spec_path))
+    print(render_audit(audit_report(records)))
 
 
 COMMANDS: Dict[str, Callable] = {
@@ -411,6 +477,7 @@ COMMANDS: Dict[str, Callable] = {
     "table6": cmd_table6,
     "fig1": cmd_fig1,
     "fleet": cmd_fleet,
+    "audit": cmd_audit,
 }
 
 
@@ -432,7 +499,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "spec_path", nargs="?", default=None,
-        help="JSON experiment-spec file (only with the 'spec' command)",
+        help="JSON experiment-spec file ('spec' command) or drift-audit "
+             "JSONL trace ('audit' command)",
     )
     parser.add_argument("--reduced", action="store_true",
                         help="shrink the NSL-KDD stream for quick runs")
@@ -476,6 +544,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--spool-dir", metavar="DIR", default=None,
                         help="fleet command: eviction spool directory "
                              "(default: a temporary directory)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="fleet command: partition the fleet over N "
+                             "worker processes; their telemetry merges back "
+                             "into this process labelled by shard")
+    parser.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
+                        help="fleet command: serve /metrics, /health and "
+                             "/fleet on 127.0.0.1:PORT during the soak "
+                             "(0 = any free port; implies telemetry)")
     args = parser.parse_args(argv)
     try:
         # Same pairing rule as StreamPipeline.run; the CLI additionally
@@ -491,10 +567,18 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--guard-report requires --guard-policy")
     if args.experiment == "spec" and args.spec_path is None:
         parser.error("the 'spec' command needs a JSON spec file path")
-    if args.experiment != "spec" and args.spec_path is not None:
-        parser.error("a spec file path only makes sense with the 'spec' command")
+    if args.experiment == "audit" and args.spec_path is None:
+        parser.error("the 'audit' command needs a drift-audit JSONL file path")
+    if args.experiment not in ("spec", "audit") and args.spec_path is not None:
+        parser.error(
+            "a file path only makes sense with the 'spec' or 'audit' command"
+        )
+    if args.serve_metrics is not None and args.experiment != "fleet":
+        parser.error("--serve-metrics only applies to the 'fleet' command")
 
-    telemetry_on = bool(args.telemetry or args.telemetry_summary)
+    telemetry_on = bool(
+        args.telemetry or args.telemetry_summary or args.serve_metrics is not None
+    )
     sink = None
     if telemetry_on:
         sinks = []
@@ -507,9 +591,9 @@ def main(argv: list[str] | None = None) -> int:
             cmd_spec(args)
         else:
             if args.experiment == "all":
-                # 'all' reproduces the paper artifacts; the fleet soak is
-                # an infrastructure demo, run it explicitly.
-                targets = [name for name in COMMANDS if name != "fleet"]
+                # 'all' reproduces the paper artifacts; the fleet soak and
+                # audit report are infrastructure, run them explicitly.
+                targets = [n for n in COMMANDS if n not in ("fleet", "audit")]
             else:
                 targets = [args.experiment]
             for i, name in enumerate(targets):

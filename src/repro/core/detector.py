@@ -190,6 +190,7 @@ class SequentialDriftDetector:
                 window=self.n_windows_opened,
                 drift=drift_detected,
                 distance=self.last_distance,
+                threshold=self.theta_drift,
             )
 
     def end_drift(self) -> None:

@@ -33,7 +33,8 @@ The checkpoint interceptor (the only one with heavy state) lives in
 
 from __future__ import annotations
 
-from typing import Callable, ContextManager, List, Optional
+import time
+from typing import Callable, ContextManager, Optional
 
 import numpy as np
 
@@ -126,17 +127,34 @@ class GuardInterceptor(Interceptor):
         return dispatch
 
 
-class TelemetryInterceptor(Interceptor):
-    """Emits the run/chunk spans on the pipeline's telemetry hub.
+#: Recovery-span histogram edges (stream samples between drift and recon).
+AUDIT_SPAN_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000)
 
-    Owns no metrics of its own — per-sample counters and drift events
-    stay with ``StreamPipeline._record``, which runs regardless of how
-    the engine is stacked. When the hub is disabled both spans resolve
-    to the shared null span, so the overhead budget (<5%) holds.
+
+class TelemetryInterceptor(Interceptor):
+    """Emits the run/chunk spans plus the ``drift_audit`` provenance stream.
+
+    Per-sample counters and drift events stay with
+    ``StreamPipeline._record``, which runs regardless of how the engine is
+    stacked. On top of those, this interceptor watches the records flowing
+    past ``after_chunk`` and stitches each drift detection to the
+    reconstruction that answers it, emitting one structured ``drift_audit``
+    event per drift: device id (when hosted by a fleet), stream index,
+    window distance vs. the detector threshold, guard ladder level,
+    wall-clock reconstruction latency, and the recovery span in samples.
+    A drift superseded by a newer one, or still unresolved when the run
+    ends, is audited with ``recovered=False``.
+
+    When the hub is disabled every hook is a guarded no-op, so the
+    overhead budget (<5%) holds. The per-sample reference loop bypasses
+    ``after_chunk`` observers entirely, so audit events exist only on the
+    chunked path — matching the historical telemetry of that loop.
     """
 
-    def __init__(self, telemetry) -> None:
+    def __init__(self, telemetry, *, device: Optional[str] = None) -> None:
         self.telemetry = telemetry
+        self.device = device
+        self._open: Optional[dict] = None
 
     def run_scope(self, ctx: RunContext) -> ContextManager:
         return self.telemetry.span(
@@ -152,3 +170,86 @@ class TelemetryInterceptor(Interceptor):
                 return consume(Xc, yc)
 
         return traced
+
+    # -- drift provenance ------------------------------------------------------
+
+    def after_chunk(self, ctx: RunContext, recs: list) -> None:
+        if not self.telemetry.enabled:
+            return
+        for rec in recs:
+            if rec.drift_detected:
+                if self._open is not None:
+                    # A fresh drift before the last one recovered: the
+                    # old reconstruction is moot — audit it as lost.
+                    self._close(ctx, self._open, outcome="superseded")
+                detector = getattr(ctx.pipeline, "detector", None)
+                self._open = {
+                    "index": int(rec.index),
+                    "distance": float(rec.anomaly_score),
+                    "threshold": getattr(detector, "theta_drift", None),
+                    "t0": time.perf_counter(),
+                }
+                continue
+            # Recovery = the first record after the drift that is no
+            # longer part of a reconstruction. Pipelines with an explicit
+            # terminal phase mark it "finish" (still flagged as
+            # reconstructing); the others simply resume normal records.
+            if self._open is not None and (
+                rec.phase == "finish" or not rec.reconstructing
+            ):
+                opened, self._open = self._open, None
+                self._close(ctx, opened, outcome="recovered", finish=int(rec.index))
+
+    def _close(
+        self,
+        ctx: RunContext,
+        opened: dict,
+        *,
+        outcome: str,
+        finish: Optional[int] = None,
+    ) -> None:
+        tel = self.telemetry
+        recovered = outcome == "recovered"
+        seconds = time.perf_counter() - opened["t0"]
+        span = None if finish is None else finish - opened["index"]
+        guard = getattr(ctx.pipeline, "guard", None)
+        fields = dict(
+            device=self.device,
+            pipeline=ctx.pipeline.name,
+            index=opened["index"],
+            distance=opened["distance"],
+            threshold=opened["threshold"],
+            ladder_level=(guard.level.name if guard is not None else None),
+            recovered=recovered,
+            outcome=outcome,
+            recovery_index=finish,
+            recovery_samples=span,
+            recon_seconds=seconds if recovered else None,
+        )
+        tel.emit("drift_audit", **fields)
+        if recovered:
+            tel.histogram(
+                "audit.recovery.samples",
+                "samples between drift detection and reconstruction",
+                buckets=AUDIT_SPAN_BUCKETS,
+            ).observe(span)
+            tel.histogram(
+                "audit.recon.seconds",
+                "wall-clock latency from drift to reconstructed model",
+            ).observe(seconds)
+        else:
+            tel.counter(
+                "audit.unrecovered", "drifts never answered by a reconstruction",
+                labels=("outcome",),
+            ).inc(outcome=outcome)
+
+    def _flush_open(self, ctx: RunContext, outcome: str) -> None:
+        if self._open is not None and self.telemetry.enabled:
+            opened, self._open = self._open, None
+            self._close(ctx, opened, outcome=outcome)
+
+    def on_complete(self, ctx: RunContext) -> None:
+        self._flush_open(ctx, "unrecovered_at_end")
+
+    def on_abort(self, ctx: RunContext) -> None:
+        self._flush_open(ctx, "aborted")

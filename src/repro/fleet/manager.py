@@ -60,18 +60,64 @@ class FleetStats:
     device_samples: Dict[str, int] = field(default_factory=dict)
     device_drifts: Dict[str, int] = field(default_factory=dict)
 
-    def to_json(self) -> dict:
-        return {
+    @property
+    def drifts(self) -> int:
+        """Total drift detections across every device."""
+        return sum(self.device_drifts.values())
+
+    def to_json(self, *, include_devices: bool = False) -> dict:
+        out = {
             "devices": self.devices,
             "samples": self.samples,
             "chunks": self.chunks,
             "builds": self.builds,
             "evictions": self.evictions,
             "restores": self.restores,
+            "drifts": self.drifts,
             "max_resident": self.max_resident,
             "evict_seconds": self.evict_seconds,
             "restore_seconds": self.restore_seconds,
         }
+        if include_devices:
+            out["device_samples"] = dict(self.device_samples)
+            out["device_drifts"] = dict(self.device_drifts)
+        return out
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "FleetStats":
+        return cls(
+            devices=int(data.get("devices", 0)),
+            samples=int(data.get("samples", 0)),
+            chunks=int(data.get("chunks", 0)),
+            builds=int(data.get("builds", 0)),
+            evictions=int(data.get("evictions", 0)),
+            restores=int(data.get("restores", 0)),
+            max_resident=int(data.get("max_resident", 0)),
+            evict_seconds=float(data.get("evict_seconds", 0.0)),
+            restore_seconds=float(data.get("restore_seconds", 0.0)),
+            device_samples=dict(data.get("device_samples", {})),
+            device_drifts=dict(data.get("device_drifts", {})),
+        )
+
+    def merge(self, other: "FleetStats") -> "FleetStats":
+        """Fold another manager's stats in (sharded fleets aggregate with
+        this): counts sum, ``max_resident`` takes the max — each shard's
+        LRU is independent, so residency never exceeds the largest shard's.
+        """
+        self.devices += other.devices
+        self.samples += other.samples
+        self.chunks += other.chunks
+        self.builds += other.builds
+        self.evictions += other.evictions
+        self.restores += other.restores
+        self.max_resident = max(self.max_resident, other.max_resident)
+        self.evict_seconds += other.evict_seconds
+        self.restore_seconds += other.restore_seconds
+        for dev, n in other.device_samples.items():
+            self.device_samples[dev] = self.device_samples.get(dev, 0) + n
+        for dev, n in other.device_drifts.items():
+            self.device_drifts[dev] = self.device_drifts.get(dev, 0) + n
+        return self
 
 
 class FleetManager:
@@ -243,12 +289,12 @@ class FleetManager:
         self._set_resident_gauge()
         return session
 
-    def _stack(self, spec: ExperimentSpec, pipeline) -> list:
+    def _stack(self, spec: ExperimentSpec, pipeline, device_id: str) -> list:
         chunk = spec.chunk_size if spec.chunk_size is not None else self.chunk_size
         if chunk is None:
             chunk = pipeline.default_chunk_size
         return [
-            TelemetryInterceptor(pipeline.telemetry),
+            TelemetryInterceptor(pipeline.telemetry, device=device_id),
             GuardInterceptor(),
             ChunkScheduler(int(chunk)),
         ]
@@ -258,7 +304,9 @@ class FleetManager:
 
         exp = build_experiment(spec)
         self.stats.builds += 1
-        return StreamSession(exp.pipeline, self._stack(spec, exp.pipeline)).open()
+        return StreamSession(
+            exp.pipeline, self._stack(spec, exp.pipeline, device_id)
+        ).open()
 
     def _spool_path(self, device_id: str) -> Path:
         if self.spool_dir is None:
@@ -327,7 +375,7 @@ class FleetManager:
         records = decode_records(ck.state["records"])
         session = StreamSession(
             exp.pipeline,
-            self._stack(spec, exp.pipeline),
+            self._stack(spec, exp.pipeline, device_id),
             start=int(ck.state["position"]),
             records=records,
         ).open()

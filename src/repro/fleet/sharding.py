@@ -24,7 +24,8 @@ import numpy as np
 from ..engine.spec import ExperimentSpec
 from ..metrics.parallel import ShardPool
 from ..utils.exceptions import ConfigurationError
-from .manager import FleetManager
+from ..utils.hooks import default_telemetry
+from .manager import FleetManager, FleetStats
 
 __all__ = ["ShardedFleetManager", "shard_of"]
 
@@ -40,9 +41,25 @@ class _ShardHost:
 
     Lives in the worker process; its methods are what ``submit``/``call``
     invoke by name. Must be a module-level class so the factory pickles.
+
+    When the parent's hub was live at pool construction, the worker's own
+    default hub is enabled too — everything the shard's pipelines record
+    then flows back to the parent as snapshot deltas on the pool's
+    collect path (see :class:`~repro.metrics.parallel.ShardPool`).
     """
 
-    def __init__(self, shard_index: int, capacity: int, spool_root, chunk_size):
+    def __init__(
+        self,
+        shard_index: int,
+        capacity: int,
+        spool_root,
+        chunk_size,
+        telemetry_enabled: bool = False,
+    ):
+        if telemetry_enabled:
+            from ..telemetry import configure
+
+            configure(enabled=True)
         spool = None if spool_root is None else Path(spool_root) / f"shard{shard_index}"
         self.manager = FleetManager(
             capacity=capacity, spool_dir=spool, chunk_size=chunk_size
@@ -58,14 +75,18 @@ class _ShardHost:
         return self.manager.finish_all()
 
     def stats(self) -> dict:
-        return self.manager.stats.to_json()
+        return self.manager.stats.to_json(include_devices=True)
 
     def close(self) -> None:
         self.manager.close()
 
 
-def _make_shard_host(shard_index: int, capacity, spool_root, chunk_size):
-    return _ShardHost(shard_index, capacity, spool_root, chunk_size)
+def _make_shard_host(
+    shard_index: int, capacity, spool_root, chunk_size, telemetry_enabled=False
+):
+    return _ShardHost(
+        shard_index, capacity, spool_root, chunk_size, telemetry_enabled
+    )
 
 
 class ShardedFleetManager:
@@ -87,10 +108,12 @@ class ShardedFleetManager:
         spool_dir: Optional[str | Path] = None,
         *,
         chunk_size: Optional[int] = None,
+        telemetry_every: Optional[int] = 64,
     ) -> None:
         if n_shards <= 0:
             raise ConfigurationError(f"n_shards must be positive, got {n_shards}.")
         self.n_shards = int(n_shards)
+        parent_tel = default_telemetry()
         self._pool = ShardPool(
             self.n_shards,
             _make_shard_host,
@@ -98,7 +121,9 @@ class ShardedFleetManager:
                 int(capacity),
                 None if spool_dir is None else str(spool_dir),
                 chunk_size,
+                bool(parent_tel.enabled),
             ),
+            telemetry_every=telemetry_every,
         )
         self._pending: List[tuple] = []
         self._devices: Dict[str, int] = {}
@@ -141,6 +166,23 @@ class ShardedFleetManager:
         """Per-shard stat snapshots (as plain dicts from the workers)."""
         self.drain()
         return self._pool.broadcast("stats")
+
+    def aggregate_stats(self) -> FleetStats:
+        """Fleet-wide :class:`FleetStats` summed over every shard.
+
+        This is what ``bench_fleet.py`` and the CLI report for sharded
+        runs — evictions/restores/drifts happen inside worker processes,
+        so the parent's own manager-less view would read all zeros.
+        """
+        total = FleetStats()
+        for shard_stats in self.stats():
+            total.merge(FleetStats.from_json(shard_stats))
+        return total
+
+    def flush_telemetry(self) -> None:
+        """Pull every shard hub's outstanding metrics into the parent hub."""
+        self.drain()
+        self._pool.flush_telemetry()
 
     def close(self) -> None:
         if self._closed:

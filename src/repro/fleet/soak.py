@@ -22,6 +22,7 @@ import numpy as np
 from ..datasets.fleet import interleave_schedule, plan_fleet
 from ..engine.spec import ExperimentSpec, build_experiment
 from .manager import FleetManager
+from .sharding import ShardedFleetManager
 
 __all__ = ["SoakReport", "make_fleet_specs", "run_fleet_soak", "verify_device"]
 
@@ -104,6 +105,8 @@ class SoakReport:
     max_resident: int
     evict_seconds: float
     restore_seconds: float
+    drifts: int = 0
+    shards: Optional[int] = None
     verified: Optional[int] = None
     mismatches: Optional[List[str]] = None
 
@@ -127,6 +130,8 @@ class SoakReport:
             "max_resident": self.max_resident,
             "evict_seconds": self.evict_seconds,
             "restore_seconds": self.restore_seconds,
+            "drifts": self.drifts,
+            "shards": self.shards,
             "restore_ms_mean": (
                 1000.0 * self.restore_seconds / self.restores if self.restores else 0.0
             ),
@@ -149,16 +154,24 @@ def run_fleet_soak(
     drift_fraction: float = 0.25,
     pipeline: str = "proposed",
     guard_policy: Optional[str] = None,
+    n_shards: Optional[int] = None,
     verify: int = 0,
     progress=None,
+    manager_hook=None,
 ) -> SoakReport:
     """Drive the fleet through an interleaved replay; optionally verify.
 
     ``feed_chunk`` is the *arrival* granularity (how many samples land
     per submit), independent of the pipelines' internal chunking.
-    ``verify`` re-runs the first ``verify`` devices standalone and
-    byte-compares (0 = skip; it dominates runtime for large fleets).
-    ``progress`` is an optional callable invoked with a status line.
+    ``n_shards`` partitions the fleet over a
+    :class:`~repro.fleet.sharding.ShardedFleetManager` worker pool
+    (``None`` = one in-process manager); per-shard capacity stays
+    ``capacity``. ``verify`` re-runs the first ``verify`` devices
+    standalone and byte-compares (0 = skip; it dominates runtime for
+    large fleets). ``progress`` is an optional callable invoked with a
+    status line. ``manager_hook`` is called once with the live manager
+    before the replay starts (the CLI uses it to wire the ``/fleet``
+    endpoint to the manager's stats).
     """
     specs = make_fleet_specs(
         n_devices,
@@ -174,9 +187,17 @@ def run_fleet_soak(
     streams = {dev: build_experiment(spec).test for dev, spec in specs.items()}
     lengths = [len(streams[dev].X) for dev in device_ids]
 
-    fm = FleetManager(capacity=capacity, spool_dir=spool_dir)
+    sharded = n_shards is not None and int(n_shards) > 0
+    if sharded:
+        fm = ShardedFleetManager(
+            int(n_shards), capacity=capacity, spool_dir=spool_dir
+        )
+    else:
+        fm = FleetManager(capacity=capacity, spool_dir=spool_dir)
     for dev, spec in specs.items():
         fm.add_device(dev, spec)
+    if manager_hook is not None:
+        manager_hook(fm)
 
     t0 = time.perf_counter()
     done = 0
@@ -185,14 +206,21 @@ def run_fleet_soak(
         stream = streams[dev]
         fm.submit(dev, stream.X[start:stop], stream.y[start:stop])
         done += 1
+        if sharded and done % 256 == 0:
+            # Bound the per-shard reply backlog: an OS pipe buffer filled
+            # with uncollected replies would wedge worker and parent.
+            fm.drain()
         if progress is not None and done % 500 == 0:
-            progress(
-                f"  {done} chunks, {fm.stats.evictions} evictions, "
-                f"{fm.stats.restores} restores"
-            )
+            if sharded:
+                progress(f"  {done} chunks enqueued across {fm.n_shards} shards")
+            else:
+                progress(
+                    f"  {done} chunks, {fm.stats.evictions} evictions, "
+                    f"{fm.stats.restores} restores"
+                )
     per_device = fm.finish_all()
     elapsed = time.perf_counter() - t0
-    stats = fm.stats
+    stats = fm.aggregate_stats() if sharded else fm.stats
     fm.close()
 
     mismatches: Optional[List[str]] = None
@@ -218,6 +246,8 @@ def run_fleet_soak(
         max_resident=stats.max_resident,
         evict_seconds=stats.evict_seconds,
         restore_seconds=stats.restore_seconds,
+        drifts=stats.drifts,
+        shards=int(n_shards) if sharded else None,
         verified=verified,
         mismatches=mismatches,
     )

@@ -185,6 +185,9 @@ class CellResult:
     attempts: int = 1
     #: stream position this cell resumed from (None = ran start to finish)
     resumed_at: Optional[int] = None
+    #: worker-hub telemetry delta (``TelemetrySnapshot.to_json()``) captured
+    #: around this cell's run; merged into the parent hub, never cached.
+    telemetry: Optional[dict] = None
 
     @property
     def first_delay(self) -> Optional[int]:
@@ -193,6 +196,7 @@ class CellResult:
     def to_json(self) -> dict:
         out = dict(self.__dict__)
         out.pop("from_cache")
+        out.pop("telemetry")
         return out
 
     @classmethod
@@ -272,14 +276,32 @@ def run_cell(
     )
 
 
-def _run_cell_job(args: Tuple[ExperimentSpec, bool, Optional[str], Optional[int]]) -> CellResult:
-    spec, keep_records, checkpoint_path, checkpoint_every = args
-    return run_cell(
-        spec,
-        keep_records=keep_records,
-        checkpoint_path=checkpoint_path,
-        checkpoint_every=checkpoint_every,
-    )
+def _run_cell_job(
+    args: Tuple[ExperimentSpec, bool, Optional[str], Optional[int], bool],
+) -> CellResult:
+    spec, keep_records, checkpoint_path, checkpoint_every, collect_telemetry = args
+    tel = get_telemetry()
+    was_enabled = tel.enabled
+    if collect_telemetry:
+        # The parent hub is live: enable this worker's hub for the cell and
+        # reset the delta baseline so a reused pool process ships only what
+        # *this* cell recorded.
+        tel.enabled = True
+        tel.snapshot_delta()
+    try:
+        result = run_cell(
+            spec,
+            keep_records=keep_records,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
+        if collect_telemetry:
+            delta = tel.snapshot_delta()
+            if not delta.is_empty():
+                result.telemetry = delta.to_json()
+        return result
+    finally:
+        tel.enabled = was_enabled
 
 
 # --------------------------------------------------------------------------
@@ -469,6 +491,10 @@ class ParallelRunner:
             results[i] = result
             self._cache_store(result)
             if tel.enabled:
+                if result.telemetry:
+                    # Worker-hub metrics recorded while running this cell
+                    # (counters sum, histograms add bucket-wise).
+                    tel.merge(result.telemetry)
                 tel.registry.counter(
                     "parallel.cells_run", "grid cells computed (not cached)"
                 ).inc()
@@ -542,6 +568,7 @@ class ParallelRunner:
                             if self.checkpoint_dir is not None
                             else None
                         ),
+                        tel.enabled,
                     ),
                 )
                 for i in pending
@@ -576,29 +603,58 @@ class ShardError(RuntimeError):
     """A shard worker raised (or died) while serving a request."""
 
 
-def _shard_worker(conn, factory, factory_args) -> None:
+#: Reserved ShardPool method name: flush the worker hub's telemetry delta.
+TELEMETRY_FLUSH = "__telemetry__"
+
+
+def _shard_worker(conn, factory, factory_args, telemetry_every) -> None:
     """Worker-process loop: build the host once, serve requests FIFO.
 
     Protocol: the parent sends ``(ticket, method, args, kwargs)`` tuples
     and eventually ``None`` (shutdown); each request is answered with
-    ``(ticket, ok, payload)`` where ``payload`` is the method's return
-    value (``ok=True``) or a one-line error description (``ok=False`` —
-    exceptions never cross the pipe, so an unpicklable error cannot
-    wedge the shard).
+    ``(ticket, ok, payload, telemetry)`` where ``payload`` is the method's
+    return value (``ok=True``) or a one-line error description
+    (``ok=False`` — exceptions never cross the pipe, so an unpicklable
+    error cannot wedge the shard).
+
+    ``telemetry`` is usually ``None``; every ``telemetry_every`` requests
+    (and on the reserved ``TELEMETRY_FLUSH`` method) it carries this
+    worker hub's :class:`TelemetrySnapshot` delta as plain data, so the
+    parent aggregates worker metrics *on the collect path* with no extra
+    round trips. Without this, everything the shard's pipelines record
+    lands on the worker's own hub and silently dies with the process.
     """
     host = factory(*factory_args)
+    served = 0
+
+    def delta() -> Optional[dict]:
+        tel = get_telemetry()
+        if not tel.enabled:
+            return None
+        snap = tel.snapshot_delta()
+        return None if snap.is_empty() else snap.to_json()
+
     try:
         while True:
             msg = conn.recv()
             if msg is None:
                 return
             ticket, method, args, kwargs = msg
+            if method == TELEMETRY_FLUSH:
+                conn.send((ticket, True, None, delta()))
+                continue
+            served += 1
+            piggyback = (
+                delta()
+                if telemetry_every is not None and served % telemetry_every == 0
+                else None
+            )
             try:
                 result = getattr(host, method)(*args, **kwargs)
             except BaseException as exc:  # noqa: BLE001 — ship, don't die
-                conn.send((ticket, False, f"{type(exc).__name__}: {exc}"))
+                conn.send((ticket, False, f"{type(exc).__name__}: {exc}", piggyback))
             else:
-                conn.send((ticket, True, result))
+                conn.send((ticket, True, result, piggyback))
     finally:
         closer = getattr(host, "close", None)
         if callable(closer):
@@ -633,19 +689,42 @@ class ShardPool:
     A request that raises in the worker surfaces as :class:`ShardError`
     at its ``collect`` — other requests (and other shards) are
     unaffected. A dead shard process also raises :class:`ShardError`.
+
+    When the parent hub is live, each worker piggybacks a telemetry
+    snapshot delta on every ``telemetry_every``-th reply; the pool merges
+    it into the parent hub with a ``shard`` label as the reply is
+    collected, and :meth:`flush_telemetry` (called automatically by
+    :meth:`close`) pulls whatever is still outstanding — so worker-side
+    metrics are aggregated losslessly instead of dying with the workers.
     """
 
-    def __init__(self, n_shards: int, factory, *, factory_args: tuple = ()) -> None:
+    def __init__(
+        self,
+        n_shards: int,
+        factory,
+        *,
+        factory_args: tuple = (),
+        telemetry_every: Optional[int] = 64,
+    ) -> None:
         if int(n_shards) < 1:
             raise ConfigurationError(f"n_shards must be >= 1, got {n_shards!r}.")
+        if telemetry_every is not None and int(telemetry_every) < 1:
+            raise ConfigurationError(
+                f"telemetry_every must be >= 1 or None, got {telemetry_every!r}."
+            )
         ctx = multiprocessing.get_context()
         self._conns = []
         self._procs = []
+        self.telemetry_every = (
+            int(telemetry_every) if telemetry_every is not None else None
+        )
+        #: parent-side hub worker deltas are merged into.
+        self.telemetry: Telemetry = get_telemetry()
         for shard in range(int(n_shards)):
             parent, child = ctx.Pipe()
             proc = ctx.Process(
                 target=_shard_worker,
-                args=(child, factory, (shard, *factory_args)),
+                args=(child, factory, (shard, *factory_args), self.telemetry_every),
                 daemon=True,
                 name=f"repro-shard-{shard}",
             )
@@ -687,12 +766,14 @@ class ShardPool:
         shard = self._shard_of.get(ticket)
         while ticket not in self._replies:
             try:
-                t, ok, payload = self._conns[shard].recv()
+                t, ok, payload, tel_delta = self._conns[shard].recv()
             except (EOFError, OSError) as exc:
                 raise ShardError(
                     f"shard {shard} died with {len(self._shard_of)} "
                     "request(s) outstanding."
                 ) from exc
+            if tel_delta is not None and self.telemetry.enabled:
+                self.telemetry.merge(tel_delta, extra_labels={"shard": shard})
             self._replies[t] = (ok, payload)
             self._shard_of.pop(t, None)
         ok, payload = self._replies.pop(ticket)
@@ -712,10 +793,20 @@ class ShardPool:
         ]
         return [self.collect(t) for t in tickets]
 
+    def flush_telemetry(self) -> None:
+        """Pull every worker hub's outstanding snapshot delta into the
+        parent hub now (the collect path merges them as they arrive)."""
+        self.broadcast(TELEMETRY_FLUSH)
+
     def close(self) -> None:
         """Shut every shard down (idempotent); outstanding replies are dropped."""
         if self._closed:
             return
+        if self.telemetry.enabled:
+            try:
+                self.flush_telemetry()
+            except (ShardError, ConfigurationError):
+                pass  # a dead shard's unflushed delta is unrecoverable
         self._closed = True
         for conn in self._conns:
             try:

@@ -17,11 +17,21 @@ runtime visibility into exactly that:
   affecting components that already exist;
 * exporters — ``registry.as_dict()`` / ``to_json()`` / ``to_prometheus()``
   (text exposition format) — and :func:`render_summary` (lazy import, see
-  :mod:`repro.telemetry.report`) for a terminal digest.
+  :mod:`repro.telemetry.report`) for a terminal digest;
+* cross-process aggregation — :class:`TelemetrySnapshot` captures of a
+  registry (``snapshot()`` / ``snapshot_delta()``) merged back via
+  ``merge()``, so worker-process metrics land in the parent hub;
+* :class:`MetricsServer` (:mod:`repro.telemetry.httpd`) — a stdlib HTTP
+  daemon thread serving ``/metrics`` (Prometheus text), ``/health``, and
+  ``/fleet`` from a live hub;
+* drift provenance — the ``drift_audit`` event stream summarised by
+  :func:`audit_report` / :func:`render_audit`
+  (:mod:`repro.telemetry.audit`).
 
 See ``docs/telemetry.md`` for the event schema and instrumentation map.
 """
 
+from .audit import audit_report, load_audit, render_audit
 from .events import Event
 from .hub import Span, Telemetry, configure, get_telemetry
 from .metrics import (
@@ -31,7 +41,9 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .promlint import lint_prometheus
 from .sinks import EventSink, JsonlSink, RingBufferSink, StderrSink
+from .snapshot import TelemetrySnapshot
 
 __all__ = [
     "Telemetry",
@@ -43,12 +55,18 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "TelemetrySnapshot",
+    "MetricsServer",
     "DEFAULT_TIME_BUCKETS",
     "EventSink",
     "RingBufferSink",
     "JsonlSink",
     "StderrSink",
     "render_summary",
+    "lint_prometheus",
+    "load_audit",
+    "audit_report",
+    "render_audit",
 ]
 
 
@@ -60,4 +78,10 @@ def __getattr__(name: str):
         from .report import render_summary
 
         return render_summary
+    if name == "MetricsServer":
+        # ``httpd`` pulls in ``http.server``; keep import-time cost off the
+        # hot path for processes that never serve metrics.
+        from .httpd import MetricsServer
+
+        return MetricsServer
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

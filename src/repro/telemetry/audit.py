@@ -1,0 +1,151 @@
+"""Drift provenance: load and summarise ``drift_audit`` event streams.
+
+The engine's :class:`~repro.engine.interceptors.TelemetryInterceptor`
+emits one structured ``drift_audit`` event per drift detection — device
+id, stream index, window distance vs. the detector threshold, guard
+ladder level, reconstruction latency, recovery span — and a
+:class:`~repro.telemetry.sinks.JsonlSink` persists those lines alongside
+every other event. This module is the read side: ``python -m repro audit
+trace.jsonl`` loads the file, keeps the ``drift_audit`` records, and
+reports the fleet's drift hot-spots and recovery-time percentiles.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..utils.exceptions import DataValidationError
+
+__all__ = ["load_audit", "audit_report", "render_audit", "percentile"]
+
+
+def load_audit(path: Union[str, Path]) -> List[dict]:
+    """Parse a telemetry JSONL trace; return only ``drift_audit`` records.
+
+    Lines that are not valid JSON objects raise
+    :class:`DataValidationError` (a truncated tail line — the writer was
+    killed mid-record — is tolerated and dropped, matching the record-log
+    trust rule elsewhere in the repo).
+    """
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    out: List[dict] = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn tail write
+            raise DataValidationError(
+                f"{path}: line {i + 1} is not valid JSON."
+            ) from None
+        if isinstance(record, dict) and record.get("event") == "drift_audit":
+            out.append(record)
+    return out
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty sequence."""
+    if not values:
+        raise DataValidationError("percentile of an empty sequence.")
+    ordered = sorted(values)
+    rank = max(1, int(-(-q * len(ordered) // 100)))  # ceil without floats
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def audit_report(records: List[dict], *, top: int = 10) -> dict:
+    """Aggregate ``drift_audit`` records into the operator's summary.
+
+    Returns plain builtins: total drift count, recovered/unrecovered
+    split, the ``top`` most drift-prone devices (standalone runs fall
+    under device ``"-"``), and nearest-rank p50/p90/p99 of both recovery
+    span (samples) and reconstruction latency (seconds) over recovered
+    drifts.
+    """
+    devices: Dict[str, dict] = {}
+    spans: List[float] = []
+    latencies: List[float] = []
+    ladder_levels: Dict[str, int] = {}
+    for rec in records:
+        device = str(rec.get("device") or "-")
+        entry = devices.setdefault(
+            device, {"device": device, "drifts": 0, "recovered": 0, "unrecovered": 0}
+        )
+        entry["drifts"] += 1
+        if rec.get("recovered"):
+            entry["recovered"] += 1
+            if rec.get("recovery_samples") is not None:
+                spans.append(float(rec["recovery_samples"]))
+            if rec.get("recon_seconds") is not None:
+                latencies.append(float(rec["recon_seconds"]))
+        else:
+            entry["unrecovered"] += 1
+        level = rec.get("ladder_level")
+        if level:
+            ladder_levels[str(level)] = ladder_levels.get(str(level), 0) + 1
+    ranked = sorted(devices.values(), key=lambda d: (-d["drifts"], d["device"]))
+
+    def pct(values: List[float]) -> Optional[dict]:
+        if not values:
+            return None
+        return {
+            "p50": percentile(values, 50),
+            "p90": percentile(values, 90),
+            "p99": percentile(values, 99),
+            "max": max(values),
+        }
+
+    return {
+        "drifts": len(records),
+        "devices": len(devices),
+        "recovered": sum(d["recovered"] for d in devices.values()),
+        "unrecovered": sum(d["unrecovered"] for d in devices.values()),
+        "top_devices": ranked[: int(top)],
+        "recovery_samples": pct(spans),
+        "recon_seconds": pct(latencies),
+        "ladder_levels": dict(sorted(ladder_levels.items())),
+    }
+
+
+def render_audit(report: dict) -> str:
+    """ASCII rendering of :func:`audit_report` for the CLI."""
+    lines = [
+        "drift audit",
+        "===========",
+        f"drifts            : {report['drifts']}",
+        f"devices           : {report['devices']}",
+        f"recovered         : {report['recovered']}",
+        f"unrecovered       : {report['unrecovered']}",
+    ]
+    if report["ladder_levels"]:
+        levels = ", ".join(
+            f"{k}={v}" for k, v in report["ladder_levels"].items()
+        )
+        lines.append(f"ladder levels     : {levels}")
+    for key, label, fmt in (
+        ("recovery_samples", "recovery (samples)", "{:.0f}"),
+        ("recon_seconds", "recon latency (s) ", "{:.4f}"),
+    ):
+        stats = report.get(key)
+        if stats:
+            lines.append(
+                f"{label}: p50={fmt.format(stats['p50'])} "
+                f"p90={fmt.format(stats['p90'])} "
+                f"p99={fmt.format(stats['p99'])} "
+                f"max={fmt.format(stats['max'])}"
+            )
+    if report["top_devices"]:
+        lines.append("")
+        lines.append("top drifting devices")
+        lines.append("--------------------")
+        width = max(len(d["device"]) for d in report["top_devices"])
+        for d in report["top_devices"]:
+            lines.append(
+                f"  {d['device']:<{width}}  drifts={d['drifts']} "
+                f"recovered={d['recovered']} unrecovered={d['unrecovered']}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,206 @@
+"""Live metrics endpoint: stdlib ``http.server``, zero new dependencies.
+
+:class:`MetricsServer` serves the process-wide telemetry hub over HTTP
+from a daemon thread, so a running fleet (``python -m repro fleet
+--serve-metrics PORT``) can be scraped while it works:
+
+* ``GET /metrics`` — Prometheus text exposition (version 0.0.4) of every
+  registered metric, straight from ``registry.to_prometheus()``;
+* ``GET /health``  — JSON from the configured ``health_provider`` (see
+  :func:`ladder_health` for the guard-ladder flavour); 200 while healthy,
+  503 once degraded;
+* ``GET /fleet``   — JSON from the configured ``fleet_provider``
+  (per-device :class:`~repro.fleet.manager.FleetStats`).
+
+The server binds ``127.0.0.1`` by default and uses a
+``ThreadingHTTPServer`` so a slow scraper cannot wedge the fleet; the
+telemetry registry's internal lock makes concurrent scrapes safe against
+in-flight metric writes. Port ``0`` asks the OS for a free port (the
+bound port is on :attr:`MetricsServer.port` after :meth:`start`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from .hub import Telemetry, get_telemetry
+
+__all__ = ["MetricsServer", "ladder_health"]
+
+#: Content type mandated by Prometheus text exposition 0.0.4.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def ladder_health(ladder, sentinel=None) -> Callable[[], dict]:
+    """Health provider reading a guard :class:`DegradationLadder`.
+
+    Reports the ladder's current level by name and number plus (when a
+    ``NumericHealthSentinel`` is given) the sentinel's trip count; the
+    endpoint returns 503 whenever the ladder has left HEALTHY, which maps
+    directly onto container liveness probes.
+    """
+
+    def provider() -> dict:
+        level = ladder.level
+        body = {
+            "status": "ok" if int(level) == 0 else "degraded",
+            "level": getattr(level, "name", str(level)),
+            "level_value": int(level),
+        }
+        if sentinel is not None:
+            body["sentinel_trips"] = int(getattr(sentinel, "n_trips", 0))
+        return body
+
+    return provider
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set per-server via the factory in MetricsServer._make_handler.
+    server_version = "repro-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        srv: "MetricsServer" = self.server.metrics_server  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        tel = srv.telemetry
+        if tel.enabled:
+            tel.counter(
+                "metrics_server.requests", "scrapes served by path", labels=("path",)
+            ).inc(path=path)
+        if path == "/metrics":
+            self._reply(200, tel.registry.to_prometheus(), PROMETHEUS_CONTENT_TYPE)
+        elif path == "/health":
+            self._reply_json(srv.health_provider, healthy_key="status")
+        elif path == "/fleet":
+            self._reply_json(srv.fleet_provider)
+        elif path == "/":
+            self._reply(
+                200,
+                "repro metrics endpoint: /metrics /health /fleet\n",
+                "text/plain; charset=utf-8",
+            )
+        else:
+            self._reply(404, "not found\n", "text/plain; charset=utf-8")
+
+    def _reply_json(self, provider, *, healthy_key: Optional[str] = None) -> None:
+        if provider is None:
+            self._reply(404, "not configured\n", "text/plain; charset=utf-8")
+            return
+        try:
+            body = provider()
+        except Exception as exc:  # provider must never take the server down
+            self._reply(
+                503,
+                json.dumps({"status": "error", "error": str(exc)}) + "\n",
+                "application/json",
+            )
+            return
+        status = 200
+        if healthy_key is not None and body.get(healthy_key) not in (None, "ok"):
+            status = 503
+        self._reply(
+            status, json.dumps(body, sort_keys=True) + "\n", "application/json"
+        )
+
+    def _reply(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: object) -> None:
+        # Scrapes are periodic; stderr chatter would drown the CLI output.
+        pass
+
+
+class MetricsServer:
+    """Daemon-thread HTTP server over a :class:`Telemetry` hub.
+
+    Parameters
+    ----------
+    port:
+        TCP port to bind; ``0`` picks a free one (see :attr:`port`).
+    host:
+        Bind address, loopback by default — a fleet box exposing metrics
+        beyond localhost should make that an explicit decision.
+    telemetry:
+        Hub to serve; defaults to the process-wide hub.
+    health_provider / fleet_provider:
+        Zero-arg callables returning JSON-able dicts for ``/health`` and
+        ``/fleet``; endpoints answer 404 until configured. Providers run
+        on the *server* thread — hand them thread-safe state only (the
+        in-process :class:`FleetManager` stats are; a
+        :class:`ShardedFleetManager`'s worker pipes are not, so sharded
+        fleets serve the last aggregated stats instead).
+
+    Usable as a context manager (``with MetricsServer(0) as srv:``).
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        *,
+        host: str = "127.0.0.1",
+        telemetry: Optional[Telemetry] = None,
+        health_provider: Optional[Callable[[], dict]] = None,
+        fleet_provider: Optional[Callable[[], dict]] = None,
+    ) -> None:
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        self.health_provider = health_provider
+        self.fleet_provider = fleet_provider
+        self._requested = (host, int(port))
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0] if self._httpd else self._requested[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1] if self._httpd else self._requested[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        if self._httpd is not None:
+            return self
+        httpd = ThreadingHTTPServer(self._requested, _Handler)
+        httpd.daemon_threads = True
+        httpd.metrics_server = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

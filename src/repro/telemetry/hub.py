@@ -27,12 +27,14 @@ Typical session::
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 from .events import Event
 from .metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
 from .sinks import EventSink
+from .snapshot import TelemetrySnapshot
 
 __all__ = ["Telemetry", "Span", "get_telemetry", "configure"]
 
@@ -115,6 +117,8 @@ class Telemetry:
         self._sinks: List[EventSink] = list(sinks)
         self._seq = 0
         self._t0 = time.perf_counter()
+        self._emit_lock = threading.Lock()
+        self._delta_baseline: Optional[TelemetrySnapshot] = None
 
     # -- hubs are shared infrastructure, never cloned with their owners ------
 
@@ -153,15 +157,19 @@ class Telemetry:
         """
         if not self.enabled:
             return None
-        self._seq += 1
-        event = Event(
-            name=name, seq=self._seq, t=time.perf_counter() - self._t0, fields=fields
-        )
-        self.registry.counter(
-            "telemetry.events", "events emitted by name", labels=("name",)
-        ).inc(name=name)
-        for sink in self._sinks:
-            sink.handle(event)
+        with self._emit_lock:
+            self._seq += 1
+            event = Event(
+                name=name,
+                seq=self._seq,
+                t=time.perf_counter() - self._t0,
+                fields=fields,
+            )
+            self.registry.counter(
+                "telemetry.events", "events emitted by name", labels=("name",)
+            ).inc(name=name)
+            for sink in self._sinks:
+                sink.handle(event)
         return event
 
     # -- spans ----------------------------------------------------------------
@@ -183,6 +191,32 @@ class Telemetry:
     def histogram(self, name: str, help: str = "", labels: Sequence[str] = (), **kw):
         return self.registry.histogram(name, help, labels, **kw)
 
+    # -- cross-process aggregation --------------------------------------------
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Plain-data capture of every metric series (picklable)."""
+        return self.registry.snapshot()
+
+    def snapshot_delta(self) -> TelemetrySnapshot:
+        """What changed since the previous :meth:`snapshot_delta` call.
+
+        The first call returns everything accumulated so far; workers call
+        this once per flush so the parent only ever receives each
+        increment once (merging all deltas reconstructs the totals).
+        """
+        snap = self.registry.snapshot()
+        base, self._delta_baseline = self._delta_baseline, snap
+        return snap.diff(base)
+
+    def merge(
+        self,
+        snapshot,
+        *,
+        extra_labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Fold a snapshot from another process/hub into this registry."""
+        self.registry.merge(snapshot, extra_labels=extra_labels)
+
     # -- lifecycle ------------------------------------------------------------
 
     def enable(self) -> "Telemetry":
@@ -198,6 +232,7 @@ class Telemetry:
         self.registry.reset()
         self._seq = 0
         self._t0 = time.perf_counter()
+        self._delta_baseline = None
         return self
 
     def close(self) -> None:

@@ -18,16 +18,34 @@ every counter and gauge bit-for-bit (histograms of durations are the one
 machine-dependent signal, and they are clearly labelled as such).
 
 Metrics may declare label names; each distinct label-value combination is
-an independent series, exactly as in Prometheus exposition.
+an independent series, exactly as in Prometheus exposition. Metric and
+label names are validated at registration time so the text exporter can
+never emit series that ``promtool check metrics`` would reject.
+
+Cross-process aggregation: :meth:`MetricsRegistry.snapshot` captures every
+series as plain data (:class:`~repro.telemetry.snapshot.TelemetrySnapshot`)
+and :meth:`MetricsRegistry.merge` folds such a capture back in — counters
+sum, gauges take the last write, histograms add bucket-wise. ``merge`` may
+attach extra labels (e.g. ``shard="3"``); the receiving metric's label set
+is then extended *implicitly*: existing series get ``""`` for the new
+label (exactly how Prometheus treats an absent label) and local writers
+keep calling with their original label signature.
+
+All mutation goes through a re-entrant lock shared registry-wide, so a
+scrape thread (the ``/metrics`` endpoint) can snapshot while pipeline
+threads write without lost updates or torn series.
 """
 
 from __future__ import annotations
 
 import json
+import re
+import threading
 from bisect import bisect_left
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..utils.exceptions import ConfigurationError
+from .snapshot import TelemetrySnapshot
 
 __all__ = [
     "Counter",
@@ -44,6 +62,21 @@ DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
 
 _LabelKey = Tuple[str, ...]
 
+#: Internal metric names: word chars plus ``.``/``:`` separators; the dot
+#: becomes ``_`` in exposition, so anything matching here sanitises to a
+#: valid Prometheus name.
+_METRIC_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.:]*$")
+_LABEL_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _validate_label_names(metric: str, labels: Sequence[str]) -> None:
+    for label in labels:
+        if not _LABEL_NAME_RE.match(label) or label.startswith("__"):
+            raise ConfigurationError(
+                f"metric {metric!r}: invalid label name {label!r} "
+                "(want [A-Za-z_][A-Za-z0-9_]*, no __ prefix)."
+            )
+
 
 class _Metric:
     """Shared plumbing: name, help text, label handling, series storage."""
@@ -53,9 +86,44 @@ class _Metric:
     def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
         if not name:
             raise ConfigurationError("metric name must be non-empty.")
+        if not _METRIC_NAME_RE.match(str(name)):
+            raise ConfigurationError(
+                f"invalid metric name {name!r} "
+                "(want [A-Za-z_][A-Za-z0-9_.:]*)."
+            )
         self.name = str(name)
         self.help = str(help)
         self.label_names: Tuple[str, ...] = tuple(labels)
+        _validate_label_names(self.name, self.label_names)
+        if len(set(self.label_names)) != len(self.label_names):
+            raise ConfigurationError(
+                f"metric {self.name!r} has duplicate label names."
+            )
+        #: Labels declared at registration time (callers must supply these).
+        self._explicit: Tuple[str, ...] = self.label_names
+        #: Labels grafted on by ``merge(extra_labels=...)``; absent values
+        #: default to ``""`` like an unset Prometheus label.
+        self._implicit: set = set()
+        self._lock = threading.RLock()
+
+    def _series_map(self) -> Dict[_LabelKey, object]:
+        raise NotImplementedError
+
+    def _extend_labels(self, extras: Sequence[str]) -> None:
+        """Graft implicit label names on; re-key existing series with ``""``."""
+        new = [e for e in extras if e not in self.label_names]
+        if not new:
+            return
+        _validate_label_names(self.name, new)
+        with self._lock:
+            pad = ("",) * len(new)
+            self.label_names = (*self.label_names, *new)
+            self._implicit.update(new)
+            store = self._series_map()
+            old = dict(store)
+            store.clear()
+            for key, value in old.items():
+                store[(*key, *pad)] = value
 
     def _key(self, labels: Mapping[str, object]) -> _LabelKey:
         if not self.label_names:
@@ -64,12 +132,23 @@ class _Metric:
                     f"metric {self.name!r} takes no labels, got {sorted(labels)}."
                 )
             return ()
-        try:
-            return tuple(str(labels[k]) for k in self.label_names)
-        except KeyError as exc:
+        unknown = [k for k in labels if k not in self.label_names]
+        if unknown:
             raise ConfigurationError(
-                f"metric {self.name!r} requires labels {list(self.label_names)}."
-            ) from exc
+                f"metric {self.name!r} has no label(s) {sorted(unknown)}; "
+                f"declared: {list(self.label_names)}."
+            )
+        key = []
+        for name in self.label_names:
+            if name in labels:
+                key.append(str(labels[name]))
+            elif name in self._implicit:
+                key.append("")
+            else:
+                raise ConfigurationError(
+                    f"metric {self.name!r} requires labels {list(self._explicit)}."
+                )
+        return tuple(key)
 
     def _label_dict(self, key: _LabelKey) -> Dict[str, str]:
         return dict(zip(self.label_names, key))
@@ -84,12 +163,16 @@ class Counter(_Metric):
         super().__init__(name, help, labels)
         self._values: Dict[_LabelKey, float] = {}
 
+    def _series_map(self) -> Dict[_LabelKey, object]:
+        return self._values
+
     def inc(self, amount: float = 1.0, **labels: object) -> None:
         """Add ``amount`` (must be >= 0) to this series."""
         if amount < 0:
             raise ConfigurationError(f"counter {self.name!r} cannot decrease.")
         key = self._key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: object) -> float:
         """Current tally of one series (0 if never incremented)."""
@@ -98,16 +181,19 @@ class Counter(_Metric):
     @property
     def total(self) -> float:
         """Sum over every label combination."""
-        return sum(self._values.values())
+        with self._lock:
+            return sum(self._values.values())
 
     def samples(self) -> List[dict]:
-        return [
-            {"labels": self._label_dict(k), "value": v}
-            for k, v in sorted(self._values.items())
-        ]
+        with self._lock:
+            return [
+                {"labels": self._label_dict(k), "value": v}
+                for k, v in sorted(self._values.items())
+            ]
 
     def clear(self) -> None:
-        self._values.clear()
+        with self._lock:
+            self._values.clear()
 
 
 class Gauge(_Metric):
@@ -119,12 +205,18 @@ class Gauge(_Metric):
         super().__init__(name, help, labels)
         self._values: Dict[_LabelKey, float] = {}
 
+    def _series_map(self) -> Dict[_LabelKey, object]:
+        return self._values
+
     def set(self, value: float, **labels: object) -> None:
-        self._values[self._key(labels)] = float(value)
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: object) -> None:
         key = self._key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels: object) -> None:
         self.inc(-amount, **labels)
@@ -133,13 +225,15 @@ class Gauge(_Metric):
         return self._values.get(self._key(labels), 0.0)
 
     def samples(self) -> List[dict]:
-        return [
-            {"labels": self._label_dict(k), "value": v}
-            for k, v in sorted(self._values.items())
-        ]
+        with self._lock:
+            return [
+                {"labels": self._label_dict(k), "value": v}
+                for k, v in sorted(self._values.items())
+            ]
 
     def clear(self) -> None:
-        self._values.clear()
+        with self._lock:
+            self._values.clear()
 
 
 class _HistogramSeries:
@@ -179,16 +273,20 @@ class Histogram(_Metric):
         self.buckets: Tuple[float, ...] = edges
         self._series: Dict[_LabelKey, _HistogramSeries] = {}
 
+    def _series_map(self) -> Dict[_LabelKey, object]:
+        return self._series
+
     def observe(self, value: float, **labels: object) -> None:
         key = self._key(labels)
-        series = self._series.get(key)
-        if series is None:
-            series = self._series[key] = _HistogramSeries(len(self.buckets) + 1)
-        # bisect_left ⇒ a value equal to an edge lands in that edge's
-        # bucket (Prometheus ``le`` is an inclusive upper bound).
-        series.counts[bisect_left(self.buckets, value)] += 1
-        series.sum += value
-        series.count += 1
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets) + 1)
+            # bisect_left ⇒ a value equal to an edge lands in that edge's
+            # bucket (Prometheus ``le`` is an inclusive upper bound).
+            series.counts[bisect_left(self.buckets, value)] += 1
+            series.sum += value
+            series.count += 1
 
     def _get(self, labels: Mapping[str, object]) -> Optional[_HistogramSeries]:
         return self._series.get(self._key(labels))
@@ -211,19 +309,21 @@ class Histogram(_Metric):
         return list(s.counts) if s else [0] * (len(self.buckets) + 1)
 
     def samples(self) -> List[dict]:
-        return [
-            {
-                "labels": self._label_dict(k),
-                "buckets": list(self.buckets),
-                "counts": list(s.counts),
-                "sum": s.sum,
-                "count": s.count,
-            }
-            for k, s in sorted(self._series.items())
-        ]
+        with self._lock:
+            return [
+                {
+                    "labels": self._label_dict(k),
+                    "buckets": list(self.buckets),
+                    "counts": list(s.counts),
+                    "sum": s.sum,
+                    "count": s.count,
+                }
+                for k, s in sorted(self._series.items())
+            ]
 
     def clear(self) -> None:
-        self._series.clear()
+        with self._lock:
+            self._series.clear()
 
 
 def _prometheus_name(name: str) -> str:
@@ -231,11 +331,29 @@ def _prometheus_name(name: str) -> str:
     return f"repro_{sanitized}"
 
 
+def _escape_label_value(value: str) -> str:
+    """Exposition-format escaping: backslash, double quote, newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslash and newline (quotes are legal there)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _prometheus_labels(labels: Mapping[str, str], extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels.items()]
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels.items()]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
+
+
+_METRIC_CLASSES = {}  # kind -> class, filled below
 
 
 class MetricsRegistry:
@@ -244,25 +362,38 @@ class MetricsRegistry:
     Re-registering an existing name returns the existing metric, provided
     kind and label names match (a mismatch is a configuration error — two
     call sites disagreeing about a metric is a bug worth failing loudly on).
+    Label names a metric gained *implicitly* through :meth:`merge` are
+    exempt from that equality check: call sites keep registering with the
+    original signature.
+
+    Every metric created here shares the registry's re-entrant lock, so
+    :meth:`snapshot`, :meth:`merge`, and the exporters see a consistent
+    view even while other threads write.
     """
 
     def __init__(self) -> None:
         self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.RLock()
 
     # -- registration ---------------------------------------------------------
 
     def _get_or_create(self, cls, name: str, help: str, labels: Sequence[str], **kwargs):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name, help, labels, **kwargs)
-            self._metrics[name] = metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, labels, **kwargs)
+                metric._lock = self._lock  # registry-wide consistency
+                self._metrics[name] = metric
+                return metric
+            requested = tuple(labels)
+            if not isinstance(metric, cls) or (
+                requested != metric.label_names and requested != metric._explicit
+            ):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as {metric.kind} "
+                    f"with labels {list(metric.label_names)}."
+                )
             return metric
-        if not isinstance(metric, cls) or metric.label_names != tuple(labels):
-            raise ConfigurationError(
-                f"metric {name!r} already registered as {metric.kind} "
-                f"with labels {list(metric.label_names)}."
-            )
-        return metric
 
     def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Counter:
         return self._get_or_create(Counter, name, help, labels)
@@ -286,57 +417,173 @@ class MetricsRegistry:
         return self._metrics.get(name)
 
     def names(self) -> List[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def __iter__(self) -> Iterator[_Metric]:
-        return iter([self._metrics[n] for n in self.names()])
+        with self._lock:
+            return iter([self._metrics[n] for n in sorted(self._metrics)])
 
     def __len__(self) -> int:
         return len(self._metrics)
 
     def reset(self) -> None:
         """Drop every registered metric (a fresh registry)."""
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
+
+    # -- cross-process aggregation --------------------------------------------
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Capture every metric series as plain picklable data."""
+        with self._lock:
+            metrics: Dict[str, dict] = {}
+            for m in self:
+                entry: Dict[str, object] = {
+                    "kind": m.kind,
+                    "help": m.help,
+                    "labels": list(m.label_names),
+                    "explicit": list(m._explicit),
+                }
+                if isinstance(m, Histogram):
+                    entry["buckets"] = list(m.buckets)
+                    entry["series"] = [
+                        {k: v for k, v in s.items() if k != "buckets"}
+                        for s in m.samples()
+                    ]
+                else:
+                    entry["series"] = m.samples()
+                metrics[m.name] = entry
+            return TelemetrySnapshot(metrics=metrics)
+
+    def merge(
+        self,
+        snapshot,
+        *,
+        extra_labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Fold a :class:`TelemetrySnapshot` (or its dict form) into this
+        registry: counters sum, gauges last-write, histograms add
+        bucket-wise (edges must match).
+
+        ``extra_labels`` (e.g. ``{"shard": "3"}``) are grafted onto every
+        merged series as *implicit* labels — pre-existing local series read
+        as ``""`` for them, and local writers keep their original label
+        signature.
+        """
+        if isinstance(snapshot, TelemetrySnapshot):
+            payload = snapshot.metrics
+        elif isinstance(snapshot, Mapping):
+            payload = snapshot.get("metrics", snapshot)
+        else:
+            raise ConfigurationError(
+                f"cannot merge {type(snapshot).__name__!r}; want a "
+                "TelemetrySnapshot or its dict form."
+            )
+        extra = {str(k): str(v) for k, v in dict(extra_labels or {}).items()}
+        with self._lock:
+            for name, data in payload.items():
+                self._merge_metric(name, data, extra)
+
+    def _merge_metric(self, name: str, data: Mapping, extra: Dict[str, str]) -> None:
+        kind = data["kind"]
+        cls = _METRIC_CLASSES.get(kind)
+        if cls is None:
+            raise ConfigurationError(f"metric {name!r}: unknown kind {kind!r}.")
+        explicit = tuple(data.get("explicit", data.get("labels", ())))
+        metric = self._metrics.get(name)
+        if metric is None:
+            kwargs = {"buckets": data["buckets"]} if kind == "histogram" else {}
+            metric = self._get_or_create(
+                cls, name, str(data.get("help", "")), explicit, **kwargs
+            )
+        elif not isinstance(metric, cls):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"cannot merge {kind} series into it."
+            )
+        elif kind == "histogram" and tuple(data["buckets"]) != metric.buckets:
+            raise ConfigurationError(
+                f"histogram {name!r}: bucket edges differ between processes; "
+                "refusing a lossy merge."
+            )
+        implicit = [label for label in data.get("labels", ()) if label not in explicit]
+        metric._extend_labels((*implicit, *extra))
+        for s in data.get("series", ()):
+            labels = dict(s["labels"])
+            labels.update(extra)
+            key = metric._key(labels)
+            if kind == "counter":
+                value = float(s["value"])
+                if value < 0:
+                    raise ConfigurationError(
+                        f"counter {name!r}: refusing to merge negative "
+                        f"delta {value!r}."
+                    )
+                metric._values[key] = metric._values.get(key, 0.0) + value
+            elif kind == "gauge":
+                metric._values[key] = float(s["value"])
+            else:
+                series = metric._series.get(key)
+                if series is None:
+                    series = metric._series[key] = _HistogramSeries(
+                        len(metric.buckets) + 1
+                    )
+                counts = s["counts"]
+                if len(counts) != len(series.counts):
+                    raise ConfigurationError(
+                        f"histogram {name!r}: bucket count mismatch on merge."
+                    )
+                for i, c in enumerate(counts):
+                    series.counts[i] += int(c)
+                series.sum += float(s["sum"])
+                series.count += int(s["count"])
 
     # -- exporters ------------------------------------------------------------
 
     def as_dict(self) -> dict:
         """Plain-builtin snapshot: ``{name: {kind, help, samples}}``."""
-        return {
-            m.name: {"kind": m.kind, "help": m.help, "samples": m.samples()}
-            for m in self
-        }
+        with self._lock:
+            return {
+                m.name: {"kind": m.kind, "help": m.help, "samples": m.samples()}
+                for m in self
+            }
 
     def to_json(self, *, indent: Optional[int] = None) -> str:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition (version 0.0.4) of every metric."""
-        lines: List[str] = []
-        for metric in self:
-            pname = _prometheus_name(metric.name)
-            if metric.help:
-                lines.append(f"# HELP {pname} {metric.help}")
-            lines.append(f"# TYPE {pname} {metric.kind}")
-            if isinstance(metric, Histogram):
-                for s in metric.samples():
-                    cumulative = 0
-                    for edge, n in zip(
-                        [*metric.buckets, float("inf")], s["counts"]
-                    ):
-                        cumulative += n
-                        le = "+Inf" if edge == float("inf") else repr(edge)
-                        labelled = _prometheus_labels(s["labels"], 'le="%s"' % le)
-                        lines.append(f"{pname}_bucket{labelled} {cumulative}")
-                    lines.append(
-                        f"{pname}_sum{_prometheus_labels(s['labels'])} {s['sum']!r}"
-                    )
-                    lines.append(
-                        f"{pname}_count{_prometheus_labels(s['labels'])} {s['count']}"
-                    )
-            else:
-                for s in metric.samples():
-                    lines.append(
-                        f"{pname}{_prometheus_labels(s['labels'])} {s['value']:g}"
-                    )
-        return "\n".join(lines) + ("\n" if lines else "")
+        with self._lock:
+            lines: List[str] = []
+            for metric in self:
+                pname = _prometheus_name(metric.name)
+                if metric.help:
+                    lines.append(f"# HELP {pname} {_escape_help(metric.help)}")
+                lines.append(f"# TYPE {pname} {metric.kind}")
+                if isinstance(metric, Histogram):
+                    for s in metric.samples():
+                        cumulative = 0
+                        for edge, n in zip(
+                            [*metric.buckets, float("inf")], s["counts"]
+                        ):
+                            cumulative += n
+                            le = "+Inf" if edge == float("inf") else repr(edge)
+                            labelled = _prometheus_labels(s["labels"], 'le="%s"' % le)
+                            lines.append(f"{pname}_bucket{labelled} {cumulative}")
+                        lines.append(
+                            f"{pname}_sum{_prometheus_labels(s['labels'])} {s['sum']!r}"
+                        )
+                        lines.append(
+                            f"{pname}_count{_prometheus_labels(s['labels'])} "
+                            f"{s['count']}"
+                        )
+                else:
+                    for s in metric.samples():
+                        lines.append(
+                            f"{pname}{_prometheus_labels(s['labels'])} {s['value']:g}"
+                        )
+            return "\n".join(lines) + ("\n" if lines else "")
+
+
+_METRIC_CLASSES.update(counter=Counter, gauge=Gauge, histogram=Histogram)

@@ -1,0 +1,197 @@
+"""A promtool-style lint pass over Prometheus text exposition.
+
+``promtool check metrics`` is the reference gate for exposition output,
+but it is a Go binary we cannot assume on CI. This module re-implements
+the structural checks that matter for *correctness* of the text format
+(version 0.0.4), so the test suite can assert that every metric the
+codebase registers serialises to something a real Prometheus server would
+scrape without complaint:
+
+* metric names match ``[a-zA-Z_:][a-zA-Z0-9_:]*``;
+* label names match ``[a-zA-Z_][a-zA-Z0-9_]*`` and never start ``__``;
+* label values are properly quoted/escaped (no raw newline or quote);
+* ``# TYPE`` appears before the first sample of its metric and at most
+  once per metric;
+* sample values parse as floats (``+Inf``/``-Inf``/``NaN`` allowed);
+* no duplicate series (same name + identical label set);
+* histograms: ``le`` buckets are cumulative (non-decreasing), include a
+  ``+Inf`` bucket equal to ``_count``, and carry ``_sum``/``_count``.
+
+:func:`lint_prometheus` returns a list of human-readable problem strings
+— empty means the exposition passed.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["lint_prometheus"]
+
+_METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One label pair: name="value" with \\ \" \n escapes allowed inside.
+_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\[\\"n])*)"')
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(?:\s+(-?\d+))?$"
+)
+
+
+def _parse_labels(raw: str, line_no: int, problems: List[str]) -> Optional[Dict[str, str]]:
+    body = raw[1:-1]
+    labels: Dict[str, str] = {}
+    pos = 0
+    while pos < len(body):
+        match = _PAIR_RE.match(body, pos)
+        if match is None:
+            problems.append(f"line {line_no}: malformed label set {raw!r}")
+            return None
+        name, value = match.group(1), match.group(2)
+        if name.startswith("__"):
+            problems.append(f"line {line_no}: reserved label name {name!r}")
+        if name in labels:
+            problems.append(f"line {line_no}: duplicate label name {name!r}")
+        labels[name] = value
+        pos = match.end()
+        if pos < len(body):
+            if body[pos] != ",":
+                problems.append(f"line {line_no}: malformed label set {raw!r}")
+                return None
+            pos += 1
+    return labels
+
+
+def _parse_value(raw: str) -> Optional[float]:
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def _base_name(name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+class _HistogramSeriesCheck:
+    def __init__(self) -> None:
+        self.buckets: List[Tuple[float, float]] = []  # (le, cumulative)
+        self.sum: Optional[float] = None
+        self.count: Optional[float] = None
+
+
+def lint_prometheus(text: str) -> List[str]:
+    """Lint exposition ``text``; return a list of problems (empty = clean)."""
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    sampled: set = set()  # metric base names that already emitted samples
+    seen_series: set = set()
+    histograms: Dict[Tuple[str, tuple], _HistogramSeriesCheck] = {}
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("TYPE", "HELP"):
+                if len(parts) < 3:
+                    problems.append(f"line {line_no}: malformed {parts[1]} line")
+                    continue
+                name = parts[2]
+                if not _METRIC_RE.match(name):
+                    problems.append(
+                        f"line {line_no}: invalid metric name {name!r} in {parts[1]}"
+                    )
+                if parts[1] == "TYPE":
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                        problems.append(
+                            f"line {line_no}: unknown TYPE {kind!r} for {name}"
+                        )
+                    if name in types:
+                        problems.append(f"line {line_no}: duplicate TYPE for {name}")
+                    if name in sampled:
+                        problems.append(
+                            f"line {line_no}: TYPE for {name} after its samples"
+                        )
+                    types[name] = kind
+            continue
+
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {line_no}: unparseable sample line {line!r}")
+            continue
+        name, raw_labels, raw_value = match.group(1), match.group(2), match.group(3)
+        labels = (
+            _parse_labels(raw_labels, line_no, problems)
+            if raw_labels
+            else {}
+        )
+        if labels is None:
+            continue
+        value = _parse_value(raw_value)
+        if value is None:
+            problems.append(f"line {line_no}: unparseable value {raw_value!r}")
+            continue
+
+        base = _base_name(name)
+        kind = types.get(base) if types.get(base) == "histogram" else types.get(name)
+        if types.get(base) == "histogram":
+            sampled.add(base)
+        else:
+            base = name
+            sampled.add(name)
+
+        series_id = (name, tuple(sorted(labels.items())))
+        if series_id in seen_series:
+            problems.append(f"line {line_no}: duplicate series {line!r}")
+        seen_series.add(series_id)
+
+        if types.get(base) == "histogram":
+            key_labels = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            check = histograms.setdefault(
+                (base, key_labels), _HistogramSeriesCheck()
+            )
+            if name == f"{base}_bucket":
+                if "le" not in labels:
+                    problems.append(f"line {line_no}: bucket without le label")
+                else:
+                    le = _parse_value(labels["le"])
+                    if le is None:
+                        problems.append(
+                            f"line {line_no}: unparseable le {labels['le']!r}"
+                        )
+                    else:
+                        check.buckets.append((le, value))
+            elif name == f"{base}_sum":
+                check.sum = value
+            elif name == f"{base}_count":
+                check.count = value
+        elif kind is None:
+            problems.append(f"line {line_no}: sample {name!r} has no TYPE")
+
+    for (base, key_labels), check in histograms.items():
+        where = f"histogram {base}{dict(key_labels) if key_labels else ''}"
+        if not check.buckets:
+            problems.append(f"{where}: no buckets")
+            continue
+        les = [le for le, _ in check.buckets]
+        if sorted(les) != les:
+            problems.append(f"{where}: le edges out of order")
+        counts = [c for _, c in check.buckets]
+        if any(b < a for a, b in zip(counts, counts[1:])):
+            problems.append(f"{where}: bucket counts not cumulative")
+        if not math.isinf(les[-1]):
+            problems.append(f"{where}: missing +Inf bucket")
+        if check.count is None:
+            problems.append(f"{where}: missing _count")
+        elif math.isinf(les[-1]) and counts[-1] != check.count:
+            problems.append(f"{where}: +Inf bucket != _count")
+        if check.sum is None:
+            problems.append(f"{where}: missing _sum")
+    return problems

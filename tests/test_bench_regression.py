@@ -1,0 +1,166 @@
+"""The perf-trajectory gate: history parsing, gating rules, CLI contract."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load(name: str, path: Path):
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+gate = _load("check_bench_regression", REPO / "tools" / "check_bench_regression.py")
+history = _load("bench_history", REPO / "benchmarks" / "bench_history.py")
+
+
+def entry(value: float, *, bench="fleet", mode="smoke", host="ci") -> dict:
+    return {
+        "bench": bench,
+        "mode": mode,
+        "host": host,
+        "git_sha": "0000000",
+        "ts": 0.0,
+        "metrics": {"samples_per_sec": value},
+    }
+
+
+def write_history(path: Path, entries: list) -> Path:
+    path.write_text("".join(json.dumps(e) + "\n" for e in entries))
+    return path
+
+
+FLAT = [1000.0, 1020.0, 990.0, 1010.0, 1005.0]
+
+
+class TestCheckGroup:
+    def kwargs(self, **over):
+        base = dict(
+            metric="samples_per_sec",
+            threshold=0.20,
+            window=10,
+            min_history=3,
+            same_host=True,
+        )
+        base.update(over)
+        return base
+
+    def test_flat_trajectory_passes(self):
+        ok, _ = gate.check_group([entry(v) for v in FLAT], **self.kwargs())
+        assert ok
+
+    def test_25pct_drop_fails(self):
+        entries = [entry(v) for v in FLAT[:-1]] + [entry(750.0)]
+        ok, message = gate.check_group(entries, **self.kwargs())
+        assert not ok and "REGRESSION" in message
+
+    def test_drop_just_inside_threshold_passes(self):
+        entries = [entry(1000.0)] * 4 + [entry(810.0)]  # -19%
+        ok, _ = gate.check_group(entries, **self.kwargs())
+        assert ok
+
+    def test_improvement_passes(self):
+        entries = [entry(v) for v in FLAT[:-1]] + [entry(5000.0)]
+        ok, _ = gate.check_group(entries, **self.kwargs())
+        assert ok
+
+    def test_short_history_passes_with_note(self):
+        ok, message = gate.check_group([entry(1000.0)], **self.kwargs())
+        assert ok and "too short" in message
+
+    def test_window_limits_the_baseline(self):
+        # Ancient fast runs outside the window must not dominate.
+        entries = [entry(10_000.0)] * 5 + [entry(1000.0)] * 5 + [entry(900.0)]
+        ok, _ = gate.check_group(entries, **self.kwargs(window=5))
+        assert ok
+
+    def test_other_hosts_excluded_by_default(self):
+        entries = [entry(10_000.0, host="beefy")] * 4 + [entry(1000.0)] * 3 + [
+            entry(950.0)
+        ]
+        ok, _ = gate.check_group(entries, **self.kwargs())
+        assert ok
+        ok, _ = gate.check_group(entries, **self.kwargs(same_host=False))
+        assert not ok
+
+    def test_missing_metric_skipped(self):
+        entries = [entry(v) for v in FLAT]
+        entries[-1] = {**entries[-1], "metrics": {"something_else": 1.0}}
+        ok, message = gate.check_group(entries, **self.kwargs())
+        assert ok and "skipped" in message
+
+    def test_nonfinite_latest_fails(self):
+        entries = [entry(v) for v in FLAT[:-1]] + [entry(float("nan"))]
+        ok, _ = gate.check_group(entries, **self.kwargs())
+        assert not ok
+
+
+class TestMainCli:
+    def test_smoke_self_test_passes(self, capsys):
+        assert gate.main(["--smoke"]) == 0
+
+    def test_missing_history_passes(self, tmp_path):
+        assert gate.main(["--history", str(tmp_path / "none.jsonl")]) == 0
+
+    def test_real_drop_fails_end_to_end(self, tmp_path):
+        path = write_history(
+            tmp_path / "h.jsonl",
+            [entry(v) for v in FLAT] + [entry(700.0)],
+        )
+        assert gate.main(["--history", str(path)]) == 1
+
+    def test_flat_file_passes_end_to_end(self, tmp_path):
+        path = write_history(tmp_path / "h.jsonl", [entry(v) for v in FLAT])
+        assert gate.main(["--history", str(path)]) == 0
+
+    def test_groups_gate_independently(self, tmp_path):
+        entries = [entry(v) for v in FLAT] + [
+            entry(v, bench="telemetry_overhead") for v in FLAT[:-1]
+        ] + [entry(700.0, bench="telemetry_overhead")]
+        path = write_history(tmp_path / "h.jsonl", entries)
+        assert gate.main(["--history", str(path)]) == 1
+        assert gate.main(["--history", str(path), "--bench", "fleet"]) == 0
+
+    def test_torn_line_skipped(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text(
+            "".join(json.dumps(entry(v)) + "\n" for v in FLAT) + '{"bench": "fl'
+        )
+        assert gate.main(["--history", str(path)]) == 0
+
+
+class TestAppendHistory:
+    def test_appends_schema_complete_records(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        rec = history.append_history(path, "fleet", "smoke", {"samples_per_sec": 10})
+        history.append_history(path, "fleet", "smoke", {"samples_per_sec": 11.5})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert rec == json.loads(lines[0])
+        parsed = json.loads(lines[1])
+        assert set(parsed) == {"bench", "mode", "git_sha", "host", "ts", "metrics"}
+        assert parsed["metrics"]["samples_per_sec"] == 11.5
+
+    def test_gate_reads_what_benches_write(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        for v in (1000.0, 1010.0, 990.0, 1005.0):
+            history.append_history(path, "fleet", "smoke", {"samples_per_sec": v})
+        assert gate.main(["--history", str(path)]) == 0
+        history.append_history(path, "fleet", "smoke", {"samples_per_sec": 600.0})
+        assert gate.main(["--history", str(path)]) == 1
+
+    def test_nonnumeric_metric_rejected(self, tmp_path):
+        with pytest.raises((TypeError, ValueError)):
+            history.append_history(
+                tmp_path / "h.jsonl", "fleet", "smoke", {"samples_per_sec": "fast"}
+            )

@@ -22,7 +22,8 @@ class TestArgParsing:
 
     def test_all_commands_registered(self):
         assert set(COMMANDS) == {
-            "table2", "table3", "table4", "table5", "table6", "fig1", "fleet"
+            "table2", "table3", "table4", "table5", "table6", "fig1", "fleet",
+            "audit",
         }
 
     def test_version_flag(self, capsys):
@@ -118,3 +119,104 @@ class TestStreamCommands:
         assert main(["table5"]) == 0
         out = capsys.readouterr().out
         assert "estimated Pi4 s" in out
+
+
+class TestAuditCommand:
+    def trace(self, tmp_path) -> str:
+        path = tmp_path / "trace.jsonl"
+        events = [
+            {"event": "drift_audit", "device": "dev-3", "index": 100,
+             "distance": 0.5, "threshold": 0.3, "recovered": True,
+             "outcome": "recovered", "recovery_index": 140,
+             "recovery_samples": 40, "recon_seconds": 0.01,
+             "ladder_level": None},
+            {"event": "drift_detected", "index": 100},
+        ]
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+        return str(path)
+
+    def test_audit_renders_report(self, tmp_path, capsys):
+        assert main(["audit", self.trace(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "drift audit" in out and "dev-3" in out
+
+    def test_audit_requires_a_path(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["audit"])
+
+    def test_path_rejected_for_other_commands(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["table4", self.trace(tmp_path)])
+
+    def test_audit_excluded_from_all(self):
+        from repro.cli import cmd_audit, cmd_fleet
+
+        # 'all' must never require a trace file or spin up a fleet.
+        targets = [n for n in COMMANDS if n not in ("fleet", "audit")]
+        assert cmd_audit not in [COMMANDS[n] for n in targets]
+        assert cmd_fleet not in [COMMANDS[n] for n in targets]
+
+
+class TestFleetObservabilityFlags:
+    FAST = [
+        "fleet", "--devices", "4", "--capacity", "2",
+        "--fleet-samples", "60", "--fleet-chunk", "30",
+    ]
+
+    def test_serve_metrics_scrapes_during_soak(self, monkeypatch, capsys):
+        import socket
+        import urllib.request
+
+        import repro.fleet as fleet_pkg
+        from repro.telemetry import lint_prometheus
+
+        real_soak = fleet_pkg.run_fleet_soak
+        with socket.socket() as s:  # a port known before the CLI prints it
+            s.bind(("127.0.0.1", 0))
+            port = s.getsockname()[1]
+        url = f"http://127.0.0.1:{port}"
+        captured = {}
+
+        def spying_soak(*args, **kwargs):
+            inner = kwargs.get("manager_hook")
+
+            def hook(fm):
+                if inner is not None:
+                    inner(fm)
+                # The devices are registered and the server is live:
+                # scrape every endpoint mid-run.
+                with urllib.request.urlopen(url + "/metrics", timeout=10) as r:
+                    captured["metrics"] = r.read().decode()
+                with urllib.request.urlopen(url + "/health", timeout=10) as r:
+                    captured["health"] = json.loads(r.read().decode())
+                with urllib.request.urlopen(url + "/fleet", timeout=10) as r:
+                    captured["fleet"] = json.loads(r.read().decode())
+
+            kwargs["manager_hook"] = hook
+            return real_soak(*args, **kwargs)
+
+        monkeypatch.setattr(fleet_pkg, "run_fleet_soak", spying_soak)
+        assert main(self.FAST + ["--serve-metrics", str(port)]) == 0
+        out = capsys.readouterr().out
+        assert f"serving metrics on {url}" in out
+        assert "Fleet soak report" in out
+        assert lint_prometheus(captured["metrics"]) == []
+        assert captured["health"]["status"] == "ok"
+        assert captured["fleet"]["devices"] == 4
+
+    def test_sharded_fleet_reports_aggregate_totals(self, capsys):
+        assert main(self.FAST + ["--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 shards" in out
+        assert "shards" in out and "drifts" in out
+        # Aggregate totals surfaced from the workers, not parent-side zeros.
+        assert "960" in out or "240" in out  # samples row (4 devices x 60)
+
+    def test_serve_metrics_rejected_off_fleet(self):
+        with pytest.raises(SystemExit):
+            main(["table4", "--serve-metrics", "0"])
+
+    def test_hub_restored_after_serve_metrics(self, capsys):
+        before = get_telemetry().enabled
+        assert main(self.FAST + ["--serve-metrics", "0"]) == 0
+        assert get_telemetry().enabled == before

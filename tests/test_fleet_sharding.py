@@ -6,8 +6,9 @@ import numpy as np
 import pytest
 
 from repro.engine import ExperimentSpec, build_experiment
-from repro.fleet import ShardedFleetManager, shard_of
+from repro.fleet import FleetStats, ShardedFleetManager, shard_of
 from repro.metrics import ShardError, ShardPool
+from repro.telemetry import RingBufferSink, configure, get_telemetry
 from repro.utils.exceptions import ConfigurationError
 
 
@@ -82,6 +83,108 @@ class TestShardedFleet:
     def test_nonpositive_shards_rejected(self):
         with pytest.raises(ConfigurationError, match="n_shards"):
             ShardedFleetManager(0)
+
+
+class TestShardedTelemetryAggregation:
+    N_DEVICES = 4
+    N_TEST = 120
+
+    def run_sharded(self, tmp_path, *, telemetry_every):
+        specs = {f"dev{i}": _spec(60 + i) for i in range(self.N_DEVICES)}
+        streams = {dev: build_experiment(spec).test for dev, spec in specs.items()}
+        with ShardedFleetManager(
+            2,
+            capacity=2,
+            spool_dir=tmp_path / "spool",
+            telemetry_every=telemetry_every,
+        ) as sfm:
+            for dev, spec in specs.items():
+                sfm.add_device(dev, spec)
+            for start in range(0, self.N_TEST, 40):
+                for dev, s in streams.items():
+                    sfm.submit(dev, s.X[start : start + 40], s.y[start : start + 40])
+            sfm.flush_telemetry()
+            stats = sfm.aggregate_stats()
+        return specs, stats
+
+    def test_parent_hub_counters_equal_summed_worker_counters(self, tmp_path):
+        """The lossless-aggregation proof: nothing dropped, nothing doubled."""
+        configure(enabled=True, sinks=[RingBufferSink()], reset=True)
+        try:
+            specs, stats = self.run_sharded(tmp_path, telemetry_every=1)
+            samples = get_telemetry().registry.get("fleet.device.samples")
+            assert samples is not None
+            # Every sample processed inside a worker landed exactly once.
+            assert samples.total == float(self.N_DEVICES * self.N_TEST)
+            assert stats.samples == self.N_DEVICES * self.N_TEST
+            # Worker series arrive labelled by their shard of origin.
+            assert "shard" in samples.label_names
+            expect = {str(shard_of(dev, 2)) for dev in specs}
+            got = {s["labels"]["shard"] for s in samples.samples()}
+            assert got == expect
+            # Per-shard totals match the devices placed on that shard.
+            for shard in expect:
+                on_shard = [d for d in specs if str(shard_of(d, 2)) == shard]
+                total = sum(
+                    s["value"]
+                    for s in samples.samples()
+                    if s["labels"]["shard"] == shard
+                )
+                assert total == float(len(on_shard) * self.N_TEST)
+        finally:
+            configure(enabled=False, sinks=[], reset=True)
+
+    def test_close_flushes_unsynced_deltas(self, tmp_path):
+        # A large telemetry_every means no piggyback fired; close() must
+        # still pull the outstanding worker deltas into the parent.
+        configure(enabled=True, sinks=[RingBufferSink()], reset=True)
+        try:
+            specs = {f"dev{i}": _spec(60 + i) for i in range(2)}
+            streams = {d: build_experiment(s).test for d, s in specs.items()}
+            sfm = ShardedFleetManager(
+                2, capacity=2, spool_dir=tmp_path / "spool", telemetry_every=10_000
+            )
+            for dev, spec in specs.items():
+                sfm.add_device(dev, spec)
+            for dev, s in streams.items():
+                sfm.submit(dev, s.X, s.y)
+            sfm.drain()
+            sfm.close()
+            samples = get_telemetry().registry.get("fleet.device.samples")
+            assert samples is not None
+            assert samples.total == float(2 * self.N_TEST)
+        finally:
+            configure(enabled=False, sinks=[], reset=True)
+
+    def test_disabled_hub_stays_empty(self, tmp_path):
+        configure(enabled=False, sinks=[], reset=True)
+        self.run_sharded(tmp_path, telemetry_every=1)
+        assert get_telemetry().registry.get("fleet.device.samples") is None
+
+
+class TestAggregateStats:
+    def test_sums_across_shards(self, tmp_path):
+        specs = {f"dev{i}": _spec(60 + i) for i in range(4)}
+        streams = {dev: build_experiment(spec).test for dev, spec in specs.items()}
+        with ShardedFleetManager(
+            2, capacity=1, spool_dir=tmp_path / "spool"
+        ) as sfm:
+            for dev, spec in specs.items():
+                sfm.add_device(dev, spec)
+            for start in range(0, 120, 40):
+                for dev, s in streams.items():
+                    sfm.submit(dev, s.X[start : start + 40], s.y[start : start + 40])
+            sfm.finish_all()
+            per_shard = sfm.stats()
+            total = sfm.aggregate_stats()
+        assert isinstance(total, FleetStats)
+        assert total.devices == 4
+        assert total.samples == 4 * 120
+        assert total.evictions == sum(s["evictions"] for s in per_shard)
+        assert total.restores == sum(s["restores"] for s in per_shard)
+        assert total.evictions > 0  # capacity 1 forces churn inside workers
+        assert total.max_resident == max(s["max_resident"] for s in per_shard)
+        assert set(total.device_samples) == set(specs)
 
 
 class TestShardPool:

@@ -284,3 +284,55 @@ class TestCacheIntegrity:
         (renamed,) = runner.run([cell.replace(name="Renamed Cell")])
         assert renamed.from_cache
         assert renamed.name == "Renamed Cell"
+
+
+class TestCellTelemetry:
+    """Worker-hub metrics ride back with each cell and merge losslessly."""
+
+    def with_hub(self, fn):
+        from repro.telemetry import RingBufferSink, configure, get_telemetry
+
+        configure(enabled=True, sinks=[RingBufferSink()], reset=True)
+        try:
+            return fn(get_telemetry())
+        finally:
+            configure(enabled=False, sinks=[], reset=True)
+
+    def test_pooled_workers_metrics_land_in_parent_hub(self):
+        def go(tel):
+            ParallelRunner(max_workers=2, timeout=300).run(small_cells(seeds=[1]))
+            c = tel.registry.get("pipeline.samples")
+            assert c is not None
+            # Two cells x 400 test samples, every one counted exactly once.
+            assert c.total == float(2 * BLOBS_KWARGS["n_test"])
+            assert tel.registry.get("parallel.cells_run").total == 2.0
+
+        self.with_hub(go)
+
+    def test_pooled_totals_equal_inline_totals(self):
+        def inline(tel):
+            ParallelRunner(max_workers=1).run(small_cells(seeds=[1]))
+            return tel.registry.get("pipeline.samples").total
+
+        def pooled(tel):
+            ParallelRunner(max_workers=2, timeout=300).run(small_cells(seeds=[1]))
+            return tel.registry.get("pipeline.samples").total
+
+        assert self.with_hub(inline) == self.with_hub(pooled)
+
+    def test_cached_cells_do_not_replay_worker_metrics(self, tmp_path):
+        def go(tel):
+            runner = ParallelRunner(cache_dir=tmp_path, max_workers=2, timeout=300)
+            runner.run(small_cells(seeds=[1]))
+            before = tel.registry.get("pipeline.samples").total
+            again = runner.run(small_cells(seeds=[1]))
+            assert all(r.from_cache for r in again)
+            assert tel.registry.get("pipeline.samples").total == before
+
+        self.with_hub(go)
+
+    def test_disabled_hub_attaches_no_cell_telemetry(self):
+        results = ParallelRunner(max_workers=2, timeout=300).run(
+            small_cells(seeds=[1])
+        )
+        assert all(r.telemetry is None for r in results)

@@ -1,0 +1,116 @@
+"""Exposition validity: escaping, name rules, and a promtool-style lint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ExperimentSpec, build_experiment
+from repro.telemetry import (
+    Counter,
+    MetricsRegistry,
+    RingBufferSink,
+    configure,
+    get_telemetry,
+    lint_prometheus,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestNameValidation:
+    @pytest.mark.parametrize("bad", ["", "2fast", "has space", "bad-dash", "a{b}"])
+    def test_invalid_metric_names_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            Counter(bad)
+
+    @pytest.mark.parametrize("bad", ["2x", "bad-dash", "__reserved", "a b"])
+    def test_invalid_label_names_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            Counter("ok", labels=(bad,))
+
+    def test_duplicate_label_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Counter("ok", labels=("a", "a"))
+
+    def test_dotted_names_map_to_underscores(self):
+        reg = MetricsRegistry()
+        reg.counter("fleet.device.samples").inc()
+        assert "repro_fleet_device_samples 1" in reg.to_prometheus()
+
+
+class TestEscaping:
+    def test_label_values_escape_specials(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labels=("path",)).inc(path='a\\b"c\nd')
+        text = reg.to_prometheus()
+        assert '\\\\' in text and '\\"' in text and "\\n" in text
+        assert lint_prometheus(text) == []
+
+    def test_help_text_escapes_newlines(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "line one\nline two").inc()
+        text = reg.to_prometheus()
+        assert "line one\\nline two" in text
+        assert lint_prometheus(text) == []
+
+
+class TestLinter:
+    def test_clean_exposition_passes(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", "h", labels=("kind",)).inc(kind="a")
+        reg.gauge("temp", "t").set(3)
+        reg.histogram("lat", "l", buckets=(0.1, 1.0)).observe(0.5)
+        assert lint_prometheus(reg.to_prometheus()) == []
+
+    def test_catches_duplicate_series(self):
+        text = (
+            "# TYPE x counter\n"
+            "x 1\n"
+            "x 2\n"
+        )
+        assert any("duplicate" in p for p in lint_prometheus(text))
+
+    def test_catches_untyped_samples(self):
+        assert any("TYPE" in p for p in lint_prometheus("x 1\n"))
+
+    def test_catches_noncumulative_histogram(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="1"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        assert any("cumulative" in p for p in lint_prometheus(text))
+
+    def test_catches_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        assert any("+Inf" in p for p in lint_prometheus(text))
+
+
+class TestWholeCodebaseExposition:
+    def test_everything_the_pipelines_register_lints_clean(self):
+        """Exercise real pipelines, then lint every registered metric."""
+        configure(enabled=True, sinks=[RingBufferSink()], reset=True)
+        try:
+            for pipeline in ("proposed", "quanttree", "baseline"):
+                spec = ExperimentSpec(
+                    name=f"lint-{pipeline}",
+                    pipeline=pipeline,
+                    dataset="blobs",
+                    seed=0,
+                    dataset_kwargs={"n_test": 1200, "drift_at": 300, "shift": 2.0},
+                    chunk_size=50,
+                )
+                build_experiment(spec).run()
+            tel = get_telemetry()
+            text = tel.registry.to_prometheus()
+            assert len(tel.registry.names()) >= 5
+            assert lint_prometheus(text) == [], lint_prometheus(text)
+        finally:
+            configure(enabled=False, sinks=[], reset=True)

@@ -1,0 +1,142 @@
+"""Drift provenance: the ``drift_audit`` stream and its report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import ExperimentSpec, build_experiment
+from repro.telemetry import (
+    RingBufferSink,
+    audit_report,
+    configure,
+    load_audit,
+    render_audit,
+)
+from repro.utils.exceptions import DataValidationError
+
+#: A blobs stream whose drift the proposed detector reliably catches and
+#: recovers from within the stream (shift 2.0 >> the fleet default 0.45).
+DRIFTY = dict(
+    pipeline="proposed",
+    dataset="blobs",
+    seed=0,
+    dataset_kwargs={"n_test": 1200, "drift_at": 300, "shift": 2.0},
+    chunk_size=50,
+)
+
+
+@pytest.fixture
+def ring():
+    sink = RingBufferSink()
+    configure(enabled=True, sinks=[sink], reset=True)
+    try:
+        yield sink
+    finally:
+        configure(enabled=False, sinks=[], reset=True)
+
+
+def audit_events(sink):
+    return sink.events("drift_audit")
+
+
+class TestEmission:
+    def test_recovered_drift_emits_one_audit_event(self, ring):
+        build_experiment(ExperimentSpec(name="d", **DRIFTY)).run()
+        (event,) = audit_events(ring)
+        f = event.fields
+        assert f["outcome"] == "recovered" and f["recovered"] is True
+        assert f["pipeline"] == "proposed"
+        assert f["index"] >= 300  # detected at or after the planted drift
+        assert f["recovery_index"] > f["index"]
+        assert f["recovery_samples"] == f["recovery_index"] - f["index"]
+        assert f["recon_seconds"] > 0
+        assert 0 < f["threshold"]
+
+    def test_recovery_histograms_observe(self, ring):
+        from repro.telemetry import get_telemetry
+
+        build_experiment(ExperimentSpec(name="d", **DRIFTY)).run()
+        reg = get_telemetry().registry
+        assert reg.get("audit.recovery.samples").count() == 1
+        assert reg.get("audit.recon.seconds").count() == 1
+
+    def test_truncated_stream_audits_unrecovered(self, ring):
+        spec = ExperimentSpec(
+            name="d",
+            **{**DRIFTY, "dataset_kwargs": {**DRIFTY["dataset_kwargs"], "n_test": 500}},
+        )
+        build_experiment(spec).run()
+        (event,) = audit_events(ring)
+        assert event.fields["outcome"] == "unrecovered_at_end"
+        assert event.fields["recovery_index"] is None
+        from repro.telemetry import get_telemetry
+
+        c = get_telemetry().registry.get("audit.unrecovered")
+        assert c.value(outcome="unrecovered_at_end") == 1.0
+
+    def test_disabled_hub_emits_nothing(self, ring):
+        configure(enabled=False, sinks=[], reset=True)
+        build_experiment(ExperimentSpec(name="d", **DRIFTY)).run()
+        assert audit_events(ring) == []
+
+
+class TestReport:
+    def entries(self) -> list:
+        base = dict(
+            event="drift_audit", device="dev-0", index=100, distance=0.5,
+            threshold=0.3, recovered=True, outcome="recovered",
+            recovery_index=140, recovery_samples=40, recon_seconds=0.01,
+            ladder_level=None,
+        )
+        return [
+            base,
+            {**base, "device": "dev-1", "recovery_samples": 80, "recon_seconds": 0.03},
+            {**base, "device": "dev-1", "recovered": False,
+             "outcome": "superseded", "recovery_samples": None,
+             "recon_seconds": None},
+        ]
+
+    def test_report_aggregates(self):
+        rep = audit_report(self.entries())
+        assert rep["drifts"] == 3
+        assert rep["devices"] == 2
+        assert rep["recovered"] == 2 and rep["unrecovered"] == 1
+        assert rep["top_devices"][0]["device"] == "dev-1"
+        assert rep["recovery_samples"]["max"] == 80
+
+    def test_render_is_ascii_and_complete(self):
+        text = render_audit(audit_report(self.entries()))
+        assert "drift audit" in text and "dev-1" in text
+        assert text.isascii()
+
+    def test_load_audit_filters_and_survives_torn_tail(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = [json.dumps(e) for e in self.entries()]
+        lines.insert(1, json.dumps({"event": "drift_detected", "index": 3}))
+        content = "\n".join(lines) + '\n{"event": "drift_audit", "trunc'
+        path.write_text(content)
+        records = load_audit(path)
+        assert len(records) == 3  # foreign event dropped, torn tail tolerated
+
+    def test_load_audit_rejects_garbage_mid_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('not json\n{"event": "drift_audit"}\n')
+        with pytest.raises(DataValidationError):
+            load_audit(path)
+
+    def test_end_to_end_from_jsonl_sink(self, tmp_path):
+        from repro.telemetry import JsonlSink
+
+        trace = tmp_path / "trace.jsonl"
+        sink = JsonlSink(trace)
+        configure(enabled=True, sinks=[sink], reset=True)
+        try:
+            build_experiment(ExperimentSpec(name="d", **DRIFTY)).run()
+        finally:
+            sink.close()
+            configure(enabled=False, sinks=[], reset=True)
+        rep = audit_report(load_audit(trace))
+        assert rep["drifts"] == 1 and rep["recovered"] == 1
+        assert rep["recovery_samples"]["p50"] > 0

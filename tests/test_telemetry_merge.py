@@ -1,0 +1,233 @@
+"""Cross-process aggregation: snapshots, deltas, merge, and thread safety."""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    RingBufferSink,
+    Telemetry,
+    TelemetrySnapshot,
+    lint_prometheus,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+def make_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("hits", "requests", labels=("kind",)).inc(2, kind="a")
+    reg.counter("hits", labels=("kind",)).inc(3, kind="b")
+    reg.gauge("resident", "sessions").set(7)
+    h = reg.histogram("lat", "latency", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(2.0)
+    return reg
+
+
+class TestSnapshot:
+    def test_round_trips_json_and_pickle(self):
+        snap = make_registry().snapshot()
+        again = TelemetrySnapshot.from_json(json.loads(json.dumps(snap.to_json())))
+        assert again.metrics == snap.metrics
+        assert pickle.loads(pickle.dumps(snap)).metrics == snap.metrics
+
+    def test_empty_registry_snapshot_is_empty(self):
+        assert MetricsRegistry().snapshot().is_empty()
+        assert not make_registry().snapshot().is_empty()
+
+    def test_diff_counters_ship_only_growth(self):
+        reg = make_registry()
+        base = reg.snapshot()
+        reg.counter("hits", labels=("kind",)).inc(5, kind="a")
+        delta = reg.snapshot().diff(base)
+        series = {
+            s["labels"]["kind"]: s["value"] for s in delta.metrics["hits"]["series"]
+        }
+        assert series == {"a": 5.0}  # unchanged "b" series dropped
+
+    def test_diff_drops_untouched_metrics(self):
+        reg = make_registry()
+        base = reg.snapshot()
+        reg.counter("hits", labels=("kind",)).inc(kind="a")
+        delta = reg.snapshot().diff(base)
+        assert set(delta.metrics) == {"hits"}
+
+    def test_diff_histogram_is_bucketwise(self):
+        reg = make_registry()
+        base = reg.snapshot()
+        reg.get("lat").observe(0.5)
+        delta = reg.snapshot().diff(base)
+        (series,) = delta.metrics["lat"]["series"]
+        assert series["counts"] == [0, 1, 0]
+        assert series["count"] == 1
+
+    def test_counter_reset_ships_whole_value(self):
+        # A worker that restarted reports less than the baseline; the
+        # delta must ship the full new value, not a negative.
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(10)
+        base = reg.snapshot()
+        reg.get("hits").clear()
+        reg.counter("hits").inc(2)
+        delta = reg.snapshot().diff(base)
+        assert delta.metrics["hits"]["series"][0]["value"] == 2.0
+
+
+class TestMerge:
+    def test_counters_sum_and_gauges_take_last_write(self):
+        a, b = make_registry(), make_registry()
+        b.gauge("resident").set(3)
+        a.merge(b.snapshot())
+        assert a.counter("hits", labels=("kind",)).value(kind="a") == 4.0
+        assert a.gauge("resident").value() == 3.0
+
+    def test_histograms_add_bucketwise(self):
+        a, b = make_registry(), make_registry()
+        a.merge(b.snapshot())
+        assert a.get("lat").count() == 4
+        assert a.get("lat").bucket_counts() == [2, 0, 2]
+
+    def test_merge_into_empty_registry_recreates_metrics(self):
+        a = MetricsRegistry()
+        a.merge(make_registry().snapshot())
+        assert set(a.names()) == {"hits", "resident", "lat"}
+        assert a.counter("hits", labels=("kind",)).total == 5.0
+
+    def test_extra_labels_graft_shard_dimension(self):
+        parent = MetricsRegistry()
+        parent.counter("hits", labels=("kind",)).inc(kind="a")
+        for shard in ("0", "1"):
+            worker = MetricsRegistry()
+            worker.counter("hits", "requests", labels=("kind",)).inc(2, kind="a")
+            parent.merge(worker.snapshot(), extra_labels={"shard": shard})
+        hits = parent.get("hits")
+        assert hits.label_names == ("kind", "shard")
+        assert hits.total == 5.0
+        assert hits.value(kind="a", shard="0") == 2.0
+        # The pre-merge local series lives on under the empty shard label.
+        assert hits.value(kind="a", shard="") == 1.0
+        # Local writers keep their original signature after the graft.
+        parent.counter("hits", labels=("kind",)).inc(kind="a")
+        assert hits.value(kind="a", shard="") == 2.0
+
+    def test_merged_output_still_lints(self):
+        parent = make_registry()
+        parent.merge(make_registry().snapshot(), extra_labels={"shard": "3"})
+        assert lint_prometheus(parent.to_prometheus()) == []
+
+    def test_kind_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.counter("x").inc()
+        b = MetricsRegistry()
+        b.gauge("x").set(1)
+        with pytest.raises(ConfigurationError):
+            a.merge(b.snapshot())
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("lat", buckets=(0.1, 1.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("lat", buckets=(0.2, 2.0)).observe(0.5)
+        with pytest.raises(ConfigurationError):
+            a.merge(b.snapshot())
+
+
+class TestHubDelta:
+    def test_snapshot_delta_is_incremental(self):
+        tel = Telemetry(enabled=True, sinks=[RingBufferSink()])
+        tel.counter("c").inc(4)
+        first = tel.snapshot_delta()
+        assert first.metrics["c"]["series"][0]["value"] == 4.0
+        tel.counter("c").inc(1)
+        second = tel.snapshot_delta()
+        assert second.metrics["c"]["series"][0]["value"] == 1.0
+        assert tel.snapshot_delta().is_empty()
+
+    def test_hub_merge_lands_in_registry(self):
+        src = Telemetry(enabled=True)
+        src.counter("c").inc(2)
+        dst = Telemetry(enabled=True)
+        dst.merge(src.snapshot(), extra_labels={"shard": "0"})
+        assert dst.registry.get("c").value(shard="0") == 2.0
+
+    def test_reset_clears_delta_baseline(self):
+        tel = Telemetry(enabled=True)
+        tel.counter("c").inc(4)
+        tel.snapshot_delta()
+        tel.reset()
+        tel.counter("c").inc(2)
+        assert tel.snapshot_delta().metrics["c"]["series"][0]["value"] == 2.0
+
+
+class TestThreadSafety:
+    N_THREADS = 8
+    N_INCS = 2000
+
+    def test_concurrent_increments_lose_nothing(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits", labels=("worker",))
+
+        def pound(i: int) -> None:
+            for _ in range(self.N_INCS):
+                c.inc(worker=str(i % 2))
+
+        threads = [
+            threading.Thread(target=pound, args=(i,)) for i in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.total == float(self.N_THREADS * self.N_INCS)
+
+    def test_snapshot_under_concurrent_writes_is_consistent(self):
+        # Counters only grow; a torn snapshot would show a later total for
+        # one series than a containing scrape — assert monotone totals.
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        stop = threading.Event()
+
+        def pound() -> None:
+            while not stop.is_set():
+                c.inc()
+
+        writers = [threading.Thread(target=pound) for _ in range(4)]
+        for t in writers:
+            t.start()
+        try:
+            last = 0.0
+            for _ in range(200):
+                snap = reg.snapshot()
+                total = sum(
+                    s["value"] for s in snap.metrics["hits"]["series"]
+                )
+                assert total >= last
+                last = total
+        finally:
+            stop.set()
+            for t in writers:
+                t.join()
+
+    def test_concurrent_merges_sum_exactly(self):
+        src = MetricsRegistry()
+        src.counter("hits").inc(3)
+        snap = src.snapshot()
+        dst = MetricsRegistry()
+
+        def merge_many(shard: int) -> None:
+            for _ in range(50):
+                dst.merge(snap, extra_labels={"shard": str(shard)})
+
+        threads = [
+            threading.Thread(target=merge_many, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert dst.get("hits").total == 4 * 50 * 3.0

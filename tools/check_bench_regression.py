@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""CI perf-trajectory gate over ``BENCH_history.jsonl``.
+
+Every standalone bench appends one record per run (see
+``benchmarks/bench_history.py``). This gate compares the **latest**
+record of each (bench, mode) group against the **trailing median** of
+the prior records in that group and fails (exit 1) when the throughput
+metric dropped by more than ``--threshold`` (default 20 %):
+
+    python tools/check_bench_regression.py --history BENCH_history.jsonl
+
+Groups with fewer than ``--min-history`` prior records pass with a note
+— a fresh repo must not fail its own gate. By default only records from
+the same host as the latest entry are compared (CI runners vs laptops
+are not comparable); ``--any-host`` lifts that.
+
+``--smoke`` self-tests the gate against synthetic trajectories (a flat
+one must pass, a 25 % drop must fail) — this is the CI leg that proves
+the gate actually gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import statistics
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 0.20
+DEFAULT_METRIC = "samples_per_sec"
+
+
+def load_history(path: Path) -> list:
+    """Parse the JSONL trajectory, skipping torn/foreign lines loudly."""
+    entries = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            print(f"note: {path}:{lineno}: unparseable line skipped")
+            continue
+        if isinstance(rec, dict) and "bench" in rec and "metrics" in rec:
+            entries.append(rec)
+    return entries
+
+
+def check_group(
+    entries: list,
+    *,
+    metric: str,
+    threshold: float,
+    window: int,
+    min_history: int,
+    same_host: bool,
+) -> tuple:
+    """Gate one (bench, mode) group → (ok, message).
+
+    ``entries`` are in file (chronological) order; the last one is the
+    run under test.
+    """
+    latest = entries[-1]
+    label = f"{latest['bench']}/{latest['mode']}"
+    value = latest["metrics"].get(metric)
+    if value is None:
+        return True, f"{label}: no {metric!r} metric, skipped"
+    if not math.isfinite(float(value)):
+        return False, f"{label}: latest {metric} is not finite ({value!r})"
+
+    prior = entries[:-1]
+    if same_host:
+        prior = [e for e in prior if e.get("host") == latest.get("host")]
+    prior_values = [
+        float(e["metrics"][metric])
+        for e in prior
+        if metric in e["metrics"] and math.isfinite(float(e["metrics"][metric]))
+    ][-window:]
+    if len(prior_values) < min_history:
+        return True, (
+            f"{label}: only {len(prior_values)} comparable prior run(s) "
+            f"(< {min_history}), trajectory too short to gate — pass"
+        )
+
+    baseline = statistics.median(prior_values)
+    if baseline <= 0:
+        return True, f"{label}: non-positive baseline {baseline}, skipped"
+    drop = 1.0 - float(value) / baseline
+    verdict = (
+        f"{label}: {metric} {float(value):.1f} vs trailing median "
+        f"{baseline:.1f} ({-drop:+.1%}, n={len(prior_values)})"
+    )
+    if drop > threshold:
+        return False, f"REGRESSION {verdict} exceeds -{threshold:.0%}"
+    return True, verdict
+
+
+def run_gate(entries: list, args) -> int:
+    groups: dict = {}
+    for rec in entries:
+        groups.setdefault((rec["bench"], rec.get("mode", "")), []).append(rec)
+    if args.bench:
+        groups = {k: v for k, v in groups.items() if k[0] == args.bench}
+        if not groups:
+            print(f"note: no history for bench {args.bench!r} — pass")
+            return 0
+    failures = 0
+    for key in sorted(groups):
+        ok, message = check_group(
+            groups[key],
+            metric=args.metric,
+            threshold=args.threshold,
+            window=args.window,
+            min_history=args.min_history,
+            same_host=not args.any_host,
+        )
+        print(("ok:   " if ok else "FAIL: ") + message)
+        failures += 0 if ok else 1
+    return 1 if failures else 0
+
+
+def smoke() -> int:
+    """Prove the gate gates: flat trajectory passes, 25 % drop fails."""
+
+    def entry(value: float, host: str = "ci") -> dict:
+        return {
+            "bench": "fleet",
+            "mode": "smoke",
+            "host": host,
+            "git_sha": "0000000",
+            "ts": 0.0,
+            "metrics": {DEFAULT_METRIC: value},
+        }
+
+    flat = [entry(v) for v in (1000.0, 1020.0, 990.0, 1010.0, 1005.0)]
+    dropped = flat[:-1] + [entry(750.0)]  # 25 % below the ~1000 median
+    other_host = flat[:-1] + [entry(750.0, host="laptop")]
+
+    checks = [
+        ("flat trajectory passes", flat, True, False),
+        ("25% drop fails", dropped, False, False),
+        ("improvement passes", flat[:-1] + [entry(1400.0)], True, False),
+        ("short history passes", flat[:2], True, False),
+        ("cross-host drop ignored by default", other_host, True, False),
+        ("cross-host drop caught with --any-host", other_host, False, True),
+    ]
+    failures = 0
+    for name, entries, expect_ok, any_host in checks:
+        ok, message = check_group(
+            entries,
+            metric=DEFAULT_METRIC,
+            threshold=DEFAULT_THRESHOLD,
+            window=10,
+            min_history=3,
+            same_host=not any_host,
+        )
+        verdict = "ok" if ok == expect_ok else "SMOKE-FAIL"
+        print(f"{verdict}: {name} -> {message}")
+        failures += 0 if ok == expect_ok else 1
+    if failures:
+        print(f"FAIL: {failures} smoke check(s) contradicted the gate contract.")
+        return 1
+    print("OK: the regression gate fails on a 25% drop and passes a flat trajectory.")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        help="trajectory file (default: ./BENCH_history.jsonl)")
+    parser.add_argument("--metric", default=DEFAULT_METRIC,
+                        help=f"throughput metric to gate (default {DEFAULT_METRIC})")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="max allowed relative drop vs the trailing "
+                             "median (default 0.20)")
+    parser.add_argument("--window", type=int, default=10,
+                        help="how many prior runs feed the median (default 10)")
+    parser.add_argument("--min-history", type=int, default=3,
+                        help="prior runs required before gating (default 3)")
+    parser.add_argument("--bench", default=None,
+                        help="gate only this bench name (default: all)")
+    parser.add_argument("--any-host", action="store_true",
+                        help="compare across hosts (default: same host as "
+                             "the latest entry only)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="self-test the gate on synthetic trajectories")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return smoke()
+
+    path = Path(args.history)
+    if not path.exists():
+        print(f"note: no history at {path} — nothing to gate, pass")
+        return 0
+    entries = load_history(path)
+    if not entries:
+        print(f"note: {path} holds no parseable records — pass")
+        return 0
+    return run_gate(entries, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
