@@ -37,8 +37,17 @@ FULL = dict(n_devices=1000, capacity=64, n_test=120, feed_chunk=60, verify=8)
 #: CI smoke: same churn shape (devices >> capacity), seconds not minutes.
 SMOKE = dict(n_devices=24, capacity=4, n_test=120, feed_chunk=60, verify=8)
 
+#: Shape-homogeneous resident fleets (devices == capacity, shared
+#: model_seed) for the batched-vs-sequential A/B: no LRU churn, so the
+#: measured ratio is the scoring path itself.
+FULL_AB = dict(n_devices=64, capacity=64, n_test=240, feed_chunk=60, verify=0)
+SMOKE_AB = dict(n_devices=12, capacity=12, n_test=120, feed_chunk=60, verify=0)
 
-def run_soak(params: dict, *, seed: int = 0, n_shards=None, progress=None):
+
+def run_soak(
+    params: dict, *, seed: int = 0, n_shards=None, batch_scoring=False,
+    progress=None,
+):
     with tempfile.TemporaryDirectory(prefix="repro-fleet-bench-") as tmp:
         return run_fleet_soak(
             params["n_devices"],
@@ -48,9 +57,31 @@ def run_soak(params: dict, *, seed: int = 0, n_shards=None, progress=None):
             n_test=params["n_test"],
             feed_chunk=params["feed_chunk"],
             n_shards=n_shards,
+            batch_scoring=batch_scoring,
             verify=params["verify"],
             progress=progress,
         )
+
+
+def homogeneous_ab(params: dict, *, seed: int = 0) -> dict:
+    """Sequential-vs-batched samples/sec on a resident homogeneous fleet."""
+    sequential = run_soak(params, seed=seed, batch_scoring=False)
+    batched = run_soak(params, seed=seed, batch_scoring=True)
+    speedup = (
+        batched.samples_per_sec / sequential.samples_per_sec
+        if sequential.samples_per_sec > 0
+        else 0.0
+    )
+    return {
+        "n_devices": params["n_devices"],
+        "capacity": params["capacity"],
+        "sequential_samples_per_sec": sequential.samples_per_sec,
+        "batched_samples_per_sec": batched.samples_per_sec,
+        "batch_groups": batched.batch_groups,
+        "batched_samples": batched.batched_samples,
+        "fallback_samples": batched.fallback_samples,
+        "speedup": speedup,
+    }
 
 
 # --------------------------------------------------------------------------
@@ -84,6 +115,12 @@ def main(argv=None) -> int:
              "(ShardedFleetManager; default: one in-process manager)",
     )
     parser.add_argument(
+        "--batch-scoring", action="store_true",
+        help="run the soak through the cross-session batched scoring "
+             "path and add a sequential-vs-batched A/B on a resident "
+             "shape-homogeneous fleet",
+    )
+    parser.add_argument(
         "--out",
         default="BENCH_fleet.json",
         help="where to write the JSON report (default: ./BENCH_fleet.json)",
@@ -111,30 +148,48 @@ def main(argv=None) -> int:
         params,
         seed=args.seed,
         n_shards=args.shards if sharded else None,
+        batch_scoring=args.batch_scoring,
         progress=print,
     )
     mode = "smoke" if args.smoke else "full"
     if sharded:
         mode += f"-sharded{args.shards}"
+    if args.batch_scoring:
+        mode += "-batched"
     data = report.to_json()
     data["mode"] = mode
     data["seed"] = args.seed
+
+    ab = None
+    if args.batch_scoring:
+        ab_params = SMOKE_AB if args.smoke else FULL_AB
+        print(
+            f"homogeneous A/B: {ab_params['n_devices']} resident devices, "
+            "sequential vs batched"
+        )
+        ab = homogeneous_ab(ab_params, seed=args.seed)
+        data["homogeneous_ab"] = ab
+        print(
+            f"  sequential {ab['sequential_samples_per_sec']:.0f} samples/s, "
+            f"batched {ab['batched_samples_per_sec']:.0f} samples/s "
+            f"-> {ab['speedup']:.2f}x"
+        )
+
     Path(args.out).write_text(json.dumps(data, indent=2) + "\n")
     if not args.no_history:
         from bench_history import DEFAULT_HISTORY, append_history
 
-        append_history(
-            args.history or DEFAULT_HISTORY,
-            "fleet",
-            mode,
-            {
-                "samples_per_sec": report.samples_per_sec,
-                "sessions_per_sec": report.sessions_per_sec,
-                "evictions": report.evictions,
-                "restores": report.restores,
-                "drifts": report.drifts,
-            },
-        )
+        metrics = {
+            "samples_per_sec": report.samples_per_sec,
+            "sessions_per_sec": report.sessions_per_sec,
+            "evictions": report.evictions,
+            "restores": report.restores,
+            "drifts": report.drifts,
+        }
+        if ab is not None:
+            metrics["ab_batched_samples_per_sec"] = ab["batched_samples_per_sec"]
+            metrics["ab_speedup"] = ab["speedup"]
+        append_history(args.history or DEFAULT_HISTORY, "fleet", mode, metrics)
 
     print(
         f"  {report.sessions_per_sec:.1f} sessions/s, "
@@ -145,6 +200,12 @@ def main(argv=None) -> int:
         f"(mean restore {data['restore_ms_mean']:.2f} ms), "
         f"max resident {report.max_resident}"
     )
+    if args.batch_scoring:
+        print(
+            f"  {report.batched_samples} batched / "
+            f"{report.fallback_samples} fallback samples "
+            f"in {report.batch_groups} group GEMMs"
+        )
     print(f"  report -> {args.out}")
     if report.mismatches:
         print(

@@ -428,6 +428,7 @@ def cmd_fleet(args) -> None:
             feed_chunk=args.fleet_chunk,
             guard_policy=args.guard_policy,
             n_shards=args.shards if sharded else None,
+            batch_scoring=args.batch_scoring,
             verify=args.fleet_verify,
             progress=print,
             manager_hook=_hook,
@@ -552,6 +553,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="fleet command: serve /metrics, /health and "
                              "/fleet on 127.0.0.1:PORT during the soak "
                              "(0 = any free port; implies telemetry)")
+    parser.add_argument("--batch-scoring", action="store_true",
+                        help="fleet command: score same-signature sessions "
+                             "in stacked cross-session GEMMs (records stay "
+                             "byte-identical; see docs/fleet.md)")
     args = parser.parse_args(argv)
     try:
         # Same pairing rule as StreamPipeline.run; the CLI additionally

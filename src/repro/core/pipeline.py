@@ -241,6 +241,21 @@ class StreamPipeline(abc.ABC):
         The frozen baseline has nothing to drop.
         """
 
+    def prefers_batched_scoring(self) -> bool:
+        """Would cross-session batched scoring pay off *right now*?
+
+        The fleet's :class:`~repro.fleet.batching.BatchPlanner` asks this
+        before stacking a session's pending rows into a shared forward
+        pass (see :func:`~repro.oselm.ensemble.MultiInstanceModel.prime_scores`).
+        ``True`` means the model is not expected to mutate while the
+        primed rows are consumed — a pure heuristic: priming stays
+        *correct* either way, because any training step invalidates the
+        primed cache and scoring falls back to the computed path.
+        The base answer is ``False`` (unknown pipelines, and ONLAD —
+        which trains on every sample — fall back to sequential scoring).
+        """
+        return False
+
     # -- shared helpers --------------------------------------------------------------
 
     def _record(
@@ -353,6 +368,10 @@ class NoDetectionPipeline(StreamPipeline):
             self._record(labels[j], scores[j], int(yc[j])) for j in range(len(Xc))
         ]
 
+    def prefers_batched_scoring(self) -> bool:
+        # Frozen model: always a pure forward pass.
+        return True
+
 
 class ONLADPipeline(StreamPipeline):
     """ONLAD — passive approach: test-then-train on every sample.
@@ -442,6 +461,12 @@ class ProposedPipeline(StreamPipeline):
         if stop < len(Xc):
             recs.append(self.process_one(Xc[stop], int(yc[stop])))
         return recs
+
+    def prefers_batched_scoring(self) -> bool:
+        # Reconstruction (the drift flag) trains on every sample; the
+        # check window only updates detector statistics, so primed scores
+        # stay valid through it.
+        return not self.detector.drift
 
     def state_nbytes(self) -> int:
         """Detector centroid state (the method's whole extra footprint)."""
@@ -563,6 +588,11 @@ class BatchDetectorPipeline(StreamPipeline):
             recs.append(self._record(labels[j], scores[j], int(yc[j])))
         return recs
 
+    def prefers_batched_scoring(self) -> bool:
+        # The detector only buffers between batch tests; the model itself
+        # mutates only during reconstruction.
+        return not (self._reconstructing or self._refitting)
+
     def state_nbytes(self) -> int:
         """Batch-detector state incl. its sample buffer (Table 4's cost).
 
@@ -682,6 +712,10 @@ class ErrorRatePipeline(StreamPipeline):
                 return recs
             recs.append(self._record(c, scores[j], y_j))
         return recs
+
+    def prefers_batched_scoring(self) -> bool:
+        # DDM/ADWIN statistics update per sample but never touch the model.
+        return not self._reconstructing
 
     def state_nbytes(self) -> int:
         nbytes = getattr(self.detector, "state_nbytes", None)

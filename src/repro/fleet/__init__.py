@@ -17,11 +17,15 @@ process (or a shard pool of them) on top of the engine's
 See ``docs/fleet.md``.
 """
 
+from .batching import BatchGroup, BatchPlanner, model_signature
 from .manager import FleetManager, FleetStats
 from .sharding import ShardedFleetManager, shard_of
 from .soak import SoakReport, make_fleet_specs, run_fleet_soak, verify_device
 
 __all__ = [
+    "BatchGroup",
+    "BatchPlanner",
+    "model_signature",
     "FleetManager",
     "FleetStats",
     "ShardedFleetManager",

@@ -37,8 +37,12 @@ from ..engine.session import StreamSession
 from ..engine.spec import ExperimentSpec
 from ..utils.exceptions import ConfigurationError
 from ..utils.hooks import default_telemetry
+from .batching import BatchPlanner
 
 __all__ = ["FleetManager", "FleetStats"]
+
+#: Histogram edges for batch-group sizes (devices sharing one GEMM).
+BATCH_GROUP_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 #: Checkpoint container kind for evicted sessions (see repro.resilience).
 SESSION_KIND = "fleet-session"
@@ -57,6 +61,9 @@ class FleetStats:
     max_resident: int = 0
     evict_seconds: float = 0.0
     restore_seconds: float = 0.0
+    batch_groups: int = 0
+    batched_samples: int = 0
+    fallback_samples: int = 0
     device_samples: Dict[str, int] = field(default_factory=dict)
     device_drifts: Dict[str, int] = field(default_factory=dict)
 
@@ -77,6 +84,9 @@ class FleetStats:
             "max_resident": self.max_resident,
             "evict_seconds": self.evict_seconds,
             "restore_seconds": self.restore_seconds,
+            "batch_groups": self.batch_groups,
+            "batched_samples": self.batched_samples,
+            "fallback_samples": self.fallback_samples,
         }
         if include_devices:
             out["device_samples"] = dict(self.device_samples)
@@ -95,6 +105,9 @@ class FleetStats:
             max_resident=int(data.get("max_resident", 0)),
             evict_seconds=float(data.get("evict_seconds", 0.0)),
             restore_seconds=float(data.get("restore_seconds", 0.0)),
+            batch_groups=int(data.get("batch_groups", 0)),
+            batched_samples=int(data.get("batched_samples", 0)),
+            fallback_samples=int(data.get("fallback_samples", 0)),
             device_samples=dict(data.get("device_samples", {})),
             device_drifts=dict(data.get("device_drifts", {})),
         )
@@ -113,6 +126,9 @@ class FleetStats:
         self.max_resident = max(self.max_resident, other.max_resident)
         self.evict_seconds += other.evict_seconds
         self.restore_seconds += other.restore_seconds
+        self.batch_groups += other.batch_groups
+        self.batched_samples += other.batched_samples
+        self.fallback_samples += other.fallback_samples
         for dev, n in other.device_samples.items():
             self.device_samples[dev] = self.device_samples.get(dev, 0) + n
         for dev, n in other.device_drifts.items():
@@ -137,6 +153,10 @@ class FleetManager:
         spec's own ``chunk_size`` takes precedence.
     telemetry:
         Hub for the per-device metrics; defaults to the process hub.
+    batch_scoring:
+        Enable the cross-session batched scoring path for
+        :meth:`submit_many` (see :mod:`repro.fleet.batching`). Off by
+        default; plain :meth:`submit` is unaffected either way.
 
     Usage::
 
@@ -153,6 +173,7 @@ class FleetManager:
         *,
         chunk_size: Optional[int] = None,
         telemetry=None,
+        batch_scoring: bool = False,
     ) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"capacity must be positive, got {capacity}.")
@@ -160,6 +181,8 @@ class FleetManager:
         self.spool_dir = Path(spool_dir) if spool_dir is not None else None
         self.chunk_size = chunk_size
         self.telemetry = telemetry if telemetry is not None else default_telemetry()
+        self.batch_scoring = bool(batch_scoring)
+        self._planner = BatchPlanner()
         self.stats = FleetStats()
         self._specs: Dict[str, ExperimentSpec] = {}
         self._resident: "OrderedDict[str, StreamSession]" = OrderedDict()
@@ -219,6 +242,99 @@ class FleetManager:
                     "fleet.device.drifts", "drift detections per device", labels=("device",)
                 ).inc(drifts, device=device_id)
         return records
+
+    def submit_many(self, batch: List[tuple]) -> List[list]:
+        """Feed many arriving chunks, batching the forward passes.
+
+        ``batch`` is a list of ``(device_id, Xc, yc)`` in arrival order;
+        the return value is the per-submission record lists, parallel to
+        the input. Per-device chunk order is preserved exactly (sessions
+        are independent streams, so cross-device order carries no
+        meaning). With ``batch_scoring`` off this is just a loop over
+        :meth:`submit`.
+
+        With it on, the batch is cut into *windows* of at most
+        ``capacity`` distinct devices (so the whole window can be
+        resident at once — evictions happen while touching, before any
+        priming). Each window's sessions are grouped by
+        :func:`~repro.fleet.batching.model_signature`; every group is
+        scored in one stacked GEMM and primed, then the window feeds
+        sequentially as usual, with each pipeline consuming its primed
+        rows. Ineligible sessions (guard attached, drift window open,
+        reconstruction or refit in flight, per-sample trainers) fall
+        back to the sequential path — and records stay byte-identical
+        either way (the batched golden suite pins this).
+        """
+        self._check_open()
+        if not self.batch_scoring:
+            return [self.submit(dev, Xc, yc) for dev, Xc, yc in batch]
+        out: List[list] = []
+        start = 0
+        while start < len(batch):
+            stop = start
+            window_devices: Dict[str, List[np.ndarray]] = {}
+            while stop < len(batch):
+                device_id = str(batch[stop][0])
+                if (
+                    device_id not in window_devices
+                    and len(window_devices) >= self.capacity
+                ):
+                    break
+                window_devices.setdefault(device_id, []).append(
+                    np.asarray(batch[stop][1], dtype=np.float64)
+                )
+                stop += 1
+            self._prime_window(window_devices)
+            for dev, Xc, yc in batch[start:stop]:
+                out.append(self.submit(dev, Xc, yc))
+            for device_id in window_devices:
+                session = self._resident.get(device_id)
+                if session is not None:
+                    model = getattr(session.pipeline, "model", None)
+                    if model is not None:
+                        model.clear_primed()
+            start = stop
+        return out
+
+    def _prime_window(self, window_devices: Dict[str, List[np.ndarray]]) -> None:
+        """Group one window's pending rows, run the GEMMs, prime models."""
+        items = []
+        for device_id, chunks in window_devices.items():
+            session = self._touch(device_id)
+            rows = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+            items.append((device_id, session.pipeline, rows))
+        groups, fallback = self._planner.plan(items)
+        tel = self.telemetry
+        for group in groups:
+            t0 = time.perf_counter()
+            n = group.prime()
+            gemm_seconds = time.perf_counter() - t0
+            self.stats.batch_groups += 1
+            self.stats.batched_samples += n
+            if tel.enabled:
+                tel.histogram(
+                    "fleet.batch.group.devices",
+                    "sessions sharing one stacked forward pass",
+                    buckets=BATCH_GROUP_BUCKETS,
+                ).observe(group.n_devices)
+                tel.histogram(
+                    "fleet.batch.gemm.seconds",
+                    "wall time of one grouped scoring GEMM",
+                ).observe(gemm_seconds)
+                tel.counter(
+                    "fleet.batch.samples",
+                    "samples scored via the batched vs sequential path",
+                    labels=("path",),
+                ).inc(n, path="batched")
+        fallback_samples = sum(n for _, n in fallback)
+        if fallback_samples:
+            self.stats.fallback_samples += fallback_samples
+            if tel.enabled:
+                tel.counter(
+                    "fleet.batch.samples",
+                    "samples scored via the batched vs sequential path",
+                    labels=("path",),
+                ).inc(fallback_samples, path="fallback")
 
     def finish(self, device_id: str) -> list:
         """Close ``device_id``'s session and return its full record list.

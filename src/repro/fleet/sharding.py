@@ -55,6 +55,7 @@ class _ShardHost:
         spool_root,
         chunk_size,
         telemetry_enabled: bool = False,
+        batch_scoring: bool = False,
     ):
         if telemetry_enabled:
             from ..telemetry import configure
@@ -62,7 +63,10 @@ class _ShardHost:
             configure(enabled=True)
         spool = None if spool_root is None else Path(spool_root) / f"shard{shard_index}"
         self.manager = FleetManager(
-            capacity=capacity, spool_dir=spool, chunk_size=chunk_size
+            capacity=capacity,
+            spool_dir=spool,
+            chunk_size=chunk_size,
+            batch_scoring=batch_scoring,
         )
 
     def add_device(self, device_id: str, spec_json: dict) -> None:
@@ -70,6 +74,12 @@ class _ShardHost:
 
     def submit(self, device_id: str, Xc, yc) -> int:
         return len(self.manager.submit(device_id, np.asarray(Xc), np.asarray(yc)))
+
+    def submit_many(self, batch) -> int:
+        records = self.manager.submit_many(
+            [(dev, np.asarray(Xc), np.asarray(yc)) for dev, Xc, yc in batch]
+        )
+        return sum(len(recs) for recs in records)
 
     def finish_all(self) -> Dict[str, list]:
         return self.manager.finish_all()
@@ -82,10 +92,16 @@ class _ShardHost:
 
 
 def _make_shard_host(
-    shard_index: int, capacity, spool_root, chunk_size, telemetry_enabled=False
+    shard_index: int,
+    capacity,
+    spool_root,
+    chunk_size,
+    telemetry_enabled=False,
+    batch_scoring=False,
 ):
     return _ShardHost(
-        shard_index, capacity, spool_root, chunk_size, telemetry_enabled
+        shard_index, capacity, spool_root, chunk_size, telemetry_enabled,
+        batch_scoring,
     )
 
 
@@ -109,10 +125,12 @@ class ShardedFleetManager:
         *,
         chunk_size: Optional[int] = None,
         telemetry_every: Optional[int] = 64,
+        batch_scoring: bool = False,
     ) -> None:
         if n_shards <= 0:
             raise ConfigurationError(f"n_shards must be positive, got {n_shards}.")
         self.n_shards = int(n_shards)
+        self.batch_scoring = bool(batch_scoring)
         parent_tel = default_telemetry()
         self._pool = ShardPool(
             self.n_shards,
@@ -122,6 +140,7 @@ class ShardedFleetManager:
                 None if spool_dir is None else str(spool_dir),
                 chunk_size,
                 bool(parent_tel.enabled),
+                bool(batch_scoring),
             ),
             telemetry_every=telemetry_every,
         )
@@ -147,6 +166,31 @@ class ShardedFleetManager:
         )
         self._pending.append(ticket)
         return ticket
+
+    def submit_many(self, batch) -> List:
+        """Partition a ``(device_id, Xc, yc)`` batch by shard and enqueue.
+
+        Each shard receives its sub-batch (arrival order preserved) in a
+        single message and runs its manager's
+        :meth:`~repro.fleet.manager.FleetManager.submit_many` — so the
+        batched-scoring windows form *inside* each worker, against that
+        shard's own resident sessions. Returns one ticket per shard
+        touched; like :meth:`submit`, errors surface on :meth:`drain`.
+        """
+        per_shard: Dict[int, list] = {}
+        for device_id, Xc, yc in batch:
+            shard = self._devices.get(str(device_id))
+            if shard is None:
+                raise ConfigurationError(f"unknown device {device_id!r}.")
+            per_shard.setdefault(shard, []).append(
+                (str(device_id), np.asarray(Xc), np.asarray(yc))
+            )
+        tickets = []
+        for shard, sub_batch in per_shard.items():
+            ticket = self._pool.submit(shard, "submit_many", sub_batch)
+            self._pending.append(ticket)
+            tickets.append(ticket)
+        return tickets
 
     def drain(self) -> None:
         """Wait for every outstanding submit (raises the first shard error)."""

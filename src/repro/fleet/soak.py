@@ -107,6 +107,10 @@ class SoakReport:
     restore_seconds: float
     drifts: int = 0
     shards: Optional[int] = None
+    batch_scoring: bool = False
+    batch_groups: int = 0
+    batched_samples: int = 0
+    fallback_samples: int = 0
     verified: Optional[int] = None
     mismatches: Optional[List[str]] = None
 
@@ -132,6 +136,10 @@ class SoakReport:
             "restore_seconds": self.restore_seconds,
             "drifts": self.drifts,
             "shards": self.shards,
+            "batch_scoring": self.batch_scoring,
+            "batch_groups": self.batch_groups,
+            "batched_samples": self.batched_samples,
+            "fallback_samples": self.fallback_samples,
             "restore_ms_mean": (
                 1000.0 * self.restore_seconds / self.restores if self.restores else 0.0
             ),
@@ -155,6 +163,7 @@ def run_fleet_soak(
     pipeline: str = "proposed",
     guard_policy: Optional[str] = None,
     n_shards: Optional[int] = None,
+    batch_scoring: bool = False,
     verify: int = 0,
     progress=None,
     manager_hook=None,
@@ -166,7 +175,12 @@ def run_fleet_soak(
     ``n_shards`` partitions the fleet over a
     :class:`~repro.fleet.sharding.ShardedFleetManager` worker pool
     (``None`` = one in-process manager); per-shard capacity stays
-    ``capacity``. ``verify`` re-runs the first ``verify`` devices
+    ``capacity``. ``batch_scoring`` buffers arrivals and feeds them via
+    :meth:`~repro.fleet.manager.FleetManager.submit_many`, so
+    same-signature sessions share stacked scoring GEMMs — records stay
+    byte-identical, which is exactly what ``verify`` proves when both
+    are on (the verification baseline is a *sequential* standalone run).
+    ``verify`` re-runs the first ``verify`` devices
     standalone and byte-compares (0 = skip; it dominates runtime for
     large fleets). ``progress`` is an optional callable invoked with a
     status line. ``manager_hook`` is called once with the live manager
@@ -190,25 +204,45 @@ def run_fleet_soak(
     sharded = n_shards is not None and int(n_shards) > 0
     if sharded:
         fm = ShardedFleetManager(
-            int(n_shards), capacity=capacity, spool_dir=spool_dir
+            int(n_shards), capacity=capacity, spool_dir=spool_dir,
+            batch_scoring=batch_scoring,
         )
     else:
-        fm = FleetManager(capacity=capacity, spool_dir=spool_dir)
+        fm = FleetManager(
+            capacity=capacity, spool_dir=spool_dir, batch_scoring=batch_scoring
+        )
     for dev, spec in specs.items():
         fm.add_device(dev, spec)
     if manager_hook is not None:
         manager_hook(fm)
+
+    # With batch scoring, arrivals are buffered and flushed through
+    # submit_many so one flush spans a whole batching window (sharded
+    # fleets split each flush across workers, so scale the buffer).
+    flush_every = capacity * (int(n_shards) if sharded else 1)
+    buffered: list = []
+
+    def flush() -> None:
+        if buffered:
+            fm.submit_many(buffered)
+            buffered.clear()
 
     t0 = time.perf_counter()
     done = 0
     for i, start, stop in interleave_schedule(lengths, feed_chunk, seed=seed):
         dev = device_ids[i]
         stream = streams[dev]
-        fm.submit(dev, stream.X[start:stop], stream.y[start:stop])
+        if batch_scoring:
+            buffered.append((dev, stream.X[start:stop], stream.y[start:stop]))
+            if len(buffered) >= flush_every:
+                flush()
+        else:
+            fm.submit(dev, stream.X[start:stop], stream.y[start:stop])
         done += 1
         if sharded and done % 256 == 0:
             # Bound the per-shard reply backlog: an OS pipe buffer filled
             # with uncollected replies would wedge worker and parent.
+            flush()
             fm.drain()
         if progress is not None and done % 500 == 0:
             if sharded:
@@ -218,6 +252,7 @@ def run_fleet_soak(
                     f"  {done} chunks, {fm.stats.evictions} evictions, "
                     f"{fm.stats.restores} restores"
                 )
+    flush()
     per_device = fm.finish_all()
     elapsed = time.perf_counter() - t0
     stats = fm.aggregate_stats() if sharded else fm.stats
@@ -248,6 +283,10 @@ def run_fleet_soak(
         restore_seconds=stats.restore_seconds,
         drifts=stats.drifts,
         shards=int(n_shards) if sharded else None,
+        batch_scoring=bool(batch_scoring),
+        batch_groups=stats.batch_groups,
+        batched_samples=stats.batched_samples,
+        fallback_samples=stats.fallback_samples,
         verified=verified,
         mismatches=mismatches,
     )

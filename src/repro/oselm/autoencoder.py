@@ -130,6 +130,31 @@ class OSELMAutoencoder:
             return np.mean((R - X) ** 2, axis=1)
         return np.mean(np.abs(R - X), axis=1)
 
+    @staticmethod
+    def score_batch_many(
+        instances: "list[OSELMAutoencoder]",
+        X: np.ndarray,
+        owners: np.ndarray,
+    ) -> np.ndarray:
+        """Anomaly scores for rows owned by different same-layer instances.
+
+        All ``instances`` must share the first one's random-layer weights
+        and ``error_metric``; ``owners[i]`` selects which instance's beta
+        scores row ``i``. The hidden activations are computed once with
+        the row-stable :meth:`~repro.oselm.random_layer.RandomLayer.transform_rowwise`
+        kernel and the betas are stacked ``(G, h, d)`` and gathered per
+        row, so ``np.matmul`` runs one ``(1, h) @ (h, d)`` product per
+        row — the same product, on the same operands, as the owner's
+        :meth:`score_rowwise`. Returns shape ``(n,)``.
+        """
+        ref = instances[0]
+        H = ref.core.layer.transform_rowwise(X)
+        betas = np.stack([inst.core.beta for inst in instances])
+        R = np.matmul(H[:, None, :], betas[owners])[:, 0, :]
+        if ref.error_metric == "mse":
+            return np.mean((R - X) ** 2, axis=1)
+        return np.mean(np.abs(R - X), axis=1)
+
     def state_nbytes(self) -> int:
         """Resident learned-state bytes (delegates to the core)."""
         return self.core.state_nbytes()

@@ -15,7 +15,7 @@ continuously retrained on every sample.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -81,6 +81,9 @@ class MultiInstanceModel:
         self.forgetting_factor = forgetting_factor
         #: telemetry hub (the process default; reassign for private capture)
         self.telemetry: Telemetry = get_telemetry()
+        # Externally computed (label, score) rows keyed to a stream index;
+        # see prime_scores. Never checkpointed — purely a serving cache.
+        self._primed: Optional[tuple] = None
 
     @property
     def is_fitted(self) -> bool:
@@ -101,6 +104,7 @@ class MultiInstanceModel:
             raise ConfigurationError(
                 f"X has {len(X)} samples but y has {len(y)} labels."
             )
+        self._primed = None
         for c in range(self.n_labels):
             Xc = X[y == c]
             if len(Xc) == 0:
@@ -118,6 +122,7 @@ class MultiInstanceModel:
         trains (the centroid-labelled mode of Algorithm 2's third part).
         Returns the index of the instance that was trained.
         """
+        self._primed = None
         x = as_vector(x, name="x", n_features=self.n_features)
         if label is None:
             label = self.predict_one(x)
@@ -132,6 +137,55 @@ class MultiInstanceModel:
                 "oselm.train", "sequential training steps", labels=("instance",)
             ).inc(instance=label)
         return int(label)
+
+    # -- score priming (fleet batched scoring) ------------------------------------
+
+    def prime_scores(
+        self,
+        labels: np.ndarray,
+        scores: np.ndarray,
+        *,
+        base_index: int,
+        index_fn: Callable[[], int],
+    ) -> None:
+        """Install precomputed ``(label, score)`` rows for upcoming samples.
+
+        ``labels[k]``/``scores[k]`` must be exactly what
+        :meth:`predict_with_score` would return for the sample the owner
+        will present when ``index_fn()`` reads ``base_index + k`` (the
+        fleet primes with the row-stable :meth:`score_batch_many` kernel,
+        which is bit-identical to the scalar path). While the cache is
+        installed, :meth:`predict_with_score` and
+        :meth:`predict_with_score_batch` serve from it instead of
+        touching the instances; any training call (:meth:`fit_initial`,
+        :meth:`partial_fit_one`) or :meth:`set_state` invalidates it, and
+        an ``index_fn`` reading outside the primed range falls through to
+        the computed path. Correctness therefore never depends on the
+        caller predicting *whether* the model will mutate mid-chunk —
+        only on the primed values being right for the indices they cover.
+        """
+        labels = np.asarray(labels, dtype=np.int64)
+        scores = np.asarray(scores, dtype=np.float64)
+        if labels.shape != scores.shape or labels.ndim != 1:
+            raise ConfigurationError(
+                "primed labels/scores must be 1-D arrays of equal length."
+            )
+        self._primed = (labels, scores, int(base_index), index_fn)
+
+    def clear_primed(self) -> None:
+        """Drop any primed rows (idempotent)."""
+        self._primed = None
+
+    def _primed_offset(self, length: int) -> Optional[int]:
+        """Offset into the primed rows covering ``length`` samples, or None."""
+        primed = self._primed
+        if primed is None:
+            return None
+        labels, scores, base, index_fn = primed
+        off = index_fn() - base
+        if 0 <= off and off + length <= len(scores):
+            return off
+        return None
 
     # -- inference ----------------------------------------------------------------
 
@@ -148,6 +202,14 @@ class MultiInstanceModel:
 
     def predict_with_score(self, x: np.ndarray) -> tuple[int, float]:
         """``(label, anomaly_score)`` — Algorithm 1 lines 6-7 in one pass."""
+        if self._primed is not None:
+            off = self._primed_offset(1)
+            if off is not None:
+                labels, scores = self._primed[0], self._primed[1]
+                tel = self.telemetry
+                if tel.enabled:
+                    tel.registry.counter("oselm.predict", "label predictions").inc()
+                return int(labels[off]), float(scores[off])
         scores = self.scores_one(x)
         c = int(scores.argmin())
         tel = self.telemetry
@@ -184,6 +246,15 @@ class MultiInstanceModel:
         matrix ops instead of a per-sample Python loop. Returns
         ``(n,)`` int labels and ``(n,)`` float scores.
         """
+        if self._primed is not None:
+            n = len(np.asarray(X))
+            off = self._primed_offset(n)
+            if off is not None:
+                labels, scores = self._primed[0], self._primed[1]
+                tel = self.telemetry
+                if tel.enabled:
+                    tel.registry.counter("oselm.predict", "label predictions").inc(n)
+                return labels[off : off + n], scores[off : off + n]
         S = self.scores_rowwise(X)
         labels = S.argmin(axis=1)
         tel = self.telemetry
@@ -194,6 +265,50 @@ class MultiInstanceModel:
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Batch argmin-score labels, shape ``(n,)``."""
         return self.scores(X).argmin(axis=1)
+
+    @staticmethod
+    def score_batch_many(
+        models: Sequence["MultiInstanceModel"],
+        X: np.ndarray,
+        owners: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One forward pass scoring rows owned by *different* models.
+
+        ``X`` stacks pending rows from many devices; ``owners[i]`` is the
+        index into ``models`` of the model that owns row ``i``. Every
+        model must share the first model's random-layer weights (the
+        fleet's :func:`~repro.fleet.batching.model_signature` guarantees
+        this) so the hidden activation ``H`` is computed once, while the
+        learned betas are stacked into a 3-D tensor and gathered per row.
+        Per-row results are bit-identical to each owner's
+        :meth:`predict_with_score_batch` — row ``i`` issues the same
+        ``(1, h) @ (h, d)`` product against the same beta as the
+        per-device path.
+
+        Returns ``(labels, scores)`` of shape ``(n,)`` each.
+        """
+        if not models:
+            raise ConfigurationError("score_batch_many needs at least one model.")
+        first = models[0]
+        X = as_matrix(X, name="X", n_features=first.n_features)
+        owners = np.asarray(owners, dtype=np.intp)
+        if owners.shape != (len(X),):
+            raise ConfigurationError(
+                f"owners must be shape ({len(X)},), got {owners.shape}."
+            )
+        for model in models:
+            if not model.is_fitted:
+                raise NotFittedError(model, "score_batch_many")
+        S = np.empty((len(X), first.n_labels), dtype=np.float64)
+        for c in range(first.n_labels):
+            S[:, c] = OSELMAutoencoder.score_batch_many(
+                [model.instances[c] for model in models], X, owners
+            )
+        labels = S.argmin(axis=1)
+        # No oselm.predict increment here: the kernel *primes* scores; the
+        # prediction is counted when a pipeline consumes the primed row, so
+        # batched and sequential runs report identical counters.
+        return labels, S[np.arange(len(S)), labels]
 
     def state_nbytes(self) -> int:
         """Total resident learned-state bytes across instances."""
@@ -207,6 +322,7 @@ class MultiInstanceModel:
 
     def set_state(self, state: dict) -> None:
         """Restore a :meth:`get_state` snapshot."""
+        self._primed = None
         instances = state["instances"]
         if len(instances) != self.n_labels:
             raise ConfigurationError(

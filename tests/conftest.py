@@ -7,11 +7,22 @@ scale up selectively.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.datasets import DataStream, GaussianConcept
 from repro.oselm import MultiInstanceModel
+
+# Property-based tests must be as reproducible as the pipelines they
+# check: derandomize pins every hypothesis run to the same example
+# sequence, so a CI failure replays locally without fishing for the
+# seed banner. Bump examples locally with HYPOTHESIS_PROFILE=dev.
+settings.register_profile("repro", derandomize=True, deadline=None)
+settings.register_profile("dev", deadline=None, max_examples=200)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:

@@ -138,6 +138,33 @@ class TestMainCli:
         )
         assert gate.main(["--history", str(path)]) == 0
 
+    def test_host_change_passes_unless_any_host(self, tmp_path):
+        # A new CI runner must not fail against the old runner's medians —
+        # unless --any-host explicitly asks for cross-host comparison.
+        entries = [entry(v, host="old-runner") for v in FLAT] + [
+            entry(700.0, host="new-runner")
+        ]
+        path = write_history(tmp_path / "h.jsonl", entries)
+        assert gate.main(["--history", str(path)]) == 0
+        assert gate.main(["--history", str(path), "--any-host"]) == 1
+
+    def test_batched_mode_gates_independently(self, tmp_path):
+        # bench_fleet --batch-scoring appends under mode "smoke-batched";
+        # a drop there must fail even while plain "smoke" stays flat, and
+        # vice versa — the (bench, mode) grouping keeps them separate.
+        batched_drop = (
+            [entry(v) for v in FLAT]
+            + [entry(v * 3, mode="smoke-batched") for v in FLAT[:-1]]
+            + [entry(2000.0, mode="smoke-batched")]  # -33% vs ~3000 median
+        )
+        path = write_history(tmp_path / "h.jsonl", batched_drop)
+        assert gate.main(["--history", str(path)]) == 1
+        flat_both = [entry(v) for v in FLAT] + [
+            entry(v * 3, mode="smoke-batched") for v in FLAT
+        ]
+        path = write_history(tmp_path / "h2.jsonl", flat_both)
+        assert gate.main(["--history", str(path)]) == 0
+
 
 class TestAppendHistory:
     def test_appends_schema_complete_records(self, tmp_path):

@@ -1,0 +1,110 @@
+"""Differential golden suite: batched fleet == sequential fleet, in bytes.
+
+The batched scoring path (``FleetManager(batch_scoring=True)`` +
+``submit_many``) promises records **byte-identical** to the sequential
+path for every pipeline family — whether a session actually batches,
+falls back, or flips between the two mid-stream. This suite runs the
+same small fleet twice, sequentially and batched, across all five
+pipeline families × both paper datasets × guard on/off, with capacity
+below the device count so every case also crosses an LRU evict/restore
+mid-soak (an eviction pickles the pipeline while primed rows may have
+just been consumed; a restore rebuilds it unprimed).
+
+The per-sample floats are compared via ``tobytes`` — "close" is not a
+pass. ``tests/test_fleet_batching.py`` covers the planner/kernel units;
+the big churn soak (1000 devices) runs in ``benchmarks/bench_fleet.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import ExperimentSpec, build_experiment
+from repro.fleet import FleetManager
+
+#: every registered pipeline family, with small fast kwargs
+PIPELINES = {
+    "proposed": {"window_size": 60},
+    "baseline": {},
+    "onlad": {"forgetting_factor": 0.95},
+    "quanttree": {"batch_size": 100, "n_bins": 8},
+    "spll": {"batch_size": 100},
+}
+
+#: the paper's two evaluation datasets, shrunk to unit-test size
+DATASETS = {
+    "nslkdd": {"n_train": 120, "n_test": 160, "drift_at": 100},
+    "coolingfan": {"n_train": 120, "n_test": 160, "drift_at": 100},
+}
+
+N_TEST = 160
+FEED = 40  # four interleaved arrival rounds per device
+N_DEVICES = 3
+CAPACITY = 2  # < N_DEVICES: every round crosses an evict + restore
+
+
+def _specs(pipeline: str, dataset: str, guard: bool) -> dict:
+    return {
+        f"dev{i}": ExperimentSpec(
+            name=f"{pipeline}-{dataset}-{i}",
+            pipeline=pipeline,
+            dataset=dataset,
+            seed=40 + i,
+            model_seed=5,  # one firmware image: shared random layer
+            pipeline_kwargs=PIPELINES[pipeline],
+            dataset_kwargs=dict(DATASETS[dataset]),
+            guard_policy="impute_last_good" if guard else None,
+        )
+        for i in range(N_DEVICES)
+    }
+
+
+def _run_fleet(specs: dict, spool, *, batch_scoring: bool):
+    streams = {dev: build_experiment(spec).test for dev, spec in specs.items()}
+    with FleetManager(
+        capacity=CAPACITY, spool_dir=spool, batch_scoring=batch_scoring
+    ) as fm:
+        for dev, spec in specs.items():
+            fm.add_device(dev, spec)
+        for start in range(0, N_TEST, FEED):
+            fm.submit_many(
+                [
+                    (
+                        dev,
+                        streams[dev].X[start : start + FEED],
+                        streams[dev].y[start : start + FEED],
+                    )
+                    for dev in specs
+                ]
+            )
+        records = fm.finish_all()
+        return records, fm.stats
+
+
+def _assert_identical(a: list, b: list) -> None:
+    assert len(a) == len(b)
+    assert a == b
+    scores_a = np.array([r.anomaly_score for r in a], dtype=np.float64)
+    scores_b = np.array([r.anomaly_score for r in b], dtype=np.float64)
+    assert scores_a.tobytes() == scores_b.tobytes()
+
+
+@pytest.mark.parametrize("dataset", sorted(DATASETS))
+@pytest.mark.parametrize("pipeline", sorted(PIPELINES))
+@pytest.mark.parametrize("guard", [False, True], ids=["noguard", "guard"])
+def test_batched_soak_matches_sequential(pipeline, dataset, guard, tmp_path):
+    specs = _specs(pipeline, dataset, guard)
+    sequential, _ = _run_fleet(specs, tmp_path / "seq", batch_scoring=False)
+    batched, stats = _run_fleet(specs, tmp_path / "bat", batch_scoring=True)
+    for dev in specs:
+        _assert_identical(sequential[dev], batched[dev])
+    # The churn axis really exercised the LRU mid-soak.
+    assert stats.evictions > 0 and stats.restores > 0
+    if guard or pipeline == "onlad":
+        # Guarded sessions and per-sample trainers must stay sequential.
+        assert stats.batched_samples == 0
+        assert stats.fallback_samples == N_DEVICES * N_TEST
+    else:
+        # Everyone else shares stacked GEMMs for the bulk of the stream.
+        assert stats.batched_samples > 0

@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) on the OS-ELM training/scoring core.
+
+Three families of invariants back the fleet's batched scoring tentpole:
+
+* **Sequential-update equivalence** — ``partial_fit`` on a chunk folds
+  the same information as ``partial_fit_one`` row by row. The two paths
+  are algebraically identical (block RLS vs m rank-1 steps) but round
+  differently, so the comparison is ``allclose``, not bytes.
+* **Batch-vs-scalar scoring identity** — ``predict_with_score_batch``
+  (and the cross-model ``score_batch_many`` stacked GEMM) must be
+  **byte-identical** to the per-sample ``predict_with_score`` loop; this
+  is the contract the fleet's golden differential suite leans on.
+* **State round-trips** — ``get_state``/``set_state`` reproduce the
+  model exactly, even into a model built from a different seed (the
+  fleet evict/restore path).
+
+Seeds are drawn by hypothesis and expanded through ``default_rng`` so
+inputs stay numerically tame while shrinking still works. The suite runs
+under the deterministic profile registered in ``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oselm import OSELM, MultiInstanceModel
+
+seeds = st.integers(0, 2**31 - 1)
+
+
+def _random_data(seed: int, n: int, d: int) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0.0, 1.0, size=(n, d))
+
+
+def _fitted_pair(seed: int, d: int, h: int):
+    """Two independently built but identically trained OSELM autoencoders."""
+    X0 = _random_data(seed, max(2 * h, 12), d)
+    models = []
+    for _ in range(2):
+        m = OSELM(d, h, d, seed=seed + 1)
+        m.fit_initial(X0, X0)
+        models.append(m)
+    return models
+
+
+class TestSequentialEquivalence:
+    @given(seeds, st.integers(1, 3), st.integers(2, 6), st.integers(1, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_partial_fit_chunk_equals_one_at_a_time(self, seed, d, h, n_extra):
+        chunked, rowwise = _fitted_pair(seed, d, h)
+        X = _random_data(seed + 2, n_extra, d)
+        chunked.partial_fit(X, X)
+        for row in X:
+            rowwise.partial_fit_one(row, row)
+        assert chunked.n_samples_seen == rowwise.n_samples_seen
+        np.testing.assert_allclose(
+            chunked.beta, rowwise.beta, rtol=1e-8, atol=1e-10
+        )
+        np.testing.assert_allclose(chunked.P, rowwise.P, rtol=1e-8, atol=1e-10)
+        probe = _random_data(seed + 3, 5, d)
+        np.testing.assert_allclose(
+            chunked.predict(probe), rowwise.predict(probe), rtol=1e-8, atol=1e-12
+        )
+
+    @given(seeds, st.integers(1, 3), st.integers(2, 6), st.integers(2, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_chunk_split_invariance(self, seed, d, h, n_extra):
+        """Folding one chunk vs two half-chunks lands on the same state."""
+        whole, halves = _fitted_pair(seed, d, h)
+        X = _random_data(seed + 2, n_extra, d)
+        whole.partial_fit(X, X)
+        cut = n_extra // 2
+        halves.partial_fit(X[:cut], X[:cut])
+        halves.partial_fit(X[cut:], X[cut:])
+        np.testing.assert_allclose(whole.beta, halves.beta, rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(whole.P, halves.P, rtol=1e-8, atol=1e-10)
+
+
+class TestBatchScoringIdentity:
+    @given(seeds, st.integers(1, 4), st.integers(1, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_batch_matches_scalar_bytes(self, seed, d, n):
+        model = MultiInstanceModel(d, 4, 2, seed=seed)
+        X0 = _random_data(seed, 24, d)
+        model.fit_initial(X0, np.asarray([0, 1] * 12))
+        X = _random_data(seed + 1, n, d)
+        labels_b, scores_b = model.predict_with_score_batch(X)
+        scalars = [model.predict_with_score(x) for x in X]
+        assert labels_b.tolist() == [lab for lab, _ in scalars]
+        assert (
+            scores_b.tobytes()
+            == np.array([s for _, s in scalars], dtype=np.float64).tobytes()
+        )
+
+    @given(seeds, st.integers(1, 3), st.integers(2, 4), st.integers(1, 16))
+    @settings(max_examples=20, deadline=None)
+    def test_score_batch_many_matches_per_model_bytes(self, seed, d, G, n):
+        """The fleet's stacked cross-model GEMM == each owner's own batch."""
+        rng = np.random.default_rng(seed)
+        models = []
+        for g in range(G):
+            m = MultiInstanceModel(d, 4, 2, seed=seed)  # shared random layer
+            X0 = _random_data(seed + g, 24, d)
+            m.fit_initial(X0, np.asarray([0, 1] * 12))
+            models.append(m)
+        X = _random_data(seed + 7, n, d)
+        owners = rng.integers(0, G, size=n)
+        labels, scores = MultiInstanceModel.score_batch_many(models, X, owners)
+        for i, (x, g) in enumerate(zip(X, owners)):
+            lab, score = models[g].predict_with_score(x)
+            assert labels[i] == lab
+            assert scores[i].tobytes() == np.float64(score).tobytes()
+
+
+class TestStateRoundTrip:
+    @given(seeds, st.integers(1, 3), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_oselm_state_survives_foreign_model(self, seed, d, n_extra):
+        src = OSELM(d, 4, d, seed=seed)
+        X0 = _random_data(seed, 12, d)
+        src.fit_initial(X0, X0)
+        for row in _random_data(seed + 1, n_extra, d):
+            src.partial_fit_one(row, row)
+        dst = OSELM(d, 4, d, seed=seed + 99)  # different random layer
+        dst.set_state(src.get_state())
+        probe = _random_data(seed + 2, 6, d)
+        assert dst.predict(probe).tobytes() == src.predict(probe).tobytes()
+        assert dst.n_samples_seen == src.n_samples_seen
+
+    @given(seeds, st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_multi_instance_state_round_trip_bytes(self, seed, d):
+        src = MultiInstanceModel(d, 4, 2, seed=seed)
+        X0 = _random_data(seed, 24, d)
+        y0 = np.asarray([0, 1] * 12)
+        src.fit_initial(X0, y0)
+        src.partial_fit_one(_random_data(seed + 1, 1, d)[0], 1)
+        dst = MultiInstanceModel(d, 4, 2, seed=seed + 7)
+        dst.set_state(src.get_state())
+        X = _random_data(seed + 2, 9, d)
+        a = src.predict_with_score_batch(X)
+        b = dst.predict_with_score_batch(X)
+        assert a[0].tobytes() == b[0].tobytes()
+        assert a[1].tobytes() == b[1].tobytes()
+
+    @given(seeds, st.integers(1, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_set_state_idempotent(self, seed, d):
+        m = OSELM(d, 3, d, seed=seed)
+        X0 = _random_data(seed, 10, d)
+        m.fit_initial(X0, X0)
+        state = m.get_state()
+        m.set_state(state)
+        again = m.get_state()
+        for key in ("weights", "biases", "beta", "P"):
+            assert state[key].tobytes() == again[key].tobytes()
+        assert state["n_samples_seen"] == again["n_samples_seen"]
