@@ -46,7 +46,7 @@ SMOKE_AB = dict(n_devices=12, capacity=12, n_test=120, feed_chunk=60, verify=0)
 
 def run_soak(
     params: dict, *, seed: int = 0, n_shards=None, batch_scoring=False,
-    progress=None,
+    supervise=None, chaos=None, progress=None,
 ):
     with tempfile.TemporaryDirectory(prefix="repro-fleet-bench-") as tmp:
         return run_fleet_soak(
@@ -58,6 +58,8 @@ def run_soak(
             feed_chunk=params["feed_chunk"],
             n_shards=n_shards,
             batch_scoring=batch_scoring,
+            supervise=supervise,
+            chaos=chaos,
             verify=params["verify"],
             progress=progress,
         )
@@ -121,6 +123,13 @@ def main(argv=None) -> int:
              "shape-homogeneous fleet",
     )
     parser.add_argument(
+        "--chaos", type=int, default=None, metavar="N",
+        help="supervised chaos soak: inject N seeded faults "
+             "(kill/hang/corrupt) and record recovery metrics "
+             "(respawns, replayed samples, recovery seconds); "
+             "requires --shards",
+    )
+    parser.add_argument(
         "--out",
         default="BENCH_fleet.json",
         help="where to write the JSON report (default: ./BENCH_fleet.json)",
@@ -138,17 +147,30 @@ def main(argv=None) -> int:
     params = SMOKE if args.smoke else FULL
     sharded = args.shards is not None and args.shards > 0
 
+    supervise = None
+    if args.chaos is not None:
+        from repro.fleet import SupervisorConfig
+
+        if not sharded:
+            parser.error("--chaos requires --shards N (faults hit workers)")
+        # A tight deadline keeps hang-escalation fast in CI; the chaos
+        # hang sleeps 4x this, so it is always caught, never waited out.
+        supervise = SupervisorConfig(request_timeout=2.0, seed=args.seed)
+
     shard_note = f", {args.shards} shards" if sharded else ""
+    chaos_note = f", {args.chaos} chaos events" if args.chaos is not None else ""
     print(
         f"fleet soak: {params['n_devices']} devices, "
         f"capacity {params['capacity']}, {params['n_test']} samples/device"
-        f"{shard_note}"
+        f"{shard_note}{chaos_note}"
     )
     report = run_soak(
         params,
         seed=args.seed,
         n_shards=args.shards if sharded else None,
         batch_scoring=args.batch_scoring,
+        supervise=supervise,
+        chaos=args.chaos,
         progress=print,
     )
     mode = "smoke" if args.smoke else "full"
@@ -156,6 +178,8 @@ def main(argv=None) -> int:
         mode += f"-sharded{args.shards}"
     if args.batch_scoring:
         mode += "-batched"
+    if args.chaos is not None:
+        mode += "-chaos"
     data = report.to_json()
     data["mode"] = mode
     data["seed"] = args.seed
@@ -189,6 +213,10 @@ def main(argv=None) -> int:
         if ab is not None:
             metrics["ab_batched_samples_per_sec"] = ab["batched_samples_per_sec"]
             metrics["ab_speedup"] = ab["speedup"]
+        if supervise is not None:
+            metrics["respawns"] = report.respawns
+            metrics["replayed_samples"] = report.replayed_samples
+            metrics["recovery_seconds"] = report.recovery_seconds
         append_history(args.history or DEFAULT_HISTORY, "fleet", mode, metrics)
 
     print(
@@ -206,6 +234,20 @@ def main(argv=None) -> int:
             f"{report.fallback_samples} fallback samples "
             f"in {report.batch_groups} group GEMMs"
         )
+    if supervise is not None:
+        print(
+            f"  chaos: {len(report.chaos_events or [])} faults, "
+            f"{report.respawns} respawns, "
+            f"{report.replayed_samples} samples replayed in "
+            f"{report.recovery_seconds:.2f} s, "
+            f"quarantined {report.quarantined}"
+        )
+        if report.failed_recoveries:
+            print(
+                f"FAIL: {report.failed_recoveries} shard(s) unrecoverable",
+                file=sys.stderr,
+            )
+            return 1
     print(f"  report -> {args.out}")
     if report.mismatches:
         print(

@@ -384,6 +384,18 @@ def cmd_fleet(args) -> None:
     from .fleet import run_fleet_soak
 
     sharded = args.shards is not None and args.shards > 0
+    supervise_cfg = None
+    if args.supervise or args.fleet_chaos is not None:
+        from .fleet import SupervisorConfig
+
+        if not sharded:
+            raise ConfigurationError(
+                "--supervise/--fleet-chaos require --shards N (supervision "
+                "recovers worker processes; there is none to recover in-process)."
+            )
+        supervise_cfg = SupervisorConfig(
+            request_timeout=args.request_timeout, seed=args.seed
+        )
     live: dict = {}
 
     def _hook(fm) -> None:
@@ -409,6 +421,11 @@ def cmd_fleet(args) -> None:
             return fm.stats.to_json(include_devices=True)
 
         def _health() -> dict:
+            fm = live.get("manager")
+            if supervise_cfg is not None and fm is not None:
+                # Supervisor health is pure parent-side state — safe to
+                # read while the soak thread owns the worker pipes.
+                return fm.health()
             return {"status": "ok", "devices": args.devices}
 
         server = MetricsServer(
@@ -429,6 +446,8 @@ def cmd_fleet(args) -> None:
             guard_policy=args.guard_policy,
             n_shards=args.shards if sharded else None,
             batch_scoring=args.batch_scoring,
+            supervise=supervise_cfg,
+            chaos=args.fleet_chaos,
             verify=args.fleet_verify,
             progress=print,
             manager_hook=_hook,
@@ -557,6 +576,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="fleet command: score same-signature sessions "
                              "in stacked cross-session GEMMs (records stay "
                              "byte-identical; see docs/fleet.md)")
+    parser.add_argument("--supervise", action="store_true",
+                        help="fleet command: self-healing shards — journal "
+                             "feeds, respawn dead/hung workers, restore "
+                             "sessions byte-identically (needs --shards)")
+    parser.add_argument("--fleet-chaos", type=int, default=None, metavar="N",
+                        help="fleet command: inject N seeded faults "
+                             "(kill/hang/corrupt) during the soak to prove "
+                             "recovery (implies --supervise)")
+    parser.add_argument("--request-timeout", type=float, default=30.0,
+                        metavar="SEC",
+                        help="fleet command: per-request deadline before a "
+                             "worker counts as hung (with --supervise)")
     args = parser.parse_args(argv)
     try:
         # Same pairing rule as StreamPipeline.run; the CLI additionally

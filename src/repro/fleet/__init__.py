@@ -18,16 +18,24 @@ See ``docs/fleet.md``.
 """
 
 from .batching import BatchGroup, BatchPlanner, model_signature
+from .chaos import ChaosController, ChaosEvent, make_chaos_schedule
 from .manager import FleetManager, FleetStats
 from .sharding import ShardedFleetManager, shard_of
 from .soak import SoakReport, make_fleet_specs, run_fleet_soak, verify_device
+from .supervisor import FleetSupervisor, JournalEntry, SupervisorConfig
 
 __all__ = [
     "BatchGroup",
     "BatchPlanner",
     "model_signature",
+    "ChaosController",
+    "ChaosEvent",
+    "make_chaos_schedule",
     "FleetManager",
     "FleetStats",
+    "FleetSupervisor",
+    "JournalEntry",
+    "SupervisorConfig",
     "ShardedFleetManager",
     "shard_of",
     "SoakReport",

@@ -1,0 +1,182 @@
+"""Seeded chaos harness for the sharded fleet — kill, hang, corrupt.
+
+The supervisor's recovery claims are only worth what survives an actual
+SIGKILL, so this module schedules real faults at deterministic points of
+a :func:`~repro.fleet.soak.run_fleet_soak` replay:
+
+``kill``
+    ``SIGKILL`` a shard's worker process mid-stream — the hard crash.
+    Recovery must respawn the shard, re-materialize its sessions from
+    spool checkpoints, and replay the journal byte-identically.
+``hang``
+    Wedge a worker in a long sleep so it stops answering. The
+    per-request deadline must catch it and escalate
+    (terminate -> kill -> respawn).
+``corrupt``
+    Flip one bit of a device's spool checkpoint on disk (the flash/SD
+    error model from :mod:`repro.resilience.faults`). The next restore
+    must quarantine that one device and keep serving the rest.
+
+Like the guard-layer chaos harness (:mod:`repro.guard.chaos`), every
+choice — event kind, injection point, victim shard, corrupt target — is
+drawn from :func:`numpy.random.default_rng` seeded off the fleet seed,
+so a chaos soak is exactly reproducible and its recovery goldens can
+assert byte-identity against an unkilled run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError
+
+__all__ = ["ChaosEvent", "ChaosController", "make_chaos_schedule"]
+
+#: Seed-sequence domain tag for the chaos RNG (distinct from the
+#: supervisor's jitter domain and the dataset streams).
+_CHAOS_DOMAIN = 0xC4405
+
+#: All fault kinds the controller knows how to inject.
+KINDS: Tuple[str, ...] = ("kill", "hang", "corrupt")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault: *what* to break, *when*, and *where*."""
+
+    kind: str
+    #: soak chunk index the fault fires at (checked before each submit).
+    at_chunk: int
+    #: victim shard.
+    shard: int
+    #: seeded selector for secondary choices (which spool file to flip,
+    #: which bit) so injection needs no live RNG.
+    pick: int = 0
+
+
+def make_chaos_schedule(
+    n_chunks: int,
+    n_shards: int,
+    *,
+    seed: int = 0,
+    n_events: int = 3,
+    kinds: Sequence[str] = KINDS,
+) -> Tuple[ChaosEvent, ...]:
+    """Draw a deterministic fault schedule for one soak.
+
+    Events land in the middle 80% of the replay (a fault before any
+    state exists, or after the last feed, proves nothing) at distinct
+    chunk indices, cycling through ``kinds`` in order; victim shards and
+    ``pick`` selectors come from the same seeded stream.
+    """
+    for kind in kinds:
+        if kind not in KINDS:
+            raise ConfigurationError(f"unknown chaos kind {kind!r} (use {KINDS}).")
+    if int(n_events) < 1:
+        raise ConfigurationError(f"n_events must be >= 1, got {n_events!r}.")
+    rng = np.random.default_rng((int(seed), _CHAOS_DOMAIN))
+    lo = max(1, int(n_chunks) // 10)
+    hi = max(lo + 1, (9 * int(n_chunks)) // 10)
+    span = np.arange(lo, hi)
+    n = min(int(n_events), len(span))
+    at = np.sort(rng.choice(span, size=n, replace=False))
+    events = []
+    for i, chunk in enumerate(at):
+        events.append(
+            ChaosEvent(
+                kind=kinds[i % len(kinds)],
+                at_chunk=int(chunk),
+                shard=int(rng.integers(0, int(n_shards))),
+                pick=int(rng.integers(0, 2**30)),
+            )
+        )
+    return tuple(events)
+
+
+class ChaosController:
+    """Fires a :func:`make_chaos_schedule` against a live supervised fleet.
+
+    The soak calls :meth:`maybe_inject` with its chunk counter before
+    each submit; every due event is injected exactly once and logged to
+    :attr:`applied` (kind, chunk, shard, detail) for the soak report.
+    """
+
+    def __init__(
+        self,
+        schedule: Sequence[ChaosEvent],
+        manager,
+        *,
+        spool_dir,
+        hang_seconds: Optional[float] = None,
+    ) -> None:
+        if manager.supervisor is None:
+            raise ConfigurationError(
+                "chaos injection requires a supervised ShardedFleetManager "
+                "(it exists to prove the supervisor's recovery)."
+            )
+        self.schedule = sorted(schedule, key=lambda e: e.at_chunk)
+        self.manager = manager
+        self.spool_dir = Path(spool_dir)
+        timeout = manager.supervisor.config.request_timeout
+        #: a hang must outlive the request deadline or it is not a hang.
+        self.hang_seconds = (
+            float(hang_seconds)
+            if hang_seconds is not None
+            else (4.0 * timeout if timeout is not None else 30.0)
+        )
+        self.applied: List[dict] = []
+        self._next = 0
+
+    def maybe_inject(self, chunk_index: int) -> None:
+        """Inject every event scheduled at or before ``chunk_index``."""
+        while (
+            self._next < len(self.schedule)
+            and self.schedule[self._next].at_chunk <= chunk_index
+        ):
+            event = self.schedule[self._next]
+            self._next += 1
+            detail = self._inject(event)
+            self.applied.append(
+                {
+                    "kind": event.kind,
+                    "at_chunk": event.at_chunk,
+                    "shard": event.shard,
+                    "detail": detail,
+                }
+            )
+
+    def _inject(self, event: ChaosEvent) -> str:
+        shard = int(event.shard) % self.manager.n_shards
+        if event.kind == "kill":
+            pid = self.manager.worker_pid(shard)
+            os.kill(pid, signal.SIGKILL)
+            return f"SIGKILL pid {pid}"
+        if event.kind == "hang":
+            self.manager.inject_hang(shard, self.hang_seconds)
+            return f"hang {self.hang_seconds:g}s"
+        # corrupt: force-evict one resident session (spooling its fresh
+        # state), then flip one bit of that spool — the victim's next
+        # feed *must* restore from the damaged file, so the fault is
+        # observed deterministically instead of racing later re-spools.
+        # Fall through shards until one has a resident session.
+        from ..resilience import flip_bit
+
+        for probe in range(self.manager.n_shards):
+            candidate = (shard + probe) % self.manager.n_shards
+            device_id = self.manager.force_evict(candidate, event.pick)
+            if not device_id:
+                continue
+            target = self.spool_dir / f"shard{candidate}" / f"{device_id}.fleetck"
+            # flip a payload bit (past the fixed header) so the load
+            # fails its checksum, not its magic.
+            size = target.stat().st_size
+            bit = (min(size - 1, 64 + event.pick % max(1, size - 65))) * 8 + 3
+            flip_bit(target, bit)
+            return f"flip_bit {target.name} (shard {candidate})"
+        return "corrupt skipped: no resident sessions yet"

@@ -35,7 +35,11 @@ from ..engine.interceptors import (
 )
 from ..engine.session import StreamSession
 from ..engine.spec import ExperimentSpec
-from ..utils.exceptions import ConfigurationError
+from ..utils.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    DeviceQuarantinedError,
+)
 from ..utils.hooks import default_telemetry
 from .batching import BatchPlanner
 
@@ -64,6 +68,10 @@ class FleetStats:
     batch_groups: int = 0
     batched_samples: int = 0
     fallback_samples: int = 0
+    quarantined: int = 0
+    corrupt_checkpoints: int = 0
+    session_checkpoints: int = 0
+    shed_sessions: int = 0
     device_samples: Dict[str, int] = field(default_factory=dict)
     device_drifts: Dict[str, int] = field(default_factory=dict)
 
@@ -87,6 +95,10 @@ class FleetStats:
             "batch_groups": self.batch_groups,
             "batched_samples": self.batched_samples,
             "fallback_samples": self.fallback_samples,
+            "quarantined": self.quarantined,
+            "corrupt_checkpoints": self.corrupt_checkpoints,
+            "session_checkpoints": self.session_checkpoints,
+            "shed_sessions": self.shed_sessions,
         }
         if include_devices:
             out["device_samples"] = dict(self.device_samples)
@@ -108,6 +120,10 @@ class FleetStats:
             batch_groups=int(data.get("batch_groups", 0)),
             batched_samples=int(data.get("batched_samples", 0)),
             fallback_samples=int(data.get("fallback_samples", 0)),
+            quarantined=int(data.get("quarantined", 0)),
+            corrupt_checkpoints=int(data.get("corrupt_checkpoints", 0)),
+            session_checkpoints=int(data.get("session_checkpoints", 0)),
+            shed_sessions=int(data.get("shed_sessions", 0)),
             device_samples=dict(data.get("device_samples", {})),
             device_drifts=dict(data.get("device_drifts", {})),
         )
@@ -129,6 +145,10 @@ class FleetStats:
         self.batch_groups += other.batch_groups
         self.batched_samples += other.batched_samples
         self.fallback_samples += other.fallback_samples
+        self.quarantined += other.quarantined
+        self.corrupt_checkpoints += other.corrupt_checkpoints
+        self.session_checkpoints += other.session_checkpoints
+        self.shed_sessions += other.shed_sessions
         for dev, n in other.device_samples.items():
             self.device_samples[dev] = self.device_samples.get(dev, 0) + n
         for dev, n in other.device_drifts.items():
@@ -188,6 +208,7 @@ class FleetManager:
         self._resident: "OrderedDict[str, StreamSession]" = OrderedDict()
         self._evicted: Dict[str, Path] = {}
         self._finished: Dict[str, List] = {}
+        self._quarantined: Dict[str, str] = {}
         self._closed = False
 
     # -- registration ----------------------------------------------------------
@@ -209,6 +230,11 @@ class FleetManager:
         """Device ids currently holding a live session (LRU order, coldest first)."""
         return list(self._resident)
 
+    @property
+    def quarantined(self) -> Dict[str, str]:
+        """Benched devices: ``device_id -> reason`` (see :meth:`quarantine`)."""
+        return dict(self._quarantined)
+
     # -- the hot path ----------------------------------------------------------
 
     def submit(self, device_id: str, Xc: np.ndarray, yc: np.ndarray) -> list:
@@ -219,6 +245,8 @@ class FleetManager:
         session when over capacity.
         """
         self._check_open()
+        if device_id in self._quarantined:
+            raise DeviceQuarantinedError(device_id, self._quarantined[device_id])
         session = self._touch(device_id)
         records = session.feed(Xc, yc)
         n = len(Xc)
@@ -347,7 +375,9 @@ class FleetManager:
             return self._finished[device_id]
         if device_id not in self._specs:
             raise ConfigurationError(f"unknown device {device_id!r}.")
-        if device_id not in self._resident and device_id not in self._evicted:
+        if device_id in self._quarantined or (
+            device_id not in self._resident and device_id not in self._evicted
+        ):
             self._finished[device_id] = []
             return []
         session = self._touch(device_id)
@@ -360,6 +390,163 @@ class FleetManager:
     def finish_all(self) -> Dict[str, list]:
         """Finish every registered device; returns ``device_id -> records``."""
         return {dev: self.finish(dev) for dev in self._specs}
+
+    # -- fault-tolerance surface (used by repro.fleet.supervisor) --------------
+
+    def quarantine(self, device_id: str, reason: str) -> None:
+        """Bench a device: drop its session/spool, refuse further samples.
+
+        The quarantine policy turns one poisoned device into a contained,
+        observable incident instead of a manager-killing exception: the
+        device's live session is aborted, its spool entry is dropped,
+        and every later :meth:`submit` for it raises
+        :class:`DeviceQuarantinedError` while the rest of the fleet
+        keeps serving. Emits a structured ``fleet_device_quarantined``
+        event. Idempotent per device.
+        """
+        self._check_open()
+        device_id = str(device_id)
+        if device_id not in self._specs:
+            raise ConfigurationError(f"unknown device {device_id!r}.")
+        if device_id in self._quarantined:
+            return
+        session = self._resident.pop(device_id, None)
+        if session is not None:
+            session.abort()
+            self._set_resident_gauge()
+        self._evicted.pop(device_id, None)
+        self._quarantined[device_id] = str(reason)
+        self.stats.quarantined += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter("fleet.quarantines", "devices benched by the fleet").inc()
+            tel.emit(
+                "fleet_device_quarantined", device=device_id, reason=str(reason)
+            )
+
+    def checkpoint_resident(self) -> int:
+        """Spool every resident session's state *without* evicting it.
+
+        The supervisor calls this periodically so a worker that dies
+        between checkpoints only needs the (bounded) journal of feeds
+        since the last sync replayed on top of the restored state —
+        recovery cost is O(journal), not O(stream). Returns the number
+        of sessions checkpointed.
+        """
+        self._check_open()
+        n = 0
+        for device_id, session in list(self._resident.items()):
+            self._spool_session(device_id, session)
+            n += 1
+        self.stats.session_checkpoints += n
+        tel = self.telemetry
+        if tel.enabled and n:
+            tel.counter(
+                "fleet.session_checkpoints",
+                "resident sessions spooled by periodic supervision syncs",
+            ).inc(n)
+        return n
+
+    def evict_device(self, device_id: str) -> bool:
+        """Spool one named resident session and drop it from memory.
+
+        The chaos harness uses this to stage a corrupt-checkpoint fault
+        deterministically: evict the victim so its *next* feed must
+        restore from the (about-to-be-damaged) spool file. Returns
+        ``False`` when the device is not resident.
+        """
+        self._check_open()
+        device_id = str(device_id)
+        session = self._resident.pop(device_id, None)
+        if session is None:
+            return False
+        path = self._spool_session(device_id, session)
+        session.close()
+        self._evicted[device_id] = path
+        self.stats.evictions += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter("fleet.evictions", "sessions evicted to spool").inc()
+        return True
+
+    def attach_spool(self, device_id: str) -> bool:
+        """Adopt an on-disk spool checkpoint for a registered device.
+
+        Used when re-materializing a dead shard's fleet in a fresh
+        worker: the new manager never evicted anything, but the old
+        worker's spool files survived it. Returns ``True`` when a spool
+        file was found (the next submit restores from it), ``False``
+        when the device starts from scratch.
+        """
+        self._check_open()
+        device_id = str(device_id)
+        if device_id not in self._specs:
+            raise ConfigurationError(f"unknown device {device_id!r}.")
+        if (
+            device_id in self._resident
+            or device_id in self._finished
+            or device_id in self._quarantined
+        ):
+            return False
+        path = self._spool_path(device_id)
+        if path.is_file():
+            self._evicted[device_id] = path
+            return True
+        return False
+
+    def replay(self, device_id: str, Xc: np.ndarray, yc: np.ndarray, start: int) -> int:
+        """Position-aware re-feed of a journaled chunk after recovery.
+
+        ``start`` is the stream-global index of ``Xc[0]`` when the chunk
+        was originally submitted. The restored session may already
+        contain a prefix of it (the periodic checkpoint landed mid-way
+        through the journal), so only the samples past the session's
+        current position are fed — chunk-boundary invariance keeps the
+        partial slice byte-identical. Returns the number of samples
+        actually fed. A quarantined device replays nothing.
+        """
+        self._check_open()
+        if device_id in self._quarantined:
+            return 0
+        start = int(start)
+        Xc = np.asarray(Xc)
+        yc = np.asarray(yc)
+        session = self._touch(device_id)
+        position = session.position
+        if position >= start + len(Xc):
+            return 0  # checkpoint already covers this journal entry
+        if position < start:
+            # A gap would silently break byte-identity; bench the device
+            # loudly instead of feeding it a stream with a hole.
+            self.quarantine(
+                device_id,
+                f"replay gap: session at {position}, journal resumes at {start}",
+            )
+            return 0
+        offset = position - start
+        self.submit(device_id, Xc[offset:], yc[offset:])
+        return len(Xc) - offset
+
+    def shed(self, k: int) -> int:
+        """Evict up to ``k`` coldest resident sessions (load shedding).
+
+        The fleet ladder calls this when respawn churn or queue depth
+        says memory/CPU must be given back; evicted sessions restore
+        lazily as usual, so nothing is lost — only latency. Returns the
+        number of sessions shed.
+        """
+        self._check_open()
+        n = 0
+        while self._resident and n < int(k):
+            self._evict_coldest()
+            n += 1
+        self.stats.shed_sessions += n
+        tel = self.telemetry
+        if tel.enabled and n:
+            tel.counter(
+                "fleet.shed_sessions", "sessions evicted by ladder load shedding"
+            ).inc(n)
+        return n
 
     def close(self) -> None:
         """Abort any still-open sessions and drop all state. Idempotent."""
@@ -432,11 +619,10 @@ class FleetManager:
             )
         return self.spool_dir / f"{device_id}.fleetck"
 
-    def _evict_coldest(self) -> None:
+    def _spool_session(self, device_id: str, session: StreamSession) -> Path:
+        """Write ``session``'s full state to the device's spool file."""
         from ..resilience import encode_records, save_checkpoint
 
-        device_id, session = self._resident.popitem(last=False)
-        t0 = time.perf_counter()
         pipeline = session.pipeline
         guard = pipeline.guard
         state = {
@@ -457,6 +643,12 @@ class FleetManager:
             meta={"device": device_id, "pipeline": type(pipeline).__name__},
             durable=False,
         )
+        return path
+
+    def _evict_coldest(self) -> None:
+        device_id, session = self._resident.popitem(last=False)
+        t0 = time.perf_counter()
+        path = self._spool_session(device_id, session)
         session.close()
         self._evicted[device_id] = path
         self.stats.evictions += 1
@@ -471,7 +663,32 @@ class FleetManager:
 
         t0 = time.perf_counter()
         path = self._evicted.pop(device_id)
-        ck = load_checkpoint(path, expected_kind=SESSION_KIND)
+        try:
+            ck = load_checkpoint(path, expected_kind=SESSION_KIND)
+        except CheckpointError as exc:
+            # Mirror ParallelRunner's corrupt-checkpoint policy: a damaged
+            # spool file costs that one device, never the manager. Count
+            # it, emit the structured event, bench the device, and keep
+            # serving everything else.
+            self.stats.corrupt_checkpoints += 1
+            tel = self.telemetry
+            if tel.enabled:
+                tel.counter(
+                    "fleet.checkpoint.corrupt",
+                    "fleet-session spool loads refused as corrupt",
+                ).inc()
+                tel.emit(
+                    "fleet_checkpoint_corrupt",
+                    device=device_id,
+                    path=str(path),
+                    reason=f"{type(exc).__name__}: {exc}",
+                )
+            self.quarantine(
+                device_id, f"corrupt spool checkpoint ({type(exc).__name__})"
+            )
+            raise DeviceQuarantinedError(
+                device_id, f"corrupt spool checkpoint ({type(exc).__name__})"
+            ) from exc
         if ck.meta.get("device") != device_id:
             raise ConfigurationError(
                 f"spool file {path} belongs to device {ck.meta.get('device')!r}, "

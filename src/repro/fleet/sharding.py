@@ -11,21 +11,44 @@ device across shards between runs.
 Submits are fire-and-forget by default (:meth:`ShardedFleetManager.submit`
 returns a ticket); the pool's FIFO-per-shard protocol keeps each
 device's chunks ordered, which is all the byte-identity contract needs.
+
+Passing a :class:`~repro.fleet.supervisor.SupervisorConfig` turns on
+**self-healing**: every feed is journaled parent-side until the shard's
+next checkpoint sync, per-request deadlines catch hung workers
+(terminate -> kill -> respawn escalation), a dead shard is respawned
+with seeded backoff and its sessions re-materialized from spool
+checkpoints plus a position-aware journal replay (byte-identical),
+poison devices are quarantined after N strikes, and a fleet-level
+degradation ladder sheds load when respawn churn or queue depth says
+so. See :mod:`repro.fleet.supervisor` and ``docs/fleet.md``.
 """
 
 from __future__ import annotations
 
 import hashlib
+import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..engine.spec import ExperimentSpec
-from ..metrics.parallel import ShardPool
-from ..utils.exceptions import ConfigurationError
+from ..guard.ladder import GuardLevel, Transition
+from ..metrics.parallel import (
+    SHARD_RESTARTED,
+    ShardDiedError,
+    ShardError,
+    ShardPool,
+    ShardTimeoutError,
+)
+from ..utils.exceptions import (
+    ConfigurationError,
+    DeviceQuarantinedError,
+    FleetOverloadError,
+)
 from ..utils.hooks import default_telemetry
 from .manager import FleetManager, FleetStats
+from .supervisor import FleetSupervisor, JournalEntry, SupervisorConfig
 
 __all__ = ["ShardedFleetManager", "shard_of"]
 
@@ -87,6 +110,49 @@ class _ShardHost:
     def stats(self) -> dict:
         return self.manager.stats.to_json(include_devices=True)
 
+    # -- supervision surface (fresh-worker recovery + ladder actions) ----------
+
+    def recover_device(self, device_id: str, spec_json: dict) -> bool:
+        """Re-register a device in a respawned worker and adopt its spool."""
+        self.manager.add_device(device_id, ExperimentSpec.from_json(spec_json))
+        return self.manager.attach_spool(device_id)
+
+    def replay(self, device_id: str, Xc, yc, start: int) -> int:
+        return self.manager.replay(
+            device_id, np.asarray(Xc), np.asarray(yc), int(start)
+        )
+
+    def checkpoint_sessions(self) -> int:
+        return self.manager.checkpoint_resident()
+
+    def quarantine_device(self, device_id: str, reason: str) -> None:
+        self.manager.quarantine(device_id, reason)
+
+    def shed(self, k: int) -> int:
+        return self.manager.shed(int(k))
+
+    def ping(self) -> bool:
+        """Cheap liveness round-trip (the chaos harness probes with it)."""
+        return True
+
+    def chaos_hang(self, seconds: float) -> float:
+        """Chaos-harness hook: wedge this worker for ``seconds``."""
+        time.sleep(float(seconds))
+        return float(seconds)
+
+    def evict_pick(self, pick: int) -> str:
+        """Chaos-harness hook: evict the ``pick``-th resident session.
+
+        Returns the evicted device id (empty string when nothing is
+        resident) so the controller can damage that exact spool file.
+        """
+        resident = sorted(self.manager.resident)
+        if not resident:
+            return ""
+        device_id = resident[int(pick) % len(resident)]
+        self.manager.evict_device(device_id)
+        return device_id
+
     def close(self) -> None:
         self.manager.close()
 
@@ -115,6 +181,13 @@ class ShardedFleetManager:
     on exactly one shard and each shard's queue is strict FIFO. Call
     :meth:`drain` (or ``finish_all``, which drains implicitly) to
     surface any worker-side errors.
+
+    With ``supervisor`` set (a
+    :class:`~repro.fleet.supervisor.SupervisorConfig`), the manager is
+    self-healing: worker death, hangs, and corrupt spool state are
+    contained and recovered instead of raised — see the module
+    docstring. Supervision requires a ``spool_dir`` (recovery
+    re-materializes sessions from spool checkpoints).
     """
 
     def __init__(
@@ -126,12 +199,24 @@ class ShardedFleetManager:
         chunk_size: Optional[int] = None,
         telemetry_every: Optional[int] = 64,
         batch_scoring: bool = False,
+        supervisor: Optional[SupervisorConfig] = None,
     ) -> None:
         if n_shards <= 0:
             raise ConfigurationError(f"n_shards must be positive, got {n_shards}.")
+        if supervisor is not None and spool_dir is None:
+            raise ConfigurationError(
+                "a supervised fleet needs a spool_dir: shard recovery "
+                "re-materializes sessions from spool checkpoints."
+            )
         self.n_shards = int(n_shards)
+        self.capacity = int(capacity)
         self.batch_scoring = bool(batch_scoring)
         parent_tel = default_telemetry()
+        self.supervisor = (
+            FleetSupervisor(supervisor, self.n_shards, telemetry=parent_tel)
+            if supervisor is not None
+            else None
+        )
         self._pool = ShardPool(
             self.n_shards,
             _make_shard_host,
@@ -143,28 +228,109 @@ class ShardedFleetManager:
                 bool(batch_scoring),
             ),
             telemetry_every=telemetry_every,
+            request_timeout=(
+                supervisor.request_timeout if supervisor is not None else None
+            ),
         )
-        self._pending: List[tuple] = []
+        self._pending: List[int] = []
         self._devices: Dict[str, int] = {}
+        self._specs: Dict[str, ExperimentSpec] = {}
+        self._fed: Dict[str, int] = {}
+        #: ticket -> (shard, device_id or None) for incident attribution.
+        self._entry_of: Dict[int, tuple] = {}
+        #: devices whose records were already collected by finish_all —
+        #: a later recovery must not resurrect them from stale spools.
+        self._finished: set = set()
         self._closed = False
 
     def shard_for(self, device_id: str) -> int:
         return shard_of(device_id, self.n_shards)
 
+    def worker_pid(self, shard: int) -> Optional[int]:
+        """OS pid of a shard's worker (the chaos harness SIGKILLs this)."""
+        return self._pool.worker_pid(shard)
+
+    def inject_hang(self, shard: int, seconds: float) -> int:
+        """Chaos-harness hook: queue a sleep on a shard so it stops
+        answering; the next drain's deadline escalates it. Returns the
+        ticket (tracked like any pending submit)."""
+        if self.supervisor is not None:
+            # A prior fault may have killed this worker with its recovery
+            # still pending; a fire-and-forget submit into the dead pipe
+            # would be silently failed as restart collateral and the hang
+            # never observed. Round-trip first so the fault lands on a
+            # live worker.
+            self._call_supervised(int(shard), "ping")
+        ticket = self._pool.submit(int(shard), "chaos_hang", float(seconds))
+        self._entry_of[ticket] = (int(shard), None)
+        self._pending.append(ticket)
+        return ticket
+
+    def force_evict(self, shard: int, pick: int) -> str:
+        """Chaos-harness hook: evict one resident session on ``shard`` so
+        its next feed must restore from its spool file. Returns the
+        evicted device id ('' when the shard has no resident session)."""
+        return self._call_supervised(int(shard), "evict_pick", int(pick))
+
+    def health(self) -> dict:
+        """Supervisor health dict (``/health`` provider); minimal when
+        unsupervised."""
+        if self.supervisor is None:
+            return {"status": "ok", "level": 0, "supervised": False}
+        return self.supervisor.health()
+
     def add_device(self, device_id: str, spec: ExperimentSpec) -> None:
+        device_id = str(device_id)
         shard = self.shard_for(device_id)
-        self._devices[str(device_id)] = shard
-        self._pool.call(shard, "add_device", str(device_id), spec.to_json())
+        self._devices[device_id] = shard
+        if self.supervisor is None:
+            self._pool.call(shard, "add_device", device_id, spec.to_json())
+            return
+        self._specs[device_id] = spec
+        try:
+            self._pool.call(shard, "add_device", device_id, spec.to_json())
+        except (ShardTimeoutError, ShardDiedError):
+            self._recover(shard)  # the reseed registers this device too
 
     def submit(self, device_id: str, Xc: np.ndarray, yc: np.ndarray):
-        """Enqueue a chunk on the device's shard; returns a ticket."""
-        shard = self._devices.get(str(device_id))
+        """Enqueue a chunk on the device's shard; returns a ticket.
+
+        Supervised, this also journals the feed for crash replay, runs
+        admission control (quarantine + ladder gate — may raise
+        :class:`~repro.utils.exceptions.DeviceQuarantinedError` or
+        :class:`~repro.utils.exceptions.FleetOverloadError`), triggers
+        the periodic checkpoint sync, and recovers the shard in-line if
+        the enqueue itself finds the worker dead (returns ``None`` then:
+        the journaled feed was applied during recovery replay).
+        """
+        device_id = str(device_id)
+        shard = self._devices.get(device_id)
         if shard is None:
             raise ConfigurationError(f"unknown device {device_id!r}.")
-        ticket = self._pool.submit(
-            shard, "submit", str(device_id), np.asarray(Xc), np.asarray(yc)
-        )
-        self._pending.append(ticket)
+        sup = self.supervisor
+        if sup is None:
+            ticket = self._pool.submit(
+                shard, "submit", device_id, np.asarray(Xc), np.asarray(yc)
+            )
+            self._pending.append(ticket)
+            return ticket
+        sup.gate(device_id)
+        sup.tick()
+        Xa, ya = np.asarray(Xc), np.asarray(yc)
+        start = self._fed.get(device_id, 0)
+        needs_sync = sup.journal(shard, JournalEntry(device_id, Xa, ya, start))
+        self._fed[device_id] = start + len(Xa)
+        ticket = None
+        try:
+            ticket = self._pool.submit(shard, "submit", device_id, Xa, ya)
+        except ShardDiedError:
+            self._recover(shard)  # replay applies the journaled feed
+        else:
+            self._entry_of[ticket] = (shard, device_id)
+            self._pending.append(ticket)
+        if needs_sync:
+            self._sync_shard(shard)
+        self._on_transition(sup.note_queue_depth(len(self._pending)))
         return ticket
 
     def submit_many(self, batch) -> List:
@@ -176,40 +342,264 @@ class ShardedFleetManager:
         batched-scoring windows form *inside* each worker, against that
         shard's own resident sessions. Returns one ticket per shard
         touched; like :meth:`submit`, errors surface on :meth:`drain`.
+
+        Supervised, entries refused by admission control (quarantined
+        device, ladder shedding) are *dropped* — counted in the
+        supervisor's ``dropped_feeds`` — instead of aborting the whole
+        batch.
         """
+        sup = self.supervisor
         per_shard: Dict[int, list] = {}
+        need_sync: set = set()
         for device_id, Xc, yc in batch:
-            shard = self._devices.get(str(device_id))
+            device_id = str(device_id)
+            shard = self._devices.get(device_id)
             if shard is None:
                 raise ConfigurationError(f"unknown device {device_id!r}.")
-            per_shard.setdefault(shard, []).append(
-                (str(device_id), np.asarray(Xc), np.asarray(yc))
-            )
+            Xa, ya = np.asarray(Xc), np.asarray(yc)
+            if sup is not None:
+                try:
+                    sup.gate(device_id)
+                except (DeviceQuarantinedError, FleetOverloadError):
+                    sup.dropped_feeds += 1
+                    continue
+                sup.tick()
+                start = self._fed.get(device_id, 0)
+                if sup.journal(shard, JournalEntry(device_id, Xa, ya, start)):
+                    need_sync.add(shard)
+                self._fed[device_id] = start + len(Xa)
+            per_shard.setdefault(shard, []).append((device_id, Xa, ya))
         tickets = []
         for shard, sub_batch in per_shard.items():
-            ticket = self._pool.submit(shard, "submit_many", sub_batch)
+            try:
+                ticket = self._pool.submit(shard, "submit_many", sub_batch)
+            except ShardDiedError:
+                if sup is None:
+                    raise
+                self._recover(shard)
+                continue
+            self._entry_of[ticket] = (shard, None)
             self._pending.append(ticket)
             tickets.append(ticket)
+        for shard in need_sync:
+            self._sync_shard(shard)
+        if sup is not None:
+            self._on_transition(sup.note_queue_depth(len(self._pending)))
         return tickets
 
     def drain(self) -> None:
-        """Wait for every outstanding submit (raises the first shard error)."""
+        """Wait for every outstanding submit.
+
+        Unsupervised this raises the first shard error; supervised it
+        *contains* them — hung shards are escalated and respawned, dead
+        shards recovered with journal replay, worker-side request
+        failures struck against the offending device.
+        """
         pending, self._pending = self._pending, []
+        if self.supervisor is None:
+            for ticket in pending:
+                self._pool.collect(ticket)
+            return
         for ticket in pending:
+            self._collect_supervised(ticket)
+
+    def _collect_supervised(self, ticket: int) -> None:
+        sup = self.supervisor
+        shard, device_id = self._entry_of.pop(ticket, (None, None))
+        try:
             self._pool.collect(ticket)
+        except ShardTimeoutError:
+            if shard is not None:
+                self._recover(shard)
+        except ShardDiedError:
+            if shard is None:
+                raise
+            # The oldest outstanding request is the likely killer (FIFO);
+            # a chaos SIGKILL also lands here, so death alone is one
+            # strike, never an instant quarantine.
+            if device_id is not None:
+                sup.strike(device_id, "feed killed its shard")
+            self._recover(shard)
+        except ShardError as exc:
+            message = str(exc)
+            if SHARD_RESTARTED in message:
+                return  # collateral of a restart handled earlier this drain
+            if shard is None:
+                raise
+            if "DeviceQuarantinedError" in message and device_id is not None:
+                sup.note_quarantined(device_id, message)
+                return
+            # Worker alive, request failed: contain it. Strike the device
+            # (a poisoned session fails every later feed too) and bench it
+            # on the worker once it strikes out.
+            if device_id is not None and sup.strike(device_id, message):
+                self._call_supervised(
+                    shard, "quarantine_device", device_id,
+                    sup.quarantined[device_id],
+                )
+        else:
+            self._on_transition(sup.note_clean())
+
+    # -- supervised recovery ---------------------------------------------------
+
+    def _recover(self, shard: int) -> None:
+        """Respawn ``shard`` and re-materialize its fleet; bounded retries."""
+        sup = self.supervisor
+        config = sup.config
+        sup.open_incident()
+        t0 = time.perf_counter()
+        last_error: Optional[Exception] = None
+        for attempt in range(config.max_respawns):
+            delay = sup.backoff_seconds(shard, attempt)
+            if delay > 0:
+                time.sleep(delay)
+            outcome = self._pool.restart_shard(shard, grace=config.terminate_grace)
+            try:
+                replayed = self._reseed_shard(shard)
+            except ShardError as exc:
+                last_error = exc
+                continue
+            self._on_transition(
+                sup.note_respawn(
+                    shard,
+                    outcome=outcome,
+                    attempt=attempt,
+                    replayed=replayed,
+                    seconds=time.perf_counter() - t0,
+                )
+            )
+            return
+        self._on_transition(
+            sup.note_recovery_failed(shard, f"{last_error}")
+        )
+        raise ShardError(
+            f"shard {shard} unrecoverable after {config.max_respawns} "
+            f"respawn attempts: {last_error}"
+        ) from last_error
+
+    def _reseed_shard(self, shard: int) -> int:
+        """Re-register a fresh worker's devices and replay the journal.
+
+        Spool checkpoints (periodic syncs + LRU evictions) carry each
+        session to its last durable position; the journal's
+        position-aware replay carries it from there to the exact feed
+        the fleet had acknowledged — so recovered records are
+        byte-identical. Raises :class:`ShardError` when the fresh worker
+        dies too (the caller's respawn loop retries with backoff).
+        """
+        sup = self.supervisor
+        for device_id, home in self._devices.items():
+            if (
+                home != shard
+                or device_id in sup.quarantined
+                or device_id in self._finished
+            ):
+                continue
+            try:
+                self._pool.call(shard, "recover_device", device_id,
+                                self._specs[device_id].to_json())
+            except ShardTimeoutError:
+                raise
+            except ShardDiedError:
+                sup.strike(device_id, "recovery re-registration killed shard")
+                raise
+            except ShardError as exc:
+                sup.note_quarantined(device_id, f"re-registration failed: {exc}")
+        replayed = 0
+        for entry in sup.entries(shard):
+            if entry.device_id in sup.quarantined:
+                continue
+            try:
+                replayed += int(
+                    self._pool.call(
+                        shard, "replay", entry.device_id, entry.Xc, entry.yc,
+                        entry.start,
+                    )
+                )
+            except ShardTimeoutError:
+                raise
+            except ShardDiedError:
+                sup.strike(entry.device_id, "replay killed its shard")
+                raise
+            except ShardError as exc:
+                message = str(exc)
+                if "DeviceQuarantinedError" in message:
+                    sup.note_quarantined(entry.device_id, message)
+                    continue
+                sup.strike(entry.device_id, message)
+        # Make the recovered state durable and drop the journal — a
+        # second incident replays from here, not from the last pre-crash
+        # sync.
+        self._pool.call(shard, "checkpoint_sessions")
+        sup.truncate(shard)
+        return replayed
+
+    def _sync_shard(self, shard: int) -> None:
+        """Periodic checkpoint sync: spool the shard's resident sessions
+        and truncate its journal (the replay bound)."""
+        try:
+            self._pool.call(shard, "checkpoint_sessions")
+        except (ShardTimeoutError, ShardDiedError):
+            self._recover(shard)
+        else:
+            self.supervisor.truncate(shard)
+
+    def _call_supervised(self, shard: int, method: str, *args):
+        """Synchronous shard call that survives one worker death/hang."""
+        for retry in (False, True):
+            try:
+                return self._pool.call(shard, method, *args)
+            except (ShardTimeoutError, ShardDiedError):
+                if retry:
+                    raise
+                self._recover(shard)
+            except ShardError as exc:
+                if SHARD_RESTARTED in str(exc) and not retry:
+                    continue
+                raise
+
+    def _on_transition(self, transition: Optional[Transition]) -> None:
+        """Act on a fleet-ladder move: entering SANITIZING sheds load."""
+        if transition is None:
+            return
+        if (
+            transition.to_level == GuardLevel.SANITIZING
+            and transition.to_level > transition.from_level
+        ):
+            k = max(1, int(self.capacity * self.supervisor.config.shed_fraction))
+            for shard in range(self.n_shards):
+                try:
+                    self._call_supervised(shard, "shed", k)
+                except ShardError:  # pragma: no cover — shedding is best-effort
+                    pass
+
+    # -- fan-out ---------------------------------------------------------------
 
     def finish_all(self) -> Dict[str, list]:
         """Drain, close every device session, and merge the record maps."""
         self.drain()
         merged: Dict[str, list] = {}
-        for reply in self._pool.broadcast("finish_all"):
+        if self.supervisor is None:
+            for reply in self._pool.broadcast("finish_all"):
+                merged.update(reply)
+            return merged
+        for shard in range(self.n_shards):
+            reply = self._call_supervised(shard, "finish_all")
             merged.update(reply)
+            self._finished.update(reply)
+        for device_id in self._devices:
+            merged.setdefault(device_id, [])
         return merged
 
     def stats(self) -> List[dict]:
         """Per-shard stat snapshots (as plain dicts from the workers)."""
         self.drain()
-        return self._pool.broadcast("stats")
+        if self.supervisor is None:
+            return self._pool.broadcast("stats")
+        return [
+            self._call_supervised(shard, "stats")
+            for shard in range(self.n_shards)
+        ]
 
     def aggregate_stats(self) -> FleetStats:
         """Fleet-wide :class:`FleetStats` summed over every shard.
@@ -217,6 +607,9 @@ class ShardedFleetManager:
         This is what ``bench_fleet.py`` and the CLI report for sharded
         runs — evictions/restores/drifts happen inside worker processes,
         so the parent's own manager-less view would read all zeros.
+        (After a recovery incident the dead worker's in-memory counters
+        are gone; the replacement re-counts only the replayed tail, so
+        post-incident totals are best-effort, not exact.)
         """
         total = FleetStats()
         for shard_stats in self.stats():

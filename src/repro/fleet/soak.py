@@ -13,16 +13,24 @@ each device running alone.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..datasets.fleet import interleave_schedule, plan_fleet
 from ..engine.spec import ExperimentSpec, build_experiment
+from ..utils.exceptions import (
+    ConfigurationError,
+    DeviceQuarantinedError,
+    FleetOverloadError,
+)
+from .chaos import ChaosController, ChaosEvent, make_chaos_schedule
 from .manager import FleetManager
 from .sharding import ShardedFleetManager
+from .supervisor import SupervisorConfig
 
 __all__ = ["SoakReport", "make_fleet_specs", "run_fleet_soak", "verify_device"]
 
@@ -113,6 +121,16 @@ class SoakReport:
     fallback_samples: int = 0
     verified: Optional[int] = None
     mismatches: Optional[List[str]] = None
+    supervised: bool = False
+    respawns: int = 0
+    replayed_samples: int = 0
+    failed_recoveries: int = 0
+    rejected_submits: int = 0
+    recovery_seconds: float = 0.0
+    supervisor_level: int = 0
+    quarantined: Optional[List[str]] = None
+    chaos_events: Optional[List[dict]] = None
+    skipped_chunks: int = 0
 
     @property
     def byte_identical(self) -> Optional[bool]:
@@ -148,6 +166,18 @@ class SoakReport:
             out["verified_devices"] = self.verified
             out["byte_identical"] = self.byte_identical
             out["mismatches"] = list(self.mismatches)
+        if self.supervised:
+            out["supervised"] = True
+            out["respawns"] = self.respawns
+            out["replayed_samples"] = self.replayed_samples
+            out["failed_recoveries"] = self.failed_recoveries
+            out["rejected_submits"] = self.rejected_submits
+            out["recovery_seconds"] = self.recovery_seconds
+            out["supervisor_level"] = self.supervisor_level
+            out["quarantined"] = list(self.quarantined or [])
+            out["skipped_chunks"] = self.skipped_chunks
+        if self.chaos_events is not None:
+            out["chaos_events"] = list(self.chaos_events)
         return out
 
 
@@ -164,6 +194,8 @@ def run_fleet_soak(
     guard_policy: Optional[str] = None,
     n_shards: Optional[int] = None,
     batch_scoring: bool = False,
+    supervise: Optional[SupervisorConfig] = None,
+    chaos: Union[int, Sequence[ChaosEvent], None] = None,
     verify: int = 0,
     progress=None,
     manager_hook=None,
@@ -186,7 +218,25 @@ def run_fleet_soak(
     status line. ``manager_hook`` is called once with the live manager
     before the replay starts (the CLI uses it to wire the ``/fleet``
     endpoint to the manager's stats).
+
+    ``supervise`` (a :class:`~repro.fleet.supervisor.SupervisorConfig`,
+    sharded fleets only) turns on self-healing: journaled feeds,
+    deadline escalation, respawn + byte-identical replay, quarantine,
+    and the load-shedding ladder. ``chaos`` (requires ``supervise``)
+    injects scheduled faults — an int draws that many seeded
+    kill/hang/corrupt events via
+    :func:`~repro.fleet.chaos.make_chaos_schedule`, or pass explicit
+    :class:`~repro.fleet.chaos.ChaosEvent`\\ s. Chunks rejected by
+    quarantine or load shedding are dropped and counted in
+    ``skipped_chunks``; quarantined devices are excluded from
+    verification (their streams were cut short by design).
     """
+    if supervise is not None and not (n_shards is not None and int(n_shards) > 0):
+        raise ConfigurationError(
+            "supervise= needs a sharded fleet (pass n_shards >= 1)."
+        )
+    if chaos is not None and supervise is None:
+        raise ConfigurationError("chaos= requires supervise= (see repro.fleet.chaos).")
     specs = make_fleet_specs(
         n_devices,
         seed=seed,
@@ -205,7 +255,7 @@ def run_fleet_soak(
     if sharded:
         fm = ShardedFleetManager(
             int(n_shards), capacity=capacity, spool_dir=spool_dir,
-            batch_scoring=batch_scoring,
+            batch_scoring=batch_scoring, supervisor=supervise,
         )
     else:
         fm = FleetManager(
@@ -215,6 +265,17 @@ def run_fleet_soak(
         fm.add_device(dev, spec)
     if manager_hook is not None:
         manager_hook(fm)
+
+    controller: Optional[ChaosController] = None
+    if chaos is not None:
+        if isinstance(chaos, int):
+            n_chunks = sum(math.ceil(n / feed_chunk) for n in lengths)
+            schedule = make_chaos_schedule(
+                n_chunks, int(n_shards), seed=seed, n_events=chaos
+            )
+        else:
+            schedule = tuple(chaos)
+        controller = ChaosController(schedule, fm, spool_dir=spool_dir)
 
     # With batch scoring, arrivals are buffered and flushed through
     # submit_many so one flush spans a whole batching window (sharded
@@ -229,15 +290,23 @@ def run_fleet_soak(
 
     t0 = time.perf_counter()
     done = 0
+    skipped = 0
     for i, start, stop in interleave_schedule(lengths, feed_chunk, seed=seed):
         dev = device_ids[i]
         stream = streams[dev]
-        if batch_scoring:
-            buffered.append((dev, stream.X[start:stop], stream.y[start:stop]))
-            if len(buffered) >= flush_every:
-                flush()
-        else:
-            fm.submit(dev, stream.X[start:stop], stream.y[start:stop])
+        if controller is not None:
+            controller.maybe_inject(done)
+        try:
+            if batch_scoring:
+                buffered.append((dev, stream.X[start:stop], stream.y[start:stop]))
+                if len(buffered) >= flush_every:
+                    flush()
+            else:
+                fm.submit(dev, stream.X[start:stop], stream.y[start:stop])
+        except (DeviceQuarantinedError, FleetOverloadError):
+            # Supervised fleets shed by design: the chunk is dropped and
+            # counted, the soak keeps going.
+            skipped += 1
         done += 1
         if sharded and done % 256 == 0:
             # Bound the per-shard reply backlog: an OS pipe buffer filled
@@ -256,17 +325,23 @@ def run_fleet_soak(
     per_device = fm.finish_all()
     elapsed = time.perf_counter() - t0
     stats = fm.aggregate_stats() if sharded else fm.stats
+    supervisor = fm.supervisor if (sharded and supervise is not None) else None
+    quarantined = sorted(supervisor.quarantined) if supervisor is not None else None
     fm.close()
 
     mismatches: Optional[List[str]] = None
     verified: Optional[int] = None
     if verify:
         mismatches = []
-        targets = device_ids[: int(verify)]
+        benched = set(quarantined or ())
+        targets = [d for d in device_ids if d not in benched][: int(verify)]
         for dev in targets:
             if not verify_device(specs[dev], per_device[dev]):
                 mismatches.append(dev)
         verified = len(targets)
+
+    if supervisor is not None:
+        skipped += supervisor.dropped_feeds
 
     return SoakReport(
         devices=n_devices,
@@ -289,4 +364,14 @@ def run_fleet_soak(
         fallback_samples=stats.fallback_samples,
         verified=verified,
         mismatches=mismatches,
+        supervised=supervisor is not None,
+        respawns=supervisor.respawns if supervisor else 0,
+        replayed_samples=supervisor.replayed_samples if supervisor else 0,
+        failed_recoveries=supervisor.failed_recoveries if supervisor else 0,
+        rejected_submits=supervisor.rejected_submits if supervisor else 0,
+        recovery_seconds=supervisor.recovery_seconds if supervisor else 0.0,
+        supervisor_level=int(supervisor.level) if supervisor else 0,
+        quarantined=quarantined,
+        chaos_events=list(controller.applied) if controller is not None else None,
+        skipped_chunks=skipped,
     )

@@ -1,0 +1,411 @@
+"""Fleet supervision policy: journals, strikes, backoff, and the ladder.
+
+The sharded fleet's failure model is the edge deployment's, one level
+up: instead of a sensor feeding garbage into one pipeline, a whole
+worker process SIGKILLs, wedges, or comes back to a corrupt checkpoint.
+This module is the *policy* half of the self-healing answer — pure
+bookkeeping, no processes:
+
+* a **per-shard in-flight journal** of every feed since that shard's
+  last checkpoint sync, bounded by the sync cadence, so a dead shard's
+  sessions can be re-materialized from spool checkpoints and the tail
+  replayed byte-identically;
+* **deterministic backoff** — respawn jitter is derived from the fleet
+  seed (not the wall clock), so a chaos soak schedules and recovers the
+  same way every run and its golden tests are reproducible;
+* **poison-device strikes** — a device whose feeds repeatedly fail (or
+  kill) its shard is quarantined after ``strikes`` incidents instead of
+  retried forever;
+* a **fleet-level ladder** reusing the :mod:`repro.guard` hysteresis
+  vocabulary (:class:`~repro.guard.ladder.DegradationLadder`): respawn
+  churn and queue depth are "faults", failed recoveries are "sentinel
+  trips"; ``SANITIZING`` sheds the coldest sessions, ``PASSTHROUGH``
+  and above reject new submissions, ``FROZEN`` is sticky.
+
+The *mechanics* half — respawning workers, re-registering devices,
+replaying the journal — lives in
+:class:`~repro.fleet.sharding.ShardedFleetManager`, which owns the
+process pool and consults this object at every step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..guard.ladder import DegradationLadder, GuardLevel, Transition
+from ..utils.exceptions import (
+    ConfigurationError,
+    DeviceQuarantinedError,
+    FleetOverloadError,
+)
+from ..utils.hooks import default_telemetry
+
+__all__ = ["SupervisorConfig", "FleetSupervisor", "JournalEntry"]
+
+#: Seed-sequence domain tag so supervisor jitter never collides with the
+#: dataset/pipeline RNG streams derived from the same fleet seed.
+_JITTER_DOMAIN = 0xF1EE7
+
+#: Recovery-latency histogram edges (seconds) — respawn + re-register +
+#: replay for one shard.
+RECOVERY_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journaled feed: everything needed to re-apply it after a crash."""
+
+    device_id: str
+    Xc: np.ndarray
+    yc: np.ndarray
+    #: stream-global index of ``Xc[0]`` at original submit time — replay
+    #: is position-aware, so a checkpoint that already covers a prefix
+    #: of this entry only replays the tail.
+    start: int
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Knobs for :class:`FleetSupervisor` (all have safe defaults).
+
+    ``request_timeout`` is the per-request deadline on the shard pool's
+    collect path; a shard silent for that long is escalated
+    (terminate -> kill -> respawn). ``checkpoint_every`` is the journal
+    sync cadence in feeds per shard — the upper bound on replay work
+    after a crash. ``strikes`` benches a poison device after that many
+    incidents. ``max_respawns`` bounds one recovery incident's respawn
+    attempts before the ladder records a failed recovery. The ladder
+    thresholds reuse the :class:`~repro.guard.ladder.DegradationLadder`
+    vocabulary with the fleet's own units: faults are respawns or
+    queue-depth breaches (indexed by submit count), trips are failed
+    recoveries, cleans are collected replies.
+    """
+
+    request_timeout: Optional[float] = 30.0
+    terminate_grace: float = 1.0
+    max_respawns: int = 5
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    strikes: int = 3
+    checkpoint_every: int = 64
+    max_pending: int = 4096
+    shed_fraction: float = 0.5
+    trip_faults: int = 3
+    fault_window: int = 256
+    freeze_trips: int = 3
+    trip_window: int = 4096
+    cooldown: int = 256
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.request_timeout is not None and float(self.request_timeout) <= 0:
+            raise ConfigurationError(
+                f"request_timeout must be positive or None, got {self.request_timeout!r}."
+            )
+        for label, v in (
+            ("max_respawns", self.max_respawns),
+            ("strikes", self.strikes),
+            ("checkpoint_every", self.checkpoint_every),
+            ("max_pending", self.max_pending),
+        ):
+            if int(v) < 1:
+                raise ConfigurationError(f"{label} must be >= 1, got {v!r}.")
+        if not 0.0 < float(self.shed_fraction) <= 1.0:
+            raise ConfigurationError(
+                f"shed_fraction must be in (0, 1], got {self.shed_fraction!r}."
+            )
+
+
+class FleetSupervisor:
+    """Bookkeeping core of the self-healing fleet (no processes here).
+
+    One instance lives in the parent next to a
+    :class:`~repro.fleet.sharding.ShardedFleetManager`; the manager
+    journals every feed, reports every incident, and asks this object
+    what to do next. All randomness is derived from
+    ``config.seed`` via :func:`numpy.random.default_rng` seed
+    sequences, so two runs that see the same incident sequence take the
+    same backoff path.
+    """
+
+    def __init__(
+        self,
+        config: SupervisorConfig,
+        n_shards: int,
+        *,
+        telemetry=None,
+    ) -> None:
+        if int(n_shards) < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards!r}.")
+        self.config = config
+        self.n_shards = int(n_shards)
+        self.telemetry = telemetry if telemetry is not None else default_telemetry()
+        self.ladder = DegradationLadder(
+            trip_faults=config.trip_faults,
+            fault_window=config.fault_window,
+            freeze_trips=config.freeze_trips,
+            trip_window=config.trip_window,
+            cooldown=config.cooldown,
+        )
+        self._journals: List[List[JournalEntry]] = [[] for _ in range(self.n_shards)]
+        self._strikes: Dict[str, int] = {}
+        self.quarantined: Dict[str, str] = {}
+        self.transitions: List[Transition] = []
+        #: monotone event index the ladder windows run over (one tick per
+        #: submit or collect — the fleet's "stream position").
+        self.clock = 0
+        self.respawns = 0
+        self.incidents = 0
+        self.replayed_samples = 0
+        self.recoveries = 0
+        self.failed_recoveries = 0
+        self.rejected_submits = 0
+        #: batch entries dropped (not raised) by submit_many's admission.
+        self.dropped_feeds = 0
+        self.recovery_seconds = 0.0
+
+    # -- journal ---------------------------------------------------------------
+
+    def journal(self, shard: int, entry: JournalEntry) -> bool:
+        """Record one feed; returns True when the shard is due a sync.
+
+        A sync (``FleetManager.checkpoint_resident`` on the worker,
+        :meth:`truncate` here) bounds the journal — and therefore both
+        recovery replay work and parent-side memory — to
+        ``checkpoint_every`` feeds per shard.
+        """
+        journal = self._journals[int(shard)]
+        journal.append(entry)
+        return len(journal) >= self.config.checkpoint_every
+
+    def truncate(self, shard: int) -> None:
+        """Drop a shard's journal after a successful checkpoint sync."""
+        self._journals[int(shard)].clear()
+
+    def entries(self, shard: int) -> Tuple[JournalEntry, ...]:
+        """The shard's un-checkpointed feeds, oldest first."""
+        return tuple(self._journals[int(shard)])
+
+    def journal_depth(self, shard: int) -> int:
+        return len(self._journals[int(shard)])
+
+    # -- deterministic backoff -------------------------------------------------
+
+    def backoff_seconds(self, shard: int, attempt: int) -> float:
+        """Bounded exponential backoff with *seeded* jitter.
+
+        Attempt 0 retries immediately; attempt ``k`` waits
+        ``backoff_base * 2**(k-1)`` seconds (capped at ``backoff_max``)
+        scaled by a jitter in ``[0.5, 1.5)`` drawn from a seed sequence
+        of ``(seed, domain, shard, incident, attempt)`` — never the wall
+        clock, so chaos soaks and their golden tests replay identically.
+        """
+        if attempt <= 0:
+            return 0.0
+        rng = np.random.default_rng(
+            (int(self.config.seed), _JITTER_DOMAIN, int(shard), self.incidents, attempt)
+        )
+        base = min(
+            self.config.backoff_base * (2.0 ** (attempt - 1)), self.config.backoff_max
+        )
+        return float(base * (0.5 + rng.random()))
+
+    # -- admission / ladder ----------------------------------------------------
+
+    @property
+    def level(self) -> GuardLevel:
+        return self.ladder.level
+
+    def tick(self) -> int:
+        self.clock += 1
+        return self.clock
+
+    def gate(self, device_id: str) -> None:
+        """Admission control for one submission (call before enqueueing).
+
+        Raises :class:`DeviceQuarantinedError` for benched devices and
+        :class:`FleetOverloadError` while the ladder sheds load
+        (``PASSTHROUGH`` or above).
+        """
+        device_id = str(device_id)
+        if device_id in self.quarantined:
+            raise DeviceQuarantinedError(device_id, self.quarantined[device_id])
+        if self.ladder.level >= GuardLevel.PASSTHROUGH:
+            self.rejected_submits += 1
+            tel = self.telemetry
+            if tel.enabled:
+                tel.counter(
+                    "fleet.supervisor.rejected",
+                    "submissions rejected while shedding load",
+                ).inc()
+            raise FleetOverloadError(
+                f"fleet ladder at {self.ladder.level.name}: new submissions "
+                "are rejected until the cooldown clears."
+            )
+
+    def note_queue_depth(self, depth: int) -> Optional[Transition]:
+        """Pending-reply backlog check; a breach counts as a ladder fault."""
+        if depth <= self.config.max_pending:
+            return None
+        return self._ladder_event(self.ladder.record_fault(self.clock))
+
+    def note_clean(self) -> Optional[Transition]:
+        """One successfully collected reply (the ladder's clean sample)."""
+        self.tick()
+        return self._ladder_event(self.ladder.record_clean(self.clock))
+
+    # -- incident intake -------------------------------------------------------
+
+    def open_incident(self) -> int:
+        """Start one recovery incident; returns its index (for jitter)."""
+        self.incidents += 1
+        return self.incidents
+
+    def note_respawn(
+        self,
+        shard: int,
+        *,
+        outcome: str,
+        attempt: int,
+        replayed: int,
+        seconds: float,
+    ) -> Optional[Transition]:
+        """Record one successful shard recovery (respawn + replay)."""
+        self.respawns += 1
+        self.recoveries += 1
+        self.replayed_samples += int(replayed)
+        self.recovery_seconds += float(seconds)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter(
+                "fleet.supervisor.respawns",
+                "shard workers respawned after death or escalation",
+            ).inc()
+            tel.counter(
+                "fleet.supervisor.replayed_samples",
+                "journaled samples re-fed during shard recovery",
+            ).inc(int(replayed))
+            tel.histogram(
+                "fleet.supervisor.recovery.seconds",
+                "wall time to respawn, re-register, and replay one shard",
+                buckets=RECOVERY_BUCKETS,
+            ).observe(float(seconds))
+            tel.emit(
+                "fleet_shard_respawned",
+                shard=int(shard),
+                outcome=outcome,
+                attempt=int(attempt),
+                replayed_samples=int(replayed),
+                seconds=float(seconds),
+            )
+        return self._ladder_event(self.ladder.record_fault(self.clock))
+
+    def note_recovery_failed(self, shard: int, reason: str) -> Optional[Transition]:
+        """A shard could not be recovered within ``max_respawns`` attempts."""
+        self.failed_recoveries += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter(
+                "fleet.supervisor.failed_recoveries",
+                "recovery incidents abandoned after max_respawns",
+            ).inc()
+            tel.emit("fleet_recovery_failed", shard=int(shard), reason=reason)
+        return self._ladder_event(
+            self.ladder.record_trip(self.clock, reason=f"shard {shard}: {reason}")
+        )
+
+    def strike(self, device_id: str, reason: str) -> bool:
+        """One incident attributed to ``device_id``; True once quarantined."""
+        device_id = str(device_id)
+        if device_id in self.quarantined:
+            return True
+        count = self._strikes.get(device_id, 0) + 1
+        self._strikes[device_id] = count
+        if count < self.config.strikes:
+            return False
+        self.note_quarantined(
+            device_id, f"{count} strikes ({reason})"
+        )
+        return True
+
+    def note_quarantined(self, device_id: str, reason: str) -> None:
+        """Mark a device benched (worker-declared or strike-escalated)."""
+        device_id = str(device_id)
+        if device_id in self.quarantined:
+            return
+        self.quarantined[device_id] = str(reason)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter(
+                "fleet.supervisor.quarantines",
+                "devices benched by the fleet supervisor",
+            ).inc()
+            tel.emit(
+                "fleet_device_quarantined", device=device_id, reason=str(reason)
+            )
+
+    def strikes(self, device_id: str) -> int:
+        return self._strikes.get(str(device_id), 0)
+
+    # -- surfacing -------------------------------------------------------------
+
+    def _ladder_event(self, transition: Optional[Transition]) -> Optional[Transition]:
+        if transition is None:
+            return None
+        self.transitions.append(transition)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.gauge(
+                "fleet.supervisor.level", "fleet degradation-ladder level"
+            ).set(int(transition.to_level))
+            tel.emit(
+                "fleet_ladder_transition",
+                from_level=transition.from_level.name,
+                to_level=transition.to_level.name,
+                reason=transition.reason,
+            )
+        return transition
+
+    def health(self) -> dict:
+        """Status dict for the ``/health`` endpoint (degraded when not
+        HEALTHY — :func:`repro.telemetry.httpd.ladder_health` keys off
+        ``level``)."""
+        level = self.ladder.level
+        return {
+            "status": "ok" if level == GuardLevel.HEALTHY else "degraded",
+            "level": int(level),
+            "level_name": level.name,
+            "respawns": self.respawns,
+            "recoveries": self.recoveries,
+            "failed_recoveries": self.failed_recoveries,
+            "replayed_samples": self.replayed_samples,
+            "quarantined": len(self.quarantined),
+            "rejected_submits": self.rejected_submits,
+            "recovery_seconds": self.recovery_seconds,
+            "transitions": [
+                {
+                    "index": t.index,
+                    "from": t.from_level.name,
+                    "to": t.to_level.name,
+                    "reason": t.reason,
+                }
+                for t in self.transitions
+            ],
+        }
+
+    def to_json(self) -> dict:
+        """Counter snapshot folded into soak/bench reports."""
+        return {
+            "respawns": self.respawns,
+            "incidents": self.incidents,
+            "recoveries": self.recoveries,
+            "failed_recoveries": self.failed_recoveries,
+            "replayed_samples": self.replayed_samples,
+            "quarantined": dict(self.quarantined),
+            "rejected_submits": self.rejected_submits,
+            "recovery_seconds": self.recovery_seconds,
+            "level": int(self.ladder.level),
+        }

@@ -14,8 +14,10 @@ from .parallel import (
     CellSpec,
     ParallelExecutionError,
     ParallelRunner,
+    ShardDiedError,
     ShardError,
     ShardPool,
+    ShardTimeoutError,
     make_grid,
     run_cell,
 )
@@ -45,6 +47,8 @@ __all__ = [
     "ParallelExecutionError",
     "ShardPool",
     "ShardError",
+    "ShardDiedError",
+    "ShardTimeoutError",
     "make_grid",
     "run_cell",
     "format_table",

@@ -46,6 +46,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from dataclasses import dataclass
 from pathlib import Path
@@ -603,8 +604,52 @@ class ShardError(RuntimeError):
     """A shard worker raised (or died) while serving a request."""
 
 
+class ShardDiedError(ShardError):
+    """The shard's worker process is gone (pipe broken or EOF).
+
+    Distinct from a request-level :class:`ShardError` (worker alive, the
+    request raised) so supervisors can dispatch on the exception type
+    instead of racing ``Process.is_alive`` against SIGKILL delivery.
+    """
+
+
+class ShardTimeoutError(ShardError):
+    """A shard worker gave no reply within the per-request deadline.
+
+    The ticket stays outstanding: the worker may be slow rather than
+    stuck, so the caller decides — wait again, or escalate with
+    :meth:`ShardPool.restart_shard` (which fails the shard's outstanding
+    tickets and respawns the process).
+    """
+
+
 #: Reserved ShardPool method name: flush the worker hub's telemetry delta.
 TELEMETRY_FLUSH = "__telemetry__"
+
+#: Payload prefix marking tickets failed by :meth:`ShardPool.restart_shard`
+#: (not by the request itself) — supervisors match on it to tell "your
+#: request was collateral of a restart" from a real worker-side error.
+SHARD_RESTARTED = "__shard_restarted__"
+
+
+def _stop_process(proc, *, grace: float = 1.0, kill_grace: float = 5.0) -> str:
+    """Stop a worker with terminate -> kill escalation; returns the outcome.
+
+    ``terminate`` (SIGTERM) handles the common stuck worker; a worker
+    that ignores SIGTERM (masked signal, wedged in native code) is
+    escalated to ``kill`` (SIGKILL) after ``grace`` seconds. Returns
+    ``"dead"`` (was already gone), ``"terminated"``, or ``"killed"``.
+    """
+    if not proc.is_alive():
+        proc.join(timeout=0)
+        return "dead"
+    proc.terminate()
+    proc.join(timeout=grace)
+    if not proc.is_alive():
+        return "terminated"
+    proc.kill()
+    proc.join(timeout=kill_grace)
+    return "killed"
 
 
 def _shard_worker(conn, factory, factory_args, telemetry_every) -> None:
@@ -705,6 +750,7 @@ class ShardPool:
         *,
         factory_args: tuple = (),
         telemetry_every: Optional[int] = 64,
+        request_timeout: Optional[float] = None,
     ) -> None:
         if int(n_shards) < 1:
             raise ConfigurationError(f"n_shards must be >= 1, got {n_shards!r}.")
@@ -712,24 +758,27 @@ class ShardPool:
             raise ConfigurationError(
                 f"telemetry_every must be >= 1 or None, got {telemetry_every!r}."
             )
-        ctx = multiprocessing.get_context()
+        if request_timeout is not None and float(request_timeout) <= 0:
+            raise ConfigurationError(
+                f"request_timeout must be positive or None, got {request_timeout!r}."
+            )
+        self._ctx = multiprocessing.get_context()
+        self._factory = factory
+        self._factory_args = tuple(factory_args)
         self._conns = []
         self._procs = []
         self.telemetry_every = (
             int(telemetry_every) if telemetry_every is not None else None
         )
+        #: default deadline (seconds) applied by :meth:`collect` when no
+        #: per-call ``timeout`` is given; ``None`` = wait forever.
+        self.request_timeout = (
+            float(request_timeout) if request_timeout is not None else None
+        )
         #: parent-side hub worker deltas are merged into.
         self.telemetry: Telemetry = get_telemetry()
         for shard in range(int(n_shards)):
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=_shard_worker,
-                args=(child, factory, (shard, *factory_args), self.telemetry_every),
-                daemon=True,
-                name=f"repro-shard-{shard}",
-            )
-            proc.start()
-            child.close()
+            parent, proc = self._spawn(shard)
             self._conns.append(parent)
             self._procs.append(proc)
         self._next_ticket = 0
@@ -737,9 +786,34 @@ class ShardPool:
         self._replies: Dict[int, Tuple[bool, Any]] = {}
         self._closed = False
 
+    def _spawn(self, shard: int):
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_shard_worker,
+            args=(
+                child,
+                self._factory,
+                (shard, *self._factory_args),
+                self.telemetry_every,
+            ),
+            daemon=True,
+            name=f"repro-shard-{shard}",
+        )
+        proc.start()
+        child.close()
+        return parent, proc
+
     @property
     def n_shards(self) -> int:
         return len(self._procs)
+
+    def shard_alive(self, shard: int) -> bool:
+        """Whether ``shard``'s worker process is currently running."""
+        return self._procs[int(shard)].is_alive()
+
+    def worker_pid(self, shard: int) -> Optional[int]:
+        """OS pid of ``shard``'s worker (chaos harnesses target this)."""
+        return self._procs[int(shard)].pid
 
     def submit(self, shard: int, method: str, *args, **kwargs) -> int:
         """Queue ``host.method(*args, **kwargs)`` on ``shard``; returns a ticket."""
@@ -756,19 +830,40 @@ class ShardPool:
             self._conns[shard].send((ticket, method, args, kwargs))
         except (BrokenPipeError, OSError) as exc:
             self._shard_of.pop(ticket, None)
-            raise ShardError(f"shard {shard} is dead: {exc}") from exc
+            raise ShardDiedError(f"shard {shard} is dead: {exc}") from exc
         return ticket
 
-    def collect(self, ticket: int) -> Any:
-        """Block until ``ticket``'s reply arrives; return (or raise) it."""
+    #: collect() sentinel: "use the pool's default request_timeout".
+    _POOL_DEFAULT = object()
+
+    def collect(self, ticket: int, *, timeout: Any = _POOL_DEFAULT) -> Any:
+        """Block until ``ticket``'s reply arrives; return (or raise) it.
+
+        ``timeout`` (seconds) bounds the wait: when no reply lands within
+        the deadline a :class:`ShardTimeoutError` is raised and the
+        ticket stays outstanding (collect again, or escalate via
+        :meth:`restart_shard`). Defaults to the pool's
+        ``request_timeout``; pass ``None`` to wait forever.
+        """
+        if timeout is ShardPool._POOL_DEFAULT:
+            timeout = self.request_timeout
         if ticket not in self._replies and ticket not in self._shard_of:
             raise ConfigurationError(f"unknown or already-collected ticket {ticket}.")
         shard = self._shard_of.get(ticket)
+        deadline = None if timeout is None else time.monotonic() + float(timeout)
         while ticket not in self._replies:
+            conn = self._conns[shard]
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not conn.poll(remaining):
+                    raise ShardTimeoutError(
+                        f"shard {shard} gave no reply for ticket {ticket} "
+                        f"within {float(timeout):g}s."
+                    )
             try:
-                t, ok, payload, tel_delta = self._conns[shard].recv()
+                t, ok, payload, tel_delta = conn.recv()
             except (EOFError, OSError) as exc:
-                raise ShardError(
+                raise ShardDiedError(
                     f"shard {shard} died with {len(self._shard_of)} "
                     "request(s) outstanding."
                 ) from exc
@@ -780,6 +875,40 @@ class ShardPool:
         if not ok:
             raise ShardError(f"shard request failed: {payload}")
         return payload
+
+    def restart_shard(self, shard: int, *, grace: float = 1.0) -> str:
+        """Stop ``shard``'s worker (if needed) and spawn a fresh one.
+
+        The escalation is terminate -> kill (:func:`_stop_process`); an
+        already-dead worker is just reaped. Every outstanding ticket of
+        the shard is failed with a :data:`SHARD_RESTARTED`-prefixed
+        payload — their requests may or may not have executed, and the
+        fresh worker's host starts empty, so it is the caller's job
+        (e.g. the fleet supervisor) to re-seed state and replay. Returns
+        the stop outcome (``"dead"``/``"terminated"``/``"killed"``).
+        """
+        if self._closed:
+            raise ConfigurationError("ShardPool is closed.")
+        shard = int(shard)
+        if not 0 <= shard < len(self._procs):
+            raise ConfigurationError(
+                f"shard {shard} out of range (pool has {len(self._procs)})."
+            )
+        outcome = _stop_process(self._procs[shard], grace=grace)
+        try:
+            self._conns[shard].close()
+        except OSError:  # pragma: no cover — close on a broken pipe
+            pass
+        for ticket in [t for t, s in self._shard_of.items() if s == shard]:
+            self._replies[ticket] = (
+                False,
+                f"{SHARD_RESTARTED}: shard {shard} worker restarted ({outcome}).",
+            )
+            del self._shard_of[ticket]
+        parent, proc = self._spawn(shard)
+        self._conns[shard] = parent
+        self._procs[shard] = proc
+        return outcome
 
     def call(self, shard: int, method: str, *args, **kwargs) -> Any:
         """Synchronous ``submit`` + ``collect`` on one shard."""
@@ -798,8 +927,13 @@ class ShardPool:
         parent hub now (the collect path merges them as they arrive)."""
         self.broadcast(TELEMETRY_FLUSH)
 
-    def close(self) -> None:
-        """Shut every shard down (idempotent); outstanding replies are dropped."""
+    def close(self, *, grace: float = 10.0) -> None:
+        """Shut every shard down (idempotent); outstanding replies are dropped.
+
+        ``grace`` bounds the polite wait per worker; one still alive
+        after that (stuck mid-request, ignoring the shutdown sentinel)
+        is escalated terminate -> kill via :func:`_stop_process`.
+        """
         if self._closed:
             return
         if self.telemetry.enabled:
@@ -814,10 +948,9 @@ class ShardPool:
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover — stuck worker
-                proc.terminate()
-                proc.join(timeout=5)
+            proc.join(timeout=grace)
+            if proc.is_alive():
+                _stop_process(proc, grace=grace)
         for conn in self._conns:
             conn.close()
         self._shard_of.clear()

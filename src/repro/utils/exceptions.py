@@ -17,6 +17,8 @@ __all__ = [
     "CheckpointError",
     "CheckpointCorruptError",
     "CheckpointVersionError",
+    "DeviceQuarantinedError",
+    "FleetOverloadError",
 ]
 
 
@@ -82,3 +84,29 @@ class CheckpointCorruptError(CheckpointError, ValueError):
 
 class CheckpointVersionError(CheckpointCorruptError):
     """An intact checkpoint was written with an incompatible format version."""
+
+
+class DeviceQuarantinedError(ReproError, RuntimeError):
+    """A fleet device was quarantined and no longer accepts samples.
+
+    Raised by :class:`repro.fleet.FleetManager` when a submit targets a
+    device that was benched — because its spool checkpoint was corrupt,
+    or because its feeds repeatedly failed (or killed) its shard. The
+    rest of the fleet keeps serving; the quarantine is surfaced as a
+    structured ``fleet.device.quarantined`` telemetry event.
+    """
+
+    def __init__(self, device_id: str, reason: str = "quarantined") -> None:
+        self.device_id = str(device_id)
+        self.reason = str(reason)
+        super().__init__(f"device {device_id!r} is quarantined: {reason}")
+
+
+class FleetOverloadError(ReproError, RuntimeError):
+    """The fleet supervisor is shedding load and rejected a submission.
+
+    Raised while the fleet-level degradation ladder sits at
+    ``PASSTHROUGH`` or above (respawn churn or queue depth crossed its
+    thresholds). Transient under ``PASSTHROUGH`` — the ladder steps back
+    down after a clean streak; sticky under ``FROZEN``.
+    """

@@ -1,0 +1,212 @@
+"""Chaos-proven fleet recovery: golden byte-identity under real faults.
+
+The self-healing claim is end-to-end: SIGKILL a shard worker mid-stream
+(or wedge it, or corrupt a spool checkpoint on disk) and the recovered
+fleet's records must be **byte-for-byte identical** to the same specs
+running alone — the fault is invisible in the output, not merely
+survived. The kill matrix covers every registered pipeline family with
+the guard layer on and off, at a *seeded* injection point so failures
+replay exactly.
+
+Under ``pytest --smoke`` the matrix shrinks to the proposed pipeline
+(guard on/off) — the CI leg; the full matrix covers all five families.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.engine import ExperimentSpec, build_experiment
+from repro.fleet import (
+    ChaosEvent,
+    ShardedFleetManager,
+    SupervisorConfig,
+    make_chaos_schedule,
+    run_fleet_soak,
+)
+from repro.utils.exceptions import ConfigurationError
+
+#: every pipeline family the registry knows, with small fast kwargs
+PIPELINES = {
+    "proposed": {"window_size": 60},
+    "baseline": {},
+    "onlad": {"forgetting_factor": 0.95},
+    "quanttree": {"batch_size": 100, "n_bins": 8},
+    "spll": {"batch_size": 100},
+}
+
+N_TEST = 240
+FEED = 60
+N_DEVICES = 4
+
+
+def _spec(pipeline: str, seed: int, guard_policy=None) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"{pipeline}-{seed}",
+        pipeline=pipeline,
+        dataset="blobs",
+        seed=seed,
+        model_seed=5,
+        pipeline_kwargs=PIPELINES[pipeline],
+        dataset_kwargs={"n_test": N_TEST, "drift_at": 150},
+        guard_policy=guard_policy,
+    )
+
+
+def _assert_identical(a, b):
+    assert len(a) == len(b)
+    assert a == b
+    sa = np.array([r.anomaly_score for r in a], dtype=np.float64)
+    sb = np.array([r.anomaly_score for r in b], dtype=np.float64)
+    assert sa.tobytes() == sb.tobytes()
+
+
+def _run_with_kill(specs, tmp_path, *, kill_at, kill_shard=0, seed=0):
+    """Interleaved replay that SIGKILLs a shard worker at feed ``kill_at``."""
+    streams = {dev: build_experiment(spec).test for dev, spec in specs.items()}
+    fm = ShardedFleetManager(
+        capacity=2,
+        n_shards=2,
+        spool_dir=tmp_path / "spool",
+        supervisor=SupervisorConfig(request_timeout=30.0, seed=seed,
+                                    checkpoint_every=8),
+    )
+    try:
+        for dev, spec in specs.items():
+            fm.add_device(dev, spec)
+        feed = 0
+        for start in range(0, N_TEST, FEED):
+            for dev in specs:
+                if feed == kill_at:
+                    os.kill(fm.worker_pid(kill_shard), signal.SIGKILL)
+                s = streams[dev]
+                fm.submit(dev, s.X[start:start + FEED], s.y[start:start + FEED])
+                feed += 1
+        per_device = fm.finish_all()
+        return per_device, fm.supervisor
+    finally:
+        fm.close()
+
+
+def pytest_generate_tests(metafunc):
+    """Shrink the kill matrix under ``--smoke`` (the CI leg)."""
+    if "pipeline" in metafunc.fixturenames:
+        smoke = metafunc.config.getoption("--smoke")
+        metafunc.parametrize(
+            "pipeline", ["proposed"] if smoke else sorted(PIPELINES)
+        )
+
+
+class TestKillMatrix:
+    @pytest.mark.parametrize("guard_policy", [None, "impute_last_good"])
+    def test_sigkilled_shard_recovers_byte_identically(
+        self, pipeline, guard_policy, tmp_path
+    ):
+        cell = sorted(PIPELINES).index(pipeline) * 2 + int(guard_policy is not None)
+        rng = np.random.default_rng((cell, 0xC4405))
+        n_feeds = (N_TEST // FEED) * N_DEVICES
+        kill_at = int(rng.integers(2, n_feeds - 2))  # seeded injection point
+        specs = {
+            f"dev{i}": _spec(pipeline, seed=60 + i, guard_policy=guard_policy)
+            for i in range(N_DEVICES)
+        }
+        per_device, sup = _run_with_kill(
+            specs, tmp_path, kill_at=kill_at, seed=cell
+        )
+        assert sup.respawns >= 1, "the SIGKILL was never noticed"
+        assert not sup.quarantined
+        assert sup.failed_recoveries == 0
+        for dev, spec in specs.items():
+            _assert_identical(build_experiment(spec).run(), per_device[dev])
+
+
+class TestHangEscalation:
+    def test_wedged_worker_is_escalated_and_recovered(self, tmp_path):
+        specs = {f"dev{i}": _spec("proposed", seed=90 + i) for i in range(4)}
+        streams = {dev: build_experiment(spec).test for dev, spec in specs.items()}
+        fm = ShardedFleetManager(
+            capacity=2, n_shards=2, spool_dir=tmp_path / "spool",
+            supervisor=SupervisorConfig(request_timeout=0.5, seed=1),
+        )
+        try:
+            for dev, spec in specs.items():
+                fm.add_device(dev, spec)
+            for dev in specs:
+                s = streams[dev]
+                fm.submit(dev, s.X[:FEED], s.y[:FEED])
+            fm.inject_hang(0, 30.0)  # far beyond the 0.5 s deadline
+            fm.drain()
+            assert fm.supervisor.respawns >= 1
+            for start in range(FEED, N_TEST, FEED):
+                for dev in specs:
+                    s = streams[dev]
+                    fm.submit(dev, s.X[start:start + FEED], s.y[start:start + FEED])
+            per_device = fm.finish_all()
+            for dev, spec in specs.items():
+                _assert_identical(build_experiment(spec).run(), per_device[dev])
+        finally:
+            fm.close()
+
+
+class TestCorruptSpoolChaos:
+    def test_corrupt_checkpoint_benches_only_the_victim(self, tmp_path):
+        r = run_fleet_soak(
+            10, 2, spool_dir=tmp_path / "spool", seed=5, n_test=N_TEST,
+            feed_chunk=FEED, n_shards=2,
+            supervise=SupervisorConfig(request_timeout=30.0, seed=5),
+            chaos=[ChaosEvent(kind="corrupt", at_chunk=20, shard=0, pick=1)],
+            verify=10,
+        )
+        assert len(r.quarantined) == 1, "the corrupted device was not benched"
+        assert r.mismatches == []  # every surviving device byte-identical
+        assert r.verified == 10 - len(r.quarantined)
+        assert r.chaos_events[0]["kind"] == "corrupt"
+
+
+class TestMixedChaosSoak:
+    def test_generated_schedule_recovers_end_to_end(self, tmp_path):
+        r = run_fleet_soak(
+            12, 3, spool_dir=tmp_path / "spool", seed=11, n_test=N_TEST,
+            feed_chunk=40, n_shards=2,
+            supervise=SupervisorConfig(request_timeout=3.0, seed=11),
+            chaos=3, verify=12,
+        )
+        kinds = {e["kind"] for e in r.chaos_events}
+        assert kinds == {"kill", "hang", "corrupt"}
+        assert r.respawns >= 2  # the kill and the hang both respawn
+        assert r.failed_recoveries == 0
+        assert r.mismatches == []
+
+
+class TestChaosSchedule:
+    def test_same_seed_same_schedule(self):
+        a = make_chaos_schedule(100, 4, seed=9, n_events=5)
+        b = make_chaos_schedule(100, 4, seed=9, n_events=5)
+        assert a == b
+        assert a != make_chaos_schedule(100, 4, seed=10, n_events=5)
+
+    def test_events_land_in_the_middle_and_cycle_kinds(self):
+        events = make_chaos_schedule(100, 4, seed=0, n_events=6)
+        chunks = [e.at_chunk for e in events]
+        assert chunks == sorted(chunks) and len(set(chunks)) == len(chunks)
+        assert all(10 <= c < 90 for c in chunks)
+        assert [e.kind for e in events] == [
+            "kill", "hang", "corrupt", "kill", "hang", "corrupt"
+        ]
+        assert all(0 <= e.shard < 4 for e in events)
+
+    def test_bad_kind_and_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown chaos kind"):
+            make_chaos_schedule(100, 2, kinds=("segfault",))
+        with pytest.raises(ConfigurationError, match="n_events"):
+            make_chaos_schedule(100, 2, n_events=0)
+
+    def test_chaos_requires_supervision(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="supervis"):
+            run_fleet_soak(
+                4, 2, spool_dir=tmp_path / "spool", n_shards=2, chaos=1
+            )
