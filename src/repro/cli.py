@@ -410,13 +410,14 @@ def cmd_fleet(args) -> None:
             if fm is None:
                 return {"status": "starting", "devices": args.devices}
             if sharded:
-                # Worker pipes are owned by the soak thread; serve shape
-                # only rather than racing it for per-shard stats.
+                # Worker pipes are owned by the soak thread, but shards
+                # piggyback stats deltas on every reply — live_stats()
+                # reads the parent-side fold, no pipe access needed.
                 return {
                     "sharded": True,
                     "shards": int(args.shards),
                     "devices": args.devices,
-                    "note": "per-shard stats aggregate when the soak finishes",
+                    "live": fm.live_stats(),
                 }
             return fm.stats.to_json(include_devices=True)
 
@@ -481,6 +482,90 @@ def cmd_fleet(args) -> None:
         print(f"\n{report.verified} device(s) verified byte-identical to standalone runs.")
 
 
+def cmd_serve(args) -> None:
+    """Serve a fleet over HTTP (``serve`` command; see docs/serving.md)."""
+    import tempfile
+    import time as _time
+
+    from .datasets.fleet import ReplayPace
+    from .engine import build_experiment as _build
+    from .fleet.soak import make_fleet_specs, verify_device
+    from .serving import ServingStack, run_load
+
+    specs = make_fleet_specs(
+        args.devices, seed=args.seed, n_test=args.fleet_samples
+    )
+
+    def _serve(spool: str) -> None:
+        stack = ServingStack(
+            capacity=args.capacity,
+            spool_dir=spool,
+            batch_scoring=args.batch_scoring,
+            n_shards=args.shards,
+            queue_capacity=args.queue_capacity,
+            gap_window=args.gap_window,
+            port=args.port,
+        )
+        for dev, spec in specs.items():
+            stack.register(dev, spec)
+        stack.start()
+        print(
+            f"serving {args.devices} device(s) on {stack.url} "
+            "(POST /v1/devices/{id}/chunks; /metrics /health /fleet)"
+        )
+        try:
+            if not args.loadgen:
+                # Foreground server: run until interrupted.
+                while True:  # pragma: no cover — interactive mode
+                    _time.sleep(1.0)
+            streams = {dev: _build(spec).test for dev, spec in specs.items()}
+            pace = None
+            if args.rate is not None:
+                pace = ReplayPace(rate=args.rate, jitter=args.jitter)
+            report = run_load(
+                stack.url,
+                streams,
+                feed_chunk=args.fleet_chunk,
+                seed=args.seed,
+                pace=pace,
+                reorder=args.reorder,
+                progress=print,
+            )
+            rows = [
+                [k, v if not isinstance(v, float) else round(v, 3)]
+                for k, v in report.to_json().items()
+                if k != "statuses"
+            ]
+            rows += [[f"status: {k}", v] for k, v in sorted(report.statuses.items())]
+            print(format_table(["metric", "value"], rows, title="Load report"))
+            per_device = stack.finish_all()
+            if args.fleet_verify:
+                targets = list(specs)[: args.fleet_verify]
+                mismatches = [
+                    dev for dev in targets
+                    if not verify_device(specs[dev], per_device[dev])
+                ]
+                if mismatches:
+                    raise ConfigurationError(
+                        f"served records diverged from standalone runs "
+                        f"for {mismatches}."
+                    )
+                print(
+                    f"\n{len(targets)} device(s) verified byte-identical "
+                    "to standalone runs."
+                )
+        except KeyboardInterrupt:  # pragma: no cover — interactive mode
+            print("\nshutting down.")
+        finally:
+            stack.close()
+
+    if args.spool_dir is not None:
+        _serve(args.spool_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+            _serve(tmp)
+
+
 def cmd_audit(args) -> None:
     """Summarise a ``drift_audit`` JSONL trace (``audit`` command)."""
     from .telemetry import audit_report, load_audit, render_audit
@@ -497,6 +582,7 @@ COMMANDS: Dict[str, Callable] = {
     "table6": cmd_table6,
     "fig1": cmd_fig1,
     "fleet": cmd_fleet,
+    "serve": cmd_serve,
     "audit": cmd_audit,
 }
 
@@ -588,6 +674,28 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="SEC",
                         help="fleet command: per-request deadline before a "
                              "worker counts as hung (with --supervise)")
+    parser.add_argument("--port", type=int, default=8099,
+                        help="serve command: HTTP port for the ingestion "
+                             "front-end (0 = any free port; default 8099)")
+    parser.add_argument("--queue-capacity", type=int, default=64, metavar="N",
+                        help="serve command: per-device inbound lane bound")
+    parser.add_argument("--gap-window", type=int, default=32, metavar="N",
+                        help="serve command: how far ahead of the expected "
+                             "sequence a chunk may arrive and be buffered")
+    parser.add_argument("--loadgen", action="store_true",
+                        help="serve command: self-drive the server with the "
+                             "seeded load generator, print the load report, "
+                             "then shut down (instead of serving foreground)")
+    parser.add_argument("--rate", type=float, default=None, metavar="R",
+                        help="serve command: pace the load generator at R x "
+                             "real time (default: as fast as admitted)")
+    parser.add_argument("--jitter", type=float, default=0.0, metavar="J",
+                        help="serve command: seeded inter-arrival jitter "
+                             "fraction for the paced load generator")
+    parser.add_argument("--reorder", type=float, default=0.0, metavar="P",
+                        help="serve command: probability the load generator "
+                             "delivers a chunk out of order (within the "
+                             "gap window)")
     args = parser.parse_args(argv)
     try:
         # Same pairing rule as StreamPipeline.run; the CLI additionally
@@ -613,7 +721,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--serve-metrics only applies to the 'fleet' command")
 
     telemetry_on = bool(
-        args.telemetry or args.telemetry_summary or args.serve_metrics is not None
+        args.telemetry
+        or args.telemetry_summary
+        or args.serve_metrics is not None
+        or args.experiment == "serve"  # /metrics needs a live hub
     )
     sink = None
     if telemetry_on:

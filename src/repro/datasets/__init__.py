@@ -5,7 +5,7 @@ from .benchmarks import (
     make_rbf_drift_stream,
     make_sea_stream,
 )
-from .fleet import DevicePlan, interleave_schedule, plan_fleet
+from .fleet import DevicePlan, ReplayPace, interleave_schedule, plan_fleet
 from .labeling import ClusterLabels, cluster_label
 from .coolingfan import (
     N_BINS,
@@ -51,6 +51,7 @@ __all__ = [
     "make_hyperplane_stream",
     "make_rbf_drift_stream",
     "DevicePlan",
+    "ReplayPace",
     "plan_fleet",
     "interleave_schedule",
 ]

@@ -16,13 +16,50 @@ construction therefore lives in :mod:`repro.fleet`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..utils.exceptions import ConfigurationError
 
-__all__ = ["DevicePlan", "plan_fleet", "interleave_schedule"]
+__all__ = ["DevicePlan", "ReplayPace", "plan_fleet", "interleave_schedule"]
+
+#: Seed-sequence domain tag for inter-arrival jitter — a separate stream
+#: from the round-shuffle RNG, so pacing a schedule never changes *which*
+#: chunk arrives next, only *when* (byte-identity comparisons against the
+#: unpaced schedule rely on this).
+_PACE_DOMAIN = 0x9ACE
+
+
+@dataclass(frozen=True)
+class ReplayPace:
+    """Wall-clock arrival model for trace replay.
+
+    Each device nominally emits ``samples_per_sec`` samples, so a chunk
+    of *n* samples follows its predecessor on the same device after
+    ``n / samples_per_sec`` seconds, scaled down by the acceleration
+    ``rate`` (``rate=10`` replays ten times faster than real time) and
+    multiplied by a seeded jitter drawn uniformly from
+    ``[1 - jitter, 1 + jitter]`` — the bursty-but-reproducible arrival
+    process both :func:`~repro.fleet.soak.run_fleet_soak` replays and the
+    serving load generator (:mod:`repro.serving.loadgen`) put on the wire.
+    """
+
+    samples_per_sec: float = 100.0
+    rate: float = 1.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.samples_per_sec > 0:
+            raise ConfigurationError(
+                f"samples_per_sec must be positive, got {self.samples_per_sec!r}."
+            )
+        if not self.rate > 0:
+            raise ConfigurationError(f"rate must be positive, got {self.rate!r}.")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1), got {self.jitter!r}."
+            )
 
 
 @dataclass(frozen=True)
@@ -85,7 +122,8 @@ def interleave_schedule(
     chunk_size: int,
     *,
     seed: int = 0,
-) -> Iterator[Tuple[int, int, int]]:
+    pace: Optional[ReplayPace] = None,
+) -> Iterator[Tuple[int, ...]]:
     """Yield ``(device_index, start, stop)`` chunks in a seeded shuffle.
 
     Round-based: each round visits every device that still has samples
@@ -94,18 +132,47 @@ def interleave_schedule(
     an LRU cache of sessions — with more live devices than resident
     slots, *every* visit in a round is a miss — while staying exactly
     reproducible from ``seed``.
+
+    With ``pace`` the same chunks come back as 4-tuples
+    ``(arrival_seconds, device_index, start, stop)`` sorted by arrival
+    time: each device runs its own clock (chunk of *n* samples lands
+    ``n / samples_per_sec / rate`` seconds after its predecessor, times
+    a seeded jitter factor), and the merged timeline is the trace-replay
+    arrival process. Jitter draws come from a dedicated RNG stream, so
+    the per-device chunk sequence is identical to the unpaced schedule —
+    only timestamps change.
     """
     if chunk_size <= 0:
         raise ConfigurationError(f"chunk_size must be positive, got {chunk_size}.")
     rng = np.random.default_rng(seed)
     cursors = [0] * len(lengths)
     live = [i for i, n in enumerate(lengths) if n > 0]
-    while live:
-        order = rng.permutation(len(live))
-        for j in order:
-            i = live[j]
-            start = cursors[i]
-            stop = min(start + chunk_size, lengths[i])
-            cursors[i] = stop
-            yield i, start, stop
-        live = [i for i in live if cursors[i] < lengths[i]]
+
+    def _rounds() -> Iterator[Tuple[int, int, int]]:
+        nonlocal live
+        while live:
+            order = rng.permutation(len(live))
+            for j in order:
+                i = live[j]
+                start = cursors[i]
+                stop = min(start + chunk_size, lengths[i])
+                cursors[i] = stop
+                yield i, start, stop
+            live = [i for i in live if cursors[i] < lengths[i]]
+
+    if pace is None:
+        yield from _rounds()
+        return
+
+    jitter_rng = np.random.default_rng((int(seed), _PACE_DOMAIN))
+    clocks = [0.0] * len(lengths)
+    timed = []
+    for order_idx, (i, start, stop) in enumerate(_rounds()):
+        gap = (stop - start) / pace.samples_per_sec / pace.rate
+        if pace.jitter:
+            gap *= 1.0 + pace.jitter * (2.0 * jitter_rng.random() - 1.0)
+        clocks[i] += gap
+        timed.append((clocks[i], order_idx, i, start, stop))
+    timed.sort(key=lambda ev: (ev[0], ev[1]))
+    for t, _order_idx, i, start, stop in timed:
+        yield t, i, start, stop

@@ -28,6 +28,7 @@ eviction).
 
 from __future__ import annotations
 
+import time
 from contextlib import ExitStack
 from typing import List, Optional, Sequence
 
@@ -91,6 +92,13 @@ class StreamSession:
         self._scopes: Optional[ExitStack] = None
         self._prepared = None
         self._finished = False
+        #: number of :meth:`feed` calls that ran to completion.
+        self.feeds = 0
+        #: cumulative wall time spent inside :meth:`feed`.
+        self.feed_seconds = 0.0
+        #: wall time of the most recent :meth:`feed` — the session-level
+        #: latency signal the serving admission controller samples.
+        self.last_feed_seconds = 0.0
 
     # -- introspection ---------------------------------------------------------
 
@@ -162,6 +170,7 @@ class StreamSession:
         ctx.n = stop
         before = len(ctx.records)
         consume, clampers, observers = self._prepared
+        t0 = time.perf_counter()
         try:
             drive_chunks(
                 ctx, consume, clampers, observers, Xc, yc, base=base, stop=stop
@@ -169,6 +178,9 @@ class StreamSession:
         except BaseException:
             self._teardown(ok=False)
             raise
+        self.last_feed_seconds = time.perf_counter() - t0
+        self.feed_seconds += self.last_feed_seconds
+        self.feeds += 1
         return ctx.records[before:]
 
     def close(self) -> list:

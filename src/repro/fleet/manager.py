@@ -271,7 +271,9 @@ class FleetManager:
                 ).inc(drifts, device=device_id)
         return records
 
-    def submit_many(self, batch: List[tuple]) -> List[list]:
+    def submit_many(
+        self, batch: List[tuple], *, contain_errors: bool = False
+    ) -> List[list]:
         """Feed many arriving chunks, batching the forward passes.
 
         ``batch`` is a list of ``(device_id, Xc, yc)`` in arrival order;
@@ -280,6 +282,12 @@ class FleetManager:
         are independent streams, so cross-device order carries no
         meaning). With ``batch_scoring`` off this is just a loop over
         :meth:`submit`.
+
+        ``contain_errors=True`` turns a quarantined device (pre-benched
+        or benched mid-batch by a corrupt spool restore) into a ``None``
+        entry in the result list instead of aborting the whole batch —
+        the serving dispatcher needs one poisoned device to cost exactly
+        its own chunks, never the window's.
 
         With it on, the batch is cut into *windows* of at most
         ``capacity`` distinct devices (so the whole window can be
@@ -295,7 +303,9 @@ class FleetManager:
         """
         self._check_open()
         if not self.batch_scoring:
-            return [self.submit(dev, Xc, yc) for dev, Xc, yc in batch]
+            if not contain_errors:
+                return [self.submit(dev, Xc, yc) for dev, Xc, yc in batch]
+            return [self._submit_contained(dev, Xc, yc) for dev, Xc, yc in batch]
         out: List[list] = []
         start = 0
         while start < len(batch):
@@ -303,6 +313,11 @@ class FleetManager:
             window_devices: Dict[str, List[np.ndarray]] = {}
             while stop < len(batch):
                 device_id = str(batch[stop][0])
+                if contain_errors and device_id in self._quarantined:
+                    # Not primed (priming would resurrect its session);
+                    # its submit below yields the contained None.
+                    stop += 1
+                    continue
                 if (
                     device_id not in window_devices
                     and len(window_devices) >= self.capacity
@@ -312,9 +327,12 @@ class FleetManager:
                     np.asarray(batch[stop][1], dtype=np.float64)
                 )
                 stop += 1
-            self._prime_window(window_devices)
+            self._prime_window(window_devices, contain_errors=contain_errors)
             for dev, Xc, yc in batch[start:stop]:
-                out.append(self.submit(dev, Xc, yc))
+                if contain_errors:
+                    out.append(self._submit_contained(dev, Xc, yc))
+                else:
+                    out.append(self.submit(dev, Xc, yc))
             for device_id in window_devices:
                 session = self._resident.get(device_id)
                 if session is not None:
@@ -324,11 +342,28 @@ class FleetManager:
             start = stop
         return out
 
-    def _prime_window(self, window_devices: Dict[str, List[np.ndarray]]) -> None:
+    def _submit_contained(self, device_id: str, Xc, yc):
+        """One :meth:`submit` with quarantine contained to a ``None`` result."""
+        try:
+            return self.submit(device_id, Xc, yc)
+        except DeviceQuarantinedError:
+            return None
+
+    def _prime_window(
+        self,
+        window_devices: Dict[str, List[np.ndarray]],
+        *,
+        contain_errors: bool = False,
+    ) -> None:
         """Group one window's pending rows, run the GEMMs, prime models."""
         items = []
         for device_id, chunks in window_devices.items():
-            session = self._touch(device_id)
+            try:
+                session = self._touch(device_id)
+            except DeviceQuarantinedError:
+                if not contain_errors:
+                    raise
+                continue  # benched by a corrupt restore; submit contains it
             rows = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
             items.append((device_id, session.pipeline, rows))
         groups, fallback = self._planner.plan(items)

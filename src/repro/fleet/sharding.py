@@ -91,18 +91,44 @@ class _ShardHost:
             chunk_size=chunk_size,
             batch_scoring=batch_scoring,
         )
+        self._last_stats: dict = {}
+
+    def _stats_delta(self) -> dict:
+        """Scalar stats moved since the last submit reply (piggybacked).
+
+        ``max_resident`` ships absolute (the parent folds it with max);
+        everything else is the increment, so the parent's running sum
+        tracks this worker's true totals without a round trip.
+        """
+        cur = self.manager.stats.to_json()
+        delta = {}
+        for key, value in cur.items():
+            if key == "max_resident":
+                delta[key] = value
+            else:
+                moved = value - self._last_stats.get(key, 0)
+                if moved:
+                    delta[key] = moved
+        self._last_stats = cur
+        return delta
 
     def add_device(self, device_id: str, spec_json: dict) -> None:
         self.manager.add_device(device_id, ExperimentSpec.from_json(spec_json))
 
-    def submit(self, device_id: str, Xc, yc) -> int:
-        return len(self.manager.submit(device_id, np.asarray(Xc), np.asarray(yc)))
+    def submit(self, device_id: str, Xc, yc) -> dict:
+        records = self.manager.submit(device_id, np.asarray(Xc), np.asarray(yc))
+        return {"records": len(records), "stats": self._stats_delta()}
 
-    def submit_many(self, batch) -> int:
+    def submit_many(self, batch, contain_errors: bool = False) -> dict:
         records = self.manager.submit_many(
-            [(dev, np.asarray(Xc), np.asarray(yc)) for dev, Xc, yc in batch]
+            [(dev, np.asarray(Xc), np.asarray(yc)) for dev, Xc, yc in batch],
+            contain_errors=contain_errors,
         )
-        return sum(len(recs) for recs in records)
+        return {
+            "records": sum(len(recs) for recs in records if recs is not None),
+            "dropped": sum(1 for recs in records if recs is None),
+            "stats": self._stats_delta(),
+        }
 
     def finish_all(self) -> Dict[str, list]:
         return self.manager.finish_all()
@@ -200,6 +226,7 @@ class ShardedFleetManager:
         telemetry_every: Optional[int] = 64,
         batch_scoring: bool = False,
         supervisor: Optional[SupervisorConfig] = None,
+        ladder=None,
     ) -> None:
         if n_shards <= 0:
             raise ConfigurationError(f"n_shards must be positive, got {n_shards}.")
@@ -213,7 +240,9 @@ class ShardedFleetManager:
         self.batch_scoring = bool(batch_scoring)
         parent_tel = default_telemetry()
         self.supervisor = (
-            FleetSupervisor(supervisor, self.n_shards, telemetry=parent_tel)
+            FleetSupervisor(
+                supervisor, self.n_shards, telemetry=parent_tel, ladder=ladder
+            )
             if supervisor is not None
             else None
         )
@@ -241,6 +270,9 @@ class ShardedFleetManager:
         #: devices whose records were already collected by finish_all —
         #: a later recovery must not resurrect them from stale spools.
         self._finished: set = set()
+        #: running fleet-wide totals folded from the stats deltas each
+        #: worker piggybacks on its submit replies (see :meth:`live_stats`).
+        self._live: Dict[str, float] = {}
         self._closed = False
 
     def shard_for(self, device_id: str) -> int:
@@ -333,7 +365,7 @@ class ShardedFleetManager:
         self._on_transition(sup.note_queue_depth(len(self._pending)))
         return ticket
 
-    def submit_many(self, batch) -> List:
+    def submit_many(self, batch, *, contain_errors: bool = False) -> List:
         """Partition a ``(device_id, Xc, yc)`` batch by shard and enqueue.
 
         Each shard receives its sub-batch (arrival order preserved) in a
@@ -346,7 +378,9 @@ class ShardedFleetManager:
         Supervised, entries refused by admission control (quarantined
         device, ladder shedding) are *dropped* — counted in the
         supervisor's ``dropped_feeds`` — instead of aborting the whole
-        batch.
+        batch. ``contain_errors`` is forwarded to each worker manager so
+        a device quarantined *inside* the worker costs only its own
+        entries (the serving dispatcher relies on this).
         """
         sup = self.supervisor
         per_shard: Dict[int, list] = {}
@@ -372,7 +406,9 @@ class ShardedFleetManager:
         tickets = []
         for shard, sub_batch in per_shard.items():
             try:
-                ticket = self._pool.submit(shard, "submit_many", sub_batch)
+                ticket = self._pool.submit(
+                    shard, "submit_many", sub_batch, contain_errors
+                )
             except ShardDiedError:
                 if sup is None:
                     raise
@@ -394,20 +430,45 @@ class ShardedFleetManager:
         *contains* them — hung shards are escalated and respawned, dead
         shards recovered with journal replay, worker-side request
         failures struck against the offending device.
+
+        The unsupervised path collects via
+        :meth:`~repro.metrics.parallel.ShardPool.collect_any`, so one
+        slow shard no longer blocks folding the replies other shards
+        already produced (supervised collection stays per-ticket FIFO —
+        recovery attribution needs the oldest outstanding request
+        first).
         """
         pending, self._pending = self._pending, []
         if self.supervisor is None:
-            for ticket in pending:
-                self._pool.collect(ticket)
+            remaining = set(pending)
+            while remaining:
+                ticket, payload = self._pool.collect_any(remaining)
+                remaining.discard(ticket)
+                self._entry_of.pop(ticket, None)
+                self._fold_stats(payload)
             return
         for ticket in pending:
             self._collect_supervised(ticket)
+
+    def _fold_stats(self, payload) -> None:
+        """Fold one submit reply's piggybacked stats delta into the
+        running live totals."""
+        if not isinstance(payload, dict):
+            return
+        delta = payload.get("stats")
+        if not delta:
+            return
+        for key, value in delta.items():
+            if key == "max_resident":
+                self._live[key] = max(self._live.get(key, 0), value)
+            else:
+                self._live[key] = self._live.get(key, 0) + value
 
     def _collect_supervised(self, ticket: int) -> None:
         sup = self.supervisor
         shard, device_id = self._entry_of.pop(ticket, (None, None))
         try:
-            self._pool.collect(ticket)
+            payload = self._pool.collect(ticket)
         except ShardTimeoutError:
             if shard is not None:
                 self._recover(shard)
@@ -438,6 +499,7 @@ class ShardedFleetManager:
                     sup.quarantined[device_id],
                 )
         else:
+            self._fold_stats(payload)
             self._on_transition(sup.note_clean())
 
     # -- supervised recovery ---------------------------------------------------
@@ -591,15 +653,59 @@ class ShardedFleetManager:
             merged.setdefault(device_id, [])
         return merged
 
+    def shed(self, k: int) -> int:
+        """Evict up to ``k`` coldest sessions on *every* shard.
+
+        The serving admission controller calls this when the fleet
+        ladder reaches PASSTHROUGH — memory is handed back now, sessions
+        restore lazily later. Best-effort: a shard that fails to shed is
+        skipped. Returns the total sessions shed.
+        """
+        total = 0
+        for shard in range(self.n_shards):
+            try:
+                if self.supervisor is None:
+                    shed = self._pool.call(shard, "shed", int(k))
+                else:
+                    shed = self._call_supervised(shard, "shed", int(k))
+                total += int(shed or 0)
+            except ShardError:  # pragma: no cover — shedding is best-effort
+                pass
+        return total
+
     def stats(self) -> List[dict]:
         """Per-shard stat snapshots (as plain dicts from the workers)."""
         self.drain()
         if self.supervisor is None:
-            return self._pool.broadcast("stats")
-        return [
-            self._call_supervised(shard, "stats")
-            for shard in range(self.n_shards)
-        ]
+            snapshots = self._pool.broadcast("stats")
+        else:
+            snapshots = [
+                self._call_supervised(shard, "stats")
+                for shard in range(self.n_shards)
+            ]
+        # Authoritative collect boundary: re-anchor the live totals so
+        # they are exact here and monotone (delta-fed) in between.
+        live: Dict[str, float] = {}
+        for snap in snapshots:
+            for key, value in FleetStats.from_json(snap).to_json().items():
+                if key == "max_resident":
+                    live[key] = max(live.get(key, 0), value)
+                else:
+                    live[key] = live.get(key, 0) + value
+        self._live = live
+        return snapshots
+
+    def live_stats(self) -> dict:
+        """Mid-run fleet totals without a collect round trip.
+
+        Folded from the stats deltas every worker piggybacks on its
+        submit replies, so a ``/fleet`` dashboard scraped *during* a
+        soak sees true running totals instead of zeros-until-boundary.
+        Exact at every :meth:`stats`/:meth:`aggregate_stats` boundary;
+        between boundaries it trails the workers by at most the
+        outstanding (not-yet-collected) submits.
+        """
+        return dict(self._live)
 
     def aggregate_stats(self) -> FleetStats:
         """Fleet-wide :class:`FleetStats` summed over every shard.

@@ -137,13 +137,18 @@ class FleetSupervisor:
         n_shards: int,
         *,
         telemetry=None,
+        ladder: Optional[DegradationLadder] = None,
     ) -> None:
         if int(n_shards) < 1:
             raise ConfigurationError(f"n_shards must be >= 1, got {n_shards!r}.")
         self.config = config
         self.n_shards = int(n_shards)
         self.telemetry = telemetry if telemetry is not None else default_telemetry()
-        self.ladder = DegradationLadder(
+        # An injected ladder makes this supervisor share its degradation
+        # state with another authority — the serving admission controller
+        # passes its own ladder in, so network backpressure and shard
+        # supervision escalate and de-escalate as one.
+        self.ladder = ladder if ladder is not None else DegradationLadder(
             trip_faults=config.trip_faults,
             fault_window=config.fault_window,
             freeze_trips=config.freeze_trips,

@@ -47,6 +47,7 @@ import json
 import multiprocessing
 import os
 import time
+from multiprocessing import connection as mp_connection
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from dataclasses import dataclass
 from pathlib import Path
@@ -601,7 +602,24 @@ class ParallelRunner:
 
 
 class ShardError(RuntimeError):
-    """A shard worker raised (or died) while serving a request."""
+    """A shard worker raised (or died) while serving a request.
+
+    Carries ``ticket`` (the request it belongs to, when known) and
+    ``shard`` (the worker it came from, when known) so multi-ticket
+    collectors — :meth:`ShardPool.collect_any` callers — can attribute a
+    failure without parsing the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        ticket: Optional[int] = None,
+        shard: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.ticket = ticket
+        self.shard = shard
 
 
 class ShardDiedError(ShardError):
@@ -858,14 +876,18 @@ class ShardPool:
                 if remaining <= 0 or not conn.poll(remaining):
                     raise ShardTimeoutError(
                         f"shard {shard} gave no reply for ticket {ticket} "
-                        f"within {float(timeout):g}s."
+                        f"within {float(timeout):g}s.",
+                        ticket=ticket,
+                        shard=shard,
                     )
             try:
                 t, ok, payload, tel_delta = conn.recv()
             except (EOFError, OSError) as exc:
                 raise ShardDiedError(
                     f"shard {shard} died with {len(self._shard_of)} "
-                    "request(s) outstanding."
+                    "request(s) outstanding.",
+                    ticket=ticket,
+                    shard=shard,
                 ) from exc
             if tel_delta is not None and self.telemetry.enabled:
                 self.telemetry.merge(tel_delta, extra_labels={"shard": shard})
@@ -873,8 +895,100 @@ class ShardPool:
             self._shard_of.pop(t, None)
         ok, payload = self._replies.pop(ticket)
         if not ok:
-            raise ShardError(f"shard request failed: {payload}")
+            raise ShardError(
+                f"shard request failed: {payload}", ticket=ticket, shard=shard
+            )
         return payload
+
+    def collect_any(
+        self,
+        tickets: Optional[Iterable[int]] = None,
+        *,
+        timeout: Any = _POOL_DEFAULT,
+    ) -> Tuple[int, Any]:
+        """Block until *any* wanted ticket's reply is ready; return it.
+
+        ``tickets`` restricts the wait to those tickets (default: every
+        outstanding or buffered ticket). Returns ``(ticket, payload)``
+        for the lowest-numbered ready ticket — deterministic when
+        several replies are already buffered. Unlike :meth:`collect`,
+        the wait multiplexes over **all** shards that still owe a wanted
+        reply (``multiprocessing.connection.wait``), so one slow shard
+        cannot stall results that other shards already produced — the
+        head-of-line fix the fleet drain and the serving dispatcher
+        build on.
+
+        A failed request raises :class:`ShardError` with ``.ticket``
+        set (that ticket is consumed; the rest stay collectable). A
+        dead worker raises :class:`ShardDiedError` with ``.shard`` set
+        and leaves its tickets outstanding for the caller to recover
+        (e.g. via :meth:`restart_shard`).
+        """
+        if timeout is ShardPool._POOL_DEFAULT:
+            timeout = self.request_timeout
+        wanted: Optional[set] = None
+        if tickets is not None:
+            wanted = {int(t) for t in tickets}
+            unknown = [
+                t
+                for t in wanted
+                if t not in self._replies and t not in self._shard_of
+            ]
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown or already-collected ticket(s) {sorted(unknown)}."
+                )
+            if not wanted:
+                raise ConfigurationError("collect_any of an empty ticket set.")
+        deadline = None if timeout is None else time.monotonic() + float(timeout)
+        while True:
+            ready_tickets = (
+                self._replies.keys()
+                if wanted is None
+                else wanted & self._replies.keys()
+            )
+            if ready_tickets:
+                ticket = min(ready_tickets)
+                ok, payload = self._replies.pop(ticket)
+                if not ok:
+                    raise ShardError(
+                        f"shard request failed: {payload}", ticket=ticket
+                    )
+                return ticket, payload
+            owing = {
+                s
+                for t, s in self._shard_of.items()
+                if wanted is None or t in wanted
+            }
+            if not owing:
+                raise ConfigurationError("no outstanding tickets to collect.")
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                ready = []
+            else:
+                ready = mp_connection.wait(
+                    [self._conns[s] for s in sorted(owing)], timeout=remaining
+                )
+            if not ready:
+                raise ShardTimeoutError(
+                    f"no reply from shard(s) {sorted(owing)} within "
+                    f"{float(timeout):g}s."
+                )
+            shard_of_conn = {id(self._conns[s]): s for s in owing}
+            for conn in ready:
+                shard = shard_of_conn[id(conn)]
+                try:
+                    t, ok, payload, tel_delta = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise ShardDiedError(
+                        f"shard {shard} died with {len(self._shard_of)} "
+                        "request(s) outstanding.",
+                        shard=shard,
+                    ) from exc
+                if tel_delta is not None and self.telemetry.enabled:
+                    self.telemetry.merge(tel_delta, extra_labels={"shard": shard})
+                self._replies[t] = (ok, payload)
+                self._shard_of.pop(t, None)
 
     def restart_shard(self, shard: int, *, grace: float = 1.0) -> str:
         """Stop ``shard``'s worker (if needed) and spawn a fresh one.

@@ -1,0 +1,47 @@
+"""Network serving for the fleet engine: ingestion, admission, front-end.
+
+The fleet layers below this package are caller-paced — someone loops and
+calls ``submit``. This package turns them into a *served* system that
+real traffic can be pointed at:
+
+* :mod:`repro.serving.ingest` — per-device bounded inbound lanes with
+  monotone sequence numbers, out-of-order buffering inside a gap window,
+  and a dispatcher thread draining the lanes into
+  :meth:`~repro.fleet.manager.FleetManager.submit_many` arrival windows
+  (so the batched scoring path keeps working under network arrivals);
+* :mod:`repro.serving.admission` — maps queue depth and dispatch
+  latency onto the guard :class:`~repro.guard.ladder.DegradationLadder`
+  (HEALTHY=accept, SANITIZING=throttle, PASSTHROUGH=shed, FROZEN=reject)
+  and emits the ``fleet.ingest.*`` metrics;
+* :mod:`repro.serving.server` — an asyncio HTTP/1.1 front-end (stdlib
+  only) exposing ``POST /v1/devices/{id}/chunks``,
+  ``GET /v1/devices/{id}/results`` and the ``/metrics`` / ``/health`` /
+  ``/fleet`` observability endpoints on one port;
+* :mod:`repro.serving.loadgen` — replays
+  :func:`~repro.datasets.fleet.plan_fleet` schedules against the server
+  (or straight into the core) at wall-clock or accelerated rates with
+  seeded jitter and bounded out-of-order reordering, measuring sustained
+  samples/s and p99 ingest latency.
+
+See ``docs/serving.md`` for the endpoint and sequencing contract.
+"""
+
+from .admission import AdmissionController, AdmissionDecision, device_priority
+from .ingest import ChunkEnvelope, IngestCore, IngestResult, Offer, OfferStatus
+from .loadgen import LoadReport, run_load
+from .server import IngestServer, ServingStack
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "ChunkEnvelope",
+    "IngestCore",
+    "IngestResult",
+    "IngestServer",
+    "LoadReport",
+    "Offer",
+    "OfferStatus",
+    "ServingStack",
+    "device_priority",
+    "run_load",
+]

@@ -1,0 +1,273 @@
+"""Admission control: queue pressure and latency mapped onto the ladder.
+
+The guard :class:`~repro.guard.ladder.DegradationLadder` already gives
+the fleet a load-shedding vocabulary (PR 9 uses it for respawn churn);
+this module reuses the *same* state machine as the serving tier's
+admission authority:
+
+========== ============================================================
+HEALTHY    accept every chunk
+SANITIZING **throttle** — new chunks are refused with a ``Retry-After``
+           hint (they were never admitted, so the no-record-loss
+           contract is untouched; well-behaved clients resend)
+PASSTHROUGH **shed** — the manager evicts its coldest sessions
+           (:meth:`~repro.fleet.manager.FleetManager.shed`) and the
+           lowest-priority slice of the device space is refused while
+           higher-priority devices keep flowing
+FROZEN     **reject** everything (sticky, like the guard ladder)
+========== ============================================================
+
+Escalation signals: a full lane while HEALTHY is a *fault* (enough of
+them inside ``fault_window`` trips to SANITIZING); a full lane while
+already throttling means throttling is not containing the load — that is
+a *trip* (straight to PASSTHROUGH, and to FROZEN on repeat); a dispatch
+that raises is a trip; a dispatch slower than ``latency_slo`` is a
+fault. Clean dispatches de-escalate through the ladder's own hysteresis
+cooldown.
+
+Device priority is a stable hash (:func:`device_priority`) so shedding
+is deterministic, uniform over the fleet, and identical across
+processes — the same devices are shed on every run of a seeded soak.
+
+Sharing: pass ``controller.ladder`` to
+:class:`~repro.fleet.supervisor.FleetSupervisor` (its ``ladder=`` knob)
+and network backpressure and shard supervision escalate as one
+authority.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from ..guard.ladder import DegradationLadder, GuardLevel, Transition
+from ..utils.exceptions import ConfigurationError
+from ..utils.hooks import default_telemetry
+
+__all__ = ["AdmissionController", "AdmissionDecision", "device_priority"]
+
+
+def device_priority(device_id: str) -> float:
+    """Stable priority in ``[0, 1)`` — higher survives shedding longer.
+
+    sha256-based like :func:`~repro.fleet.sharding.shard_of` (builtin
+    ``hash`` is salted per process, which would shed different devices
+    every run).
+    """
+    digest = hashlib.sha256(str(device_id).encode()).digest()
+    return int.from_bytes(digest[8:16], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one :meth:`AdmissionController.admit` call.
+
+    ``action`` is one of ``"accept"``, ``"throttle"``, ``"shed"``,
+    ``"reject"``; non-accept decisions carry a ``retry_after`` hint in
+    seconds (``shed``/``reject`` hints are advisory — the device may
+    well be refused again).
+    """
+
+    action: str
+    level: GuardLevel
+    retry_after: Optional[float] = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.action == "accept"
+
+
+class AdmissionController:
+    """Map ingest pressure onto a :class:`DegradationLadder`.
+
+    Parameters
+    ----------
+    ladder:
+        The shared degradation authority; built with serving-tuned
+        thresholds when not supplied.
+    shed_fraction:
+        Slice of the device-priority space refused while PASSTHROUGH
+        (the *lowest*-priority devices).
+    retry_after:
+        Base ``Retry-After`` hint (seconds) while throttling; scaled by
+        current queue pressure.
+    latency_slo:
+        Dispatch wall-time budget in seconds; a slower dispatch counts
+        as a fault. ``None`` disables the latency signal.
+    telemetry:
+        Hub for the ``fleet.ingest.*`` metrics (defaults to the process
+        hub; a disabled hub costs nothing).
+    """
+
+    def __init__(
+        self,
+        *,
+        ladder: Optional[DegradationLadder] = None,
+        shed_fraction: float = 0.25,
+        retry_after: float = 0.25,
+        latency_slo: Optional[float] = None,
+        telemetry=None,
+    ) -> None:
+        if not 0.0 < float(shed_fraction) <= 1.0:
+            raise ConfigurationError(
+                f"shed_fraction must be in (0, 1], got {shed_fraction!r}."
+            )
+        if float(retry_after) <= 0:
+            raise ConfigurationError(
+                f"retry_after must be positive, got {retry_after!r}."
+            )
+        if latency_slo is not None and float(latency_slo) <= 0:
+            raise ConfigurationError(
+                f"latency_slo must be positive or None, got {latency_slo!r}."
+            )
+        # Serving-tuned defaults: wider windows than the guard's
+        # per-stream ladder so the throttle level is visibly *held*
+        # (and observable) before pressure escalates it further.
+        self.ladder = ladder if ladder is not None else DegradationLadder(
+            trip_faults=8,
+            fault_window=64,
+            freeze_trips=4,
+            trip_window=512,
+            cooldown=64,
+        )
+        self.shed_fraction = float(shed_fraction)
+        self.retry_after = float(retry_after)
+        self.latency_slo = None if latency_slo is None else float(latency_slo)
+        self.telemetry = telemetry if telemetry is not None else default_telemetry()
+        #: monotone event index the ladder windows run over.
+        self.clock = 0
+        #: pressure in [0, 1] — the dispatcher reports fleet queue fill.
+        self._pressure = 0.0
+        #: shed requests not yet executed by the dispatcher.
+        self._pending_sheds = 0
+        self.decisions = {"accept": 0, "throttle": 0, "shed": 0, "reject": 0}
+        self.transitions: list = []
+
+    # -- decisions -------------------------------------------------------------
+
+    @property
+    def level(self) -> GuardLevel:
+        return self.ladder.level
+
+    def admit(self, device_id: str) -> AdmissionDecision:
+        """Decide one chunk's fate from the current ladder level."""
+        self.clock += 1
+        level = self.ladder.level
+        if level == GuardLevel.HEALTHY:
+            decision = AdmissionDecision("accept", level)
+        elif level == GuardLevel.SANITIZING:
+            decision = AdmissionDecision(
+                "throttle", level, retry_after=self.retry_hint()
+            )
+        elif level == GuardLevel.PASSTHROUGH:
+            if device_priority(device_id) < self.shed_fraction:
+                decision = AdmissionDecision(
+                    "shed", level, retry_after=4 * self.retry_hint()
+                )
+            else:
+                decision = AdmissionDecision("accept", level)
+        else:  # FROZEN
+            decision = AdmissionDecision(
+                "reject", level, retry_after=8 * self.retry_hint()
+            )
+        self.decisions[decision.action] += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter(
+                "fleet.ingest.decisions",
+                "admission outcomes by action",
+                labels=("action",),
+            ).inc(action=decision.action)
+        return decision
+
+    def retry_hint(self) -> float:
+        # More backlog => longer hint; bounded to 8x base so a client
+        # never parks for minutes because one scrape saw a spike.
+        return self.retry_after * (1.0 + 7.0 * min(1.0, max(0.0, self._pressure)))
+
+    # -- signals from the ingest core ------------------------------------------
+
+    def note_pressure(self, fill: float) -> None:
+        """Report fleet-wide lane fill in ``[0, 1]`` (gauge + retry hints)."""
+        self._pressure = float(fill)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.gauge(
+                "fleet.ingest.queue.fill", "bounded-lane fill fraction (0-1)"
+            ).set(self._pressure)
+
+    def note_queue_full(self) -> Optional[Transition]:
+        """A lane hit capacity. Fault while HEALTHY; trip once throttling.
+
+        The distinction is the staircase: the first full lanes nudge the
+        ladder toward SANITIZING (throttle); lanes *still* filling while
+        throttled mean the clients are not backing off — escalate to
+        shedding, then reject.
+        """
+        self.clock += 1
+        if self.ladder.level == GuardLevel.HEALTHY:
+            transition = self.ladder.record_fault(self.clock)
+        else:
+            transition = self.ladder.record_trip(
+                self.clock, "lanes full despite throttling"
+            )
+        return self._note(transition)
+
+    def note_dispatch(self, seconds: float, samples: int) -> Optional[Transition]:
+        """A dispatch window completed; clean unless over the latency SLO."""
+        self.clock += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.histogram(
+                "fleet.ingest.dispatch.seconds",
+                "wall time of one dispatcher window",
+            ).observe(float(seconds))
+            if samples:
+                tel.counter(
+                    "fleet.ingest.samples", "samples dispatched into the fleet"
+                ).inc(int(samples))
+        if self.latency_slo is not None and float(seconds) > self.latency_slo:
+            return self._note(
+                self.ladder.record_fault(self.clock)
+            )
+        return self._note(self.ladder.record_clean(self.clock))
+
+    def note_failure(self, reason: str) -> Optional[Transition]:
+        """A dispatch raised — the engine itself is unhealthy: trip."""
+        self.clock += 1
+        return self._note(self.ladder.record_trip(self.clock, str(reason)))
+
+    def _note(self, transition: Optional[Transition]) -> Optional[Transition]:
+        if transition is None:
+            return None
+        self.transitions.append(transition)
+        if (
+            transition.to_level == GuardLevel.PASSTHROUGH
+            and transition.to_level > transition.from_level
+        ):
+            self._pending_sheds += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.gauge(
+                "fleet.ingest.level", "admission ladder level (0-3)"
+            ).set(int(transition.to_level))
+            tel.emit(
+                "ingest_ladder_transition",
+                from_level=int(transition.from_level),
+                to_level=int(transition.to_level),
+                reason=transition.reason,
+            )
+        return transition
+
+    def take_shed_request(self) -> bool:
+        """Dispatcher hook: one pending PASSTHROUGH entry to act on?
+
+        Shedding touches the manager, and all manager access belongs to
+        the dispatcher thread — so the transition only *requests* the
+        shed and the dispatcher executes it between windows.
+        """
+        if self._pending_sheds > 0:
+            self._pending_sheds -= 1
+            return True
+        return False

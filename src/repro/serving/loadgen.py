@@ -1,0 +1,338 @@
+"""Seeded load generator: replay a planned fleet against the serving tier.
+
+The offline soak (:func:`~repro.fleet.soak.run_fleet_soak`) calls
+``submit`` in a loop; this module puts the *same* planned traffic on the
+wire instead — chunks sequenced per device, optionally shuffled out of
+order within the gap window, paced by a
+:class:`~repro.datasets.fleet.ReplayPace` arrival model, and delivered
+either over HTTP (``POST /v1/devices/{id}/chunks``) or straight into an
+:class:`~repro.serving.ingest.IngestCore`. Refusals are handled the way
+a well-behaved client would: 429s honour ``Retry-After`` (scaled by
+``retry_scale`` so tests do not sleep for real), shed/reject refusals
+are retried a bounded number of times and then counted as undelivered.
+
+Everything is a pure function of ``seed``: the chunk order comes from
+:func:`~repro.datasets.fleet.interleave_schedule`, the hold-back
+reordering and pacing jitter from dedicated RNG streams — so the golden
+tests can assert the served fleet's records are byte-identical to the
+offline soak's for the very same traffic.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..datasets.fleet import ReplayPace, interleave_schedule
+from ..utils.exceptions import ConfigurationError
+
+__all__ = ["LoadReport", "run_load"]
+
+#: Seed-sequence domain for the hold-back reordering draws (distinct
+#: from the schedule-shuffle and pacing-jitter streams).
+_REORDER_DOMAIN = 0x0DD5
+
+#: Refusals worth retrying (the server says when to come back).
+_RETRYABLE = ("queue_full", "throttled")
+#: Refusals retried a few times, then dropped (the server is shedding).
+_SHEDDING = ("shed", "rejected")
+
+
+@dataclass
+class LoadReport:
+    """What one load-generation run measured (benches serialise this)."""
+
+    devices: int
+    chunks: int                #: chunks the schedule produced
+    admitted: int              #: offers that were accepted or buffered
+    samples: int               #: samples inside admitted chunks
+    completed: int             #: completion tickets collected
+    errors: int                #: completions carrying an error
+    retries: int               #: resends after a retryable refusal
+    undelivered: int           #: chunks dropped after retries ran out
+    wall_seconds: float
+    samples_per_sec: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+    max_latency_ms: float
+    statuses: Dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "devices": self.devices,
+            "chunks": self.chunks,
+            "admitted": self.admitted,
+            "samples": self.samples,
+            "completed": self.completed,
+            "errors": self.errors,
+            "retries": self.retries,
+            "undelivered": self.undelivered,
+            "wall_seconds": self.wall_seconds,
+            "samples_per_sec": self.samples_per_sec,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "max_latency_ms": self.max_latency_ms,
+            "statuses": dict(self.statuses),
+        }
+
+
+class _DirectTransport:
+    """Offer straight into an :class:`IngestCore` (no sockets)."""
+
+    def __init__(self, core) -> None:
+        self.core = core
+
+    def offer(self, device_id, seq, Xc, yc) -> Tuple[str, Optional[float]]:
+        result = self.core.offer(device_id, seq, Xc, yc)
+        return result.status.value, result.retry_after
+
+    def results(self, device_id) -> list:
+        return [r.to_json() for r in self.core.results(device_id)]
+
+    def close(self) -> None:
+        pass
+
+
+class _HttpTransport:
+    """Offer over a keep-alive ``http.client`` connection."""
+
+    def __init__(self, base_url: str) -> None:
+        url = base_url.rstrip("/")
+        if url.startswith("http://"):
+            url = url[len("http://"):]
+        elif "://" in url:
+            raise ConfigurationError(f"only http:// targets supported, got {base_url!r}.")
+        host, _, port = url.partition(":")
+        self.host = host
+        self.port = int(port) if port else 80
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def _request(self, method: str, path: str, body: Optional[bytes] = None) -> dict:
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=30.0
+                )
+            try:
+                self._conn.request(method, path, body=body, headers=headers)
+                response = self._conn.getresponse()
+                payload = response.read()
+                return json.loads(payload.decode("utf-8"))
+            except (http.client.HTTPException, OSError):
+                # Stale keep-alive socket — reconnect once, then give up.
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def offer(self, device_id, seq, Xc, yc) -> Tuple[str, Optional[float]]:
+        body = json.dumps(
+            {
+                "seq": int(seq),
+                "X": np.asarray(Xc, dtype=np.float64).tolist(),
+                "y": np.asarray(yc).tolist(),
+            }
+        ).encode("utf-8")
+        reply = self._request("POST", f"/v1/devices/{device_id}/chunks", body)
+        return reply.get("status", "rejected"), reply.get("retry_after")
+
+    def results(self, device_id) -> list:
+        reply = self._request("GET", f"/v1/devices/{device_id}/results")
+        return reply.get("results", [])
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+def _transport(target):
+    if isinstance(target, str):
+        return _HttpTransport(target)
+    if hasattr(target, "offer") and hasattr(target, "results"):
+        return _DirectTransport(target)
+    server = getattr(target, "server", None)
+    if server is not None:  # a ServingStack
+        if getattr(server, "running", False):
+            return _HttpTransport(server.url)
+        return _DirectTransport(target.core)
+    raise ConfigurationError(
+        f"cannot derive a transport from {type(target).__name__} — pass a "
+        "base URL, an IngestCore, or a started ServingStack."
+    )
+
+
+def _stream_arrays(stream) -> Tuple[np.ndarray, np.ndarray]:
+    if hasattr(stream, "X"):
+        return stream.X, stream.y
+    X, y = stream
+    return np.asarray(X), np.asarray(y)
+
+
+def run_load(
+    target,
+    streams: Dict[str, object],
+    *,
+    feed_chunk: int = 100,
+    seed: int = 0,
+    pace: Optional[ReplayPace] = None,
+    reorder: float = 0.0,
+    max_retries: int = 8,
+    retry_scale: float = 1.0,
+    collect_timeout: float = 120.0,
+    progress=None,
+) -> LoadReport:
+    """Replay ``streams`` against ``target`` and collect every completion.
+
+    Parameters
+    ----------
+    target:
+        A base URL (``http://host:port``), an
+        :class:`~repro.serving.ingest.IngestCore`, or a
+        :class:`~repro.serving.server.ServingStack` (its HTTP front-end
+        is used when started, the core directly otherwise).
+    streams:
+        ``device_id -> (X, y)`` (or any object with ``.X`` / ``.y``).
+        Devices must already be registered with the serving side.
+    feed_chunk:
+        Arrival granularity in samples — must match the offline soak's
+        ``feed_chunk`` for byte-identity comparisons.
+    seed:
+        Drives the interleave shuffle, pacing jitter, and reordering;
+        same seed = same traffic, byte for byte.
+    pace:
+        Optional :class:`~repro.datasets.fleet.ReplayPace`; ``None``
+        offers as fast as the target admits.
+    reorder:
+        Probability of holding a chunk back and sending the device's
+        *next* chunk first (exercises the gap-window stash; at most one
+        hold per device at a time, so a ``gap_window >= 1`` suffices).
+    max_retries:
+        Resends per chunk after retryable refusals (429s). Shed/reject
+        refusals get at most 2 retries — a shedding server means it.
+    retry_scale:
+        Multiplier on the server's ``Retry-After`` hints (tests shrink
+        it so nobody actually sleeps for 2 seconds).
+    collect_timeout:
+        How long to poll the results endpoints for outstanding tickets
+        after the replay finishes.
+    """
+    if not 0.0 <= float(reorder) <= 1.0:
+        raise ConfigurationError(f"reorder must be in [0, 1], got {reorder!r}.")
+    transport = _transport(target)
+    device_ids = list(streams)
+    arrays = {dev: _stream_arrays(streams[dev]) for dev in device_ids}
+    lengths = [len(arrays[dev][0]) for dev in device_ids]
+    reorder_rng = np.random.default_rng((int(seed), _REORDER_DOMAIN))
+
+    statuses: Dict[str, int] = {}
+    retries = 0
+    admitted = 0
+    samples = 0
+    undelivered = 0
+    seqs = {dev: 0 for dev in device_ids}
+    held: Dict[str, Optional[tuple]] = {dev: None for dev in device_ids}
+
+    def send(dev: str, seq: int, Xc, yc) -> None:
+        nonlocal admitted, samples, retries, undelivered
+        attempts = 0
+        while True:
+            status, retry_after = transport.offer(dev, seq, Xc, yc)
+            statuses[status] = statuses.get(status, 0) + 1
+            if status in ("accepted", "buffered"):
+                admitted += 1
+                samples += len(Xc)
+                return
+            if status in _RETRYABLE and attempts < max_retries:
+                attempts += 1
+                retries += 1
+                time.sleep(min(2.0, (retry_after or 0.05) * retry_scale))
+                continue
+            if status in _SHEDDING and attempts < min(2, max_retries):
+                attempts += 1
+                retries += 1
+                time.sleep(min(2.0, (retry_after or 0.05) * retry_scale))
+                continue
+            undelivered += 1
+            return
+
+    t_start = time.perf_counter()
+    sent = 0
+    schedule = interleave_schedule(lengths, feed_chunk, seed=seed, pace=pace)
+    for event in schedule:
+        if pace is not None:
+            due, i, start, stop = event
+            lag = t_start + due - time.perf_counter()
+            if lag > 0:
+                time.sleep(lag)
+        else:
+            i, start, stop = event
+        dev = device_ids[i]
+        X, y = arrays[dev]
+        seq = seqs[dev]
+        seqs[dev] += 1
+        chunk = (seq, X[start:stop], y[start:stop])
+        pending = held[dev]
+        if pending is None and reorder and reorder_rng.random() < float(reorder):
+            held[dev] = chunk     # hold; the device's next chunk goes first
+            continue
+        send(dev, *chunk)
+        if pending is not None:
+            held[dev] = None
+            send(dev, *pending)   # fills the gap the hold opened
+        sent += 1
+        if progress is not None and sent % 500 == 0:
+            progress(f"  {sent} chunks offered, {admitted} admitted")
+    for dev, pending in held.items():
+        if pending is not None:   # stream ended while a chunk was held
+            send(dev, *pending)
+
+    # -- collect completions ---------------------------------------------------
+    completed = 0
+    errors = 0
+    latencies: list = []
+    deadline = time.perf_counter() + float(collect_timeout)
+    outstanding = set(device_ids)
+    while outstanding and admitted - completed > 0:
+        progressed = False
+        for dev in list(outstanding):
+            for record in transport.results(dev):
+                completed += 1
+                progressed = True
+                if record.get("error"):
+                    errors += 1
+                latencies.append(float(record.get("latency_seconds", 0.0)))
+            if seqs[dev] == 0:
+                outstanding.discard(dev)
+        if completed >= admitted:
+            break
+        if not progressed:
+            if time.perf_counter() > deadline:
+                break
+            time.sleep(0.02)
+    transport.close()
+
+    wall = time.perf_counter() - t_start
+    lat_ms = np.asarray(latencies, dtype=np.float64) * 1000.0
+    return LoadReport(
+        devices=len(device_ids),
+        chunks=sum(seqs.values()),
+        admitted=admitted,
+        samples=samples,
+        completed=completed,
+        errors=errors,
+        retries=retries,
+        undelivered=undelivered,
+        wall_seconds=wall,
+        samples_per_sec=samples / wall if wall > 0 else 0.0,
+        p50_latency_ms=float(np.percentile(lat_ms, 50)) if len(lat_ms) else 0.0,
+        p99_latency_ms=float(np.percentile(lat_ms, 99)) if len(lat_ms) else 0.0,
+        max_latency_ms=float(lat_ms.max()) if len(lat_ms) else 0.0,
+        statuses=statuses,
+    )

@@ -24,14 +24,17 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from .hub import Telemetry, get_telemetry
 
-__all__ = ["MetricsServer", "ladder_health"]
+__all__ = ["EndpointSuite", "MetricsServer", "ladder_health"]
 
 #: Content type mandated by Prometheus text exposition 0.0.4.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_TEXT = "text/plain; charset=utf-8"
+_JSON = "application/json"
 
 
 def ladder_health(ladder, sentinel=None) -> Callable[[], dict]:
@@ -57,52 +60,71 @@ def ladder_health(ladder, sentinel=None) -> Callable[[], dict]:
     return provider
 
 
+class EndpointSuite:
+    """Render the observability GET endpoints to ``(status, ctype, body)``.
+
+    The routing/rendering core shared by :class:`MetricsServer` (thread
+    per request) and the serving front-end's asyncio loop
+    (:class:`repro.serving.server.IngestServer`) — both answer
+    ``/metrics``, ``/health``, ``/fleet`` and ``/`` identically because
+    both delegate here. Providers run on whatever thread calls
+    :meth:`handle`; hand them thread-safe state only.
+    """
+
+    def __init__(
+        self,
+        telemetry: Optional[Telemetry] = None,
+        *,
+        health_provider: Optional[Callable[[], dict]] = None,
+        fleet_provider: Optional[Callable[[], dict]] = None,
+        index_text: str = "repro metrics endpoint: /metrics /health /fleet\n",
+    ) -> None:
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        self.health_provider = health_provider
+        self.fleet_provider = fleet_provider
+        self.index_text = index_text
+
+    def handle(self, raw_path: str) -> Tuple[int, str, str]:
+        """Route one GET path; returns ``(status, content_type, body)``."""
+        path = raw_path.split("?", 1)[0].rstrip("/") or "/"
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter(
+                "metrics_server.requests", "scrapes served by path", labels=("path",)
+            ).inc(path=path)
+        if path == "/metrics":
+            return 200, PROMETHEUS_CONTENT_TYPE, tel.registry.to_prometheus()
+        if path == "/health":
+            return self._render_json(self.health_provider, healthy_key="status")
+        if path == "/fleet":
+            return self._render_json(self.fleet_provider)
+        if path == "/":
+            return 200, _TEXT, self.index_text
+        return 404, _TEXT, "not found\n"
+
+    def _render_json(
+        self, provider, *, healthy_key: Optional[str] = None
+    ) -> Tuple[int, str, str]:
+        if provider is None:
+            return 404, _TEXT, "not configured\n"
+        try:
+            body = provider()
+        except Exception as exc:  # provider must never take the server down
+            return 503, _JSON, json.dumps({"status": "error", "error": str(exc)}) + "\n"
+        status = 200
+        if healthy_key is not None and body.get(healthy_key) not in (None, "ok"):
+            status = 503
+        return status, _JSON, json.dumps(body, sort_keys=True) + "\n"
+
+
 class _Handler(BaseHTTPRequestHandler):
     # Set per-server via the factory in MetricsServer._make_handler.
     server_version = "repro-metrics/1"
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         srv: "MetricsServer" = self.server.metrics_server  # type: ignore[attr-defined]
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        tel = srv.telemetry
-        if tel.enabled:
-            tel.counter(
-                "metrics_server.requests", "scrapes served by path", labels=("path",)
-            ).inc(path=path)
-        if path == "/metrics":
-            self._reply(200, tel.registry.to_prometheus(), PROMETHEUS_CONTENT_TYPE)
-        elif path == "/health":
-            self._reply_json(srv.health_provider, healthy_key="status")
-        elif path == "/fleet":
-            self._reply_json(srv.fleet_provider)
-        elif path == "/":
-            self._reply(
-                200,
-                "repro metrics endpoint: /metrics /health /fleet\n",
-                "text/plain; charset=utf-8",
-            )
-        else:
-            self._reply(404, "not found\n", "text/plain; charset=utf-8")
-
-    def _reply_json(self, provider, *, healthy_key: Optional[str] = None) -> None:
-        if provider is None:
-            self._reply(404, "not configured\n", "text/plain; charset=utf-8")
-            return
-        try:
-            body = provider()
-        except Exception as exc:  # provider must never take the server down
-            self._reply(
-                503,
-                json.dumps({"status": "error", "error": str(exc)}) + "\n",
-                "application/json",
-            )
-            return
-        status = 200
-        if healthy_key is not None and body.get(healthy_key) not in (None, "ok"):
-            status = 503
-        self._reply(
-            status, json.dumps(body, sort_keys=True) + "\n", "application/json"
-        )
+        status, ctype, body = srv.endpoints.handle(self.path)
+        self._reply(status, body, ctype)
 
     def _reply(self, status: int, body: str, content_type: str) -> None:
         payload = body.encode("utf-8")
@@ -150,11 +172,30 @@ class MetricsServer:
         fleet_provider: Optional[Callable[[], dict]] = None,
     ) -> None:
         self.telemetry = telemetry if telemetry is not None else get_telemetry()
-        self.health_provider = health_provider
-        self.fleet_provider = fleet_provider
+        self.endpoints = EndpointSuite(
+            self.telemetry,
+            health_provider=health_provider,
+            fleet_provider=fleet_provider,
+        )
         self._requested = (host, int(port))
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
+
+    @property
+    def health_provider(self) -> Optional[Callable[[], dict]]:
+        return self.endpoints.health_provider
+
+    @health_provider.setter
+    def health_provider(self, provider: Optional[Callable[[], dict]]) -> None:
+        self.endpoints.health_provider = provider
+
+    @property
+    def fleet_provider(self) -> Optional[Callable[[], dict]]:
+        return self.endpoints.fleet_provider
+
+    @fleet_provider.setter
+    def fleet_provider(self, provider: Optional[Callable[[], dict]]) -> None:
+        self.endpoints.fleet_provider = provider
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -23,7 +23,7 @@ class TestArgParsing:
     def test_all_commands_registered(self):
         assert set(COMMANDS) == {
             "table2", "table3", "table4", "table5", "table6", "fig1", "fleet",
-            "audit",
+            "audit", "serve",
         }
 
     def test_version_flag(self, capsys):

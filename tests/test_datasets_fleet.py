@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import interleave_schedule, plan_fleet
+from repro.datasets.fleet import ReplayPace
 from repro.utils.exceptions import ConfigurationError
 
 
@@ -70,3 +71,51 @@ class TestInterleaveSchedule:
     def test_chunk_size_validated(self):
         with pytest.raises(ConfigurationError, match="chunk_size"):
             list(interleave_schedule([4], 0))
+
+
+class TestReplayPace:
+    LENGTHS = [30, 20, 25]
+
+    def test_pacing_preserves_the_unpaced_chunk_sequence(self):
+        # Jitter draws come from a dedicated RNG stream, so per-device
+        # chunk order is identical to the unpaced schedule — the golden
+        # byte-identity comparisons rely on exactly this.
+        unpaced = list(interleave_schedule(self.LENGTHS, 10, seed=6))
+        pace = ReplayPace(samples_per_sec=50.0, rate=2.0, jitter=0.4)
+        paced = list(interleave_schedule(self.LENGTHS, 10, seed=6, pace=pace))
+        per_dev_unpaced = [[c[1:] for c in unpaced if c[0] == i] for i in range(3)]
+        per_dev_paced = [[c[2:] for c in paced if c[1] == i] for i in range(3)]
+        assert per_dev_paced == per_dev_unpaced
+
+    def test_timestamps_sorted_and_deterministic(self):
+        pace = ReplayPace(samples_per_sec=100.0, jitter=0.3)
+        a = list(interleave_schedule(self.LENGTHS, 10, seed=2, pace=pace))
+        b = list(interleave_schedule(self.LENGTHS, 10, seed=2, pace=pace))
+        assert a == b
+        times = [t for t, _, _, _ in a]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+        c = list(interleave_schedule(self.LENGTHS, 10, seed=3, pace=pace))
+        assert a != c
+
+    def test_rate_divides_arrival_times_exactly(self):
+        slow = ReplayPace(samples_per_sec=100.0, rate=1.0)
+        fast = ReplayPace(samples_per_sec=100.0, rate=4.0)
+        a = list(interleave_schedule(self.LENGTHS, 10, seed=1, pace=slow))
+        b = list(interleave_schedule(self.LENGTHS, 10, seed=1, pace=fast))
+        assert [t / 4.0 for t, *_ in a] == pytest.approx([t for t, *_ in b])
+
+    def test_per_device_clocks_advance_by_chunk_size(self):
+        # No jitter: each 10-sample chunk lands 0.1s after its device's
+        # previous chunk at 100 samples/s.
+        pace = ReplayPace(samples_per_sec=100.0)
+        events = list(interleave_schedule([30], 10, seed=0, pace=pace))
+        assert [t for t, *_ in events] == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="samples_per_sec"):
+            ReplayPace(samples_per_sec=0.0)
+        with pytest.raises(ConfigurationError, match="rate"):
+            ReplayPace(rate=-1.0)
+        with pytest.raises(ConfigurationError, match="jitter"):
+            ReplayPace(jitter=1.0)

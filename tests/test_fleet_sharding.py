@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -206,6 +208,83 @@ class TestShardPool:
                 pool.call(0, "explode")
 
 
+class TestCollectAny:
+    def test_returns_whichever_shard_answers_first(self):
+        # Head-of-line fix: shard 0 is busy napping, shard 1's reply must
+        # come back without waiting on shard 0's FIFO.
+        with ShardPool(2, _host_factory, factory_args=(0,)) as pool:
+            slow = pool.submit(0, "nap", 0.8)
+            fast = pool.submit(1, "add", 2)
+            t0 = time.perf_counter()
+            ticket, payload = pool.collect_any({slow, fast})
+            first_wait = time.perf_counter() - t0
+            assert (ticket, payload) == (fast, 2)
+            assert first_wait < 0.6  # did not serialize behind the nap
+            ticket, payload = pool.collect_any({slow})
+            assert (ticket, payload) == (slow, 0.8)
+
+    def test_serves_buffered_replies_without_waiting(self):
+        with ShardPool(1, _host_factory, factory_args=(5,)) as pool:
+            a = pool.submit(0, "add", 1)
+            b = pool.submit(0, "add", 2)
+            # Strict collect of b buffers a's reply; collect_any must
+            # hand the buffered one back immediately.
+            assert pool.collect(b) == 7
+            ticket, payload = pool.collect_any({a}, timeout=0.5)
+            assert (ticket, payload) == (a, 6)
+
+    def test_failed_ticket_raises_with_attribution(self):
+        with ShardPool(1, _host_factory, factory_args=(0,)) as pool:
+            ok = pool.submit(0, "add", 3)
+            bad = pool.submit(0, "explode")
+            collected = {}
+            wanted = {ok, bad}
+            while wanted:
+                try:
+                    ticket, payload = pool.collect_any(wanted)
+                except ShardError as exc:
+                    assert exc.ticket == bad
+                    wanted.discard(exc.ticket)
+                else:
+                    collected[ticket] = payload
+                    wanted.discard(ticket)
+            assert collected == {ok: 3}
+
+    def test_unknown_and_empty_ticket_sets_rejected(self):
+        with ShardPool(1, _host_factory, factory_args=(0,)) as pool:
+            with pytest.raises(ConfigurationError, match="unknown"):
+                pool.collect_any({999})
+            with pytest.raises(ConfigurationError, match="empty ticket set"):
+                pool.collect_any(set())
+
+
+class TestLiveStats:
+    def test_folds_shard_deltas_while_running(self, tmp_path):
+        specs = {f"dev{i}": _spec(60 + i) for i in range(4)}
+        streams = {dev: build_experiment(spec).test for dev, spec in specs.items()}
+        with ShardedFleetManager(
+            2, capacity=1, spool_dir=tmp_path / "spool"
+        ) as sfm:
+            for dev, spec in specs.items():
+                sfm.add_device(dev, spec)
+            assert sfm.live_stats() == {}
+            for dev, s in streams.items():
+                sfm.submit(dev, s.X[:40], s.y[:40])
+            sfm.drain()
+            mid = sfm.live_stats()
+            assert mid["samples"] == 4 * 40  # mid-run, before finish_all
+            for dev, s in streams.items():
+                sfm.submit(dev, s.X[40:], s.y[40:])
+            sfm.drain()
+            assert sfm.live_stats()["samples"] == 4 * 120
+            sfm.finish_all()
+            per_shard = sfm.stats()
+            # stats() re-anchors the live fold to the collected snapshots.
+            assert sfm.live_stats()["samples"] == sum(
+                s["samples"] for s in per_shard
+            )
+
+
 class _Host:
     def __init__(self, shard_index, base):
         self.shard_index = shard_index
@@ -216,6 +295,10 @@ class _Host:
 
     def add(self, x):
         return self.base + x
+
+    def nap(self, seconds):
+        time.sleep(seconds)
+        return seconds
 
     def explode(self):
         raise ValueError("boom")

@@ -1,0 +1,192 @@
+"""Serving golden-equivalence: network arrivals must be byte-invisible.
+
+The serving tier's promise extends the fleet golden suite one layer up:
+chunks delivered over the wire — interleaved across devices, reordered
+within the gap window, retried after refusals, cut into arrival windows
+by the dispatcher — must produce records **byte-for-byte identical** to
+each spec running alone. Pinned for every pipeline family through the
+ingestion core, and end-to-end through the HTTP front-end.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.engine import ExperimentSpec, build_experiment
+from repro.fleet import FleetManager
+from repro.serving import IngestCore, ServingStack, run_load
+from repro.telemetry import RingBufferSink, Telemetry, lint_prometheus
+
+#: every pipeline family the registry knows, with small fast kwargs
+PIPELINES = {
+    "proposed": {"window_size": 60},
+    "baseline": {},
+    "onlad": {"forgetting_factor": 0.95},
+    "quanttree": {"batch_size": 100, "n_bins": 8},
+    "spll": {"batch_size": 100},
+}
+
+N_TEST = 120
+FEED = 40  # three chunks per device
+
+
+def _spec(pipeline: str, seed: int) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"{pipeline}-{seed}",
+        pipeline=pipeline,
+        dataset="blobs",
+        seed=seed,
+        model_seed=5,
+        pipeline_kwargs=PIPELINES[pipeline],
+        dataset_kwargs={"n_test": N_TEST, "drift_at": 60},
+    )
+
+
+def _assert_identical(a, b):
+    assert len(a) == len(b)
+    assert a == b
+    sa = np.array([r.anomaly_score for r in a], dtype=np.float64)
+    sb = np.array([r.anomaly_score for r in b], dtype=np.float64)
+    assert sa.tobytes() == sb.tobytes()
+
+
+def _fetch(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode()
+
+
+def _post(url: str, payload: dict):
+    body = json.dumps(payload).encode()
+    req = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read().decode())
+
+
+@pytest.mark.parametrize("pipeline", sorted(PIPELINES))
+def test_served_records_match_standalone(pipeline, tmp_path):
+    """Core-level: reordered loadgen traffic is byte-invisible per family."""
+    specs = {f"dev{i}": _spec(pipeline, seed=70 + i) for i in range(2)}
+    streams = {dev: build_experiment(spec).test for dev, spec in specs.items()}
+    fm = FleetManager(
+        capacity=1, spool_dir=tmp_path / "spool", batch_scoring=True
+    )
+    core = IngestCore(fm, gap_window=4)
+    for dev, spec in specs.items():
+        core.register(dev, spec)
+    with core:
+        report = run_load(
+            core, streams, feed_chunk=FEED, seed=17, reorder=0.4,
+            retry_scale=0.01,
+        )
+        per_device = core.finish_all()
+    assert report.undelivered == 0
+    assert report.admitted == report.chunks == report.completed
+    assert report.errors == 0
+    for dev, spec in specs.items():
+        _assert_identical(build_experiment(spec).run(), per_device[dev])
+
+
+def test_http_end_to_end_with_observability(tmp_path):
+    """Wire-level: HTTP loadgen + /metrics + /health + /fleet + errors."""
+    tel = Telemetry(enabled=True, sinks=[RingBufferSink()])
+    specs = {f"dev{i}": _spec("proposed", seed=80 + i) for i in range(4)}
+    streams = {dev: build_experiment(spec).test for dev, spec in specs.items()}
+    stack = ServingStack(
+        capacity=2, spool_dir=tmp_path / "spool", batch_scoring=True,
+        gap_window=4, telemetry=tel,
+    )
+    for dev, spec in specs.items():
+        stack.register(dev, spec)
+    with stack:
+        report = run_load(
+            stack, streams, feed_chunk=FEED, seed=23, reorder=0.3,
+            retry_scale=0.01,
+        )
+        assert report.undelivered == 0
+        assert report.completed == report.admitted == report.chunks
+
+        status, body = _fetch(stack.url + "/health")
+        assert status == 200
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["ingest"]["completed"] == report.completed
+
+        status, body = _fetch(stack.url + "/fleet")
+        assert status == 200
+        fleet = json.loads(body)
+        assert fleet["sharded"] is False
+        assert fleet["devices"]["samples"] == report.samples
+
+        status, body = _fetch(stack.url + "/metrics")
+        assert status == 200
+        assert lint_prometheus(body) == []
+        assert "repro_fleet_ingest_chunks" in body
+        assert "repro_fleet_ingest_latency_seconds" in body
+
+        status, _ = _fetch(stack.url + "/v1/ingest")
+        assert status == 200
+
+        # Error mapping over the wire: duplicate seq 0 -> 409, a gap
+        # beyond the window -> 422, unknown device -> 404, bad body -> 400.
+        X0 = streams["dev0"].X[:FEED].tolist()
+        y0 = streams["dev0"].y[:FEED].tolist()
+        chunk_url = stack.url + "/v1/devices/dev0/chunks"
+        status, reply = _post(chunk_url, {"seq": 0, "X": X0, "y": y0})
+        assert (status, reply["status"]) == (409, "duplicate")
+        status, reply = _post(chunk_url, {"seq": 99, "X": X0, "y": y0})
+        assert (status, reply["status"]) == (422, "gap_overflow")
+        status, reply = _post(
+            stack.url + "/v1/devices/ghost/chunks", {"seq": 0, "X": X0, "y": y0}
+        )
+        assert (status, reply["status"]) == (404, "unknown_device")
+        status, reply = _post(chunk_url, {"seq": 3})
+        assert status == 400 and "malformed" in reply["error"]
+
+        # Results were popped by the loadgen; a by-sequence read is empty.
+        status, body = _fetch(stack.url + "/v1/devices/dev0/results?order=seq")
+        assert status == 200 and json.loads(body)["count"] == 0
+
+        per_device = stack.finish_all()
+    for dev, spec in specs.items():
+        _assert_identical(build_experiment(spec).run(), per_device[dev])
+
+
+def test_sharded_stack_serves_byte_identical_records(tmp_path):
+    """Sharded fleets behind the server: same bytes, live /fleet stats."""
+    specs = {f"dev{i}": _spec("proposed", seed=90 + i) for i in range(4)}
+    streams = {dev: build_experiment(spec).test for dev, spec in specs.items()}
+    stack = ServingStack(
+        capacity=1, spool_dir=tmp_path / "spool", n_shards=2,
+        batch_scoring=True, gap_window=4,
+    )
+    for dev, spec in specs.items():
+        stack.register(dev, spec)
+    with stack:
+        report = run_load(
+            stack, streams, feed_chunk=FEED, seed=29, reorder=0.3,
+            retry_scale=0.01,
+        )
+        assert report.undelivered == 0
+        assert report.errors == 0
+        # Sharded completions carry no per-chunk record counts.
+        status, body = _fetch(stack.url + "/fleet")
+        assert status == 200
+        fleet = json.loads(body)
+        assert fleet["sharded"] is True
+        assert fleet["devices"].get("samples") == report.samples
+        per_device = stack.finish_all()
+    for dev, spec in specs.items():
+        _assert_identical(build_experiment(spec).run(), per_device[dev])
